@@ -1,0 +1,75 @@
+//! The measured CPU baseline.
+//!
+//! Table VII/XII's "CPU Baseline \[49\]" rows come from running *this
+//! repository's own functional implementation* single-threaded on the
+//! benchmark host — real wall-clock measurements, not the simulator. The
+//! host differs from the paper's Xeon Silver 4108, so absolute KOPS differ;
+//! the GPU-vs-CPU orders of magnitude are what the reproduction checks.
+
+use std::time::Instant;
+use wd_ckks::ops::{hmult, rescale};
+use wd_ckks::{CkksContext, ParamSet};
+use wd_polyring::ntt::NttTable;
+
+/// Measures forward-NTT throughput (KOPS) of the reference implementation.
+///
+/// Runs enough iterations to pass `min_duration_ms` of wall time.
+pub fn measure_ntt_kops(n: usize, min_duration_ms: u64) -> f64 {
+    let q = wd_modmath::prime::ntt_prime_above(1 << 28, 2 * n as u64).expect("prime");
+    let table = NttTable::new(q, n).expect("table");
+    let mut data: Vec<u64> = (0..n as u64).map(|i| i * 2654435761 % q).collect();
+    // Warm up.
+    table.forward(&mut data);
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed().as_millis() < u128::from(min_duration_ms) {
+        table.forward(&mut data);
+        table.inverse(&mut data);
+        iters += 2;
+    }
+    iters as f64 / start.elapsed().as_secs_f64() / 1e3
+}
+
+/// Measures HMULT (+rescale) throughput (KOPS) of the functional CKKS
+/// implementation at the given parameter template.
+///
+/// # Panics
+///
+/// Panics if parameter generation fails.
+pub fn measure_hmult_kops(set: &ParamSet, iterations: u32) -> f64 {
+    let params = set.build().expect("params");
+    let ctx = CkksContext::with_seed(params, 0xC0FFEE).expect("context");
+    let kp = ctx.keygen();
+    let slots = ctx.params().slots().min(64);
+    let vals: Vec<f64> = (0..slots).map(|i| (i % 7) as f64 * 0.25).collect();
+    let a = ctx.encrypt_values(&vals, &kp.public).expect("encrypt");
+    let b = ctx.encrypt_values(&vals, &kp.public).expect("encrypt");
+    // Warm up.
+    let _ = hmult(&ctx, &a, &b, &kp.relin).expect("hmult");
+    let start = Instant::now();
+    for _ in 0..iterations {
+        let prod = hmult(&ctx, &a, &b, &kp.relin).expect("hmult");
+        let _ = rescale(&ctx, &prod).expect("rescale");
+    }
+    f64::from(iterations) / start.elapsed().as_secs_f64() / 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ntt_measurement_is_positive_and_scales_down_with_n() {
+        let small = measure_ntt_kops(1 << 8, 30);
+        let large = measure_ntt_kops(1 << 11, 30);
+        assert!(small > 0.0 && large > 0.0);
+        assert!(small > large, "larger transforms must be slower per op");
+    }
+
+    #[test]
+    fn hmult_measurement_runs() {
+        let set = ParamSet::set_a().with_degree(1 << 6);
+        let kops = measure_hmult_kops(&set, 3);
+        assert!(kops > 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Criterion bench: functional CPU cost of the NTT by decomposition plan —
+//! the Table IV / §IV-A-2 ablation measured on real silicon (this host's
+//! CPU, exercising the actual algorithms).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use wd_modmath::prime::ntt_prime_above;
+use wd_polyring::decomp::DecompPlan;
+use wd_polyring::fourstep::{FourStepNtt, InnerKernel};
+use wd_polyring::ntt::NttTable;
+
+fn bench_depths(c: &mut Criterion) {
+    let n = 1usize << 12;
+    let q = ntt_prime_above(1 << 28, 2 * n as u64).unwrap();
+    let table = Arc::new(NttTable::new(q, n).unwrap());
+    let input: Vec<u64> = (0..n as u64).map(|i| (i * 48271) % q).collect();
+    let mut g = c.benchmark_group("ntt_decomposition_depth");
+    g.sample_size(10);
+    for (label, plan) in [
+        ("1-level(256x16)", DecompPlan::balanced(n, 1).unwrap()),
+        ("2-level(16x16x16)", DecompPlan::warpdrive(n).unwrap()),
+        ("balanced-2", DecompPlan::balanced(n, 2).unwrap()),
+    ] {
+        let eng = FourStepNtt::new(Arc::clone(&table), plan, InnerKernel::CudaGemm).unwrap();
+        g.bench_with_input(BenchmarkId::new(label, n), &input, |b, input| {
+            b.iter(|| {
+                let mut data = input.clone();
+                eng.forward(&mut data);
+                data
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_depths);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench: hoisted multi-rotation vs individual rotations —
+//! measures the real (CPU, functional) saving from sharing one ModUp
+//! across rotations, the effect the BSGS transforms and the workload
+//! models rely on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wd_ckks::ops::{hrotate, hrotate_many};
+use wd_ckks::{CkksContext, ParamSet};
+
+fn bench_hoisting(c: &mut Criterion) {
+    let params = ParamSet::set_a()
+        .with_degree(1 << 8)
+        .with_level(4)
+        .build()
+        .unwrap();
+    let ctx = CkksContext::with_seed(params, 9).unwrap();
+    let kp = ctx.keygen();
+    let rotations: Vec<isize> = (1..=8).collect();
+    let keys = ctx.gen_rotation_keys(&kp.secret, &rotations, false);
+    let vals: Vec<f64> = (0..ctx.params().slots()).map(|i| i as f64 * 0.01).collect();
+    let ct = ctx.encrypt_values(&vals, &kp.public).unwrap();
+
+    let mut g = c.benchmark_group("eight_rotations");
+    g.sample_size(10);
+    g.bench_function("individual", |b| {
+        b.iter(|| {
+            rotations
+                .iter()
+                .map(|&r| hrotate(&ctx, &ct, r, &keys).unwrap())
+                .collect::<Vec<_>>()
+        })
+    });
+    g.bench_function("hoisted", |b| {
+        b.iter(|| hrotate_many(&ctx, &ct, &rotations, &keys).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_hoisting
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench: real CPU time of the functional homomorphic operations
+//! (small ring — these are the algorithms, not the GPU model). Ablation:
+//! PE-vs-KF planning is benched at the model level by `table9`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wd_ckks::ops::{hadd, hmult, hrotate, pmult, rescale};
+use wd_ckks::{CkksContext, ParamSet};
+
+fn bench_ops(c: &mut Criterion) {
+    let params = ParamSet::set_a().with_degree(1 << 8).build().unwrap();
+    let ctx = CkksContext::with_seed(params, 1).unwrap();
+    let kp = ctx.keygen();
+    let keys = ctx.gen_rotation_keys(&kp.secret, &[1], false);
+    let slots = ctx.params().slots();
+    let vals: Vec<f64> = (0..slots).map(|i| (i % 9) as f64 * 0.1).collect();
+    let a = ctx.encrypt_values(&vals, &kp.public).unwrap();
+    let b = ctx.encrypt_values(&vals, &kp.public).unwrap();
+    let pt = ctx.encode(&vals).unwrap();
+
+    c.bench_function("hadd_n256", |bch| bch.iter(|| hadd(&a, &b).unwrap()));
+    c.bench_function("pmult_n256", |bch| bch.iter(|| pmult(&a, &pt).unwrap()));
+    c.bench_function("hmult_relin_n256", |bch| {
+        bch.iter(|| hmult(&ctx, &a, &b, &kp.relin).unwrap())
+    });
+    c.bench_function("rescale_n256", |bch| {
+        let prod = hmult(&ctx, &a, &b, &kp.relin).unwrap();
+        bch.iter(|| rescale(&ctx, &prod).unwrap())
+    });
+    c.bench_function("hrotate_n256", |bch| {
+        bch.iter(|| hrotate(&ctx, &a, 1, &keys).unwrap())
+    });
+    c.bench_function("encrypt_n256", |bch| {
+        bch.iter(|| ctx.encrypt_values(&vals, &kp.public).unwrap())
+    });
+    c.bench_function("decrypt_decode_n256", |bch| {
+        bch.iter(|| ctx.decrypt_values(&a, &kp.secret).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ops
+}
+criterion_main!(benches);

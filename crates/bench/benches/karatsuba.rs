@@ -1,0 +1,37 @@
+//! Criterion bench: schoolbook (16-mul) vs 4-term Karatsuba (9-mul) limb
+//! convolution — the §IV-A-4 trade-off the paper evaluated and rejected.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wd_modmath::karatsuba::{karatsuba_conv4, schoolbook_conv4, split_u32};
+
+fn bench_limb_mul(c: &mut Criterion) {
+    let pairs: Vec<([u8; 4], [u8; 4])> = (0..4096u32)
+        .map(|i| {
+            (
+                split_u32(i.wrapping_mul(2654435761)),
+                split_u32(i.wrapping_mul(40503).wrapping_add(97)),
+            )
+        })
+        .collect();
+    c.bench_function("schoolbook_conv4_x4096", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &(x, y) in &pairs {
+                acc = acc.wrapping_add(schoolbook_conv4(black_box(x), black_box(y))[3]);
+            }
+            acc
+        })
+    });
+    c.bench_function("karatsuba_conv4_x4096", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &(x, y) in &pairs {
+                acc = acc.wrapping_add(karatsuba_conv4(black_box(x), black_box(y))[3]);
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_limb_mul);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: Montgomery vs Barrett modular reduction — the §IV-A-4
+//! ablation (the paper measured ~10% in Montgomery's favor inside the NTT
+//! and chose it for twiddle multiplication).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use wd_modmath::{Modulus, Montgomery};
+
+const Q: u64 = 0x7ffe_6001;
+
+fn bench_modred(c: &mut Criterion) {
+    let bar = Modulus::new(Q);
+    let mont = Montgomery::new(Q).unwrap();
+    let xs: Vec<u64> = (0..4096u64).map(|i| (i * 48271 + 11) % Q).collect();
+    let w = 123_456_789 % Q;
+    let w_shoup = bar.shoup(w);
+    let w_mont = mont.to_mont(w);
+
+    c.bench_function("barrett_mul_chain", |b| {
+        b.iter(|| {
+            let mut acc = 1u64;
+            for &x in &xs {
+                acc = bar.mul(acc ^ x % Q, black_box(w));
+            }
+            acc
+        })
+    });
+    c.bench_function("barrett_shoup_mul_chain", |b| {
+        b.iter(|| {
+            let mut acc = 1u64;
+            for &x in &xs {
+                acc = bar.mul_shoup(acc ^ x % Q, black_box(w), w_shoup);
+            }
+            acc
+        })
+    });
+    c.bench_function("montgomery_mul_chain", |b| {
+        b.iter(|| {
+            let mut acc = 1u64;
+            for &x in &xs {
+                acc = mont.mul_plain_by_mont(acc ^ x % Q, black_box(w_mont));
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_modred);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench: real CPU time of every functional NTT variant
+//! (the bit-exact algorithm implementations, not the GPU model).
+//! Ablations: decomposition depth and variant choice (DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wd_modmath::prime::ntt_prime_above;
+use wd_polyring::{NttEngine, NttVariant};
+
+fn bench_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ntt_forward");
+    for n in [1usize << 10, 1 << 12] {
+        let q = ntt_prime_above(1 << 28, 2 * n as u64).unwrap();
+        let input: Vec<u64> = (0..n as u64).map(|i| (i * 2654435761) % q).collect();
+        for v in [
+            NttVariant::Reference,
+            NttVariant::WdBo,
+            NttVariant::WdCuda,
+            NttVariant::WdTensor,
+            NttVariant::WdFuse,
+            NttVariant::TensorFhe,
+        ] {
+            let eng = NttEngine::new(q, n, v).unwrap();
+            g.bench_with_input(
+                BenchmarkId::new(v.name(), n),
+                &input,
+                |b, input| {
+                    b.iter(|| {
+                        let mut data = input.clone();
+                        eng.forward(&mut data);
+                        data
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let n = 1 << 12;
+    let q = ntt_prime_above(1 << 28, 2 * n as u64).unwrap();
+    let eng = NttEngine::new(q, n, NttVariant::Reference).unwrap();
+    let input: Vec<u64> = (0..n as u64).map(|i| i % q).collect();
+    c.bench_function("ntt_roundtrip_4096", |b| {
+        b.iter(|| {
+            let mut data = input.clone();
+            eng.forward(&mut data);
+            eng.inverse(&mut data);
+            data
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_variants, bench_roundtrip
+}
+criterion_main!(benches);

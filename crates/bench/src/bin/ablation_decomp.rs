@@ -1,0 +1,74 @@
+//! Ablation: NTT decomposition depth 0–3 (DESIGN.md §5).
+//!
+//! Table IV gives the operation counts per depth; this binary prices them
+//! on the A100 model with the warp-level memory policy — twiddle matrices
+//! that no longer fit in SMEM must stream from GMEM — reproducing the
+//! paper's reasoning for stopping at 2 levels (§IV-A-2).
+
+use warpdrive_core::cost::*;
+use wd_bench::banner;
+use wd_gpu_sim::{GpuSpec, KernelProfile, LaunchConfig, Simulator, WorkProfile};
+use wd_polyring::decomp::DecompPlan;
+
+fn main() {
+    banner(
+        "Ablation — NTT decomposition depth (N = 2^16, batch 1024)",
+        "paper §IV-A-2 + Table IV (design-choice ablation)",
+    );
+    let n = 1usize << 16;
+    let batch = 1024.0;
+    let spec = GpuSpec::a100_pcie_80g();
+    let sim = Simulator::new(spec.clone());
+    println!(
+        "{:<8} {:>14} {:>12} {:>12} {:>12}",
+        "level", "twiddle bytes", "fits SMEM?", "time (us)", "rel"
+    );
+    let mut times = Vec::new();
+    for level in 0..=3u32 {
+        let c = DecompPlan::table_iv_counts(n, level);
+        let twiddle_bytes = c.matrix_entries * 4.0;
+        let fits = twiddle_bytes <= f64::from(spec.smem_per_sm_bytes);
+        let io = batch * n as f64 * WORD_BYTES;
+        let mut w = WorkProfile {
+            tensor_macs: batch * c.ew_mul * MACS_PER_EWMUL,
+            int32_ops: batch
+                * (c.mod_mul * INT32_PER_MODMUL
+                    + c.mod_red * INT32_PER_MODRED
+                    + c.bit_dec_mer * INT32_PER_BITOP),
+            smem_accesses: batch * n as f64 * SMEM_PER_POINT_WARP_LEVEL,
+            gmem_read_bytes: io,
+            gmem_write_bytes: io,
+            ..Default::default()
+        };
+        if !fits {
+            // Twiddles stream from GMEM every transform group.
+            w.gmem_read_bytes += batch * twiddle_bytes.min(1e9);
+        }
+        w.lsu_instructions = w.smem_accesses / LANES + w.gmem_bytes() / BYTES_PER_LSU_INSTR;
+        w.instructions =
+            w.int32_ops / LANES + w.tensor_macs / MACS_PER_MMA_INSTR + w.lsu_instructions;
+        let k = KernelProfile::new(
+            format!("ntt-l{level}"),
+            LaunchConfig::new(32 * 1024, 256),
+            w,
+        );
+        let t = sim.run_kernel(&k).exec_us;
+        times.push(t);
+        println!(
+            "{:<8} {:>14.0} {:>12} {:>12.0} {:>11.2}x",
+            format!("{level}-level"),
+            twiddle_bytes,
+            if fits { "yes" } else { "no" },
+            t,
+            t / times[0]
+        );
+    }
+    let best = times
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+        .expect("nonempty")
+        .0;
+    println!("\nbest depth: {best}-level   (paper chooses 2: deeper shrinks matrices");
+    println!("but grows ModMul/bit-op work and starves the tensor cores)");
+}

@@ -1,0 +1,76 @@
+//! Fig. 1: kernel execution timelines of the TensorFHE 5-stage NTT and its
+//! naive Tacker-style tensor/CUDA concurrency adaptation.
+
+use warpdrive_core::nttplan::{ntt_kernels, NttJob};
+use warpdrive_core::FrameworkConfig;
+use wd_bench::banner;
+use wd_gpu_sim::{GpuSpec, Simulator};
+use wd_polyring::NttVariant;
+
+fn main() {
+    banner(
+        "Fig. 1 — kernel execution timelines",
+        "paper Fig. 1 (N = 2^16, batch = 1024)",
+    );
+    let spec = GpuSpec::a100_sxm_40g();
+    let cfg = FrameworkConfig::auto(&spec);
+    let sim = Simulator::new(spec.clone());
+    let ks = ntt_kernels(
+        NttJob {
+            n: 1 << 16,
+            transforms: 1024,
+            variant: NttVariant::TensorFhe,
+        },
+        &cfg,
+        &spec,
+    );
+
+    println!("\n[upper] TensorFHE-NTT: five serialized stages (35 launches)\n");
+    let serial = sim.run_sequence(&ks);
+    print!("{}", serial.timeline().render(100));
+    println!(
+        "total {:.0} us over {} kernels",
+        serial.total_time_us(),
+        serial.kernel_count()
+    );
+
+    // Naive Tacker adaptation: the GEMM stages run tensor+CUDA concurrently
+    // (second lane takes ~18.6% of GEMM work), but split/mid/merge stay
+    // serial — the concurrency barely moves the total.
+    println!("\n[lower] naive Tacker-style adaptation: GEMMs split across lanes\n");
+    let mut lane0 = Vec::new();
+    let mut lane1 = Vec::new();
+    for k in ks {
+        if k.name.contains("GEMM") {
+            let mut main = k.clone();
+            let mut side = k.clone();
+            let scale = |w: &mut wd_gpu_sim::WorkProfile, f: f64| {
+                w.tensor_macs *= f;
+                w.int32_ops *= f;
+                w.instructions *= f;
+                w.lsu_instructions *= f;
+                w.gmem_read_bytes *= f;
+                w.gmem_write_bytes *= f;
+                w.smem_accesses *= f;
+            };
+            scale(&mut main.work, 0.814);
+            // CUDA lane does the offloaded 18.6% as INT32 GEMM work.
+            side.work.int32_ops = side.work.tensor_macs * 0.186;
+            side.work.tensor_macs = 0.0;
+            scale(&mut side.work, 1.0);
+            side.name = format!("{}-cuda", side.name);
+            lane0.push(main);
+            lane1.push(side);
+        } else {
+            lane0.push(k);
+        }
+    }
+    let tacker = sim.run_lanes(&[lane0, lane1]);
+    print!("{}", tacker.timeline().render(100));
+    println!("total {:.0} us", tacker.total_time_us());
+    println!(
+        "\nimprovement from naive concurrency: {:.1}% (paper: ~18.6% on the GEMM\n\
+         portion only, ~41% of the NTT — the bit split/merge stages dominate)",
+        (1.0 - tacker.total_time_us() / serial.total_time_us()) * 100.0
+    );
+}

@@ -1,0 +1,45 @@
+//! Fig. 3: concurrent utilization of CUDA and tensor cores — the warp
+//! allocation WarpDrive-NTT uses per block, per device.
+
+use warpdrive_core::nttplan::fuse_share_for;
+use warpdrive_core::FrameworkConfig;
+use wd_bench::banner;
+use wd_gpu_sim::GpuSpec;
+
+fn main() {
+    banner(
+        "Fig. 3 — warp allocation for concurrent tensor+CUDA execution",
+        "paper Fig. 3 / §IV-B-3 / §IV-D-3",
+    );
+    for spec in [
+        GpuSpec::a100_pcie_80g(),
+        GpuSpec::v100(),
+        GpuSpec::h100(),
+        GpuSpec::mi100(),
+    ] {
+        let cfg = FrameworkConfig::auto(&spec);
+        let warps_per_block = cfg.threads_per_block / 32;
+        let tensor_warps = cfg.warps_per_sp * spec.sp_per_sm / 2;
+        let cuda_warps = warps_per_block - tensor_warps;
+        println!("\n{}", spec.name);
+        println!(
+            "  {} SPs/SM x {} warps/SP -> T = {} threads/block ({} warps)",
+            spec.sp_per_sm, cfg.warps_per_sp, cfg.threads_per_block, warps_per_block
+        );
+        println!(
+            "  block layout: {tensor_warps} tensor-core warps + {cuda_warps} CUDA-core warps \
+             (covers every SP, so both unit types stay busy)"
+        );
+        for n in [1usize << 12, 1 << 16] {
+            let share = fuse_share_for(n, &spec);
+            println!(
+                "  N = 2^{:<2}: {:.1}% of inner-NTT groups to tensor warps, {:.1}% to butterflies",
+                n.trailing_zeros(),
+                share * 100.0,
+                (1.0 - share) * 100.0
+            );
+        }
+    }
+    println!("\npaper: 4 tensor + 4 CUDA warps per block on A100-class parts,");
+    println!("       with the group ratio set by relative computational power.");
+}

@@ -1,0 +1,33 @@
+//! Fig. 4: the parallelism-enhanced (PE) kernel effect on ModUp/ModDown —
+//! kernel timelines of the same Keyswitch under the KF and PE planners.
+
+use warpdrive_core::{HomOp, OpShape, PerfEngine, PlannerKind};
+use wd_bench::banner;
+use wd_polyring::NttVariant;
+
+fn main() {
+    banner(
+        "Fig. 4 — PE vs KF kernels for Keyswitch (ModUp/ModDown)",
+        "paper Fig. 4 (SET-D shape)",
+    );
+    let eng = PerfEngine::a100();
+    let shape = OpShape::new(1 << 15, 24, 1);
+    for (planner, label) in [
+        (PlannerKind::KfKernel, "KF kernel (100x-style, one polynomial per launch)"),
+        (PlannerKind::PeKernel, "PE kernel (WarpDrive, whole ciphertext per launch)"),
+    ] {
+        let rep = eng.op_report(HomOp::KeySwitch, shape, planner, NttVariant::WdFuse);
+        println!("\n[{label}]");
+        print!("{}", rep.timeline().render(100));
+        println!(
+            "{} kernels, {:.0} us total, compute {:.1}%, memory {:.1}%",
+            rep.kernel_count(),
+            rep.total_time_us(),
+            rep.compute_utilization() * 100.0,
+            rep.memory_utilization() * 100.0
+        );
+    }
+    println!("\npaper: the PE kernel processes all dnum x (l+1+K) polynomials of the");
+    println!("ciphertext in one launch per stage, where the KF kernel re-launches per");
+    println!("digit — 11 kernels vs 59-109 (Table IX).");
+}

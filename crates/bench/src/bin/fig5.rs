@@ -1,0 +1,79 @@
+//! Fig. 5: scheduler-cycle breakdown — TensorFHE-NTT vs WarpDrive-NTT
+//! (WD-Tensor), N = 2^16, batch 1024.
+
+use warpdrive_core::nttplan::{ntt_kernels, NttJob};
+use warpdrive_core::FrameworkConfig;
+use wd_bench::banner;
+use wd_gpu_sim::{GpuSpec, Simulator, StallBreakdown, StallKind};
+use wd_polyring::NttVariant;
+
+fn breakdown(variant: NttVariant) -> (f64, f64, StallBreakdown) {
+    let spec = GpuSpec::a100_pcie_80g();
+    let cfg = FrameworkConfig::auto(&spec);
+    let sim = Simulator::new(spec.clone());
+    let ks = ntt_kernels(
+        NttJob {
+            n: 1 << 16,
+            transforms: 1024,
+            variant,
+        },
+        &cfg,
+        &spec,
+    );
+    let rep = sim.run_sequence(&ks);
+    (rep.total_cycles(), rep.total_issue_cycles(), rep.stalls())
+}
+
+fn main() {
+    banner(
+        "Fig. 5 — scheduler cycles: TensorFHE-NTT vs WarpDrive-NTT",
+        "paper Fig. 5 (N = 2^16, batch = 1024)",
+    );
+    let (tf_cycles, tf_issue, tf_stalls) = breakdown(NttVariant::TensorFhe);
+    let (wd_cycles, wd_issue, wd_stalls) = breakdown(NttVariant::WdTensor);
+
+    let row = |name: &str, cycles: f64, issue: f64, st: &StallBreakdown| {
+        println!("\n{name}: total {:.2e} cycles", cycles);
+        println!("  selected (issued): {:.2e} ({:.1}%)", issue, issue / cycles * 100.0);
+        for kind in [
+            StallKind::LgThrottle,
+            StallKind::LongScoreboard,
+            StallKind::MioThrottle,
+            StallKind::ShortScoreboard,
+            StallKind::Wait,
+            StallKind::MathPipeThrottle,
+        ] {
+            println!(
+                "  {:<26} {:.2e} ({:.1}%)",
+                kind.name(),
+                st.get(kind),
+                st.get(kind) / cycles * 100.0
+            );
+        }
+        println!(
+            "  memory-related stalls: {:.1}% of cycles",
+            st.memory_related() / cycles * 100.0
+        );
+    };
+    row("TensorFHE-NTT", tf_cycles, tf_issue, &tf_stalls);
+    row("WarpDrive-NTT (WD-Tensor)", wd_cycles, wd_issue, &wd_stalls);
+
+    println!("\n--- headline reductions ---");
+    println!(
+        "cycle reduction:       {:.1}%   (paper: 86.0%)",
+        (1.0 - wd_cycles / tf_cycles) * 100.0
+    );
+    println!(
+        "instruction reduction: {:.1}%   (paper: 73%)",
+        (1.0 - wd_issue / tf_issue) * 100.0
+    );
+    println!(
+        "long-scoreboard reduction: {:.1}%   (paper: 98%)",
+        (1.0 - wd_stalls.get(StallKind::LongScoreboard) / tf_stalls.get(StallKind::LongScoreboard))
+            * 100.0
+    );
+    println!(
+        "WD memory-stall share: {:.1}% of cycles (paper: 21.2%; TensorFHE ~70%)",
+        wd_stalls.memory_related() / wd_cycles * 100.0
+    );
+}

@@ -1,0 +1,37 @@
+//! Fig. 6: NTT throughput of the five WarpDrive variants.
+
+use warpdrive_core::PerfEngine;
+use wd_bench::{banner, ntt_batch, SETS};
+use wd_polyring::NttVariant;
+
+fn main() {
+    banner(
+        "Fig. 6 — NTT throughput by variant (KOPS)",
+        "paper Fig. 6 (WD-Tensor / WD-CUDA / WD-FTC / WD-BO / WD-FUSE)",
+    );
+    let eng = PerfEngine::a100();
+    print!("{:<7}", "set");
+    for v in NttVariant::FIG6 {
+        print!(" {:>10}", v.name());
+    }
+    println!(" {:>12} {:>12}", "FUSE/Tensor", "Tensor/BO");
+    for &(name, n, _) in &SETS {
+        let batch = ntt_batch(n);
+        let kops: Vec<f64> = NttVariant::FIG6
+            .iter()
+            .map(|&v| eng.ntt_throughput_kops(n, batch, v))
+            .collect();
+        print!("{name:<7}");
+        for k in &kops {
+            print!(" {k:>10.0}");
+        }
+        let tensor = kops[0];
+        let bo = kops[3];
+        let fuse = kops[4];
+        println!(" {:>11.1}% {:>11.1}%", (fuse / tensor - 1.0) * 100.0, (tensor / bo - 1.0) * 100.0);
+    }
+    println!();
+    println!("paper: WD-FUSE beats WD-Tensor by 4-7%; WD-Tensor beats WD-BO by 4-10%");
+    println!("       and WD-CUDA by 12-28% (our CUDA-GEMM model is more pessimistic");
+    println!("       than the paper's measurement — see EXPERIMENTS.md)");
+}

@@ -1,0 +1,52 @@
+//! Fig. 7: sensitivity of operation latency to threads per block.
+
+use warpdrive_core::{FrameworkConfig, HomOp, PerfEngine, PlannerKind};
+use wd_bench::{banner, shape};
+use wd_gpu_sim::GpuSpec;
+use wd_polyring::NttVariant;
+
+fn main() {
+    banner(
+        "Fig. 7 — sensitivity to threads per block (SET-D)",
+        "paper Fig. 7 (normalized execution time; optimum at T = 256)",
+    );
+    let spec = GpuSpec::a100_pcie_80g();
+    let ops = [
+        HomOp::HAdd,
+        HomOp::PMult,
+        HomOp::Rescale,
+        HomOp::KeySwitch,
+        HomOp::HMult,
+        HomOp::HRotate,
+    ];
+    let threads = [64u32, 128, 256, 512, 1024];
+    print!("{:<10}", "op");
+    for t in threads {
+        print!(" {t:>8}");
+    }
+    println!();
+    for op in ops {
+        let lat: Vec<f64> = threads
+            .iter()
+            .map(|&t| {
+                let cfg = FrameworkConfig::auto(&spec).with_threads(t);
+                PerfEngine::new(spec.clone())
+                    .with_config(cfg)
+                    .op_latency_us(op, shape(1 << 15, 24), PlannerKind::PeKernel, NttVariant::WdFuse)
+            })
+            .collect();
+        let best = lat.iter().cloned().fold(f64::INFINITY, f64::min);
+        print!("{:<10}", op.name());
+        for l in &lat {
+            print!(" {:>8.3}", l / best);
+        }
+        let argmin = threads[lat
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("nonempty")
+            .0];
+        println!("   (best at T = {argmin})");
+    }
+    println!("\npaper: optimal performance consistently at T = 256");
+}

@@ -1,0 +1,60 @@
+//! Table XIV: FHE workload performance — Boot, HELR, ResNet-20 (amortized).
+
+use warpdrive_core::{HomOp, OpShape};
+use wd_baselines::{System, SystemKind};
+use wd_bench::banner;
+use wd_workloads::perf::WorkloadModel;
+
+fn main() {
+    banner(
+        "Table XIV — FHE workloads (amortized execution time)",
+        "paper Table XIV (Table XIII parameters)",
+    );
+    let systems = [
+        (SystemKind::WarpDrive, "A100-PCIE-80G"),
+        (SystemKind::TensorFhe, "A100-SMX-40G"),
+        (SystemKind::HundredXFused, "V100-class (100x)"),
+        (SystemKind::GmeBase, "AMD MI100"),
+    ];
+    println!(
+        "{:<16} {:<18} {:>12} {:>14} {:>12}",
+        "scheme", "hardware", "Boot (ms)", "HELR (ms/it)", "ResNet (s)"
+    );
+    for (kind, hw) in systems {
+        let sys = System::new(kind);
+        let lat = |op: HomOp, shape: OpShape| sys.op_latency_us(op, shape);
+        let boot_model = WorkloadModel::bootstrap(1 << 16, 34, 12);
+        let boot_us = boot_model.time_us(&lat, 0.0);
+        let helr = WorkloadModel::helr_iteration(1 << 16, 37, 13, 1);
+        let resnet = WorkloadModel::resnet_inference(1 << 16, 37, 13, 1);
+        println!(
+            "{:<16} {:<18} {:>12.0} {:>14.0} {:>12.2}",
+            kind.name(),
+            hw,
+            boot_us / 1e3,
+            helr.time_us(&lat, boot_us) / 1e3,
+            resnet.time_us(&lat, boot_us) / 1e6
+        );
+    }
+    // Batched WarpDrive row (BS = 16, the paper's headline).
+    let sys = System::new(SystemKind::WarpDrive);
+    let lat = |op: HomOp, shape: OpShape| sys.op_latency_us(op, shape);
+    let mut boot16 = WorkloadModel::bootstrap(1 << 16, 34, 12);
+    boot16.batch = 16;
+    let boot16_us = boot16.time_us(&lat, 0.0);
+    let helr16 = WorkloadModel::helr_iteration(1 << 16, 37, 13, 16);
+    let resnet16 = WorkloadModel::resnet_inference(1 << 16, 37, 13, 16);
+    println!(
+        "{:<16} {:<18} {:>12.0} {:>14.0} {:>12.2}",
+        "WarpDrive BS=16",
+        "A100-PCIE-80G",
+        boot16_us / 1e3,
+        helr16.time_us(&lat, boot16_us) / 1e3 / 16.0,
+        resnet16.time_us(&lat, boot16_us) / 1e6 / 16.0
+    );
+    println!();
+    println!("paper (BS=1):  WarpDrive 121 ms Boot, 113 ms/it HELR, 5.88 s ResNet");
+    println!("paper (BS=16): WarpDrive  97 ms Boot,  78 ms/it HELR, 4.77 s ResNet");
+    println!("paper baselines: TensorFHE 250/220/4.94 (batched), 100x 328/775/-,");
+    println!("                 GME-base 413/658/9.99");
+}

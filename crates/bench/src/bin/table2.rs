@@ -1,0 +1,87 @@
+//! Table II: stall cycles per issued instruction and memory-stall share of
+//! the TensorFHE 5-stage NTT (N = 2^16, batch 1024).
+
+use warpdrive_core::nttplan::{ntt_kernels, NttJob};
+use warpdrive_core::FrameworkConfig;
+use wd_bench::banner;
+use wd_gpu_sim::{GpuSpec, Simulator, StallKind};
+use wd_polyring::NttVariant;
+
+fn main() {
+    banner(
+        "Table II — pipeline stalls in the TensorFHE 5-stage NTT",
+        "paper Table II (N = 2^16, batch = 1024)",
+    );
+    let spec = GpuSpec::a100_sxm_40g();
+    let cfg = FrameworkConfig::auto(&spec);
+    let sim = Simulator::new(spec.clone());
+    let ks = ntt_kernels(
+        NttJob {
+            n: 1 << 16,
+            transforms: 1024,
+            variant: NttVariant::TensorFhe,
+        },
+        &cfg,
+        &spec,
+    );
+
+    // Aggregate the 16 GEMM kernels per stage, like the paper's columns.
+    let stage_of = |name: &str| -> usize {
+        if name.contains("U32ToU8") {
+            0
+        } else if name.contains("GEMM-s2") {
+            1
+        } else if name.contains("Hada") {
+            2
+        } else if name.contains("GEMM-s4") {
+            3
+        } else {
+            4
+        }
+    };
+    let stage_names = ["U32ToU8", "GEMM(x16)", "Hada&Trans", "GEMM(x16)", "U8ToU32"];
+    let mut spi = [0.0f64; 5]; // stall cycles per issued instruction
+    let mut memfrac = [0.0f64; 5];
+    let mut lg = [0.0f64; 5];
+    let mut lsb = [0.0f64; 5];
+    let mut count = [0u32; 5];
+    for k in &ks {
+        let st = sim.run_kernel(k);
+        let s = stage_of(&k.name);
+        spi[s] += st.stalls_per_instruction();
+        memfrac[s] += st.stalls.memory_fraction();
+        lg[s] += st.stalls.get(StallKind::LgThrottle) / st.stalls.total().max(1e-12);
+        lsb[s] += st.stalls.get(StallKind::LongScoreboard) / st.stalls.total().max(1e-12);
+        count[s] += 1;
+    }
+    println!(
+        "{:<22} {:>12} {:>10} {:>12} {:>12}",
+        "stage", "stall/instr", "mem%", "LG-throttle%", "long-scoreb%"
+    );
+    let paper = [
+        ("U32ToU8", 66.5, 99.5, 82.7, 4.6),
+        ("GEMM(x16)", 3.0, 62.4, 0.5, 21.1),
+        ("Hada&Trans", 3.4, 54.1, 4.5, 43.1),
+        ("GEMM(x16)", 3.0, 62.4, 0.5, 21.1),
+        ("U8ToU32", 5.2, 70.2, 3.8, 60.7),
+    ];
+    for s in 0..5 {
+        let c = f64::from(count[s].max(1));
+        println!(
+            "{:<22} {:>12.1} {:>10.1} {:>12.1} {:>12.1}",
+            stage_names[s],
+            spi[s] / c,
+            memfrac[s] / c * 100.0,
+            lg[s] / c * 100.0,
+            lsb[s] / c * 100.0
+        );
+        println!(
+            "{:<22} {:>12.1} {:>10.1} {:>12.1} {:>12.1}",
+            format!("  (paper {})", paper[s].0),
+            paper[s].1,
+            paper[s].2,
+            paper[s].3,
+            paper[s].4
+        );
+    }
+}

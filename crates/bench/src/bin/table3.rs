@@ -1,0 +1,71 @@
+//! Table III: memory/compute throughput utilization of the key kernels in
+//! 100x's Keyswitch (motivation for the PE kernel design).
+
+use warpdrive_core::{HomOp, PerfEngine, PlannerKind};
+use wd_bench::{banner, shape};
+use wd_polyring::NttVariant;
+
+fn main() {
+    banner(
+        "Table III — utilization of 100x Keyswitch kernels",
+        "paper Table III (N = 2^15 l = 24 and N = 2^16 l = 34, K = 1)",
+    );
+    let eng = PerfEngine::a100();
+    let classify = |name: &str| -> Option<&'static str> {
+        if name.contains("ModUp-conv") {
+            Some("ModUP")
+        } else if name.contains("ModDown-conv") {
+            Some("ModDown")
+        } else if name.contains("InnerProd") {
+            Some("InProd")
+        } else if name.contains("INTT") {
+            Some("INTT")
+        } else if name.contains("NTT") {
+            Some("NTT")
+        } else {
+            None
+        }
+    };
+    let paper = [
+        // (set, NTT, ModUP, INTT, ModDown, InProd) — (mem%, comp%) pairs
+        ("N=2^15 l=24", [(49.1, 37.4), (43.0, 36.7), (17.6, 19.7), (30.9, 49.9), (83.4, 20.2)]),
+        ("N=2^16 l=34", [(58.3, 41.7), (57.4, 48.0), (24.1, 26.0), (37.1, 62.2), (83.5, 20.4)]),
+    ];
+    for (i, (n, l)) in [(1usize << 15, 24usize), (1 << 16, 34)].iter().enumerate() {
+        let rep = eng.op_report(
+            HomOp::KeySwitch,
+            shape(*n, *l),
+            PlannerKind::KfKernel,
+            NttVariant::WdBo, // 100x runs butterfly NTTs on CUDA cores
+        );
+        let classes = ["NTT", "ModUP", "INTT", "ModDown", "InProd"];
+        let mut mem = [0.0f64; 5];
+        let mut comp = [0.0f64; 5];
+        let mut cnt = [0u32; 5];
+        for (k, st) in rep.kernels() {
+            if let Some(c) = classify(&k.name) {
+                let idx = classes.iter().position(|x| *x == c).expect("known class");
+                mem[idx] += st.memory_util;
+                comp[idx] += st.compute_util;
+                cnt[idx] += 1;
+            }
+        }
+        println!("\n--- {} ---", paper[i].0);
+        println!(
+            "{:<10} {:>10} {:>10} {:>12} {:>12}",
+            "kernel", "mem%", "comp%", "paper mem%", "paper comp%"
+        );
+        for (j, c) in classes.iter().enumerate() {
+            let d = f64::from(cnt[j].max(1));
+            println!(
+                "{:<10} {:>10.1} {:>10.1} {:>12.1} {:>12.1}",
+                c,
+                mem[j] / d * 100.0,
+                comp[j] / d * 100.0,
+                paper[i].1[j].0,
+                paper[i].1[j].1
+            );
+        }
+    }
+    println!("\npaper's point: no kernel except InProd exceeds ~61% utilization.");
+}

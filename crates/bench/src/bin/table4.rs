@@ -1,0 +1,58 @@
+//! Table IV: operation counts of the NTT by decomposition level (exact
+//! closed forms, N = 65536).
+
+use wd_bench::banner;
+use wd_polyring::decomp::DecompPlan;
+
+fn main() {
+    banner(
+        "Table IV — NTT operation counts vs decomposition level",
+        "paper Table IV (N = 65536)",
+    );
+    let n = 1 << 16;
+    println!(
+        "{:<8} {:>14} {:>14} {:>12} {:>12} {:>14}",
+        "level", "matrix size", "EW-Mul", "ModRed", "ModMul", "Bit-Dec&Mer"
+    );
+    let fmt = |v: f64| -> String {
+        let log = v.log2();
+        if (log - log.round()).abs() < 1e-9 {
+            format!("2^{}", log.round() as i64)
+        } else {
+            // Multiples of powers of two, as the paper prints (e.g. 3x2^16).
+            let e = v.log2().floor() as i64;
+            for k in 1..16i64 {
+                let log_k = (k as f64).log2();
+                let rem = v.log2() - log_k;
+                if (rem - rem.round()).abs() < 1e-9 {
+                    return format!("{k}x2^{}", rem.round() as i64);
+                }
+            }
+            let _ = e;
+            format!("{v:.0}")
+        }
+    };
+    for level in 0..=3u32 {
+        let c = DecompPlan::table_iv_counts(n, level);
+        println!(
+            "{:<8} {:>14} {:>14} {:>12} {:>12} {:>14}",
+            format!("{level}-level"),
+            fmt(c.matrix_entries),
+            fmt(c.ew_mul),
+            fmt(c.mod_red),
+            fmt(c.mod_mul),
+            fmt(c.bit_dec_mer)
+        );
+    }
+    println!();
+    println!("paper row (2-level): 2^8, 2^22, 2^18, 3x2^16, 3x2^17  — exact match expected");
+    // Also show the factor-tree counts for the actual WarpDrive plan.
+    let plan = DecompPlan::warpdrive(n).unwrap();
+    let tree = plan.op_counts();
+    println!(
+        "warpdrive plan (leaves {:?}): EW-Mul {} ModMul {} — matches the 2-level closed form",
+        plan.root().leaves(),
+        fmt(tree.ew_mul),
+        fmt(tree.mod_mul)
+    );
+}

@@ -1,0 +1,80 @@
+//! Table VIII: latency of key homomorphic operations across systems (µs).
+
+use warpdrive_core::HomOp;
+use wd_baselines::{System, SystemKind};
+use wd_bench::{banner, shape, SETS_CDE};
+
+fn main() {
+    banner(
+        "Table VIII — operation latency across systems (us)",
+        "paper Table VIII (SET-C/D/E)",
+    );
+    let systems = [
+        SystemKind::Liberate,
+        SystemKind::TensorFheRepl,
+        SystemKind::HundredXFused,
+        SystemKind::HundredXOpt,
+        SystemKind::WarpDrive,
+    ];
+    let paper: &[(&str, [[f64; 3]; 5])] = &[
+        (
+            "HMULT",
+            [
+                [6185.0, 9543.0, 25673.0],
+                [847.0, 2893.0, 10986.0],
+                [595.0, 1734.0, 5971.0],
+                [504.0, 1642.0, 5571.0],
+                [277.0, 1089.0, 4284.0],
+            ],
+        ),
+        (
+            "HROTATE",
+            [
+                [5832.0, 9164.0, 25263.0],
+                [838.0, 2876.0, 11030.0],
+                [579.0, 1693.0, 5871.0],
+                [512.0, 1667.0, 5659.0],
+                [273.0, 1095.0, 4341.0],
+            ],
+        ),
+        (
+            "RESCALE",
+            [
+                [572.0, 625.0, 790.0],
+                [149.0, 355.0, 759.0],
+                [107.0, 185.0, 406.0],
+                [87.0, 181.0, 396.0],
+                [45.0, 100.0, 241.0],
+            ],
+        ),
+        (
+            "HADD",
+            [
+                [62.0, 64.0, 66.0],
+                [5.2, 11.0, 61.0],
+                [13.0, 22.0, 82.0],
+                [12.0, 21.0, 81.5],
+                [5.2, 11.0, 61.0],
+            ],
+        ),
+    ];
+    let ops = [HomOp::HMult, HomOp::HRotate, HomOp::Rescale, HomOp::HAdd];
+    for (op_i, op) in ops.iter().enumerate() {
+        println!("\n--- {} ---", op.name());
+        println!(
+            "{:<16} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "system", "C(model)", "C(paper)", "D(model)", "D(paper)", "E(model)", "E(paper)"
+        );
+        for (sys_i, kind) in systems.iter().enumerate() {
+            let sys = System::new(*kind);
+            let mut cells = Vec::new();
+            for (set_i, &(_, n, l)) in SETS_CDE.iter().enumerate() {
+                let lat = sys.op_latency_us(*op, shape(n, l));
+                cells.push(format!("{lat:>10.0} {:>10.0}", paper[op_i].1[sys_i][set_i]));
+            }
+            println!("{:<16} {}", kind.name(), cells.join(" "));
+        }
+    }
+    println!();
+    println!("paper speedup (WarpDrive over 100x_opt, HMULT): 1.82x / 1.51x / 1.30x");
+}

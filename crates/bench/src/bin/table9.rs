@@ -1,0 +1,54 @@
+//! Table IX: Keyswitch kernel count and compute/memory utilization —
+//! 100x_opt (KF kernels) vs WarpDrive (PE kernels).
+
+use warpdrive_core::{HomOp, PerfEngine, PlannerKind};
+use wd_bench::{banner, shape, SETS_CDE};
+use wd_polyring::NttVariant;
+
+fn main() {
+    banner(
+        "Table IX — Keyswitch kernels and throughput utilization",
+        "paper Table IX (SET-C/D/E)",
+    );
+    let eng = PerfEngine::a100();
+    let paper_kernels = [(59, 11), (90, 11), (109, 11)];
+    let paper_compute = [(14.2, 26.6), (24.5, 34.8), (31.6, 35.6)];
+    let paper_memory = [(25.3, 53.6), (47.0, 70.6), (65.9, 79.4)];
+    println!(
+        "{:<8} {:<12} {:>8} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "set", "scheme", "kern", "paper", "comp%", "paper", "mem%", "paper"
+    );
+    for (i, &(name, n, l)) in SETS_CDE.iter().enumerate() {
+        for (planner, label, pk, pc, pm) in [
+            (
+                PlannerKind::KfKernel,
+                "100x_opt",
+                paper_kernels[i].0,
+                paper_compute[i].0,
+                paper_memory[i].0,
+            ),
+            (
+                PlannerKind::PeKernel,
+                "WarpDrive",
+                paper_kernels[i].1,
+                paper_compute[i].1,
+                paper_memory[i].1,
+            ),
+        ] {
+            let rep = eng.op_report(HomOp::KeySwitch, shape(n, l), planner, NttVariant::WdFuse);
+            println!(
+                "{:<8} {:<12} {:>8} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+                name,
+                label,
+                rep.kernel_count(),
+                pk,
+                rep.compute_utilization() * 100.0,
+                pc,
+                rep.memory_utilization() * 100.0,
+                pm
+            );
+        }
+    }
+    println!();
+    println!("paper kernel reduction: 81.4% / 87.8% / 90.0%");
+}

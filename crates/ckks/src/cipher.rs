@@ -1,0 +1,97 @@
+//! Plaintexts and ciphertexts with scale/level bookkeeping.
+
+use wd_polyring::rns::RnsPoly;
+
+/// An encoded (not encrypted) CKKS message: a polynomial in RNS + NTT form
+/// with its scale.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plaintext {
+    /// The encoded polynomial (NTT domain).
+    pub poly: RnsPoly,
+    /// Encoding scale Δ.
+    pub scale: f64,
+    /// Level the plaintext was encoded at.
+    pub level: usize,
+}
+
+/// A CKKS ciphertext: ct = (c0, c1) with Dec(ct) = c0 + c1·s.
+///
+/// Both components live in the NTT domain over the level-ℓ prime chain. A
+/// ciphertext at level ℓ has ℓ+1 RNS limbs per component — during Keyswitch
+/// it temporarily expands to ℓ+1+K limbs and `dnum` digit polynomials, which
+/// is the ~1 GB "single ciphertext" footprint the paper's §III-C discusses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ciphertext {
+    /// Component c0 (NTT domain).
+    pub c0: RnsPoly,
+    /// Component c1 (NTT domain).
+    pub c1: RnsPoly,
+    /// Current level ℓ (limb count − 1).
+    pub level: usize,
+    /// Current scale.
+    pub scale: f64,
+}
+
+impl Ciphertext {
+    /// Ring degree N.
+    pub fn degree(&self) -> usize {
+        self.c0.degree()
+    }
+
+    /// Bytes of GPU memory this ciphertext occupies at the paper's 32-bit
+    /// word size (2 components × (ℓ+1) limbs × N words × 4 bytes).
+    pub fn memory_bytes(&self) -> usize {
+        2 * self.c0.limb_count() * self.degree() * 4
+    }
+
+    /// Checks structural compatibility for binary operations.
+    pub fn compatible(&self, other: &Ciphertext) -> bool {
+        self.level == other.level
+            && self.degree() == other.degree()
+            && relative_eq(self.scale, other.scale)
+    }
+}
+
+/// Scales within 0.5% count as equal (prime chains are only approximately Δ).
+pub(crate) fn relative_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 5e-3 * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wd_modmath::prime::generate_ntt_primes;
+    use wd_polyring::rns::Domain;
+
+    #[test]
+    fn memory_bytes_formula() {
+        let ps = generate_ntt_primes(26, 64, 3).unwrap();
+        let mut c = RnsPoly::zero(&ps, 32).unwrap();
+        c.set_domain(Domain::Ntt);
+        let ct = Ciphertext {
+            c0: c.clone(),
+            c1: c,
+            level: 2,
+            scale: 1.0,
+        };
+        assert_eq!(ct.memory_bytes(), 2 * 3 * 32 * 4);
+    }
+
+    #[test]
+    fn compatibility_tolerates_slight_scale_drift() {
+        let ps = generate_ntt_primes(26, 64, 2).unwrap();
+        let mut c = RnsPoly::zero(&ps, 32).unwrap();
+        c.set_domain(Domain::Ntt);
+        let a = Ciphertext {
+            c0: c.clone(),
+            c1: c.clone(),
+            level: 1,
+            scale: (1u64 << 28) as f64,
+        };
+        let mut b = a.clone();
+        b.scale *= 1.0005;
+        assert!(a.compatible(&b));
+        b.scale *= 1.2;
+        assert!(!a.compatible(&b));
+    }
+}

@@ -1,0 +1,517 @@
+//! The CKKS context: parameter-bound state and the user-facing API.
+
+use crate::cipher::{Ciphertext, Plaintext};
+use crate::encoding::{Encoder, C64};
+use crate::keys::{KeyPair, KeySwitchKey, PublicKey, RotationKeys, SecretKey};
+use crate::params::CkksParams;
+use crate::{sampling, CkksError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use wd_modmath::rns::{BasisConverter, RnsBasis};
+use wd_polyring::ntt::NttTable;
+use wd_polyring::rns::{Domain, RnsPoly};
+use wd_polyring::Poly;
+
+/// Parameter-bound CKKS state: NTT tables per prime, the encoder, a cached
+/// basis-converter pool, and a seedable RNG.
+///
+/// This is the "Initialization Phase" of the WarpDrive framework (§IV-D-1):
+/// moduli are selected, twiddle factors precomputed, and conversion tables
+/// staged before any homomorphic operation runs.
+#[derive(Debug)]
+pub struct CkksContext {
+    params: CkksParams,
+    encoder: Encoder,
+    /// One NTT table per prime of the full basis.
+    table_by_prime: HashMap<u64, Arc<NttTable>>,
+    rng: Mutex<StdRng>,
+    converters: Mutex<HashMap<(Vec<u64>, Vec<u64>), Arc<BasisConverter>>>,
+}
+
+impl CkksContext {
+    /// Builds a context with OS entropy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates table construction failures (e.g. non-NTT-friendly primes).
+    pub fn new(params: CkksParams) -> Result<Self, CkksError> {
+        Self::with_seed(params, rand::random())
+    }
+
+    /// Builds a deterministic context (tests, reproducible benchmarks).
+    ///
+    /// # Errors
+    ///
+    /// Propagates table construction failures.
+    pub fn with_seed(params: CkksParams, seed: u64) -> Result<Self, CkksError> {
+        let n = params.degree();
+        let encoder = Encoder::new(n)?;
+        let full = params.full_basis_at(params.max_level());
+        let mut table_by_prime = HashMap::new();
+        for &q in &full {
+            table_by_prime.insert(q, Arc::new(NttTable::new(q, n)?));
+        }
+        Ok(Self {
+            params,
+            encoder,
+            table_by_prime,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            converters: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &CkksParams {
+        &self.params
+    }
+
+    /// The canonical-embedding encoder.
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// NTT tables for an arbitrary prime list (must all belong to the basis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a prime is unknown to this context.
+    pub fn tables_for(&self, primes: &[u64]) -> Vec<Arc<NttTable>> {
+        primes
+            .iter()
+            .map(|q| Arc::clone(&self.table_by_prime[q]))
+            .collect()
+    }
+
+    /// Cached basis converter `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bases are invalid (duplicated primes).
+    pub fn converter(&self, from: &[u64], to: &[u64]) -> Arc<BasisConverter> {
+        let key = (from.to_vec(), to.to_vec());
+        let mut cache = self.converters.lock().expect("converter cache");
+        Arc::clone(cache.entry(key).or_insert_with(|| {
+            Arc::new(
+                BasisConverter::new(
+                    RnsBasis::new(from.to_vec()).expect("valid basis"),
+                    RnsBasis::new(to.to_vec()).expect("valid basis"),
+                )
+                .expect("converter"),
+            )
+        }))
+    }
+
+    /// Runs `f` with the context RNG.
+    pub(crate) fn with_rng<T>(&self, f: impl FnOnce(&mut StdRng) -> T) -> T {
+        f(&mut self.rng.lock().expect("rng"))
+    }
+
+    // ------------------------------------------------------------------
+    // Encoding
+    // ------------------------------------------------------------------
+
+    /// Encodes real slots at the maximum level and default scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::TooManySlots`] for oversized messages.
+    pub fn encode(&self, values: &[f64]) -> Result<Plaintext, CkksError> {
+        let slots: Vec<C64> = values.iter().map(|&v| C64::new(v, 0.0)).collect();
+        self.encode_complex_at(&slots, self.params.max_level(), self.params.scale())
+    }
+
+    /// Encodes complex slots at the maximum level and default scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::TooManySlots`] for oversized messages.
+    pub fn encode_complex(&self, slots: &[C64]) -> Result<Plaintext, CkksError> {
+        self.encode_complex_at(slots, self.params.max_level(), self.params.scale())
+    }
+
+    /// Encodes complex slots at a chosen level and scale.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::TooManySlots`] or [`CkksError::BadParams`] if the
+    /// level exceeds the chain.
+    pub fn encode_complex_at(
+        &self,
+        slots: &[C64],
+        level: usize,
+        scale: f64,
+    ) -> Result<Plaintext, CkksError> {
+        if level > self.params.max_level() {
+            return Err(CkksError::BadParams(format!("level {level} beyond chain")));
+        }
+        let coeffs = self.encoder.encode(slots, scale)?;
+        let signed: Vec<i64> = coeffs.iter().map(|&c| c.round() as i64).collect();
+        let primes = self.params.q_at(level).to_vec();
+        let mut poly = RnsPoly::from_signed(&primes, &signed)?;
+        poly.ntt_forward(&self.tables_for(&primes));
+        Ok(Plaintext { poly, scale, level })
+    }
+
+    /// Decodes to real slot values (imaginary parts dropped).
+    ///
+    /// # Errors
+    ///
+    /// Propagates CRT reconstruction failures.
+    pub fn decode(&self, pt: &Plaintext) -> Result<Vec<f64>, CkksError> {
+        Ok(self.decode_complex(pt)?.into_iter().map(|c| c.re).collect())
+    }
+
+    /// Decodes to complex slot values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates CRT reconstruction failures.
+    pub fn decode_complex(&self, pt: &Plaintext) -> Result<Vec<C64>, CkksError> {
+        let mut poly = pt.poly.clone();
+        if poly.domain() == Domain::Ntt {
+            poly.ntt_inverse(&self.tables_for(&poly.primes()));
+        }
+        // Reconstruct each coefficient from a prime subset wide enough for
+        // the value (≤ 4 limbs ≈ 112 bits ≫ Δ²·message + noise).
+        let take = poly.limb_count().min(4);
+        let sub = RnsBasis::new(poly.primes()[..take].to_vec())?;
+        let n = poly.degree();
+        let mut coeffs = vec![0.0f64; n];
+        for (j, c) in coeffs.iter_mut().enumerate() {
+            let residues: Vec<u64> = (0..take).map(|i| poly.limb(i).coeffs()[j]).collect();
+            *c = sub.crt_reconstruct_centered(&residues)? as f64 / pt.scale;
+        }
+        Ok(self.encoder.decode(&coeffs))
+    }
+
+    // ------------------------------------------------------------------
+    // Keys
+    // ------------------------------------------------------------------
+
+    /// Generates secret, public and relinearization keys.
+    pub fn keygen(&self) -> KeyPair {
+        let full = self.params.full_basis_at(self.params.max_level());
+        let n = self.params.degree();
+        let mut s = self.with_rng(|r| sampling::ternary_poly(r, &full, n));
+        s.ntt_forward(&self.tables_for(&full));
+
+        let q_primes = self.params.q_chain().to_vec();
+        let s_q = restrict(&s, q_primes.len());
+        let a = {
+            let mut a = self.with_rng(|r| sampling::uniform_poly(r, &q_primes, n));
+            a.set_domain(Domain::Ntt); // uniform is uniform in either domain
+            a
+        };
+        let mut e = self.with_rng(|r| sampling::gaussian_poly(r, &q_primes, n));
+        e.ntt_forward(&self.tables_for(&q_primes));
+        let b = a
+            .pointwise(&s_q)
+            .and_then(|as_| as_.neg().add(&e))
+            .expect("key shapes agree");
+
+        let secret = SecretKey { s };
+        let s2 = secret.s.pointwise(&secret.s).expect("s^2");
+        let relin = self.gen_ksk(&s2, &secret);
+        KeyPair {
+            secret,
+            public: PublicKey { b, a },
+            relin,
+        }
+    }
+
+    /// Generates rotation keys for the given slot rotations (and, if
+    /// `with_conjugation`, the conjugation key).
+    pub fn gen_rotation_keys(
+        &self,
+        sk: &SecretKey,
+        rotations: &[isize],
+        with_conjugation: bool,
+    ) -> RotationKeys {
+        let mut keys = RotationKeys::new();
+        let mut gals: Vec<usize> = rotations
+            .iter()
+            .map(|&r| self.encoder.rotation_galois_element(r))
+            .collect();
+        if with_conjugation {
+            gals.push(self.encoder.conjugation_galois_element());
+        }
+        for g in gals {
+            if keys.get(g).is_some() {
+                continue;
+            }
+            // s′ = φ_g(s): automorphism acts in the coefficient domain.
+            let full = self.params.full_basis_at(self.params.max_level());
+            let tabs = self.tables_for(&full);
+            let mut s_coeff = sk.s.clone();
+            s_coeff.ntt_inverse(&tabs);
+            let mut s_rot = s_coeff.automorphism(g);
+            s_rot.ntt_forward(&tabs);
+            keys.insert(g, self.gen_ksk(&s_rot, sk));
+        }
+        keys
+    }
+
+    /// Generates a hybrid key-switching key encrypting s′ under s
+    /// (Han–Ki \[26\]): digit j holds b_j = −a_j·s + e_j + P·F_j·s′ over the
+    /// full basis, where F_j = Q̂_j·\[Q̂_j^{−1}\]_{Q_j}.
+    pub fn gen_ksk(&self, s_prime: &RnsPoly, sk: &SecretKey) -> KeySwitchKey {
+        let lmax = self.params.max_level();
+        let alpha = self.params.alpha();
+        let dnum = self.params.dnum_at(lmax);
+        let q_chain = self.params.q_chain();
+        let full = self.params.full_basis_at(lmax);
+        let tabs = self.tables_for(&full);
+        let n = self.params.degree();
+        let mut digits = Vec::with_capacity(dnum);
+        for j in 0..dnum {
+            let digit_primes =
+                &q_chain[j * alpha..((j + 1) * alpha).min(q_chain.len())];
+            let factors = self.ksk_factors(digit_primes, &full);
+            let a = {
+                let mut a = self.with_rng(|r| sampling::uniform_poly(r, &full, n));
+                a.set_domain(Domain::Ntt);
+                a
+            };
+            let mut e = self.with_rng(|r| sampling::gaussian_poly(r, &full, n));
+            e.ntt_forward(&tabs);
+            let b = a
+                .pointwise(&sk.s)
+                .map(|as_| as_.neg())
+                .and_then(|nas| nas.add(&e))
+                .and_then(|be| be.add(&s_prime.scale_per_limb(&factors)))
+                .expect("ksk shapes agree");
+            digits.push(crate::keys::KskDigit { b, a });
+        }
+        KeySwitchKey { digits }
+    }
+
+    /// Per-limb factors (P·F_j mod r) for digit primes over basis `full`,
+    /// exposed for sibling schemes (BGV) that build their own keys on the
+    /// same decomposition.
+    pub(crate) fn ksk_factors_public(&self, digit_primes: &[u64], full: &[u64]) -> Vec<u64> {
+        self.ksk_factors(digit_primes, full)
+    }
+
+    /// Per-limb factors (P·F_j mod r) for digit primes `d` over basis `full`.
+    fn ksk_factors(&self, digit_primes: &[u64], full: &[u64]) -> Vec<u64> {
+        let q_chain = self.params.q_chain();
+        let p_chain = self.params.p_chain();
+        // t ≡ Q̂_j^{-1} mod each digit prime.
+        let t_residues: Vec<u64> = digit_primes
+            .iter()
+            .map(|&qi| {
+                let m = wd_modmath::Modulus::new(qi);
+                let mut hat = 1u64;
+                for &qk in q_chain {
+                    if !digit_primes.contains(&qk) {
+                        hat = m.mul(hat, m.reduce(qk));
+                    }
+                }
+                m.inv(hat).expect("distinct primes")
+            })
+            .collect();
+        // Reconstruct (a representative of) t modulo every full-basis prime.
+        let conv = self.converter(digit_primes, full);
+        let mut t_full = vec![0u64; full.len()];
+        conv.convert_coeff(&t_residues, &mut t_full);
+        // F_j·P mod r = Q̂_j·t·P mod r.
+        full.iter()
+            .zip(&t_full)
+            .map(|(&r, &t)| {
+                let m = wd_modmath::Modulus::new(r);
+                let mut f = m.reduce(t);
+                for &qk in q_chain {
+                    if !digit_primes.contains(&qk) {
+                        f = m.mul(f, m.reduce(qk));
+                    }
+                }
+                for &pk in p_chain {
+                    f = m.mul(f, m.reduce(pk));
+                }
+                f
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Encryption
+    // ------------------------------------------------------------------
+
+    /// Encrypts a plaintext under the public key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkksError::Mismatch`] if the plaintext level exceeds the key
+    /// chain (cannot happen for plaintexts produced by this context).
+    pub fn encrypt(&self, pt: &Plaintext, pk: &PublicKey) -> Result<Ciphertext, CkksError> {
+        let primes = self.params.q_at(pt.level).to_vec();
+        let tabs = self.tables_for(&primes);
+        let n = self.params.degree();
+        let mut v = self.with_rng(|r| sampling::ternary_poly(r, &primes, n));
+        v.ntt_forward(&tabs);
+        let mut e0 = self.with_rng(|r| sampling::gaussian_poly(r, &primes, n));
+        e0.ntt_forward(&tabs);
+        let mut e1 = self.with_rng(|r| sampling::gaussian_poly(r, &primes, n));
+        e1.ntt_forward(&tabs);
+        let pk_b = restrict(&pk.b, primes.len());
+        let pk_a = restrict(&pk.a, primes.len());
+        let c0 = v.pointwise(&pk_b)?.add(&e0)?.add(&pt.poly)?;
+        let c1 = v.pointwise(&pk_a)?.add(&e1)?;
+        Ok(Ciphertext {
+            c0,
+            c1,
+            level: pt.level,
+            scale: pt.scale,
+        })
+    }
+
+    /// Decrypts to a plaintext (m ≈ c0 + c1·s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the secret key belongs to different parameters.
+    pub fn decrypt(&self, ct: &Ciphertext, sk: &SecretKey) -> Plaintext {
+        let s = restrict(&sk.s, ct.level + 1);
+        let poly = ct
+            .c1
+            .pointwise(&s)
+            .and_then(|cs| cs.add(&ct.c0))
+            .expect("decrypt shapes agree");
+        Plaintext {
+            poly,
+            scale: ct.scale,
+            level: ct.level,
+        }
+    }
+
+    /// Encrypts real values directly (encode + encrypt).
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding and encryption errors.
+    pub fn encrypt_values(
+        &self,
+        values: &[f64],
+        pk: &PublicKey,
+    ) -> Result<Ciphertext, CkksError> {
+        self.encrypt(&self.encode(values)?, pk)
+    }
+
+    /// Decrypts and decodes to real values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoding errors.
+    pub fn decrypt_values(
+        &self,
+        ct: &Ciphertext,
+        sk: &SecretKey,
+    ) -> Result<Vec<f64>, CkksError> {
+        self.decode(&self.decrypt(ct, sk))
+    }
+}
+
+/// First `count` limbs of an RNS polynomial, as a new polynomial.
+///
+/// # Panics
+///
+/// Panics if `count` is zero or exceeds the limb count.
+pub(crate) fn restrict(p: &RnsPoly, count: usize) -> RnsPoly {
+    assert!(count > 0 && count <= p.limb_count());
+    let limbs: Vec<Poly> = (0..count).map(|i| p.limb(i).clone()).collect();
+    RnsPoly::from_limbs(limbs, p.domain()).expect("subset of a valid poly")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamSet;
+
+    fn ctx() -> CkksContext {
+        let params = ParamSet::set_a().with_degree(1 << 6).build().unwrap();
+        CkksContext::with_seed(params, 42).unwrap()
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let ctx = ctx();
+        let vals = vec![1.0, -2.5, 3.25, 0.0, 100.0];
+        let pt = ctx.encode(&vals).unwrap();
+        let out = ctx.decode(&pt).unwrap();
+        for (a, b) in vals.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn encrypt_decrypt_round_trip() {
+        let ctx = ctx();
+        let kp = ctx.keygen();
+        let vals = vec![0.5, -1.5, 2.0, 7.0];
+        let ct = ctx.encrypt_values(&vals, &kp.public).unwrap();
+        let out = ctx.decrypt_values(&ct, &kp.secret).unwrap();
+        for (a, b) in vals.iter().zip(&out) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn fresh_ciphertext_noise_is_small() {
+        let ctx = ctx();
+        let kp = ctx.keygen();
+        let ct = ctx.encrypt_values(&[0.0; 8], &kp.public).unwrap();
+        let out = ctx.decrypt_values(&ct, &kp.secret).unwrap();
+        let max = out.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        assert!(max < 1e-3, "noise too large: {max}");
+    }
+
+    #[test]
+    fn different_seeds_give_different_ciphertexts() {
+        let params = ParamSet::set_a().with_degree(1 << 6).build().unwrap();
+        let c1 = CkksContext::with_seed(params.clone(), 1).unwrap();
+        let c2 = CkksContext::with_seed(params, 2).unwrap();
+        let k1 = c1.keygen();
+        let k2 = c2.keygen();
+        assert_ne!(k1.public.a, k2.public.a);
+    }
+
+    #[test]
+    fn encode_at_lower_level_has_fewer_limbs() {
+        let ctx = ctx();
+        let pt = ctx
+            .encode_complex_at(&[C64::new(1.0, 0.0)], 0, ctx.params().scale())
+            .unwrap();
+        assert_eq!(pt.poly.limb_count(), 1);
+        let out = ctx.decode(&pt).unwrap();
+        assert!((out[0] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn level_beyond_chain_rejected() {
+        let ctx = ctx();
+        let r = ctx.encode_complex_at(&[C64::new(1.0, 0.0)], 99, ctx.params().scale());
+        assert!(matches!(r, Err(CkksError::BadParams(_))));
+    }
+
+    #[test]
+    fn restrict_keeps_prefix() {
+        let ctx = ctx();
+        let kp = ctx.keygen();
+        let r = restrict(&kp.secret.s, 2);
+        assert_eq!(r.limb_count(), 2);
+        assert_eq!(r.limb(0), kp.secret.s.limb(0));
+    }
+
+    #[test]
+    fn decrypt_with_wrong_key_is_garbage() {
+        let ctx = ctx();
+        let kp1 = ctx.keygen();
+        let kp2 = ctx.keygen();
+        let ct = ctx.encrypt_values(&[1.0, 2.0, 3.0], &kp1.public).unwrap();
+        let out = ctx.decrypt_values(&ct, &kp2.secret).unwrap();
+        let err = (out[0] - 1.0).abs() + (out[1] - 2.0).abs();
+        assert!(err > 1.0, "wrong key should not decrypt: err = {err}");
+    }
+}

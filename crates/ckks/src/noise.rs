@@ -1,0 +1,114 @@
+//! Noise measurement utilities (debug/diagnostic — require the secret key).
+//!
+//! CKKS is approximate: every operation adds noise, and running out of
+//! noise budget silently corrupts results. These helpers make the budget
+//! visible, the way practitioners instrument FHE pipelines during
+//! parameter selection.
+
+use crate::cipher::Ciphertext;
+use crate::context::CkksContext;
+use crate::encoding::C64;
+use crate::keys::SecretKey;
+use crate::CkksError;
+
+/// Noise diagnostics for one ciphertext against its intended message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseReport {
+    /// Largest |decrypted − expected| across the used slots.
+    pub max_slot_error: f64,
+    /// log2 of the remaining headroom: how many bits separate the noise
+    /// from the message scale. Negative means the message is drowned.
+    pub budget_bits: f64,
+    /// Remaining multiplicative levels.
+    pub levels_left: usize,
+}
+
+/// Measures the slot-level noise of `ct` against `expected` (which may be
+/// shorter than the slot count; extra slots are ignored).
+///
+/// # Errors
+///
+/// Propagates decryption/decoding errors.
+pub fn measure(
+    ctx: &CkksContext,
+    ct: &Ciphertext,
+    sk: &SecretKey,
+    expected: &[f64],
+) -> Result<NoiseReport, CkksError> {
+    let slots: Vec<C64> = expected.iter().map(|&v| C64::new(v, 0.0)).collect();
+    measure_complex(ctx, ct, sk, &slots)
+}
+
+/// Complex-slot variant of [`measure`].
+///
+/// # Errors
+///
+/// Propagates decryption/decoding errors.
+pub fn measure_complex(
+    ctx: &CkksContext,
+    ct: &Ciphertext,
+    sk: &SecretKey,
+    expected: &[C64],
+) -> Result<NoiseReport, CkksError> {
+    let got = ctx.decode_complex(&ctx.decrypt(ct, sk))?;
+    let max_slot_error = expected
+        .iter()
+        .zip(&got)
+        .map(|(e, g)| (*g - *e).abs())
+        .fold(0.0f64, f64::max);
+    // Headroom: the message occupies |scale·m| of the coefficient range;
+    // the observed slot error corresponds to noise ≈ error·scale. Budget =
+    // bits between noise and the scale itself.
+    let budget_bits = if max_slot_error > 0.0 {
+        -(max_slot_error.log2())
+    } else {
+        f64::INFINITY
+    };
+    Ok(NoiseReport {
+        max_slot_error,
+        budget_bits,
+        levels_left: ct.level,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{hmult, rescale};
+    use crate::ParamSet;
+
+    #[test]
+    fn noise_grows_monotonically_through_multiplications() {
+        let params = ParamSet::set_a().with_degree(1 << 6).build().unwrap();
+        let ctx = CkksContext::with_seed(params, 5).unwrap();
+        let kp = ctx.keygen();
+        let vals = vec![1.0, -1.0, 0.5];
+        let ct = ctx.encrypt_values(&vals, &kp.public).unwrap();
+        let fresh = measure(&ctx, &ct, &kp.secret, &vals).unwrap();
+        assert!(fresh.budget_bits > 8.0, "fresh budget {}", fresh.budget_bits);
+
+        let sq = rescale(&ctx, &hmult(&ctx, &ct, &ct, &kp.relin).unwrap()).unwrap();
+        let expected: Vec<f64> = vals.iter().map(|v| v * v).collect();
+        let after = measure(&ctx, &sq, &kp.secret, &expected).unwrap();
+        assert!(after.levels_left < fresh.levels_left);
+        assert!(
+            after.max_slot_error >= fresh.max_slot_error,
+            "noise must not shrink: {} -> {}",
+            fresh.max_slot_error,
+            after.max_slot_error
+        );
+    }
+
+    #[test]
+    fn measuring_against_own_decryption_has_large_budget() {
+        let params = ParamSet::set_a().with_degree(1 << 6).build().unwrap();
+        let ctx = CkksContext::with_seed(params, 6).unwrap();
+        let kp = ctx.keygen();
+        let ct = ctx.encrypt_values(&[0.0], &kp.public).unwrap();
+        // Measure against the *decrypted* values: only the imaginary-part
+        // noise remains, so the budget is large.
+        let got = ctx.decrypt_values(&ct, &kp.secret).unwrap();
+        let rep = measure(&ctx, &ct, &kp.secret, &got).unwrap();
+        assert!(rep.budget_bits > 12.0, "budget {}", rep.budget_bits);
+    }
+}

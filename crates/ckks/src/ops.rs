@@ -1,0 +1,718 @@
+//! Homomorphic evaluation operations (paper §II-A).
+//!
+//! HADD, PMULT, HMULT (with relinearization through the hybrid keyswitch),
+//! HROTATE, conjugation, and RESCALE — including the double-prime rescaling
+//! mode of \[5\] via `rescale_by(ct, 2)`.
+
+use crate::cipher::{relative_eq, Ciphertext, Plaintext};
+use crate::context::CkksContext;
+use crate::encoding::C64;
+use crate::keys::{KeySwitchKey, RotationKeys};
+use crate::keyswitch::keyswitch;
+use crate::CkksError;
+use wd_modmath::Modulus;
+use wd_polyring::rns::RnsPoly;
+
+/// Homomorphic addition: slot-wise ct0 + ct1.
+///
+/// # Errors
+///
+/// Returns [`CkksError::Mismatch`] unless levels and scales agree (use
+/// [`align_levels`] / RESCALE first).
+pub fn hadd(ct0: &Ciphertext, ct1: &Ciphertext) -> Result<Ciphertext, CkksError> {
+    if !ct0.compatible(ct1) {
+        return Err(CkksError::Mismatch(format!(
+            "hadd: level {}/{} scale {:.3e}/{:.3e}",
+            ct0.level, ct1.level, ct0.scale, ct1.scale
+        )));
+    }
+    Ok(Ciphertext {
+        c0: ct0.c0.add(&ct1.c0)?,
+        c1: ct0.c1.add(&ct1.c1)?,
+        level: ct0.level,
+        scale: ct0.scale,
+    })
+}
+
+/// Homomorphic subtraction: slot-wise ct0 − ct1.
+///
+/// # Errors
+///
+/// Returns [`CkksError::Mismatch`] unless levels and scales agree.
+pub fn hsub(ct0: &Ciphertext, ct1: &Ciphertext) -> Result<Ciphertext, CkksError> {
+    if !ct0.compatible(ct1) {
+        return Err(CkksError::Mismatch("hsub operands".into()));
+    }
+    Ok(Ciphertext {
+        c0: ct0.c0.sub(&ct1.c0)?,
+        c1: ct0.c1.sub(&ct1.c1)?,
+        level: ct0.level,
+        scale: ct0.scale,
+    })
+}
+
+/// Negation of every slot.
+pub fn hneg(ct: &Ciphertext) -> Ciphertext {
+    Ciphertext {
+        c0: ct.c0.neg(),
+        c1: ct.c1.neg(),
+        level: ct.level,
+        scale: ct.scale,
+    }
+}
+
+/// Plaintext–ciphertext multiplication (PMULT). The result's scale is the
+/// product of scales; rescale afterwards.
+///
+/// # Errors
+///
+/// Returns [`CkksError::Mismatch`] if levels differ.
+pub fn pmult(ct: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, CkksError> {
+    if pt.level != ct.level {
+        return Err(CkksError::Mismatch(format!(
+            "pmult: plaintext level {} vs ciphertext {}",
+            pt.level, ct.level
+        )));
+    }
+    Ok(Ciphertext {
+        c0: ct.c0.pointwise(&pt.poly)?,
+        c1: ct.c1.pointwise(&pt.poly)?,
+        level: ct.level,
+        scale: ct.scale * pt.scale,
+    })
+}
+
+/// Adds an encoded plaintext (scales must match).
+///
+/// # Errors
+///
+/// Returns [`CkksError::Mismatch`] on level or scale disagreement.
+pub fn add_plain(ct: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, CkksError> {
+    if pt.level != ct.level || !relative_eq(pt.scale, ct.scale) {
+        return Err(CkksError::Mismatch("add_plain level/scale".into()));
+    }
+    Ok(Ciphertext {
+        c0: ct.c0.add(&pt.poly)?,
+        c1: ct.c1.clone(),
+        level: ct.level,
+        scale: ct.scale,
+    })
+}
+
+/// Homomorphic multiplication with relinearization (HMULT):
+/// slot-wise ct0 · ct1, keyswitching the degree-2 term back to (c0, c1).
+///
+/// # Errors
+///
+/// Returns [`CkksError::Mismatch`] on incompatible operands or key.
+pub fn hmult(
+    ctx: &CkksContext,
+    ct0: &Ciphertext,
+    ct1: &Ciphertext,
+    relin: &KeySwitchKey,
+) -> Result<Ciphertext, CkksError> {
+    if ct0.level != ct1.level {
+        return Err(CkksError::Mismatch(format!(
+            "hmult: levels {} vs {}",
+            ct0.level, ct1.level
+        )));
+    }
+    let d0 = ct0.c0.pointwise(&ct1.c0)?;
+    let d1 = ct0.c0.pointwise(&ct1.c1)?.add(&ct0.c1.pointwise(&ct1.c0)?)?;
+    let d2 = ct0.c1.pointwise(&ct1.c1)?;
+    let (ks0, ks1) = keyswitch(ctx, &d2, relin)?;
+    Ok(Ciphertext {
+        c0: d0.add(&ks0)?,
+        c1: d1.add(&ks1)?,
+        level: ct0.level,
+        scale: ct0.scale * ct1.scale,
+    })
+}
+
+/// Squares a ciphertext (saves one of HMULT's three pointwise products).
+///
+/// # Errors
+///
+/// Propagates keyswitch errors.
+pub fn hsquare(
+    ctx: &CkksContext,
+    ct: &Ciphertext,
+    relin: &KeySwitchKey,
+) -> Result<Ciphertext, CkksError> {
+    let d0 = ct.c0.pointwise(&ct.c0)?;
+    let cross = ct.c0.pointwise(&ct.c1)?;
+    let d1 = cross.add(&cross)?;
+    let d2 = ct.c1.pointwise(&ct.c1)?;
+    let (ks0, ks1) = keyswitch(ctx, &d2, relin)?;
+    Ok(Ciphertext {
+        c0: d0.add(&ks0)?,
+        c1: d1.add(&ks1)?,
+        level: ct.level,
+        scale: ct.scale * ct.scale,
+    })
+}
+
+/// RESCALE: drops the last chain prime, dividing the message scale by it.
+///
+/// # Errors
+///
+/// Returns [`CkksError::OutOfLevels`] at level 0.
+pub fn rescale(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, CkksError> {
+    rescale_by(ctx, ct, 1)
+}
+
+/// RESCALE by `k` primes at once — `k = 2` is the double-prime rescaling of
+/// \[5\] used when Δ spans two word-size primes.
+///
+/// # Errors
+///
+/// Returns [`CkksError::OutOfLevels`] if fewer than `k` levels remain.
+pub fn rescale_by(
+    ctx: &CkksContext,
+    ct: &Ciphertext,
+    k: usize,
+) -> Result<Ciphertext, CkksError> {
+    if ct.level < k {
+        return Err(CkksError::OutOfLevels);
+    }
+    let mut c0 = ct.c0.clone();
+    let mut c1 = ct.c1.clone();
+    let primes = ctx.params().q_at(ct.level).to_vec();
+    c0.ntt_inverse(&ctx.tables_for(&primes));
+    c1.ntt_inverse(&ctx.tables_for(&primes));
+    let mut scale = ct.scale;
+    for step in 0..k {
+        let dropped = primes[ct.level - step];
+        rescale_step(&mut c0, dropped);
+        rescale_step(&mut c1, dropped);
+        scale /= dropped as f64;
+    }
+    let new_primes = &primes[..=ct.level - k];
+    c0.ntt_forward(&ctx.tables_for(new_primes));
+    c1.ntt_forward(&ctx.tables_for(new_primes));
+    Ok(Ciphertext {
+        c0,
+        c1,
+        level: ct.level - k,
+        scale,
+    })
+}
+
+/// One rescaling step in the coefficient domain:
+/// c_i ← (c_i − \[v\]_{q_i}) · q_last^{-1}, where v is the centered last limb.
+fn rescale_step(p: &mut RnsPoly, dropped: u64) {
+    let last = p.limb_count() - 1;
+    assert_eq!(p.limb(last).modulus().value(), dropped);
+    let v_centered = p.limb(last).centered();
+    for i in 0..last {
+        let m = *p.limb(i).modulus();
+        let q_inv = m.inv(m.reduce(dropped)).expect("distinct primes");
+        let qi = i64::try_from(m.value()).expect("word-size modulus");
+        let limb = p.limb_mut(i);
+        for (c, &v) in limb.coeffs_mut().iter_mut().zip(&v_centered) {
+            let v_mod = (v % qi + qi) % qi;
+            *c = m.mul(m.sub(*c, v_mod as u64), q_inv);
+        }
+    }
+    p.drop_limbs(1);
+}
+
+/// Drops ciphertext limbs without changing the scale (modulus switching used
+/// to align levels before HADD/HMULT).
+///
+/// # Errors
+///
+/// Returns [`CkksError::Mismatch`] if `to_level` is above the current level.
+pub fn level_drop(ct: &Ciphertext, to_level: usize) -> Result<Ciphertext, CkksError> {
+    if to_level > ct.level {
+        return Err(CkksError::Mismatch(format!(
+            "cannot raise level {} to {}",
+            ct.level, to_level
+        )));
+    }
+    let mut c0 = ct.c0.clone();
+    let mut c1 = ct.c1.clone();
+    c0.drop_limbs(ct.level - to_level);
+    c1.drop_limbs(ct.level - to_level);
+    Ok(Ciphertext {
+        c0,
+        c1,
+        level: to_level,
+        scale: ct.scale,
+    })
+}
+
+/// Brings two ciphertexts to a common level (the lower of the two).
+///
+/// # Errors
+///
+/// Propagates [`level_drop`] errors.
+pub fn align_levels(
+    ct0: &Ciphertext,
+    ct1: &Ciphertext,
+) -> Result<(Ciphertext, Ciphertext), CkksError> {
+    let lvl = ct0.level.min(ct1.level);
+    Ok((level_drop(ct0, lvl)?, level_drop(ct1, lvl)?))
+}
+
+/// HROTATE: rotates the message slots left by `r` (paper §II-A), using the
+/// rotation key for Galois element 5^r.
+///
+/// # Errors
+///
+/// Returns [`CkksError::MissingKey`] if the rotation key is absent.
+pub fn hrotate(
+    ctx: &CkksContext,
+    ct: &Ciphertext,
+    r: isize,
+    keys: &RotationKeys,
+) -> Result<Ciphertext, CkksError> {
+    let g = ctx.encoder().rotation_galois_element(r);
+    apply_galois(ctx, ct, g, keys)
+}
+
+/// Slot-wise complex conjugation, using the conjugation key.
+///
+/// # Errors
+///
+/// Returns [`CkksError::MissingKey`] if the conjugation key is absent.
+pub fn hconjugate(
+    ctx: &CkksContext,
+    ct: &Ciphertext,
+    keys: &RotationKeys,
+) -> Result<Ciphertext, CkksError> {
+    let g = ctx.encoder().conjugation_galois_element();
+    apply_galois(ctx, ct, g, keys)
+}
+
+fn apply_galois(
+    ctx: &CkksContext,
+    ct: &Ciphertext,
+    g: usize,
+    keys: &RotationKeys,
+) -> Result<Ciphertext, CkksError> {
+    if g == 1 {
+        return Ok(ct.clone());
+    }
+    let ksk = keys
+        .get(g)
+        .ok_or_else(|| CkksError::MissingKey(format!("rotation key for g = {g}")))?;
+    let primes = ctx.params().q_at(ct.level).to_vec();
+    let tabs = ctx.tables_for(&primes);
+    // Automorphism acts on coefficients.
+    let mut c0 = ct.c0.clone();
+    let mut c1 = ct.c1.clone();
+    c0.ntt_inverse(&tabs);
+    c1.ntt_inverse(&tabs);
+    let mut c0g = c0.automorphism(g);
+    let mut c1g = c1.automorphism(g);
+    c0g.ntt_forward(&tabs);
+    c1g.ntt_forward(&tabs);
+    // Keyswitch φ(c1) from φ(s) to s.
+    let (ks0, ks1) = keyswitch(ctx, &c1g, ksk)?;
+    Ok(Ciphertext {
+        c0: c0g.add(&ks0)?,
+        c1: ks1,
+        level: ct.level,
+        scale: ct.scale,
+    })
+}
+
+/// Rotates one ciphertext by many amounts with a single shared ModUp
+/// (Halevi–Shoup hoisting): the decomposition of c1 — the expensive half of
+/// every keyswitch — is computed once and reused per rotation. Returns the
+/// rotated ciphertexts in the order of `rotations`.
+///
+/// # Errors
+///
+/// Returns [`CkksError::MissingKey`] if any rotation key is absent.
+pub fn hrotate_many(
+    ctx: &CkksContext,
+    ct: &Ciphertext,
+    rotations: &[isize],
+    keys: &RotationKeys,
+) -> Result<Vec<Ciphertext>, CkksError> {
+    use crate::keyswitch::{keyswitch_hoisted, HoistedDecomposition};
+    let primes = ctx.params().q_at(ct.level).to_vec();
+    let tabs = ctx.tables_for(&primes);
+    // c0 in coefficient form for per-rotation automorphisms.
+    let mut c0_coeff = ct.c0.clone();
+    c0_coeff.ntt_inverse(&tabs);
+    // One decomposition of c1 shared by every rotation.
+    let hoisted = HoistedDecomposition::new(ctx, &ct.c1)?;
+    let mut out = Vec::with_capacity(rotations.len());
+    for &r in rotations {
+        let g = ctx.encoder().rotation_galois_element(r);
+        if g == 1 {
+            out.push(ct.clone());
+            continue;
+        }
+        let ksk = keys
+            .get(g)
+            .ok_or_else(|| CkksError::MissingKey(format!("rotation key for g = {g}")))?;
+        let (ks0, ks1) = keyswitch_hoisted(ctx, &hoisted, g, ksk)?;
+        let mut c0g = c0_coeff.automorphism(g);
+        c0g.ntt_forward(&tabs);
+        out.push(Ciphertext {
+            c0: c0g.add(&ks0)?,
+            c1: ks1,
+            level: ct.level,
+            scale: ct.scale,
+        });
+    }
+    Ok(out)
+}
+
+/// The power-of-two rotation amounts that let [`hrotate_any`] reach every
+/// rotation of an N/2-slot ciphertext with log2(N/2) keys.
+pub fn power_of_two_rotations(slots: usize) -> Vec<isize> {
+    (0..slots.trailing_zeros())
+        .map(|b| 1isize << b)
+        .collect()
+}
+
+/// Rotates by an arbitrary amount using only power-of-two rotation keys
+/// (binary decomposition — the standard trick for bounding the rotation-key
+/// set, at the cost of up to log2(slots) keyswitches).
+///
+/// # Errors
+///
+/// Returns [`CkksError::MissingKey`] if a needed power-of-two key is absent.
+pub fn hrotate_any(
+    ctx: &CkksContext,
+    ct: &Ciphertext,
+    r: isize,
+    keys: &RotationKeys,
+) -> Result<Ciphertext, CkksError> {
+    let slots = ctx.params().slots();
+    let mut remaining = r.rem_euclid(slots as isize) as usize;
+    let mut out = ct.clone();
+    let mut bit = 0;
+    while remaining > 0 {
+        if remaining & 1 == 1 {
+            out = hrotate(ctx, &out, 1isize << bit, keys)?;
+        }
+        remaining >>= 1;
+        bit += 1;
+    }
+    Ok(out)
+}
+
+/// Multiplies every slot by a real constant by scalar-scaling the ciphertext
+/// (cheaper than PMULT; consumes scale precision, not a level).
+pub fn mult_const_int(ct: &Ciphertext, c: i64) -> Ciphertext {
+    let (mag, neg) = (c.unsigned_abs(), c < 0);
+    let scaled0 = ct.c0.scale_scalar(mag);
+    let scaled1 = ct.c1.scale_scalar(mag);
+    let (c0, c1) = if neg {
+        (scaled0.neg(), scaled1.neg())
+    } else {
+        (scaled0, scaled1)
+    };
+    Ciphertext {
+        c0,
+        c1,
+        level: ct.level,
+        scale: ct.scale,
+    }
+}
+
+/// Encodes the constant `v` in every slot at the ciphertext's level/scale
+/// and multiplies (PMULT by a broadcast constant).
+///
+/// # Errors
+///
+/// Propagates encoding errors.
+pub fn mult_const(
+    ctx: &CkksContext,
+    ct: &Ciphertext,
+    v: f64,
+) -> Result<Ciphertext, CkksError> {
+    let slots = ctx.params().slots();
+    let pt = ctx.encode_complex_at(
+        &vec![C64::new(v, 0.0); slots],
+        ct.level,
+        ctx.params().scale(),
+    )?;
+    pmult(ct, &pt)
+}
+
+/// Exact centered reduction helper exposed for workloads: `x mod q_i` of a
+/// signed value.
+pub fn signed_mod(v: i64, m: &Modulus) -> u64 {
+    let q = i64::try_from(m.value()).expect("word-size modulus");
+    ((v % q + q) % q) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamSet;
+    use crate::CkksContext;
+
+    fn setup() -> (CkksContext, crate::keys::KeyPair) {
+        let params = ParamSet::set_a().with_degree(1 << 6).build().unwrap();
+        let ctx = CkksContext::with_seed(params, 11).unwrap();
+        let kp = ctx.keygen();
+        (ctx, kp)
+    }
+
+    fn close(a: &[f64], b: &[f64], tol: f64) {
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{x} vs {y} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn hadd_adds_slots() {
+        let (ctx, kp) = setup();
+        let a = ctx.encrypt_values(&[1.0, 2.0, 3.0], &kp.public).unwrap();
+        let b = ctx.encrypt_values(&[0.5, -1.0, 4.0], &kp.public).unwrap();
+        let sum = hadd(&a, &b).unwrap();
+        let out = ctx.decrypt_values(&sum, &kp.secret).unwrap();
+        close(&out[..3], &[1.5, 1.0, 7.0], 1e-3);
+    }
+
+    #[test]
+    fn hsub_and_hneg() {
+        let (ctx, kp) = setup();
+        let a = ctx.encrypt_values(&[5.0, 1.0], &kp.public).unwrap();
+        let b = ctx.encrypt_values(&[2.0, 4.0], &kp.public).unwrap();
+        let out = ctx.decrypt_values(&hsub(&a, &b).unwrap(), &kp.secret).unwrap();
+        close(&out[..2], &[3.0, -3.0], 1e-3);
+        let out = ctx.decrypt_values(&hneg(&a), &kp.secret).unwrap();
+        close(&out[..2], &[-5.0, -1.0], 1e-3);
+    }
+
+    #[test]
+    fn pmult_then_rescale() {
+        let (ctx, kp) = setup();
+        let ct = ctx.encrypt_values(&[1.5, -2.0, 0.25], &kp.public).unwrap();
+        let pt = ctx.encode(&[2.0, 3.0, 4.0]).unwrap();
+        let prod = pmult(&ct, &pt).unwrap();
+        assert!(prod.scale > ct.scale * 1e7, "scale must grow to Δ²");
+        let rs = rescale(&ctx, &prod).unwrap();
+        assert_eq!(rs.level, ct.level - 1);
+        let out = ctx.decrypt_values(&rs, &kp.secret).unwrap();
+        close(&out[..3], &[3.0, -6.0, 1.0], 1e-2);
+    }
+
+    #[test]
+    fn hmult_multiplies_slots() {
+        let (ctx, kp) = setup();
+        let a = ctx.encrypt_values(&[2.0, -3.0, 0.5], &kp.public).unwrap();
+        let b = ctx.encrypt_values(&[4.0, 2.0, 8.0], &kp.public).unwrap();
+        let prod = hmult(&ctx, &a, &b, &kp.relin).unwrap();
+        let rs = rescale(&ctx, &prod).unwrap();
+        let out = ctx.decrypt_values(&rs, &kp.secret).unwrap();
+        close(&out[..3], &[8.0, -6.0, 4.0], 5e-2);
+    }
+
+    #[test]
+    fn hsquare_matches_hmult_self() {
+        let (ctx, kp) = setup();
+        let a = ctx.encrypt_values(&[3.0, -1.5], &kp.public).unwrap();
+        let sq = rescale(&ctx, &hsquare(&ctx, &a, &kp.relin).unwrap()).unwrap();
+        let out = ctx.decrypt_values(&sq, &kp.secret).unwrap();
+        close(&out[..2], &[9.0, 2.25], 5e-2);
+    }
+
+    #[test]
+    fn two_chained_multiplications() {
+        let (ctx, kp) = setup();
+        let a = ctx.encrypt_values(&[1.1, 2.0], &kp.public).unwrap();
+        let b = ctx.encrypt_values(&[3.0, 0.5], &kp.public).unwrap();
+        let ab = rescale(&ctx, &hmult(&ctx, &a, &b, &kp.relin).unwrap()).unwrap();
+        let (ab2, a2) = align_levels(&ab, &a).unwrap();
+        let prod = rescale(&ctx, &hmult(&ctx, &ab2, &a2, &kp.relin).unwrap()).unwrap();
+        let out = ctx.decrypt_values(&prod, &kp.secret).unwrap();
+        close(&out[..2], &[1.1 * 3.0 * 1.1, 2.0 * 0.5 * 2.0], 0.1);
+    }
+
+    #[test]
+    fn rescale_out_of_levels_errors() {
+        let (ctx, kp) = setup();
+        let ct = ctx.encrypt_values(&[1.0], &kp.public).unwrap();
+        let l0 = level_drop(&ct, 0).unwrap();
+        assert!(matches!(rescale(&ctx, &l0), Err(CkksError::OutOfLevels)));
+    }
+
+    #[test]
+    fn double_prime_rescale_drops_two_levels() {
+        let (ctx, kp) = setup();
+        let ct = ctx.encrypt_values(&[1.0, -1.0], &kp.public).unwrap();
+        // Lift scale to Δ³ via two plaintext multiplications, then drop two
+        // primes at once (the [5] double-prime mode).
+        let pt = ctx.encode(&[2.0, 2.0]).unwrap();
+        let prod = pmult(&pmult(&ct, &pt).unwrap(), &pt).unwrap();
+        let rs = rescale_by(&ctx, &prod, 2).unwrap();
+        assert_eq!(rs.level, ct.level - 2);
+        let out = ctx.decrypt_values(&rs, &kp.secret).unwrap();
+        close(&out[..2], &[4.0, -4.0], 5e-2);
+    }
+
+    #[test]
+    fn double_prime_mode_gains_precision() {
+        // The [5] high-precision mode: Δ spans two chain primes (2^48 over
+        // two ~26-bit primes), rescaling drops both. Multiplication error
+        // should be orders of magnitude below the single-prime mode's.
+        let params = ParamSet::set_a()
+            .with_degree(1 << 6)
+            .with_level(5)
+            .build()
+            .unwrap();
+        let ctx = CkksContext::with_seed(params, 90210).unwrap();
+        let kp = ctx.keygen();
+        let vals = vec![0.7391, -0.2468, 0.9999];
+        let slots: Vec<crate::encoding::C64> =
+            vals.iter().map(|&v| crate::encoding::C64::new(v, 0.0)).collect();
+        let big = (1u64 << 48) as f64;
+        let run = |scale: f64, drops: usize| -> f64 {
+            let pt = ctx
+                .encode_complex_at(&slots, ctx.params().max_level(), scale)
+                .unwrap();
+            let ct = ctx.encrypt(&pt, &kp.public).unwrap();
+            let prod = hmult(&ctx, &ct, &ct, &kp.relin).unwrap();
+            let rs = rescale_by(&ctx, &prod, drops).unwrap();
+            let dec = ctx.decrypt_values(&rs, &kp.secret).unwrap();
+            vals.iter()
+                .zip(&dec)
+                .map(|(v, d)| (v * v - d).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let hp_err = run(big, 2);
+        let sp_err = run(ctx.params().scale(), 1);
+        assert!(hp_err < 1e-4, "high-precision error {hp_err}");
+        assert!(
+            hp_err < sp_err / 8.0,
+            "double-prime ({hp_err:.2e}) must beat single-prime ({sp_err:.2e})"
+        );
+    }
+
+    #[test]
+    fn hrotate_rotates_slots() {
+        let (ctx, kp) = setup();
+        let slots = ctx.params().slots();
+        let vals: Vec<f64> = (0..slots).map(|i| i as f64).collect();
+        let ct = ctx.encrypt_values(&vals, &kp.public).unwrap();
+        let rot_keys = ctx.gen_rotation_keys(&kp.secret, &[1, 5], false);
+        for r in [1usize, 5] {
+            let rotated = hrotate(&ctx, &ct, r as isize, &rot_keys).unwrap();
+            let out = ctx.decrypt_values(&rotated, &kp.secret).unwrap();
+            let expect: Vec<f64> = (0..slots).map(|i| ((i + r) % slots) as f64).collect();
+            close(&out, &expect, 5e-2);
+        }
+    }
+
+    #[test]
+    fn rotate_missing_key_errors() {
+        let (ctx, kp) = setup();
+        let ct = ctx.encrypt_values(&[1.0], &kp.public).unwrap();
+        let keys = RotationKeys::new();
+        assert!(matches!(
+            hrotate(&ctx, &ct, 3, &keys),
+            Err(CkksError::MissingKey(_))
+        ));
+    }
+
+    #[test]
+    fn hconjugate_conjugates() {
+        let (ctx, kp) = setup();
+        let slots: Vec<crate::encoding::C64> = (0..4)
+            .map(|i| crate::encoding::C64::new(i as f64, 1.0 + i as f64))
+            .collect();
+        let pt = ctx.encode_complex(&slots).unwrap();
+        let ct = ctx.encrypt(&pt, &kp.public).unwrap();
+        let keys = ctx.gen_rotation_keys(&kp.secret, &[], true);
+        let conj = hconjugate(&ctx, &ct, &keys).unwrap();
+        let out = ctx.decode_complex(&ctx.decrypt(&conj, &kp.secret)).unwrap();
+        for (i, s) in slots.iter().enumerate() {
+            assert!((out[i].re - s.re).abs() < 5e-2);
+            assert!((out[i].im + s.im).abs() < 5e-2);
+        }
+    }
+
+    #[test]
+    fn mult_const_int_scales_slots() {
+        let (ctx, kp) = setup();
+        let ct = ctx.encrypt_values(&[1.0, -2.0], &kp.public).unwrap();
+        let out = ctx
+            .decrypt_values(&mult_const_int(&ct, -3), &kp.secret)
+            .unwrap();
+        close(&out[..2], &[-3.0, 6.0], 1e-2);
+    }
+
+    #[test]
+    fn mult_const_broadcasts() {
+        let (ctx, kp) = setup();
+        let ct = ctx.encrypt_values(&[1.0, 2.0], &kp.public).unwrap();
+        let half = rescale(&ctx, &mult_const(&ctx, &ct, 0.5).unwrap()).unwrap();
+        let out = ctx.decrypt_values(&half, &kp.secret).unwrap();
+        close(&out[..2], &[0.5, 1.0], 1e-2);
+    }
+
+    #[test]
+    fn rotate_any_with_pow2_keys_only() {
+        let (ctx, kp) = setup();
+        let slots = ctx.params().slots();
+        let keys = ctx.gen_rotation_keys(&kp.secret, &power_of_two_rotations(slots), false);
+        let vals: Vec<f64> = (0..slots).map(|i| (i * i % 13) as f64).collect();
+        let ct = ctx.encrypt_values(&vals, &kp.public).unwrap();
+        for r in [0isize, 3, 5, slots as isize - 1] {
+            let rotated = hrotate_any(&ctx, &ct, r, &keys).unwrap();
+            let dec = ctx.decrypt_values(&rotated, &kp.secret).unwrap();
+            let expect: Vec<f64> = (0..slots)
+                .map(|i| vals[(i + r as usize) % slots])
+                .collect();
+            close(&dec, &expect, 0.1);
+        }
+    }
+
+    #[test]
+    fn hoisted_rotations_match_individual_rotations() {
+        let (ctx, kp) = setup();
+        let slots = ctx.params().slots();
+        let vals: Vec<f64> = (0..slots).map(|i| (i as f64) * 0.5 - 3.0).collect();
+        let ct = ctx.encrypt_values(&vals, &kp.public).unwrap();
+        let rotations = [0isize, 1, 3, 7];
+        let keys = ctx.gen_rotation_keys(&kp.secret, &rotations, false);
+        let hoisted = hrotate_many(&ctx, &ct, &rotations, &keys).unwrap();
+        assert_eq!(hoisted.len(), rotations.len());
+        for (r, h) in rotations.iter().zip(&hoisted) {
+            let individual = hrotate(&ctx, &ct, *r, &keys).unwrap();
+            let a = ctx.decrypt_values(h, &kp.secret).unwrap();
+            let b = ctx.decrypt_values(&individual, &kp.secret).unwrap();
+            close(&a, &b, 5e-2);
+            // And both equal the plaintext rotation.
+            let expect: Vec<f64> = (0..slots)
+                .map(|i| vals[(i + r.rem_euclid(slots as isize) as usize) % slots])
+                .collect();
+            close(&a, &expect, 5e-2);
+        }
+    }
+
+    #[test]
+    fn hoisted_rotation_missing_key_errors() {
+        let (ctx, kp) = setup();
+        let ct = ctx.encrypt_values(&[1.0], &kp.public).unwrap();
+        let keys = ctx.gen_rotation_keys(&kp.secret, &[1], false);
+        assert!(matches!(
+            hrotate_many(&ctx, &ct, &[1, 2], &keys),
+            Err(CkksError::MissingKey(_))
+        ));
+    }
+
+    #[test]
+    fn rotation_composition() {
+        let (ctx, kp) = setup();
+        let slots = ctx.params().slots();
+        let vals: Vec<f64> = (0..slots).map(|i| (i * i % 7) as f64).collect();
+        let ct = ctx.encrypt_values(&vals, &kp.public).unwrap();
+        let keys = ctx.gen_rotation_keys(&kp.secret, &[1, 2, 3], false);
+        let r12 = hrotate(&ctx, &hrotate(&ctx, &ct, 1, &keys).unwrap(), 2, &keys).unwrap();
+        let r3 = hrotate(&ctx, &ct, 3, &keys).unwrap();
+        let a = ctx.decrypt_values(&r12, &kp.secret).unwrap();
+        let b = ctx.decrypt_values(&r3, &kp.secret).unwrap();
+        close(&a, &b, 1e-1);
+    }
+}

@@ -1,0 +1,388 @@
+//! Compact binary serialization for ciphertexts and plaintexts.
+//!
+//! FHE's deployment story is "ship ciphertexts to an untrusted server", so a
+//! wire format is part of the library surface. Coefficients are packed as
+//! **u32** — the paper's 32-bit word size (and the compact layout Cheddar
+//! \[32\] credits for part of its performance) — so a ciphertext costs
+//! `2 · (ℓ+1) · N · 4` bytes on the wire, half of a u64 layout.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic "WDR1" | kind u8 | level u32 | scale f64 | limbs u32 | degree u32
+//! then per limb: q u64 | degree × u32 coefficients        (component c0)
+//! then component c1 (ciphertexts only)
+//! ```
+
+use crate::cipher::{Ciphertext, Plaintext};
+use crate::CkksError;
+use wd_polyring::rns::{Domain, RnsPoly};
+use wd_polyring::Poly;
+
+const MAGIC: &[u8; 4] = b"WDR1";
+const KIND_CIPHERTEXT: u8 = 1;
+const KIND_PLAINTEXT: u8 = 2;
+const KIND_SECRET_KEY: u8 = 3;
+const KIND_PUBLIC_KEY: u8 = 4;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CkksError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| CkksError::Math("truncated wire data".into()))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CkksError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CkksError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, CkksError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, CkksError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+fn write_poly(out: &mut Vec<u8>, p: &RnsPoly) {
+    for i in 0..p.limb_count() {
+        let limb = p.limb(i);
+        put_u64(out, limb.modulus().value());
+        for &c in limb.coeffs() {
+            debug_assert!(c < (1 << 32), "word-size coefficient");
+            put_u32(out, c as u32);
+        }
+    }
+}
+
+fn read_poly(
+    r: &mut Reader<'_>,
+    limbs: usize,
+    degree: usize,
+    domain: Domain,
+) -> Result<RnsPoly, CkksError> {
+    let mut polys = Vec::with_capacity(limbs);
+    for _ in 0..limbs {
+        let q = r.u64()?;
+        let mut coeffs = Vec::with_capacity(degree);
+        for _ in 0..degree {
+            let c = u64::from(r.u32()?);
+            if c >= q {
+                return Err(CkksError::Math(format!(
+                    "wire coefficient {c} out of range for modulus {q}"
+                )));
+            }
+            coeffs.push(c);
+        }
+        polys.push(Poly::from_coeffs(q, coeffs)?);
+    }
+    RnsPoly::from_limbs(polys, domain).map_err(Into::into)
+}
+
+/// Serializes a ciphertext (NTT domain assumed, as produced by this crate).
+pub fn ciphertext_to_bytes(ct: &Ciphertext) -> Vec<u8> {
+    let limbs = ct.c0.limb_count();
+    let degree = ct.degree();
+    let mut out = Vec::with_capacity(16 + 2 * limbs * (8 + degree * 4));
+    out.extend_from_slice(MAGIC);
+    out.push(KIND_CIPHERTEXT);
+    put_u32(&mut out, ct.level as u32);
+    put_u64(&mut out, ct.scale.to_bits());
+    put_u32(&mut out, limbs as u32);
+    put_u32(&mut out, degree as u32);
+    write_poly(&mut out, &ct.c0);
+    write_poly(&mut out, &ct.c1);
+    out
+}
+
+/// Deserializes a ciphertext.
+///
+/// # Errors
+///
+/// Returns [`CkksError::Math`] on truncation, bad magic, wrong kind, or
+/// out-of-range coefficients (every coefficient is validated against its
+/// limb modulus).
+pub fn ciphertext_from_bytes(buf: &[u8]) -> Result<Ciphertext, CkksError> {
+    let mut r = Reader { buf, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(CkksError::Math("bad wire magic".into()));
+    }
+    if r.u8()? != KIND_CIPHERTEXT {
+        return Err(CkksError::Math("not a ciphertext".into()));
+    }
+    let level = r.u32()? as usize;
+    let scale = r.f64()?;
+    if !scale.is_finite() || scale <= 0.0 {
+        return Err(CkksError::Math("invalid scale on wire".into()));
+    }
+    let limbs = r.u32()? as usize;
+    let degree = r.u32()? as usize;
+    if limbs == 0 || limbs != level + 1 || !degree.is_power_of_two() || degree < 4 {
+        return Err(CkksError::Math("inconsistent wire header".into()));
+    }
+    let c0 = read_poly(&mut r, limbs, degree, Domain::Ntt)?;
+    let c1 = read_poly(&mut r, limbs, degree, Domain::Ntt)?;
+    if r.pos != buf.len() {
+        return Err(CkksError::Math("trailing wire bytes".into()));
+    }
+    Ok(Ciphertext {
+        c0,
+        c1,
+        level,
+        scale,
+    })
+}
+
+/// Serializes a plaintext.
+pub fn plaintext_to_bytes(pt: &Plaintext) -> Vec<u8> {
+    let limbs = pt.poly.limb_count();
+    let degree = pt.poly.degree();
+    let mut out = Vec::with_capacity(16 + limbs * (8 + degree * 4));
+    out.extend_from_slice(MAGIC);
+    out.push(KIND_PLAINTEXT);
+    put_u32(&mut out, pt.level as u32);
+    put_u64(&mut out, pt.scale.to_bits());
+    put_u32(&mut out, limbs as u32);
+    put_u32(&mut out, degree as u32);
+    write_poly(&mut out, &pt.poly);
+    out
+}
+
+/// Deserializes a plaintext.
+///
+/// # Errors
+///
+/// Same validation as [`ciphertext_from_bytes`].
+pub fn plaintext_from_bytes(buf: &[u8]) -> Result<Plaintext, CkksError> {
+    let mut r = Reader { buf, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(CkksError::Math("bad wire magic".into()));
+    }
+    if r.u8()? != KIND_PLAINTEXT {
+        return Err(CkksError::Math("not a plaintext".into()));
+    }
+    let level = r.u32()? as usize;
+    let scale = r.f64()?;
+    let limbs = r.u32()? as usize;
+    let degree = r.u32()? as usize;
+    if limbs == 0 || !degree.is_power_of_two() || degree < 4 {
+        return Err(CkksError::Math("inconsistent wire header".into()));
+    }
+    let poly = read_poly(&mut r, limbs, degree, Domain::Ntt)?;
+    if r.pos != buf.len() {
+        return Err(CkksError::Math("trailing wire bytes".into()));
+    }
+    Ok(Plaintext { poly, scale, level })
+}
+
+/// Serializes a secret key (handle with care: possession decrypts).
+pub fn secret_key_to_bytes(sk: &crate::keys::SecretKey) -> Vec<u8> {
+    let limbs = sk.s.limb_count();
+    let degree = sk.s.degree();
+    let mut out = Vec::with_capacity(16 + limbs * (8 + degree * 4));
+    out.extend_from_slice(MAGIC);
+    out.push(KIND_SECRET_KEY);
+    put_u32(&mut out, 0);
+    put_u64(&mut out, 0);
+    put_u32(&mut out, limbs as u32);
+    put_u32(&mut out, degree as u32);
+    write_poly(&mut out, &sk.s);
+    out
+}
+
+/// Deserializes a secret key.
+///
+/// # Errors
+///
+/// Same validation as [`ciphertext_from_bytes`].
+pub fn secret_key_from_bytes(buf: &[u8]) -> Result<crate::keys::SecretKey, CkksError> {
+    let mut r = Reader { buf, pos: 0 };
+    if r.take(4)? != MAGIC || r.u8()? != KIND_SECRET_KEY {
+        return Err(CkksError::Math("not a secret key".into()));
+    }
+    let _ = r.u32()?;
+    let _ = r.u64()?;
+    let limbs = r.u32()? as usize;
+    let degree = r.u32()? as usize;
+    if limbs == 0 || !degree.is_power_of_two() || degree < 4 {
+        return Err(CkksError::Math("inconsistent wire header".into()));
+    }
+    let s = read_poly(&mut r, limbs, degree, Domain::Ntt)?;
+    if r.pos != buf.len() {
+        return Err(CkksError::Math("trailing wire bytes".into()));
+    }
+    Ok(crate::keys::SecretKey { s })
+}
+
+/// Serializes a public key.
+pub fn public_key_to_bytes(pk: &crate::keys::PublicKey) -> Vec<u8> {
+    let limbs = pk.b.limb_count();
+    let degree = pk.b.degree();
+    let mut out = Vec::with_capacity(16 + 2 * limbs * (8 + degree * 4));
+    out.extend_from_slice(MAGIC);
+    out.push(KIND_PUBLIC_KEY);
+    put_u32(&mut out, 0);
+    put_u64(&mut out, 0);
+    put_u32(&mut out, limbs as u32);
+    put_u32(&mut out, degree as u32);
+    write_poly(&mut out, &pk.b);
+    write_poly(&mut out, &pk.a);
+    out
+}
+
+/// Deserializes a public key.
+///
+/// # Errors
+///
+/// Same validation as [`ciphertext_from_bytes`].
+pub fn public_key_from_bytes(buf: &[u8]) -> Result<crate::keys::PublicKey, CkksError> {
+    let mut r = Reader { buf, pos: 0 };
+    if r.take(4)? != MAGIC || r.u8()? != KIND_PUBLIC_KEY {
+        return Err(CkksError::Math("not a public key".into()));
+    }
+    let _ = r.u32()?;
+    let _ = r.u64()?;
+    let limbs = r.u32()? as usize;
+    let degree = r.u32()? as usize;
+    if limbs == 0 || !degree.is_power_of_two() || degree < 4 {
+        return Err(CkksError::Math("inconsistent wire header".into()));
+    }
+    let b = read_poly(&mut r, limbs, degree, Domain::Ntt)?;
+    let a = read_poly(&mut r, limbs, degree, Domain::Ntt)?;
+    if r.pos != buf.len() {
+        return Err(CkksError::Math("trailing wire bytes".into()));
+    }
+    Ok(crate::keys::PublicKey { b, a })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CkksContext, ParamSet};
+
+    fn ctx() -> (CkksContext, crate::keys::KeyPair) {
+        let params = ParamSet::set_a().with_degree(1 << 6).build().unwrap();
+        let ctx = CkksContext::with_seed(params, 77).unwrap();
+        let kp = ctx.keygen();
+        (ctx, kp)
+    }
+
+    #[test]
+    fn ciphertext_round_trip_preserves_decryption() {
+        let (ctx, kp) = ctx();
+        let vals = vec![1.25, -3.5, 0.0, 42.0];
+        let ct = ctx.encrypt_values(&vals, &kp.public).unwrap();
+        let bytes = ciphertext_to_bytes(&ct);
+        let back = ciphertext_from_bytes(&bytes).unwrap();
+        assert_eq!(back, ct);
+        let dec = ctx.decrypt_values(&back, &kp.secret).unwrap();
+        for (a, b) in vals.iter().zip(&dec) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn wire_size_is_u32_per_coefficient() {
+        let (ctx, kp) = ctx();
+        let ct = ctx.encrypt_values(&[1.0], &kp.public).unwrap();
+        let bytes = ciphertext_to_bytes(&ct);
+        let limbs = ct.c0.limb_count();
+        let n = ct.degree();
+        let expect = 4 + 1 + 4 + 8 + 4 + 4 + 2 * limbs * (8 + n * 4);
+        assert_eq!(bytes.len(), expect);
+        // Half of a 64-bit-word layout, as the 32-bit word size promises.
+        assert!(bytes.len() < 2 * limbs * n * 8);
+    }
+
+    #[test]
+    fn plaintext_round_trip() {
+        let (ctx, _) = ctx();
+        let pt = ctx.encode(&[0.5, 0.25]).unwrap();
+        let back = plaintext_from_bytes(&plaintext_to_bytes(&pt)).unwrap();
+        assert_eq!(back, pt);
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let (ctx, kp) = ctx();
+        let ct = ctx.encrypt_values(&[1.0], &kp.public).unwrap();
+        let good = ciphertext_to_bytes(&ct);
+
+        // Truncated.
+        assert!(ciphertext_from_bytes(&good[..good.len() - 1]).is_err());
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        assert!(ciphertext_from_bytes(&bad).is_err());
+        // Wrong kind.
+        let pt = ctx.encode(&[1.0]).unwrap();
+        assert!(ciphertext_from_bytes(&plaintext_to_bytes(&pt)).is_err());
+        // Trailing garbage.
+        let mut long = good.clone();
+        long.push(0);
+        assert!(ciphertext_from_bytes(&long).is_err());
+        // Out-of-range coefficient: set a coefficient to u32::MAX (all our
+        // moduli are < 2^31, so this must be rejected).
+        let mut oob = good;
+        let coeff_off = 4 + 1 + 4 + 8 + 4 + 4 + 8; // first coefficient of limb 0
+        oob[coeff_off..coeff_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(ciphertext_from_bytes(&oob).is_err());
+    }
+
+    #[test]
+    fn key_round_trips_stay_functional() {
+        let (ctx, kp) = ctx();
+        let sk2 = secret_key_from_bytes(&secret_key_to_bytes(&kp.secret)).unwrap();
+        let pk2 = public_key_from_bytes(&public_key_to_bytes(&kp.public)).unwrap();
+        assert_eq!(sk2, kp.secret);
+        assert_eq!(pk2, kp.public);
+        // Encrypt with the deserialized public key; decrypt with the
+        // deserialized secret key.
+        let ct = ctx.encrypt(&ctx.encode(&[4.5]).unwrap(), &pk2).unwrap();
+        let dec = ctx.decrypt_values(&ct, &sk2).unwrap();
+        assert!((dec[0] - 4.5).abs() < 1e-2);
+    }
+
+    #[test]
+    fn key_kinds_are_not_interchangeable() {
+        let (_, kp) = ctx();
+        let sk_bytes = secret_key_to_bytes(&kp.secret);
+        assert!(public_key_from_bytes(&sk_bytes).is_err());
+        assert!(ciphertext_from_bytes(&sk_bytes).is_err());
+    }
+
+    #[test]
+    fn computation_on_deserialized_ciphertexts() {
+        let (ctx, kp) = ctx();
+        let a = ctx.encrypt_values(&[2.0, 3.0], &kp.public).unwrap();
+        let b = ctx.encrypt_values(&[5.0, -1.0], &kp.public).unwrap();
+        let a2 = ciphertext_from_bytes(&ciphertext_to_bytes(&a)).unwrap();
+        let b2 = ciphertext_from_bytes(&ciphertext_to_bytes(&b)).unwrap();
+        let sum = crate::ops::hadd(&a2, &b2).unwrap();
+        let dec = ctx.decrypt_values(&sum, &kp.secret).unwrap();
+        assert!((dec[0] - 7.0).abs() < 1e-2 && (dec[1] - 2.0).abs() < 1e-2);
+    }
+}

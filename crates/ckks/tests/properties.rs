@@ -1,0 +1,140 @@
+//! Property-based tests for the CKKS scheme: homomorphic operations must
+//! commute with plaintext arithmetic for *random* inputs, not just the
+//! hand-picked vectors of the unit tests.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use wd_ckks::ops::{hadd, hmult, hsub, pmult, rescale};
+use wd_ckks::{CkksContext, KeyPair, ParamSet};
+
+/// Context + keys are expensive; share one across all cases.
+fn shared() -> &'static (CkksContext, KeyPair) {
+    static CELL: OnceLock<(CkksContext, KeyPair)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let params = ParamSet::set_a().with_degree(1 << 6).build().unwrap();
+        let ctx = CkksContext::with_seed(params, 0xFEED).unwrap();
+        let kp = ctx.keygen();
+        (ctx, kp)
+    })
+}
+
+fn vec_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-8.0..8.0f64, 1..=16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_encrypt_decrypt_round_trip(vals in vec_strategy()) {
+        let (ctx, kp) = shared();
+        let ct = ctx.encrypt_values(&vals, &kp.public).unwrap();
+        let dec = ctx.decrypt_values(&ct, &kp.secret).unwrap();
+        for (a, b) in vals.iter().zip(&dec) {
+            prop_assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn prop_hadd_commutes_with_plain_addition(a in vec_strategy(), b in vec_strategy()) {
+        let (ctx, kp) = shared();
+        let n = a.len().min(b.len());
+        let ca = ctx.encrypt_values(&a[..n], &kp.public).unwrap();
+        let cb = ctx.encrypt_values(&b[..n], &kp.public).unwrap();
+        let dec = ctx.decrypt_values(&hadd(&ca, &cb).unwrap(), &kp.secret).unwrap();
+        for i in 0..n {
+            prop_assert!((dec[i] - (a[i] + b[i])).abs() < 2e-2);
+        }
+    }
+
+    #[test]
+    fn prop_hsub_is_inverse_of_hadd(a in vec_strategy(), b in vec_strategy()) {
+        let (ctx, kp) = shared();
+        let n = a.len().min(b.len());
+        let ca = ctx.encrypt_values(&a[..n], &kp.public).unwrap();
+        let cb = ctx.encrypt_values(&b[..n], &kp.public).unwrap();
+        let back = hsub(&hadd(&ca, &cb).unwrap(), &cb).unwrap();
+        let dec = ctx.decrypt_values(&back, &kp.secret).unwrap();
+        for i in 0..n {
+            prop_assert!((dec[i] - a[i]).abs() < 3e-2);
+        }
+    }
+
+    #[test]
+    fn prop_hmult_commutes_with_plain_multiplication(a in vec_strategy(), b in vec_strategy()) {
+        let (ctx, kp) = shared();
+        let n = a.len().min(b.len());
+        let ca = ctx.encrypt_values(&a[..n], &kp.public).unwrap();
+        let cb = ctx.encrypt_values(&b[..n], &kp.public).unwrap();
+        let prod = rescale(ctx, &hmult(ctx, &ca, &cb, &kp.relin).unwrap()).unwrap();
+        let dec = ctx.decrypt_values(&prod, &kp.secret).unwrap();
+        for i in 0..n {
+            prop_assert!(
+                (dec[i] - a[i] * b[i]).abs() < 0.15,
+                "slot {i}: {} vs {}", dec[i], a[i] * b[i]
+            );
+        }
+    }
+
+    #[test]
+    fn prop_pmult_matches_slotwise_product(a in vec_strategy(), b in vec_strategy()) {
+        let (ctx, kp) = shared();
+        let n = a.len().min(b.len());
+        let ct = ctx.encrypt_values(&a[..n], &kp.public).unwrap();
+        let pt = ctx.encode(&b[..n]).unwrap();
+        let prod = rescale(ctx, &pmult(&ct, &pt).unwrap()).unwrap();
+        let dec = ctx.decrypt_values(&prod, &kp.secret).unwrap();
+        for i in 0..n {
+            prop_assert!((dec[i] - a[i] * b[i]).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn prop_wire_round_trip_is_lossless(vals in vec_strategy()) {
+        let (ctx, kp) = shared();
+        let ct = ctx.encrypt_values(&vals, &kp.public).unwrap();
+        let back = wd_ckks::wire::ciphertext_from_bytes(
+            &wd_ckks::wire::ciphertext_to_bytes(&ct),
+        ).unwrap();
+        prop_assert_eq!(back, ct);
+    }
+
+    #[test]
+    fn prop_homomorphism_is_linear(a in vec_strategy(), k in -4.0..4.0f64) {
+        // Enc(a)·k + Enc(a) ≈ Enc(a·(k+1)) via mult_const_int on integer k.
+        let (ctx, kp) = shared();
+        let ki = k.round() as i64;
+        let ct = ctx.encrypt_values(&a, &kp.public).unwrap();
+        let scaled = wd_ckks::ops::mult_const_int(&ct, ki);
+        let sum = hadd(&scaled, &ct).unwrap();
+        let dec = ctx.decrypt_values(&sum, &kp.secret).unwrap();
+        for (i, v) in a.iter().enumerate() {
+            let expect = v * (ki as f64 + 1.0);
+            prop_assert!((dec[i] - expect).abs() < 0.05, "{} vs {expect}", dec[i]);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn prop_bgv_is_exact_on_random_integers(seed in any::<u64>()) {
+        use wd_ckks::bgv::BgvContext;
+        let params = ParamSet::set_a().with_degree(1 << 5).with_level(4).build().unwrap();
+        let inner = CkksContext::with_seed(params, seed).unwrap();
+        let ctx = BgvContext::new(inner, 16).unwrap();
+        let kp = ctx.keygen();
+        let t = ctx.plaintext_modulus();
+        let a: Vec<u64> = (0..ctx.slots() as u64).map(|i| (seed ^ (i * 7919)) % t).collect();
+        let b: Vec<u64> = (0..ctx.slots() as u64).map(|i| (seed.rotate_left(13) ^ i) % t).collect();
+        let ca = ctx.encrypt(&ctx.encode(&a).unwrap(), &kp).unwrap();
+        let cb = ctx.encrypt(&ctx.encode(&b).unwrap(), &kp).unwrap();
+        let prod = ctx.hmult(&ca, &cb, &kp).unwrap();
+        let dec = ctx.decode(&ctx.decrypt(&prod, &kp.secret).unwrap());
+        let m = wd_modmath::Modulus::new(t);
+        for i in 0..ctx.slots() {
+            prop_assert_eq!(dec[i], m.mul(m.reduce(a[i]), m.reduce(b[i])));
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Automatic kernel/thread configuration (paper §IV-D-2).
+
+use serde::{Deserialize, Serialize};
+use wd_gpu_sim::GpuSpec;
+
+/// Framework-level launch configuration, derived from the GPU and the
+/// encryption parameters exactly as §IV-D-2 prescribes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameworkConfig {
+    /// Threads per block T = C · W · 32.
+    pub threads_per_block: u32,
+    /// Warps allocated per SP (the paper's W, default 2).
+    pub warps_per_sp: u32,
+    /// Coefficients handled per thread in NTT kernels (N_t = 8, the tensor
+    /// core processing scale).
+    pub ntt_coeffs_per_thread: u32,
+    /// Coefficients per thread in element-wise kernels (N_t = 1).
+    pub elementwise_coeffs_per_thread: u32,
+    /// Fraction of inner-NTT groups routed to tensor-core warps in fused
+    /// variants (§IV-D-3 warp balancing; the remainder goes to CUDA cores).
+    pub tensor_share: f64,
+}
+
+impl FrameworkConfig {
+    /// Derives the default configuration for a device: T = C·W·32 with
+    /// W = 2, giving 256 threads on A100-class parts — the Fig. 7 optimum.
+    pub fn auto(spec: &GpuSpec) -> Self {
+        let threads = spec.sp_per_sm * 2 * 32;
+        Self {
+            threads_per_block: threads,
+            warps_per_sp: 2,
+            ntt_coeffs_per_thread: 8,
+            elementwise_coeffs_per_thread: 1,
+            tensor_share: crate::fuse::default_tensor_share(spec),
+        }
+    }
+
+    /// Overrides the block size (used by the Fig. 7 sensitivity sweep).
+    pub fn with_threads(mut self, t: u32) -> Self {
+        self.threads_per_block = t;
+        self
+    }
+
+    /// §IV-D-2 kernel selection: a single fused NTT kernel when one block's
+    /// SMEM can hold the whole polynomial (N·w ≤ S_shared), else dual-kernel.
+    pub fn ntt_kernel_count(&self, spec: &GpuSpec, n: usize) -> usize {
+        if (n as f64) * crate::cost::WORD_BYTES <= f64::from(spec.smem_per_sm_bytes) {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Blocks for an NTT over `coeff_count` total coefficients:
+    /// B = N_c / (T · N_t).
+    pub fn ntt_blocks(&self, coeff_count: u64) -> u64 {
+        coeff_count
+            .div_ceil(u64::from(self.threads_per_block) * u64::from(self.ntt_coeffs_per_thread))
+            .max(1)
+    }
+
+    /// Blocks for an element-wise kernel (N_t = 1).
+    pub fn elementwise_blocks(&self, coeff_count: u64) -> u64 {
+        coeff_count
+            .div_ceil(u64::from(self.threads_per_block))
+            .max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_config_matches_paper_defaults() {
+        let c = FrameworkConfig::auto(&GpuSpec::a100_pcie_80g());
+        assert_eq!(c.threads_per_block, 256, "T = 4 SP x 2 warps x 32");
+        assert_eq!(c.ntt_coeffs_per_thread, 8);
+        assert_eq!(c.elementwise_coeffs_per_thread, 1);
+        assert!((0.0..=1.0).contains(&c.tensor_share));
+    }
+
+    #[test]
+    fn kernel_selection_by_smem_fit() {
+        let c = FrameworkConfig::auto(&GpuSpec::a100_pcie_80g());
+        let spec = GpuSpec::a100_pcie_80g();
+        // N = 2^15 → 128 KB ≤ 164 KB: single kernel. N = 2^16 → 256 KB: dual.
+        assert_eq!(c.ntt_kernel_count(&spec, 1 << 15), 1);
+        assert_eq!(c.ntt_kernel_count(&spec, 1 << 16), 2);
+    }
+
+    #[test]
+    fn block_arithmetic() {
+        let c = FrameworkConfig::auto(&GpuSpec::a100_pcie_80g());
+        // B = N_c / (T · N_t): 2^16 coeffs / (256·8) = 32 blocks.
+        assert_eq!(c.ntt_blocks(1 << 16), 32);
+        assert_eq!(c.elementwise_blocks(1 << 16), 256);
+        assert_eq!(c.ntt_blocks(1), 1, "at least one block");
+    }
+}

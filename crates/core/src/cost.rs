@@ -1,0 +1,81 @@
+//! Calibrated instruction-cost constants.
+//!
+//! The planners convert exact algorithm operation counts (Table IV closed
+//! forms, keyswitch limb algebra) into [`wd_gpu_sim::WorkProfile`]s. The
+//! constants below are the per-operation instruction budgets of real GPU
+//! kernels (arithmetic + addressing + control). They are the calibration
+//! surface of the model: all in one place, each justified by the shape of a
+//! CUDA inner loop, and none touched per-experiment.
+
+/// INT32 instructions per modular multiplication (mul.lo + mul.hi +
+/// Montgomery/Barrett reduction + addressing).
+pub const INT32_PER_MODMUL: f64 = 5.5;
+
+/// INT32 instructions per standalone modular reduction.
+pub const INT32_PER_MODRED: f64 = 1.5;
+
+/// INT32 instructions per bit-split/merge element operation (shift + mask +
+/// or, §IV-A's "Bit-Dec&Mer").
+pub const INT32_PER_BITOP: f64 = 1.0;
+
+/// INT32 instructions per u32 GEMM multiply-accumulate (WD-CUDA's inner
+/// loop: mul.lo + mul.hi + add + lazy-reduction amortized).
+pub const INT32_PER_GEMM_MAC: f64 = 1.0;
+
+/// INT32 instructions per point per radix-16 stage of the high-radix
+/// butterfly path (one twiddle modmul + adds, amortized over the radix —
+/// §IV-B-2's register-resident butterflies).
+pub const INT32_PER_RADIX16_STAGE_POINT: f64 = 10.0;
+
+/// INT8 tensor MACs per Table IV element-wise multiplication: the 4×4 limb
+/// plane products of the 32-bit word split.
+pub const MACS_PER_EWMUL: f64 = 16.0;
+
+/// INT8 MACs per `mma.sync.m16n16k16` warp instruction.
+pub const MACS_PER_MMA_INSTR: f64 = 4096.0;
+
+/// Shared-memory 4-byte accesses per transform point in the warp-level
+/// method (7 steps × load+store, §IV-A-1's SMEM-resident data flow).
+pub const SMEM_PER_POINT_WARP_LEVEL: f64 = 14.0;
+
+/// Extra SMEM accesses per element-wise GEMM multiplication (operand
+/// staging into fragments, heavily amortized by reuse).
+pub const SMEM_PER_EWMUL: f64 = 0.125;
+
+/// Shared-memory accesses per point in the kernel-level method (data lives
+/// in GMEM between stages; SMEM only stages tiles).
+pub const SMEM_PER_POINT_KERNEL_LEVEL: f64 = 4.0;
+
+/// INT32 instructions per point for a fused element-wise CKKS kernel
+/// (modmul + addressing for operations like pointwise multiply or add).
+pub const INT32_PER_POINTWISE_MUL: f64 = 12.0;
+
+/// INT32 instructions per point for element-wise addition kernels.
+pub const INT32_PER_POINTWISE_ADD: f64 = 4.0;
+
+/// INT32 instructions per (source limb → target limb) pair per coefficient
+/// in fast basis conversion (one modmul + accumulate).
+pub const INT32_PER_CONV_TERM: f64 = 11.0;
+
+/// Bytes per coefficient at the paper's 32-bit word size.
+pub const WORD_BYTES: f64 = 4.0;
+
+/// Threads (SIMT lanes) per warp — converts thread ops to warp instructions.
+pub const LANES: f64 = 32.0;
+
+/// Coalesced bytes per load/store warp instruction (32 lanes × 4 B).
+pub const BYTES_PER_LSU_INSTR: f64 = 128.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_are_sane() {
+        // Spot-check relationships the model depends on.
+        assert!(INT32_PER_MODMUL > INT32_PER_POINTWISE_ADD);
+        assert!(MACS_PER_EWMUL == 16.0, "4 limbs x 4 limbs");
+        assert!(MACS_PER_MMA_INSTR == 16.0 * 16.0 * 16.0);
+        assert!(BYTES_PER_LSU_INSTR == LANES * WORD_BYTES);
+    }
+}

@@ -1,0 +1,205 @@
+//! The performance engine: runs kernel plans on the GPU model.
+
+use crate::config::FrameworkConfig;
+use crate::nttplan::{ntt_kernels, NttJob};
+use crate::opplan::{op_kernels, HomOp, OpShape, PlannerKind};
+use wd_gpu_sim::{GpuSpec, RunReport, Simulator};
+use wd_polyring::variants::NttVariant;
+
+/// Façade over planner + simulator for one device configuration.
+///
+/// # Examples
+///
+/// ```
+/// use warpdrive_core::{PerfEngine, HomOp, OpShape, PlannerKind};
+/// use wd_gpu_sim::GpuSpec;
+/// use wd_polyring::NttVariant;
+/// let eng = PerfEngine::a100();
+/// let ntt = eng.ntt_report(1 << 16, 1024, NttVariant::WdFuse);
+/// let hmult = eng.op_report(
+///     HomOp::HMult, OpShape::new(1 << 16, 34, 1),
+///     PlannerKind::PeKernel, NttVariant::WdFuse,
+/// );
+/// assert!(ntt.total_time_us() > 0.0 && hmult.total_time_us() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PerfEngine {
+    sim: Simulator,
+    cfg: FrameworkConfig,
+}
+
+impl PerfEngine {
+    /// Engine for a device, with the §IV-D auto-configuration.
+    pub fn new(spec: GpuSpec) -> Self {
+        let cfg = FrameworkConfig::auto(&spec);
+        Self {
+            sim: Simulator::new(spec),
+            cfg,
+        }
+    }
+
+    /// Engine for the paper's primary platform (A100-PCIE-80G).
+    pub fn a100() -> Self {
+        Self::new(GpuSpec::a100_pcie_80g())
+    }
+
+    /// Overrides the framework configuration (Fig. 7's T sweep).
+    pub fn with_config(mut self, cfg: FrameworkConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// The device spec.
+    pub fn spec(&self) -> &GpuSpec {
+        self.sim.spec()
+    }
+
+    /// The framework configuration.
+    pub fn config(&self) -> &FrameworkConfig {
+        &self.cfg
+    }
+
+    /// The underlying simulator.
+    pub fn simulator(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// Runs a batched NTT and returns the full report.
+    pub fn ntt_report(&self, n: usize, transforms: u64, variant: NttVariant) -> RunReport {
+        let ks = ntt_kernels(
+            NttJob {
+                n,
+                transforms,
+                variant,
+            },
+            &self.cfg,
+            self.sim.spec(),
+        );
+        self.sim.run_sequence(&ks)
+    }
+
+    /// NTT throughput in KOPS (thousands of N-point transforms per second) —
+    /// Table VII's metric.
+    pub fn ntt_throughput_kops(&self, n: usize, transforms: u64, variant: NttVariant) -> f64 {
+        self.ntt_report(n, transforms, variant)
+            .throughput_kops(transforms as f64)
+    }
+
+    /// Runs a homomorphic operation and returns the full report.
+    pub fn op_report(
+        &self,
+        op: HomOp,
+        shape: OpShape,
+        planner: PlannerKind,
+        variant: NttVariant,
+    ) -> RunReport {
+        let ks = op_kernels(op, shape, planner, variant, &self.cfg, self.sim.spec());
+        self.sim.run_sequence(&ks)
+    }
+
+    /// Latency of one operation in microseconds (Table VIII's metric),
+    /// amortized over the batch.
+    pub fn op_latency_us(
+        &self,
+        op: HomOp,
+        shape: OpShape,
+        planner: PlannerKind,
+        variant: NttVariant,
+    ) -> f64 {
+        self.op_report(op, shape, planner, variant).total_time_us() / shape.batch as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warpdrive_ntt_beats_tensorfhe_by_an_order_of_magnitude() {
+        // Table VII's headline: ~10-13x across all sets.
+        let eng = PerfEngine::a100();
+        for (n, batch) in [(1usize << 12, 4096u64), (1 << 16, 1024)] {
+            let wd = eng.ntt_throughput_kops(n, batch, NttVariant::WdFuse);
+            let tf = eng.ntt_throughput_kops(n, batch, NttVariant::TensorFhe);
+            let speedup = wd / tf;
+            assert!(
+                (5.0..40.0).contains(&speedup),
+                "N={n}: speedup = {speedup:.1} (wd={wd:.0}, tf={tf:.0} KOPS)"
+            );
+        }
+    }
+
+    #[test]
+    fn fig6_ordering_wd_fuse_wins() {
+        // Fig. 6: WD-FUSE > WD-Tensor > WD-BO > WD-CUDA (throughput).
+        let eng = PerfEngine::a100();
+        let kops: Vec<(NttVariant, f64)> = NttVariant::FIG6
+            .iter()
+            .map(|&v| (v, eng.ntt_throughput_kops(1 << 15, 2048, v)))
+            .collect();
+        let get = |v: NttVariant| kops.iter().find(|(k, _)| *k == v).unwrap().1;
+        assert!(
+            get(NttVariant::WdFuse) > get(NttVariant::WdTensor),
+            "fuse {} !> tensor {}",
+            get(NttVariant::WdFuse),
+            get(NttVariant::WdTensor)
+        );
+        assert!(get(NttVariant::WdTensor) > get(NttVariant::WdBo));
+        assert!(get(NttVariant::WdBo) > get(NttVariant::WdCuda));
+    }
+
+    #[test]
+    fn pe_planner_faster_and_denser_than_kf() {
+        // Table IX: fewer kernels, higher utilization, lower latency.
+        let eng = PerfEngine::a100();
+        let shape = OpShape::new(1 << 15, 24, 1);
+        let pe = eng.op_report(HomOp::KeySwitch, shape, PlannerKind::PeKernel, NttVariant::WdFuse);
+        let kf = eng.op_report(HomOp::KeySwitch, shape, PlannerKind::KfKernel, NttVariant::WdFuse);
+        assert!(pe.kernel_count() < kf.kernel_count() / 4);
+        assert!(pe.total_time_us() < kf.total_time_us());
+        assert!(pe.compute_utilization() > kf.compute_utilization());
+    }
+
+    #[test]
+    fn hmult_slower_than_hadd() {
+        let eng = PerfEngine::a100();
+        let shape = OpShape::new(1 << 14, 14, 1);
+        let hm = eng.op_latency_us(HomOp::HMult, shape, PlannerKind::PeKernel, NttVariant::WdFuse);
+        let ha = eng.op_latency_us(HomOp::HAdd, shape, PlannerKind::PeKernel, NttVariant::WdFuse);
+        assert!(hm > 10.0 * ha, "HMULT {hm} vs HADD {ha}");
+    }
+
+    #[test]
+    fn latency_grows_with_parameter_set() {
+        // Table VIII columns increase from SET-C to SET-E.
+        let eng = PerfEngine::a100();
+        let lat = |n: usize, l: usize| {
+            eng.op_latency_us(
+                HomOp::HMult,
+                OpShape::new(n, l, 1),
+                PlannerKind::PeKernel,
+                NttVariant::WdFuse,
+            )
+        };
+        let c = lat(1 << 14, 14);
+        let d = lat(1 << 15, 24);
+        let e = lat(1 << 16, 34);
+        assert!(c < d && d < e, "{c} {d} {e}");
+    }
+
+    #[test]
+    fn threads_per_block_optimum_near_256() {
+        // Fig. 7: T = 256 is the sweet spot.
+        let spec = GpuSpec::a100_pcie_80g();
+        let shape = OpShape::new(1 << 15, 24, 1);
+        let lat = |t: u32| {
+            let cfg = FrameworkConfig::auto(&spec).with_threads(t);
+            PerfEngine::new(spec.clone())
+                .with_config(cfg)
+                .op_latency_us(HomOp::HMult, shape, PlannerKind::PeKernel, NttVariant::WdFuse)
+        };
+        let t256 = lat(256);
+        assert!(t256 <= lat(64), "256 beats 64");
+        assert!(t256 <= lat(1024), "256 beats 1024");
+    }
+}

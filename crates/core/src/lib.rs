@@ -1,0 +1,36 @@
+//! The WarpDrive framework — the paper's primary contribution.
+//!
+//! This crate binds the functional layers (`wd-polyring`, `wd-ckks`) to the
+//! analytic GPU model (`wd-gpu-sim`) exactly the way the paper's framework
+//! binds CKKS to an A100:
+//!
+//! - [`config`]: automatic parameter configuration (§IV-D-2): threads per
+//!   block T = C·W·32, single- vs dual-kernel NTT selection by SMEM fit,
+//!   coefficients per thread.
+//! - [`memory`]: the GPU memory pool of §IV-D-1, sized by
+//!   S_max = l·N·dnum·(l+k)·BS·w.
+//! - [`fuse`]: tensor/CUDA warp-allocation balancing (§IV-D-3, Fig. 3).
+//! - [`cost`]: the calibrated instruction-cost constants that convert
+//!   algorithm operation counts into kernel work profiles.
+//! - [`nttplan`]: kernel plans for every NTT variant — TensorFHE's 5-stage
+//!   kernel-level pipeline vs WarpDrive's fused warp-level kernel.
+//! - [`opplan`]: kernel plans for homomorphic operations under the
+//!   **PE (parallelism-enhanced)** and **KF (kernel-fused, 100x-style)**
+//!   planners (Fig. 4, Table IX), plus an unfused Liberate-style planner.
+//! - [`engine`]: [`engine::PerfEngine`], the façade the benchmark harness
+//!   drives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod cost;
+pub mod engine;
+pub mod fuse;
+pub mod memory;
+pub mod nttplan;
+pub mod opplan;
+
+pub use config::FrameworkConfig;
+pub use engine::PerfEngine;
+pub use opplan::{HomOp, OpShape, PlannerKind};

@@ -1,0 +1,199 @@
+//! The GPU memory pool (paper §IV-D-1).
+//!
+//! WarpDrive allocates one pool up front to avoid per-kernel cudaMalloc
+//! overhead. The pool size is `min(S_max, available)` where
+//! `S_max = l·N·dnum·(l+k)·BS·w` — the worst-case working set of a batch of
+//! ciphertexts mid-Keyswitch. The allocator here is a real first-fit
+//! free-list allocator (functional and tested), because the framework code
+//! actually routes its scratch buffers through it.
+
+/// Pool sizing per §IV-D-1.
+///
+/// `S_max = l × N × dnum × (l + k) × BS × w` bytes.
+pub fn s_max_bytes(l: usize, n: usize, dnum: usize, k: usize, batch: usize, word: usize) -> u128 {
+    l as u128 * n as u128 * dnum as u128 * (l + k) as u128 * batch as u128 * word as u128
+}
+
+/// A first-fit pool allocator with block coalescing.
+#[derive(Debug)]
+pub struct MemoryPool {
+    capacity: u64,
+    /// Free blocks as (offset, size), sorted by offset.
+    free: Vec<(u64, u64)>,
+    high_water: u64,
+    in_use: u64,
+}
+
+/// A pool allocation handle (offset + size). Freeing is explicit — GPU
+/// memory pools do not run destructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Allocation {
+    /// Byte offset within the pool.
+    pub offset: u64,
+    /// Allocation size in bytes.
+    pub size: u64,
+}
+
+impl MemoryPool {
+    /// Creates a pool of `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            capacity,
+            free: vec![(0, capacity)],
+            high_water: 0,
+            in_use: 0,
+        }
+    }
+
+    /// Creates the pool §IV-D-1 would allocate: min(S_max, available).
+    pub fn for_params(
+        l: usize,
+        n: usize,
+        dnum: usize,
+        k: usize,
+        batch: usize,
+        available: u64,
+    ) -> Self {
+        let s_max = s_max_bytes(l, n, dnum, k, batch, 4);
+        Self::new(u64::try_from(s_max.min(u128::from(available))).unwrap_or(available))
+    }
+
+    /// Pool capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn in_use(&self) -> u64 {
+        self.in_use
+    }
+
+    /// Highest concurrent usage observed.
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
+    /// Allocates `size` bytes (256-byte aligned, like cudaMalloc).
+    /// Returns `None` when no block fits.
+    pub fn alloc(&mut self, size: u64) -> Option<Allocation> {
+        let size = size.max(1).div_ceil(256) * 256;
+        let idx = self.free.iter().position(|&(_, s)| s >= size)?;
+        let (off, s) = self.free[idx];
+        if s == size {
+            self.free.remove(idx);
+        } else {
+            self.free[idx] = (off + size, s - size);
+        }
+        self.in_use += size;
+        self.high_water = self.high_water.max(self.in_use);
+        Some(Allocation { offset: off, size })
+    }
+
+    /// Returns an allocation to the pool, coalescing adjacent free blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double free (overlapping with an existing free block).
+    pub fn free(&mut self, a: Allocation) {
+        let pos = self.free.partition_point(|&(off, _)| off < a.offset);
+        // Guard against double free / corruption.
+        if let Some(&(off, size)) = self.free.get(pos) {
+            assert!(a.offset + a.size <= off || off + size <= a.offset, "double free");
+        }
+        if pos > 0 {
+            let (poff, psize) = self.free[pos - 1];
+            assert!(poff + psize <= a.offset, "double free");
+        }
+        self.free.insert(pos, (a.offset, a.size));
+        self.in_use -= a.size;
+        // Coalesce with neighbours.
+        if pos + 1 < self.free.len() && self.free[pos].0 + self.free[pos].1 == self.free[pos + 1].0
+        {
+            let (_, next_size) = self.free.remove(pos + 1);
+            self.free[pos].1 += next_size;
+        }
+        if pos > 0 && self.free[pos - 1].0 + self.free[pos - 1].1 == self.free[pos].0 {
+            let (_, cur_size) = self.free.remove(pos);
+            self.free[pos - 1].1 += cur_size;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s_max_formula() {
+        // SET-E-like: l=34, N=2^16, dnum=35, k=1, BS=1, w=4.
+        let s = s_max_bytes(34, 1 << 16, 35, 1, 1, 4);
+        assert_eq!(s, 34 * 65536 * 35 * 35 * 4);
+        // ~10.9 GB: a single ciphertext mid-keyswitch really is GB-scale,
+        // as §III-C says ("nearly 1GB" per expanded component).
+        assert!(s > 10 * (1 << 30) && s < 12 * (1 << 30));
+    }
+
+    #[test]
+    fn pool_clamps_to_available() {
+        let pool = MemoryPool::for_params(34, 1 << 16, 35, 1, 128, 80 << 30);
+        assert_eq!(pool.capacity(), 80 << 30, "clamped to device memory");
+    }
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut p = MemoryPool::new(4096);
+        let a = p.alloc(1000).unwrap();
+        assert_eq!(a.size, 1024, "aligned to 256");
+        let b = p.alloc(1024).unwrap();
+        assert_eq!(p.in_use(), 2048);
+        p.free(a);
+        let c = p.alloc(512).unwrap();
+        assert_eq!(c.offset, 0, "first fit reuses the freed block");
+        p.free(b);
+        p.free(c);
+        assert_eq!(p.in_use(), 0);
+        // Full coalescing: one 4096 block again.
+        let d = p.alloc(4096).unwrap();
+        assert_eq!(d.offset, 0);
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut p = MemoryPool::new(1024);
+        assert!(p.alloc(2048).is_none());
+        let _a = p.alloc(1024).unwrap();
+        assert!(p.alloc(256).is_none());
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut p = MemoryPool::new(4096);
+        let a = p.alloc(2048).unwrap();
+        p.free(a);
+        let _b = p.alloc(256).unwrap();
+        assert_eq!(p.high_water(), 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut p = MemoryPool::new(4096);
+        let a = p.alloc(256).unwrap();
+        p.free(a);
+        p.free(a);
+    }
+
+    #[test]
+    fn fragmentation_then_coalesce() {
+        let mut p = MemoryPool::new(4096);
+        let blocks: Vec<_> = (0..4).map(|_| p.alloc(1024).unwrap()).collect();
+        // Free alternating blocks: no single 2048 block exists.
+        p.free(blocks[0]);
+        p.free(blocks[2]);
+        assert!(p.alloc(2048).is_none());
+        // Free the rest: coalescing must restore a 4096 block.
+        p.free(blocks[1]);
+        p.free(blocks[3]);
+        assert!(p.alloc(4096).is_some());
+    }
+}

@@ -1,0 +1,453 @@
+//! Kernel plans for the NTT variants (paper Algorithms 1 and 2).
+//!
+//! Work quantities come from the *exact* operation counts of
+//! [`wd_polyring::decomp::DecompPlan`] (Table IV); this module only decides
+//! how that work is packaged into kernels and how much memory each kernel
+//! touches — which is precisely where TensorFHE and WarpDrive differ:
+//!
+//! - **TensorFHE (Algorithm 1, kernel-level)**: 1 split kernel, 16 GEMM
+//!   kernels, 1 mid kernel, 16 GEMM kernels, 1 merge kernel — every stage
+//!   round-trips the full working set through GMEM, including the sixteen
+//!   `Y_mn` partial-product matrices at 4 bytes per entry.
+//! - **WarpDrive (Algorithm 2, warp-level)**: one fused kernel (two when
+//!   N·w exceeds SMEM, §IV-D-2) that reads the input once, keeps every
+//!   intermediate in SMEM/registers, and writes the output once.
+
+use crate::config::FrameworkConfig;
+use crate::cost::*;
+use wd_gpu_sim::{GpuSpec, KernelProfile, LaunchConfig, WorkProfile};
+use wd_polyring::decomp::DecompPlan;
+use wd_polyring::variants::NttVariant;
+
+/// A batched NTT launch request: `transforms` independent N-point
+/// (I)NTTs (= batch size × RNS limbs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NttJob {
+    /// Transform size N.
+    pub n: usize,
+    /// Number of independent transforms in the launch.
+    pub transforms: u64,
+    /// Implementation variant.
+    pub variant: NttVariant,
+}
+
+/// Per-transform compute work (no GMEM I/O — the kernel assembler adds it).
+pub fn transform_work(n: usize, variant: NttVariant, tensor_share: f64) -> WorkProfile {
+    match variant {
+        NttVariant::Reference => {
+            // Iterative radix-2 on scalar cores (the CPU path; on GPU this
+            // is never selected).
+            butterfly_work(n)
+        }
+        NttVariant::WdTensor => tensor_work(&DecompPlan::warpdrive(n).expect("valid n")),
+        NttVariant::TensorFhe => {
+            let mut w = tensor_work(&DecompPlan::balanced(n, 1).expect("valid n"));
+            // Kernel-level path stages tiles through SMEM only.
+            w.smem_accesses = n as f64 * SMEM_PER_POINT_KERNEL_LEVEL;
+            w
+        }
+        NttVariant::WdCuda => cuda_gemm_work(&DecompPlan::warpdrive(n).expect("valid n")),
+        NttVariant::WdBo => butterfly_work(n),
+        // WD-FTC is the naive Tacker-style fusion: a fixed 4:4 warp split
+        // where CUDA warps run the same GEMMs — overloading the INT32 pipe
+        // (§V-D: "inferior to the WD-Tensor variant").
+        NttVariant::WdFtc => blend(
+            tensor_work(&DecompPlan::warpdrive(n).expect("valid n")),
+            cuda_gemm_work(&DecompPlan::warpdrive(n).expect("valid n")),
+            0.5,
+        ),
+        NttVariant::WdFuse => blend(
+            tensor_work(&DecompPlan::warpdrive(n).expect("valid n")),
+            butterfly_work(n),
+            tensor_share.max(0.5), // §IV-D-3 balance, supplied per N
+        ),
+    }
+}
+
+fn finish(mut w: WorkProfile) -> WorkProfile {
+    w.lsu_instructions = w.smem_accesses / LANES;
+    w.instructions =
+        w.int32_ops / LANES + w.tensor_macs / MACS_PER_MMA_INSTR + w.lsu_instructions;
+    w
+}
+
+fn tensor_work(plan: &DecompPlan) -> WorkProfile {
+    let c = plan.op_counts();
+    let n = plan.n() as f64;
+    finish(WorkProfile {
+        tensor_macs: c.ew_mul * MACS_PER_EWMUL,
+        int32_ops: c.mod_mul * INT32_PER_MODMUL
+            + c.mod_red * INT32_PER_MODRED
+            + c.bit_dec_mer * INT32_PER_BITOP,
+        smem_accesses: n * SMEM_PER_POINT_WARP_LEVEL + c.ew_mul * SMEM_PER_EWMUL,
+        ..Default::default()
+    })
+}
+
+fn cuda_gemm_work(plan: &DecompPlan) -> WorkProfile {
+    let c = plan.op_counts();
+    let n = plan.n() as f64;
+    finish(WorkProfile {
+        // Native INT32 GEMM: no bit splitting at all (§IV-B-2).
+        int32_ops: c.ew_mul * INT32_PER_GEMM_MAC
+            + c.mod_mul * INT32_PER_MODMUL
+            + c.mod_red * INT32_PER_MODRED,
+        smem_accesses: n * SMEM_PER_POINT_WARP_LEVEL + c.ew_mul * SMEM_PER_EWMUL,
+        ..Default::default()
+    })
+}
+
+fn butterfly_work(n: usize) -> WorkProfile {
+    let nf = n as f64;
+    // Radix-16 stages (radix 8/4 for the remainder), §IV-B-2.
+    let stages16 = (n.trailing_zeros() as f64 / 4.0).ceil();
+    finish(WorkProfile {
+        int32_ops: nf * stages16 * INT32_PER_RADIX16_STAGE_POINT,
+        // High-radix butterflies keep intermediates in registers (§IV-B-2);
+        // SMEM is touched once per point per radix-16 stage group.
+        smem_accesses: nf * SMEM_PER_POINT_WARP_LEVEL * 0.5,
+        ..Default::default()
+    })
+}
+
+fn blend(a: WorkProfile, b: WorkProfile, share_a: f64) -> WorkProfile {
+    let scale = |w: WorkProfile, f: f64| WorkProfile {
+        int32_ops: w.int32_ops * f,
+        tensor_macs: w.tensor_macs * f,
+        gmem_read_bytes: w.gmem_read_bytes * f,
+        gmem_write_bytes: w.gmem_write_bytes * f,
+        smem_accesses: w.smem_accesses * f,
+        instructions: w.instructions * f,
+        lsu_instructions: w.lsu_instructions * f,
+    };
+    scale(a, share_a).merge(&scale(b, 1.0 - share_a))
+}
+
+/// Adds `bytes_in`/`bytes_out` of GMEM traffic and the matching load/store
+/// instructions to a work profile.
+fn with_gmem(mut w: WorkProfile, bytes_in: f64, bytes_out: f64) -> WorkProfile {
+    w.gmem_read_bytes += bytes_in;
+    w.gmem_write_bytes += bytes_out;
+    let lsu = (bytes_in + bytes_out) / BYTES_PER_LSU_INSTR;
+    w.lsu_instructions += lsu;
+    w.instructions += lsu;
+    w
+}
+
+/// Per-N optimal tensor share for WD-FUSE (§IV-D-3): balances the tensor
+/// pipe against the INT32 pipe (which carries both the tensor path's
+/// support work and the offloaded butterflies), floored at the 4:4 warp
+/// allocation's practical minimum.
+pub fn fuse_share_for(n: usize, spec: &GpuSpec) -> f64 {
+    let plan = DecompPlan::warpdrive(n).expect("valid n");
+    let c = plan.op_counts();
+    let nf = n as f64;
+    let tensor_rate = spec.tensor_macs_per_sec() * spec.tensor_efficiency;
+    let int32_rate = spec.int32_ops_per_sec() * spec.int32_efficiency;
+    let macs_pp = c.ew_mul * MACS_PER_EWMUL / nf;
+    let support_pp = (c.mod_mul * INT32_PER_MODMUL
+        + c.mod_red * INT32_PER_MODRED
+        + c.bit_dec_mer * INT32_PER_BITOP)
+        / nf;
+    let bo_pp = (n.trailing_zeros() as f64 / 4.0).ceil() * INT32_PER_RADIX16_STAGE_POINT;
+    let costs = crate::fuse::PipeCosts {
+        tensor_per_unit: macs_pp / tensor_rate,
+        tensor_support_per_unit: support_pp / int32_rate,
+        cuda_per_unit: bo_pp / int32_rate,
+    };
+    crate::fuse::optimal_tensor_share(costs).max(0.93)
+}
+
+/// Builds the kernel sequence for a batched NTT job.
+pub fn ntt_kernels(
+    job: NttJob,
+    cfg: &FrameworkConfig,
+    spec: &GpuSpec,
+) -> Vec<KernelProfile> {
+    let t = job.transforms as f64;
+    let n = job.n as f64;
+    let io = t * n * WORD_BYTES;
+    let coeffs = job.transforms * job.n as u64;
+    match job.variant {
+        NttVariant::TensorFhe => tensorfhe_kernels(job, cfg),
+        v => {
+            let share = if v == NttVariant::WdFuse {
+                fuse_share_for(job.n, spec)
+            } else {
+                cfg.tensor_share
+            };
+            let per = transform_work(job.n, v, share);
+            let total = scale_work(per, t);
+            let kc = cfg.ntt_kernel_count(spec, job.n);
+            let blocks = cfg.ntt_blocks(coeffs);
+            let smem_per_block = smem_for_wd_block(job.n, cfg);
+            if kc == 1 {
+                vec![KernelProfile::new(
+                    format!("{}-NTT", v.name()),
+                    launch(blocks, cfg, smem_per_block),
+                    with_gmem(total, io, io),
+                )]
+            } else {
+                // Dual kernel: the large-matrix transpose (Fig. 2 step 4)
+                // round-trips once through GMEM.
+                let half = scale_work(per, t / 2.0);
+                vec![
+                    KernelProfile::new(
+                        format!("{}-NTT-phase1", v.name()),
+                        launch(blocks, cfg, smem_per_block),
+                        with_gmem(scale_work(half, 1.0), io, io),
+                    ),
+                    KernelProfile::new(
+                        format!("{}-NTT-phase2", v.name()),
+                        launch(blocks, cfg, smem_per_block),
+                        with_gmem(half, io, io),
+                    ),
+                ]
+            }
+        }
+    }
+}
+
+/// TensorFHE's Algorithm 1: split, 16 GEMMs, mid, 16 GEMMs, merge — with
+/// every intermediate in GMEM, including the 16 i32 partial matrices.
+fn tensorfhe_kernels(job: NttJob, cfg: &FrameworkConfig) -> Vec<KernelProfile> {
+    let t = job.transforms as f64;
+    let n = job.n as f64;
+    let io = t * n * WORD_BYTES;
+    let coeffs = job.transforms * job.n as u64;
+    let plan = DecompPlan::balanced(job.n, 1).expect("valid n");
+    let c = plan.op_counts();
+    let blocks_ew = cfg.elementwise_blocks(coeffs);
+    let mut ks = Vec::with_capacity(35);
+
+    // Stage 1 — SplitKernel: read u32, write 4 u8 planes. The plane stores
+    // are strided (uncoalesced): one load + four store instructions per
+    // warp-element, so nearly every instruction is a load/store — the
+    // Stall-LG-Throttle kernel of Table II.
+    let mut split = WorkProfile {
+        int32_ops: t * n * 4.0 * INT32_PER_BITOP,
+        gmem_read_bytes: io,
+        gmem_write_bytes: io,
+        ..Default::default()
+    };
+    split.lsu_instructions = t * n * 5.0 / LANES;
+    split.instructions = split.int32_ops / LANES + split.lsu_instructions;
+    ks.push(KernelProfile::new("U32ToU8", launch(blocks_ew, cfg, 0), split));
+
+    // Stages 2 and 4 — 16 GEMM kernels each (Algorithm 1's m,n loop).
+    for stage in [2u32, 4] {
+        for m in 0..4u32 {
+            for nn in 0..4u32 {
+                // One limb pair of this stage. Kernel-level GEMMs run on
+                // large 256-wide tiles and sustain ~2.3x the efficiency of
+                // the global (16x16-calibrated) tensor constant; normalize
+                // by deflating the MAC count.
+                let macs = t * c.ew_mul / 2.0 * 0.43;
+                let gemm = finish(WorkProfile {
+                    tensor_macs: macs,
+                    int32_ops: macs * 0.05, // fragment bookkeeping
+                    smem_accesses: t * n * SMEM_PER_POINT_KERNEL_LEVEL,
+                    ..Default::default()
+                });
+                // Read one u8 plane (+ twiddle matrix), write i32 partials.
+                let w = with_gmem(gemm, io / 4.0 + 256.0 * 1024.0, io);
+                ks.push(KernelProfile::new(
+                    format!("GEMM-s{stage}-{m}{nn}"),
+                    launch(cfg.ntt_blocks(coeffs), cfg, 96 * 1024),
+                    w,
+                ));
+            }
+        }
+        if stage == 2 {
+            // Stage 3 — MidKernel: reassemble 16 partials, ModRedc,
+            // Hadamard with W2, split back.
+            let mid = finish(WorkProfile {
+                int32_ops: t
+                    * (n * 16.0 * 2.0
+                        + c.mod_red / 2.0 * INT32_PER_MODRED
+                        + c.mod_mul * INT32_PER_MODMUL
+                        + n * 4.0 * INT32_PER_BITOP),
+                smem_accesses: t * n * SMEM_PER_POINT_KERNEL_LEVEL,
+                ..Default::default()
+            });
+            ks.push(KernelProfile::new(
+                "Hada&Trans",
+                launch(blocks_ew, cfg, 0),
+                with_gmem(mid, 16.0 * io, io),
+            ));
+        }
+    }
+
+    // Stage 5 — MergeKernel: read 16 partials, reassemble + ModRedc.
+    let merge = finish(WorkProfile {
+        int32_ops: t * (n * 16.0 * 2.0 + c.mod_red / 2.0 * INT32_PER_MODRED),
+        smem_accesses: t * n * SMEM_PER_POINT_KERNEL_LEVEL,
+        ..Default::default()
+    });
+    ks.push(KernelProfile::new(
+        "U8ToU32",
+        launch(blocks_ew, cfg, 0),
+        with_gmem(merge, 16.0 * io, io),
+    ));
+    ks
+}
+
+fn scale_work(w: WorkProfile, f: f64) -> WorkProfile {
+    WorkProfile {
+        int32_ops: w.int32_ops * f,
+        tensor_macs: w.tensor_macs * f,
+        gmem_read_bytes: w.gmem_read_bytes * f,
+        gmem_write_bytes: w.gmem_write_bytes * f,
+        smem_accesses: w.smem_accesses * f,
+        instructions: w.instructions * f,
+        lsu_instructions: w.lsu_instructions * f,
+    }
+}
+
+fn launch(blocks: u64, cfg: &FrameworkConfig, smem: u32) -> LaunchConfig {
+    LaunchConfig {
+        blocks,
+        threads_per_block: cfg.threads_per_block,
+        smem_per_block_bytes: smem,
+        regs_per_thread: 64,
+    }
+}
+
+/// SMEM per block for the warp-level kernel: twiddle matrices plus the
+/// per-warp data tiles (T threads × N_t coefficients × 4 B, double
+/// buffered).
+fn smem_for_wd_block(n: usize, cfg: &FrameworkConfig) -> u32 {
+    let plan = DecompPlan::warpdrive(n).expect("valid n");
+    let twiddles = plan.twiddle_matrix_bytes(4) as u32 * 2;
+    let tiles = cfg.threads_per_block * cfg.ntt_coeffs_per_thread * 4 * 2;
+    twiddles + tiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_spec() -> (FrameworkConfig, GpuSpec) {
+        let spec = GpuSpec::a100_pcie_80g();
+        (FrameworkConfig::auto(&spec), spec)
+    }
+
+    #[test]
+    fn tensorfhe_is_35_kernels_wd_is_one_or_two() {
+        let (cfg, spec) = cfg_spec();
+        let mk = |v| NttJob {
+            n: 1 << 16,
+            transforms: 1024,
+            variant: v,
+        };
+        assert_eq!(ntt_kernels(mk(NttVariant::TensorFhe), &cfg, &spec).len(), 35);
+        assert_eq!(ntt_kernels(mk(NttVariant::WdFuse), &cfg, &spec).len(), 2);
+        let small = NttJob {
+            n: 1 << 14,
+            transforms: 1024,
+            variant: NttVariant::WdFuse,
+        };
+        assert_eq!(ntt_kernels(small, &cfg, &spec).len(), 1);
+    }
+
+    #[test]
+    fn tensorfhe_moves_an_order_of_magnitude_more_gmem() {
+        let (cfg, spec) = cfg_spec();
+        let sum_gmem = |v| -> f64 {
+            ntt_kernels(
+                NttJob {
+                    n: 1 << 16,
+                    transforms: 1024,
+                    variant: v,
+                },
+                &cfg,
+                &spec,
+            )
+            .iter()
+            .map(|k| k.work.gmem_bytes())
+            .sum()
+        };
+        let ratio = sum_gmem(NttVariant::TensorFhe) / sum_gmem(NttVariant::WdTensor);
+        assert!(ratio > 8.0, "GMEM ratio = {ratio}");
+    }
+
+    #[test]
+    fn instruction_reduction_matches_paper_scale() {
+        // §V-C: WarpDrive-NTT reduces instructions by ~73% vs TensorFHE-NTT.
+        let (cfg, spec) = cfg_spec();
+        let instr = |v| -> f64 {
+            ntt_kernels(
+                NttJob {
+                    n: 1 << 16,
+                    transforms: 1024,
+                    variant: v,
+                },
+                &cfg,
+                &spec,
+            )
+            .iter()
+            .map(|k| k.work.instructions)
+            .sum()
+        };
+        let reduction = 1.0 - instr(NttVariant::WdTensor) / instr(NttVariant::TensorFhe);
+        assert!(
+            (0.5..0.95).contains(&reduction),
+            "instruction reduction = {reduction}"
+        );
+    }
+
+    #[test]
+    fn split_kernel_is_lsu_saturated() {
+        let (cfg, spec) = cfg_spec();
+        let ks = ntt_kernels(
+            NttJob {
+                n: 1 << 16,
+                transforms: 1024,
+                variant: NttVariant::TensorFhe,
+            },
+            &cfg,
+            &spec,
+        );
+        let split = &ks[0];
+        assert!(split.name.contains("U32ToU8"));
+        assert!(
+            split.work.lsu_fraction() > 0.5,
+            "split kernel lsu fraction = {}",
+            split.work.lsu_fraction()
+        );
+    }
+
+    #[test]
+    fn cuda_variant_has_no_tensor_work_and_no_bitops_penalty() {
+        let w_cuda = transform_work(1 << 14, NttVariant::WdCuda, 0.9);
+        let w_tensor = transform_work(1 << 14, NttVariant::WdTensor, 0.9);
+        assert_eq!(w_cuda.tensor_macs, 0.0);
+        assert!(w_tensor.tensor_macs > 0.0);
+        assert!(w_cuda.int32_ops > w_tensor.int32_ops, "GEMM on INT32 is heavy");
+    }
+
+    #[test]
+    fn butterfly_work_is_nlogn() {
+        let w1 = transform_work(1 << 10, NttVariant::WdBo, 0.9);
+        let w2 = transform_work(1 << 11, NttVariant::WdBo, 0.9);
+        let ratio = w2.int32_ops / w1.int32_ops;
+        assert!((2.0..2.4).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn fused_blend_interpolates() {
+        let f = 0.8;
+        let t = transform_work(1 << 12, NttVariant::WdTensor, f);
+        let b = transform_work(1 << 12, NttVariant::WdBo, f);
+        let fuse = transform_work(1 << 12, NttVariant::WdFuse, f);
+        assert!((fuse.tensor_macs - f * t.tensor_macs).abs() < 1e-6);
+        let expect_int32 = f * t.int32_ops + (1.0 - f) * b.int32_ops;
+        assert!((fuse.int32_ops - expect_int32).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fuse_module_is_used_for_default_share() {
+        let spec = GpuSpec::a100_pcie_80g();
+        assert!((0.0..=1.0).contains(&crate::fuse::default_tensor_share(&spec)));
+    }
+}

@@ -1,0 +1,537 @@
+//! Kernel plans for homomorphic operations: the PE vs KF planners
+//! (paper §IV-C, Fig. 4, Table IX).
+//!
+//! Both planners schedule the *same* arithmetic — the hybrid-keyswitch
+//! pipeline of `wd-ckks::keyswitch` — but package it differently:
+//!
+//! - [`PlannerKind::PeKernel`] (WarpDrive): kernels take a whole ciphertext
+//!   (all polynomials × limbs). Keyswitch is **11 kernels** regardless of
+//!   level: INTT, ModUp-conv, NTT, 2 × InnerProduct, and 2 × (INTT, conv,
+//!   NTT) for ModDown.
+//! - [`PlannerKind::KfKernel`] (100x-style kernel fusion): kernels take one
+//!   polynomial; ModUp runs per digit (3 kernels each), so the count grows
+//!   with the level: 3·dnum + 14.
+//! - [`PlannerKind::Unfused`] (Liberate-style): one kernel per limb per
+//!   stage — hundreds of launches, each small.
+
+use crate::config::FrameworkConfig;
+use crate::cost::*;
+use crate::nttplan::{ntt_kernels, NttJob};
+use wd_gpu_sim::{GpuSpec, KernelProfile, LaunchConfig, WorkProfile};
+use wd_polyring::variants::NttVariant;
+
+/// The homomorphic operations of §II-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HomOp {
+    /// Homomorphic addition.
+    HAdd,
+    /// Plaintext multiplication.
+    PMult,
+    /// Homomorphic multiplication (with relinearization).
+    HMult,
+    /// Homomorphic rotation.
+    HRotate,
+    /// Rescaling.
+    Rescale,
+    /// Bare key switching (the core of HMULT/HROTATE).
+    KeySwitch,
+}
+
+impl HomOp {
+    /// Paper-style display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HomOp::HAdd => "HADD",
+            HomOp::PMult => "PMULT",
+            HomOp::HMult => "HMULT",
+            HomOp::HRotate => "HROTATE",
+            HomOp::Rescale => "RESCALE",
+            HomOp::KeySwitch => "KeySwitch",
+        }
+    }
+}
+
+/// Kernel-granularity strategies compared in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlannerKind {
+    /// WarpDrive's parallelism-enhanced, ciphertext-level kernels.
+    PeKernel,
+    /// 100x-style kernel-fused, polynomial-level kernels.
+    KfKernel,
+    /// Liberate-style unfused, limb-level kernels.
+    Unfused,
+}
+
+/// Shape of the ciphertext an operation runs on (no actual data needed for
+/// performance planning).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpShape {
+    /// Ring degree N.
+    pub n: usize,
+    /// Current level ℓ (ℓ+1 chain limbs).
+    pub level: usize,
+    /// Special prime count K (= digit width α).
+    pub k: usize,
+    /// Ciphertexts processed concurrently.
+    pub batch: u64,
+}
+
+impl OpShape {
+    /// Shape from a Table VI set at its working level.
+    pub fn new(n: usize, level: usize, k: usize) -> Self {
+        Self {
+            n,
+            level,
+            k,
+            batch: 1,
+        }
+    }
+
+    /// Limb count ℓ+1.
+    pub fn limbs(&self) -> u64 {
+        self.level as u64 + 1
+    }
+
+    /// Digit count dnum = ⌈(ℓ+1)/α⌉.
+    pub fn dnum(&self) -> u64 {
+        (self.limbs()).div_ceil(self.k as u64)
+    }
+
+    /// Full-basis limb count ℓ+1+K.
+    pub fn full(&self) -> u64 {
+        self.limbs() + self.k as u64
+    }
+}
+
+/// Builds the kernel sequence for `op` on `shape` under `planner`, using
+/// `variant` for all (I)NTT work.
+pub fn op_kernels(
+    op: HomOp,
+    shape: OpShape,
+    planner: PlannerKind,
+    variant: NttVariant,
+    cfg: &FrameworkConfig,
+    spec: &GpuSpec,
+) -> Vec<KernelProfile> {
+    let p = Planner {
+        shape,
+        planner,
+        variant,
+        cfg,
+        spec,
+    };
+    match op {
+        HomOp::HAdd => p.hadd(),
+        HomOp::PMult => p.pmult(),
+        HomOp::HMult => p.hmult(),
+        HomOp::HRotate => p.hrotate(),
+        HomOp::Rescale => p.rescale(),
+        HomOp::KeySwitch => p.keyswitch(),
+    }
+}
+
+struct Planner<'a> {
+    shape: OpShape,
+    planner: PlannerKind,
+    variant: NttVariant,
+    cfg: &'a FrameworkConfig,
+    spec: &'a GpuSpec,
+}
+
+impl Planner<'_> {
+    fn nf(&self) -> f64 {
+        self.shape.n as f64
+    }
+
+    fn b(&self) -> f64 {
+        self.shape.batch as f64
+    }
+
+    /// An element-wise kernel over `points` coefficients with `int32` ops
+    /// per point.
+    fn elementwise(&self, name: &str, points: f64, int32_per_point: f64) -> KernelProfile {
+        let io = points * WORD_BYTES;
+        let mut w = WorkProfile {
+            int32_ops: points * int32_per_point,
+            ..Default::default()
+        };
+        w.gmem_read_bytes = 2.0 * io;
+        w.gmem_write_bytes = io;
+        w.lsu_instructions = 3.0 * io / BYTES_PER_LSU_INSTR;
+        w.instructions = w.int32_ops / LANES + w.lsu_instructions;
+        KernelProfile::new(
+            name,
+            LaunchConfig::new(
+                self.cfg.elementwise_blocks(points.max(1.0) as u64),
+                self.cfg.threads_per_block,
+            ),
+            w,
+        )
+    }
+
+    /// (I)NTT kernels over `transforms` limbs, merged into one kernel when
+    /// the PE planner is active (the whole-ciphertext launch of Fig. 4).
+    fn ntt(&self, name: &str, transforms: f64) -> Vec<KernelProfile> {
+        let job = NttJob {
+            n: self.shape.n,
+            transforms: (transforms * self.b()).max(1.0) as u64,
+            variant: self.variant,
+        };
+        let fuse_phases = |job: NttJob, name: &str| -> KernelProfile {
+            let mut ks = ntt_kernels(job, self.cfg, self.spec);
+            let merged = ks
+                .iter()
+                .fold(WorkProfile::default(), |acc, k| acc.merge(&k.work));
+            let launch = ks.remove(0).launch;
+            KernelProfile::new(name, launch, merged)
+        };
+        match self.planner {
+            // One launch covering all limbs of the ciphertext (Fig. 4's PE
+            // kernel) — multi-phase NTTs fold into the pipeline.
+            PlannerKind::PeKernel | PlannerKind::KfKernel => vec![fuse_phases(job, name)],
+            PlannerKind::Unfused => {
+                // One kernel per limb.
+                let per = NttJob {
+                    n: self.shape.n,
+                    transforms: self.shape.batch.max(1),
+                    variant: self.variant,
+                };
+                let limbs = transforms.max(1.0) as usize;
+                (0..limbs)
+                    .map(|i| fuse_phases(per, &format!("{name}[{i}]")))
+                    .collect()
+            }
+        }
+    }
+
+    /// HADD: one fused kernel (PE) or one per component (KF) or per limb.
+    fn hadd(&self) -> Vec<KernelProfile> {
+        let points = 2.0 * self.nf() * self.shape.limbs() as f64 * self.b();
+        match self.planner {
+            PlannerKind::PeKernel => {
+                vec![self.elementwise("HADD", points, INT32_PER_POINTWISE_ADD)]
+            }
+            PlannerKind::KfKernel => (0..2)
+                .map(|c| self.elementwise(&format!("HADD-c{c}"), points / 2.0, INT32_PER_POINTWISE_ADD))
+                .collect(),
+            PlannerKind::Unfused => (0..2 * self.shape.limbs())
+                .map(|i| {
+                    self.elementwise(
+                        &format!("HADD-limb{i}"),
+                        self.nf() * self.b(),
+                        INT32_PER_POINTWISE_ADD,
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// PMULT: pointwise multiply of both components by the plaintext.
+    fn pmult(&self) -> Vec<KernelProfile> {
+        let points = 2.0 * self.nf() * self.shape.limbs() as f64 * self.b();
+        match self.planner {
+            PlannerKind::PeKernel => {
+                vec![self.elementwise("PMULT", points, INT32_PER_POINTWISE_MUL)]
+            }
+            PlannerKind::KfKernel => (0..2)
+                .map(|c| self.elementwise(&format!("PMULT-c{c}"), points / 2.0, INT32_PER_POINTWISE_MUL))
+                .collect(),
+            PlannerKind::Unfused => (0..2 * self.shape.limbs())
+                .map(|i| {
+                    self.elementwise(
+                        &format!("PMULT-limb{i}"),
+                        self.nf() * self.b(),
+                        INT32_PER_POINTWISE_MUL,
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// The hybrid keyswitch pipeline (Fig. 4): the centerpiece of Table IX.
+    fn keyswitch(&self) -> Vec<KernelProfile> {
+        let s = self.shape;
+        let (l1, dnum, full) = (s.limbs() as f64, s.dnum() as f64, s.full() as f64);
+        let n = self.nf();
+        let b = self.b();
+        let alpha = s.k as f64;
+        let mut ks = Vec::new();
+
+        // 1. INTT the input polynomial (ℓ+1 limbs).
+        ks.extend(self.ntt("KS-INTT-in", l1));
+
+        // 2. ModUp base conversion: each digit (α limbs) extends to the
+        //    full basis.
+        let conv_points = n * b * dnum * full;
+        let conv = self.conv_kernel("KS-ModUp-conv", conv_points, alpha);
+        match self.planner {
+            PlannerKind::PeKernel => ks.push(conv),
+            PlannerKind::KfKernel | PlannerKind::Unfused => {
+                for j in 0..s.dnum() {
+                    ks.push(self.conv_kernel(
+                        &format!("KS-ModUp-conv-d{j}"),
+                        conv_points / dnum,
+                        alpha,
+                    ));
+                }
+            }
+        }
+
+        // 3. NTT the extended digits (dnum × full limbs).
+        match self.planner {
+            PlannerKind::PeKernel => ks.extend(self.ntt("KS-NTT-ext", dnum * full)),
+            PlannerKind::KfKernel | PlannerKind::Unfused => {
+                for j in 0..s.dnum() {
+                    ks.extend(self.ntt(&format!("KS-NTT-ext-d{j}"), full));
+                }
+            }
+        }
+
+        // KF also runs a per-digit INTT of the input slice (100x operates
+        // polynomial-at-a-time, so the input INTT above was per digit too —
+        // replace the single input INTT with dnum per-digit kernels).
+        if self.planner != PlannerKind::PeKernel {
+            // Rebuild: remove the fused input INTT and prepend per-digit ones.
+            let fused_len = self.ntt("x", l1).len();
+            ks.drain(0..fused_len);
+            let mut per_digit = Vec::new();
+            for j in 0..s.dnum() {
+                per_digit.extend(self.ntt(&format!("KS-INTT-in-d{j}"), alpha.min(l1)));
+            }
+            per_digit.extend(ks);
+            ks = per_digit;
+        }
+
+        // 4. InnerProduct: two accumulators over dnum × full limbs.
+        let ip_points = n * b * dnum * full;
+        for c in 0..2 {
+            ks.push(self.elementwise(
+                &format!("KS-InnerProd-{c}"),
+                ip_points,
+                INT32_PER_MODMUL + 2.0,
+            ));
+        }
+
+        // 5. ModDown both accumulators: INTT(full), conv(K→ℓ+1), scale+NTT.
+        for c in 0..2 {
+            ks.extend(self.ntt(&format!("KS-ModDown-INTT-{c}"), full));
+            ks.push(self.conv_kernel(
+                &format!("KS-ModDown-conv-{c}"),
+                n * b * l1,
+                s.k as f64,
+            ));
+            ks.extend(self.ntt(&format!("KS-ModDown-NTT-{c}"), l1));
+        }
+        ks
+    }
+
+    /// A basis-conversion kernel over `points` (coefficient, target-limb)
+    /// pairs, each summing `terms` source limbs.
+    fn conv_kernel(&self, name: &str, points: f64, terms: f64) -> KernelProfile {
+        let io_out = points * WORD_BYTES;
+        let io_in = points * terms * WORD_BYTES; // each output reads all terms
+        let mut w = WorkProfile {
+            int32_ops: points * terms * INT32_PER_CONV_TERM,
+            ..Default::default()
+        };
+        w.gmem_read_bytes = io_in.min(io_out * 8.0) + io_out; // source reuse via cache
+        w.gmem_write_bytes = io_out;
+        w.lsu_instructions = (w.gmem_read_bytes + io_out) / BYTES_PER_LSU_INSTR;
+        w.instructions = w.int32_ops / LANES + w.lsu_instructions;
+        KernelProfile::new(
+            name,
+            LaunchConfig::new(
+                self.cfg.elementwise_blocks(points.max(1.0) as u64),
+                self.cfg.threads_per_block,
+            ),
+            w,
+        )
+    }
+
+    /// HMULT = 1 tensor-product kernel (PE) + keyswitch + 1 add kernel.
+    fn hmult(&self) -> Vec<KernelProfile> {
+        let points = self.nf() * self.shape.limbs() as f64 * self.b();
+        let mut ks = Vec::new();
+        match self.planner {
+            PlannerKind::PeKernel => {
+                ks.push(self.elementwise("HMULT-tensor", 4.0 * points, INT32_PER_POINTWISE_MUL));
+            }
+            _ => {
+                for d in 0..3 {
+                    ks.push(self.elementwise(
+                        &format!("HMULT-d{d}"),
+                        (if d == 1 { 2.0 } else { 1.0 }) * points,
+                        INT32_PER_POINTWISE_MUL,
+                    ));
+                }
+            }
+        }
+        ks.extend(self.keyswitch());
+        match self.planner {
+            PlannerKind::PeKernel => {
+                ks.push(self.elementwise("HMULT-add", 2.0 * points, INT32_PER_POINTWISE_ADD));
+            }
+            _ => {
+                for c in 0..2 {
+                    ks.push(self.elementwise(
+                        &format!("HMULT-add-{c}"),
+                        points,
+                        INT32_PER_POINTWISE_ADD,
+                    ));
+                }
+            }
+        }
+        ks
+    }
+
+    /// HROTATE = automorphism (coefficient-domain) + keyswitch + add.
+    fn hrotate(&self) -> Vec<KernelProfile> {
+        let points = self.nf() * self.shape.limbs() as f64 * self.b();
+        let mut ks = Vec::new();
+        // INTT, permute, NTT for both components; PE fuses per phase.
+        ks.extend(self.ntt("ROT-INTT", 2.0 * self.shape.limbs() as f64));
+        ks.push(self.elementwise("ROT-automorphism", 2.0 * points, 6.0));
+        ks.extend(self.ntt("ROT-NTT", 2.0 * self.shape.limbs() as f64));
+        ks.extend(self.keyswitch());
+        ks.push(self.elementwise("ROT-add", points, INT32_PER_POINTWISE_ADD));
+        ks
+    }
+
+    /// RESCALE = INTT + per-limb rescale step + NTT (3 PE kernels).
+    fn rescale(&self) -> Vec<KernelProfile> {
+        let limbs = self.shape.limbs() as f64;
+        let points = self.nf() * limbs * self.b();
+        let mut ks = Vec::new();
+        ks.extend(self.ntt("RS-INTT", 2.0 * limbs));
+        match self.planner {
+            PlannerKind::PeKernel => {
+                ks.push(self.elementwise("RS-step", 2.0 * points, INT32_PER_MODMUL + 4.0));
+            }
+            _ => {
+                for c in 0..2 {
+                    ks.push(self.elementwise(
+                        &format!("RS-step-{c}"),
+                        points,
+                        INT32_PER_MODMUL + 4.0,
+                    ));
+                }
+            }
+        }
+        ks.extend(self.ntt("RS-NTT", 2.0 * (limbs - 1.0)));
+        ks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (FrameworkConfig, GpuSpec) {
+        let spec = GpuSpec::a100_pcie_80g();
+        (FrameworkConfig::auto(&spec), spec)
+    }
+
+    fn keyswitch_count(level: usize, planner: PlannerKind) -> usize {
+        let (cfg, spec) = setup();
+        op_kernels(
+            HomOp::KeySwitch,
+            OpShape::new(1 << 14, level, 1),
+            planner,
+            NttVariant::WdFuse,
+            &cfg,
+            &spec,
+        )
+        .len()
+    }
+
+    #[test]
+    fn pe_keyswitch_is_11_kernels_at_every_level() {
+        // Table IX: "WarpDrive ... only 11 kernels needed" for SET-C/D/E.
+        for level in [14usize, 24, 34] {
+            assert_eq!(keyswitch_count(level, PlannerKind::PeKernel), 11, "l={level}");
+        }
+    }
+
+    #[test]
+    fn kf_keyswitch_grows_with_level() {
+        // 100x_opt: 59 / 90 / 109 kernels for SET-C/D/E (we model 3·dnum+14).
+        let c = keyswitch_count(14, PlannerKind::KfKernel);
+        let d = keyswitch_count(24, PlannerKind::KfKernel);
+        let e = keyswitch_count(34, PlannerKind::KfKernel);
+        assert!(c < d && d < e, "{c} {d} {e}");
+        assert!((50..70).contains(&c), "SET-C kernels = {c}");
+        assert!((80..100).contains(&d), "SET-D kernels = {d}");
+        assert!((100..130).contains(&e), "SET-E kernels = {e}");
+    }
+
+    #[test]
+    fn unfused_is_much_worse() {
+        assert!(keyswitch_count(14, PlannerKind::Unfused) > 2 * keyswitch_count(14, PlannerKind::KfKernel));
+    }
+
+    #[test]
+    fn dnum_formula_in_shape() {
+        let s = OpShape::new(1 << 14, 34, 12);
+        assert_eq!(s.dnum(), 3);
+        assert_eq!(s.full(), 47);
+        let s1 = OpShape::new(1 << 14, 14, 1);
+        assert_eq!(s1.dnum(), 15);
+    }
+
+    #[test]
+    fn hadd_kernel_counts() {
+        let (cfg, spec) = setup();
+        let count = |p| {
+            op_kernels(
+                HomOp::HAdd,
+                OpShape::new(1 << 14, 14, 1),
+                p,
+                NttVariant::WdFuse,
+                &cfg,
+                &spec,
+            )
+            .len()
+        };
+        assert_eq!(count(PlannerKind::PeKernel), 1);
+        assert_eq!(count(PlannerKind::KfKernel), 2);
+        assert_eq!(count(PlannerKind::Unfused), 30);
+    }
+
+    #[test]
+    fn hmult_includes_keyswitch() {
+        let (cfg, spec) = setup();
+        let hm = op_kernels(
+            HomOp::HMult,
+            OpShape::new(1 << 14, 14, 1),
+            PlannerKind::PeKernel,
+            NttVariant::WdFuse,
+            &cfg,
+            &spec,
+        );
+        assert_eq!(hm.len(), 13, "tensor + 11 keyswitch + add");
+        assert!(hm.iter().any(|k| k.name.contains("InnerProd")));
+    }
+
+    #[test]
+    fn batch_scales_work_linearly() {
+        let (cfg, spec) = setup();
+        let sum = |batch| -> f64 {
+            let mut s = OpShape::new(1 << 13, 6, 1);
+            s.batch = batch;
+            op_kernels(HomOp::HMult, s, PlannerKind::PeKernel, NttVariant::WdFuse, &cfg, &spec)
+                .iter()
+                .map(|k| k.work.int32_ops + k.work.tensor_macs)
+                .sum()
+        };
+        let r = sum(8) / sum(1);
+        assert!((7.5..8.5).contains(&r), "batch scaling = {r}");
+    }
+
+    #[test]
+    fn transform_work_is_positive_for_all_variants() {
+        for v in NttVariant::ALL {
+            let w = crate::nttplan::transform_work(1 << 12, v, 0.9);
+            assert!(w.int32_ops + w.tensor_macs > 0.0, "{v}");
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Kernel launch descriptors: what a kernel *does*, independent of when.
+
+use serde::{Deserialize, Serialize};
+
+/// Grid/block shape of a kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaunchConfig {
+    /// Number of thread blocks.
+    pub blocks: u64,
+    /// Threads per block (paper default 256; Fig. 7 sweeps this).
+    pub threads_per_block: u32,
+    /// Shared memory requested per block, bytes (limits occupancy).
+    pub smem_per_block_bytes: u32,
+    /// Registers per thread (limits occupancy; 255 is the CUDA cap).
+    pub regs_per_thread: u32,
+}
+
+impl LaunchConfig {
+    /// A launch with the given grid and the paper's defaults elsewhere.
+    pub fn new(blocks: u64, threads_per_block: u32) -> Self {
+        Self {
+            blocks,
+            threads_per_block,
+            smem_per_block_bytes: 0,
+            regs_per_thread: 32,
+        }
+    }
+
+    /// Total threads in the grid.
+    pub fn total_threads(&self) -> u64 {
+        self.blocks * u64::from(self.threads_per_block)
+    }
+}
+
+/// Aggregate work performed by one kernel launch. All quantities are grid
+/// totals; the planners derive them from exact algorithm operation counts
+/// (e.g. Table IV's closed forms).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct WorkProfile {
+    /// INT32-core operations (adds, muls, shifts — CUDA-core work).
+    pub int32_ops: f64,
+    /// INT8 tensor-core multiply–accumulates.
+    pub tensor_macs: f64,
+    /// Bytes read from off-chip memory.
+    pub gmem_read_bytes: f64,
+    /// Bytes written to off-chip memory.
+    pub gmem_write_bytes: f64,
+    /// 4-byte shared-memory accesses.
+    pub smem_accesses: f64,
+    /// Total issued instructions (the Fig. 5 "Selected" metric).
+    pub instructions: f64,
+    /// Of those, load/store instructions (drives Stall LG Throttle).
+    pub lsu_instructions: f64,
+}
+
+impl WorkProfile {
+    /// Sum of two work profiles (fusing kernels adds their work).
+    pub fn merge(&self, o: &WorkProfile) -> WorkProfile {
+        WorkProfile {
+            int32_ops: self.int32_ops + o.int32_ops,
+            tensor_macs: self.tensor_macs + o.tensor_macs,
+            gmem_read_bytes: self.gmem_read_bytes + o.gmem_read_bytes,
+            gmem_write_bytes: self.gmem_write_bytes + o.gmem_write_bytes,
+            smem_accesses: self.smem_accesses + o.smem_accesses,
+            instructions: self.instructions + o.instructions,
+            lsu_instructions: self.lsu_instructions + o.lsu_instructions,
+        }
+    }
+
+    /// Total off-chip traffic in bytes.
+    pub fn gmem_bytes(&self) -> f64 {
+        self.gmem_read_bytes + self.gmem_write_bytes
+    }
+
+    /// Fraction of instructions that are loads/stores.
+    pub fn lsu_fraction(&self) -> f64 {
+        if self.instructions <= 0.0 {
+            0.0
+        } else {
+            (self.lsu_instructions / self.instructions).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// One kernel launch: a name, a shape, and its work.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelProfile {
+    /// Human-readable kernel name (appears in timelines and reports).
+    pub name: String,
+    /// Launch shape.
+    pub launch: LaunchConfig,
+    /// Grid-total work.
+    pub work: WorkProfile,
+}
+
+impl KernelProfile {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, launch: LaunchConfig, work: WorkProfile) -> Self {
+        Self {
+            name: name.into(),
+            launch,
+            work,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let a = WorkProfile {
+            int32_ops: 10.0,
+            tensor_macs: 5.0,
+            gmem_read_bytes: 100.0,
+            gmem_write_bytes: 50.0,
+            smem_accesses: 7.0,
+            instructions: 20.0,
+            lsu_instructions: 4.0,
+        };
+        let s = a.merge(&a);
+        assert_eq!(s.int32_ops, 20.0);
+        assert_eq!(s.gmem_bytes(), 300.0);
+        assert_eq!(s.lsu_fraction(), 0.2);
+    }
+
+    #[test]
+    fn lsu_fraction_handles_zero_instructions() {
+        assert_eq!(WorkProfile::default().lsu_fraction(), 0.0);
+    }
+
+    #[test]
+    fn launch_total_threads() {
+        let l = LaunchConfig::new(2048, 256);
+        assert_eq!(l.total_threads(), 2048 * 256);
+    }
+}

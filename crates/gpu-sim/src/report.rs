@@ -1,0 +1,223 @@
+//! Aggregated run reports (the numbers the paper's tables are made of).
+
+use crate::kernel::KernelProfile;
+use crate::model::KernelStats;
+use crate::stalls::StallBreakdown;
+use crate::timeline::Timeline;
+
+/// Result of running one kernel sequence (or lane set) on the simulator.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    kernels: Vec<(KernelProfile, KernelStats)>,
+    timeline: Timeline,
+    total_time_us: f64,
+}
+
+impl RunReport {
+    /// Assembles a report.
+    pub fn new(
+        kernels: Vec<(KernelProfile, KernelStats)>,
+        timeline: Timeline,
+        total_time_us: f64,
+    ) -> Self {
+        Self {
+            kernels,
+            timeline,
+            total_time_us,
+        }
+    }
+
+    /// Per-kernel profiles and stats, in launch order.
+    pub fn kernels(&self) -> &[(KernelProfile, KernelStats)] {
+        &self.kernels
+    }
+
+    /// Number of kernel launches — Table IX's "Kernel Num" metric.
+    pub fn kernel_count(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Wall time in microseconds, launch overheads included.
+    pub fn total_time_us(&self) -> f64 {
+        self.total_time_us
+    }
+
+    /// The execution timeline.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Time-weighted compute throughput utilization in \[0, 1\]. Launch gaps
+    /// count as idle, which is exactly why many-kernel plans (100x-style)
+    /// report low utilization in Tables III and IX.
+    pub fn compute_utilization(&self) -> f64 {
+        self.weighted(|s| s.compute_util)
+    }
+
+    /// Time-weighted memory throughput utilization in \[0, 1\].
+    pub fn memory_utilization(&self) -> f64 {
+        self.weighted(|s| s.memory_util)
+    }
+
+    fn weighted(&self, f: impl Fn(&KernelStats) -> f64) -> f64 {
+        if self.total_time_us <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.kernels.iter().map(|(_, s)| f(s) * s.exec_us).sum();
+        (busy / self.total_time_us).clamp(0.0, 1.0)
+    }
+
+    /// Merged stall breakdown over all kernels.
+    pub fn stalls(&self) -> StallBreakdown {
+        self.kernels
+            .iter()
+            .fold(StallBreakdown::default(), |acc, (_, s)| acc.merge(&s.stalls))
+    }
+
+    /// Total wall cycles across kernels (execution only).
+    pub fn total_cycles(&self) -> f64 {
+        self.kernels.iter().map(|(_, s)| s.cycles).sum()
+    }
+
+    /// Total issue ("Selected") cycles across kernels.
+    pub fn total_issue_cycles(&self) -> f64 {
+        self.kernels.iter().map(|(_, s)| s.issue_cycles).sum()
+    }
+
+    /// Operations per second for `ops` logical operations per run.
+    pub fn throughput_kops(&self, ops: f64) -> f64 {
+        if self.total_time_us <= 0.0 {
+            0.0
+        } else {
+            ops / self.total_time_us * 1e3
+        }
+    }
+
+    /// Exports per-kernel rows as CSV (for external plotting).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "kernel,exec_us,time_us,compute_util,memory_util,stalls_per_instr,mem_stall_frac\n",
+        );
+        for (k, s) in &self.kernels {
+            out.push_str(&format!(
+                "{},{:.3},{:.3},{:.4},{:.4},{:.2},{:.4}\n",
+                k.name.replace(',', ";"),
+                s.exec_us,
+                s.time_us,
+                s.compute_util,
+                s.memory_util,
+                s.stalls_per_instruction(),
+                s.stalls.memory_fraction(),
+            ));
+        }
+        out
+    }
+
+    /// Renders a per-kernel summary table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::from(
+            "kernel                              time(us)   compute%   memory%   stalls/instr\n",
+        );
+        for (k, s) in &self.kernels {
+            out.push_str(&format!(
+                "{:<34} {:>9.2} {:>9.1} {:>9.1} {:>13.1}\n",
+                k.name,
+                s.exec_us,
+                s.compute_util * 100.0,
+                s.memory_util * 100.0,
+                s.stalls_per_instruction(),
+            ));
+        }
+        out.push_str(&format!(
+            "total: {:.2} us over {} kernels, compute {:.1}%, memory {:.1}%\n",
+            self.total_time_us,
+            self.kernel_count(),
+            self.compute_utilization() * 100.0,
+            self.memory_utilization() * 100.0
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{LaunchConfig, WorkProfile};
+    use crate::model::Simulator;
+    use crate::spec::GpuSpec;
+
+    fn report(n: usize) -> RunReport {
+        let sim = Simulator::new(GpuSpec::a100_pcie_80g());
+        let k = KernelProfile::new(
+            "k",
+            LaunchConfig::new(512, 256),
+            WorkProfile {
+                int32_ops: 1e8,
+                gmem_read_bytes: 1e7,
+                gmem_write_bytes: 1e7,
+                instructions: 4e7,
+                lsu_instructions: 4e6,
+                ..Default::default()
+            },
+        );
+        sim.run_sequence(&vec![k; n])
+    }
+
+    #[test]
+    fn kernel_count_matches() {
+        assert_eq!(report(11).kernel_count(), 11);
+    }
+
+    #[test]
+    fn fewer_kernels_higher_utilization() {
+        // Same total work in 2 kernels vs 20: launch gaps dilute utilization.
+        let sim = Simulator::new(GpuSpec::a100_pcie_80g());
+        let big = KernelProfile::new(
+            "big",
+            LaunchConfig::new(512, 256),
+            WorkProfile {
+                int32_ops: 1e9,
+                instructions: 4e8,
+                ..Default::default()
+            },
+        );
+        let small = KernelProfile::new(
+            "small",
+            LaunchConfig::new(512, 256),
+            WorkProfile {
+                int32_ops: 1e8,
+                instructions: 4e7,
+                ..Default::default()
+            },
+        );
+        let fused = sim.run_sequence(&vec![big; 2]);
+        let split = sim.run_sequence(&vec![small; 20]);
+        assert!(fused.compute_utilization() > split.compute_utilization());
+        assert!(fused.total_time_us() < split.total_time_us());
+    }
+
+    #[test]
+    fn throughput_inverse_to_time() {
+        let r = report(4);
+        let t1 = r.throughput_kops(1.0);
+        let t2 = r.throughput_kops(2.0);
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_kernel() {
+        let r = report(4);
+        let csv = r.to_csv();
+        assert_eq!(csv.lines().count(), 5);
+        assert!(csv.starts_with("kernel,exec_us"));
+        assert!(csv.lines().nth(1).unwrap().starts_with("k,"));
+    }
+
+    #[test]
+    fn render_contains_every_kernel_row() {
+        let r = report(3);
+        let table = r.render_table();
+        assert_eq!(table.matches("\nk ").count(), 3, "3 rows named 'k'");
+        assert!(table.contains("total:"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Nsight-Compute-style warp stall attribution.
+//!
+//! Nsight classifies each scheduler cycle in which a warp could not issue
+//! into stall reasons. The paper leans on six memory-related classes
+//! (Table II footnote) plus the non-memory remainder. This module converts a
+//! kernel's modeled slack cycles into that taxonomy with deterministic
+//! weights driven by *why* the kernel is slow: a kernel throttled by its
+//! load/store unit accrues `LgThrottle`, one waiting on DRAM accrues
+//! `LongScoreboard`, SMEM pressure shows up as `MioThrottle` /
+//! `ShortScoreboard`, and compute-bound slack lands in the non-memory
+//! classes (`Wait`, `MathPipeThrottle`).
+
+use serde::{Deserialize, Serialize};
+
+/// Stall classes reported by the model (the paper's six memory classes,
+/// plus non-memory classes so the breakdown always sums to the total).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StallKind {
+    /// Load/store unit queue full — extreme memory-instruction ratio.
+    LgThrottle,
+    /// Waiting on long-latency (global memory) dependencies.
+    LongScoreboard,
+    /// Memory-IO instruction queue (shared memory) throttle.
+    MioThrottle,
+    /// Waiting on short-latency (shared memory) dependencies.
+    ShortScoreboard,
+    /// Warp draining stores at kernel end.
+    Drain,
+    /// Instruction/constant cache miss.
+    ImcMiss,
+    /// Fixed-latency execution dependency (non-memory).
+    Wait,
+    /// Math pipe saturated (non-memory).
+    MathPipeThrottle,
+    /// Everything else (branch resolution, sync, not-selected…).
+    Other,
+}
+
+impl StallKind {
+    /// The six memory-access-related classes from Table II's footnote.
+    pub const MEMORY_KINDS: [StallKind; 6] = [
+        StallKind::LgThrottle,
+        StallKind::LongScoreboard,
+        StallKind::MioThrottle,
+        StallKind::ShortScoreboard,
+        StallKind::Drain,
+        StallKind::ImcMiss,
+    ];
+
+    /// Whether this class counts as memory-related in the paper's accounting.
+    pub fn is_memory_related(&self) -> bool {
+        Self::MEMORY_KINDS.contains(self)
+    }
+
+    /// Nsight-style display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StallKind::LgThrottle => "Stall LG Throttle",
+            StallKind::LongScoreboard => "Stall Long Scoreboard",
+            StallKind::MioThrottle => "Stall MIO Throttle",
+            StallKind::ShortScoreboard => "Stall Short Scoreboard",
+            StallKind::Drain => "Stall Drain",
+            StallKind::ImcMiss => "Stall IMC Miss",
+            StallKind::Wait => "Stall Wait",
+            StallKind::MathPipeThrottle => "Stall Math Pipe Throttle",
+            StallKind::Other => "Stall Other",
+        }
+    }
+}
+
+/// Stall cycles per class for one kernel (scheduler-cycle units).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StallBreakdown {
+    /// Cycles per class, indexed like [`StallBreakdown::KINDS`].
+    cycles: [f64; 9],
+}
+
+impl StallBreakdown {
+    /// Class order used by the `cycles` array.
+    pub const KINDS: [StallKind; 9] = [
+        StallKind::LgThrottle,
+        StallKind::LongScoreboard,
+        StallKind::MioThrottle,
+        StallKind::ShortScoreboard,
+        StallKind::Drain,
+        StallKind::ImcMiss,
+        StallKind::Wait,
+        StallKind::MathPipeThrottle,
+        StallKind::Other,
+    ];
+
+    /// Cycles attributed to `kind`.
+    pub fn get(&self, kind: StallKind) -> f64 {
+        let i = Self::KINDS.iter().position(|k| *k == kind).expect("known kind");
+        self.cycles[i]
+    }
+
+    /// Adds cycles to `kind`.
+    pub fn add(&mut self, kind: StallKind, cycles: f64) {
+        let i = Self::KINDS.iter().position(|k| *k == kind).expect("known kind");
+        self.cycles[i] += cycles;
+    }
+
+    /// Total stall cycles across all classes.
+    pub fn total(&self) -> f64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Total memory-related stall cycles (Table II's aggregate row).
+    pub fn memory_related(&self) -> f64 {
+        Self::KINDS
+            .iter()
+            .zip(&self.cycles)
+            .filter(|(k, _)| k.is_memory_related())
+            .map(|(_, c)| *c)
+            .sum()
+    }
+
+    /// Memory-related share of all stalls, in \[0, 1\].
+    pub fn memory_fraction(&self) -> f64 {
+        let t = self.total();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.memory_related() / t
+        }
+    }
+
+    /// Sum of two breakdowns.
+    pub fn merge(&self, o: &StallBreakdown) -> StallBreakdown {
+        let mut out = *self;
+        for (c, oc) in out.cycles.iter_mut().zip(&o.cycles) {
+            *c += oc;
+        }
+        out
+    }
+
+    /// Distributes `total_stall` cycles over the classes according to the
+    /// kernel's bottleneck mix.
+    ///
+    /// Inputs are the *time shares* (0..1, need not sum to 1) of each
+    /// resource over the kernel's runtime, plus the LSU instruction
+    /// fraction. The weights below are the model calibration: an
+    /// LSU-saturated kernel (bit split/merge) is dominated by `LgThrottle`;
+    /// a DRAM-latency-bound kernel by `LongScoreboard`; SMEM-heavy kernels
+    /// by `MioThrottle`/`ShortScoreboard`; compute-bound kernels stall in
+    /// `Wait`/`MathPipeThrottle`.
+    pub fn attribute(
+        total_stall: f64,
+        gmem_share: f64,
+        smem_share: f64,
+        compute_share: f64,
+        lsu_fraction: f64,
+    ) -> StallBreakdown {
+        let mut b = StallBreakdown::default();
+        if total_stall <= 0.0 {
+            return b;
+        }
+        // Raw weights. LG throttle kicks in quadratically once the LSU
+        // fraction passes the queue-saturation knee (~25% of instructions).
+        let lg = (lsu_fraction - 0.25).max(0.0).powi(2) * 60.0 * gmem_share.max(0.1);
+        let long_sb = gmem_share * (1.0 - (lsu_fraction - 0.25).max(0.0)).max(0.0) * 1.2;
+        let mio = smem_share * 0.55;
+        let short_sb = smem_share * 0.45;
+        let drain = 0.015 * gmem_share;
+        let imc = 0.01;
+        let wait = compute_share * 0.55;
+        let math = compute_share * 0.3;
+        let other = 0.08;
+        let sum = lg + long_sb + mio + short_sb + drain + imc + wait + math + other;
+        let scale = total_stall / sum;
+        b.add(StallKind::LgThrottle, lg * scale);
+        b.add(StallKind::LongScoreboard, long_sb * scale);
+        b.add(StallKind::MioThrottle, mio * scale);
+        b.add(StallKind::ShortScoreboard, short_sb * scale);
+        b.add(StallKind::Drain, drain * scale);
+        b.add(StallKind::ImcMiss, imc * scale);
+        b.add(StallKind::Wait, wait * scale);
+        b.add(StallKind::MathPipeThrottle, math * scale);
+        b.add(StallKind::Other, other * scale);
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_kinds_match_paper_footnote() {
+        assert_eq!(StallKind::MEMORY_KINDS.len(), 6);
+        assert!(StallKind::LgThrottle.is_memory_related());
+        assert!(!StallKind::Wait.is_memory_related());
+    }
+
+    #[test]
+    fn attribution_conserves_total() {
+        let b = StallBreakdown::attribute(1000.0, 0.6, 0.2, 0.2, 0.3);
+        assert!((b.total() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lsu_saturated_kernel_is_lg_throttle_dominated() {
+        // Stage-1-like kernel: nearly all instructions are ld/st, memory
+        // bound. Table II: 82.7% LG throttle, 99.5% memory-related.
+        let b = StallBreakdown::attribute(1000.0, 0.9, 0.0, 0.05, 0.85);
+        let lg = b.get(StallKind::LgThrottle) / b.total();
+        assert!(lg > 0.6, "LG share = {lg}");
+        assert!(b.memory_fraction() > 0.85, "mem frac = {}", b.memory_fraction());
+    }
+
+    #[test]
+    fn dram_bound_kernel_is_long_scoreboard_dominated() {
+        // Merge-kernel-like: moderate LSU ratio, GMEM bound. Table II
+        // stage 5: 60.7% long scoreboard.
+        let b = StallBreakdown::attribute(1000.0, 0.8, 0.05, 0.1, 0.2);
+        let ls = b.get(StallKind::LongScoreboard) / b.total();
+        assert!(ls > 0.5, "LongScoreboard share = {ls}");
+        assert!(b.get(StallKind::LgThrottle) < b.get(StallKind::LongScoreboard));
+    }
+
+    #[test]
+    fn compute_bound_kernel_has_low_memory_fraction() {
+        // WarpDrive-NTT-like: SMEM/register resident, compute bound.
+        // Fig. 5: memory-related stalls are only 21.2% of cycles.
+        let b = StallBreakdown::attribute(1000.0, 0.08, 0.15, 0.85, 0.1);
+        assert!(b.memory_fraction() < 0.35, "mem frac = {}", b.memory_fraction());
+    }
+
+    #[test]
+    fn zero_stall_is_empty() {
+        let b = StallBreakdown::attribute(0.0, 1.0, 1.0, 1.0, 1.0);
+        assert_eq!(b.total(), 0.0);
+        assert_eq!(b.memory_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let a = StallBreakdown::attribute(100.0, 0.5, 0.2, 0.3, 0.3);
+        let m = a.merge(&a);
+        assert!((m.total() - 200.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,103 @@
+//! Kernel execution timelines (Fig. 1's visualization, as text).
+
+/// One kernel execution span on one lane (stream / processing-unit class).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEntry {
+    /// Kernel name.
+    pub name: String,
+    /// Lane index (0 = default stream).
+    pub lane: usize,
+    /// Start time, microseconds.
+    pub start_us: f64,
+    /// End time, microseconds.
+    pub end_us: f64,
+}
+
+/// An ordered collection of execution spans.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Timeline {
+    entries: Vec<TimelineEntry>,
+}
+
+impl Timeline {
+    /// Wraps a list of spans.
+    pub fn new(entries: Vec<TimelineEntry>) -> Self {
+        Self { entries }
+    }
+
+    /// The spans.
+    pub fn entries(&self) -> &[TimelineEntry] {
+        &self.entries
+    }
+
+    /// Wall-clock end of the last span.
+    pub fn end_us(&self) -> f64 {
+        self.entries.iter().map(|e| e.end_us).fold(0.0, f64::max)
+    }
+
+    /// Number of lanes used.
+    pub fn lanes(&self) -> usize {
+        self.entries.iter().map(|e| e.lane + 1).max().unwrap_or(0)
+    }
+
+    /// Renders an ASCII timeline, `width` characters across — the textual
+    /// stand-in for Fig. 1's kernel execution diagrams.
+    pub fn render(&self, width: usize) -> String {
+        let end = self.end_us();
+        if end <= 0.0 || self.entries.is_empty() {
+            return String::from("(empty timeline)\n");
+        }
+        let mut out = String::new();
+        for lane in 0..self.lanes() {
+            let mut row = vec![b'.'; width];
+            for e in self.entries.iter().filter(|e| e.lane == lane) {
+                let a = ((e.start_us / end) * width as f64) as usize;
+                let b = (((e.end_us / end) * width as f64).ceil() as usize).min(width);
+                let label = e.name.as_bytes();
+                for (k, slot) in row[a..b].iter_mut().enumerate() {
+                    *slot = if k < label.len() { label[k] } else { b'#' };
+                }
+            }
+            out.push_str(&format!("lane{lane} |"));
+            out.push_str(std::str::from_utf8(&row).expect("ascii"));
+            out.push_str("|\n");
+        }
+        out.push_str(&format!("scale: {:.1} us total\n", end));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, lane: usize, a: f64, b: f64) -> TimelineEntry {
+        TimelineEntry {
+            name: name.into(),
+            lane,
+            start_us: a,
+            end_us: b,
+        }
+    }
+
+    #[test]
+    fn end_and_lanes() {
+        let t = Timeline::new(vec![span("a", 0, 0.0, 5.0), span("b", 1, 2.0, 9.0)]);
+        assert_eq!(t.end_us(), 9.0);
+        assert_eq!(t.lanes(), 2);
+    }
+
+    #[test]
+    fn render_marks_busy_regions() {
+        let t = Timeline::new(vec![span("K", 0, 0.0, 5.0), span("J", 0, 5.0, 10.0)]);
+        let s = t.render(20);
+        assert!(s.contains('K'));
+        assert!(s.contains('J'));
+        assert!(s.contains("lane0"));
+    }
+
+    #[test]
+    fn empty_timeline_renders_placeholder() {
+        assert!(Timeline::default().render(10).contains("empty"));
+    }
+}

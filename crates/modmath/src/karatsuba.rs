@@ -1,0 +1,158 @@
+//! 4-term Karatsuba limb multiplication — the §IV-A-4 ablation.
+//!
+//! The tensor-core NTT splits each 32-bit coefficient into four 8-bit limbs
+//! and multiplies limb vectors: schoolbook needs all 16 limb products
+//! (m, n) ∈ \[0,4)², merged with shifts 2^{8(m+n)}. The paper tried a 4-term
+//! Karatsuba (two levels of 2-term Karatsuba) that needs only **9**
+//! multiplications at the cost of **5 extra pre-additions** and two bits of
+//! effective word length (limb sums reach 9 bits), and measured no net win —
+//! so WarpDrive ships schoolbook. Both are implemented here so the
+//! `karatsuba` bench can reproduce the trade-off.
+
+/// Number of limbs a 32-bit word is split into for the INT8 tensor path.
+pub const LIMBS: usize = 4;
+
+/// Splits a 32-bit value into 4 little-endian 8-bit limbs.
+#[inline]
+pub fn split_u32(x: u32) -> [u8; LIMBS] {
+    x.to_le_bytes()
+}
+
+/// Merges 4 little-endian 8-bit limbs back into a 32-bit value.
+#[inline]
+pub fn merge_u32(limbs: [u8; LIMBS]) -> u32 {
+    u32::from_le_bytes(limbs)
+}
+
+/// Full 7-coefficient limb convolution of two 4-limb operands, schoolbook:
+/// exactly the 16 limb products the tensor-core GEMM path computes.
+///
+/// `result[k] = Σ_{m+n=k} a[m] * b[n]`, so
+/// `Σ_k result[k] * 2^{8k} = a * b` as integers.
+pub fn schoolbook_conv4(a: [u8; LIMBS], b: [u8; LIMBS]) -> [u32; 7] {
+    let mut c = [0u32; 7];
+    for (m, &am) in a.iter().enumerate() {
+        for (n, &bn) in b.iter().enumerate() {
+            c[m + n] += u32::from(am) * u32::from(bn);
+        }
+    }
+    c
+}
+
+/// The same convolution via two-level Karatsuba: 9 multiplications,
+/// matching the §IV-A-4 analysis (down from 16, plus 5 pre-additions;
+/// intermediate operands grow to 9–10 bits, the "2 bits of word length" cost).
+pub fn karatsuba_conv4(a: [u8; LIMBS], b: [u8; LIMBS]) -> [u32; 7] {
+    // 2-term Karatsuba on 16-bit halves, where each half product is itself a
+    // 2-term Karatsuba on 8-bit limbs (3 muls each): 3 * 3 = 9 muls total.
+    #[inline]
+    fn kara2(a0: u32, a1: u32, b0: u32, b1: u32) -> [u32; 3] {
+        let lo = a0 * b0;
+        let hi = a1 * b1;
+        let mid = (a0 + a1) * (b0 + b1) - lo - hi; // 1 mul, 2 pre-adds
+        [lo, mid, hi]
+    }
+    let (a0, a1, a2, a3) = (u32::from(a[0]), u32::from(a[1]), u32::from(a[2]), u32::from(a[3]));
+    let (b0, b1, b2, b3) = (u32::from(b[0]), u32::from(b[1]), u32::from(b[2]), u32::from(b[3]));
+
+    let lo = kara2(a0, a1, b0, b1); // (a0 + a1·x)(b0 + b1·x)
+    let hi = kara2(a2, a3, b2, b3); // (a2 + a3·x)(b2 + b3·x)
+    // Middle: (a0+a2, a1+a3) × (b0+b2, b1+b3), operands are 9-bit.
+    let mid = kara2(a0 + a2, a1 + a3, b0 + b2, b1 + b3);
+
+    let mut c = [0u32; 7];
+    // lo contributes at x^0, hi at x^4, (mid - lo - hi) at x^2.
+    for k in 0..3 {
+        c[k] += lo[k];
+        c[k + 4] += hi[k];
+        c[k + 2] += mid[k] - lo[k] - hi[k];
+    }
+    c
+}
+
+/// Full 64-bit product of two u32s evaluated from a limb convolution, used to
+/// verify both convolution kernels against native multiplication.
+pub fn eval_conv(c: &[u32; 7]) -> u64 {
+    c.iter()
+        .enumerate()
+        .map(|(k, &v)| u64::from(v) << (8 * k))
+        .sum()
+}
+
+/// Operation counts of the two limb-multiplication strategies, as reported in
+/// the paper's §IV-A-4 discussion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LimbMulCost {
+    /// Limb multiplications per coefficient product.
+    pub muls: u64,
+    /// Extra additions before the multiplications (operand preparation).
+    pub pre_adds: u64,
+    /// Bits of effective word length lost to operand growth.
+    pub word_bits_lost: u32,
+}
+
+/// Cost of the schoolbook limb product (16 muls, no pre-adds).
+pub const SCHOOLBOOK_COST: LimbMulCost = LimbMulCost {
+    muls: 16,
+    pre_adds: 0,
+    word_bits_lost: 0,
+};
+
+/// Cost of the 4-term Karatsuba limb product (9 muls, 5 pre-adds, 2 bits).
+pub const KARATSUBA_COST: LimbMulCost = LimbMulCost {
+    muls: 9,
+    pre_adds: 5,
+    word_bits_lost: 2,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn split_merge_round_trip() {
+        for x in [0u32, 1, 0xdead_beef, u32::MAX] {
+            assert_eq!(merge_u32(split_u32(x)), x);
+        }
+    }
+
+    #[test]
+    fn schoolbook_equals_native_product() {
+        for (x, y) in [(0u32, 0u32), (1, 1), (0xffff_ffff, 0xffff_ffff), (12345, 67890)] {
+            let c = schoolbook_conv4(split_u32(x), split_u32(y));
+            assert_eq!(eval_conv(&c), u64::from(x) * u64::from(y));
+        }
+    }
+
+    #[test]
+    fn karatsuba_equals_schoolbook_on_extremes() {
+        for (x, y) in [(0u32, 0u32), (u32::MAX, u32::MAX), (0x0100_0001, 0x8000_0080)] {
+            assert_eq!(
+                karatsuba_conv4(split_u32(x), split_u32(y)),
+                schoolbook_conv4(split_u32(x), split_u32(y))
+            );
+        }
+    }
+
+    #[test]
+    fn paper_op_counts() {
+        // §IV-A-4: "decreases the number of multiplications from 16 to 9, but
+        // introduces 5 additional additions ... reduces the effective word
+        // length by 2 bits".
+        assert_eq!(SCHOOLBOOK_COST.muls, 16);
+        assert_eq!(KARATSUBA_COST.muls, 9);
+        assert_eq!(KARATSUBA_COST.pre_adds, 5);
+        assert_eq!(KARATSUBA_COST.word_bits_lost, 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_both_match_native(x in any::<u32>(), y in any::<u32>()) {
+            let s = schoolbook_conv4(split_u32(x), split_u32(y));
+            let k = karatsuba_conv4(split_u32(x), split_u32(y));
+            prop_assert_eq!(s, k);
+            prop_assert_eq!(eval_conv(&s), u64::from(x) * u64::from(y));
+        }
+    }
+}

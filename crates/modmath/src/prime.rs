@@ -1,0 +1,268 @@
+//! NTT-friendly prime generation and roots of unity.
+//!
+//! CKKS over R_q = Z_q\[X\]/(X^N + 1) needs primes with q ≡ 1 (mod 2N) so that
+//! a primitive 2N-th root of unity ψ exists (ψ² = ω is the N-th root used by
+//! the NTT, ψ itself folds the negacyclic wrap into the transform). The
+//! WarpDrive framework's initialization phase (§IV-D-1) "selects and generates
+//! moduli and precomputed values such as twiddle factors" — this module is
+//! that generator.
+
+use crate::{MathError, Modulus};
+
+/// Deterministic Miller–Rabin primality test, exact for all `u64` inputs
+/// (uses the standard 12-witness set).
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let mut d = n - 1;
+    let mut s = 0;
+    while d % 2 == 0 {
+        d /= 2;
+        s += 1;
+    }
+    'witness: for a in [2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod_u64(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod_u64(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[inline]
+fn mul_mod_u64(a: u64, b: u64, m: u64) -> u64 {
+    (u128::from(a) * u128::from(b) % u128::from(m)) as u64
+}
+
+fn pow_mod_u64(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    let mut acc = 1u64 % m;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod_u64(acc, base, m);
+        }
+        base = mul_mod_u64(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Finds the smallest prime `q >= above` with `q ≡ 1 (mod two_n)` and
+/// `q < 2^31` (the WarpDrive word-size bound).
+///
+/// # Errors
+///
+/// Returns [`MathError::PrimeNotFound`] when the search range is exhausted.
+pub fn ntt_prime_above(above: u64, two_n: u64) -> Result<u64, MathError> {
+    let err = MathError::PrimeNotFound { above, two_n };
+    if two_n == 0 {
+        return Err(err);
+    }
+    // First candidate >= above that is ≡ 1 mod two_n.
+    let mut c = above.div_ceil(two_n) * two_n + 1;
+    if c < above {
+        c += two_n;
+    }
+    while c < (1u64 << crate::MAX_MODULUS_BITS) {
+        if is_prime(c) {
+            return Ok(c);
+        }
+        c += two_n;
+    }
+    Err(err)
+}
+
+/// Finds the largest prime `q <= below` with `q ≡ 1 (mod two_n)`.
+///
+/// # Errors
+///
+/// Returns [`MathError::PrimeNotFound`] when no such prime exists above `two_n`.
+pub fn ntt_prime_below(below: u64, two_n: u64) -> Result<u64, MathError> {
+    let err = MathError::PrimeNotFound {
+        above: below,
+        two_n,
+    };
+    if two_n == 0 || below < two_n + 1 {
+        return Err(err);
+    }
+    let mut c = (below - 1) / two_n * two_n + 1;
+    while c > two_n {
+        if is_prime(c) {
+            return Ok(c);
+        }
+        c -= two_n;
+    }
+    Err(err)
+}
+
+/// Generates `count` distinct NTT-friendly primes of roughly `bits` bits,
+/// alternating the search above and below `2^bits` so the products stay close
+/// to the target scale (how RNS-CKKS implementations keep Δ ≈ q_i).
+///
+/// # Errors
+///
+/// Returns [`MathError::PrimeNotFound`] if the pool around `2^bits` is too
+/// small for `count` distinct primes.
+pub fn generate_ntt_primes(bits: u32, two_n: u64, count: usize) -> Result<Vec<u64>, MathError> {
+    let center = 1u64 << bits;
+    let mut primes = Vec::with_capacity(count);
+    let mut lo = center;
+    let mut hi = center;
+    for i in 0..count {
+        let next = if i % 2 == 0 {
+            let p = ntt_prime_above(hi + 1, two_n)?;
+            hi = p;
+            p
+        } else {
+            let p = ntt_prime_below(lo - 1, two_n)?;
+            lo = p;
+            p
+        };
+        primes.push(next);
+    }
+    Ok(primes)
+}
+
+/// Returns a primitive `order`-th root of unity modulo prime `q`
+/// (`order` must divide `q - 1` and be a power of two here).
+///
+/// # Errors
+///
+/// Returns [`MathError::InvalidModulus`] if `order` does not divide `q - 1`.
+pub fn primitive_root_of_unity(q: u64, order: u64) -> Result<u64, MathError> {
+    let m = Modulus::new(q);
+    if order == 0 || (q - 1) % order != 0 {
+        return Err(MathError::InvalidModulus(q));
+    }
+    // Find a generator candidate g, then ω = g^((q-1)/order).
+    let exp = (q - 1) / order;
+    for g in 2..q {
+        let w = m.pow(g, exp);
+        // ω is primitive iff ω^(order/2) != 1 (order is a power of two).
+        if order == 1 || m.pow(w, order / 2) != 1 {
+            return Ok(w);
+        }
+    }
+    Err(MathError::InvalidModulus(q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn is_prime_small_cases() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 7919];
+        let composites = [0u64, 1, 4, 9, 15, 91, 7917, 1 << 20];
+        for p in primes {
+            assert!(is_prime(p), "{p} is prime");
+        }
+        for c in composites {
+            assert!(!is_prime(c), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn is_prime_carmichael_numbers() {
+        // Carmichael numbers fool Fermat tests but not Miller–Rabin.
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 825265] {
+            assert!(!is_prime(c), "{c} is a Carmichael number");
+        }
+    }
+
+    #[test]
+    fn ntt_prime_has_required_residue() {
+        let two_n = 1u64 << 13;
+        let q = ntt_prime_above(1 << 28, two_n).unwrap();
+        assert!(is_prime(q));
+        assert_eq!((q - 1) % two_n, 0);
+        assert!(q >= (1 << 28));
+    }
+
+    #[test]
+    fn ntt_prime_below_is_below() {
+        let two_n = 1u64 << 13;
+        let q = ntt_prime_below(1 << 28, two_n).unwrap();
+        assert!(is_prime(q));
+        assert!(q <= (1 << 28));
+        assert_eq!((q - 1) % two_n, 0);
+    }
+
+    #[test]
+    fn generate_distinct_primes_for_set_e_scale() {
+        // Set-E needs 36 distinct ~28-bit primes with 2N = 2^17.
+        let primes = generate_ntt_primes(28, 1 << 17, 36).unwrap();
+        assert_eq!(primes.len(), 36);
+        let mut sorted = primes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 36, "primes must be distinct");
+        for &p in &primes {
+            assert!(is_prime(p));
+            assert_eq!((p - 1) % (1 << 17), 0);
+            assert!(p < (1 << 31));
+        }
+    }
+
+    #[test]
+    fn prime_not_found_at_word_boundary() {
+        // Asking for primes above the 31-bit bound must fail, not loop.
+        let e = ntt_prime_above((1 << 31) - 2, 1 << 30);
+        assert!(matches!(e, Err(MathError::PrimeNotFound { .. })));
+    }
+
+    #[test]
+    fn root_of_unity_has_exact_order() {
+        let two_n = 1u64 << 13;
+        let q = ntt_prime_above(1 << 28, two_n).unwrap();
+        let m = Modulus::new(q);
+        let psi = primitive_root_of_unity(q, two_n).unwrap();
+        assert_eq!(m.pow(psi, two_n), 1);
+        assert_ne!(m.pow(psi, two_n / 2), 1);
+        // ψ^N = -1: the negacyclic property.
+        assert_eq!(m.pow(psi, two_n / 2), q - 1);
+    }
+
+    #[test]
+    fn root_of_unity_rejects_bad_order() {
+        let q = ntt_prime_above(1 << 20, 1 << 10).unwrap();
+        assert!(primitive_root_of_unity(q, 3 * (q - 1)).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_is_prime_matches_trial_division(n in 2u64..200_000) {
+            let trial = (2..).take_while(|d| d * d <= n).all(|d| n % d != 0);
+            prop_assert_eq!(is_prime(n), trial);
+        }
+
+        #[test]
+        fn prop_roots_are_roots(log_two_n in 4u32..14) {
+            let two_n = 1u64 << log_two_n;
+            let q = ntt_prime_above(1 << 25, two_n).unwrap();
+            let w = primitive_root_of_unity(q, two_n).unwrap();
+            let m = Modulus::new(q);
+            prop_assert_eq!(m.pow(w, two_n), 1);
+            prop_assert_ne!(m.pow(w, two_n / 2), 1);
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! Residue number system (RNS) bases and fast basis conversion.
+//!
+//! RNS-CKKS stores every polynomial coefficient as its residues modulo a
+//! chain of word-size primes q_0 … q_l (plus special primes p_0 … p_{K-1}
+//! for hybrid keyswitching). The two primitives this module provides are:
+//!
+//! - [`RnsBasis::crt_reconstruct_centered`]: exact CRT reconstruction of a
+//!   centered coefficient (used by decryption/decoding, where the value is
+//!   small relative to the basis product), and
+//! - [`BasisConverter`]: the fast (Halevi–Polyakov–Shoup style) conversion of
+//!   residues from one basis to another — the arithmetic core of ModUp and
+//!   ModDown in Keyswitch (paper Fig. 4).
+
+use crate::{MathError, Modulus};
+
+/// An ordered set of distinct word-size prime moduli.
+///
+/// # Examples
+///
+/// ```
+/// use wd_modmath::rns::RnsBasis;
+/// let basis = RnsBasis::new(vec![97, 193]).unwrap();
+/// let residues = basis.decompose_i128(-5);
+/// assert_eq!(basis.crt_reconstruct_centered(&residues).unwrap(), -5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RnsBasis {
+    moduli: Vec<Modulus>,
+}
+
+impl RnsBasis {
+    /// Builds a basis from prime values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidModulus`] if any modulus is out of the
+    /// word-size range or if two moduli are equal (CRT requires coprimality).
+    pub fn new(primes: Vec<u64>) -> Result<Self, MathError> {
+        let mut seen = primes.clone();
+        seen.sort_unstable();
+        for w in seen.windows(2) {
+            if w[0] == w[1] {
+                return Err(MathError::InvalidModulus(w[0]));
+            }
+        }
+        let moduli = primes
+            .into_iter()
+            .map(Modulus::try_new)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { moduli })
+    }
+
+    /// The moduli in order.
+    pub fn moduli(&self) -> &[Modulus] {
+        &self.moduli
+    }
+
+    /// Number of limbs in the basis.
+    pub fn len(&self) -> usize {
+        self.moduli.len()
+    }
+
+    /// Whether the basis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.moduli.is_empty()
+    }
+
+    /// The prime values in order.
+    pub fn values(&self) -> Vec<u64> {
+        self.moduli.iter().map(|m| m.value()).collect()
+    }
+
+    /// Product of all moduli, if it fits in `u128`.
+    pub fn product_u128(&self) -> Option<u128> {
+        let mut acc: u128 = 1;
+        for m in &self.moduli {
+            acc = acc.checked_mul(u128::from(m.value()))?;
+        }
+        Some(acc)
+    }
+
+    /// Product of all moduli as an `f64` (approximate; used for noise/scale
+    /// bookkeeping, never for exact arithmetic).
+    pub fn product_f64(&self) -> f64 {
+        self.moduli.iter().map(|m| m.value() as f64).product()
+    }
+
+    /// log2 of the basis product.
+    pub fn log2_product(&self) -> f64 {
+        self.moduli.iter().map(|m| (m.value() as f64).log2()).sum()
+    }
+
+    /// Residues of a signed integer in every limb.
+    pub fn decompose_i128(&self, x: i128) -> Vec<u64> {
+        self.moduli
+            .iter()
+            .map(|m| {
+                let q = i128::from(m.value());
+                ((x % q + q) % q) as u64
+            })
+            .collect()
+    }
+
+    /// Exact centered CRT reconstruction from one residue per limb.
+    ///
+    /// The reconstructed representative lies in `(-Q/2, Q/2]` where Q is the
+    /// basis product. This is how decryption recovers the (small) plaintext
+    /// coefficient from its RNS residues.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidModulus`] if the basis product overflows
+    /// `u128` (callers should reconstruct from a limb subset that bounds the
+    /// coefficient — see `wd-ckks`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `residues.len() != self.len()`.
+    pub fn crt_reconstruct_centered(&self, residues: &[u64]) -> Result<i128, MathError> {
+        assert_eq!(residues.len(), self.len(), "one residue per limb");
+        let q_prod = self
+            .product_u128()
+            .ok_or(MathError::InvalidModulus(u64::MAX))?;
+        let mut acc: u128 = 0;
+        for (m, &r) in self.moduli.iter().zip(residues) {
+            let qi = u128::from(m.value());
+            let q_hat = q_prod / qi; // Q / q_i
+            let q_hat_inv = m.inv((q_hat % qi) as u64)?; // (Q/q_i)^{-1} mod q_i
+            let y = m.mul(m.reduce(r), q_hat_inv); // < q_i
+            // acc += y * Q/q_i (mod Q), with mulmod over u128 to avoid overflow.
+            acc = (acc + mul_mod_u128(u128::from(y), q_hat, q_prod)) % q_prod;
+        }
+        let half = q_prod / 2;
+        if acc > half {
+            Ok(acc as i128 - q_prod as i128)
+        } else {
+            Ok(acc as i128)
+        }
+    }
+}
+
+/// (a * b) mod m for u128 operands, via 4-limb schoolbook on 64-bit halves.
+fn mul_mod_u128(a: u128, b: u128, m: u128) -> u128 {
+    // Russian-peasant multiplication; m < 2^127 so doubling cannot overflow
+    // after one reduction.
+    let mut a = a % m;
+    let mut b = b % m;
+    let mut acc: u128 = 0;
+    while b > 0 {
+        if b & 1 == 1 {
+            acc += a;
+            if acc >= m {
+                acc -= m;
+            }
+        }
+        a <<= 1;
+        if a >= m {
+            a -= m;
+        }
+        b >>= 1;
+    }
+    acc
+}
+
+/// Fast RNS basis conversion (Halevi–Polyakov–Shoup), converting residues
+/// from a source basis Q = {q_j} to a target basis {p_i}:
+///
+/// ```text
+/// y_j  = [x_j * (Q/q_j)^{-1}]_{q_j}
+/// v    = round(Σ_j y_j / q_j)              (f64 estimate of the overflow)
+/// x_i  = Σ_j y_j * [Q/q_j]_{p_i} - v·[Q]_{p_i}   (mod p_i)
+/// ```
+///
+/// With the `v` correction the conversion is exact whenever the true value is
+/// not within rounding error of a multiple of Q — the same guarantee GPU FHE
+/// libraries rely on for ModUp/ModDown.
+#[derive(Debug, Clone)]
+pub struct BasisConverter {
+    from: RnsBasis,
+    to: RnsBasis,
+    /// (Q/q_j)^{-1} mod q_j, per source limb.
+    q_hat_inv: Vec<u64>,
+    /// [Q/q_j] mod p_i, indexed [i][j].
+    q_hat_mod_to: Vec<Vec<u64>>,
+    /// [Q] mod p_i.
+    q_mod_to: Vec<u64>,
+    /// 1/q_j as f64, per source limb.
+    inv_q: Vec<f64>,
+}
+
+impl BasisConverter {
+    /// Precomputes a converter from `from` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MathError`] from inverse computations (cannot happen for
+    /// genuinely distinct primes).
+    pub fn new(from: RnsBasis, to: RnsBasis) -> Result<Self, MathError> {
+        let n_from = from.len();
+        let mut q_hat_inv = Vec::with_capacity(n_from);
+        let mut inv_q = Vec::with_capacity(n_from);
+        for (j, mj) in from.moduli().iter().enumerate() {
+            // (Q/q_j) mod q_j = prod_{k != j} q_k mod q_j
+            let mut prod = 1u64;
+            for (k, mk) in from.moduli().iter().enumerate() {
+                if k != j {
+                    prod = mj.mul(prod, mj.reduce(mk.value()));
+                }
+            }
+            q_hat_inv.push(mj.inv(prod)?);
+            inv_q.push(1.0 / mj.value() as f64);
+        }
+        let mut q_hat_mod_to = Vec::with_capacity(to.len());
+        let mut q_mod_to = Vec::with_capacity(to.len());
+        for mi in to.moduli() {
+            let mut row = Vec::with_capacity(n_from);
+            for j in 0..n_from {
+                let mut prod = 1u64;
+                for (k, mk) in from.moduli().iter().enumerate() {
+                    if k != j {
+                        prod = mi.mul(prod, mi.reduce(mk.value()));
+                    }
+                }
+                row.push(prod);
+            }
+            let mut q_full = 1u64;
+            for mk in from.moduli() {
+                q_full = mi.mul(q_full, mi.reduce(mk.value()));
+            }
+            q_hat_mod_to.push(row);
+            q_mod_to.push(q_full);
+        }
+        Ok(Self {
+            from,
+            to,
+            q_hat_inv,
+            q_hat_mod_to,
+            q_mod_to,
+            inv_q,
+        })
+    }
+
+    /// The source basis.
+    pub fn from_basis(&self) -> &RnsBasis {
+        &self.from
+    }
+
+    /// The target basis.
+    pub fn to_basis(&self) -> &RnsBasis {
+        &self.to
+    }
+
+    /// Converts one coefficient's residues from the source to the target
+    /// basis, writing into `out` (`out.len() == to.len()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if slice lengths do not match the bases.
+    pub fn convert_coeff(&self, residues: &[u64], out: &mut [u64]) {
+        assert_eq!(residues.len(), self.from.len());
+        assert_eq!(out.len(), self.to.len());
+        // y_j and the float overflow estimate.
+        let mut v_est = 0.0f64;
+        let mut y = [0u64; 64];
+        assert!(residues.len() <= 64, "basis wider than 64 limbs");
+        for (j, (mj, &x)) in self.from.moduli().iter().zip(residues).enumerate() {
+            let yj = mj.mul(mj.reduce(x), self.q_hat_inv[j]);
+            y[j] = yj;
+            v_est += yj as f64 * self.inv_q[j];
+        }
+        let v = (v_est + 0.5).floor() as u64;
+        for (i, mi) in self.to.moduli().iter().enumerate() {
+            let mut acc = 0u64;
+            let row = &self.q_hat_mod_to[i];
+            for j in 0..self.from.len() {
+                // y_j is reduced mod q_j, which may exceed this target
+                // modulus — reduce before multiplying.
+                acc = mi.add(acc, mi.mul(mi.reduce(y[j]), row[j]));
+            }
+            let corr = mi.mul(mi.reduce(v), self.q_mod_to[i]);
+            out[i] = mi.sub(acc, corr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::generate_ntt_primes;
+    use proptest::prelude::*;
+
+    fn basis(bits: u32, n: usize, offset: usize) -> RnsBasis {
+        let primes = generate_ntt_primes(bits, 1 << 8, n + offset).unwrap();
+        RnsBasis::new(primes[offset..].to_vec()).unwrap()
+    }
+
+    #[test]
+    fn rejects_duplicate_moduli() {
+        assert!(RnsBasis::new(vec![97, 97]).is_err());
+    }
+
+    #[test]
+    fn crt_round_trip_small_values() {
+        let b = RnsBasis::new(vec![97, 193, 389]).unwrap();
+        for x in [-1_000_000i128, -1, 0, 1, 42, 3_000_000] {
+            let r = b.decompose_i128(x);
+            assert_eq!(b.crt_reconstruct_centered(&r).unwrap(), x, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn crt_centered_range_boundaries() {
+        let b = RnsBasis::new(vec![97, 101]).unwrap();
+        let q: i128 = 97 * 101;
+        // Largest positive representative is Q/2 (floor), smallest is -(Q-1)/2.
+        let hi = q / 2;
+        let lo = -(q - 1) / 2;
+        for x in [lo, lo + 1, -1, 0, 1, hi - 1, hi] {
+            let r = b.decompose_i128(x);
+            assert_eq!(b.crt_reconstruct_centered(&r).unwrap(), x);
+        }
+    }
+
+    #[test]
+    fn product_u128_overflow_is_none() {
+        let b = basis(24, 5, 0);
+        assert!(b.product_u128().is_some());
+        let primes = generate_ntt_primes(30, 1 << 8, 40).unwrap();
+        let wide = RnsBasis::new(primes).unwrap();
+        assert!(wide.product_u128().is_none());
+        assert!(wide.log2_product() > 1000.0);
+    }
+
+    #[test]
+    fn basis_conversion_exact_for_small_values() {
+        let from = basis(28, 3, 0);
+        let to = basis(28, 2, 3);
+        let conv = BasisConverter::new(from.clone(), to.clone()).unwrap();
+        for x in [-123_456_789i128, -7, 0, 5, 1 << 40, -(1i128 << 50)] {
+            let src = from.decompose_i128(x);
+            let mut out = vec![0u64; to.len()];
+            conv.convert_coeff(&src, &mut out);
+            assert_eq!(out, to.decompose_i128(x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn basis_conversion_large_negative_values() {
+        // Values close to -Q/2 exercise the v-correction path.
+        let from = basis(28, 3, 0);
+        let to = basis(28, 3, 3);
+        let q = from.product_u128().unwrap() as i128;
+        let conv = BasisConverter::new(from.clone(), to.clone()).unwrap();
+        // The HPS conversion is exact away from the ±Q/2 boundary (the f64
+        // overflow estimate rounds the wrong way exactly at the edge).
+        for x in [-(q / 3), q / 3, -(q * 2 / 5), q * 2 / 5] {
+            let src = from.decompose_i128(x);
+            let mut out = vec![0u64; to.len()];
+            conv.convert_coeff(&src, &mut out);
+            assert_eq!(out, to.decompose_i128(x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn conversion_to_single_limb_matches_mod() {
+        let from = basis(28, 4, 0);
+        let to = RnsBasis::new(vec![ntt_prime(20)]).unwrap();
+        let conv = BasisConverter::new(from.clone(), to.clone()).unwrap();
+        let x = 987_654_321_012i128;
+        let src = from.decompose_i128(x);
+        let mut out = vec![0u64];
+        conv.convert_coeff(&src, &mut out);
+        assert_eq!(out[0], to.decompose_i128(x)[0]);
+    }
+
+    fn ntt_prime(bits: u32) -> u64 {
+        crate::prime::ntt_prime_above(1 << bits, 1 << 8).unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_crt_round_trip(x in -(1i128 << 60)..(1i128 << 60)) {
+            let b = basis(28, 3, 0);
+            let r = b.decompose_i128(x);
+            prop_assert_eq!(b.crt_reconstruct_centered(&r).unwrap(), x);
+        }
+
+        #[test]
+        fn prop_conversion_matches_direct_decomposition(x in -(1i128 << 70)..(1i128 << 70)) {
+            let from = basis(28, 4, 0);
+            let to = basis(28, 2, 4);
+            let conv = BasisConverter::new(from.clone(), to.clone()).unwrap();
+            let src = from.decompose_i128(x);
+            let mut out = vec![0u64; to.len()];
+            conv.convert_coeff(&src, &mut out);
+            prop_assert_eq!(out, to.decompose_i128(x));
+        }
+
+        #[test]
+        fn prop_conversion_is_additive(a in -(1i128 << 50)..(1i128 << 50),
+                                       b in -(1i128 << 50)..(1i128 << 50)) {
+            let from = basis(28, 4, 0);
+            let to = basis(28, 2, 4);
+            let conv = BasisConverter::new(from.clone(), to.clone()).unwrap();
+            let (mut ra, mut rb, mut rab) =
+                (vec![0u64; 2], vec![0u64; 2], vec![0u64; 2]);
+            conv.convert_coeff(&from.decompose_i128(a), &mut ra);
+            conv.convert_coeff(&from.decompose_i128(b), &mut rb);
+            conv.convert_coeff(&from.decompose_i128(a + b), &mut rab);
+            for (i, mi) in to.moduli().iter().enumerate() {
+                prop_assert_eq!(mi.add(ra[i], rb[i]), rab[i]);
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! u32 ↔ 4×u8 limb splitting for the INT8 tensor-core path.
+//!
+//! Tensor cores multiply 8-bit integers, so TensorFHE and WarpDrive both
+//! split every 32-bit coefficient x into limbs x = Σ_m x_m·2^{8m} before a
+//! GEMM and merge the partial products afterwards (Algorithms 1 and 2). In
+//! TensorFHE this split/merge is a **dedicated kernel pair** whose
+//! memory-to-compute imbalance causes the dominant "Stall LG Throttle"
+//! (Table II); in WarpDrive it happens in registers inside the one fused
+//! kernel. The arithmetic is identical — this module is that arithmetic.
+
+use wd_modmath::Modulus;
+
+/// Number of 8-bit limbs per 32-bit word.
+pub const LIMBS: usize = 4;
+
+/// Splits a slice of reduced coefficients into `LIMBS` planes of u8 values:
+/// `planes[m][i]` is bits `8m..8m+8` of `x[i]` (structure-of-arrays, the
+/// layout the GEMM consumes).
+pub fn split_planes(x: &[u64]) -> [Vec<u8>; LIMBS] {
+    let mut planes = [
+        Vec::with_capacity(x.len()),
+        Vec::with_capacity(x.len()),
+        Vec::with_capacity(x.len()),
+        Vec::with_capacity(x.len()),
+    ];
+    for &v in x {
+        debug_assert!(v < (1 << 32));
+        for (m, plane) in planes.iter_mut().enumerate() {
+            plane.push(((v >> (8 * m)) & 0xff) as u8);
+        }
+    }
+    planes
+}
+
+/// Merges four u8 planes back into u64 words (no modular reduction).
+///
+/// # Panics
+///
+/// Panics if the planes have different lengths.
+pub fn merge_planes(planes: &[Vec<u8>; LIMBS]) -> Vec<u64> {
+    let n = planes[0].len();
+    assert!(planes.iter().all(|p| p.len() == n), "ragged planes");
+    (0..n)
+        .map(|i| {
+            (0..LIMBS)
+                .map(|m| u64::from(planes[m][i]) << (8 * m))
+                .sum()
+        })
+        .collect()
+}
+
+/// Precomputed powers 2^{8s} mod q for s in 0..(2·LIMBS − 1), used when
+/// merging the 16 partial GEMM products `Y_{mn}` back into a coefficient:
+/// `x = Σ_{m,n} Y_{mn} · 2^{8(m+n)} (mod q)`.
+#[derive(Debug, Clone)]
+pub struct MergeTable {
+    modulus: Modulus,
+    pow2_8s: [u64; 2 * LIMBS - 1],
+}
+
+impl MergeTable {
+    /// Builds the merge table for modulus q.
+    pub fn new(modulus: Modulus) -> Self {
+        let mut pow2_8s = [0u64; 2 * LIMBS - 1];
+        let mut p = 1u64 % modulus.value();
+        let shift = modulus.reduce(1 << 8);
+        for slot in &mut pow2_8s {
+            *slot = p;
+            p = modulus.mul(p, shift);
+        }
+        Self { modulus, pow2_8s }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &Modulus {
+        &self.modulus
+    }
+
+    /// Reassembles one coefficient from its 7 shift-bucket sums
+    /// `bucket[s] = Σ_{m+n=s} Y_{mn}` (each already a u64 partial sum),
+    /// applying modular reduction per bucket — the "Reassembling 16 elements
+    /// … perform ModRedc" step of Algorithms 1 and 2.
+    #[inline]
+    pub fn merge_buckets(&self, buckets: &[u64; 2 * LIMBS - 1]) -> u64 {
+        let m = &self.modulus;
+        let mut acc = 0u64;
+        for (s, &b) in buckets.iter().enumerate() {
+            acc = m.add(acc, m.mul(m.reduce(b), self.pow2_8s[s]));
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn split_merge_round_trip() {
+        let x = vec![0u64, 1, 0xdead_beef, 0x7fff_ffff, 0xffff_ffff];
+        assert_eq!(merge_planes(&split_planes(&x)), x);
+    }
+
+    #[test]
+    fn planes_are_structure_of_arrays() {
+        let planes = split_planes(&[0x0403_0201]);
+        assert_eq!(
+            [planes[0][0], planes[1][0], planes[2][0], planes[3][0]],
+            [0x01, 0x02, 0x03, 0x04]
+        );
+    }
+
+    #[test]
+    fn merge_buckets_reconstructs_products() {
+        let q = 0x7ffe_6001u64;
+        let m = Modulus::new(q);
+        let t = MergeTable::new(m);
+        let (a, b) = (0x1234_5678u64 % q, 0x0fed_cba9u64 % q);
+        // Build the 16 limb partial products by hand.
+        let pa = split_planes(&[a]);
+        let pb = split_planes(&[b]);
+        let mut buckets = [0u64; 7];
+        for i in 0..LIMBS {
+            for j in 0..LIMBS {
+                buckets[i + j] += u64::from(pa[i][0]) * u64::from(pb[j][0]);
+            }
+        }
+        assert_eq!(t.merge_buckets(&buckets), m.mul(a, b));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bucket_merge_equals_barrett(a in 0u64..0x7ffe_6001, b in 0u64..0x7ffe_6001) {
+            let m = Modulus::new(0x7ffe_6001);
+            let t = MergeTable::new(m);
+            let pa = split_planes(&[a]);
+            let pb = split_planes(&[b]);
+            let mut buckets = [0u64; 7];
+            for i in 0..LIMBS {
+                for j in 0..LIMBS {
+                    buckets[i + j] += u64::from(pa[i][0]) * u64::from(pb[j][0]);
+                }
+            }
+            prop_assert_eq!(t.merge_buckets(&buckets), m.mul(a, b));
+        }
+    }
+}

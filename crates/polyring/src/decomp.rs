@@ -1,0 +1,383 @@
+//! Multi-level NTT decomposition plans (paper Fig. 2 and Table IV).
+//!
+//! A plan is a binary factor tree over N. One application of the (merged)
+//! 4-step algorithm splits an n-point NTT into n2 column NTTs of size n1, a
+//! twiddle/Hadamard stage, and n1 row NTTs of size n2. WarpDrive applies the
+//! split recursively ("2-level decomposition", seven steps for N = 2^16,
+//! leaves of size 16 = the tensor-core MMA dimension); TensorFHE stops at one
+//! level (leaves of 256, twiddle matrices of hundreds of KB that cannot live
+//! in SMEM). [`DecompPlan::table_iv_counts`] gives the closed-form operation
+//! counts the paper tabulates.
+
+use crate::PolyError;
+
+/// A factor-tree node: either an inner NTT executed directly (leaf) or a
+/// 4-step split into two sub-transforms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanNode {
+    /// Directly-executed inner NTT of this size.
+    Leaf(usize),
+    /// 4-step split: size = left.size() × right.size(); columns (stride
+    /// access) run the left sub-plan, rows run the right sub-plan.
+    Split(Box<PlanNode>, Box<PlanNode>),
+}
+
+impl PlanNode {
+    /// Total transform size covered by this node.
+    pub fn size(&self) -> usize {
+        match self {
+            PlanNode::Leaf(s) => *s,
+            PlanNode::Split(a, b) => a.size() * b.size(),
+        }
+    }
+
+    /// Depth of the decomposition (0 for a leaf).
+    pub fn depth(&self) -> usize {
+        match self {
+            PlanNode::Leaf(_) => 0,
+            PlanNode::Split(a, b) => 1 + a.depth().max(b.depth()),
+        }
+    }
+
+    /// All leaf sizes, left to right.
+    pub fn leaves(&self) -> Vec<usize> {
+        match self {
+            PlanNode::Leaf(s) => vec![*s],
+            PlanNode::Split(a, b) => {
+                let mut v = a.leaves();
+                v.extend(b.leaves());
+                v
+            }
+        }
+    }
+
+    /// Number of execution steps in the flattened schedule: leaves are inner
+    /// NTT steps, each split adds one twiddle/transpose step. Fig. 2's
+    /// 2-level plan for N = 2^16 has 7 steps.
+    pub fn steps(&self) -> usize {
+        match self {
+            PlanNode::Leaf(_) => 1,
+            PlanNode::Split(a, b) => a.steps() + b.steps() + 1,
+        }
+    }
+}
+
+/// A decomposition plan for an N-point NTT.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecompPlan {
+    n: usize,
+    root: PlanNode,
+}
+
+impl DecompPlan {
+    /// No decomposition: the whole transform is one (gigantic) inner NTT —
+    /// the 0-level row of Table IV.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::BadDegree`] for invalid N.
+    pub fn undecomposed(n: usize) -> Result<Self, PolyError> {
+        crate::poly::check_degree(n)?;
+        Ok(Self {
+            n,
+            root: PlanNode::Leaf(n),
+        })
+    }
+
+    /// Balanced splitting to the requested depth: every node of size s > 16
+    /// splits into 2^⌈log₂(s)/2⌉ × remaining. `levels = 1` reproduces the
+    /// TensorFHE plan (N = 2^16 → 256 × 256).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::BadDegree`] for invalid N.
+    pub fn balanced(n: usize, levels: usize) -> Result<Self, PolyError> {
+        crate::poly::check_degree(n)?;
+        fn build(s: usize, levels: usize) -> PlanNode {
+            if levels == 0 || s <= 16 {
+                return PlanNode::Leaf(s);
+            }
+            let log = s.trailing_zeros();
+            let n1 = 1usize << log.div_ceil(2);
+            let n2 = s / n1;
+            PlanNode::Split(
+                Box::new(build(n1, levels - 1)),
+                Box::new(build(n2, levels - 1)),
+            )
+        }
+        Ok(Self {
+            n,
+            root: build(n, levels),
+        })
+    }
+
+    /// The WarpDrive policy (§IV-A-2): split until inner NTT dimensions are
+    /// ≤ 16 where possible (the tensor-core MMA size), but no deeper —
+    /// "deeper levels of decomposition result in matrix multiplication
+    /// dimensions becoming too small". N = 2^16 becomes (16×16)×(16×16);
+    /// N = 4096 becomes (16×16)×16.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::BadDegree`] for invalid N.
+    pub fn warpdrive(n: usize) -> Result<Self, PolyError> {
+        crate::poly::check_degree(n)?;
+        fn build(s: usize) -> PlanNode {
+            if s <= 32 {
+                // Radix 4/8/16/32 inner NTTs are executed directly
+                // (§IV-B-2: radix 16 ideally, 8 and 4 also supported).
+                return PlanNode::Leaf(s);
+            }
+            // Choose n1 as the largest power of 16 not exceeding sqrt-ish,
+            // so that leaves land on 16 where the size allows.
+            let log16 = ((s as f64).log2() / 4.0).ceil() as u32;
+            let n1 = 16usize.pow(log16.div_ceil(2));
+            let n1 = n1.min(s / 4).max(4);
+            let n2 = s / n1;
+            PlanNode::Split(Box::new(build(n1)), Box::new(build(n2)))
+        }
+        Ok(Self {
+            n,
+            root: build(n),
+        })
+    }
+
+    /// Transform size N.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The factor tree.
+    pub fn root(&self) -> &PlanNode {
+        &self.root
+    }
+
+    /// Largest leaf (inner NTT) size — determines the twiddle-matrix
+    /// footprint: `max_leaf²` entries.
+    pub fn max_leaf(&self) -> usize {
+        self.root.leaves().into_iter().max().unwrap_or(self.n)
+    }
+
+    /// Twiddle-matrix bytes for the largest inner NTT at the given word size
+    /// — what must fit in SMEM for the warp-level method.
+    pub fn twiddle_matrix_bytes(&self, word_bytes: usize) -> usize {
+        let m = self.max_leaf();
+        m * m * word_bytes
+    }
+
+    /// Closed-form operation counts for an `level`-level decomposition of an
+    /// N-point tensor-style NTT — exactly the formula row of Table IV:
+    ///
+    /// | quantity | formula |
+    /// |---|---|
+    /// | matrix size (entries) | N^(1/2^(l−1)) i.e. (N^(1/2^l))² |
+    /// | element-wise muls | N · N^(1/2^l) · 2^l |
+    /// | modular reductions | N · 2^l |
+    /// | modular muls (twiddle) | (2^l − 1) · N |
+    /// | bit decompose+merge | (2^(l+1) − 2) · N |
+    ///
+    /// The 0-level row is special-cased to the values the paper prints
+    /// (2^17 / 2^16 / 2^17 for N = 2^16): even an undecomposed tensor NTT
+    /// splits its input and merges its output once.
+    pub fn table_iv_counts(n: usize, level: u32) -> OpCounts {
+        let nf = n as f64;
+        let inner = nf.powf(1.0 / f64::from(1u32 << level));
+        let matrix_entries = inner * inner;
+        if level == 0 {
+            return OpCounts {
+                matrix_entries: nf * nf,
+                ew_mul: nf * nf,
+                mod_red: 2.0 * nf,
+                mod_mul: nf,
+                bit_dec_mer: 2.0 * nf,
+            };
+        }
+        OpCounts {
+            matrix_entries,
+            ew_mul: nf * inner * f64::from(1u32 << level),
+            mod_red: nf * f64::from(1u32 << level),
+            mod_mul: f64::from((1u32 << level) - 1) * nf,
+            bit_dec_mer: f64::from((1u32 << (level + 1)) - 2) * nf,
+        }
+    }
+
+    /// Operation counts computed from the actual factor tree (agrees with
+    /// [`Self::table_iv_counts`] on the balanced power-of-16 plans).
+    pub fn op_counts(&self) -> OpCounts {
+        fn walk(node: &PlanNode, groups: f64, c: &mut OpCounts) {
+            let s = node.size() as f64;
+            match node {
+                PlanNode::Leaf(sz) => {
+                    let szf = *sz as f64;
+                    // Each group's inner NTT is a szf × szf matrix product.
+                    c.ew_mul += groups * szf * szf;
+                    c.mod_red += groups * szf;
+                    c.bit_dec_mer += groups * 2.0 * szf;
+                    c.matrix_entries = c.matrix_entries.max(szf * szf);
+                }
+                PlanNode::Split(a, b) => {
+                    let (n1, n2) = (a.size() as f64, b.size() as f64);
+                    // Twiddle/Hadamard between the halves: one ModMul per point.
+                    c.mod_mul += groups * s;
+                    walk(a, groups * n2, c);
+                    walk(b, groups * n1, c);
+                }
+            }
+        }
+        let mut c = OpCounts {
+            matrix_entries: 0.0,
+            ew_mul: 0.0,
+            mod_red: 0.0,
+            mod_mul: 0.0,
+            bit_dec_mer: 0.0,
+        };
+        walk(&self.root, 1.0, &mut c);
+        c
+    }
+}
+
+/// Operation counts for one N-point NTT (Table IV quantities), as `f64`
+/// because 0-level counts overflow u32 ranges fast (N² = 2^32).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpCounts {
+    /// Entries in the largest twiddle-factor matrix.
+    pub matrix_entries: f64,
+    /// Element-wise (limb) multiplications inside the GEMMs.
+    pub ew_mul: f64,
+    /// Modular reductions.
+    pub mod_red: f64,
+    /// Modular multiplications (twiddle/Hadamard stages).
+    pub mod_mul: f64,
+    /// Bit decompositions and merges.
+    pub bit_dec_mer: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warpdrive_plan_for_65536_is_fig2() {
+        let p = DecompPlan::warpdrive(1 << 16).unwrap();
+        assert_eq!(p.root().leaves(), vec![16, 16, 16, 16]);
+        assert_eq!(p.root().depth(), 2);
+        assert_eq!(p.root().steps(), 7, "Fig. 2: seven steps");
+        assert_eq!(p.max_leaf(), 16);
+    }
+
+    #[test]
+    fn warpdrive_plan_for_4096_matches_paper() {
+        // §IV-A-2: "for N = 4096, we decompose it into (16×16)×16".
+        let p = DecompPlan::warpdrive(1 << 12).unwrap();
+        assert_eq!(p.root().leaves(), vec![16, 16, 16]);
+        assert_eq!(p.root().depth(), 2);
+    }
+
+    #[test]
+    fn balanced_one_level_is_tensorfhe_plan() {
+        let p = DecompPlan::balanced(1 << 16, 1).unwrap();
+        assert_eq!(p.root().leaves(), vec![256, 256]);
+        // 256×256 u32 twiddle matrix = 256 KB: "hundreds of KB, difficult to
+        // fit into SMEM" (§IV-A-2).
+        assert_eq!(p.twiddle_matrix_bytes(4), 256 * 1024);
+    }
+
+    #[test]
+    fn warpdrive_twiddles_fit_smem() {
+        // 16×16 u32 matrix = 1 KB << 164 KB A100 SMEM.
+        for logn in [12usize, 13, 14, 15, 16] {
+            let p = DecompPlan::warpdrive(1 << logn).unwrap();
+            assert!(
+                p.twiddle_matrix_bytes(4) <= 4 * 1024,
+                "N=2^{logn}: {} B",
+                p.twiddle_matrix_bytes(4)
+            );
+        }
+    }
+
+    #[test]
+    fn plans_preserve_total_size() {
+        for logn in [6usize, 8, 12, 13, 16] {
+            let n = 1usize << logn;
+            for plan in [
+                DecompPlan::undecomposed(n).unwrap(),
+                DecompPlan::balanced(n, 1).unwrap(),
+                DecompPlan::balanced(n, 2).unwrap(),
+                DecompPlan::warpdrive(n).unwrap(),
+            ] {
+                assert_eq!(plan.root().size(), n);
+                assert_eq!(
+                    plan.root().leaves().iter().product::<usize>(),
+                    n,
+                    "leaf product must equal N"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_iv_level0_row() {
+        let c = DecompPlan::table_iv_counts(1 << 16, 0);
+        assert_eq!(c.matrix_entries, (1u64 << 32) as f64);
+        assert_eq!(c.ew_mul, (1u64 << 32) as f64);
+        assert_eq!(c.mod_red, (1u64 << 17) as f64);
+        assert_eq!(c.mod_mul, (1u64 << 16) as f64);
+        assert_eq!(c.bit_dec_mer, (1u64 << 17) as f64);
+    }
+
+    #[test]
+    fn table_iv_level1_row() {
+        let c = DecompPlan::table_iv_counts(1 << 16, 1);
+        assert_eq!(c.matrix_entries, (1u64 << 16) as f64);
+        assert_eq!(c.ew_mul, (1u64 << 25) as f64);
+        assert_eq!(c.mod_red, (1u64 << 17) as f64);
+        assert_eq!(c.mod_mul, (1u64 << 16) as f64);
+        assert_eq!(c.bit_dec_mer, (1u64 << 17) as f64);
+    }
+
+    #[test]
+    fn table_iv_level2_row() {
+        let c = DecompPlan::table_iv_counts(1 << 16, 2);
+        assert_eq!(c.matrix_entries, (1u64 << 8) as f64);
+        assert_eq!(c.ew_mul, (1u64 << 22) as f64);
+        assert_eq!(c.mod_red, (1u64 << 18) as f64);
+        assert_eq!(c.mod_mul, 3.0 * (1u64 << 16) as f64);
+        assert_eq!(c.bit_dec_mer, 3.0 * (1u64 << 17) as f64);
+    }
+
+    #[test]
+    fn table_iv_level3_row() {
+        let c = DecompPlan::table_iv_counts(1 << 16, 3);
+        assert_eq!(c.matrix_entries, (1u64 << 4) as f64);
+        assert_eq!(c.ew_mul, (1u64 << 21) as f64);
+        assert_eq!(c.mod_red, (1u64 << 19) as f64);
+        assert_eq!(c.mod_mul, 7.0 * (1u64 << 16) as f64);
+        assert_eq!(c.bit_dec_mer, 7.0 * (1u64 << 17) as f64);
+    }
+
+    #[test]
+    fn tree_counts_match_closed_form_on_balanced_plans() {
+        // 2-level plan for N = 2^16 should agree with the l = 2 closed form
+        // on ew_mul / mod_mul / matrix size.
+        let p = DecompPlan::warpdrive(1 << 16).unwrap();
+        let tree = p.op_counts();
+        let formula = DecompPlan::table_iv_counts(1 << 16, 2);
+        assert_eq!(tree.matrix_entries, formula.matrix_entries);
+        assert_eq!(tree.ew_mul, formula.ew_mul);
+        assert_eq!(tree.mod_mul, formula.mod_mul);
+    }
+
+    #[test]
+    fn deeper_decomposition_shrinks_matrices_but_grows_modmul() {
+        let n = 1 << 16;
+        let mut prev = DecompPlan::table_iv_counts(n, 0);
+        for l in 1..=3 {
+            let c = DecompPlan::table_iv_counts(n, l);
+            assert!(c.matrix_entries < prev.matrix_entries);
+            assert!(c.ew_mul <= prev.ew_mul);
+            assert!(c.mod_mul >= prev.mod_mul);
+            assert!(c.bit_dec_mer >= prev.bit_dec_mer);
+            prev = c;
+        }
+    }
+}

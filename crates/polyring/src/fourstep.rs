@@ -1,0 +1,416 @@
+//! Recursive 4-step NTT parameterized by an inner kernel.
+//!
+//! This is the functional model of WarpDrive-NTT's "OneStageNTTKernel"
+//! (Algorithm 2): the transform follows a [`DecompPlan`] factor tree; each
+//! leaf is an inner NTT executed by an [`InnerKernel`] — the tensor-core
+//! GEMM path (with bit split/merge), the CUDA INT32 GEMM path, high-radix
+//! butterflies, or a *fused* pair where tensor-core warps and CUDA-core
+//! warps each take a share of the parallel inner-NTT groups (§IV-B, Fig. 3).
+//! Every kernel choice produces bit-identical output, which the tests assert
+//! against the reference transform.
+
+use crate::decomp::{DecompPlan, PlanNode};
+use crate::ntt::NttTable;
+use crate::tensoremu::{CudaMatrix, TensorMatrix};
+use crate::PolyError;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which processing units execute the inner NTT leaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InnerKernel {
+    /// Emulated INT8 tensor-core GEMM with bit split/merge (WD-Tensor).
+    TensorGemm,
+    /// Native 32-bit GEMM on CUDA cores, no bit operations (WD-CUDA).
+    CudaGemm,
+    /// High-radix butterfly network on CUDA cores (WD-BO).
+    Butterfly,
+    /// Fused: tensor-core warps run `TensorGemm`, CUDA-core warps run
+    /// `CudaGemm`, split per group by the warp ratio (WD-FTC).
+    FusedTensorCuda {
+        /// Of every `tensor + cuda` consecutive groups, this many go to
+        /// tensor-core warps…
+        tensor: u8,
+        /// …and this many to CUDA-core warps.
+        cuda: u8,
+    },
+    /// Fused: tensor-core warps run `TensorGemm`, CUDA-core warps run
+    /// butterflies (WD-FUSE, the paper's default).
+    FusedTensorButterfly {
+        /// Tensor-core share of each group cycle.
+        tensor: u8,
+        /// Butterfly (CUDA-core) share of each group cycle.
+        cuda: u8,
+    },
+}
+
+impl InnerKernel {
+    /// Routes a parallel group index to the concrete kernel that executes it.
+    fn route(&self, group: usize) -> ConcreteKernel {
+        match *self {
+            InnerKernel::TensorGemm => ConcreteKernel::Tensor,
+            InnerKernel::CudaGemm => ConcreteKernel::Cuda,
+            InnerKernel::Butterfly => ConcreteKernel::Butterfly,
+            InnerKernel::FusedTensorCuda { tensor, cuda } => {
+                let cycle = usize::from(tensor) + usize::from(cuda);
+                if group % cycle < usize::from(tensor) {
+                    ConcreteKernel::Tensor
+                } else {
+                    ConcreteKernel::Cuda
+                }
+            }
+            InnerKernel::FusedTensorButterfly { tensor, cuda } => {
+                let cycle = usize::from(tensor) + usize::from(cuda);
+                if group % cycle < usize::from(tensor) {
+                    ConcreteKernel::Tensor
+                } else {
+                    ConcreteKernel::Butterfly
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ConcreteKernel {
+    Tensor,
+    Cuda,
+    Butterfly,
+}
+
+/// Precomputed per-leaf-size tables (twiddle matrices in every operand
+/// format, plus butterfly stage twiddles), for one direction.
+#[derive(Debug)]
+struct LeafTables {
+    tensor: TensorMatrix,
+    cuda: CudaMatrix,
+    /// Stage twiddles for an iterative cyclic NTT of this size, plain domain.
+    stages: Vec<Vec<u64>>,
+}
+
+/// The 4-step NTT engine for a fixed (q, N, plan, kernel) choice.
+#[derive(Debug)]
+pub struct FourStepNtt {
+    table: Arc<NttTable>,
+    plan: DecompPlan,
+    kernel: InnerKernel,
+    fwd_leaves: HashMap<usize, LeafTables>,
+    inv_leaves: HashMap<usize, LeafTables>,
+}
+
+impl FourStepNtt {
+    /// Builds the engine. `table` supplies ψ/ω tables for (q, N); `plan`
+    /// must cover the same N.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::BadPlan`] if the plan size differs from the
+    /// table degree.
+    pub fn new(
+        table: Arc<NttTable>,
+        plan: DecompPlan,
+        kernel: InnerKernel,
+    ) -> Result<Self, PolyError> {
+        if plan.n() != table.degree() {
+            return Err(PolyError::BadPlan(format!(
+                "plan covers {} but ring degree is {}",
+                plan.n(),
+                table.degree()
+            )));
+        }
+        let n = table.degree();
+        let mut fwd_leaves = HashMap::new();
+        let mut inv_leaves = HashMap::new();
+        for sz in plan.root().leaves() {
+            fwd_leaves
+                .entry(sz)
+                .or_insert_with(|| Self::build_leaf(&table, n, sz, false));
+            inv_leaves
+                .entry(sz)
+                .or_insert_with(|| Self::build_leaf(&table, n, sz, true));
+        }
+        Ok(Self {
+            table,
+            plan,
+            kernel,
+            fwd_leaves,
+            inv_leaves,
+        })
+    }
+
+    fn build_leaf(table: &NttTable, n: usize, sz: usize, inverse: bool) -> LeafTables {
+        let m = *table.modulus();
+        let stride = n / sz; // ω_sz = ω_N^{N/sz}
+        let wpow = |e: usize| {
+            if inverse {
+                table.omega_inv_pow(e * stride)
+            } else {
+                table.omega_pow(e * stride)
+            }
+        };
+        let mut w = Vec::with_capacity(sz * sz);
+        for k in 0..sz {
+            for j in 0..sz {
+                w.push(wpow((j * k) % sz));
+            }
+        }
+        // Butterfly stage twiddles for an iterative cyclic NTT of size sz.
+        let log = sz.trailing_zeros();
+        let mut stages = Vec::with_capacity(log as usize);
+        for s in 1..=log {
+            let len = 1usize << s;
+            let stage_stride = sz / len;
+            stages.push((0..len / 2).map(|j| wpow(j * stage_stride)).collect());
+        }
+        LeafTables {
+            tensor: TensorMatrix::new(m, sz, &w),
+            cuda: CudaMatrix::new(m, sz, w),
+            stages,
+        }
+    }
+
+    /// The decomposition plan.
+    pub fn plan(&self) -> &DecompPlan {
+        &self.plan
+    }
+
+    /// The inner-kernel choice.
+    pub fn kernel(&self) -> InnerKernel {
+        self.kernel
+    }
+
+    /// Negacyclic forward NTT, natural order (identical to
+    /// [`NttTable::forward`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != N`.
+    pub fn forward(&self, data: &mut [u64]) {
+        let n = self.table.degree();
+        assert_eq!(data.len(), n);
+        // ψ pre-scale then the recursive cyclic transform.
+        self.table.prescale_psi(data);
+        self.rec(data, self.plan.root(), false, 0);
+    }
+
+    /// Negacyclic inverse NTT, natural order (identical to
+    /// [`NttTable::inverse`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != N`.
+    pub fn inverse(&self, data: &mut [u64]) {
+        let n = self.table.degree();
+        assert_eq!(data.len(), n);
+        self.rec(data, self.plan.root(), true, 0);
+        self.table.postscale_psi_inv(data);
+    }
+
+    fn rec(&self, data: &mut [u64], node: &PlanNode, inverse: bool, group: usize) {
+        match node {
+            PlanNode::Leaf(sz) => self.apply_leaf(*sz, data, inverse, group),
+            PlanNode::Split(a, b) => {
+                let n1 = a.size();
+                let n2 = b.size();
+                let n = n1 * n2;
+                let m = self.table.modulus();
+                let big_n = self.table.degree();
+                let stride = big_n / n;
+                // Step 1: column NTTs of size n1 (stride n2 gather/scatter).
+                let mut col = vec![0u64; n1];
+                for j2 in 0..n2 {
+                    for j1 in 0..n1 {
+                        col[j1] = data[j1 * n2 + j2];
+                    }
+                    self.rec(&mut col, a, inverse, group + j2);
+                    for k1 in 0..n1 {
+                        data[k1 * n2 + j2] = col[k1];
+                    }
+                }
+                // Step 2: twiddle ω_n^{±j2·k1} (the Hadamard stage).
+                for k1 in 1..n1 {
+                    for j2 in 1..n2 {
+                        let e = (j2 * k1) % n * stride;
+                        let w = if inverse {
+                            self.table.omega_inv_pow(e)
+                        } else {
+                            self.table.omega_pow(e)
+                        };
+                        let idx = k1 * n2 + j2;
+                        data[idx] = m.mul(data[idx], w);
+                    }
+                }
+                // Step 3: row NTTs of size n2 (contiguous).
+                for k1 in 0..n1 {
+                    self.rec(&mut data[k1 * n2..(k1 + 1) * n2], b, inverse, group + k1);
+                }
+                // Step 4: transpose read-out — X[k1 + k2·n1] = C[k1][k2].
+                let mut scratch = vec![0u64; n];
+                for k1 in 0..n1 {
+                    for k2 in 0..n2 {
+                        scratch[k1 + k2 * n1] = data[k1 * n2 + k2];
+                    }
+                }
+                data.copy_from_slice(&scratch);
+            }
+        }
+    }
+
+    fn apply_leaf(&self, sz: usize, data: &mut [u64], inverse: bool, group: usize) {
+        let tables = if inverse {
+            &self.inv_leaves[&sz]
+        } else {
+            &self.fwd_leaves[&sz]
+        };
+        match self.kernel.route(group) {
+            ConcreteKernel::Tensor => {
+                let mut out = vec![0u64; sz];
+                tables.tensor.gemv(data, &mut out);
+                data.copy_from_slice(&out);
+            }
+            ConcreteKernel::Cuda => {
+                let mut out = vec![0u64; sz];
+                tables.cuda.gemv(data, &mut out);
+                data.copy_from_slice(&out);
+            }
+            ConcreteKernel::Butterfly => {
+                small_cyclic_ntt(self.table.modulus(), &tables.stages, data);
+            }
+        }
+    }
+}
+
+/// Iterative cyclic NTT on a small leaf, given per-stage plain-domain
+/// twiddles (the butterfly path of WD-BO / WD-FUSE).
+fn small_cyclic_ntt(m: &wd_modmath::Modulus, stages: &[Vec<u64>], data: &mut [u64]) {
+    NttTable::bit_reverse(data);
+    for (s, tw) in stages.iter().enumerate() {
+        let len = 1usize << (s + 1);
+        let half = len / 2;
+        for block in data.chunks_exact_mut(len) {
+            let (lo, hi) = block.split_at_mut(half);
+            for j in 0..half {
+                let u = lo[j];
+                let v = m.mul(hi[j], tw[j]);
+                lo[j] = m.add(u, v);
+                hi[j] = m.sub(u, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wd_modmath::prime::ntt_prime_above;
+
+    fn setup(n: usize) -> Arc<NttTable> {
+        let q = ntt_prime_above(1 << 25, 2 * n as u64).unwrap();
+        Arc::new(NttTable::new(q, n).unwrap())
+    }
+
+    fn engines(table: &Arc<NttTable>, n: usize) -> Vec<FourStepNtt> {
+        let kernels = [
+            InnerKernel::TensorGemm,
+            InnerKernel::CudaGemm,
+            InnerKernel::Butterfly,
+            InnerKernel::FusedTensorCuda { tensor: 4, cuda: 4 },
+            InnerKernel::FusedTensorButterfly { tensor: 4, cuda: 4 },
+        ];
+        let mut v = Vec::new();
+        for k in kernels {
+            for plan in [DecompPlan::warpdrive(n).unwrap(), DecompPlan::balanced(n, 1).unwrap()] {
+                v.push(FourStepNtt::new(Arc::clone(table), plan, k).unwrap());
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn all_kernels_match_reference_forward() {
+        let n = 256;
+        let table = setup(n);
+        let data: Vec<u64> = (0..n as u64).map(|i| i * 31 % table.modulus().value()).collect();
+        let mut expect = data.clone();
+        table.forward(&mut expect);
+        for eng in engines(&table, n) {
+            let mut x = data.clone();
+            eng.forward(&mut x);
+            assert_eq!(x, expect, "kernel {:?}", eng.kernel());
+        }
+    }
+
+    #[test]
+    fn all_kernels_round_trip() {
+        let n = 1024;
+        let table = setup(n);
+        let data: Vec<u64> = (0..n as u64)
+            .map(|i| (i * i * 7 + 13) % table.modulus().value())
+            .collect();
+        for eng in engines(&table, n) {
+            let mut x = data.clone();
+            eng.forward(&mut x);
+            eng.inverse(&mut x);
+            assert_eq!(x, data, "kernel {:?}", eng.kernel());
+        }
+    }
+
+    #[test]
+    fn fourstep_inverse_matches_reference_inverse() {
+        let n = 256;
+        let table = setup(n);
+        let mut data: Vec<u64> = (0..n as u64).map(|i| i + 5).collect();
+        table.forward(&mut data);
+        let mut expect = data.clone();
+        table.inverse(&mut expect);
+        let eng = FourStepNtt::new(
+            Arc::clone(&table),
+            DecompPlan::warpdrive(n).unwrap(),
+            InnerKernel::TensorGemm,
+        )
+        .unwrap();
+        let mut x = data;
+        eng.inverse(&mut x);
+        assert_eq!(x, expect);
+    }
+
+    #[test]
+    fn deep_balanced_plan_with_small_leaves_bit_exact() {
+        // §IV-A-2 rejects deeper decomposition for performance, not
+        // correctness: a plan with radix-8 leaves is handled bit-exactly.
+        let n = 4096;
+        let table = setup(n);
+        let plan = DecompPlan::balanced(n, 3).unwrap();
+        assert!(plan.root().depth() >= 2);
+        assert!(plan.root().leaves().contains(&8), "{:?}", plan.root().leaves());
+        let eng = FourStepNtt::new(Arc::clone(&table), plan, InnerKernel::CudaGemm).unwrap();
+        let data: Vec<u64> = (0..n as u64).map(|i| (i * 11 + 3) % table.modulus().value()).collect();
+        let mut expect = data.clone();
+        table.forward(&mut expect);
+        let mut x = data;
+        eng.forward(&mut x);
+        assert_eq!(x, expect);
+    }
+
+    #[test]
+    fn rejects_mismatched_plan() {
+        let table = setup(64);
+        let plan = DecompPlan::warpdrive(128).unwrap();
+        assert!(FourStepNtt::new(table, plan, InnerKernel::CudaGemm).is_err());
+    }
+
+    #[test]
+    fn undecomposed_plan_works_for_small_n() {
+        // 0-level: the whole 16-point transform is one tensor GEMV.
+        let n = 16;
+        let table = setup(n);
+        let plan = DecompPlan::undecomposed(n).unwrap();
+        let eng = FourStepNtt::new(Arc::clone(&table), plan, InnerKernel::TensorGemm).unwrap();
+        let data: Vec<u64> = (1..=n as u64).collect();
+        let mut expect = data.clone();
+        table.forward(&mut expect);
+        let mut x = data;
+        eng.forward(&mut x);
+        assert_eq!(x, expect);
+    }
+}

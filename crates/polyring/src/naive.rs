@@ -1,0 +1,74 @@
+//! O(N²) schoolbook negacyclic multiplication — test oracle only.
+
+use wd_modmath::Modulus;
+
+/// Schoolbook product of `a` and `b` in Z_q\[X\]/(X^N + 1).
+///
+/// # Panics
+///
+/// Panics if the operand lengths differ.
+pub fn negacyclic_mul(m: &Modulus, a: &[u64], b: &[u64]) -> Vec<u64> {
+    assert_eq!(a.len(), b.len(), "operands must share a degree");
+    let n = a.len();
+    let mut c = vec![0u64; n];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let p = m.mul(ai, bj);
+            let k = i + j;
+            if k < n {
+                c[k] = m.add(c[k], p);
+            } else {
+                c[k - n] = m.sub(c[k - n], p); // X^N = -1
+            }
+        }
+    }
+    c
+}
+
+/// Schoolbook *cyclic* product in Z_q\[X\]/(X^N - 1), the oracle for the
+/// cyclic transforms inside the 4-step decomposition.
+///
+/// # Panics
+///
+/// Panics if the operand lengths differ.
+pub fn cyclic_mul(m: &Modulus, a: &[u64], b: &[u64]) -> Vec<u64> {
+    assert_eq!(a.len(), b.len(), "operands must share a degree");
+    let n = a.len();
+    let mut c = vec![0u64; n];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let k = (i + j) % n;
+            c[k] = m.add(c[k], m.mul(ai, bj));
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negacyclic_wrap_negates() {
+        let m = Modulus::new(97);
+        // (X^3) * (X) = X^4 = -1 in degree-4 ring.
+        let c = negacyclic_mul(&m, &[0, 0, 0, 1], &[0, 1, 0, 0]);
+        assert_eq!(c, vec![96, 0, 0, 0]);
+    }
+
+    #[test]
+    fn cyclic_wrap_adds() {
+        let m = Modulus::new(97);
+        let c = cyclic_mul(&m, &[0, 0, 0, 1], &[0, 1, 0, 0]);
+        assert_eq!(c, vec![1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn multiplication_by_one_is_identity() {
+        let m = Modulus::new(97);
+        let a = [5, 6, 7, 8];
+        let one = [1, 0, 0, 0];
+        assert_eq!(negacyclic_mul(&m, &a, &one), a.to_vec());
+        assert_eq!(cyclic_mul(&m, &a, &one), a.to_vec());
+    }
+}

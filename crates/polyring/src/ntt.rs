@@ -1,0 +1,491 @@
+//! Reference negacyclic NTT/INTT with Montgomery-domain twiddles.
+//!
+//! This is the correctness oracle for every other variant and doubles as the
+//! CPU-baseline NTT (paper Table VII, "CPU Baseline"). The forward transform
+//! computes, in **natural order**,
+//!
+//! ```text
+//! X[k] = Σ_j a_j ψ^j ω^{jk}  (mod q),   ω = ψ², ψ a primitive 2N-th root
+//! ```
+//!
+//! i.e. the evaluation of a(X) at the odd powers ψ^{2k+1} — the negacyclic
+//! convolution theorem then reads `NTT(a ·_{X^N+1} b) = NTT(a) ⊙ NTT(b)`.
+//! Twiddle factors are pre-converted to the Montgomery domain exactly as
+//! §IV-A-4 prescribes, so the butterfly has no domain conversions.
+
+use crate::PolyError;
+use wd_modmath::prime::primitive_root_of_unity;
+use wd_modmath::{Modulus, Montgomery};
+
+/// Precomputed tables for negacyclic NTTs of degree N modulo q.
+#[derive(Debug, Clone)]
+pub struct NttTable {
+    modulus: Modulus,
+    mont: Montgomery,
+    n: usize,
+    /// ψ, a primitive 2N-th root of unity.
+    psi: u64,
+    /// ψ^j for j in 0..N, Montgomery domain (forward pre-scale).
+    psi_pows_mont: Vec<u64>,
+    /// ψ^{-j} · N^{-1} for j in 0..N, Montgomery domain (inverse post-scale).
+    psi_inv_n_inv_mont: Vec<u64>,
+    /// ω^e for e in 0..N, plain domain (shared by the 4-step variants).
+    omega_pows: Vec<u64>,
+    /// ω^{-e} for e in 0..N, plain domain.
+    omega_inv_pows: Vec<u64>,
+    /// Per-stage forward twiddles, Montgomery domain, stage s has 2^s entries.
+    fwd_stages: Vec<Vec<u64>>,
+    /// Per-stage inverse twiddles, Montgomery domain.
+    inv_stages: Vec<Vec<u64>>,
+    /// Forward twiddles as (w, w_shoup) pairs for the Barrett/Shoup path —
+    /// the alternative reduction the §IV-A-4 ablation compares against.
+    fwd_stages_shoup: Vec<Vec<(u64, u64)>>,
+    /// ψ^j as (w, w_shoup) pairs for the Barrett/Shoup pre-scale.
+    psi_pows_shoup: Vec<(u64, u64)>,
+}
+
+impl NttTable {
+    /// Builds tables for degree `n` (power of two ≥ 4) and prime `q ≡ 1 mod 2n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::BadDegree`] or [`PolyError::NoRootOfUnity`].
+    pub fn new(q: u64, n: usize) -> Result<Self, PolyError> {
+        crate::poly::check_degree(n)?;
+        let modulus = Modulus::new(q);
+        let mont = Montgomery::new(q).map_err(|_| PolyError::NoRootOfUnity {
+            modulus: q,
+            degree: n,
+        })?;
+        let two_n = 2 * n as u64;
+        if (q - 1) % two_n != 0 {
+            return Err(PolyError::NoRootOfUnity {
+                modulus: q,
+                degree: n,
+            });
+        }
+        let psi =
+            primitive_root_of_unity(q, two_n).map_err(|_| PolyError::NoRootOfUnity {
+                modulus: q,
+                degree: n,
+            })?;
+        let omega = modulus.mul(psi, psi);
+        let psi_inv = modulus.inv(psi).expect("psi invertible");
+        let omega_inv = modulus.inv(omega).expect("omega invertible");
+        let n_inv = modulus.inv(n as u64).expect("n invertible");
+
+        let mut psi_pows_mont = Vec::with_capacity(n);
+        let mut psi_inv_n_inv_mont = Vec::with_capacity(n);
+        let mut omega_pows = Vec::with_capacity(n);
+        let mut omega_inv_pows = Vec::with_capacity(n);
+        let (mut p, mut pi, mut w, mut wi) = (1u64, n_inv, 1u64, 1u64);
+        for _ in 0..n {
+            psi_pows_mont.push(mont.to_mont(p));
+            psi_inv_n_inv_mont.push(mont.to_mont(pi));
+            omega_pows.push(w);
+            omega_inv_pows.push(wi);
+            p = modulus.mul(p, psi);
+            pi = modulus.mul(pi, psi_inv);
+            w = modulus.mul(w, omega);
+            wi = modulus.mul(wi, omega_inv);
+        }
+
+        // Stage twiddles for the iterative cyclic transform: at stage with
+        // butterfly span `len`, twiddle j is ω^{j · N/len} for j < len/2.
+        let log_n = n.trailing_zeros();
+        let mut fwd_stages = Vec::with_capacity(log_n as usize);
+        let mut inv_stages = Vec::with_capacity(log_n as usize);
+        let mut fwd_stages_shoup = Vec::with_capacity(log_n as usize);
+        for s in 1..=log_n {
+            let len = 1usize << s;
+            let stride = n / len;
+            let fwd: Vec<u64> = (0..len / 2)
+                .map(|j| mont.to_mont(omega_pows[j * stride]))
+                .collect();
+            let inv: Vec<u64> = (0..len / 2)
+                .map(|j| mont.to_mont(omega_inv_pows[j * stride]))
+                .collect();
+            let shoup: Vec<(u64, u64)> = (0..len / 2)
+                .map(|j| {
+                    let w = omega_pows[j * stride];
+                    (w, modulus.shoup(w))
+                })
+                .collect();
+            fwd_stages.push(fwd);
+            inv_stages.push(inv);
+            fwd_stages_shoup.push(shoup);
+        }
+        let psi_pows_shoup: Vec<(u64, u64)> = {
+            let mut p = 1u64;
+            (0..n)
+                .map(|_| {
+                    let pair = (p, modulus.shoup(p));
+                    p = modulus.mul(p, psi);
+                    pair
+                })
+                .collect()
+        };
+
+        Ok(Self {
+            modulus,
+            mont,
+            n,
+            psi,
+            psi_pows_mont,
+            psi_inv_n_inv_mont,
+            omega_pows,
+            omega_inv_pows,
+            fwd_stages,
+            inv_stages,
+            fwd_stages_shoup,
+            psi_pows_shoup,
+        })
+    }
+
+    /// Negacyclic forward NTT using Barrett/Shoup constant-operand
+    /// multiplication instead of Montgomery-domain twiddles — the other arm
+    /// of the §IV-A-4 reduction ablation (the paper measured Montgomery
+    /// ~10% faster inside the NTT and chose it; `cargo bench --bench
+    /// ntt_variants` lets this host weigh in). Output is bit-identical to
+    /// [`NttTable::forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != N`.
+    pub fn forward_barrett(&self, data: &mut [u64]) {
+        assert_eq!(data.len(), self.n);
+        let m = &self.modulus;
+        for (a, &(w, ws)) in data.iter_mut().zip(&self.psi_pows_shoup) {
+            *a = m.mul_shoup(*a, w, ws);
+        }
+        Self::bit_reverse(data);
+        for (s, tw) in self.fwd_stages_shoup.iter().enumerate() {
+            let len = 1usize << (s + 1);
+            let half = len / 2;
+            for block in data.chunks_exact_mut(len) {
+                let (lo, hi) = block.split_at_mut(half);
+                for j in 0..half {
+                    let u = lo[j];
+                    let (w, ws) = tw[j];
+                    let v = m.mul_shoup(hi[j], w, ws);
+                    lo[j] = m.add(u, v);
+                    hi[j] = m.sub(u, v);
+                }
+            }
+        }
+    }
+
+    /// Ring degree N.
+    pub fn degree(&self) -> usize {
+        self.n
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &Modulus {
+        &self.modulus
+    }
+
+    /// The Montgomery context (R = 2^32) for this modulus.
+    pub fn montgomery(&self) -> &Montgomery {
+        &self.mont
+    }
+
+    /// The primitive 2N-th root ψ.
+    pub fn psi(&self) -> u64 {
+        self.psi
+    }
+
+    /// ω^e (plain domain), e reduced mod N by the caller.
+    #[inline]
+    pub fn omega_pow(&self, e: usize) -> u64 {
+        self.omega_pows[e % self.n]
+    }
+
+    /// ω^{-e} (plain domain).
+    #[inline]
+    pub fn omega_inv_pow(&self, e: usize) -> u64 {
+        self.omega_inv_pows[e % self.n]
+    }
+
+    /// In-place bit-reversal permutation.
+    pub fn bit_reverse(data: &mut [u64]) {
+        let n = data.len();
+        let shift = usize::BITS - n.trailing_zeros();
+        for i in 0..n {
+            let j = i.reverse_bits() >> shift;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+    }
+
+    /// Cyclic forward NTT (no ψ scaling), natural order in and out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != N`.
+    pub fn forward_cyclic(&self, data: &mut [u64]) {
+        assert_eq!(data.len(), self.n);
+        Self::bit_reverse(data);
+        let m = &self.modulus;
+        for (s, tw) in self.fwd_stages.iter().enumerate() {
+            let len = 1usize << (s + 1);
+            let half = len / 2;
+            for block in data.chunks_exact_mut(len) {
+                let (lo, hi) = block.split_at_mut(half);
+                for j in 0..half {
+                    let u = lo[j];
+                    let v = self.mont.mul_plain_by_mont(hi[j], tw[j]);
+                    lo[j] = m.add(u, v);
+                    hi[j] = m.sub(u, v);
+                }
+            }
+        }
+    }
+
+    /// Cyclic inverse NTT **without** the 1/N scaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != N`.
+    pub fn inverse_cyclic_unscaled(&self, data: &mut [u64]) {
+        assert_eq!(data.len(), self.n);
+        Self::bit_reverse(data);
+        let m = &self.modulus;
+        for (s, tw) in self.inv_stages.iter().enumerate() {
+            let len = 1usize << (s + 1);
+            let half = len / 2;
+            for block in data.chunks_exact_mut(len) {
+                let (lo, hi) = block.split_at_mut(half);
+                for j in 0..half {
+                    let u = lo[j];
+                    let v = self.mont.mul_plain_by_mont(hi[j], tw[j]);
+                    lo[j] = m.add(u, v);
+                    hi[j] = m.sub(u, v);
+                }
+            }
+        }
+    }
+
+    /// Pre-scales coefficients by ψ^j — the first step of the negacyclic
+    /// forward transform, shared with the 4-step variants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != N`.
+    pub fn prescale_psi(&self, data: &mut [u64]) {
+        assert_eq!(data.len(), self.n);
+        for (a, w) in data.iter_mut().zip(&self.psi_pows_mont) {
+            *a = self.mont.mul_plain_by_mont(*a, *w);
+        }
+    }
+
+    /// Post-scales by ψ^{-j}·N^{-1} — the last step of the negacyclic
+    /// inverse transform, shared with the 4-step variants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != N`.
+    pub fn postscale_psi_inv(&self, data: &mut [u64]) {
+        assert_eq!(data.len(), self.n);
+        for (a, w) in data.iter_mut().zip(&self.psi_inv_n_inv_mont) {
+            *a = self.mont.mul_plain_by_mont(*a, *w);
+        }
+    }
+
+    /// Negacyclic forward NTT: pre-scale by ψ^j, then cyclic NTT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != N`.
+    pub fn forward(&self, data: &mut [u64]) {
+        self.prescale_psi(data);
+        self.forward_cyclic(data);
+    }
+
+    /// Negacyclic inverse NTT: cyclic INTT, then post-scale by ψ^{-j}/N.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != N`.
+    pub fn inverse(&self, data: &mut [u64]) {
+        self.inverse_cyclic_unscaled(data);
+        self.postscale_psi_inv(data);
+    }
+
+    /// Direct O(N²) evaluation of the negacyclic NTT definition — used only
+    /// by tests to pin down the canonical output order.
+    pub fn forward_naive(&self, data: &[u64]) -> Vec<u64> {
+        let m = &self.modulus;
+        let n = self.n;
+        (0..n)
+            .map(|k| {
+                let mut acc = 0u64;
+                for (j, &a) in data.iter().enumerate() {
+                    // ψ^{j(2k+1)} = ψ^j · ω^{jk}
+                    let e = (j * (2 * k + 1)) % (2 * n);
+                    let w = if e < n {
+                        // ψ^e with e < n: ψ^e = ψ^{e} — use ψ^j table via mont? compute directly
+                        m.pow(self.psi, e as u64)
+                    } else {
+                        m.neg(m.pow(self.psi, (e - n) as u64))
+                    };
+                    acc = m.add(acc, m.mul(a, w));
+                }
+                acc
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use wd_modmath::prime::ntt_prime_above;
+
+    fn table(n: usize) -> NttTable {
+        let q = ntt_prime_above(1 << 25, 2 * n as u64).unwrap();
+        NttTable::new(q, n).unwrap()
+    }
+
+    #[test]
+    fn rejects_modulus_without_root() {
+        // 97 ≡ 1 mod 32 but not mod 64, so degree 32 fails.
+        assert!(NttTable::new(97, 32).is_err());
+        assert!(NttTable::new(97, 16).is_ok());
+    }
+
+    #[test]
+    fn forward_matches_naive_definition() {
+        let t = table(16);
+        let data: Vec<u64> = (0..16).map(|i| (i * i + 3) as u64).collect();
+        let mut fast = data.clone();
+        t.forward(&mut fast);
+        assert_eq!(fast, t.forward_naive(&data));
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        let t = table(64);
+        let data: Vec<u64> = (0..64u64).map(|i| i * 977 % t.modulus().value()).collect();
+        let mut x = data.clone();
+        t.forward(&mut x);
+        assert_ne!(x, data, "forward must change the data");
+        t.inverse(&mut x);
+        assert_eq!(x, data);
+    }
+
+    #[test]
+    fn transform_of_delta_is_constant_ish() {
+        // NTT of X^0 = 1 is all-ones (evaluation of constant 1 everywhere).
+        let t = table(32);
+        let mut x = vec![0u64; 32];
+        x[0] = 1;
+        t.forward(&mut x);
+        assert!(x.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn transform_of_x_is_odd_psi_powers() {
+        // NTT of X is ψ^{2k+1} in natural order.
+        let t = table(32);
+        let m = t.modulus();
+        let mut x = vec![0u64; 32];
+        x[1] = 1;
+        t.forward(&mut x);
+        for (k, &v) in x.iter().enumerate() {
+            assert_eq!(v, m.pow(t.psi(), (2 * k + 1) as u64));
+        }
+    }
+
+    #[test]
+    fn convolution_theorem_negacyclic() {
+        let t = table(16);
+        let q = t.modulus().value();
+        let a: Vec<u64> = (0..16).map(|i| (7 * i + 1) as u64 % q).collect();
+        let b: Vec<u64> = (0..16).map(|i| (i * i) as u64 % q).collect();
+        let expect = crate::naive::negacyclic_mul(t.modulus(), &a, &b);
+        let (mut fa, mut fb) = (a.clone(), b.clone());
+        t.forward(&mut fa);
+        t.forward(&mut fb);
+        let mut fc: Vec<u64> = fa
+            .iter()
+            .zip(&fb)
+            .map(|(&x, &y)| t.modulus().mul(x, y))
+            .collect();
+        t.inverse(&mut fc);
+        assert_eq!(fc, expect);
+    }
+
+    #[test]
+    fn negacyclic_wraparound_sign() {
+        // X^{N-1} * X = X^N = -1: multiply and check the constant term is q-1.
+        let t = table(8);
+        let q = t.modulus().value();
+        let mut a = vec![0u64; 8];
+        a[7] = 1;
+        let mut b = vec![0u64; 8];
+        b[1] = 1;
+        t.forward(&mut a);
+        t.forward(&mut b);
+        let mut c: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| t.modulus().mul(x, y)).collect();
+        t.inverse(&mut c);
+        assert_eq!(c[0], q - 1);
+        assert!(c[1..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn barrett_path_matches_montgomery_path() {
+        // §IV-A-4: the two reductions must agree bit-for-bit; only speed
+        // differs.
+        let t = table(128);
+        let data: Vec<u64> = (0..128u64).map(|i| (i * 523 + 7) % t.modulus().value()).collect();
+        let mut mont = data.clone();
+        let mut barrett = data;
+        t.forward(&mut mont);
+        t.forward_barrett(&mut barrett);
+        assert_eq!(mont, barrett);
+    }
+
+    #[test]
+    fn bit_reverse_involution() {
+        let mut v: Vec<u64> = (0..32).collect();
+        let orig = v.clone();
+        NttTable::bit_reverse(&mut v);
+        assert_ne!(v, orig);
+        NttTable::bit_reverse(&mut v);
+        assert_eq!(v, orig);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_round_trip(coeffs in proptest::collection::vec(0u64..(1 << 25), 64)) {
+            let t = table(64);
+            let reduced: Vec<u64> = coeffs.iter().map(|&c| t.modulus().reduce(c)).collect();
+            let mut x = reduced.clone();
+            t.forward(&mut x);
+            t.inverse(&mut x);
+            prop_assert_eq!(x, reduced);
+        }
+
+        #[test]
+        fn prop_linearity(a in proptest::collection::vec(0u64..(1 << 25), 32),
+                          b in proptest::collection::vec(0u64..(1 << 25), 32)) {
+            let t = table(32);
+            let m = *t.modulus();
+            let ar: Vec<u64> = a.iter().map(|&c| m.reduce(c)).collect();
+            let br: Vec<u64> = b.iter().map(|&c| m.reduce(c)).collect();
+            let sum: Vec<u64> = ar.iter().zip(&br).map(|(&x, &y)| m.add(x, y)).collect();
+            let (mut fa, mut fb, mut fs) = (ar, br, sum);
+            t.forward(&mut fa);
+            t.forward(&mut fb);
+            t.forward(&mut fs);
+            for i in 0..32 {
+                prop_assert_eq!(fs[i], m.add(fa[i], fb[i]));
+            }
+        }
+    }
+}

@@ -1,0 +1,473 @@
+//! RNS polynomials: one residue limb per prime of the modulus chain.
+//!
+//! CKKS at level ℓ works in R_{Q_ℓ} with Q_ℓ = Π q_i; in RNS form the
+//! polynomial is stored as ℓ+1 independent limbs, each a length-N vector of
+//! residues. The limb dimension (the *L dimension* of §III-C) and the degree
+//! dimension N are exactly the parallelism the PE kernel design exploits.
+
+use crate::ntt::NttTable;
+use crate::poly::Poly;
+use crate::PolyError;
+use std::sync::Arc;
+
+/// Which domain the limb coefficients currently live in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Coefficient (time) domain.
+    Coeff,
+    /// NTT (evaluation) domain — pointwise products are ring products.
+    Ntt,
+}
+
+/// A polynomial in RNS representation.
+///
+/// # Examples
+///
+/// ```
+/// use wd_polyring::rns::{Domain, RnsPoly};
+/// let p = RnsPoly::zero(&[97, 113], 4).unwrap();
+/// assert_eq!(p.limb_count(), 2);
+/// assert_eq!(p.domain(), Domain::Coeff);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RnsPoly {
+    limbs: Vec<Poly>,
+    domain: Domain,
+}
+
+impl RnsPoly {
+    /// Zero polynomial over the given prime chain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates degree/modulus validation failures.
+    pub fn zero(primes: &[u64], n: usize) -> Result<Self, PolyError> {
+        let limbs = primes
+            .iter()
+            .map(|&q| Poly::zero(q, n))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            limbs,
+            domain: Domain::Coeff,
+        })
+    }
+
+    /// Builds from signed coefficients, reducing into every limb.
+    ///
+    /// # Errors
+    ///
+    /// Propagates degree/modulus validation failures.
+    pub fn from_signed(primes: &[u64], coeffs: &[i64]) -> Result<Self, PolyError> {
+        let limbs = primes
+            .iter()
+            .map(|&q| Poly::from_signed(q, coeffs))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            limbs,
+            domain: Domain::Coeff,
+        })
+    }
+
+    /// Builds from per-limb polynomials (all must share the degree).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::RingMismatch`] on ragged degrees, or
+    /// [`PolyError::BadDegree`] when empty.
+    pub fn from_limbs(limbs: Vec<Poly>, domain: Domain) -> Result<Self, PolyError> {
+        let n = limbs.first().map(Poly::degree).ok_or(PolyError::BadDegree(0))?;
+        if limbs.iter().any(|l| l.degree() != n) {
+            return Err(PolyError::RingMismatch);
+        }
+        Ok(Self { limbs, domain })
+    }
+
+    /// Ring degree N.
+    pub fn degree(&self) -> usize {
+        self.limbs[0].degree()
+    }
+
+    /// Number of RNS limbs.
+    pub fn limb_count(&self) -> usize {
+        self.limbs.len()
+    }
+
+    /// Current domain.
+    pub fn domain(&self) -> Domain {
+        self.domain
+    }
+
+    /// Prime values of the limb chain, in order.
+    pub fn primes(&self) -> Vec<u64> {
+        self.limbs.iter().map(|l| l.modulus().value()).collect()
+    }
+
+    /// Borrow a limb.
+    pub fn limb(&self, i: usize) -> &Poly {
+        &self.limbs[i]
+    }
+
+    /// Mutably borrow a limb.
+    pub fn limb_mut(&mut self, i: usize) -> &mut Poly {
+        &mut self.limbs[i]
+    }
+
+    /// Iterate over limbs.
+    pub fn limbs(&self) -> impl Iterator<Item = &Poly> {
+        self.limbs.iter()
+    }
+
+    /// Residues of coefficient `j` across all limbs (the slice CRT and basis
+    /// conversion consume).
+    pub fn coeff_residues(&self, j: usize) -> Vec<u64> {
+        self.limbs.iter().map(|l| l.coeffs()[j]).collect()
+    }
+
+    /// Overrides the domain marker (used by transforms that operate on raw
+    /// limb data).
+    pub fn set_domain(&mut self, d: Domain) {
+        self.domain = d;
+    }
+
+    fn zip_check(&self, rhs: &Self) -> Result<(), PolyError> {
+        if self.limb_count() != rhs.limb_count()
+            || self.degree() != rhs.degree()
+            || self.domain != rhs.domain
+        {
+            return Err(PolyError::RingMismatch);
+        }
+        Ok(())
+    }
+
+    /// Limb-wise addition (any domain, domains must match).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::RingMismatch`] on shape or domain mismatch.
+    pub fn add(&self, rhs: &Self) -> Result<Self, PolyError> {
+        self.zip_check(rhs)?;
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(&rhs.limbs)
+            .map(|(a, b)| a.add(b))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            limbs,
+            domain: self.domain,
+        })
+    }
+
+    /// Limb-wise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::RingMismatch`] on shape or domain mismatch.
+    pub fn sub(&self, rhs: &Self) -> Result<Self, PolyError> {
+        self.zip_check(rhs)?;
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(&rhs.limbs)
+            .map(|(a, b)| a.sub(b))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            limbs,
+            domain: self.domain,
+        })
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Self {
+        Self {
+            limbs: self.limbs.iter().map(Poly::neg).collect(),
+            domain: self.domain,
+        }
+    }
+
+    /// Pointwise (Hadamard) product — the ring product when both operands
+    /// are in the NTT domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::RingMismatch`] on shape mismatch or when either
+    /// operand is still in the coefficient domain.
+    pub fn pointwise(&self, rhs: &Self) -> Result<Self, PolyError> {
+        if self.domain != Domain::Ntt || rhs.domain != Domain::Ntt {
+            return Err(PolyError::RingMismatch);
+        }
+        self.zip_check(rhs)?;
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(&rhs.limbs)
+            .map(|(a, b)| a.pointwise(b))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            limbs,
+            domain: Domain::Ntt,
+        })
+    }
+
+    /// Forward NTT on every limb (tables must be ordered like the limbs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if table moduli do not match limb moduli, or the poly is
+    /// already in the NTT domain.
+    pub fn ntt_forward(&mut self, tables: &[Arc<NttTable>]) {
+        assert_eq!(self.domain, Domain::Coeff, "already in NTT domain");
+        assert!(tables.len() >= self.limbs.len());
+        for (limb, t) in self.limbs.iter_mut().zip(tables) {
+            assert_eq!(t.modulus().value(), limb.modulus().value());
+            t.forward(limb.coeffs_mut());
+        }
+        self.domain = Domain::Ntt;
+    }
+
+    /// Inverse NTT on every limb.
+    ///
+    /// # Panics
+    ///
+    /// Panics if table moduli do not match limb moduli, or the poly is
+    /// already in the coefficient domain.
+    pub fn ntt_inverse(&mut self, tables: &[Arc<NttTable>]) {
+        assert_eq!(self.domain, Domain::Ntt, "already in coefficient domain");
+        assert!(tables.len() >= self.limbs.len());
+        for (limb, t) in self.limbs.iter_mut().zip(tables) {
+            assert_eq!(t.modulus().value(), limb.modulus().value());
+            t.inverse(limb.coeffs_mut());
+        }
+        self.domain = Domain::Coeff;
+    }
+
+    /// Forward NTT on every limb, with limbs transformed on parallel OS
+    /// threads — the CPU-side analogue of the PE kernel's limb dimension
+    /// (each RNS limb is independent, exactly why the GPU kernel can take
+    /// the whole ciphertext at once).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`RnsPoly::ntt_forward`].
+    pub fn ntt_forward_parallel(&mut self, tables: &[Arc<NttTable>]) {
+        assert_eq!(self.domain, Domain::Coeff, "already in NTT domain");
+        assert!(tables.len() >= self.limbs.len());
+        std::thread::scope(|scope| {
+            for (limb, t) in self.limbs.iter_mut().zip(tables) {
+                assert_eq!(t.modulus().value(), limb.modulus().value());
+                scope.spawn(move || t.forward(limb.coeffs_mut()));
+            }
+        });
+        self.domain = Domain::Ntt;
+    }
+
+    /// Inverse NTT on every limb, in parallel (see
+    /// [`RnsPoly::ntt_forward_parallel`]).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`RnsPoly::ntt_inverse`].
+    pub fn ntt_inverse_parallel(&mut self, tables: &[Arc<NttTable>]) {
+        assert_eq!(self.domain, Domain::Ntt, "already in coefficient domain");
+        assert!(tables.len() >= self.limbs.len());
+        std::thread::scope(|scope| {
+            for (limb, t) in self.limbs.iter_mut().zip(tables) {
+                assert_eq!(t.modulus().value(), limb.modulus().value());
+                scope.spawn(move || t.inverse(limb.coeffs_mut()));
+            }
+        });
+        self.domain = Domain::Coeff;
+    }
+
+    /// Galois automorphism X ↦ X^g applied limb-wise (coefficient domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called in the NTT domain (the evaluation-domain
+    /// automorphism is a slot permutation, handled by the CKKS layer).
+    pub fn automorphism(&self, g: usize) -> Self {
+        assert_eq!(self.domain, Domain::Coeff, "automorphism acts on coefficients");
+        Self {
+            limbs: self.limbs.iter().map(|l| l.automorphism(g)).collect(),
+            domain: Domain::Coeff,
+        }
+    }
+
+    /// Multiplies every limb by a scalar (reduced per limb).
+    pub fn scale_scalar(&self, s: u64) -> Self {
+        Self {
+            limbs: self.limbs.iter().map(|l| l.scale(s)).collect(),
+            domain: self.domain,
+        }
+    }
+
+    /// Multiplies limb `i` by a limb-specific scalar — used by rescaling and
+    /// ModDown, where the constant (q_last^{-1} mod q_i) differs per limb.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scalars.len() != limb_count`.
+    pub fn scale_per_limb(&self, scalars: &[u64]) -> Self {
+        assert_eq!(scalars.len(), self.limb_count());
+        Self {
+            limbs: self
+                .limbs
+                .iter()
+                .zip(scalars)
+                .map(|(l, &s)| l.scale(s))
+                .collect(),
+            domain: self.domain,
+        }
+    }
+
+    /// Drops the last `k` limbs (modulus switching step of RESCALE).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= limb_count`.
+    pub fn drop_limbs(&mut self, k: usize) {
+        assert!(k < self.limb_count(), "cannot drop every limb");
+        self.limbs.truncate(self.limb_count() - k);
+    }
+
+    /// Keeps only the first `count` limbs, returning the rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > limb_count` or `count == 0`.
+    pub fn split_limbs(mut self, count: usize) -> (Self, Vec<Poly>) {
+        assert!(count > 0 && count <= self.limb_count());
+        let tail = self.limbs.split_off(count);
+        (self, tail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wd_modmath::prime::generate_ntt_primes;
+
+    fn primes(n: usize, count: usize) -> Vec<u64> {
+        generate_ntt_primes(26, 2 * n as u64, count).unwrap()
+    }
+
+    fn tables(primes: &[u64], n: usize) -> Vec<Arc<NttTable>> {
+        primes
+            .iter()
+            .map(|&q| Arc::new(NttTable::new(q, n).unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn from_signed_consistent_across_limbs() {
+        let ps = primes(8, 3);
+        let p = RnsPoly::from_signed(&ps, &[-3, 0, 5, 0, 0, 0, 0, 1]).unwrap();
+        for (i, &q) in ps.iter().enumerate() {
+            assert_eq!(p.limb(i).centered(), vec![-3, 0, 5, 0, 0, 0, 0, 1], "q = {q}");
+        }
+    }
+
+    #[test]
+    fn ntt_round_trip_all_limbs() {
+        let n = 32;
+        let ps = primes(n, 4);
+        let ts = tables(&ps, n);
+        let mut p = RnsPoly::from_signed(&ps, &(0..n as i64).collect::<Vec<_>>()).unwrap();
+        let orig = p.clone();
+        p.ntt_forward(&ts);
+        assert_eq!(p.domain(), Domain::Ntt);
+        p.ntt_inverse(&ts);
+        assert_eq!(p, orig);
+    }
+
+    #[test]
+    fn parallel_ntt_matches_serial() {
+        let n = 64;
+        let ps = primes(n, 6);
+        let ts = tables(&ps, n);
+        let coeffs: Vec<i64> = (0..n as i64).map(|i| i * 3 - 7).collect();
+        let mut serial = RnsPoly::from_signed(&ps, &coeffs).unwrap();
+        let mut parallel = serial.clone();
+        serial.ntt_forward(&ts);
+        parallel.ntt_forward_parallel(&ts);
+        assert_eq!(serial, parallel);
+        serial.ntt_inverse(&ts);
+        parallel.ntt_inverse_parallel(&ts);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel.domain(), Domain::Coeff);
+    }
+
+    #[test]
+    fn pointwise_requires_ntt_domain() {
+        let ps = primes(8, 2);
+        let a = RnsPoly::zero(&ps, 8).unwrap();
+        assert!(a.pointwise(&a).is_err());
+    }
+
+    #[test]
+    fn ntt_multiplication_matches_schoolbook_per_limb() {
+        let n = 16;
+        let ps = primes(n, 2);
+        let ts = tables(&ps, n);
+        let av: Vec<i64> = (0..n as i64).map(|i| i - 8).collect();
+        let bv: Vec<i64> = (0..n as i64).map(|i| 2 * i + 1).collect();
+        let mut a = RnsPoly::from_signed(&ps, &av).unwrap();
+        let mut b = RnsPoly::from_signed(&ps, &bv).unwrap();
+        let plain_a = a.clone();
+        let plain_b = b.clone();
+        a.ntt_forward(&ts);
+        b.ntt_forward(&ts);
+        let mut c = a.pointwise(&b).unwrap();
+        c.ntt_inverse(&ts);
+        for i in 0..ps.len() {
+            let expect = crate::naive::negacyclic_mul(
+                plain_a.limb(i).modulus(),
+                plain_a.limb(i).coeffs(),
+                plain_b.limb(i).coeffs(),
+            );
+            assert_eq!(c.limb(i).coeffs(), &expect[..], "limb {i}");
+        }
+    }
+
+    #[test]
+    fn drop_limbs_shrinks_chain() {
+        let ps = primes(8, 4);
+        let mut p = RnsPoly::zero(&ps, 8).unwrap();
+        p.drop_limbs(2);
+        assert_eq!(p.limb_count(), 2);
+        assert_eq!(p.primes(), ps[..2].to_vec());
+    }
+
+    #[test]
+    fn add_rejects_mismatched_shapes() {
+        let ps = primes(8, 2);
+        let a = RnsPoly::zero(&ps, 8).unwrap();
+        let b = RnsPoly::zero(&ps[..1], 8).unwrap();
+        assert!(a.add(&b).is_err());
+    }
+
+    #[test]
+    fn automorphism_commutes_with_rns() {
+        let ps = primes(8, 2);
+        let p = RnsPoly::from_signed(&ps, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        let rotated = p.automorphism(3);
+        for i in 0..2 {
+            assert_eq!(
+                rotated.limb(i),
+                &p.limb(i).automorphism(3),
+                "limb {i} must equal per-limb automorphism"
+            );
+        }
+    }
+
+    #[test]
+    fn coeff_residues_column_view() {
+        let ps = primes(8, 3);
+        let p = RnsPoly::from_signed(&ps, &[-1, 0, 0, 0, 0, 0, 0, 0]).unwrap();
+        let col = p.coeff_residues(0);
+        assert_eq!(col.len(), 3);
+        for (r, &q) in col.iter().zip(&ps) {
+            assert_eq!(*r, q - 1);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! AES-128 in CTR mode — the plaintext reference for transciphering.
+//!
+//! Transciphering (paper §V-G, Table XV) lets a client send AES-encrypted
+//! data plus an FHE-encrypted AES key; the server homomorphically evaluates
+//! AES decryption to obtain CKKS ciphertexts. This module is the exact
+//! cipher both sides must agree on, implemented from FIPS-197 and tested
+//! against the standard vectors.
+
+/// AES-128 block size in bytes.
+pub const BLOCK: usize = 16;
+/// AES-128 key size in bytes.
+pub const KEY: usize = 16;
+/// AES-128 round count.
+pub const ROUNDS: usize = 10;
+
+/// The AES S-box (FIPS-197 Fig. 7).
+pub const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (if b & 0x80 != 0 { 0x1b } else { 0 })
+}
+
+/// GF(2^8) multiplication (AES polynomial).
+pub fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut acc = 0u8;
+    while b != 0 {
+        if b & 1 != 0 {
+            acc ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    acc
+}
+
+/// Expanded AES-128 key schedule: 11 round keys.
+pub fn key_schedule(key: &[u8; KEY]) -> [[u8; BLOCK]; ROUNDS + 1] {
+    let mut w = [[0u8; 4]; 4 * (ROUNDS + 1)];
+    for i in 0..4 {
+        w[i].copy_from_slice(&key[4 * i..4 * i + 4]);
+    }
+    let mut rcon = 1u8;
+    for i in 4..4 * (ROUNDS + 1) {
+        let mut t = w[i - 1];
+        if i % 4 == 0 {
+            t.rotate_left(1);
+            for b in &mut t {
+                *b = SBOX[usize::from(*b)];
+            }
+            t[0] ^= rcon;
+            rcon = xtime(rcon);
+        }
+        for j in 0..4 {
+            w[i][j] = w[i - 4][j] ^ t[j];
+        }
+    }
+    let mut rk = [[0u8; BLOCK]; ROUNDS + 1];
+    for (r, block) in rk.iter_mut().enumerate() {
+        for c in 0..4 {
+            block[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+        }
+    }
+    rk
+}
+
+fn add_round_key(state: &mut [u8; BLOCK], rk: &[u8; BLOCK]) {
+    for (s, k) in state.iter_mut().zip(rk) {
+        *s ^= k;
+    }
+}
+
+fn sub_bytes(state: &mut [u8; BLOCK]) {
+    for s in state.iter_mut() {
+        *s = SBOX[usize::from(*s)];
+    }
+}
+
+fn shift_rows(state: &mut [u8; BLOCK]) {
+    // Column-major state: byte (row r, col c) at index 4c + r.
+    let old = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[4 * c + r] = old[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+fn mix_columns(state: &mut [u8; BLOCK]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+/// Encrypts one 16-byte block with AES-128.
+pub fn encrypt_block(key: &[u8; KEY], block: &[u8; BLOCK]) -> [u8; BLOCK] {
+    let rk = key_schedule(key);
+    let mut s = *block;
+    add_round_key(&mut s, &rk[0]);
+    for r in 1..ROUNDS {
+        sub_bytes(&mut s);
+        shift_rows(&mut s);
+        mix_columns(&mut s);
+        add_round_key(&mut s, &rk[r]);
+    }
+    sub_bytes(&mut s);
+    shift_rows(&mut s);
+    add_round_key(&mut s, &rk[ROUNDS]);
+    s
+}
+
+/// AES-128-CTR keystream-XOR (encryption == decryption).
+pub fn ctr_xor(key: &[u8; KEY], nonce: u64, data: &mut [u8]) {
+    for (i, chunk) in data.chunks_mut(BLOCK).enumerate() {
+        let mut counter = [0u8; BLOCK];
+        counter[..8].copy_from_slice(&nonce.to_be_bytes());
+        counter[8..].copy_from_slice(&(i as u64).to_be_bytes());
+        let ks = encrypt_block(key, &counter);
+        for (b, k) in chunk.iter_mut().zip(&ks) {
+            *b ^= k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips197_appendix_b_vector() {
+        // FIPS-197 Appendix B: key 2b7e…, plaintext 3243f6a8885a308d313198a2e0370734.
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let pt = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expect = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        assert_eq!(encrypt_block(&key, &pt), expect);
+    }
+
+    #[test]
+    fn fips197_appendix_c_vector() {
+        // Appendix C.1: key 000102…0f, plaintext 00112233445566778899aabbccddeeff.
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let pt: [u8; 16] = core::array::from_fn(|i| (i as u8) * 0x11);
+        let expect = [
+            0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+            0xc5, 0x5a,
+        ];
+        assert_eq!(encrypt_block(&key, &pt), expect);
+    }
+
+    #[test]
+    fn key_schedule_first_round_key_matches_fips() {
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let rk = key_schedule(&key);
+        // FIPS-197 A.1: w[4..8] = a0fafe17 88542cb1 23a33939 2a6c7605.
+        assert_eq!(&rk[1][..4], &[0xa0, 0xfa, 0xfe, 0x17]);
+        assert_eq!(&rk[1][12..], &[0x2a, 0x6c, 0x76, 0x05]);
+    }
+
+    #[test]
+    fn gf_mul_known_values() {
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe); // FIPS-197 §4.2 example
+        assert_eq!(gf_mul(0x01, 0xab), 0xab);
+        assert_eq!(gf_mul(0x00, 0xff), 0x00);
+    }
+
+    #[test]
+    fn ctr_round_trip() {
+        let key: [u8; 16] = core::array::from_fn(|i| (i * 7 + 3) as u8);
+        let mut data: Vec<u8> = (0..100u8).collect();
+        let orig = data.clone();
+        ctr_xor(&key, 0xdead_beef, &mut data);
+        assert_ne!(data, orig, "ciphertext must differ");
+        ctr_xor(&key, 0xdead_beef, &mut data);
+        assert_eq!(data, orig, "CTR is an involution");
+    }
+
+    #[test]
+    fn ctr_nonce_separates_streams() {
+        let key = [0u8; 16];
+        let mut a = vec![0u8; 32];
+        let mut b = vec![0u8; 32];
+        ctr_xor(&key, 1, &mut a);
+        ctr_xor(&key, 2, &mut b);
+        assert_ne!(a, b);
+    }
+}

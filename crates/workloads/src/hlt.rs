@@ -1,0 +1,745 @@
+//! Homomorphic linear transforms and polynomial evaluation.
+//!
+//! Every FHE workload in the paper reduces to two primitives on top of the
+//! CKKS ops: multiplying the encrypted slot vector by a plaintext matrix
+//! (diagonal method with rotations), and evaluating a plaintext polynomial
+//! on a ciphertext (power basis with rescaling). Both are implemented
+//! functionally here and drive bootstrapping, HELR and the ResNet
+//! convolution demo.
+
+use wd_ckks::encoding::C64;
+use wd_ckks::keys::{KeySwitchKey, RotationKeys};
+use wd_ckks::ops::{self, hadd, hrotate, pmult, rescale};
+use wd_ckks::{Ciphertext, CkksContext, CkksError};
+
+/// A plaintext complex matrix acting on the slot vector (row-major,
+/// `dim × dim` with `dim` ≤ slot count).
+#[derive(Debug, Clone)]
+pub struct SlotMatrix {
+    dim: usize,
+    entries: Vec<C64>,
+}
+
+impl SlotMatrix {
+    /// Wraps a row-major matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries.len() == dim * dim`.
+    pub fn new(dim: usize, entries: Vec<C64>) -> Self {
+        assert_eq!(entries.len(), dim * dim, "matrix must be dim×dim");
+        Self { dim, entries }
+    }
+
+    /// Identity matrix.
+    pub fn identity(dim: usize) -> Self {
+        let mut e = vec![C64::default(); dim * dim];
+        for i in 0..dim {
+            e[i * dim + i] = C64::new(1.0, 0.0);
+        }
+        Self::new(dim, e)
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Entry (i, j).
+    pub fn get(&self, i: usize, j: usize) -> C64 {
+        self.entries[i * self.dim + j]
+    }
+
+    /// The d-th generalized diagonal: `diag_d[i] = M[i][(i + d) % dim]`.
+    pub fn diagonal(&self, d: usize) -> Vec<C64> {
+        (0..self.dim).map(|i| self.get(i, (i + d) % self.dim)).collect()
+    }
+
+    /// Plaintext reference product `M · v` (test oracle and encoder tool).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() < dim`.
+    pub fn apply_plain(&self, v: &[C64]) -> Vec<C64> {
+        (0..self.dim)
+            .map(|i| {
+                let mut acc = C64::default();
+                for j in 0..self.dim {
+                    acc = acc + self.get(i, j) * v[j];
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Numerical inverse via Gaussian elimination with partial pivoting
+    /// (used to build the CoeffToSlot matrix as the inverse of the decoding
+    /// matrix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is singular to working precision.
+    pub fn inverse(&self) -> Self {
+        let n = self.dim;
+        let mut a: Vec<Vec<C64>> = (0..n)
+            .map(|i| {
+                let mut row: Vec<C64> = (0..n).map(|j| self.get(i, j)).collect();
+                row.extend((0..n).map(|j| {
+                    if i == j {
+                        C64::new(1.0, 0.0)
+                    } else {
+                        C64::default()
+                    }
+                }));
+                row
+            })
+            .collect();
+        for col in 0..n {
+            let pivot = (col..n)
+                .max_by(|&x, &y| {
+                    a[x][col]
+                        .abs()
+                        .partial_cmp(&a[y][col].abs())
+                        .expect("finite")
+                })
+                .expect("nonempty");
+            assert!(a[pivot][col].abs() > 1e-12, "singular matrix");
+            a.swap(col, pivot);
+            let inv = complex_inv(a[col][col]);
+            for j in 0..2 * n {
+                a[col][j] = a[col][j] * inv;
+            }
+            for row in 0..n {
+                if row != col {
+                    let f = a[row][col];
+                    for j in 0..2 * n {
+                        a[row][j] = a[row][j] - f * a[col][j];
+                    }
+                }
+            }
+        }
+        let entries = (0..n).flat_map(|i| a[i][n..2 * n].to_vec()).collect();
+        Self::new(n, entries)
+    }
+}
+
+fn complex_inv(z: C64) -> C64 {
+    let d = z.re * z.re + z.im * z.im;
+    C64::new(z.re / d, -z.im / d)
+}
+
+/// Homomorphic matrix–vector product by the diagonal method:
+/// `M·v = Σ_d diag_d(M) ⊙ rot(v, d)`, consuming one level.
+///
+/// Requires rotation keys for every step `d < dim` with a nonzero diagonal.
+/// The matrix dimension must equal the full slot count (so rotation
+/// wrap-around matches the diagonal indexing).
+///
+/// # Errors
+///
+/// Propagates missing-key and arithmetic errors.
+pub fn linear_transform(
+    ctx: &CkksContext,
+    ct: &Ciphertext,
+    m: &SlotMatrix,
+    keys: &RotationKeys,
+) -> Result<Ciphertext, CkksError> {
+    if m.dim() != ctx.params().slots() {
+        return Err(CkksError::Mismatch(format!(
+            "matrix dim {} must equal slot count {}",
+            m.dim(),
+            ctx.params().slots()
+        )));
+    }
+    let mut acc: Option<Ciphertext> = None;
+    for d in 0..m.dim() {
+        let diag = m.diagonal(d);
+        if diag.iter().all(|c| c.abs() < 1e-14) {
+            continue;
+        }
+        let rotated = if d == 0 {
+            ct.clone()
+        } else {
+            hrotate(ctx, ct, d as isize, keys)?
+        };
+        let pt = ctx.encode_complex_at(&diag, rotated.level, ctx.params().scale())?;
+        let term = pmult(&rotated, &pt)?;
+        acc = Some(match acc {
+            None => term,
+            Some(a) => hadd(&a, &term)?,
+        });
+    }
+    let acc = acc.ok_or_else(|| CkksError::Mismatch("matrix is zero".into()))?;
+    rescale(ctx, &acc)
+}
+
+/// Baby-step/giant-step homomorphic matrix-vector product:
+/// `M·v = Σ_i rot_{i·b}( Σ_j rot_{-i·b}(diag_{i·b+j}) ⊙ rot(v, j) )`
+/// with b ≈ √dim baby steps (computed with one *hoisted* decomposition) and
+/// ⌈dim/b⌉ giant steps — ~2√dim keyswitches instead of dim. This is the
+/// rotation pattern bootstrapping's CoeffToSlot and HELR's gathers use, and
+/// the reason the workload models price hoisted rotations fractionally.
+///
+/// Requires rotation keys for 1..b and for the giant steps i·b
+/// ([`bsgs_rotations`] lists them).
+///
+/// # Errors
+///
+/// Propagates missing-key and arithmetic errors.
+pub fn linear_transform_bsgs(
+    ctx: &CkksContext,
+    ct: &Ciphertext,
+    m: &SlotMatrix,
+    keys: &RotationKeys,
+) -> Result<Ciphertext, CkksError> {
+    let dim = m.dim();
+    if dim != ctx.params().slots() {
+        return Err(CkksError::Mismatch(format!(
+            "matrix dim {dim} must equal slot count {}",
+            ctx.params().slots()
+        )));
+    }
+    let b = (dim as f64).sqrt().ceil() as usize;
+    let g = dim.div_ceil(b);
+    // Baby steps: rot(v, j) for j in 0..b, sharing one decomposition.
+    let baby_rots: Vec<isize> = (0..b as isize).collect();
+    let babies = ops::hrotate_many(ctx, ct, &baby_rots, keys)?;
+    let mut acc: Option<Ciphertext> = None;
+    for i in 0..g {
+        let mut inner: Option<Ciphertext> = None;
+        for (j, baby) in babies.iter().enumerate() {
+            let d = i * b + j;
+            if d >= dim {
+                break;
+            }
+            let diag = m.diagonal(d);
+            if diag.iter().all(|c| c.abs() < 1e-14) {
+                continue;
+            }
+            // Pre-rotate the diagonal by -i·b so the giant-step rotation
+            // lands it in the right slots: pre[t] = diag[t - i·b].
+            let shift = dim - (i * b) % dim;
+            let pre: Vec<C64> = (0..dim).map(|t| diag[(t + shift) % dim]).collect();
+            let pt = ctx.encode_complex_at(&pre, baby.level, ctx.params().scale())?;
+            let term = pmult(baby, &pt)?;
+            inner = Some(match inner {
+                None => term,
+                Some(a) => hadd(&a, &term)?,
+            });
+        }
+        let Some(inner) = inner else { continue };
+        let rotated = if i == 0 {
+            inner
+        } else {
+            hrotate(ctx, &inner, (i * b) as isize, keys)?
+        };
+        acc = Some(match acc {
+            None => rotated,
+            Some(a) => hadd(&a, &rotated)?,
+        });
+    }
+    let acc = acc.ok_or_else(|| CkksError::Mismatch("matrix is zero".into()))?;
+    rescale(ctx, &acc)
+}
+
+/// The rotation amounts [`linear_transform_bsgs`] needs for a given
+/// dimension (baby steps 1..b and giant steps b, 2b, ...).
+pub fn bsgs_rotations(dim: usize) -> Vec<isize> {
+    let b = (dim as f64).sqrt().ceil() as usize;
+    let g = dim.div_ceil(b);
+    let mut rots: Vec<isize> = (1..b as isize).collect();
+    rots.extend((1..g).map(|i| (i * b) as isize));
+    rots.sort_unstable();
+    rots.dedup();
+    rots
+}
+
+/// Evaluates the polynomial `Σ coeffs[k] x^k` on a ciphertext via the
+/// power basis (powers built with logarithmic multiplicative depth),
+/// rescaling after every multiplication.
+///
+/// # Errors
+///
+/// Propagates arithmetic errors ([`CkksError::OutOfLevels`] when the chain
+/// is too short for the degree).
+///
+/// # Panics
+///
+/// Panics on an empty coefficient list.
+pub fn eval_poly(
+    ctx: &CkksContext,
+    ct: &Ciphertext,
+    coeffs: &[f64],
+    relin: &KeySwitchKey,
+) -> Result<Ciphertext, CkksError> {
+    assert!(!coeffs.is_empty(), "empty polynomial");
+    let deg = coeffs.len() - 1;
+    let mut powers: Vec<Ciphertext> = Vec::with_capacity(deg.max(1));
+    if deg >= 1 {
+        powers.push(ct.clone());
+    }
+    for k in 2..=deg {
+        // x^k = x^(k/2) · x^(k − k/2): logarithmic depth.
+        let a = &powers[k / 2 - 1];
+        let b = &powers[(k - k / 2) - 1];
+        let (a, b) = ops::align_levels(a, b)?;
+        let prod = ops::hmult(ctx, &a, &b, relin)?;
+        powers.push(rescale(ctx, &prod)?);
+    }
+    let out_level = powers.last().map_or(ct.level, |p| p.level);
+    let slots = ctx.params().slots();
+    // Start from an encryption of 0 at the output level and add c_0.
+    let mut acc = {
+        let base = ops::level_drop(ct, out_level)?;
+        let zero = ops::hsub(&base, &base)?;
+        if coeffs[0] != 0.0 {
+            let pt = ctx.encode_complex_at(
+                &vec![C64::new(coeffs[0], 0.0); slots],
+                out_level,
+                zero.scale,
+            )?;
+            ops::add_plain(&zero, &pt)?
+        } else {
+            zero
+        }
+    };
+    for (k, &c) in coeffs.iter().enumerate().skip(1) {
+        if c == 0.0 {
+            continue;
+        }
+        let p = ops::level_drop(&powers[k - 1], out_level)?;
+        // Choose the plaintext scale so that after the rescale the term's
+        // scale matches acc's exactly (prime chains only approximate Δ).
+        let q_drop = ctx.params().q_chain()[p.level] as f64;
+        let pt_scale = acc.scale * q_drop / p.scale;
+        let pt = ctx.encode_complex_at(&vec![C64::new(c, 0.0); slots], out_level, pt_scale)?;
+        let mut term = rescale(ctx, &pmult(&p, &pt)?)?;
+        term.scale = acc.scale; // exact by construction, up to f64 rounding
+        let (mut a, t) = ops::align_levels(&acc, &term)?;
+        a.scale = t.scale;
+        acc = hadd(&a, &t)?;
+    }
+    Ok(acc)
+}
+
+/// Chebyshev-basis coefficients of a degree-`deg` fit of `f` on `[-k, k]`
+/// (discrete cosine quadrature): returns `c` with
+/// `f(x) ≈ Σ_j c[j]·T_j(x/k)`.
+pub fn chebyshev_coeffs(f: impl Fn(f64) -> f64, k: f64, deg: usize) -> Vec<f64> {
+    let n = deg + 1;
+    let mut c = vec![0.0f64; n];
+    for (j, cj) in c.iter_mut().enumerate() {
+        let mut s = 0.0;
+        for i in 0..n {
+            let theta = std::f64::consts::PI * (i as f64 + 0.5) / n as f64;
+            s += f(k * theta.cos()) * (j as f64 * theta).cos();
+        }
+        *cj = 2.0 * s / n as f64;
+    }
+    c[0] /= 2.0;
+    c
+}
+
+/// Evaluates a Chebyshev series in plain f64 via Clenshaw (test oracle).
+pub fn eval_chebyshev_plain(coeffs: &[f64], k: f64, x: f64) -> f64 {
+    let t = x / k;
+    let (mut b1, mut b2) = (0.0f64, 0.0f64);
+    for &c in coeffs.iter().rev() {
+        let b0 = 2.0 * t * b1 - b2 + c;
+        b2 = b1;
+        b1 = b0;
+    }
+    b1 - t * b2
+}
+
+/// Homomorphically evaluates `Σ_j coeffs[j]·T_j(x/k)` on a ciphertext.
+///
+/// Chebyshev polynomials are built with logarithmic multiplicative depth via
+/// `T_{2m} = 2T_m² − 1` and `T_{2m+1} = 2T_{m+1}T_m − T_1`, staying in the
+/// numerically stable basis (|T_j| ≤ 1) — essential for the high degrees
+/// EvalMod needs (monomial coefficients of a degree-60 sine fit overflow
+/// f64 cancellation).
+///
+/// # Errors
+///
+/// Propagates arithmetic errors (level exhaustion for large degrees).
+///
+/// # Panics
+///
+/// Panics on an empty coefficient list.
+pub fn eval_chebyshev(
+    ctx: &CkksContext,
+    ct: &Ciphertext,
+    coeffs: &[f64],
+    k: f64,
+    relin: &KeySwitchKey,
+) -> Result<Ciphertext, CkksError> {
+    assert!(!coeffs.is_empty(), "empty series");
+    let deg = coeffs.len() - 1;
+    let delta = ctx.params().scale();
+    // t = x/k, normalized into [-1, 1].
+    let t1 = {
+        let q_drop = ctx.params().q_chain()[ct.level] as f64;
+        let slots = ctx.params().slots();
+        let pt = ctx.encode_complex_at(&vec![C64::new(1.0 / k, 0.0); slots], ct.level, q_drop)?;
+        let mut y = rescale(ctx, &pmult(ct, &pt)?)?;
+        y.scale = ct.scale;
+        y
+    };
+    // Build T_1..T_deg with binary decomposition; normalize every scale to Δ
+    // (the prime chain tracks Δ to ~1e-5 on dense chains; asserted below).
+    let mut t_polys: Vec<Option<Ciphertext>> = vec![None; deg + 1];
+    if deg >= 1 {
+        t_polys[1] = Some(t1.clone());
+    }
+    for j in 2..=deg {
+        if t_polys[j].is_some() {
+            continue;
+        }
+        let (a, b, c_idx) = if j % 2 == 0 {
+            (j / 2, j / 2, 0)
+        } else {
+            (j / 2 + 1, j / 2, 1)
+        };
+        // Ensure operands exist (recursion by increasing j guarantees it).
+        let ta = t_polys[a].clone().expect("operand built");
+        let tb = t_polys[b].clone().expect("operand built");
+        let (ta, tb) = ops::align_levels(&ta, &tb)?;
+        let mut tb2 = tb;
+        tb2.scale = ta.scale;
+        let prod = ops::hmult(ctx, &ta, &tb2, relin)?;
+        let mut p = rescale(ctx, &prod)?;
+        let drift = (p.scale / delta - 1.0).abs();
+        debug_assert!(drift < 1e-2, "scale drift {drift}");
+        p.scale = delta;
+        let two_p = ops::mult_const_int(&p, 2);
+        let corr = if c_idx == 0 {
+            // T_{2m} = 2P − 1: subtract the constant 1.
+            let slots = ctx.params().slots();
+            let one = ctx.encode_complex_at(
+                &vec![C64::new(1.0, 0.0); slots],
+                two_p.level,
+                two_p.scale,
+            )?;
+            ops::hsub(&two_p, &ops::add_plain(&ops::hsub(&two_p, &two_p)?, &one)?)?
+        } else {
+            // T_{2m+1} = 2P − T_1.
+            let t1_dropped = ops::level_drop(&t1, two_p.level)?;
+            let mut t1d = t1_dropped;
+            t1d.scale = two_p.scale;
+            ops::hsub(&two_p, &t1d)?
+        };
+        t_polys[j] = Some(corr);
+    }
+    // Deepest level among the T_j.
+    let out_level = t_polys
+        .iter()
+        .flatten()
+        .map(|c| c.level)
+        .min()
+        .unwrap_or(ct.level);
+    let slots = ctx.params().slots();
+    // Accumulate Σ c_j T_j at out_level − 1 (each term spends one level on
+    // its plaintext coefficient).
+    let mut acc: Option<Ciphertext> = None;
+    for (j, &cj) in coeffs.iter().enumerate().skip(1) {
+        if cj.abs() < 1e-12 {
+            continue;
+        }
+        let tj = ops::level_drop(t_polys[j].as_ref().expect("built"), out_level)?;
+        let q_drop = ctx.params().q_chain()[out_level] as f64;
+        let target = acc.as_ref().map_or(delta, |a| a.scale);
+        let pt_scale = target * q_drop / tj.scale;
+        let pt = ctx.encode_complex_at(&vec![C64::new(cj, 0.0); slots], out_level, pt_scale)?;
+        let mut term = rescale(ctx, &pmult(&tj, &pt)?)?;
+        term.scale = target;
+        acc = Some(match acc {
+            None => term,
+            Some(a) => hadd(&a, &term)?,
+        });
+    }
+    let mut acc = match acc {
+        Some(a) => a,
+        None => {
+            let base = ops::level_drop(ct, out_level.saturating_sub(1).max(0))?;
+            ops::hsub(&base, &base)?
+        }
+    };
+    // Constant term.
+    if coeffs[0].abs() > 1e-12 {
+        let pt = ctx.encode_complex_at(
+            &vec![C64::new(coeffs[0], 0.0); slots],
+            acc.level,
+            acc.scale,
+        )?;
+        acc = ops::add_plain(&acc, &pt)?;
+    }
+    Ok(acc)
+}
+
+/// Monomial coefficients of a degree-`deg` Chebyshev fit of `f` on
+/// `[-k, k]` (discrete cosine quadrature, then basis conversion). Only
+/// numerically sound up to degree ≈ 40 (the conversion cancels like 2^deg);
+/// higher degrees must use [`eval_chebyshev`] directly.
+pub fn chebyshev_fit(f: impl Fn(f64) -> f64, k: f64, deg: usize) -> Vec<f64> {
+    let n = deg + 1;
+    let c = chebyshev_coeffs(f, k, deg);
+    // Σ c_j T_j(x/k) → monomial coefficients in x via the recurrence
+    // T_j = 2(x/k)·T_{j−1} − T_{j−2}.
+    let mut mono = vec![0.0f64; n];
+    let mut t_prev = vec![0.0f64; n];
+    t_prev[0] = 1.0;
+    let mut t_cur = vec![0.0f64; n];
+    if n > 1 {
+        t_cur[1] = 1.0 / k;
+    }
+    for i in 0..n {
+        mono[i] += c[0] * t_prev[i];
+    }
+    if n > 1 {
+        for i in 0..n {
+            mono[i] += c[1] * t_cur[i];
+        }
+    }
+    for cj in c.iter().skip(2) {
+        let mut t_next = vec![0.0f64; n];
+        for i in 0..n - 1 {
+            t_next[i + 1] += 2.0 / k * t_cur[i];
+        }
+        for i in 0..n {
+            t_next[i] -= t_prev[i];
+        }
+        for i in 0..n {
+            mono[i] += cj * t_next[i];
+        }
+        t_prev = t_cur;
+        t_cur = t_next;
+    }
+    mono
+}
+
+/// Evaluates a monomial-coefficient polynomial in plain f64 (test oracle).
+pub fn eval_poly_plain(coeffs: &[f64], x: f64) -> f64 {
+    coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wd_ckks::ParamSet;
+
+    fn setup(level: usize) -> (CkksContext, wd_ckks::keys::KeyPair) {
+        let params = ParamSet::set_a()
+            .with_degree(1 << 5)
+            .with_level(level)
+            .build()
+            .unwrap();
+        let ctx = CkksContext::with_seed(params, 99).unwrap();
+        let kp = ctx.keygen();
+        (ctx, kp)
+    }
+
+    #[test]
+    fn slot_matrix_diagonals() {
+        let m = SlotMatrix::new(3, (0..9).map(|i| C64::new(i as f64, 0.0)).collect());
+        let d0: Vec<f64> = m.diagonal(0).iter().map(|c| c.re).collect();
+        let d1: Vec<f64> = m.diagonal(1).iter().map(|c| c.re).collect();
+        assert_eq!(d0, vec![0.0, 4.0, 8.0]);
+        assert_eq!(d1, vec![1.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn matrix_inverse_round_trip() {
+        let dim = 8;
+        let m = SlotMatrix::new(
+            dim,
+            (0..dim * dim)
+                .map(|i| C64::new(((i * 37 + 5) % 11) as f64 - 5.0, ((i * 13) % 7) as f64))
+                .collect(),
+        );
+        let inv = m.inverse();
+        let v: Vec<C64> = (0..dim).map(|i| C64::new(i as f64, 1.0)).collect();
+        let back = inv.apply_plain(&m.apply_plain(&v));
+        for (a, b) in back.iter().zip(&v) {
+            assert!((*a - *b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn identity_transform_is_noop() {
+        let (ctx, kp) = setup(2);
+        let dim = ctx.params().slots();
+        let vals: Vec<f64> = (0..dim).map(|i| (i as f64) * 0.5 - 2.0).collect();
+        let ct = ctx.encrypt_values(&vals, &kp.public).unwrap();
+        let keys = ctx.gen_rotation_keys(&kp.secret, &[], false);
+        let out = linear_transform(&ctx, &ct, &SlotMatrix::identity(dim), &keys).unwrap();
+        let dec = ctx.decrypt_values(&out, &kp.secret).unwrap();
+        for (a, b) in dec.iter().zip(&vals) {
+            assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn linear_transform_matches_plain_matvec() {
+        let (ctx, kp) = setup(2);
+        let dim = ctx.params().slots();
+        let m = SlotMatrix::new(
+            dim,
+            (0..dim * dim)
+                .map(|i| C64::new(((i % 5) as f64 - 2.0) * 0.3, 0.0))
+                .collect(),
+        );
+        let v: Vec<C64> = (0..dim).map(|i| C64::new((i % 3) as f64, 0.0)).collect();
+        let ct = ctx
+            .encrypt(&ctx.encode_complex(&v).unwrap(), &kp.public)
+            .unwrap();
+        let rots: Vec<isize> = (1..dim as isize).collect();
+        let keys = ctx.gen_rotation_keys(&kp.secret, &rots, false);
+        let out = linear_transform(&ctx, &ct, &m, &keys).unwrap();
+        let dec = ctx.decode_complex(&ctx.decrypt(&out, &kp.secret)).unwrap();
+        let expect = m.apply_plain(&v);
+        for (a, b) in dec.iter().zip(&expect) {
+            assert!((*a - *b).abs() < 0.05, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn bsgs_matches_naive_transform() {
+        let (ctx, kp) = setup(3);
+        let dim = ctx.params().slots();
+        let m = SlotMatrix::new(
+            dim,
+            (0..dim * dim)
+                .map(|i| C64::new(((i * 7 + 3) % 9) as f64 * 0.1 - 0.4, 0.0))
+                .collect(),
+        );
+        let v: Vec<C64> = (0..dim).map(|i| C64::new(0.2 * i as f64, 0.0)).collect();
+        let ct = ctx
+            .encrypt(&ctx.encode_complex(&v).unwrap(), &kp.public)
+            .unwrap();
+        let all_rots: Vec<isize> = (1..dim as isize).collect();
+        let keys = ctx.gen_rotation_keys(&kp.secret, &all_rots, false);
+        let naive = linear_transform(&ctx, &ct, &m, &keys).unwrap();
+        let bsgs = linear_transform_bsgs(&ctx, &ct, &m, &keys).unwrap();
+        let a = ctx.decode_complex(&ctx.decrypt(&naive, &kp.secret)).unwrap();
+        let b = ctx.decode_complex(&ctx.decrypt(&bsgs, &kp.secret)).unwrap();
+        let expect = m.apply_plain(&v);
+        for i in 0..dim {
+            assert!((a[i] - expect[i]).abs() < 0.05, "naive slot {i}");
+            assert!((b[i] - expect[i]).abs() < 0.05, "bsgs slot {i}");
+        }
+    }
+
+    #[test]
+    fn bsgs_rotation_list_is_sub_linear() {
+        let rots = bsgs_rotations(256);
+        assert!(rots.len() <= 2 * 16, "{} keys for dim 256", rots.len());
+        assert!(rots.contains(&1) && rots.contains(&16));
+    }
+
+    #[test]
+    fn rejects_wrong_matrix_dim() {
+        let (ctx, kp) = setup(2);
+        let ct = ctx.encrypt_values(&[1.0], &kp.public).unwrap();
+        let keys = ctx.gen_rotation_keys(&kp.secret, &[], false);
+        let m = SlotMatrix::identity(4); // slots is 16
+        assert!(linear_transform(&ctx, &ct, &m, &keys).is_err());
+    }
+
+    #[test]
+    fn eval_poly_quadratic() {
+        let (ctx, kp) = setup(4);
+        let vals = vec![0.5, -1.0, 2.0];
+        let ct = ctx.encrypt_values(&vals, &kp.public).unwrap();
+        let out = eval_poly(&ctx, &ct, &[1.0, 2.0, 3.0], &kp.relin).unwrap();
+        let dec = ctx.decrypt_values(&out, &kp.secret).unwrap();
+        for (x, got) in vals.iter().zip(&dec) {
+            let expect = 1.0 + 2.0 * x + 3.0 * x * x;
+            assert!((got - expect).abs() < 0.05, "f({x}) = {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn eval_poly_degree_five() {
+        let (ctx, kp) = setup(6);
+        let vals = vec![0.3, -0.7, 1.0];
+        let ct = ctx.encrypt_values(&vals, &kp.public).unwrap();
+        let coeffs = [0.5, -1.0, 0.0, 0.25, 0.0, 0.125];
+        let out = eval_poly(&ctx, &ct, &coeffs, &kp.relin).unwrap();
+        let dec = ctx.decrypt_values(&out, &kp.secret).unwrap();
+        for (x, got) in vals.iter().zip(&dec) {
+            let expect = eval_poly_plain(&coeffs, *x);
+            assert!((got - expect).abs() < 0.1, "f({x}) = {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn chebyshev_fit_approximates_sine() {
+        // Degree must exceed 2πK ≈ 25 for the Bessel-tail decay to start.
+        let k = 4.0;
+        let coeffs = chebyshev_fit(|x| (2.0 * std::f64::consts::PI * x).sin(), k, 33);
+        for i in 0..40 {
+            let x = -k + 2.0 * k * (i as f64) / 39.0;
+            let approx = eval_poly_plain(&coeffs, x);
+            let exact = (2.0 * std::f64::consts::PI * x).sin();
+            assert!(
+                (approx - exact).abs() < 0.05,
+                "sin approx at {x}: {approx} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn chebyshev_basis_eval_matches_high_degree_sine() {
+        // In the Chebyshev basis, degree 71 on [-10, 10] is numerically fine.
+        let k = 10.0;
+        let c = chebyshev_coeffs(|x| (2.0 * std::f64::consts::PI * x).sin(), k, 79);
+        for i in 0..60 {
+            let x = -k + 2.0 * k * (i as f64) / 59.0;
+            let approx = eval_chebyshev_plain(&c, k, x);
+            let exact = (2.0 * std::f64::consts::PI * x).sin();
+            assert!((approx - exact).abs() < 2e-3, "at {x}: {approx} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn homomorphic_chebyshev_eval_quadratic() {
+        // 2(x/k)² - 1 = T_2(x/k): evaluate [0,0,1] and compare.
+        let (ctx, kp) = setup(6);
+        let k = 2.0;
+        let vals = vec![0.5, -1.0, 1.5];
+        let ct = ctx.encrypt_values(&vals, &kp.public).unwrap();
+        let out = eval_chebyshev(&ctx, &ct, &[0.0, 0.0, 1.0], k, &kp.relin).unwrap();
+        let dec = ctx.decrypt_values(&out, &kp.secret).unwrap();
+        for (x, got) in vals.iter().zip(&dec) {
+            let t = x / k;
+            let expect = 2.0 * t * t - 1.0;
+            assert!((got - expect).abs() < 0.05, "T2({x}) = {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn homomorphic_chebyshev_eval_degree_seven() {
+        let (ctx, kp) = setup(8);
+        let k = 3.0;
+        let coeffs = chebyshev_coeffs(|x| 0.25 * x * x - 0.5 * x + 1.0, k, 7);
+        let vals = vec![0.4, -2.0, 2.5];
+        let ct = ctx.encrypt_values(&vals, &kp.public).unwrap();
+        let out = eval_chebyshev(&ctx, &ct, &coeffs, k, &kp.relin).unwrap();
+        let dec = ctx.decrypt_values(&out, &kp.secret).unwrap();
+        for (x, got) in vals.iter().zip(&dec) {
+            let expect = 0.25 * x * x - 0.5 * x + 1.0;
+            assert!((got - expect).abs() < 0.05, "f({x}) = {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn chebyshev_fit_exact_for_low_degree_polys() {
+        let coeffs = chebyshev_fit(|x| 3.0 * x * x - 2.0 * x + 1.0, 2.0, 4);
+        for x in [-2.0, -0.5, 0.0, 1.0, 2.0] {
+            let got = eval_poly_plain(&coeffs, x);
+            let expect = 3.0 * x * x - 2.0 * x + 1.0;
+            assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! FHE workloads evaluated in the paper (§V-G, Tables XIII–XV).
+//!
+//! - [`hlt`]: the homomorphic building blocks every workload shares —
+//!   BSGS linear transforms (matrix–vector via rotations) and polynomial
+//!   evaluation on ciphertexts.
+//! - [`boot`]: slim bootstrapping \[14\]\[26\]: SlotToCoeff → ModRaise →
+//!   CoeffToSlot → EvalMod (Chebyshev sine), implemented functionally.
+//! - [`helr`]: logistic-regression training iterations on encrypted
+//!   minibatches \[25\].
+//! - [`resnet`]: ResNet-20 structural workload \[35\] with a functional
+//!   encrypted convolution layer demo.
+//! - [`transcipher`]: AES-128-CTR transciphering over CKKS (functional AES
+//!   reference + the homomorphic evaluation structure, Table XV).
+//! - [`perf`]: amortized workload timing on the GPU model (Table XIV/XV).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod boot;
+pub mod helr;
+pub mod hlt;
+pub mod perf;
+pub mod resnet;
+pub mod transcipher;

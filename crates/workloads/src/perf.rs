@@ -1,0 +1,216 @@
+//! Workload-level performance models (Tables XIV and XV).
+//!
+//! A [`WorkloadModel`] is a bag of homomorphic-operation counts at a given
+//! parameter shape. Timing comes from a latency oracle — any
+//! `Fn(HomOp, OpShape) -> µs`, in practice `wd-baselines::System` — so the
+//! same counts price every system, and GPU-vs-CPU ratios follow from the
+//! per-op measurements rather than hand-picked totals.
+
+use warpdrive_core::{HomOp, OpShape};
+
+/// Homomorphic-operation counts for one workload execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpCounts {
+    /// Ciphertext multiplications.
+    pub hmult: f64,
+    /// Rotations. Hoisted rotations (shared ModUp) count fractionally.
+    pub hrotate: f64,
+    /// Plaintext multiplications.
+    pub pmult: f64,
+    /// Additions.
+    pub hadd: f64,
+    /// Rescalings.
+    pub rescale: f64,
+    /// Full bootstrap invocations.
+    pub bootstraps: f64,
+}
+
+/// A workload with its parameter shape and op counts.
+#[derive(Debug, Clone)]
+pub struct WorkloadModel {
+    /// Workload label (Table XIV row).
+    pub name: String,
+    /// Ring/level/K shape at which the *average* operation runs.
+    pub shape: OpShape,
+    /// Operation counts for one logical execution (one bootstrap, one
+    /// training iteration, one inference, one transciphering job).
+    pub counts: OpCounts,
+    /// Number of logical executions amortized per run (Table XIV's BS).
+    pub batch: u64,
+}
+
+impl WorkloadModel {
+    /// One slim bootstrap at the Table XIII `Boot` parameters: two hoisted
+    /// BSGS linear transforms (√slots giant steps, hoisting discounts the
+    /// baby-step keyswitches to ≈¼) plus a degree-63 EvalMod on both
+    /// components.
+    pub fn bootstrap(n: usize, level: usize, k: usize) -> Self {
+        let slots = (n / 2) as f64;
+        let giant = slots.sqrt().ceil();
+        // Transforms run near the top of the chain, EvalMod in the middle:
+        // model everything at the mid level (the paper's SET-D/E guidance).
+        let shape = OpShape::new(n, (level / 2).max(1), k);
+        Self {
+            name: "Boot".into(),
+            shape,
+            counts: OpCounts {
+                // 2 transforms x 2·√slots steps, hoisted baby steps share
+                // one ModUp (≈ 0.15 of a full rotation each).
+                hrotate: 2.0 * 2.0 * giant * 0.15,
+                pmult: 2.0 * 2.0 * giant,
+                hmult: 2.0 * 30.0, // EvalMod deg ~63 on re and im (BSGS)
+                hadd: 4.0 * giant + 120.0,
+                rescale: 60.0,
+                bootstraps: 0.0,
+            },
+            batch: 1,
+        }
+    }
+
+    /// One HELR training iteration (Table XIII `HELR`): two linear
+    /// transforms over the minibatch plus the sigmoid.
+    pub fn helr_iteration(n: usize, level: usize, k: usize, batch: u64) -> Self {
+        let giant = ((n / 2) as f64).sqrt().ceil();
+        Self {
+            name: "HELR".into(),
+            shape: OpShape::new(n, (level / 2).max(1), k),
+            counts: OpCounts {
+                hrotate: 2.0 * giant * 0.15, // hoisted batch gathers
+                pmult: 2.0 * giant,
+                hmult: 6.0,
+                hadd: 2.0 * giant + 12.0,
+                rescale: 10.0,
+                bootstraps: 0.5, // one refresh every other iteration
+            },
+            batch,
+        }
+    }
+
+    /// One ResNet-20 inference (Table XIII `ResNet`): the per-stage counts
+    /// of [`crate::resnet::resnet20_shape`].
+    pub fn resnet_inference(n: usize, level: usize, k: usize, batch: u64) -> Self {
+        let mut c = OpCounts::default();
+        for l in crate::resnet::resnet20_shape() {
+            c.hmult += l.hmults as f64;
+            c.hrotate += l.hrotates as f64 * 0.3; // hoisted im2col gathers
+            c.pmult += l.pmults as f64;
+            c.bootstraps += l.bootstraps as f64;
+        }
+        c.hadd = c.pmult;
+        c.rescale = c.hmult + c.pmult * 0.5;
+        Self {
+            name: "ResNet".into(),
+            shape: OpShape::new(n, (level / 2).max(1), k),
+            counts: c,
+            batch,
+        }
+    }
+
+    /// The AES-CTR transciphering job of Table XV.
+    pub fn transcipher(job: crate::transcipher::TranscipherJob, level: usize, k: usize) -> Self {
+        let ops = job.ops();
+        let n = (job.slots * 2) as usize;
+        Self {
+            name: "AES-CTR".into(),
+            shape: OpShape::new(n, (level / 2).max(1), k),
+            counts: OpCounts {
+                hmult: ops.hmults as f64,
+                hrotate: ops.hrotates as f64,
+                pmult: ops.pmults as f64,
+                hadd: ops.hmults as f64,
+                rescale: ops.hmults as f64,
+                // The degree-254 S-box burns ~8 levels per round; with the
+                // L = 46 chain that is several refreshes per round.
+                bootstraps: ops.bootstraps as f64 * 8.0,
+            },
+            batch: 1,
+        }
+    }
+
+    /// Prices one execution (µs) with a per-op latency oracle.
+    /// `boot_time_us` prices one bootstrap (pass the result of pricing
+    /// [`WorkloadModel::bootstrap`] to avoid recursion).
+    pub fn time_us(
+        &self,
+        latency_us: &dyn Fn(HomOp, OpShape) -> f64,
+        boot_time_us: f64,
+    ) -> f64 {
+        let c = &self.counts;
+        let mut shape = self.shape;
+        shape.batch = self.batch;
+        let per = |op: HomOp| latency_us(op, shape);
+        c.hmult * per(HomOp::HMult)
+            + c.hrotate * per(HomOp::HRotate)
+            + c.pmult * per(HomOp::PMult)
+            + c.hadd * per(HomOp::HAdd)
+            + c.rescale * per(HomOp::Rescale)
+            + c.bootstraps * boot_time_us
+    }
+
+    /// Amortized per-execution time in milliseconds (Table XIV's metric).
+    pub fn amortized_ms(
+        &self,
+        latency_us: &dyn Fn(HomOp, OpShape) -> f64,
+        boot_time_us: f64,
+    ) -> f64 {
+        self.time_us(latency_us, boot_time_us) / 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use warpdrive_core::{PerfEngine, PlannerKind};
+    use wd_polyring::NttVariant;
+
+    fn oracle() -> impl Fn(HomOp, OpShape) -> f64 {
+        let eng = PerfEngine::a100();
+        move |op, shape| eng.op_latency_us(op, shape, PlannerKind::PeKernel, NttVariant::WdFuse)
+    }
+
+    #[test]
+    fn bootstrap_lands_in_the_hundred_ms_regime() {
+        // Paper Table XIV: WarpDrive Boot = 97-121 ms. The model should land
+        // within a small factor of that.
+        let f = oracle();
+        let boot = WorkloadModel::bootstrap(1 << 16, 34, 12);
+        let ms = boot.amortized_ms(&f, 0.0);
+        assert!((20.0..600.0).contains(&ms), "boot = {ms} ms");
+    }
+
+    #[test]
+    fn resnet_slower_than_helr_iteration() {
+        let f = oracle();
+        let boot = WorkloadModel::bootstrap(1 << 16, 34, 12).time_us(&f, 0.0);
+        let helr = WorkloadModel::helr_iteration(1 << 16, 37, 13, 1).time_us(&f, boot);
+        let resnet = WorkloadModel::resnet_inference(1 << 16, 37, 13, 1).time_us(&f, boot);
+        assert!(resnet > 10.0 * helr, "resnet {resnet} vs helr {helr}");
+    }
+
+    #[test]
+    fn batch_amortization_helps_latency_bound_ops() {
+        let eng = PerfEngine::a100();
+        let lat = |op, shape: OpShape| {
+            eng.op_latency_us(op, shape, PlannerKind::PeKernel, NttVariant::WdFuse)
+        };
+        let single = WorkloadModel::helr_iteration(1 << 16, 37, 13, 1).time_us(&lat, 0.0);
+        let batched = WorkloadModel::helr_iteration(1 << 16, 37, 13, 16).time_us(&lat, 0.0);
+        // time_us prices one batched run of 16 iterations; amortized per
+        // iteration it must be cheaper than 16 singles.
+        assert!(batched < 16.0 * single, "batched {batched} vs 16x single {single}");
+    }
+
+    #[test]
+    fn transcipher_counts_flow_through() {
+        let f = oracle();
+        let job = crate::transcipher::TranscipherJob {
+            blocks: 1 << 15,
+            slots: 1 << 15,
+        };
+        let boot = WorkloadModel::bootstrap(1 << 16, 46, 10).time_us(&f, 0.0);
+        let model = WorkloadModel::transcipher(job, 46, 10);
+        let minutes = model.time_us(&f, boot) / 60e6;
+        // Paper: 3.5 min on the A100. Same order of magnitude expected.
+        assert!((0.3..35.0).contains(&minutes), "transcipher = {minutes} min");
+    }
+}

@@ -1,0 +1,44 @@
+//! BGV on the WarpDrive substrate: exact integer arithmetic under
+//! encryption (the §VI-B generality claim, executed).
+//!
+//! ```text
+//! cargo run --release --example bgv_exact
+//! ```
+
+use warpdrive::ckks::bgv::BgvContext;
+use warpdrive::ckks::{CkksContext, ParamSet};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = ParamSet::set_a().with_degree(1 << 8).with_level(4).build()?;
+    let inner = CkksContext::new(params)?;
+    let ctx = BgvContext::new(inner, 16)?;
+    let t = ctx.plaintext_modulus();
+    println!(
+        "BGV context on the CKKS substrate: N = {}, t = {t}, same prime chain,",
+        ctx.slots()
+    );
+    println!("same NTT engines, same hybrid keyswitch — only t-scaled noise differs.\n");
+
+    let kp = ctx.keygen();
+    let a: Vec<u64> = (0..ctx.slots() as u64).map(|i| i % t).collect();
+    let b: Vec<u64> = (0..ctx.slots() as u64).map(|i| (i * i + 1) % t).collect();
+
+    let ca = ctx.encrypt(&ctx.encode(&a)?, &kp)?;
+    let cb = ctx.encrypt(&ctx.encode(&b)?, &kp)?;
+
+    // a·b + a, exactly, slot-wise mod t.
+    let prod = ctx.hmult(&ca, &cb, &kp)?;
+    let out = ctx.hadd(&prod, &ca)?;
+    let dec = ctx.decode(&ctx.decrypt(&out, &kp.secret)?);
+
+    let m = warpdrive::modmath::Modulus::new(t);
+    let mut exact = 0usize;
+    for i in 0..ctx.slots() {
+        let expect = m.add(m.mul(m.reduce(a[i]), m.reduce(b[i])), m.reduce(a[i]));
+        assert_eq!(dec[i], expect, "slot {i}");
+        exact += 1;
+    }
+    println!("computed a·b + a on {exact} encrypted slots — every slot EXACT (no");
+    println!("approximation error: BGV is exact where CKKS is approximate) ✓");
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Slim bootstrapping, end to end, on a small ring: exhaust a ciphertext's
+//! levels and refresh it homomorphically (the paper's `Boot` workload,
+//! functional version).
+//!
+//! ```text
+//! cargo run --release --example bootstrap_demo
+//! ```
+
+use warpdrive::ckks::ops::level_drop;
+use warpdrive::ckks::{CkksContext, ParamSet};
+use warpdrive::workloads::boot::Bootstrapper;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let params = ParamSet::boot()
+        .with_degree(1 << 5)
+        .with_level(16)
+        .with_special(3)
+        .build()?;
+    let ctx = CkksContext::with_seed(params, 2024)?;
+    let kp = ctx.keygen();
+    let rotations: Vec<isize> = (1..ctx.params().slots() as isize).collect();
+    let keys = ctx.gen_rotation_keys(&kp.secret, &rotations, true);
+    println!(
+        "context: N = {}, L = {}, K = {} — generating bootstrapper...",
+        ctx.params().degree(),
+        ctx.params().max_level(),
+        ctx.params().special_count()
+    );
+    let boot = Bootstrapper::new(&ctx, 10.0, 71);
+
+    // A small message (bootstrapping's standard |m| << q0/Δ regime).
+    let slots = ctx.params().slots();
+    let msg: Vec<f64> = (0..slots)
+        .map(|i| 0.04 * ((i as f64) / slots as f64 - 0.5))
+        .collect();
+    let fresh = ctx.encrypt_values(&msg, &kp.public)?;
+    println!("fresh ciphertext at level {}", fresh.level);
+
+    // Simulate a deep computation: burn down to one level.
+    let exhausted = level_drop(&fresh, 1)?;
+    println!("after computation: level {} (cannot multiply further)", exhausted.level);
+
+    let refreshed = boot.bootstrap(&ctx, &exhausted, &kp, &keys)?;
+    println!("after bootstrap: level {} (multiplications available again)", refreshed.level);
+
+    let out = ctx.decrypt_values(&refreshed, &kp.secret)?;
+    let max_err = out
+        .iter()
+        .zip(&msg)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!("max message error through the bootstrap: {max_err:.2e}");
+    assert!(max_err < 8e-3, "bootstrap lost the message");
+    println!("message survived the bootstrap ✓");
+    Ok(())
+}

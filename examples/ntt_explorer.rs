@@ -1,0 +1,65 @@
+//! NTT explorer: run every WarpDrive NTT variant functionally (bit-exact
+//! against the reference), then compare their modeled A100 performance —
+//! the Fig. 2 / Fig. 6 story in one binary.
+//!
+//! ```text
+//! cargo run --release --example ntt_explorer
+//! ```
+
+use std::time::Instant;
+use warpdrive::core::PerfEngine;
+use warpdrive::modmath::prime::ntt_prime_above;
+use warpdrive::polyring::decomp::DecompPlan;
+use warpdrive::polyring::{NttEngine, NttVariant};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 1 << 12;
+    let q = ntt_prime_above(1 << 28, 2 * n as u64)?;
+    println!("ring: N = {n}, q = {q}");
+
+    // The decomposition plans behind the variants (Fig. 2).
+    for (label, plan) in [
+        ("TensorFHE (1-level)", DecompPlan::balanced(n, 1)?),
+        ("WarpDrive (2-level)", DecompPlan::warpdrive(n)?),
+    ] {
+        println!(
+            "{label}: leaves {:?}, {} steps, twiddle matrix {} B",
+            plan.root().leaves(),
+            plan.root().steps(),
+            plan.twiddle_matrix_bytes(4)
+        );
+    }
+
+    // Functional check: every variant computes the same transform.
+    let reference = NttEngine::new(q, n, NttVariant::Reference)?;
+    let input: Vec<u64> = (0..n as u64).map(|i| (i * 0x9e37_79b9) % q).collect();
+    let mut expected = input.clone();
+    reference.forward(&mut expected);
+    println!("\nfunctional equivalence on this CPU:");
+    for v in NttVariant::ALL {
+        let engine = NttEngine::new(q, n, v)?;
+        let mut data = input.clone();
+        let t0 = Instant::now();
+        engine.forward(&mut data);
+        let dt = t0.elapsed();
+        assert_eq!(data, expected, "{v} diverged from the reference");
+        println!("  {:<10} bit-exact ✓  ({:>8.2?} per transform)", v.name(), dt);
+    }
+
+    // Modeled A100 throughput (Fig. 6).
+    println!("\nmodeled A100 throughput, batch 4096 (KOPS):");
+    let eng = PerfEngine::a100();
+    for v in NttVariant::FIG6 {
+        println!(
+            "  {:<10} {:>9.0}",
+            v.name(),
+            eng.ntt_throughput_kops(n, 4096, v)
+        );
+    }
+    println!(
+        "  {:<10} {:>9.0}   (the 5-stage kernel-level baseline)",
+        "TensorFHE",
+        eng.ntt_throughput_kops(n, 4096, NttVariant::TensorFhe)
+    );
+    Ok(())
+}

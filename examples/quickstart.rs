@@ -1,0 +1,56 @@
+//! Quickstart: encrypt a vector, compute on it homomorphically, decrypt.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use warpdrive::ckks::ops::{hadd, hmult, hrotate, rescale};
+use warpdrive::ckks::{CkksContext, ParamSet};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // SET-A parameters (Table VI), shrunk to a demo-friendly ring.
+    let params = ParamSet::set_a().with_degree(1 << 10).build()?;
+    let ctx = CkksContext::new(params)?;
+    println!(
+        "CKKS context: N = {}, {} slots, L = {}, log qp = {:.0}",
+        ctx.params().degree(),
+        ctx.params().slots(),
+        ctx.params().max_level(),
+        ctx.params().log_qp()
+    );
+
+    let kp = ctx.keygen();
+    let rot_keys = ctx.gen_rotation_keys(&kp.secret, &[1], false);
+
+    let xs: Vec<f64> = (0..8).map(f64::from).collect();
+    let ys: Vec<f64> = (0..8).map(|i| f64::from(i) * 0.5 + 1.0).collect();
+
+    let ct_x = ctx.encrypt_values(&xs, &kp.public)?;
+    let ct_y = ctx.encrypt_values(&ys, &kp.public)?;
+    println!(
+        "encrypted two vectors ({} KB per ciphertext)",
+        ct_x.memory_bytes() / 1024
+    );
+
+    // (x + y), x·y and rotate(x, 1) — all on encrypted data.
+    let sum = hadd(&ct_x, &ct_y)?;
+    let prod = rescale(&ctx, &hmult(&ctx, &ct_x, &ct_y, &kp.relin)?)?;
+    let rot = hrotate(&ctx, &ct_x, 1, &rot_keys)?;
+
+    let dec_sum = ctx.decrypt_values(&sum, &kp.secret)?;
+    let dec_prod = ctx.decrypt_values(&prod, &kp.secret)?;
+    let dec_rot = ctx.decrypt_values(&rot, &kp.secret)?;
+
+    println!("\n  i      x      y    x+y    x*y  rot(x,1)");
+    for i in 0..8 {
+        println!(
+            "{:>3} {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>9.2}",
+            i, xs[i], ys[i], dec_sum[i], dec_prod[i], dec_rot[i]
+        );
+    }
+    // Spot-check accuracy.
+    assert!((dec_prod[3] - xs[3] * ys[3]).abs() < 0.05);
+    assert!((dec_rot[0] - xs[1]).abs() < 0.05);
+    println!("\nall homomorphic results match plaintext arithmetic ✓");
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! Deep-circuit stress test: exhaust most of a chain with mixed operations
+//! on a mid-size ring, checking precision end to end — the kind of program
+//! a real CKKS user runs between bootstraps.
+
+use warpdrive::ckks::noise;
+use warpdrive::ckks::ops::{
+    align_levels, hadd, hmult, hrotate, mult_const_int, pmult, rescale,
+};
+use warpdrive::ckks::{CkksContext, ParamSet};
+
+#[test]
+fn eight_level_mixed_circuit() {
+    let params = ParamSet::set_b()
+        .with_degree(1 << 9)
+        .with_level(8)
+        .with_special(2)
+        .build()
+        .unwrap();
+    let ctx = CkksContext::with_seed(params, 0xDEADBEEF).unwrap();
+    let kp = ctx.keygen();
+    let keys = ctx.gen_rotation_keys(&kp.secret, &[1, 2], false);
+    let slots = ctx.params().slots();
+
+    let xs: Vec<f64> = (0..slots).map(|i| 0.8 * ((i % 11) as f64 / 11.0 - 0.5)).collect();
+    let mut plain = xs.clone();
+    let mut ct = ctx.encrypt_values(&xs, &kp.public).unwrap();
+
+    // Level 1: square.
+    ct = rescale(&ctx, &hmult(&ctx, &ct, &ct, &kp.relin).unwrap()).unwrap();
+    plain.iter_mut().for_each(|v| *v *= *v);
+    // Level 2: plaintext multiply by a ramp.
+    let ramp: Vec<f64> = (0..slots).map(|i| 0.5 + (i % 3) as f64 * 0.25).collect();
+    let pt = ctx
+        .encode_complex_at(
+            &ramp
+                .iter()
+                .map(|&v| warpdrive::ckks::encoding::C64::new(v, 0.0))
+                .collect::<Vec<_>>(),
+            ct.level,
+            ctx.params().scale(),
+        )
+        .unwrap();
+    ct = rescale(&ctx, &pmult(&ct, &pt).unwrap()).unwrap();
+    for (v, r) in plain.iter_mut().zip(&ramp) {
+        *v *= r;
+    }
+    // Rotate by 1 and add (uses a keyswitch, no level).
+    let rot = hrotate(&ctx, &ct, 1, &keys).unwrap();
+    ct = hadd(&ct, &rot).unwrap();
+    let rotated: Vec<f64> = (0..slots).map(|i| plain[(i + 1) % slots]).collect();
+    for (v, r) in plain.iter_mut().zip(&rotated) {
+        *v += r;
+    }
+    // Integer constant multiply (no level).
+    ct = mult_const_int(&ct, -3);
+    plain.iter_mut().for_each(|v| *v *= -3.0);
+    // Levels 3-4: two more squarings.
+    for _ in 0..2 {
+        ct = rescale(&ctx, &hmult(&ctx, &ct, &ct, &kp.relin).unwrap()).unwrap();
+        plain.iter_mut().for_each(|v| *v *= *v);
+    }
+    // Level 5: multiply with a level-dropped fresh ciphertext.
+    let fresh = ctx.encrypt_values(&xs, &kp.public).unwrap();
+    let (ct_al, mut fresh_al) = align_levels(&ct, &fresh).unwrap();
+    fresh_al.scale = ct_al.scale;
+    // fresh's scale differs from ct's drifted scale by < 0.1% on this dense
+    // chain; the forced match keeps the bookkeeping strict.
+    ct = rescale(&ctx, &hmult(&ctx, &ct_al, &fresh_al, &kp.relin).unwrap()).unwrap();
+    for (v, x) in plain.iter_mut().zip(&xs) {
+        *v *= x;
+    }
+
+    assert!(ct.level <= 3, "circuit consumed at least 5 levels");
+    let report = noise::measure(&ctx, &ct, &kp.secret, &plain).unwrap();
+    assert!(
+        report.max_slot_error < 0.02,
+        "deep circuit drifted: max error {} (budget {} bits)",
+        report.max_slot_error,
+        report.budget_bits
+    );
+}
+
+#[test]
+fn wide_ring_roundtrip_n1024() {
+    // Largest functional ring in the suite: N = 1024 with a realistic chain.
+    let params = ParamSet::set_c()
+        .with_degree(1 << 10)
+        .with_level(6)
+        .build()
+        .unwrap();
+    let ctx = CkksContext::with_seed(params, 123).unwrap();
+    let kp = ctx.keygen();
+    let slots = ctx.params().slots();
+    let vals: Vec<f64> = (0..slots).map(|i| ((i * 31 % 97) as f64 - 48.0) * 0.01).collect();
+    let ct = ctx.encrypt_values(&vals, &kp.public).unwrap();
+    let prod = rescale(&ctx, &hmult(&ctx, &ct, &ct, &kp.relin).unwrap()).unwrap();
+    let dec = ctx.decrypt_values(&prod, &kp.secret).unwrap();
+    for (i, v) in vals.iter().enumerate() {
+        assert!((dec[i] - v * v).abs() < 5e-3, "slot {i}");
+    }
+}
