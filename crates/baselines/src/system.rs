@@ -148,7 +148,8 @@ impl System {
 
     /// NTT throughput in KOPS for `transforms` batched N-point transforms.
     pub fn ntt_kops(&self, n: usize, transforms: u64) -> f64 {
-        self.engine.ntt_throughput_kops(n, transforms, self.ntt_variant)
+        self.engine
+            .ntt_throughput_kops(n, transforms, self.ntt_variant)
     }
 
     /// Full report for a batched NTT.
@@ -168,8 +169,7 @@ impl System {
     /// Latency of one operation in microseconds, amortized over the batch
     /// and adjusted for the system's word size.
     pub fn op_latency_us(&self, op: HomOp, shape: OpShape) -> f64 {
-        self.op_report(op, shape).total_time_us() * self.word_multiplier
-            / shape.batch as f64
+        self.op_report(op, shape).total_time_us() * self.word_multiplier / shape.batch as f64
     }
 }
 

@@ -19,7 +19,7 @@ fn bench_modred(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 1u64;
             for &x in &xs {
-                acc = bar.mul(acc ^ x % Q, black_box(w));
+                acc = bar.mul(acc ^ (x % Q), black_box(w));
             }
             acc
         })
@@ -28,7 +28,7 @@ fn bench_modred(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 1u64;
             for &x in &xs {
-                acc = bar.mul_shoup(acc ^ x % Q, black_box(w), w_shoup);
+                acc = bar.mul_shoup(acc ^ (x % Q), black_box(w), w_shoup);
             }
             acc
         })
@@ -37,7 +37,7 @@ fn bench_modred(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 1u64;
             for &x in &xs {
-                acc = mont.mul_plain_by_mont(acc ^ x % Q, black_box(w_mont));
+                acc = mont.mul_plain_by_mont(acc ^ (x % Q), black_box(w_mont));
             }
             acc
         })

@@ -20,17 +20,13 @@ fn bench_variants(c: &mut Criterion) {
             NttVariant::TensorFhe,
         ] {
             let eng = NttEngine::new(q, n, v).unwrap();
-            g.bench_with_input(
-                BenchmarkId::new(v.name(), n),
-                &input,
-                |b, input| {
-                    b.iter(|| {
-                        let mut data = input.clone();
-                        eng.forward(&mut data);
-                        data
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(v.name(), n), &input, |b, input| {
+                b.iter(|| {
+                    let mut data = input.clone();
+                    eng.forward(&mut data);
+                    data
+                })
+            });
         }
     }
     g.finish();

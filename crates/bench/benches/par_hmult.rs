@@ -1,0 +1,68 @@
+//! Criterion bench: a batch of whole-ciphertext HMULTs through
+//! [`warpdrive_core::BatchExecutor`], 1 thread vs 4.
+//!
+//! The executor fans independent ciphertext multiplications (pointwise
+//! products + relinearization keyswitch) over host threads, mirroring how
+//! the paper's PE kernels cover a whole ciphertext per launch. On a 4-core
+//! runner the 4-thread rows should show ≥2× throughput over the
+//! sequential fallback; outputs are bit-identical (asserted here).
+//!
+//! Set `WD_BENCH_QUICK=1` to shrink the ring for smoke runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use warpdrive_core::{BatchExecutor, BatchOp, EvalKeys};
+use wd_ckks::cipher::Ciphertext;
+use wd_ckks::params::ParamSet;
+use wd_ckks::CkksContext;
+
+fn quick() -> bool {
+    std::env::var("WD_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+fn bench_batched_hmult(c: &mut Criterion) {
+    let degree = if quick() { 1usize << 8 } else { 1usize << 12 };
+    let params = ParamSet::set_b()
+        .with_degree(degree)
+        .build()
+        .expect("SET-B params");
+    let ctx = CkksContext::with_seed(params, 777).unwrap();
+    let kp = ctx.keygen();
+
+    let slots = ctx.params().slots().min(64);
+    let cts: Vec<Ciphertext> = (0..8)
+        .map(|j| {
+            let vals: Vec<f64> = (0..slots).map(|i| ((i + j) % 17) as f64 * 0.05).collect();
+            ctx.encrypt_values(&vals, &kp.public).unwrap()
+        })
+        .collect();
+    let batch: Vec<BatchOp> = cts
+        .iter()
+        .enumerate()
+        .map(|(j, ct)| BatchOp::HMult(ct, &cts[(j + 1) % cts.len()]))
+        .collect();
+    let keys = EvalKeys::with_relin(&kp.relin);
+
+    let reference = BatchExecutor::sequential().execute(&ctx, keys, &batch);
+
+    let mut g = c.benchmark_group(format!("par_hmult_batch8/N=2^{}", degree.trailing_zeros()));
+    for threads in [1usize, 2, 4] {
+        let executor = BatchExecutor::new(threads);
+        let out = executor.execute(&ctx, keys, &batch);
+        for (r, o) in reference.iter().zip(&out) {
+            assert_eq!(
+                r.as_ref().unwrap(),
+                o.as_ref().unwrap(),
+                "batched HMULT must be bit-identical at {threads} threads"
+            );
+        }
+        g.bench_with_input(
+            BenchmarkId::new(format!("threads={threads}"), batch.len()),
+            &executor,
+            |b, executor| b.iter(|| executor.execute(&ctx, keys, &batch)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_batched_hmult);
+criterion_main!(benches);

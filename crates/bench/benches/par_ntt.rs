@@ -1,0 +1,73 @@
+//! Criterion bench: batched forward/inverse NTT across host threads.
+//!
+//! This is the acceptance benchmark for the parallel execution layer: a
+//! batch of RNS polynomials at the paper's SET-E shape (N = 2^16, 34
+//! limbs) transformed with `wd_polyring::par::ntt_forward_batch`, at 1
+//! thread (the sequential fallback) vs 4 threads. On a 4-core runner the
+//! 4-thread rows should show ≥2× the single-thread throughput; the
+//! results are bit-identical either way (see the `par_equivalence`
+//! proptest suite).
+//!
+//! Set `WD_BENCH_QUICK=1` to shrink the problem for smoke runs.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wd_modmath::prime::generate_ntt_primes;
+use wd_polyring::ntt::NttTable;
+use wd_polyring::par;
+use wd_polyring::rns::RnsPoly;
+
+fn quick() -> bool {
+    std::env::var("WD_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+fn make_batch(primes: &[u64], n: usize, count: usize) -> Vec<RnsPoly> {
+    (0..count)
+        .map(|j| {
+            let coeffs: Vec<i64> = (0..n)
+                .map(|i| (((i * 2654435761 + j * 97) % 4093) as i64) - 2046)
+                .collect();
+            RnsPoly::from_signed(primes, &coeffs).unwrap()
+        })
+        .collect()
+}
+
+fn bench_batched_ntt(c: &mut Criterion) {
+    // SET-E shape: N = 2^16, L = 34 limbs. 28-bit primes ≡ 1 mod 2^17
+    // are plentiful; the 26-bit pool is too small for 34 of them.
+    let (n, limbs, batch) = if quick() {
+        (1usize << 12, 6usize, 2usize)
+    } else {
+        (1usize << 16, 34usize, 2usize)
+    };
+    let primes = generate_ntt_primes(28, 2 * n as u64, limbs).unwrap();
+    let tables: Vec<Arc<NttTable>> = primes
+        .iter()
+        .map(|&q| Arc::new(NttTable::new(q, n).unwrap()))
+        .collect();
+    let polys = make_batch(&primes, n, batch);
+
+    let mut g = c.benchmark_group(format!("par_ntt_roundtrip/N=2^{}", n.trailing_zeros()));
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(
+            BenchmarkId::new(format!("threads={threads}"), batch * limbs),
+            &threads,
+            |b, &threads| {
+                // Roundtrip keeps the polys in the coefficient domain
+                // between iterations, so no per-iteration clone distorts
+                // the comparison.
+                let mut work = polys.clone();
+                b.iter(|| {
+                    par::ntt_forward_batch(&mut work, &tables, threads);
+                    par::ntt_inverse_batch(&mut work, &tables, threads);
+                });
+                assert_eq!(work, polys, "NTT roundtrip must be exact");
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_batched_ntt);
+criterion_main!(benches);

@@ -13,8 +13,14 @@ fn main() {
     let eng = PerfEngine::a100();
     let shape = OpShape::new(1 << 15, 24, 1);
     for (planner, label) in [
-        (PlannerKind::KfKernel, "KF kernel (100x-style, one polynomial per launch)"),
-        (PlannerKind::PeKernel, "PE kernel (WarpDrive, whole ciphertext per launch)"),
+        (
+            PlannerKind::KfKernel,
+            "KF kernel (100x-style, one polynomial per launch)",
+        ),
+        (
+            PlannerKind::PeKernel,
+            "PE kernel (WarpDrive, whole ciphertext per launch)",
+        ),
     ] {
         let rep = eng.op_report(HomOp::KeySwitch, shape, planner, NttVariant::WdFuse);
         println!("\n[{label}]");

@@ -34,7 +34,11 @@ fn main() {
 
     let row = |name: &str, cycles: f64, issue: f64, st: &StallBreakdown| {
         println!("\n{name}: total {:.2e} cycles", cycles);
-        println!("  selected (issued): {:.2e} ({:.1}%)", issue, issue / cycles * 100.0);
+        println!(
+            "  selected (issued): {:.2e} ({:.1}%)",
+            issue,
+            issue / cycles * 100.0
+        );
         for kind in [
             StallKind::LgThrottle,
             StallKind::LongScoreboard,

@@ -28,7 +28,11 @@ fn main() {
         let tensor = kops[0];
         let bo = kops[3];
         let fuse = kops[4];
-        println!(" {:>11.1}% {:>11.1}%", (fuse / tensor - 1.0) * 100.0, (tensor / bo - 1.0) * 100.0);
+        println!(
+            " {:>11.1}% {:>11.1}%",
+            (fuse / tensor - 1.0) * 100.0,
+            (tensor / bo - 1.0) * 100.0
+        );
     }
     println!();
     println!("paper: WD-FUSE beats WD-Tensor by 4-7%; WD-Tensor beats WD-BO by 4-10%");

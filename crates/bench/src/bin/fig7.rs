@@ -32,7 +32,12 @@ fn main() {
                 let cfg = FrameworkConfig::auto(&spec).with_threads(t);
                 PerfEngine::new(spec.clone())
                     .with_config(cfg)
-                    .op_latency_us(op, shape(1 << 15, 24), PlannerKind::PeKernel, NttVariant::WdFuse)
+                    .op_latency_us(
+                        op,
+                        shape(1 << 15, 24),
+                        PlannerKind::PeKernel,
+                        NttVariant::WdFuse,
+                    )
             })
             .collect();
         let best = lat.iter().cloned().fold(f64::INFINITY, f64::min);

@@ -28,7 +28,12 @@ fn main() {
         let eng = PerfEngine::new(spec);
         let t = eng.config().threads_per_block;
         let ntt = eng.ntt_throughput_kops(1 << 15, 2048, NttVariant::WdFuse);
-        let hmult = eng.op_latency_us(HomOp::HMult, shape, PlannerKind::PeKernel, NttVariant::WdFuse);
+        let hmult = eng.op_latency_us(
+            HomOp::HMult,
+            shape,
+            PlannerKind::PeKernel,
+            NttVariant::WdFuse,
+        );
         if a100_hmult == 0.0 {
             a100_hmult = hmult;
         }

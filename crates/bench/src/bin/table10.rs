@@ -20,8 +20,18 @@ fn main() {
     for (i, &(name, n, _)) in SETS_CDE.iter().enumerate() {
         let batch = ntt_batch(n);
         for (variant, label, pc, pm) in [
-            (NttVariant::TensorFhe, "TensorFHE", paper_compute[i].0, paper_memory[i].0),
-            (NttVariant::WdFuse, "WarpDrive", paper_compute[i].1, paper_memory[i].1),
+            (
+                NttVariant::TensorFhe,
+                "TensorFHE",
+                paper_compute[i].0,
+                paper_memory[i].0,
+            ),
+            (
+                NttVariant::WdFuse,
+                "WarpDrive",
+                paper_compute[i].1,
+                paper_memory[i].1,
+            ),
         ] {
             let rep = eng.ntt_report(n, batch, variant);
             println!(

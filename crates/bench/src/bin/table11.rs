@@ -29,7 +29,11 @@ fn main() {
             let shape = OpShape::new(1 << 16, level, 7);
             let c = ch.op_latency_us(op, shape);
             let w = wd.op_latency_us(op, shape);
-            let (pc, pw) = if level == 27 { (ch_full, wd_full) } else { (ch_half, wd_half) };
+            let (pc, pw) = if level == 27 {
+                (ch_full, wd_full)
+            } else {
+                (ch_half, wd_half)
+            };
             println!(
                 "{:<8} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>8.2}",
                 op.name(),

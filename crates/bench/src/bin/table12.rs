@@ -13,13 +13,24 @@ fn main() {
     );
     let wd = System::new(SystemKind::WarpDrive);
     let tf = System::new(SystemKind::TensorFhe);
-    let sets = [("SET-A", 1usize << 12, 2usize), ("SET-B", 1 << 13, 6), ("SET-C", 1 << 14, 14)];
+    let sets = [
+        ("SET-A", 1usize << 12, 2usize),
+        ("SET-B", 1 << 13, 6),
+        ("SET-C", 1 << 14, 14),
+    ];
     let paper_cpu = [0.42, 0.08, 0.02];
     let paper_tf = [88.0, 27.6, 3.8];
     let paper_wd = [304.9, 47.7, 5.2];
     println!(
         "{:<7} {:>11} {:>11} {:>11} {:>11} {:>11} {:>11} {:>9}",
-        "set", "CPU(meas)", "CPU(paper)", "TF(model)", "TF(paper)", "WD(model)", "WD(paper)", "WD/TF"
+        "set",
+        "CPU(meas)",
+        "CPU(paper)",
+        "TF(model)",
+        "TF(paper)",
+        "WD(model)",
+        "WD(paper)",
+        "WD/TF"
     );
     for (i, &(name, n, l)) in sets.iter().enumerate() {
         // Throughput = batched amortized ops/s. TensorFHE batches at the op

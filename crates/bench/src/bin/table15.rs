@@ -42,7 +42,10 @@ fn main() {
     let meas_kops = cpu::measure_hmult_kops(&meas_set, 2);
 
     println!();
-    println!("{:<32} {:>12} {:>12}", "scheme (hardware)", "latency", "paper");
+    println!(
+        "{:<32} {:>12} {:>12}",
+        "scheme (hardware)", "latency", "paper"
+    );
     println!(
         "{:<32} {:>9} min {:>9} min",
         "CPU baseline (48-core, paper)", "-", "110.8"

@@ -28,8 +28,26 @@ fn main() {
     };
     let paper = [
         // (set, NTT, ModUP, INTT, ModDown, InProd) — (mem%, comp%) pairs
-        ("N=2^15 l=24", [(49.1, 37.4), (43.0, 36.7), (17.6, 19.7), (30.9, 49.9), (83.4, 20.2)]),
-        ("N=2^16 l=34", [(58.3, 41.7), (57.4, 48.0), (24.1, 26.0), (37.1, 62.2), (83.5, 20.4)]),
+        (
+            "N=2^15 l=24",
+            [
+                (49.1, 37.4),
+                (43.0, 36.7),
+                (17.6, 19.7),
+                (30.9, 49.9),
+                (83.4, 20.2),
+            ],
+        ),
+        (
+            "N=2^16 l=34",
+            [
+                (58.3, 41.7),
+                (57.4, 48.0),
+                (24.1, 26.0),
+                (37.1, 62.2),
+                (83.5, 20.4),
+            ],
+        ),
     ];
     for (i, (n, l)) in [(1usize << 15, 24usize), (1 << 16, 34)].iter().enumerate() {
         let rep = eng.op_report(

@@ -4,10 +4,7 @@ use wd_baselines::{cpu, System, SystemKind};
 use wd_bench::{banner, ntt_batch, speedup, SETS};
 
 fn main() {
-    banner(
-        "Table VII — NTT/INTT throughput (KOPS)",
-        "paper Table VII",
-    );
+    banner("Table VII — NTT/INTT throughput (KOPS)", "paper Table VII");
     let wd = System::new(SystemKind::WarpDrive);
     let tf = System::new(SystemKind::TensorFhe);
     // Paper rows for side-by-side comparison.

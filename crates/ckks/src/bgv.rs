@@ -150,9 +150,13 @@ impl BgvContext {
         s.ntt_forward(&tabs_full);
         let s_q = restrict(&s, q_primes.len());
 
-        let mut a = self.inner.with_rng(|r| sampling::uniform_poly(r, &q_primes, n));
+        let mut a = self
+            .inner
+            .with_rng(|r| sampling::uniform_poly(r, &q_primes, n));
         a.set_domain(Domain::Ntt);
-        let mut e = self.inner.with_rng(|r| sampling::gaussian_poly(r, &q_primes, n));
+        let mut e = self
+            .inner
+            .with_rng(|r| sampling::gaussian_poly(r, &q_primes, n));
         e.ntt_forward(&tabs_q);
         let te = e.scale_scalar(self.t);
         let pk_b = a
@@ -189,7 +193,9 @@ impl BgvContext {
             let factors = self.inner.ksk_factors_public(digit_primes, &full);
             let mut a = self.inner.with_rng(|r| sampling::uniform_poly(r, &full, n));
             a.set_domain(Domain::Ntt);
-            let mut e = self.inner.with_rng(|r| sampling::gaussian_poly(r, &full, n));
+            let mut e = self
+                .inner
+                .with_rng(|r| sampling::gaussian_poly(r, &full, n));
             e.ntt_forward(&tabs);
             let te = e.scale_scalar(self.t);
             let b = a
@@ -208,17 +214,27 @@ impl BgvContext {
     /// # Errors
     ///
     /// Propagates ring errors.
-    pub fn encrypt(&self, coeffs_mod_t: &[u64], kp: &BgvKeyPair) -> Result<BgvCiphertext, CkksError> {
+    pub fn encrypt(
+        &self,
+        coeffs_mod_t: &[u64],
+        kp: &BgvKeyPair,
+    ) -> Result<BgvCiphertext, CkksError> {
         let params = self.inner.params();
         let level = params.max_level();
         let primes = params.q_at(level).to_vec();
         let tabs = self.inner.tables_for(&primes);
         let n = params.degree();
-        let mut u = self.inner.with_rng(|r| sampling::ternary_poly(r, &primes, n));
+        let mut u = self
+            .inner
+            .with_rng(|r| sampling::ternary_poly(r, &primes, n));
         u.ntt_forward(&tabs);
-        let mut e0 = self.inner.with_rng(|r| sampling::gaussian_poly(r, &primes, n));
+        let mut e0 = self
+            .inner
+            .with_rng(|r| sampling::gaussian_poly(r, &primes, n));
         e0.ntt_forward(&tabs);
-        let mut e1 = self.inner.with_rng(|r| sampling::gaussian_poly(r, &primes, n));
+        let mut e1 = self
+            .inner
+            .with_rng(|r| sampling::gaussian_poly(r, &primes, n));
         e1.ntt_forward(&tabs);
         // m as a signed-centered polynomial, embedded in every limb.
         let mt = Modulus::new(self.t);
@@ -237,10 +253,7 @@ impl BgvContext {
         m.ntt_forward(&tabs);
         let pk_b = restrict(&kp.pk_b, primes.len());
         let pk_a = restrict(&kp.pk_a, primes.len());
-        let c0 = u
-            .pointwise(&pk_b)?
-            .add(&e0.scale_scalar(self.t))?
-            .add(&m)?;
+        let c0 = u.pointwise(&pk_b)?.add(&e0.scale_scalar(self.t))?.add(&m)?;
         let c1 = u.pointwise(&pk_a)?.add(&e1.scale_scalar(self.t))?;
         Ok(BgvCiphertext { c0, c1, level })
     }
@@ -377,7 +390,7 @@ impl BgvContext {
         let p_limb = acc.limb(lq);
         let u_centered: Vec<i64> = p_limb.centered();
         // Standard (x − u)/P over Q.
-        let u_q = RnsPoly::from_signed(&q_now.to_vec(), &u_centered)?;
+        let u_q = RnsPoly::from_signed(q_now, &u_centered)?;
         let q_acc = restrict(&acc, lq);
         let diff = q_acc.sub(&u_q)?;
         let p_inv: Vec<u64> = q_now
@@ -406,7 +419,7 @@ impl BgvContext {
                 }
             })
             .collect();
-        let w_q = RnsPoly::from_signed(&q_now.to_vec(), &w_centered)?;
+        let w_q = RnsPoly::from_signed(q_now, &w_centered)?;
         let mut out = r.sub(&w_q)?;
         out.ntt_forward(&ctx.tables_for(q_now));
         Ok(out)
@@ -455,7 +468,9 @@ mod tests {
         let (ctx, kp) = setup();
         let t = ctx.plaintext_modulus();
         let a: Vec<u64> = (0..ctx.slots() as u64).map(|i| i % t).collect();
-        let b: Vec<u64> = (0..ctx.slots() as u64).map(|i| (t - 1 - i % t) % t).collect();
+        let b: Vec<u64> = (0..ctx.slots() as u64)
+            .map(|i| (t - 1 - i % t) % t)
+            .collect();
         let ca = ctx.encrypt(&ctx.encode(&a).unwrap(), &kp).unwrap();
         let cb = ctx.encrypt(&ctx.encode(&b).unwrap(), &kp).unwrap();
         let sum = ctx.hadd(&ca, &cb).unwrap();

@@ -8,11 +8,15 @@ use crate::{sampling, CkksError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use wd_modmath::rns::{BasisConverter, RnsBasis};
 use wd_polyring::ntt::NttTable;
 use wd_polyring::rns::{Domain, RnsPoly};
 use wd_polyring::Poly;
+
+/// Cache of base-extension converters, keyed by (from, to) prime lists.
+type ConverterCache = HashMap<(Vec<u64>, Vec<u64>), Arc<BasisConverter>>;
 
 /// Parameter-bound CKKS state: NTT tables per prime, the encoder, a cached
 /// basis-converter pool, and a seedable RNG.
@@ -27,7 +31,11 @@ pub struct CkksContext {
     /// One NTT table per prime of the full basis.
     table_by_prime: HashMap<u64, Arc<NttTable>>,
     rng: Mutex<StdRng>,
-    converters: Mutex<HashMap<(Vec<u64>, Vec<u64>), Arc<BasisConverter>>>,
+    converters: Mutex<ConverterCache>,
+    /// Host thread budget for limb-level parallel execution (see
+    /// `wd_polyring::par`). `1` = strictly sequential; results are
+    /// bit-identical at every setting.
+    threads: AtomicUsize,
 }
 
 impl CkksContext {
@@ -59,7 +67,20 @@ impl CkksContext {
             table_by_prime,
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             converters: Mutex::new(HashMap::new()),
+            threads: AtomicUsize::new(wd_polyring::par::threads_from_env()),
         })
+    }
+
+    /// The host thread budget homomorphic operations run with (default: the
+    /// `WD_THREADS` environment variable, else 1 = sequential).
+    pub fn threads(&self) -> usize {
+        self.threads.load(Ordering::Relaxed)
+    }
+
+    /// Sets the host thread budget. Every setting computes bit-identical
+    /// results; `n = 1` restores the strictly sequential path.
+    pub fn set_threads(&self, n: usize) {
+        self.threads.store(n.max(1), Ordering::Relaxed);
     }
 
     /// The parameters.
@@ -266,8 +287,7 @@ impl CkksContext {
         let n = self.params.degree();
         let mut digits = Vec::with_capacity(dnum);
         for j in 0..dnum {
-            let digit_primes =
-                &q_chain[j * alpha..((j + 1) * alpha).min(q_chain.len())];
+            let digit_primes = &q_chain[j * alpha..((j + 1) * alpha).min(q_chain.len())];
             let factors = self.ksk_factors(digit_primes, &full);
             let a = {
                 let mut a = self.with_rng(|r| sampling::uniform_poly(r, &full, n));
@@ -391,11 +411,7 @@ impl CkksContext {
     /// # Errors
     ///
     /// Propagates encoding and encryption errors.
-    pub fn encrypt_values(
-        &self,
-        values: &[f64],
-        pk: &PublicKey,
-    ) -> Result<Ciphertext, CkksError> {
+    pub fn encrypt_values(&self, values: &[f64], pk: &PublicKey) -> Result<Ciphertext, CkksError> {
         self.encrypt(&self.encode(values)?, pk)
     }
 
@@ -404,11 +420,7 @@ impl CkksContext {
     /// # Errors
     ///
     /// Propagates decoding errors.
-    pub fn decrypt_values(
-        &self,
-        ct: &Ciphertext,
-        sk: &SecretKey,
-    ) -> Result<Vec<f64>, CkksError> {
+    pub fn decrypt_values(&self, ct: &Ciphertext, sk: &SecretKey) -> Result<Vec<f64>, CkksError> {
         self.decode(&self.decrypt(ct, sk))
     }
 }

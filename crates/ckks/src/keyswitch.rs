@@ -23,29 +23,11 @@ use wd_polyring::rns::{Domain, RnsPoly};
 use wd_polyring::Poly;
 
 /// Applies `conv` to every coefficient of `src` (coefficient domain),
-/// producing a polynomial over the converter's target basis.
-pub(crate) fn convert_poly(
-    conv: &wd_modmath::rns::BasisConverter,
-    src: &RnsPoly,
-) -> RnsPoly {
-    assert_eq!(src.domain(), Domain::Coeff, "convert in coefficient domain");
-    let n = src.degree();
-    let to = conv.to_basis().values();
-    let mut out_limbs: Vec<Vec<u64>> = vec![vec![0u64; n]; to.len()];
-    let mut buf = vec![0u64; to.len()];
-    for j in 0..n {
-        let residues = src.coeff_residues(j);
-        conv.convert_coeff(&residues, &mut buf);
-        for (limb, &v) in out_limbs.iter_mut().zip(&buf) {
-            limb[j] = v;
-        }
-    }
-    let limbs: Vec<Poly> = to
-        .iter()
-        .zip(out_limbs)
-        .map(|(&q, coeffs)| Poly::from_coeffs(q, coeffs).expect("valid limb"))
-        .collect();
-    RnsPoly::from_limbs(limbs, Domain::Coeff).expect("valid poly")
+/// producing a polynomial over the converter's target basis. Delegates to
+/// the parallel base-conversion kernel with a sequential (1-thread) budget;
+/// see [`wd_polyring::par::convert_poly`] for the threaded form.
+pub(crate) fn convert_poly(conv: &wd_modmath::rns::BasisConverter, src: &RnsPoly) -> RnsPoly {
+    wd_polyring::par::convert_poly(conv, src, 1)
 }
 
 /// Key-switches polynomial `d` (NTT domain, level ℓ) with `ksk`, returning
@@ -70,13 +52,14 @@ pub fn keyswitch(
             ksk.dnum()
         )));
     }
+    let th = ctx.threads();
     let q_now = ctx.params().q_at(level).to_vec();
     let full = ctx.params().full_basis_at(level);
     let full_tabs = ctx.tables_for(&full);
 
     // Step 1: INTT the input.
     let mut d_coeff = d.clone();
-    d_coeff.ntt_inverse(&ctx.tables_for(&q_now));
+    d_coeff.ntt_inverse_with(&ctx.tables_for(&q_now), th);
 
     // Steps 2–4 per digit: ModUp, NTT, multiply-accumulate with the key.
     let mut acc0 = RnsPoly::zero(&full, d.degree())?;
@@ -93,20 +76,20 @@ pub fn keyswitch(
         // ModUp: extend to the full basis, then restore the digit's own
         // limbs exactly (conversion is identity there up to rounding).
         let conv = ctx.converter(digit_primes, &full);
-        let mut ext = convert_poly(&conv, &digit);
+        let mut ext = wd_polyring::par::convert_poly(&conv, &digit, th);
         for i in lo..hi {
             *ext.limb_mut(i) = d_coeff.limb(i).clone();
         }
         // NTT the extended digit.
         let mut ext_ntt = ext;
-        ext_ntt.ntt_forward(&full_tabs);
+        ext_ntt.ntt_forward_with(&full_tabs, th);
         // InnerProduct accumulation. The key digit lives over the max-level
         // full basis: its limb order is q_0…q_L, p…; at level ℓ we need
         // q_0…q_ℓ, p… — select those limbs.
         let kb = select_basis(&ksk.digits[j].b, &full);
         let ka = select_basis(&ksk.digits[j].a, &full);
-        acc0 = acc0.add(&ext_ntt.pointwise(&kb)?)?;
-        acc1 = acc1.add(&ext_ntt.pointwise(&ka)?)?;
+        acc0 = acc0.add(&ext_ntt.pointwise_with(&kb, th)?)?;
+        acc1 = acc1.add(&ext_ntt.pointwise_with(&ka, th)?)?;
     }
 
     // Step 5: ModDown both accumulators.
@@ -122,7 +105,10 @@ pub(crate) fn select_basis(p: &RnsPoly, basis: &[u64]) -> RnsPoly {
     let limbs: Vec<Poly> = basis
         .iter()
         .map(|q| {
-            let idx = primes.iter().position(|x| x == q).expect("prime in key basis");
+            let idx = primes
+                .iter()
+                .position(|x| x == q)
+                .expect("prime in key basis");
             p.limb(idx).clone()
         })
         .collect();
@@ -137,18 +123,19 @@ fn mod_down(
     q_now: &[u64],
     full_tabs: &[std::sync::Arc<wd_polyring::ntt::NttTable>],
 ) -> Result<RnsPoly, CkksError> {
+    let th = ctx.threads();
     let p_chain = ctx.params().p_chain().to_vec();
     let k = p_chain.len();
     let lq = q_now.len();
     // INTT over the full basis.
-    acc.ntt_inverse(full_tabs);
+    acc.ntt_inverse_with(full_tabs, th);
     // Split off the P-part residues and convert them down to Q.
     let p_part = RnsPoly::from_limbs(
         (lq..lq + k).map(|i| acc.limb(i).clone()).collect(),
         Domain::Coeff,
     )?;
     let conv = ctx.converter(&p_chain, q_now);
-    let u = convert_poly(&conv, &p_part);
+    let u = wd_polyring::par::convert_poly(&conv, &p_part, th);
     // (x − u) · P^{-1} per limb.
     let q_acc = restrict(&acc, lq);
     let diff = q_acc.sub(&u)?;
@@ -164,7 +151,7 @@ fn mod_down(
         })
         .collect();
     let mut out = diff.scale_per_limb(&p_inv);
-    out.ntt_forward(&ctx.tables_for(q_now));
+    out.ntt_forward_with(&ctx.tables_for(q_now), th);
     Ok(out)
 }
 
@@ -192,13 +179,14 @@ impl HoistedDecomposition {
     ///
     /// Propagates ring errors.
     pub fn new(ctx: &CkksContext, d: &RnsPoly) -> Result<Self, CkksError> {
+        let th = ctx.threads();
         let level = d.limb_count() - 1;
         let alpha = ctx.params().alpha();
         let dnum = ctx.params().dnum_at(level);
         let q_now = ctx.params().q_at(level).to_vec();
         let full = ctx.params().full_basis_at(level);
         let mut d_coeff = d.clone();
-        d_coeff.ntt_inverse(&ctx.tables_for(&q_now));
+        d_coeff.ntt_inverse_with(&ctx.tables_for(&q_now), th);
         let mut digits = Vec::with_capacity(dnum);
         for j in 0..dnum {
             let lo = j * alpha;
@@ -209,7 +197,7 @@ impl HoistedDecomposition {
                 Domain::Coeff,
             )?;
             let conv = ctx.converter(digit_primes, &full);
-            let mut ext = convert_poly(&conv, &digit);
+            let mut ext = wd_polyring::par::convert_poly(&conv, &digit, th);
             for i in lo..hi {
                 *ext.limb_mut(i) = d_coeff.limb(i).clone();
             }
@@ -250,6 +238,7 @@ pub fn keyswitch_hoisted(
             hoisted.dnum()
         )));
     }
+    let th = ctx.threads();
     let q_now = ctx.params().q_at(level).to_vec();
     let full = ctx.params().full_basis_at(level);
     let full_tabs = ctx.tables_for(&full);
@@ -259,12 +248,16 @@ pub fn keyswitch_hoisted(
     for (j, ext) in hoisted.digits.iter().enumerate() {
         // φ_g commutes with base extension (it permutes coefficients limb-
         // wise), so applying it to the hoisted digit is exact.
-        let mut rotated = if g == 1 { ext.clone() } else { ext.automorphism(g) };
-        rotated.ntt_forward(&full_tabs);
+        let mut rotated = if g == 1 {
+            ext.clone()
+        } else {
+            ext.automorphism(g)
+        };
+        rotated.ntt_forward_with(&full_tabs, th);
         let kb = select_basis(&ksk.digits[j].b, &full);
         let ka = select_basis(&ksk.digits[j].a, &full);
-        acc0 = acc0.add(&rotated.pointwise(&kb)?)?;
-        acc1 = acc1.add(&rotated.pointwise(&ka)?)?;
+        acc0 = acc0.add(&rotated.pointwise_with(&kb, th)?)?;
+        acc1 = acc1.add(&rotated.pointwise_with(&ka, th)?)?;
     }
     let out0 = mod_down(ctx, acc0, &q_now, &full_tabs)?;
     let out1 = mod_down(ctx, acc1, &q_now, &full_tabs)?;
@@ -345,7 +338,8 @@ mod tests {
         let conv = ctx.converter(&q, &p);
         let src = RnsPoly::from_signed(&q, &(0..64).map(|i| i - 32).collect::<Vec<_>>()).unwrap();
         let out = convert_poly(&conv, &src);
-        let expect = RnsPoly::from_signed(&p, &(0..64).map(|i| i - 32).collect::<Vec<_>>()).unwrap();
+        let expect =
+            RnsPoly::from_signed(&p, &(0..64).map(|i| i - 32).collect::<Vec<_>>()).unwrap();
         assert_eq!(out, expect);
     }
 }

@@ -85,7 +85,11 @@ mod tests {
         let vals = vec![1.0, -1.0, 0.5];
         let ct = ctx.encrypt_values(&vals, &kp.public).unwrap();
         let fresh = measure(&ctx, &ct, &kp.secret, &vals).unwrap();
-        assert!(fresh.budget_bits > 8.0, "fresh budget {}", fresh.budget_bits);
+        assert!(
+            fresh.budget_bits > 8.0,
+            "fresh budget {}",
+            fresh.budget_bits
+        );
 
         let sq = rescale(&ctx, &hmult(&ctx, &ct, &ct, &kp.relin).unwrap()).unwrap();
         let expected: Vec<f64> = vals.iter().map(|v| v * v).collect();

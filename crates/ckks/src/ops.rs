@@ -117,9 +117,13 @@ pub fn hmult(
             ct0.level, ct1.level
         )));
     }
-    let d0 = ct0.c0.pointwise(&ct1.c0)?;
-    let d1 = ct0.c0.pointwise(&ct1.c1)?.add(&ct0.c1.pointwise(&ct1.c0)?)?;
-    let d2 = ct0.c1.pointwise(&ct1.c1)?;
+    let th = ctx.threads();
+    let d0 = ct0.c0.pointwise_with(&ct1.c0, th)?;
+    let d1 = ct0
+        .c0
+        .pointwise_with(&ct1.c1, th)?
+        .add(&ct0.c1.pointwise_with(&ct1.c0, th)?)?;
+    let d2 = ct0.c1.pointwise_with(&ct1.c1, th)?;
     let (ks0, ks1) = keyswitch(ctx, &d2, relin)?;
     Ok(Ciphertext {
         c0: d0.add(&ks0)?,
@@ -167,19 +171,16 @@ pub fn rescale(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, CkksErr
 /// # Errors
 ///
 /// Returns [`CkksError::OutOfLevels`] if fewer than `k` levels remain.
-pub fn rescale_by(
-    ctx: &CkksContext,
-    ct: &Ciphertext,
-    k: usize,
-) -> Result<Ciphertext, CkksError> {
+pub fn rescale_by(ctx: &CkksContext, ct: &Ciphertext, k: usize) -> Result<Ciphertext, CkksError> {
     if ct.level < k {
         return Err(CkksError::OutOfLevels);
     }
+    let th = ctx.threads();
     let mut c0 = ct.c0.clone();
     let mut c1 = ct.c1.clone();
     let primes = ctx.params().q_at(ct.level).to_vec();
-    c0.ntt_inverse(&ctx.tables_for(&primes));
-    c1.ntt_inverse(&ctx.tables_for(&primes));
+    c0.ntt_inverse_with(&ctx.tables_for(&primes), th);
+    c1.ntt_inverse_with(&ctx.tables_for(&primes), th);
     let mut scale = ct.scale;
     for step in 0..k {
         let dropped = primes[ct.level - step];
@@ -188,8 +189,8 @@ pub fn rescale_by(
         scale /= dropped as f64;
     }
     let new_primes = &primes[..=ct.level - k];
-    c0.ntt_forward(&ctx.tables_for(new_primes));
-    c1.ntt_forward(&ctx.tables_for(new_primes));
+    c0.ntt_forward_with(&ctx.tables_for(new_primes), th);
+    c1.ntt_forward_with(&ctx.tables_for(new_primes), th);
     Ok(Ciphertext {
         c0,
         c1,
@@ -297,17 +298,18 @@ fn apply_galois(
     let ksk = keys
         .get(g)
         .ok_or_else(|| CkksError::MissingKey(format!("rotation key for g = {g}")))?;
+    let th = ctx.threads();
     let primes = ctx.params().q_at(ct.level).to_vec();
     let tabs = ctx.tables_for(&primes);
     // Automorphism acts on coefficients.
     let mut c0 = ct.c0.clone();
     let mut c1 = ct.c1.clone();
-    c0.ntt_inverse(&tabs);
-    c1.ntt_inverse(&tabs);
+    c0.ntt_inverse_with(&tabs, th);
+    c1.ntt_inverse_with(&tabs, th);
     let mut c0g = c0.automorphism(g);
     let mut c1g = c1.automorphism(g);
-    c0g.ntt_forward(&tabs);
-    c1g.ntt_forward(&tabs);
+    c0g.ntt_forward_with(&tabs, th);
+    c1g.ntt_forward_with(&tabs, th);
     // Keyswitch φ(c1) from φ(s) to s.
     let (ks0, ks1) = keyswitch(ctx, &c1g, ksk)?;
     Ok(Ciphertext {
@@ -333,11 +335,12 @@ pub fn hrotate_many(
     keys: &RotationKeys,
 ) -> Result<Vec<Ciphertext>, CkksError> {
     use crate::keyswitch::{keyswitch_hoisted, HoistedDecomposition};
+    let th = ctx.threads();
     let primes = ctx.params().q_at(ct.level).to_vec();
     let tabs = ctx.tables_for(&primes);
     // c0 in coefficient form for per-rotation automorphisms.
     let mut c0_coeff = ct.c0.clone();
-    c0_coeff.ntt_inverse(&tabs);
+    c0_coeff.ntt_inverse_with(&tabs, th);
     // One decomposition of c1 shared by every rotation.
     let hoisted = HoistedDecomposition::new(ctx, &ct.c1)?;
     let mut out = Vec::with_capacity(rotations.len());
@@ -352,7 +355,7 @@ pub fn hrotate_many(
             .ok_or_else(|| CkksError::MissingKey(format!("rotation key for g = {g}")))?;
         let (ks0, ks1) = keyswitch_hoisted(ctx, &hoisted, g, ksk)?;
         let mut c0g = c0_coeff.automorphism(g);
-        c0g.ntt_forward(&tabs);
+        c0g.ntt_forward_with(&tabs, th);
         out.push(Ciphertext {
             c0: c0g.add(&ks0)?,
             c1: ks1,
@@ -366,9 +369,7 @@ pub fn hrotate_many(
 /// The power-of-two rotation amounts that let [`hrotate_any`] reach every
 /// rotation of an N/2-slot ciphertext with log2(N/2) keys.
 pub fn power_of_two_rotations(slots: usize) -> Vec<isize> {
-    (0..slots.trailing_zeros())
-        .map(|b| 1isize << b)
-        .collect()
+    (0..slots.trailing_zeros()).map(|b| 1isize << b).collect()
 }
 
 /// Rotates by an arbitrary amount using only power-of-two rotation keys
@@ -423,11 +424,7 @@ pub fn mult_const_int(ct: &Ciphertext, c: i64) -> Ciphertext {
 /// # Errors
 ///
 /// Propagates encoding errors.
-pub fn mult_const(
-    ctx: &CkksContext,
-    ct: &Ciphertext,
-    v: f64,
-) -> Result<Ciphertext, CkksError> {
+pub fn mult_const(ctx: &CkksContext, ct: &Ciphertext, v: f64) -> Result<Ciphertext, CkksError> {
     let slots = ctx.params().slots();
     let pt = ctx.encode_complex_at(
         &vec![C64::new(v, 0.0); slots],
@@ -478,7 +475,9 @@ mod tests {
         let (ctx, kp) = setup();
         let a = ctx.encrypt_values(&[5.0, 1.0], &kp.public).unwrap();
         let b = ctx.encrypt_values(&[2.0, 4.0], &kp.public).unwrap();
-        let out = ctx.decrypt_values(&hsub(&a, &b).unwrap(), &kp.secret).unwrap();
+        let out = ctx
+            .decrypt_values(&hsub(&a, &b).unwrap(), &kp.secret)
+            .unwrap();
         close(&out[..2], &[3.0, -3.0], 1e-3);
         let out = ctx.decrypt_values(&hneg(&a), &kp.secret).unwrap();
         close(&out[..2], &[-5.0, -1.0], 1e-3);
@@ -563,9 +562,11 @@ mod tests {
             .unwrap();
         let ctx = CkksContext::with_seed(params, 90210).unwrap();
         let kp = ctx.keygen();
-        let vals = vec![0.7391, -0.2468, 0.9999];
-        let slots: Vec<crate::encoding::C64> =
-            vals.iter().map(|&v| crate::encoding::C64::new(v, 0.0)).collect();
+        let vals = [0.7391, -0.2468, 0.9999];
+        let slots: Vec<crate::encoding::C64> = vals
+            .iter()
+            .map(|&v| crate::encoding::C64::new(v, 0.0))
+            .collect();
         let big = (1u64 << 48) as f64;
         let run = |scale: f64, drops: usize| -> f64 {
             let pt = ctx
@@ -661,9 +662,7 @@ mod tests {
         for r in [0isize, 3, 5, slots as isize - 1] {
             let rotated = hrotate_any(&ctx, &ct, r, &keys).unwrap();
             let dec = ctx.decrypt_values(&rotated, &kp.secret).unwrap();
-            let expect: Vec<f64> = (0..slots)
-                .map(|i| vals[(i + r as usize) % slots])
-                .collect();
+            let expect: Vec<f64> = (0..slots).map(|i| vals[(i + r as usize) % slots]).collect();
             close(&dec, &expect, 0.1);
         }
     }

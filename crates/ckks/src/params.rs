@@ -48,11 +48,52 @@ macro_rules! preset {
 impl ParamSet {
     // Prime widths track the paper's log qp column (and hence the 128-bit
     // security table): 108/217/437 bits demand narrower primes at small N.
-    preset!(set_a, "SET-A", 1 << 12, 2, 1, 26, 28, "Table VI SET-A: N = 2^12, l = 2.");
-    preset!(set_b, "SET-B", 1 << 13, 6, 1, 26, 29, "Table VI SET-B: N = 2^13, l = 6.");
-    preset!(set_c, "SET-C", 1 << 14, 14, 1, 27, 29, "Table VI SET-C: N = 2^14, l = 14.");
-    preset!(set_d, "SET-D", 1 << 15, 24, 1, "Table VI SET-D: N = 2^15, l = 24.");
-    preset!(set_e, "SET-E", 1 << 16, 34, 1, "Table VI SET-E: N = 2^16, l = 34.");
+    preset!(
+        set_a,
+        "SET-A",
+        1 << 12,
+        2,
+        1,
+        26,
+        28,
+        "Table VI SET-A: N = 2^12, l = 2."
+    );
+    preset!(
+        set_b,
+        "SET-B",
+        1 << 13,
+        6,
+        1,
+        26,
+        29,
+        "Table VI SET-B: N = 2^13, l = 6."
+    );
+    preset!(
+        set_c,
+        "SET-C",
+        1 << 14,
+        14,
+        1,
+        27,
+        29,
+        "Table VI SET-C: N = 2^14, l = 14."
+    );
+    preset!(
+        set_d,
+        "SET-D",
+        1 << 15,
+        24,
+        1,
+        "Table VI SET-D: N = 2^15, l = 24."
+    );
+    preset!(
+        set_e,
+        "SET-E",
+        1 << 16,
+        34,
+        1,
+        "Table VI SET-E: N = 2^16, l = 34."
+    );
     preset!(
         boot,
         "Boot",
@@ -296,7 +337,11 @@ mod tests {
         assert_eq!(p.q_chain().len(), 3);
         assert_eq!(p.p_chain().len(), 1);
         // Table VI: log qp = 108 for SET-A; our 26/28-bit chain gives ~106.
-        assert!((100.0..110.0).contains(&p.log_qp()), "log qp = {}", p.log_qp());
+        assert!(
+            (100.0..110.0).contains(&p.log_qp()),
+            "log qp = {}",
+            p.log_qp()
+        );
     }
 
     #[test]

@@ -15,8 +15,7 @@ pub const ERROR_STD_DEV: f64 = 3.2;
 /// Panics if `primes` is empty or `n` invalid (propagated from `RnsPoly`).
 pub fn uniform_poly<R: Rng>(rng: &mut R, primes: &[u64], n: usize) -> RnsPoly {
     let mut p = RnsPoly::zero(primes, n).expect("valid ring");
-    for i in 0..primes.len() {
-        let q = primes[i];
+    for (i, &q) in primes.iter().enumerate() {
         for c in p.limb_mut(i).coeffs_mut() {
             *c = rng.gen_range(0..q);
         }
@@ -69,10 +68,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let samples: Vec<i64> = (0..20_000).map(|_| sample_gaussian(&mut rng)).collect();
         let mean = samples.iter().sum::<i64>() as f64 / samples.len() as f64;
-        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>()
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
             / samples.len() as f64;
         assert!(mean.abs() < 0.15, "mean = {mean}");
-        assert!((var.sqrt() - ERROR_STD_DEV).abs() < 0.3, "sd = {}", var.sqrt());
+        assert!(
+            (var.sqrt() - ERROR_STD_DEV).abs() < 0.3,
+            "sd = {}",
+            var.sqrt()
+        );
     }
 
     #[test]

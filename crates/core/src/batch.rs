@@ -1,0 +1,256 @@
+//! Batched execution of whole-ciphertext operations across host threads.
+//!
+//! The paper's PE kernels erase the one-launch-per-polynomial structure of
+//! earlier GPU FHE systems: a single launch covers every polynomial × RNS
+//! limb of a ciphertext operation (§III-C, Table IX). [`BatchExecutor`] is
+//! the host-side counterpart for *serving batched traffic*: it accepts a
+//! slice of whole-ciphertext operations (HMULT, HROTATE, HADD, RESCALE,
+//! raw keyswitch) and fans the independent operations out over a
+//! configurable thread pool, while each operation's internal limb work uses
+//! the `wd-ckks` thread budget ([`wd_ckks::CkksContext::set_threads`]).
+//!
+//! Two levels of parallelism compose:
+//!
+//! - **Op level** (this type): independent ciphertext operations on
+//!   separate threads — throughput for batched traffic.
+//! - **Limb level** (`wd_polyring::par` via the context): one operation's
+//!   limb × polynomial work items fanned out — latency for a single op.
+//!
+//! For a saturated batch, keep the context budget at 1 and give the whole
+//! budget to the executor; for single-op latency do the reverse. Results
+//! are **bit-identical** for every split of the budget, including the
+//! all-sequential `threads = 1` fallback, because no work item shares
+//! mutable state (see `wd_polyring::par`).
+
+use wd_ckks::cipher::Ciphertext;
+use wd_ckks::keys::{KeySwitchKey, RotationKeys};
+use wd_ckks::ops;
+use wd_ckks::{CkksContext, CkksError};
+use wd_polyring::par;
+use wd_polyring::rns::RnsPoly;
+
+/// One whole-ciphertext operation in a batch.
+#[derive(Debug, Clone)]
+pub enum BatchOp<'a> {
+    /// Homomorphic addition.
+    HAdd(&'a Ciphertext, &'a Ciphertext),
+    /// Homomorphic subtraction.
+    HSub(&'a Ciphertext, &'a Ciphertext),
+    /// Homomorphic multiplication with relinearization (needs `relin`).
+    HMult(&'a Ciphertext, &'a Ciphertext),
+    /// Slot rotation by a signed amount (needs `rotations`).
+    HRotate(&'a Ciphertext, isize),
+    /// RESCALE by one chain prime.
+    Rescale(&'a Ciphertext),
+}
+
+/// Evaluation keys a batch may need. Missing keys surface as per-op
+/// [`CkksError::MissingKey`] errors, not panics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvalKeys<'a> {
+    /// Relinearization key (for [`BatchOp::HMult`]).
+    pub relin: Option<&'a KeySwitchKey>,
+    /// Rotation key set (for [`BatchOp::HRotate`]).
+    pub rotations: Option<&'a RotationKeys>,
+}
+
+impl<'a> EvalKeys<'a> {
+    /// Keys for multiply-only batches.
+    pub fn with_relin(relin: &'a KeySwitchKey) -> Self {
+        Self {
+            relin: Some(relin),
+            rotations: None,
+        }
+    }
+
+    /// Adds a rotation key set.
+    #[must_use]
+    pub fn and_rotations(mut self, keys: &'a RotationKeys) -> Self {
+        self.rotations = Some(keys);
+        self
+    }
+}
+
+/// Fans whole-ciphertext operations out over a host thread pool.
+#[derive(Debug, Clone)]
+pub struct BatchExecutor {
+    threads: usize,
+}
+
+impl BatchExecutor {
+    /// Executor with an explicit op-level thread budget (min 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Executor sized from `WD_THREADS`, else all available cores.
+    pub fn from_env() -> Self {
+        let n = std::env::var(par::THREADS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(par::available_threads);
+        Self::new(n)
+    }
+
+    /// Strictly sequential executor (the bit-identical fallback).
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// The op-level thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes a batch, returning one result per op **in input order**.
+    ///
+    /// Op-level errors (missing keys, level mismatches, exhausted levels)
+    /// come back as `Err` entries; they never abort the rest of the batch.
+    pub fn execute(
+        &self,
+        ctx: &CkksContext,
+        keys: EvalKeys<'_>,
+        batch: &[BatchOp<'_>],
+    ) -> Vec<Result<Ciphertext, CkksError>> {
+        par::map_indexed(self.threads, batch.len(), |i| match batch[i] {
+            BatchOp::HAdd(a, b) => ops::hadd(a, b),
+            BatchOp::HSub(a, b) => ops::hsub(a, b),
+            BatchOp::HMult(a, b) => {
+                let relin = keys
+                    .relin
+                    .ok_or_else(|| CkksError::MissingKey("relinearization key".into()))?;
+                ops::hmult(ctx, a, b, relin)
+            }
+            BatchOp::HRotate(ct, r) => {
+                let rot = keys
+                    .rotations
+                    .ok_or_else(|| CkksError::MissingKey("rotation key set".into()))?;
+                ops::hrotate(ctx, ct, r, rot)
+            }
+            BatchOp::Rescale(ct) => ops::rescale(ctx, ct),
+        })
+    }
+
+    /// Key-switches a batch of polynomials (NTT domain) with one key —
+    /// the raw InnerProduct pipeline, exposed for callers that schedule
+    /// relinearization themselves.
+    ///
+    /// Returns per-poly `(out0, out1)` pairs in input order.
+    pub fn keyswitch(
+        &self,
+        ctx: &CkksContext,
+        ksk: &KeySwitchKey,
+        polys: &[&RnsPoly],
+    ) -> Vec<Result<(RnsPoly, RnsPoly), CkksError>> {
+        par::map_indexed(self.threads, polys.len(), |i| {
+            wd_ckks::keyswitch::keyswitch(ctx, polys[i], ksk)
+        })
+    }
+
+    /// Batched forward NTT over arbitrary RNS polynomials, limbs and polys
+    /// flattened into one work list (host analogue of a PE kernel's grid).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`wd_polyring::par::ntt_forward_batch`].
+    pub fn ntt_forward(
+        &self,
+        polys: &mut [RnsPoly],
+        tables: &[std::sync::Arc<wd_polyring::ntt::NttTable>],
+    ) {
+        par::ntt_forward_batch(polys, tables, self.threads);
+    }
+
+    /// Batched inverse NTT (see [`BatchExecutor::ntt_forward`]).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`wd_polyring::par::ntt_inverse_batch`].
+    pub fn ntt_inverse(
+        &self,
+        polys: &mut [RnsPoly],
+        tables: &[std::sync::Arc<wd_polyring::ntt::NttTable>],
+    ) {
+        par::ntt_inverse_batch(polys, tables, self.threads);
+    }
+}
+
+impl Default for BatchExecutor {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wd_ckks::params::ParamSet;
+
+    fn setup() -> (CkksContext, wd_ckks::keys::KeyPair) {
+        let params = ParamSet::set_a().with_degree(1 << 6).build().unwrap();
+        let ctx = CkksContext::with_seed(params, 2024).unwrap();
+        let kp = ctx.keygen();
+        (ctx, kp)
+    }
+
+    #[test]
+    fn batch_matches_sequential_ops_bit_for_bit() {
+        let (ctx, kp) = setup();
+        let rot = ctx.gen_rotation_keys(&kp.secret, &[1], false);
+        let a = ctx.encrypt_values(&[1.0, 2.0, 3.0], &kp.public).unwrap();
+        let b = ctx.encrypt_values(&[0.5, -1.5, 4.0], &kp.public).unwrap();
+        let batch = [
+            BatchOp::HAdd(&a, &b),
+            BatchOp::HMult(&a, &b),
+            BatchOp::HRotate(&a, 1),
+            BatchOp::HSub(&b, &a),
+        ];
+        let keys = EvalKeys::with_relin(&kp.relin).and_rotations(&rot);
+        let seq: Vec<_> = BatchExecutor::sequential().execute(&ctx, keys, &batch);
+        for threads in [2usize, 4, 8] {
+            let par_out = BatchExecutor::new(threads).execute(&ctx, keys, &batch);
+            for (i, (s, p)) in seq.iter().zip(&par_out).enumerate() {
+                assert_eq!(
+                    s.as_ref().unwrap(),
+                    p.as_ref().unwrap(),
+                    "op {i} diverged at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn missing_keys_error_per_op_without_aborting_batch() {
+        let (ctx, kp) = setup();
+        let a = ctx.encrypt_values(&[1.0], &kp.public).unwrap();
+        let out = BatchExecutor::new(4).execute(
+            &ctx,
+            EvalKeys::default(),
+            &[BatchOp::HMult(&a, &a), BatchOp::HAdd(&a, &a)],
+        );
+        assert!(matches!(out[0], Err(CkksError::MissingKey(_))));
+        assert!(out[1].is_ok());
+    }
+
+    #[test]
+    fn batched_keyswitch_matches_direct_calls() {
+        let (ctx, kp) = setup();
+        let p0 = ctx.encode(&[1.0, 2.0]).unwrap().poly;
+        let p1 = ctx.encode(&[3.0, -1.0]).unwrap().poly;
+        let ex = BatchExecutor::new(4);
+        let batched = ex.keyswitch(&ctx, &kp.relin, &[&p0, &p1]);
+        let d0 = wd_ckks::keyswitch::keyswitch(&ctx, &p0, &kp.relin).unwrap();
+        let d1 = wd_ckks::keyswitch::keyswitch(&ctx, &p1, &kp.relin).unwrap();
+        assert_eq!(batched[0].as_ref().unwrap(), &d0);
+        assert_eq!(batched[1].as_ref().unwrap(), &d1);
+    }
+
+    #[test]
+    fn executor_threads_are_bounded_below_by_one() {
+        assert_eq!(BatchExecutor::new(0).threads(), 1);
+        assert!(BatchExecutor::from_env().threads() >= 1);
+    }
+}

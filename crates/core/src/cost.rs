@@ -71,6 +71,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn constants_are_sane() {
         // Spot-check relationships the model depends on.
         assert!(INT32_PER_MODMUL > INT32_PER_POINTWISE_ADD);

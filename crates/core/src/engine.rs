@@ -153,8 +153,18 @@ mod tests {
         // Table IX: fewer kernels, higher utilization, lower latency.
         let eng = PerfEngine::a100();
         let shape = OpShape::new(1 << 15, 24, 1);
-        let pe = eng.op_report(HomOp::KeySwitch, shape, PlannerKind::PeKernel, NttVariant::WdFuse);
-        let kf = eng.op_report(HomOp::KeySwitch, shape, PlannerKind::KfKernel, NttVariant::WdFuse);
+        let pe = eng.op_report(
+            HomOp::KeySwitch,
+            shape,
+            PlannerKind::PeKernel,
+            NttVariant::WdFuse,
+        );
+        let kf = eng.op_report(
+            HomOp::KeySwitch,
+            shape,
+            PlannerKind::KfKernel,
+            NttVariant::WdFuse,
+        );
         assert!(pe.kernel_count() < kf.kernel_count() / 4);
         assert!(pe.total_time_us() < kf.total_time_us());
         assert!(pe.compute_utilization() > kf.compute_utilization());
@@ -164,8 +174,18 @@ mod tests {
     fn hmult_slower_than_hadd() {
         let eng = PerfEngine::a100();
         let shape = OpShape::new(1 << 14, 14, 1);
-        let hm = eng.op_latency_us(HomOp::HMult, shape, PlannerKind::PeKernel, NttVariant::WdFuse);
-        let ha = eng.op_latency_us(HomOp::HAdd, shape, PlannerKind::PeKernel, NttVariant::WdFuse);
+        let hm = eng.op_latency_us(
+            HomOp::HMult,
+            shape,
+            PlannerKind::PeKernel,
+            NttVariant::WdFuse,
+        );
+        let ha = eng.op_latency_us(
+            HomOp::HAdd,
+            shape,
+            PlannerKind::PeKernel,
+            NttVariant::WdFuse,
+        );
         assert!(hm > 10.0 * ha, "HMULT {hm} vs HADD {ha}");
     }
 
@@ -196,7 +216,12 @@ mod tests {
             let cfg = FrameworkConfig::auto(&spec).with_threads(t);
             PerfEngine::new(spec.clone())
                 .with_config(cfg)
-                .op_latency_us(HomOp::HMult, shape, PlannerKind::PeKernel, NttVariant::WdFuse)
+                .op_latency_us(
+                    HomOp::HMult,
+                    shape,
+                    PlannerKind::PeKernel,
+                    NttVariant::WdFuse,
+                )
         };
         let t256 = lat(256);
         assert!(t256 <= lat(64), "256 beats 64");

@@ -19,10 +19,13 @@
 //!   planners (Fig. 4, Table IX), plus an unfused Liberate-style planner.
 //! - [`engine`]: [`engine::PerfEngine`], the façade the benchmark harness
 //!   drives.
+//! - [`batch`]: [`batch::BatchExecutor`], the host-thread analogue of the
+//!   PE kernels — whole ciphertext operations fanned out over a pool.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod config;
 pub mod cost;
 pub mod engine;
@@ -31,6 +34,7 @@ pub mod memory;
 pub mod nttplan;
 pub mod opplan;
 
+pub use batch::{BatchExecutor, BatchOp, EvalKeys};
 pub use config::FrameworkConfig;
 pub use engine::PerfEngine;
 pub use opplan::{HomOp, OpShape, PlannerKind};

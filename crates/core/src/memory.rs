@@ -98,7 +98,10 @@ impl MemoryPool {
         let pos = self.free.partition_point(|&(off, _)| off < a.offset);
         // Guard against double free / corruption.
         if let Some(&(off, size)) = self.free.get(pos) {
-            assert!(a.offset + a.size <= off || off + size <= a.offset, "double free");
+            assert!(
+                a.offset + a.size <= off || off + size <= a.offset,
+                "double free"
+            );
         }
         if pos > 0 {
             let (poff, psize) = self.free[pos - 1];

@@ -66,8 +66,7 @@ pub fn transform_work(n: usize, variant: NttVariant, tensor_share: f64) -> WorkP
 
 fn finish(mut w: WorkProfile) -> WorkProfile {
     w.lsu_instructions = w.smem_accesses / LANES;
-    w.instructions =
-        w.int32_ops / LANES + w.tensor_macs / MACS_PER_MMA_INSTR + w.lsu_instructions;
+    w.instructions = w.int32_ops / LANES + w.tensor_macs / MACS_PER_MMA_INSTR + w.lsu_instructions;
     w
 }
 
@@ -159,11 +158,7 @@ pub fn fuse_share_for(n: usize, spec: &GpuSpec) -> f64 {
 }
 
 /// Builds the kernel sequence for a batched NTT job.
-pub fn ntt_kernels(
-    job: NttJob,
-    cfg: &FrameworkConfig,
-    spec: &GpuSpec,
-) -> Vec<KernelProfile> {
+pub fn ntt_kernels(job: NttJob, cfg: &FrameworkConfig, spec: &GpuSpec) -> Vec<KernelProfile> {
     let t = job.transforms as f64;
     let n = job.n as f64;
     let io = t * n * WORD_BYTES;
@@ -232,7 +227,11 @@ fn tensorfhe_kernels(job: NttJob, cfg: &FrameworkConfig) -> Vec<KernelProfile> {
     };
     split.lsu_instructions = t * n * 5.0 / LANES;
     split.instructions = split.int32_ops / LANES + split.lsu_instructions;
-    ks.push(KernelProfile::new("U32ToU8", launch(blocks_ew, cfg, 0), split));
+    ks.push(KernelProfile::new(
+        "U32ToU8",
+        launch(blocks_ew, cfg, 0),
+        split,
+    ));
 
     // Stages 2 and 4 — 16 GEMM kernels each (Algorithm 1's m,n loop).
     for stage in [2u32, 4] {
@@ -340,7 +339,10 @@ mod tests {
             transforms: 1024,
             variant: v,
         };
-        assert_eq!(ntt_kernels(mk(NttVariant::TensorFhe), &cfg, &spec).len(), 35);
+        assert_eq!(
+            ntt_kernels(mk(NttVariant::TensorFhe), &cfg, &spec).len(),
+            35
+        );
         assert_eq!(ntt_kernels(mk(NttVariant::WdFuse), &cfg, &spec).len(), 2);
         let small = NttJob {
             n: 1 << 14,
@@ -423,7 +425,10 @@ mod tests {
         let w_tensor = transform_work(1 << 14, NttVariant::WdTensor, 0.9);
         assert_eq!(w_cuda.tensor_macs, 0.0);
         assert!(w_tensor.tensor_macs > 0.0);
-        assert!(w_cuda.int32_ops > w_tensor.int32_ops, "GEMM on INT32 is heavy");
+        assert!(
+            w_cuda.int32_ops > w_tensor.int32_ops,
+            "GEMM on INT32 is heavy"
+        );
     }
 
     #[test]

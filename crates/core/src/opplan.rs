@@ -212,7 +212,9 @@ impl Planner<'_> {
                 vec![self.elementwise("HADD", points, INT32_PER_POINTWISE_ADD)]
             }
             PlannerKind::KfKernel => (0..2)
-                .map(|c| self.elementwise(&format!("HADD-c{c}"), points / 2.0, INT32_PER_POINTWISE_ADD))
+                .map(|c| {
+                    self.elementwise(&format!("HADD-c{c}"), points / 2.0, INT32_PER_POINTWISE_ADD)
+                })
                 .collect(),
             PlannerKind::Unfused => (0..2 * self.shape.limbs())
                 .map(|i| {
@@ -234,7 +236,13 @@ impl Planner<'_> {
                 vec![self.elementwise("PMULT", points, INT32_PER_POINTWISE_MUL)]
             }
             PlannerKind::KfKernel => (0..2)
-                .map(|c| self.elementwise(&format!("PMULT-c{c}"), points / 2.0, INT32_PER_POINTWISE_MUL))
+                .map(|c| {
+                    self.elementwise(
+                        &format!("PMULT-c{c}"),
+                        points / 2.0,
+                        INT32_PER_POINTWISE_MUL,
+                    )
+                })
                 .collect(),
             PlannerKind::Unfused => (0..2 * self.shape.limbs())
                 .map(|i| {
@@ -315,11 +323,7 @@ impl Planner<'_> {
         // 5. ModDown both accumulators: INTT(full), conv(K→ℓ+1), scale+NTT.
         for c in 0..2 {
             ks.extend(self.ntt(&format!("KS-ModDown-INTT-{c}"), full));
-            ks.push(self.conv_kernel(
-                &format!("KS-ModDown-conv-{c}"),
-                n * b * l1,
-                s.k as f64,
-            ));
+            ks.push(self.conv_kernel(&format!("KS-ModDown-conv-{c}"), n * b * l1, s.k as f64));
             ks.extend(self.ntt(&format!("KS-ModDown-NTT-{c}"), l1));
         }
         ks
@@ -448,7 +452,11 @@ mod tests {
     fn pe_keyswitch_is_11_kernels_at_every_level() {
         // Table IX: "WarpDrive ... only 11 kernels needed" for SET-C/D/E.
         for level in [14usize, 24, 34] {
-            assert_eq!(keyswitch_count(level, PlannerKind::PeKernel), 11, "l={level}");
+            assert_eq!(
+                keyswitch_count(level, PlannerKind::PeKernel),
+                11,
+                "l={level}"
+            );
         }
     }
 
@@ -466,7 +474,10 @@ mod tests {
 
     #[test]
     fn unfused_is_much_worse() {
-        assert!(keyswitch_count(14, PlannerKind::Unfused) > 2 * keyswitch_count(14, PlannerKind::KfKernel));
+        assert!(
+            keyswitch_count(14, PlannerKind::Unfused)
+                > 2 * keyswitch_count(14, PlannerKind::KfKernel)
+        );
     }
 
     #[test]
@@ -518,10 +529,17 @@ mod tests {
         let sum = |batch| -> f64 {
             let mut s = OpShape::new(1 << 13, 6, 1);
             s.batch = batch;
-            op_kernels(HomOp::HMult, s, PlannerKind::PeKernel, NttVariant::WdFuse, &cfg, &spec)
-                .iter()
-                .map(|k| k.work.int32_ops + k.work.tensor_macs)
-                .sum()
+            op_kernels(
+                HomOp::HMult,
+                s,
+                PlannerKind::PeKernel,
+                NttVariant::WdFuse,
+                &cfg,
+                &spec,
+            )
+            .iter()
+            .map(|k| k.work.int32_ops + k.work.tensor_macs)
+            .sum()
         };
         let r = sum(8) / sum(1);
         assert!((7.5..8.5).contains(&r), "batch scaling = {r}");

@@ -1,0 +1,94 @@
+//! Property tests: homomorphic operations through the parallel execution
+//! layer are **bit-identical** to the sequential fallback for random
+//! inputs, limb-level thread budgets and op-level fan-out widths.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use warpdrive_core::{BatchExecutor, BatchOp, EvalKeys};
+use wd_ckks::keys::KeyPair;
+use wd_ckks::{CkksContext, ParamSet};
+
+/// Context + keys are expensive; share one across all cases. Tests touch
+/// `ctx.set_threads`, so every case restores the budget to 1 before
+/// measuring its reference output.
+fn shared() -> &'static (CkksContext, KeyPair) {
+    static CELL: OnceLock<(CkksContext, KeyPair)> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let params = ParamSet::set_b().with_degree(1 << 7).build().unwrap();
+        let ctx = CkksContext::with_seed(params, 0xC0DE).unwrap();
+        let kp = ctx.keygen();
+        (ctx, kp)
+    })
+}
+
+fn vec_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-4.0..4.0f64, 1..=12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn prop_hmult_bit_identical_across_thread_counts(
+        a in vec_strategy(),
+        b in vec_strategy(),
+        limb_threads in 1usize..7,
+        op_threads in 1usize..7,
+    ) {
+        let (ctx, kp) = shared();
+        let ct_a = ctx.encrypt_values(&a, &kp.public).unwrap();
+        let ct_b = ctx.encrypt_values(&b, &kp.public).unwrap();
+        let batch = [BatchOp::HMult(&ct_a, &ct_b), BatchOp::HMult(&ct_b, &ct_b)];
+        let keys = EvalKeys::with_relin(&kp.relin);
+
+        ctx.set_threads(1);
+        let reference = BatchExecutor::sequential().execute(ctx, keys, &batch);
+
+        ctx.set_threads(limb_threads);
+        let got = BatchExecutor::new(op_threads).execute(ctx, keys, &batch);
+        ctx.set_threads(1);
+
+        for (i, (r, g)) in reference.iter().zip(&got).enumerate() {
+            prop_assert_eq!(
+                r.as_ref().unwrap(),
+                g.as_ref().unwrap(),
+                "HMULT {} diverged at limb={} op={} threads", i, limb_threads, op_threads
+            );
+        }
+    }
+
+    #[test]
+    fn prop_rotation_and_rescale_bit_identical(
+        vals in vec_strategy(),
+        rot in -6isize..7,
+        limb_threads in 1usize..7,
+    ) {
+        let (ctx, kp) = shared();
+        static ROT_KEYS: OnceLock<wd_ckks::keys::RotationKeys> = OnceLock::new();
+        let rk = ROT_KEYS.get_or_init(|| {
+            let rots: Vec<isize> = (-6..7).filter(|&r| r != 0).collect();
+            ctx.gen_rotation_keys(&kp.secret, &rots, false)
+        });
+        let ct = ctx.encrypt_values(&vals, &kp.public).unwrap();
+        let sq = wd_ckks::ops::hmult(ctx, &ct, &ct, &kp.relin).unwrap();
+        let rot = if rot == 0 { 1 } else { rot };
+        let batch = [BatchOp::HRotate(&ct, rot), BatchOp::Rescale(&sq)];
+        let keys = EvalKeys::default().and_rotations(rk);
+
+        ctx.set_threads(1);
+        let reference = BatchExecutor::sequential().execute(ctx, keys, &batch);
+
+        ctx.set_threads(limb_threads);
+        let got = BatchExecutor::new(4).execute(ctx, keys, &batch);
+        ctx.set_threads(1);
+
+        for (i, (r, g)) in reference.iter().zip(&got).enumerate() {
+            prop_assert_eq!(
+                r.as_ref().unwrap(),
+                g.as_ref().unwrap(),
+                "op {} diverged at limb_threads = {}", i, limb_threads
+            );
+        }
+    }
+}

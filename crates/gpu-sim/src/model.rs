@@ -102,14 +102,13 @@ impl Simulator {
         let t = k.launch.threads_per_block.max(1);
         let by_threads = s.max_threads_per_sm / t;
         let by_blocks = s.max_blocks_per_sm;
-        let by_smem = if k.launch.smem_per_block_bytes == 0 {
-            u32::MAX
-        } else {
-            s.smem_per_sm_bytes / k.launch.smem_per_block_bytes
-        };
+        let by_smem = s
+            .smem_per_sm_bytes
+            .checked_div(k.launch.smem_per_block_bytes)
+            .unwrap_or(u32::MAX);
         let regs_per_block = t * k.launch.regs_per_thread.max(1);
         let by_regs = s.regs_per_sm / regs_per_block.max(1);
-        by_threads.min(by_blocks).min(by_smem).min(by_regs).max(0)
+        by_threads.min(by_blocks).min(by_smem).min(by_regs)
     }
 
     /// Parallel efficiency in \[0, 1\]: latency hiding × wave quantization.
@@ -127,9 +126,10 @@ impl Simulator {
         // Even a single resident warp makes some progress; the floor keeps
         // tiny per-polynomial kernels (Liberate-style) slow but finite.
         let latency_hiding = (warps_per_sm / LATENCY_HIDING_WARPS).clamp(0.2, 1.0);
-        let waves = (k.launch.blocks as f64 / resident_capacity as f64).ceil().max(1.0);
-        let quantization =
-            k.launch.blocks as f64 / (waves * resident_capacity as f64).max(1.0);
+        let waves = (k.launch.blocks as f64 / resident_capacity as f64)
+            .ceil()
+            .max(1.0);
+        let quantization = k.launch.blocks as f64 / (waves * resident_capacity as f64).max(1.0);
         latency_hiding * quantization.clamp(0.05, 1.0)
     }
 
@@ -160,22 +160,22 @@ impl Simulator {
             (t_smem, Bottleneck::Smem),
             (t_issue, Bottleneck::Issue),
         ];
-        let (t_exec_raw, bottleneck) = components
-            .iter()
-            .fold((0.0f64, Bottleneck::Issue), |(bt, bb), &(t, b)| {
-                if t > bt {
-                    (t, b)
-                } else {
-                    (bt, bb)
-                }
-            });
+        let (t_exec_raw, bottleneck) =
+            components
+                .iter()
+                .fold((0.0f64, Bottleneck::Issue), |(bt, bb), &(t, b)| {
+                    if t > bt {
+                        (t, b)
+                    } else {
+                        (bt, bb)
+                    }
+                });
 
         // Barrier overhead grows superlinearly with block size; block
         // dispatch overhead grows with grid size. Together they produce the
         // Fig. 7 U-shape with its optimum near T = 256.
-        let sync_mult = 1.0
-            + BLOCK_SYNC_PENALTY
-                * (f64::from(k.launch.threads_per_block) / 1024.0).powf(2.5);
+        let sync_mult =
+            1.0 + BLOCK_SYNC_PENALTY * (f64::from(k.launch.threads_per_block) / 1024.0).powf(2.5);
         let block_overhead_s = k.launch.blocks as f64 * BLOCK_OVERHEAD_CYCLES
             / (f64::from(s.sm_count) * s.clock_ghz * 1e9);
         let exec_s = t_exec_raw * sync_mult + block_overhead_s;
@@ -185,7 +185,8 @@ impl Simulator {
         let clock_hz = s.clock_ghz * 1e9;
         let cycles = exec_s * clock_hz;
         // Issue slots actually used, normalized per scheduler:
-        let issue_cycles = w.instructions / (f64::from(s.sm_count) * f64::from(s.warp_schedulers_per_sm));
+        let issue_cycles =
+            w.instructions / (f64::from(s.sm_count) * f64::from(s.warp_schedulers_per_sm));
         let total_slots = cycles; // per-scheduler cycle count == wall cycles
         let stall_total = (total_slots - issue_cycles).max(0.0);
 
@@ -207,8 +208,7 @@ impl Simulator {
         // still push both metrics down, which is the effect Tables III, IX
         // and X measure.
         let exec_span = exec_s.max(1e-30);
-        let ideal_int32 =
-            w.int32_ops / (s.int32_ops_per_sec() * s.int32_efficiency * 2.0);
+        let ideal_int32 = w.int32_ops / (s.int32_ops_per_sec() * s.int32_efficiency * 2.0);
         let ideal_tensor = if s.tensor_cores_per_sm == 0 {
             0.0
         } else {
@@ -321,7 +321,11 @@ mod tests {
     fn bandwidth_bound_kernel_near_roofline() {
         // 1 GB of traffic at ~1.5 TB/s effective should take ~0.66 ms.
         let st = sim().run_kernel(&mem_kernel(1e9));
-        assert!(st.time_us > 400.0 && st.time_us < 1200.0, "t = {}", st.time_us);
+        assert!(
+            st.time_us > 400.0 && st.time_us < 1200.0,
+            "t = {}",
+            st.time_us
+        );
         assert_eq!(st.bottleneck, Bottleneck::Gmem);
         // A bandwidth-bound kernel sustains ≈ mem_efficiency of peak.
         assert!(st.memory_util > 0.7, "util = {}", st.memory_util);
@@ -359,7 +363,7 @@ mod tests {
         let mut small = mem_kernel(1e8);
         big.launch = LaunchConfig::new(2048, 256);
         small.launch = LaunchConfig::new(4, 256); // 4 blocks on 108 SMs
-        // Make it compute bound so occupancy matters.
+                                                  // Make it compute bound so occupancy matters.
         big.work.int32_ops = 1e9;
         small.work.int32_ops = 1e9;
         big.work.gmem_read_bytes = 0.0;
@@ -395,7 +399,9 @@ mod tests {
         let s = sim();
         let k = mem_kernel(1e7);
         let serial = s.run_sequence(&[k.clone(), k.clone()]).total_time_us();
-        let lanes = s.run_lanes(&[vec![k.clone()], vec![k.clone()]]).total_time_us();
+        let lanes = s
+            .run_lanes(&[vec![k.clone()], vec![k.clone()]])
+            .total_time_us();
         assert!(lanes < serial, "two lanes must beat serial");
     }
 

@@ -71,7 +71,9 @@ impl RunReport {
     pub fn stalls(&self) -> StallBreakdown {
         self.kernels
             .iter()
-            .fold(StallBreakdown::default(), |acc, (_, s)| acc.merge(&s.stalls))
+            .fold(StallBreakdown::default(), |acc, (_, s)| {
+                acc.merge(&s.stalls)
+            })
     }
 
     /// Total wall cycles across kernels (execution only).

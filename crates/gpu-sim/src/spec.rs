@@ -185,7 +185,10 @@ mod tests {
         assert!((9.0..11.0).contains(&tops), "INT32 TOPS = {tops}");
         // INT8 dense tensor throughput ≈ 624 TOPS (2 ops per MAC).
         let int8_tops = a.tensor_macs_per_sec() * 2.0 / 1e12;
-        assert!((550.0..700.0).contains(&int8_tops), "INT8 TOPS = {int8_tops}");
+        assert!(
+            (550.0..700.0).contains(&int8_tops),
+            "INT8 TOPS = {int8_tops}"
+        );
     }
 
     #[test]

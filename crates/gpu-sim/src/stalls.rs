@@ -91,13 +91,19 @@ impl StallBreakdown {
 
     /// Cycles attributed to `kind`.
     pub fn get(&self, kind: StallKind) -> f64 {
-        let i = Self::KINDS.iter().position(|k| *k == kind).expect("known kind");
+        let i = Self::KINDS
+            .iter()
+            .position(|k| *k == kind)
+            .expect("known kind");
         self.cycles[i]
     }
 
     /// Adds cycles to `kind`.
     pub fn add(&mut self, kind: StallKind, cycles: f64) {
-        let i = Self::KINDS.iter().position(|k| *k == kind).expect("known kind");
+        let i = Self::KINDS
+            .iter()
+            .position(|k| *k == kind)
+            .expect("known kind");
         self.cycles[i] += cycles;
     }
 
@@ -206,7 +212,11 @@ mod tests {
         let b = StallBreakdown::attribute(1000.0, 0.9, 0.0, 0.05, 0.85);
         let lg = b.get(StallKind::LgThrottle) / b.total();
         assert!(lg > 0.6, "LG share = {lg}");
-        assert!(b.memory_fraction() > 0.85, "mem frac = {}", b.memory_fraction());
+        assert!(
+            b.memory_fraction() > 0.85,
+            "mem frac = {}",
+            b.memory_fraction()
+        );
     }
 
     #[test]
@@ -224,7 +234,11 @@ mod tests {
         // WarpDrive-NTT-like: SMEM/register resident, compute bound.
         // Fig. 5: memory-related stalls are only 21.2% of cycles.
         let b = StallBreakdown::attribute(1000.0, 0.08, 0.15, 0.85, 0.1);
-        assert!(b.memory_fraction() < 0.35, "mem frac = {}", b.memory_fraction());
+        assert!(
+            b.memory_fraction() < 0.35,
+            "mem frac = {}",
+            b.memory_fraction()
+        );
     }
 
     #[test]

@@ -45,7 +45,7 @@ impl Modulus {
     ///
     /// Returns [`MathError::InvalidModulus`] if `q < 2` or `q >= 2^31`.
     pub fn try_new(q: u64) -> Result<Self, MathError> {
-        if q < 2 || q >= (1u64 << crate::MAX_MODULUS_BITS) {
+        if !(2..(1u64 << crate::MAX_MODULUS_BITS)).contains(&q) {
             return Err(MathError::InvalidModulus(q));
         }
         // floor((2^64 - 1)/q) equals floor(2^64/q) except when q | 2^64
@@ -201,7 +201,15 @@ mod tests {
     #[test]
     fn reduce_matches_remainder() {
         let m = Modulus::new(Q);
-        for x in [0u64, 1, Q - 1, Q, Q + 1, u64::from(u32::MAX), (Q - 1) * (Q - 1)] {
+        for x in [
+            0u64,
+            1,
+            Q - 1,
+            Q,
+            Q + 1,
+            u64::from(u32::MAX),
+            (Q - 1) * (Q - 1),
+        ] {
             assert_eq!(m.reduce(x), x % Q, "x = {x}");
         }
     }

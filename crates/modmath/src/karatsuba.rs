@@ -52,12 +52,22 @@ pub fn karatsuba_conv4(a: [u8; LIMBS], b: [u8; LIMBS]) -> [u32; 7] {
         let mid = (a0 + a1) * (b0 + b1) - lo - hi; // 1 mul, 2 pre-adds
         [lo, mid, hi]
     }
-    let (a0, a1, a2, a3) = (u32::from(a[0]), u32::from(a[1]), u32::from(a[2]), u32::from(a[3]));
-    let (b0, b1, b2, b3) = (u32::from(b[0]), u32::from(b[1]), u32::from(b[2]), u32::from(b[3]));
+    let (a0, a1, a2, a3) = (
+        u32::from(a[0]),
+        u32::from(a[1]),
+        u32::from(a[2]),
+        u32::from(a[3]),
+    );
+    let (b0, b1, b2, b3) = (
+        u32::from(b[0]),
+        u32::from(b[1]),
+        u32::from(b[2]),
+        u32::from(b[3]),
+    );
 
     let lo = kara2(a0, a1, b0, b1); // (a0 + a1·x)(b0 + b1·x)
     let hi = kara2(a2, a3, b2, b3); // (a2 + a3·x)(b2 + b3·x)
-    // Middle: (a0+a2, a1+a3) × (b0+b2, b1+b3), operands are 9-bit.
+                                    // Middle: (a0+a2, a1+a3) × (b0+b2, b1+b3), operands are 9-bit.
     let mid = kara2(a0 + a2, a1 + a3, b0 + b2, b1 + b3);
 
     let mut c = [0u32; 7];
@@ -119,7 +129,12 @@ mod tests {
 
     #[test]
     fn schoolbook_equals_native_product() {
-        for (x, y) in [(0u32, 0u32), (1, 1), (0xffff_ffff, 0xffff_ffff), (12345, 67890)] {
+        for (x, y) in [
+            (0u32, 0u32),
+            (1, 1),
+            (0xffff_ffff, 0xffff_ffff),
+            (12345, 67890),
+        ] {
             let c = schoolbook_conv4(split_u32(x), split_u32(y));
             assert_eq!(eval_conv(&c), u64::from(x) * u64::from(y));
         }
@@ -127,7 +142,11 @@ mod tests {
 
     #[test]
     fn karatsuba_equals_schoolbook_on_extremes() {
-        for (x, y) in [(0u32, 0u32), (u32::MAX, u32::MAX), (0x0100_0001, 0x8000_0080)] {
+        for (x, y) in [
+            (0u32, 0u32),
+            (u32::MAX, u32::MAX),
+            (0x0100_0001, 0x8000_0080),
+        ] {
             assert_eq!(
                 karatsuba_conv4(split_u32(x), split_u32(y)),
                 schoolbook_conv4(split_u32(x), split_u32(y))

@@ -41,7 +41,7 @@ impl Montgomery {
     /// Returns [`MathError::InvalidModulus`] if `q` is even, `< 3`, or
     /// `>= 2^31` (Montgomery REDC needs gcd(q, R) = 1 and word headroom).
     pub fn new(q: u64) -> Result<Self, MathError> {
-        if q < 3 || q % 2 == 0 || q >= (1u64 << crate::MAX_MODULUS_BITS) {
+        if q < 3 || q.is_multiple_of(2) || q >= (1u64 << crate::MAX_MODULUS_BITS) {
             return Err(MathError::InvalidModulus(q));
         }
         // Newton iteration for q^{-1} mod 2^32: five steps double the valid bits.

@@ -19,13 +19,13 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     let mut d = n - 1;
     let mut s = 0;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         s += 1;
     }
@@ -147,7 +147,7 @@ pub fn generate_ntt_primes(bits: u32, two_n: u64, count: usize) -> Result<Vec<u6
 /// Returns [`MathError::InvalidModulus`] if `order` does not divide `q - 1`.
 pub fn primitive_root_of_unity(q: u64, order: u64) -> Result<u64, MathError> {
     let m = Modulus::new(q);
-    if order == 0 || (q - 1) % order != 0 {
+    if order == 0 || !(q - 1).is_multiple_of(order) {
         return Err(MathError::InvalidModulus(q));
     }
     // Find a generator candidate g, then ω = g^((q-1)/order).

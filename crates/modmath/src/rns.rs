@@ -127,7 +127,7 @@ impl RnsBasis {
             let q_hat = q_prod / qi; // Q / q_i
             let q_hat_inv = m.inv((q_hat % qi) as u64)?; // (Q/q_i)^{-1} mod q_i
             let y = m.mul(m.reduce(r), q_hat_inv); // < q_i
-            // acc += y * Q/q_i (mod Q), with mulmod over u128 to avoid overflow.
+                                                   // acc += y * Q/q_i (mod Q), with mulmod over u128 to avoid overflow.
             acc = (acc + mul_mod_u128(u128::from(y), q_hat, q_prod)) % q_prod;
         }
         let half = q_prod / 2;

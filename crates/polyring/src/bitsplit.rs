@@ -41,11 +41,7 @@ pub fn merge_planes(planes: &[Vec<u8>; LIMBS]) -> Vec<u64> {
     let n = planes[0].len();
     assert!(planes.iter().all(|p| p.len() == n), "ragged planes");
     (0..n)
-        .map(|i| {
-            (0..LIMBS)
-                .map(|m| u64::from(planes[m][i]) << (8 * m))
-                .sum()
-        })
+        .map(|i| (0..LIMBS).map(|m| u64::from(planes[m][i]) << (8 * m)).sum())
         .collect()
 }
 

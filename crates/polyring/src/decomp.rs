@@ -136,10 +136,7 @@ impl DecompPlan {
             let n2 = s / n1;
             PlanNode::Split(Box::new(build(n1)), Box::new(build(n2)))
         }
-        Ok(Self {
-            n,
-            root: build(n),
-        })
+        Ok(Self { n, root: build(n) })
     }
 
     /// Transform size N.

@@ -319,7 +319,10 @@ mod tests {
         ];
         let mut v = Vec::new();
         for k in kernels {
-            for plan in [DecompPlan::warpdrive(n).unwrap(), DecompPlan::balanced(n, 1).unwrap()] {
+            for plan in [
+                DecompPlan::warpdrive(n).unwrap(),
+                DecompPlan::balanced(n, 1).unwrap(),
+            ] {
                 v.push(FourStepNtt::new(Arc::clone(table), plan, k).unwrap());
             }
         }
@@ -330,7 +333,9 @@ mod tests {
     fn all_kernels_match_reference_forward() {
         let n = 256;
         let table = setup(n);
-        let data: Vec<u64> = (0..n as u64).map(|i| i * 31 % table.modulus().value()).collect();
+        let data: Vec<u64> = (0..n as u64)
+            .map(|i| i * 31 % table.modulus().value())
+            .collect();
         let mut expect = data.clone();
         table.forward(&mut expect);
         for eng in engines(&table, n) {
@@ -382,9 +387,15 @@ mod tests {
         let table = setup(n);
         let plan = DecompPlan::balanced(n, 3).unwrap();
         assert!(plan.root().depth() >= 2);
-        assert!(plan.root().leaves().contains(&8), "{:?}", plan.root().leaves());
+        assert!(
+            plan.root().leaves().contains(&8),
+            "{:?}",
+            plan.root().leaves()
+        );
         let eng = FourStepNtt::new(Arc::clone(&table), plan, InnerKernel::CudaGemm).unwrap();
-        let data: Vec<u64> = (0..n as u64).map(|i| (i * 11 + 3) % table.modulus().value()).collect();
+        let data: Vec<u64> = (0..n as u64)
+            .map(|i| (i * 11 + 3) % table.modulus().value())
+            .collect();
         let mut expect = data.clone();
         table.forward(&mut expect);
         let mut x = data;

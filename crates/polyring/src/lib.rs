@@ -44,6 +44,7 @@ pub mod decomp;
 pub mod fourstep;
 pub mod naive;
 pub mod ntt;
+pub mod par;
 pub mod poly;
 pub mod rns;
 pub mod tensoremu;

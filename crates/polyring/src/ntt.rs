@@ -58,17 +58,16 @@ impl NttTable {
             degree: n,
         })?;
         let two_n = 2 * n as u64;
-        if (q - 1) % two_n != 0 {
+        if !(q - 1).is_multiple_of(two_n) {
             return Err(PolyError::NoRootOfUnity {
                 modulus: q,
                 degree: n,
             });
         }
-        let psi =
-            primitive_root_of_unity(q, two_n).map_err(|_| PolyError::NoRootOfUnity {
-                modulus: q,
-                degree: n,
-            })?;
+        let psi = primitive_root_of_unity(q, two_n).map_err(|_| PolyError::NoRootOfUnity {
+            modulus: q,
+            degree: n,
+        })?;
         let omega = modulus.mul(psi, psi);
         let psi_inv = modulus.inv(psi).expect("psi invertible");
         let omega_inv = modulus.inv(omega).expect("omega invertible");
@@ -429,7 +428,11 @@ mod tests {
         b[1] = 1;
         t.forward(&mut a);
         t.forward(&mut b);
-        let mut c: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| t.modulus().mul(x, y)).collect();
+        let mut c: Vec<u64> = a
+            .iter()
+            .zip(&b)
+            .map(|(&x, &y)| t.modulus().mul(x, y))
+            .collect();
         t.inverse(&mut c);
         assert_eq!(c[0], q - 1);
         assert!(c[1..].iter().all(|&v| v == 0));
@@ -440,7 +443,9 @@ mod tests {
         // §IV-A-4: the two reductions must agree bit-for-bit; only speed
         // differs.
         let t = table(128);
-        let data: Vec<u64> = (0..128u64).map(|i| (i * 523 + 7) % t.modulus().value()).collect();
+        let data: Vec<u64> = (0..128u64)
+            .map(|i| (i * 523 + 7) % t.modulus().value())
+            .collect();
         let mut mont = data.clone();
         let mut barrett = data;
         t.forward(&mut mont);

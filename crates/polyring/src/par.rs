@@ -1,0 +1,377 @@
+//! Host-thread parallel execution of limb- and batch-level work.
+//!
+//! WarpDrive's PE (parallelism-enhanced) kernels take a *whole ciphertext* —
+//! every polynomial × every RNS limb — per launch instead of one launch per
+//! polynomial (paper §III-C, Table IX), because the limb dimension is
+//! embarrassingly parallel: each residue limb lives in its own ring Z_q.
+//! This module is the host-side analogue: the same limb × polynomial work
+//! items a PE kernel grids over are fanned out across OS threads.
+//!
+//! Two invariants mirror the GPU design:
+//!
+//! - **Work items never share state.** A work item is one limb (NTT,
+//!   pointwise) or one coefficient chunk (base conversion), so scheduling
+//!   order cannot change results: the parallel path is **bit-identical** to
+//!   the sequential one at every thread count, and `threads = 1` short-
+//!   circuits to a plain loop with zero threading overhead.
+//! - **The thread budget is explicit.** Callers pass a thread count (see
+//!   [`threads_from_env`] for the `WD_THREADS` convention) and the fan-out
+//!   never exceeds it, regardless of how many work items exist.
+
+use crate::ntt::NttTable;
+use crate::rns::{Domain, RnsPoly};
+use std::sync::Arc;
+
+/// Environment variable naming the host thread budget.
+pub const THREADS_ENV: &str = "WD_THREADS";
+
+/// Resolves the thread budget from `WD_THREADS`, falling back to `1`
+/// (sequential) when unset or unparsable.
+///
+/// Sequential is the deliberate default: the functional layer is typically
+/// exercised on small test rings where spawning threads costs more than the
+/// transform, and batch serving (the [`BatchExecutor`] layer in
+/// `warpdrive-core`) supplies its own budget explicitly.
+pub fn threads_from_env() -> usize {
+    std::env::var(THREADS_ENV)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+/// The machine's available parallelism (≥ 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Applies `f` to every item, fanning the items out over at most `threads`
+/// scoped worker threads. With `threads <= 1` (or one item) this is exactly
+/// a sequential `for` loop.
+pub fn for_each_mut<T, F>(threads: usize, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let t = threads.clamp(1, items.len().max(1));
+    if t <= 1 {
+        for item in items.iter_mut() {
+            f(item);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(t);
+    std::thread::scope(|scope| {
+        for ch in items.chunks_mut(chunk) {
+            scope.spawn(|| {
+                for item in ch {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
+/// Computes `f(0), f(1), …, f(n-1)` in parallel (at most `threads` workers)
+/// and returns the results **in index order** — scheduling never reorders
+/// output, which is what keeps batch APIs deterministic.
+pub fn map_indexed<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let t = threads.clamp(1, n.max(1));
+    if t <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(t);
+    std::thread::scope(|scope| {
+        for (c, ch) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                let base = c * chunk;
+                for (k, slot) in ch.iter_mut().enumerate() {
+                    *slot = Some(f(base + k));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|s| s.expect("every index filled"))
+        .collect()
+}
+
+fn table_for(tables: &[Arc<NttTable>], q: u64) -> &NttTable {
+    tables
+        .iter()
+        .map(Arc::as_ref)
+        .find(|t| t.modulus().value() == q)
+        .expect("table for limb modulus")
+}
+
+/// Forward NTT over a whole batch of RNS polynomials: all `polys × limbs`
+/// transforms become one flat work list — the host mirror of a PE kernel
+/// taking the full ciphertext in a single launch.
+///
+/// `tables` must cover every limb modulus appearing in the batch (order
+/// free; limbs are matched by modulus value).
+///
+/// # Panics
+///
+/// Panics if any polynomial is already in the NTT domain or a limb modulus
+/// has no matching table.
+pub fn ntt_forward_batch(polys: &mut [RnsPoly], tables: &[Arc<NttTable>], threads: usize) {
+    transform_batch(polys, tables, threads, Domain::Coeff, Domain::Ntt, true);
+}
+
+/// Inverse NTT over a whole batch (see [`ntt_forward_batch`]).
+///
+/// # Panics
+///
+/// Panics if any polynomial is already in the coefficient domain or a limb
+/// modulus has no matching table.
+pub fn ntt_inverse_batch(polys: &mut [RnsPoly], tables: &[Arc<NttTable>], threads: usize) {
+    transform_batch(polys, tables, threads, Domain::Ntt, Domain::Coeff, false);
+}
+
+fn transform_batch(
+    polys: &mut [RnsPoly],
+    tables: &[Arc<NttTable>],
+    threads: usize,
+    expect_domain: Domain,
+    new_domain: Domain,
+    forward: bool,
+) {
+    // Flatten to (limb, table) work items up front; the spawn below only
+    // sees independent mutable borrows of distinct limbs.
+    let mut work: Vec<(&mut crate::Poly, &NttTable)> = Vec::new();
+    for p in polys.iter_mut() {
+        assert_eq!(p.domain(), expect_domain, "batch transform domain");
+        for limb in p.limbs_mut() {
+            let t = table_for(tables, limb.modulus().value());
+            work.push((limb, t));
+        }
+    }
+    for_each_mut(threads, &mut work, |(limb, t)| {
+        if forward {
+            t.forward(limb.coeffs_mut());
+        } else {
+            t.inverse(limb.coeffs_mut());
+        }
+    });
+    for p in polys.iter_mut() {
+        p.set_domain(new_domain);
+    }
+}
+
+/// Pointwise (Hadamard) products for a batch of operand pairs, limbs fanned
+/// out across the thread budget. Outputs are returned in input order.
+///
+/// # Errors
+///
+/// Propagates the first per-pair ring/domain mismatch (same contract as
+/// [`RnsPoly::pointwise`]).
+pub fn pointwise_batch(
+    pairs: &[(&RnsPoly, &RnsPoly)],
+    threads: usize,
+) -> Result<Vec<RnsPoly>, crate::PolyError> {
+    // Validate shapes up front (cheap) so the parallel section is infallible.
+    for (a, b) in pairs {
+        if a.domain() != Domain::Ntt || b.domain() != Domain::Ntt {
+            return Err(crate::PolyError::RingMismatch);
+        }
+        if a.limb_count() != b.limb_count() || a.degree() != b.degree() {
+            return Err(crate::PolyError::RingMismatch);
+        }
+    }
+    let results = map_indexed(threads, pairs.len(), |i| {
+        let (a, b) = pairs[i];
+        a.pointwise_with(b, 1).expect("validated above")
+    });
+    Ok(results)
+}
+
+/// Applies a residue-basis conversion to every coefficient of `src`
+/// (coefficient domain), with the coefficient range chunked across threads.
+///
+/// Bit-identical to the sequential conversion: each coefficient's output
+/// depends only on that coefficient's residues.
+///
+/// # Panics
+///
+/// Panics if `src` is in the NTT domain.
+pub fn convert_poly(
+    conv: &wd_modmath::rns::BasisConverter,
+    src: &RnsPoly,
+    threads: usize,
+) -> RnsPoly {
+    assert_eq!(src.domain(), Domain::Coeff, "convert in coefficient domain");
+    let n = src.degree();
+    let to = conv.to_basis().values();
+    let to_len = to.len();
+    let from_len = src.limb_count();
+    // Coefficient-major scratch per chunk keeps writes disjoint; the limbs
+    // are assembled afterwards (a cache-friendly transpose).
+    let t = threads.clamp(1, n.max(1));
+    let chunk = n.div_ceil(t);
+    let chunks = map_indexed(t, n.div_ceil(chunk), |c| {
+        let lo = c * chunk;
+        let hi = (lo + chunk).min(n);
+        let mut flat = vec![0u64; (hi - lo) * to_len];
+        let mut residues = vec![0u64; from_len];
+        for j in lo..hi {
+            for (r, i) in residues.iter_mut().zip(0..from_len) {
+                *r = src.limb(i).coeffs()[j];
+            }
+            let out = &mut flat[(j - lo) * to_len..(j - lo + 1) * to_len];
+            conv.convert_coeff(&residues, out);
+        }
+        (lo, flat)
+    });
+    let mut out_limbs: Vec<Vec<u64>> = vec![vec![0u64; n]; to_len];
+    for (lo, flat) in &chunks {
+        for (k, col) in flat.chunks_exact(to_len).enumerate() {
+            for (limb, &v) in out_limbs.iter_mut().zip(col) {
+                limb[lo + k] = v;
+            }
+        }
+    }
+    let limbs: Vec<crate::Poly> = to
+        .iter()
+        .zip(out_limbs)
+        .map(|(&q, coeffs)| crate::Poly::from_coeffs(q, coeffs).expect("valid limb"))
+        .collect();
+    RnsPoly::from_limbs(limbs, Domain::Coeff).expect("valid poly")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wd_modmath::prime::generate_ntt_primes;
+    use wd_modmath::rns::{BasisConverter, RnsBasis};
+
+    fn primes(n: usize, count: usize) -> Vec<u64> {
+        generate_ntt_primes(26, 2 * n as u64, count).unwrap()
+    }
+
+    fn tables(primes: &[u64], n: usize) -> Vec<Arc<NttTable>> {
+        primes
+            .iter()
+            .map(|&q| Arc::new(NttTable::new(q, n).unwrap()))
+            .collect()
+    }
+
+    fn poly_from_seed(ps: &[u64], n: usize, seed: i64) -> RnsPoly {
+        let coeffs: Vec<i64> = (0..n as i64).map(|i| i * 31 + seed * 7 - 11).collect();
+        RnsPoly::from_signed(ps, &coeffs).unwrap()
+    }
+
+    #[test]
+    fn threads_env_fallback_is_sequential() {
+        // Cannot mutate the environment safely in-process; just check the
+        // parse contract on the current (unset) state.
+        if std::env::var(THREADS_ENV).is_err() {
+            assert_eq!(threads_from_env(), 1);
+        }
+        assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn map_indexed_preserves_order_at_any_thread_count() {
+        for t in [1, 2, 3, 8, 64] {
+            let out = map_indexed(t, 37, |i| i * i);
+            assert_eq!(out, (0..37).map(|i| i * i).collect::<Vec<_>>(), "t = {t}");
+        }
+        assert!(map_indexed(4, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn for_each_mut_touches_every_item_once() {
+        for t in [1, 3, 5, 16] {
+            let mut items: Vec<u64> = (0..23).collect();
+            for_each_mut(t, &mut items, |x| *x += 1000);
+            assert!(items.iter().enumerate().all(|(i, &v)| v == i as u64 + 1000));
+        }
+    }
+
+    #[test]
+    fn batch_ntt_matches_sequential_every_thread_count() {
+        let n = 64;
+        let ps = primes(n, 5);
+        let ts = tables(&ps, n);
+        let seq: Vec<RnsPoly> = (0..4).map(|s| poly_from_seed(&ps, n, s)).collect();
+        let mut expect = seq.clone();
+        for p in &mut expect {
+            p.ntt_forward(&ts);
+        }
+        for t in [1usize, 2, 3, 4, 9] {
+            let mut batch = seq.clone();
+            ntt_forward_batch(&mut batch, &ts, t);
+            assert_eq!(batch, expect, "forward, t = {t}");
+            ntt_inverse_batch(&mut batch, &ts, t);
+            assert_eq!(batch, seq, "round trip, t = {t}");
+        }
+    }
+
+    #[test]
+    fn batch_ntt_with_mixed_limb_counts() {
+        // Batch members at different levels (limb counts) — the flattened
+        // work list must match each limb to its own table.
+        let n = 32;
+        let ps = primes(n, 4);
+        let ts = tables(&ps, n);
+        let mut batch = vec![
+            poly_from_seed(&ps, n, 1),
+            poly_from_seed(&ps[..2], n, 2),
+            poly_from_seed(&ps[..3], n, 3),
+        ];
+        let mut expect = batch.clone();
+        for p in &mut expect {
+            p.ntt_forward(&ts);
+        }
+        ntt_forward_batch(&mut batch, &ts, 4);
+        assert_eq!(batch, expect);
+    }
+
+    #[test]
+    fn pointwise_batch_matches_sequential() {
+        let n = 32;
+        let ps = primes(n, 3);
+        let ts = tables(&ps, n);
+        let mut a = poly_from_seed(&ps, n, 1);
+        let mut b = poly_from_seed(&ps, n, 2);
+        a.ntt_forward(&ts);
+        b.ntt_forward(&ts);
+        let expect = a.pointwise(&b).unwrap();
+        for t in [1, 2, 4] {
+            let out = pointwise_batch(&[(&a, &b), (&b, &a)], t).unwrap();
+            assert_eq!(out[0], expect, "t = {t}");
+            assert_eq!(out[1], expect, "pointwise commutes, t = {t}");
+        }
+    }
+
+    #[test]
+    fn pointwise_batch_rejects_coeff_domain() {
+        let ps = primes(8, 2);
+        let a = RnsPoly::zero(&ps, 8).unwrap();
+        assert!(pointwise_batch(&[(&a, &a)], 2).is_err());
+    }
+
+    #[test]
+    fn parallel_base_conversion_matches_sequential() {
+        let n = 64;
+        let from = primes(n, 3);
+        let to = generate_ntt_primes(27, 2 * n as u64, 4).unwrap();
+        let conv = BasisConverter::new(
+            RnsBasis::new(from.clone()).unwrap(),
+            RnsBasis::new(to).unwrap(),
+        )
+        .unwrap();
+        let src = poly_from_seed(&from, n, 5);
+        let seq = convert_poly(&conv, &src, 1);
+        for t in [2, 3, 4, 16, 64] {
+            assert_eq!(convert_poly(&conv, &src, t), seq, "t = {t}");
+        }
+    }
+}

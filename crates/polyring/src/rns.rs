@@ -75,7 +75,10 @@ impl RnsPoly {
     /// Returns [`PolyError::RingMismatch`] on ragged degrees, or
     /// [`PolyError::BadDegree`] when empty.
     pub fn from_limbs(limbs: Vec<Poly>, domain: Domain) -> Result<Self, PolyError> {
-        let n = limbs.first().map(Poly::degree).ok_or(PolyError::BadDegree(0))?;
+        let n = limbs
+            .first()
+            .map(Poly::degree)
+            .ok_or(PolyError::BadDegree(0))?;
         if limbs.iter().any(|l| l.degree() != n) {
             return Err(PolyError::RingMismatch);
         }
@@ -115,6 +118,12 @@ impl RnsPoly {
     /// Iterate over limbs.
     pub fn limbs(&self) -> impl Iterator<Item = &Poly> {
         self.limbs.iter()
+    }
+
+    /// Iterate mutably over limbs (the flat work-item axis of the parallel
+    /// execution layer — see [`crate::par`]).
+    pub fn limbs_mut(&mut self) -> impl Iterator<Item = &mut Poly> {
+        self.limbs.iter_mut()
     }
 
     /// Residues of coefficient `j` across all limbs (the slice CRT and basis
@@ -241,42 +250,95 @@ impl RnsPoly {
         self.domain = Domain::Coeff;
     }
 
-    /// Forward NTT on every limb, with limbs transformed on parallel OS
-    /// threads — the CPU-side analogue of the PE kernel's limb dimension
-    /// (each RNS limb is independent, exactly why the GPU kernel can take
-    /// the whole ciphertext at once).
+    /// Forward NTT on every limb with an explicit thread budget — the
+    /// CPU-side analogue of the PE kernel's limb dimension (each RNS limb is
+    /// independent, exactly why the GPU kernel can take the whole ciphertext
+    /// at once). `threads = 1` is exactly [`RnsPoly::ntt_forward`]; every
+    /// thread count produces bit-identical output.
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`RnsPoly::ntt_forward`].
+    pub fn ntt_forward_with(&mut self, tables: &[Arc<NttTable>], threads: usize) {
+        assert_eq!(self.domain, Domain::Coeff, "already in NTT domain");
+        assert!(tables.len() >= self.limbs.len());
+        let mut work: Vec<(&mut Poly, &NttTable)> = self
+            .limbs
+            .iter_mut()
+            .zip(tables)
+            .map(|(limb, t)| {
+                assert_eq!(t.modulus().value(), limb.modulus().value());
+                (limb, t.as_ref())
+            })
+            .collect();
+        crate::par::for_each_mut(threads, &mut work, |(limb, t)| t.forward(limb.coeffs_mut()));
+        self.domain = Domain::Ntt;
+    }
+
+    /// Inverse NTT on every limb with an explicit thread budget (see
+    /// [`RnsPoly::ntt_forward_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Same contract as [`RnsPoly::ntt_inverse`].
+    pub fn ntt_inverse_with(&mut self, tables: &[Arc<NttTable>], threads: usize) {
+        assert_eq!(self.domain, Domain::Ntt, "already in coefficient domain");
+        assert!(tables.len() >= self.limbs.len());
+        let mut work: Vec<(&mut Poly, &NttTable)> = self
+            .limbs
+            .iter_mut()
+            .zip(tables)
+            .map(|(limb, t)| {
+                assert_eq!(t.modulus().value(), limb.modulus().value());
+                (limb, t.as_ref())
+            })
+            .collect();
+        crate::par::for_each_mut(threads, &mut work, |(limb, t)| t.inverse(limb.coeffs_mut()));
+        self.domain = Domain::Coeff;
+    }
+
+    /// Forward NTT across limbs on all available cores (kept for callers
+    /// that do not manage a thread budget; prefer
+    /// [`RnsPoly::ntt_forward_with`]).
     ///
     /// # Panics
     ///
     /// Same contract as [`RnsPoly::ntt_forward`].
     pub fn ntt_forward_parallel(&mut self, tables: &[Arc<NttTable>]) {
-        assert_eq!(self.domain, Domain::Coeff, "already in NTT domain");
-        assert!(tables.len() >= self.limbs.len());
-        std::thread::scope(|scope| {
-            for (limb, t) in self.limbs.iter_mut().zip(tables) {
-                assert_eq!(t.modulus().value(), limb.modulus().value());
-                scope.spawn(move || t.forward(limb.coeffs_mut()));
-            }
-        });
-        self.domain = Domain::Ntt;
+        self.ntt_forward_with(tables, crate::par::available_threads());
     }
 
-    /// Inverse NTT on every limb, in parallel (see
+    /// Inverse NTT across limbs on all available cores (see
     /// [`RnsPoly::ntt_forward_parallel`]).
     ///
     /// # Panics
     ///
     /// Same contract as [`RnsPoly::ntt_inverse`].
     pub fn ntt_inverse_parallel(&mut self, tables: &[Arc<NttTable>]) {
-        assert_eq!(self.domain, Domain::Ntt, "already in coefficient domain");
-        assert!(tables.len() >= self.limbs.len());
-        std::thread::scope(|scope| {
-            for (limb, t) in self.limbs.iter_mut().zip(tables) {
-                assert_eq!(t.modulus().value(), limb.modulus().value());
-                scope.spawn(move || t.inverse(limb.coeffs_mut()));
-            }
+        self.ntt_inverse_with(tables, crate::par::available_threads());
+    }
+
+    /// Pointwise product with an explicit thread budget: limbs are fanned
+    /// out over at most `threads` workers, results bit-identical to
+    /// [`RnsPoly::pointwise`] at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RnsPoly::pointwise`].
+    pub fn pointwise_with(&self, rhs: &Self, threads: usize) -> Result<Self, PolyError> {
+        if self.domain != Domain::Ntt || rhs.domain != Domain::Ntt {
+            return Err(PolyError::RingMismatch);
+        }
+        self.zip_check(rhs)?;
+        let limbs = crate::par::map_indexed(threads, self.limbs.len(), |i| {
+            self.limbs[i]
+                .pointwise(&rhs.limbs[i])
+                .expect("shape checked")
         });
-        self.domain = Domain::Coeff;
+        Ok(Self {
+            limbs,
+            domain: Domain::Ntt,
+        })
     }
 
     /// Galois automorphism X ↦ X^g applied limb-wise (coefficient domain).
@@ -286,7 +348,11 @@ impl RnsPoly {
     /// Panics when called in the NTT domain (the evaluation-domain
     /// automorphism is a slot permutation, handled by the CKKS layer).
     pub fn automorphism(&self, g: usize) -> Self {
-        assert_eq!(self.domain, Domain::Coeff, "automorphism acts on coefficients");
+        assert_eq!(
+            self.domain,
+            Domain::Coeff,
+            "automorphism acts on coefficients"
+        );
         Self {
             limbs: self.limbs.iter().map(|l| l.automorphism(g)).collect(),
             domain: Domain::Coeff,
@@ -363,7 +429,11 @@ mod tests {
         let ps = primes(8, 3);
         let p = RnsPoly::from_signed(&ps, &[-3, 0, 5, 0, 0, 0, 0, 1]).unwrap();
         for (i, &q) in ps.iter().enumerate() {
-            assert_eq!(p.limb(i).centered(), vec![-3, 0, 5, 0, 0, 0, 0, 1], "q = {q}");
+            assert_eq!(
+                p.limb(i).centered(),
+                vec![-3, 0, 5, 0, 0, 0, 0, 1],
+                "q = {q}"
+            );
         }
     }
 

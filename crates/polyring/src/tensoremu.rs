@@ -73,7 +73,9 @@ impl TensorMatrix {
                     let mut acc: i32 = 0;
                     for j in 0..sz {
                         let prod = i32::from(wplane[row + j]) * i32::from(xplane[j]);
-                        acc = acc.checked_add(prod).expect("i32 WMMA accumulator overflow");
+                        acc = acc
+                            .checked_add(prod)
+                            .expect("i32 WMMA accumulator overflow");
                     }
                     buckets[m + n] += acc as u64;
                 }
@@ -159,7 +161,9 @@ mod tests {
         // Simple LCG so tests are deterministic without rand.
         let mut s = seed;
         let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (s >> 11) % Q
         };
         let w: Vec<u64> = (0..size * size).map(|_| next()).collect();

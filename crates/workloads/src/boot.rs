@@ -61,11 +61,7 @@ impl Bootstrapper {
         }
         let f = SlotMatrix::new(ns, entries);
         let f_inv = f.inverse();
-        let sine = chebyshev_coeffs(
-            |y| (2.0 * std::f64::consts::PI * y).sin(),
-            k_range,
-            degree,
-        );
+        let sine = chebyshev_coeffs(|y| (2.0 * std::f64::consts::PI * y).sin(), k_range, degree);
         Self {
             f,
             f_inv,
@@ -372,11 +368,7 @@ mod tests {
         );
         let dec = ctx.decrypt_values(&fresh, &kp.secret).unwrap();
         for (j, &v) in vals.iter().enumerate() {
-            assert!(
-                (dec[j] - v).abs() < 8e-3,
-                "slot {j}: {} vs {v}",
-                dec[j]
-            );
+            assert!((dec[j] - v).abs() < 8e-3, "slot {j}: {} vs {v}", dec[j]);
         }
     }
 }

@@ -104,7 +104,11 @@ impl HelrIteration {
         let z: Vec<f64> = (0..dim)
             .map(|i| (0..dim).map(|j| self.x.get(i, j).re * w[j]).sum())
             .collect();
-        let e: Vec<f64> = z.iter().zip(&self.y).map(|(&z, &y)| sigmoid3_plain(z) - y).collect();
+        let e: Vec<f64> = z
+            .iter()
+            .zip(&self.y)
+            .map(|(&z, &y)| sigmoid3_plain(z) - y)
+            .collect();
         (0..dim)
             .map(|j| {
                 let g: f64 = (0..dim).map(|i| self.x.get(i, j).re * e[i]).sum();
@@ -165,8 +169,8 @@ mod tests {
 
     #[test]
     fn sigmoid_poly_tracks_sigmoid() {
-        for x in [-4.0, -1.0, 0.0, 0.5, 3.0] {
-            let exact = 1.0 / (1.0 + (-x as f64).exp());
+        for x in [-4.0f64, -1.0, 0.0, 0.5, 3.0] {
+            let exact = 1.0 / (1.0 + (-x).exp());
             assert!(
                 (sigmoid3_plain(x) - exact).abs() < 0.09,
                 "σ({x}) ≈ {} vs {exact}",

@@ -52,7 +52,9 @@ impl SlotMatrix {
 
     /// The d-th generalized diagonal: `diag_d[i] = M[i][(i + d) % dim]`.
     pub fn diagonal(&self, d: usize) -> Vec<C64> {
-        (0..self.dim).map(|i| self.get(i, (i + d) % self.dim)).collect()
+        (0..self.dim)
+            .map(|i| self.get(i, (i + d) % self.dim))
+            .collect()
     }
 
     /// Plaintext reference product `M · v` (test oracle and encoder tool).
@@ -64,8 +66,8 @@ impl SlotMatrix {
         (0..self.dim)
             .map(|i| {
                 let mut acc = C64::default();
-                for j in 0..self.dim {
-                    acc = acc + self.get(i, j) * v[j];
+                for (j, &vj) in v.iter().enumerate().take(self.dim) {
+                    acc = acc + self.get(i, j) * vj;
                 }
                 acc
             })
@@ -106,14 +108,15 @@ impl SlotMatrix {
             assert!(a[pivot][col].abs() > 1e-12, "singular matrix");
             a.swap(col, pivot);
             let inv = complex_inv(a[col][col]);
-            for j in 0..2 * n {
-                a[col][j] = a[col][j] * inv;
+            for entry in a[col].iter_mut().take(2 * n) {
+                *entry = *entry * inv;
             }
             for row in 0..n {
                 if row != col {
                     let f = a[row][col];
-                    for j in 0..2 * n {
-                        a[row][j] = a[row][j] - f * a[col][j];
+                    let pivot_row = a[col].clone();
+                    for (entry, &p) in a[row].iter_mut().zip(&pivot_row).take(2 * n) {
+                        *entry = *entry - f * p;
                     }
                 }
             }
@@ -416,11 +419,8 @@ pub fn eval_chebyshev(
         let corr = if c_idx == 0 {
             // T_{2m} = 2P − 1: subtract the constant 1.
             let slots = ctx.params().slots();
-            let one = ctx.encode_complex_at(
-                &vec![C64::new(1.0, 0.0); slots],
-                two_p.level,
-                two_p.scale,
-            )?;
+            let one =
+                ctx.encode_complex_at(&vec![C64::new(1.0, 0.0); slots], two_p.level, two_p.scale)?;
             ops::hsub(&two_p, &ops::add_plain(&ops::hsub(&two_p, &two_p)?, &one)?)?
         } else {
             // T_{2m+1} = 2P − T_1.
@@ -461,17 +461,14 @@ pub fn eval_chebyshev(
     let mut acc = match acc {
         Some(a) => a,
         None => {
-            let base = ops::level_drop(ct, out_level.saturating_sub(1).max(0))?;
+            let base = ops::level_drop(ct, out_level.saturating_sub(1))?;
             ops::hsub(&base, &base)?
         }
     };
     // Constant term.
     if coeffs[0].abs() > 1e-12 {
-        let pt = ctx.encode_complex_at(
-            &vec![C64::new(coeffs[0], 0.0); slots],
-            acc.level,
-            acc.scale,
-        )?;
+        let pt =
+            ctx.encode_complex_at(&vec![C64::new(coeffs[0], 0.0); slots], acc.level, acc.scale)?;
         acc = ops::add_plain(&acc, &pt)?;
     }
     Ok(acc)
@@ -621,7 +618,9 @@ mod tests {
         let keys = ctx.gen_rotation_keys(&kp.secret, &all_rots, false);
         let naive = linear_transform(&ctx, &ct, &m, &keys).unwrap();
         let bsgs = linear_transform_bsgs(&ctx, &ct, &m, &keys).unwrap();
-        let a = ctx.decode_complex(&ctx.decrypt(&naive, &kp.secret)).unwrap();
+        let a = ctx
+            .decode_complex(&ctx.decrypt(&naive, &kp.secret))
+            .unwrap();
         let b = ctx.decode_complex(&ctx.decrypt(&bsgs, &kp.secret)).unwrap();
         let expect = m.apply_plain(&v);
         for i in 0..dim {

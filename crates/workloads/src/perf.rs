@@ -130,11 +130,7 @@ impl WorkloadModel {
     /// Prices one execution (µs) with a per-op latency oracle.
     /// `boot_time_us` prices one bootstrap (pass the result of pricing
     /// [`WorkloadModel::bootstrap`] to avoid recursion).
-    pub fn time_us(
-        &self,
-        latency_us: &dyn Fn(HomOp, OpShape) -> f64,
-        boot_time_us: f64,
-    ) -> f64 {
+    pub fn time_us(&self, latency_us: &dyn Fn(HomOp, OpShape) -> f64, boot_time_us: f64) -> f64 {
         let c = &self.counts;
         let mut shape = self.shape;
         shape.batch = self.batch;
@@ -197,7 +193,10 @@ mod tests {
         let batched = WorkloadModel::helr_iteration(1 << 16, 37, 13, 16).time_us(&lat, 0.0);
         // time_us prices one batched run of 16 iterations; amortized per
         // iteration it must be cheaper than 16 singles.
-        assert!(batched < 16.0 * single, "batched {batched} vs 16x single {single}");
+        assert!(
+            batched < 16.0 * single,
+            "batched {batched} vs 16x single {single}"
+        );
     }
 
     #[test]
@@ -211,6 +210,9 @@ mod tests {
         let model = WorkloadModel::transcipher(job, 46, 10);
         let minutes = model.time_us(&f, boot) / 60e6;
         // Paper: 3.5 min on the A100. Same order of magnitude expected.
-        assert!((0.3..35.0).contains(&minutes), "transcipher = {minutes} min");
+        assert!(
+            (0.3..35.0).contains(&minutes),
+            "transcipher = {minutes} min"
+        );
     }
 }

@@ -108,11 +108,41 @@ pub struct LayerShape {
 /// parallel convolution packing of \[35\] (per single-image inference).
 pub fn resnet20_shape() -> Vec<LayerShape> {
     vec![
-        LayerShape { name: "stem", hmults: 16, hrotates: 72, pmults: 144, bootstraps: 0 },
-        LayerShape { name: "stage1", hmults: 108, hrotates: 648, pmults: 972, bootstraps: 6 },
-        LayerShape { name: "stage2", hmults: 108, hrotates: 648, pmults: 972, bootstraps: 6 },
-        LayerShape { name: "stage3", hmults: 108, hrotates: 648, pmults: 972, bootstraps: 6 },
-        LayerShape { name: "pool+fc", hmults: 12, hrotates: 74, pmults: 80, bootstraps: 1 },
+        LayerShape {
+            name: "stem",
+            hmults: 16,
+            hrotates: 72,
+            pmults: 144,
+            bootstraps: 0,
+        },
+        LayerShape {
+            name: "stage1",
+            hmults: 108,
+            hrotates: 648,
+            pmults: 972,
+            bootstraps: 6,
+        },
+        LayerShape {
+            name: "stage2",
+            hmults: 108,
+            hrotates: 648,
+            pmults: 972,
+            bootstraps: 6,
+        },
+        LayerShape {
+            name: "stage3",
+            hmults: 108,
+            hrotates: 648,
+            pmults: 972,
+            bootstraps: 6,
+        },
+        LayerShape {
+            name: "pool+fc",
+            hmults: 12,
+            hrotates: 74,
+            pmults: 80,
+            bootstraps: 1,
+        },
     ]
 }
 
@@ -165,9 +195,18 @@ mod tests {
         let rots: Vec<isize> = (1..dim as isize).collect();
         let keys = ctx.gen_rotation_keys(&kp.secret, &rots, false);
         let layers = [
-            FheConvLayer { kernel: vec![0.2, 0.6, 0.2], bias: 0.05 },
-            FheConvLayer { kernel: vec![-0.1, 0.8, -0.1], bias: 0.0 },
-            FheConvLayer { kernel: vec![0.3, 0.4, 0.3], bias: -0.02 },
+            FheConvLayer {
+                kernel: vec![0.2, 0.6, 0.2],
+                bias: 0.05,
+            },
+            FheConvLayer {
+                kernel: vec![-0.1, 0.8, -0.1],
+                bias: 0.0,
+            },
+            FheConvLayer {
+                kernel: vec![0.3, 0.4, 0.3],
+                bias: -0.02,
+            },
         ];
         let acts: Vec<f64> = (0..dim).map(|i| 0.3 * ((i % 5) as f64 / 5.0)).collect();
         let mut ct = ctx.encrypt_values(&acts, &kp.public).unwrap();

@@ -110,8 +110,16 @@ mod tests {
 
     #[test]
     fn op_counts_scale_with_blocks() {
-        let small = TranscipherJob { blocks: 1 << 10, slots: 1 << 15 }.ops();
-        let big = TranscipherJob { blocks: 1 << 15, slots: 1 << 15 }.ops();
+        let small = TranscipherJob {
+            blocks: 1 << 10,
+            slots: 1 << 15,
+        }
+        .ops();
+        let big = TranscipherJob {
+            blocks: 1 << 15,
+            slots: 1 << 15,
+        }
+        .ops();
         assert!(big.hmults > 15 * small.hmults);
     }
 }

@@ -9,7 +9,10 @@ use warpdrive::ckks::bgv::BgvContext;
 use warpdrive::ckks::{CkksContext, ParamSet};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let params = ParamSet::set_a().with_degree(1 << 8).with_level(4).build()?;
+    let params = ParamSet::set_a()
+        .with_degree(1 << 8)
+        .with_level(4)
+        .build()?;
     let inner = CkksContext::new(params)?;
     let ctx = BgvContext::new(inner, 16)?;
     let t = ctx.plaintext_modulus();

@@ -38,10 +38,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Simulate a deep computation: burn down to one level.
     let exhausted = level_drop(&fresh, 1)?;
-    println!("after computation: level {} (cannot multiply further)", exhausted.level);
+    println!(
+        "after computation: level {} (cannot multiply further)",
+        exhausted.level
+    );
 
     let refreshed = boot.bootstrap(&ctx, &exhausted, &kp, &keys)?;
-    println!("after bootstrap: level {} (multiplications available again)", refreshed.level);
+    println!(
+        "after bootstrap: level {} (multiplications available again)",
+        refreshed.level
+    );
 
     let out = ctx.decrypt_values(&refreshed, &kp.secret)?;
     let max_err = out

@@ -39,7 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for step in 0..iters {
         w_ct = iteration.step(&ctx, &w_ct, &kp, &keys)?;
         w_plain = iteration.step_plain(&w_plain);
-        println!("iteration {} done (level {} remaining)", step + 1, w_ct.level);
+        println!(
+            "iteration {} done (level {} remaining)",
+            step + 1,
+            w_ct.level
+        );
     }
 
     let w_dec = ctx.decrypt_values(&w_ct, &kp.secret)?;

@@ -43,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         engine.forward(&mut data);
         let dt = t0.elapsed();
         assert_eq!(data, expected, "{v} diverged from the reference");
-        println!("  {:<10} bit-exact ✓  ({:>8.2?} per transform)", v.name(), dt);
+        println!(
+            "  {:<10} bit-exact ✓  ({:>8.2?} per transform)",
+            v.name(),
+            dt
+        );
     }
 
     // Modeled A100 throughput (Fig. 6).

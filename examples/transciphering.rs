@@ -11,9 +11,9 @@
 
 use warpdrive::baselines::{System, SystemKind};
 use warpdrive::core::{HomOp, OpShape};
+use warpdrive::workloads::aes;
 use warpdrive::workloads::perf::WorkloadModel;
 use warpdrive::workloads::transcipher::{recover_payload, TranscipherJob};
-use warpdrive::workloads::aes;
 
 fn main() {
     // --- client side -----------------------------------------------------

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes `Serialize`/`Deserialize` as marker traits together with no-op
+//! derive macros (see the sibling `serde_derive` shim). The workspace tags
+//! types with the derives for future interoperability but performs all real
+//! serialization through the hand-rolled wire format in `wd-ckks::wire`, so
+//! empty impls are sufficient — and nothing in-tree bounds on these traits.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait SerializeMarker {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait DeserializeMarker {}

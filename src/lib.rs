@@ -38,11 +38,11 @@
 /// # }
 /// ```
 pub mod prelude {
-    pub use warpdrive_core::{FrameworkConfig, HomOp, OpShape, PerfEngine, PlannerKind};
-    pub use wd_ckks::encoding::C64;
-    pub use wd_ckks::ops::{
-        hadd, hmult, hrotate, hrotate_many, hsub, pmult, rescale, rescale_by,
+    pub use warpdrive_core::{
+        BatchExecutor, BatchOp, EvalKeys, FrameworkConfig, HomOp, OpShape, PerfEngine, PlannerKind,
     };
+    pub use wd_ckks::encoding::C64;
+    pub use wd_ckks::ops::{hadd, hmult, hrotate, hrotate_many, hsub, pmult, rescale, rescale_by};
     pub use wd_ckks::{Ciphertext, CkksContext, KeyPair, ParamSet, Plaintext};
     pub use wd_gpu_sim::GpuSpec;
     pub use wd_polyring::{NttEngine, NttVariant};

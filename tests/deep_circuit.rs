@@ -3,9 +3,7 @@
 //! a real CKKS user runs between bootstraps.
 
 use warpdrive::ckks::noise;
-use warpdrive::ckks::ops::{
-    align_levels, hadd, hmult, hrotate, mult_const_int, pmult, rescale,
-};
+use warpdrive::ckks::ops::{align_levels, hadd, hmult, hrotate, mult_const_int, pmult, rescale};
 use warpdrive::ckks::{CkksContext, ParamSet};
 
 #[test]
@@ -21,7 +19,9 @@ fn eight_level_mixed_circuit() {
     let keys = ctx.gen_rotation_keys(&kp.secret, &[1, 2], false);
     let slots = ctx.params().slots();
 
-    let xs: Vec<f64> = (0..slots).map(|i| 0.8 * ((i % 11) as f64 / 11.0 - 0.5)).collect();
+    let xs: Vec<f64> = (0..slots)
+        .map(|i| 0.8 * ((i % 11) as f64 / 11.0 - 0.5))
+        .collect();
     let mut plain = xs.clone();
     let mut ct = ctx.encrypt_values(&xs, &kp.public).unwrap();
 
@@ -91,7 +91,9 @@ fn wide_ring_roundtrip_n1024() {
     let ctx = CkksContext::with_seed(params, 123).unwrap();
     let kp = ctx.keygen();
     let slots = ctx.params().slots();
-    let vals: Vec<f64> = (0..slots).map(|i| ((i * 31 % 97) as f64 - 48.0) * 0.01).collect();
+    let vals: Vec<f64> = (0..slots)
+        .map(|i| ((i * 31 % 97) as f64 - 48.0) * 0.01)
+        .collect();
     let ct = ctx.encrypt_values(&vals, &kp.public).unwrap();
     let prod = rescale(&ctx, &hmult(&ctx, &ct, &ct, &kp.relin).unwrap()).unwrap();
     let dec = ctx.decrypt_values(&prod, &kp.secret).unwrap();

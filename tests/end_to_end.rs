@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: the full functional pipeline from
 //! encoder through NTT variants, keyswitching and workloads.
 
-use warpdrive::ckks::ops::{
-    align_levels, hadd, hmult, hrotate, hsub, level_drop, pmult, rescale,
-};
+use warpdrive::ckks::ops::{align_levels, hadd, hmult, hrotate, hsub, level_drop, pmult, rescale};
 use warpdrive::ckks::{CkksContext, ParamSet};
 use warpdrive::modmath::prime::ntt_prime_above;
 use warpdrive::polyring::{NttEngine, NttVariant};
@@ -122,8 +120,8 @@ fn subtraction_of_equal_ciphertexts_is_noise_only() {
 fn workload_stack_smoke() {
     // The workload layer (linear transform + poly eval) on top of a context
     // built from the Boot preset.
-    use warpdrive::workloads::hlt::{eval_poly, linear_transform, SlotMatrix};
     use warpdrive::ckks::encoding::C64;
+    use warpdrive::workloads::hlt::{eval_poly, linear_transform, SlotMatrix};
 
     let params = ParamSet::boot()
         .with_degree(1 << 5)
@@ -151,6 +149,70 @@ fn workload_stack_smoke() {
     for i in 0..dim {
         let x = vals[(i + 1) % dim];
         let expect = x * x - x;
-        assert!((got[i] - expect).abs() < 0.05, "slot {i}: {} vs {expect}", got[i]);
+        assert!(
+            (got[i] - expect).abs() < 0.05,
+            "slot {i}: {} vs {expect}",
+            got[i]
+        );
+    }
+}
+
+#[test]
+fn parallel_path_is_bit_identical_and_decrypts_correctly() {
+    // The same circuit as `medium_ring_full_pipeline`, but run through the
+    // parallel execution layer twice over: limb-level parallelism inside
+    // each op (ctx.set_threads) and op-level fan-out via BatchExecutor.
+    // Every thread count must produce the *same ciphertext bits* as the
+    // sequential fallback.
+    use warpdrive::core::{BatchExecutor, BatchOp, EvalKeys};
+
+    let params = ParamSet::set_b()
+        .with_degree(1 << 8)
+        .with_level(6)
+        .build()
+        .unwrap();
+    let ctx = CkksContext::with_seed(params, 31337).unwrap();
+    let kp = ctx.keygen();
+    let keys = ctx.gen_rotation_keys(&kp.secret, &[1, 3], false);
+
+    let slots = ctx.params().slots();
+    let xs: Vec<f64> = (0..slots).map(|i| ((i % 11) as f64 - 5.0) * 0.25).collect();
+    let ys: Vec<f64> = (0..slots).map(|i| ((i % 5) as f64) * 0.3 - 0.4).collect();
+    let ct_x = ctx.encrypt_values(&xs, &kp.public).unwrap();
+    let ct_y = ctx.encrypt_values(&ys, &kp.public).unwrap();
+
+    let run = |limb_threads: usize, op_threads: usize| {
+        ctx.set_threads(limb_threads);
+        let batch = [
+            BatchOp::HMult(&ct_x, &ct_y),
+            BatchOp::HAdd(&ct_x, &ct_y),
+            BatchOp::HRotate(&ct_x, 1),
+            BatchOp::HRotate(&ct_y, 3),
+            BatchOp::HSub(&ct_y, &ct_x),
+        ];
+        let eval = EvalKeys::with_relin(&kp.relin).and_rotations(&keys);
+        let out = BatchExecutor::new(op_threads).execute(&ctx, eval, &batch);
+        ctx.set_threads(1);
+        out.into_iter().map(Result::unwrap).collect::<Vec<_>>()
+    };
+
+    let baseline = run(1, 1);
+    for (limb, op) in [(2, 1), (4, 1), (1, 4), (3, 2), (4, 4)] {
+        let got = run(limb, op);
+        assert_eq!(
+            baseline, got,
+            "ciphertexts diverged at limb_threads={limb} op_threads={op}"
+        );
+    }
+
+    // And the batch results decrypt to the right values.
+    let prod = ctx.decrypt_values(&baseline[0], &kp.secret).unwrap();
+    let rot1 = ctx.decrypt_values(&baseline[2], &kp.secret).unwrap();
+    for i in 0..slots {
+        assert!((prod[i] - xs[i] * ys[i]).abs() < 0.05, "slot {i} product");
+        assert!(
+            (rot1[i] - xs[(i + 1) % slots]).abs() < 0.05,
+            "slot {i} rotation"
+        );
     }
 }

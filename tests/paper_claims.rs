@@ -20,7 +20,11 @@ fn claim_ntt_speedup_order_of_magnitude() {
     for (n, l) in [(1usize << 12, 2usize), (1 << 14, 14), (1 << 16, 34)] {
         let batch = ((1u64 << 26) / n as u64).max(64);
         let ratio = wd.ntt_kops(n, batch) / tf.ntt_kops(n, batch);
-        assert!((6.0..25.0).contains(&ratio), "N=2^{}: {ratio:.1}x", n.trailing_zeros());
+        assert!(
+            (6.0..25.0).contains(&ratio),
+            "N=2^{}: {ratio:.1}x",
+            n.trailing_zeros()
+        );
         let _ = l;
     }
 }
@@ -32,7 +36,11 @@ fn claim_instruction_and_cycle_reduction() {
     let sim = Simulator::new(spec.clone());
     let run = |v| {
         let ks = ntt_kernels(
-            NttJob { n: 1 << 16, transforms: 1024, variant: v },
+            NttJob {
+                n: 1 << 16,
+                transforms: 1024,
+                variant: v,
+            },
             &cfg,
             &spec,
         );
@@ -42,8 +50,14 @@ fn claim_instruction_and_cycle_reduction() {
     let wd = run(NttVariant::WdTensor);
     let instr_cut = 1.0 - wd.total_issue_cycles() / tf.total_issue_cycles();
     let cycle_cut = 1.0 - wd.total_cycles() / tf.total_cycles();
-    assert!((0.55..0.95).contains(&instr_cut), "instr cut {instr_cut:.2} (paper 0.73)");
-    assert!((0.70..0.97).contains(&cycle_cut), "cycle cut {cycle_cut:.2} (paper 0.86)");
+    assert!(
+        (0.55..0.95).contains(&instr_cut),
+        "instr cut {instr_cut:.2} (paper 0.73)"
+    );
+    assert!(
+        (0.70..0.97).contains(&cycle_cut),
+        "cycle cut {cycle_cut:.2} (paper 0.86)"
+    );
 }
 
 #[test]
@@ -54,7 +68,11 @@ fn claim_memory_stalls_dominate_tensorfhe_not_warpdrive() {
     let sim = Simulator::new(spec.clone());
     let frac = |v| {
         let ks = ntt_kernels(
-            NttJob { n: 1 << 16, transforms: 1024, variant: v },
+            NttJob {
+                n: 1 << 16,
+                transforms: 1024,
+                variant: v,
+            },
             &cfg,
             &spec,
         );
@@ -64,7 +82,10 @@ fn claim_memory_stalls_dominate_tensorfhe_not_warpdrive() {
     let tf = frac(NttVariant::TensorFhe);
     let wd = frac(NttVariant::WdTensor);
     assert!(tf > 0.5, "TensorFHE memory-stall share {tf:.2}");
-    assert!(wd < tf * 0.8, "WarpDrive {wd:.2} must be well below TensorFHE {tf:.2}");
+    assert!(
+        wd < tf * 0.8,
+        "WarpDrive {wd:.2} must be well below TensorFHE {tf:.2}"
+    );
 }
 
 #[test]
@@ -77,10 +98,20 @@ fn claim_pe_kernels_cut_keyswitch_launches_by_80_to_90_percent() {
         (1 << 16, 34, 0.88, 0.95),
     ] {
         let pe = eng
-            .op_report(HomOp::KeySwitch, OpShape::new(n, l, 1), PlannerKind::PeKernel, NttVariant::WdFuse)
+            .op_report(
+                HomOp::KeySwitch,
+                OpShape::new(n, l, 1),
+                PlannerKind::PeKernel,
+                NttVariant::WdFuse,
+            )
             .kernel_count();
         let kf = eng
-            .op_report(HomOp::KeySwitch, OpShape::new(n, l, 1), PlannerKind::KfKernel, NttVariant::WdFuse)
+            .op_report(
+                HomOp::KeySwitch,
+                OpShape::new(n, l, 1),
+                PlannerKind::KfKernel,
+                NttVariant::WdFuse,
+            )
             .kernel_count();
         assert_eq!(pe, 11, "PE keyswitch is 11 kernels");
         let cut = 1.0 - pe as f64 / kf as f64;
@@ -98,9 +129,16 @@ fn claim_fused_variant_wins_fig6() {
         let bo = eng.ntt_throughput_kops(n, batch, NttVariant::WdBo);
         let cuda = eng.ntt_throughput_kops(n, batch, NttVariant::WdCuda);
         assert!(fuse > tensor, "N=2^{}", n.trailing_zeros());
-        assert!(tensor > bo && bo > cuda, "single-unit ordering at N=2^{}", n.trailing_zeros());
+        assert!(
+            tensor > bo && bo > cuda,
+            "single-unit ordering at N=2^{}",
+            n.trailing_zeros()
+        );
         let gain = fuse / tensor - 1.0;
-        assert!((0.0..0.12).contains(&gain), "fusion gain {gain:.3} out of band");
+        assert!(
+            (0.0..0.12).contains(&gain),
+            "fusion gain {gain:.3} out of band"
+        );
     }
 }
 
@@ -113,7 +151,11 @@ fn claim_warpdrive_beats_100x_on_every_table8_op() {
             let shape = OpShape::new(n, l, 1);
             let w = wd.op_latency_us(op, shape);
             let o = opt.op_latency_us(op, shape);
-            assert!(w < o, "{} at l={l}: WarpDrive {w:.0} !< 100x_opt {o:.0}", op.name());
+            assert!(
+                w < o,
+                "{} at l={l}: WarpDrive {w:.0} !< 100x_opt {o:.0}",
+                op.name()
+            );
         }
     }
 }
@@ -128,7 +170,12 @@ fn claim_single_ciphertext_competitiveness() {
     let mut s128 = s1;
     s128.batch = 128;
     let lat1 = eng.op_latency_us(HomOp::HMult, s1, PlannerKind::PeKernel, NttVariant::WdFuse);
-    let lat128 = eng.op_latency_us(HomOp::HMult, s128, PlannerKind::PeKernel, NttVariant::WdFuse);
+    let lat128 = eng.op_latency_us(
+        HomOp::HMult,
+        s128,
+        PlannerKind::PeKernel,
+        NttVariant::WdFuse,
+    );
     assert!(lat1 / lat128 < 4.0, "batch-1 penalty {:.1}x", lat1 / lat128);
 }
 
@@ -140,5 +187,8 @@ fn claim_gme_base_slower_but_modified_hardware_er_than_warpdrive() {
     let gme = System::new(SystemKind::GmeBase);
     let shape = OpShape::new(1 << 16, 17, 1);
     let ratio = gme.op_latency_us(HomOp::HMult, shape) / wd.op_latency_us(HomOp::HMult, shape);
-    assert!((1.3..12.0).contains(&ratio), "GME-base/WarpDrive = {ratio:.1}");
+    assert!(
+        (1.3..12.0).contains(&ratio),
+        "GME-base/WarpDrive = {ratio:.1}"
+    );
 }
