@@ -72,18 +72,18 @@ impl BgvContext {
     ///
     /// # Errors
     ///
-    /// Returns [`CkksError::BadParams`] if K ≠ 1 or no suitable t exists.
+    /// Returns [`CkksError::InvalidParams`] if K ≠ 1 or no suitable t exists.
     pub fn new(inner: CkksContext, t_bits: u32) -> Result<Self, CkksError> {
         if inner.params().special_count() != 1 {
-            return Err(CkksError::BadParams(
+            return Err(CkksError::InvalidParams(
                 "BGV adaptation supports K = 1 (exact ModDown correction)".into(),
             ));
         }
         let n = inner.params().degree();
         let t = ntt_prime_above(1 << t_bits, 2 * n as u64)
-            .map_err(|e| CkksError::BadParams(e.to_string()))?;
+            .map_err(|e| CkksError::InvalidParams(e.to_string()))?;
         if inner.params().q_chain().contains(&t) || inner.params().p_chain().contains(&t) {
-            return Err(CkksError::BadParams("t collides with the chain".into()));
+            return Err(CkksError::InvalidParams("t collides with the chain".into()));
         }
         let t_table = Arc::new(NttTable::new(t, n)?);
         Ok(Self { inner, t, t_table })
@@ -110,13 +110,13 @@ impl BgvContext {
     ///
     /// # Errors
     ///
-    /// Returns [`CkksError::TooManySlots`] for oversized inputs.
+    /// Returns [`CkksError::DimensionMismatch`] for oversized inputs.
     pub fn encode(&self, slots: &[u64]) -> Result<Vec<u64>, CkksError> {
         let n = self.slots();
         if slots.len() > n {
-            return Err(CkksError::TooManySlots {
+            return Err(CkksError::DimensionMismatch {
                 got: slots.len(),
-                capacity: n,
+                want: n,
             });
         }
         let mt = Modulus::new(self.t);
@@ -287,10 +287,10 @@ impl BgvContext {
     ///
     /// # Errors
     ///
-    /// Returns [`CkksError::Mismatch`] on level mismatch.
+    /// Returns [`CkksError::LevelMismatch`] on level mismatch.
     pub fn hadd(&self, a: &BgvCiphertext, b: &BgvCiphertext) -> Result<BgvCiphertext, CkksError> {
         if a.level != b.level {
-            return Err(CkksError::Mismatch("BGV hadd levels".into()));
+            return Err(CkksError::LevelMismatch("BGV hadd levels".into()));
         }
         Ok(BgvCiphertext {
             c0: a.c0.add(&b.c0)?,
@@ -312,7 +312,7 @@ impl BgvContext {
         kp: &BgvKeyPair,
     ) -> Result<BgvCiphertext, CkksError> {
         if a.level != b.level {
-            return Err(CkksError::Mismatch("BGV hmult levels".into()));
+            return Err(CkksError::LevelMismatch("BGV hmult levels".into()));
         }
         let d0 = a.c0.pointwise(&b.c0)?;
         let d1 = a.c0.pointwise(&b.c1)?.add(&a.c1.pointwise(&b.c0)?)?;
@@ -337,7 +337,7 @@ impl BgvContext {
         let alpha = ctx.params().alpha();
         let dnum = ctx.params().dnum_at(level);
         if ksk.dnum() < dnum {
-            return Err(CkksError::Mismatch("BGV key too short".into()));
+            return Err(CkksError::LevelMismatch("BGV key too short".into()));
         }
         let q_now = ctx.params().q_at(level).to_vec();
         let full = ctx.params().full_basis_at(level);
@@ -431,66 +431,68 @@ mod tests {
     use super::*;
     use crate::ParamSet;
 
-    fn setup() -> (BgvContext, BgvKeyPair) {
+    fn setup() -> Result<(BgvContext, BgvKeyPair), CkksError> {
         let params = ParamSet::set_a()
             .with_degree(1 << 6)
             .with_level(4)
-            .build()
-            .unwrap();
-        let inner = CkksContext::with_seed(params, 808).unwrap();
-        let ctx = BgvContext::new(inner, 16).unwrap();
+            .build()?;
+        let inner = CkksContext::with_seed(params, 808)?;
+        let ctx = BgvContext::new(inner, 16)?;
         let kp = ctx.keygen();
-        (ctx, kp)
+        Ok((ctx, kp))
     }
 
     #[test]
-    fn encode_decode_is_exact() {
-        let (ctx, _) = setup();
+    fn encode_decode_is_exact() -> Result<(), CkksError> {
+        let (ctx, _) = setup()?;
         let t = ctx.plaintext_modulus();
         let slots: Vec<u64> = (0..ctx.slots() as u64).map(|i| i * 37 % t).collect();
-        let coeffs = ctx.encode(&slots).unwrap();
+        let coeffs = ctx.encode(&slots)?;
         assert_eq!(ctx.decode(&coeffs), slots);
+        Ok(())
     }
 
     #[test]
-    fn encrypt_decrypt_is_exact() {
-        let (ctx, kp) = setup();
+    fn encrypt_decrypt_is_exact() -> Result<(), CkksError> {
+        let (ctx, kp) = setup()?;
         let t = ctx.plaintext_modulus();
         let slots: Vec<u64> = (0..ctx.slots() as u64).map(|i| (i * i + 5) % t).collect();
-        let pt = ctx.encode(&slots).unwrap();
-        let ct = ctx.encrypt(&pt, &kp).unwrap();
-        let dec = ctx.decrypt(&ct, &kp.secret).unwrap();
+        let pt = ctx.encode(&slots)?;
+        let ct = ctx.encrypt(&pt, &kp)?;
+        let dec = ctx.decrypt(&ct, &kp.secret)?;
         assert_eq!(ctx.decode(&dec), slots, "BGV must be exact");
+        Ok(())
     }
 
     #[test]
-    fn homomorphic_addition_is_exact() {
-        let (ctx, kp) = setup();
+    fn homomorphic_addition_is_exact() -> Result<(), CkksError> {
+        let (ctx, kp) = setup()?;
         let t = ctx.plaintext_modulus();
         let a: Vec<u64> = (0..ctx.slots() as u64).map(|i| i % t).collect();
         let b: Vec<u64> = (0..ctx.slots() as u64)
             .map(|i| (t - 1 - i % t) % t)
             .collect();
-        let ca = ctx.encrypt(&ctx.encode(&a).unwrap(), &kp).unwrap();
-        let cb = ctx.encrypt(&ctx.encode(&b).unwrap(), &kp).unwrap();
-        let sum = ctx.hadd(&ca, &cb).unwrap();
-        let dec = ctx.decode(&ctx.decrypt(&sum, &kp.secret).unwrap());
+        let ca = ctx.encrypt(&ctx.encode(&a)?, &kp)?;
+        let cb = ctx.encrypt(&ctx.encode(&b)?, &kp)?;
+        let sum = ctx.hadd(&ca, &cb)?;
+        let dec = ctx.decode(&ctx.decrypt(&sum, &kp.secret)?);
         let mt = Modulus::new(t);
         for i in 0..ctx.slots() {
             assert_eq!(dec[i], mt.add(mt.reduce(a[i]), mt.reduce(b[i])));
         }
+        Ok(())
     }
 
     #[test]
-    fn homomorphic_multiplication_is_exact() {
-        let (ctx, kp) = setup();
+    fn homomorphic_multiplication_is_exact() -> Result<(), CkksError> {
+        let (ctx, kp) = setup()?;
         let t = ctx.plaintext_modulus();
         let a: Vec<u64> = (0..ctx.slots() as u64).map(|i| (3 * i + 1) % t).collect();
         let b: Vec<u64> = (0..ctx.slots() as u64).map(|i| (7 * i + 2) % t).collect();
-        let ca = ctx.encrypt(&ctx.encode(&a).unwrap(), &kp).unwrap();
-        let cb = ctx.encrypt(&ctx.encode(&b).unwrap(), &kp).unwrap();
-        let prod = ctx.hmult(&ca, &cb, &kp).unwrap();
-        let dec = ctx.decode(&ctx.decrypt(&prod, &kp.secret).unwrap());
+        let ca = ctx.encrypt(&ctx.encode(&a)?, &kp)?;
+        let cb = ctx.encrypt(&ctx.encode(&b)?, &kp)?;
+        let prod = ctx.hmult(&ca, &cb, &kp)?;
+        let dec = ctx.decode(&ctx.decrypt(&prod, &kp.secret)?);
         let mt = Modulus::new(t);
         for i in 0..ctx.slots() {
             assert_eq!(
@@ -499,33 +501,35 @@ mod tests {
                 "slot {i} must be exact"
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn mult_then_add_circuit() {
-        let (ctx, kp) = setup();
+    fn mult_then_add_circuit() -> Result<(), CkksError> {
+        let (ctx, kp) = setup()?;
         let t = ctx.plaintext_modulus();
         let mt = Modulus::new(t);
         let a = vec![5u64; ctx.slots()];
         let b = vec![9u64; ctx.slots()];
         let c = vec![100u64; ctx.slots()];
-        let ca = ctx.encrypt(&ctx.encode(&a).unwrap(), &kp).unwrap();
-        let cb = ctx.encrypt(&ctx.encode(&b).unwrap(), &kp).unwrap();
-        let cc = ctx.encrypt(&ctx.encode(&c).unwrap(), &kp).unwrap();
-        let out = ctx.hadd(&ctx.hmult(&ca, &cb, &kp).unwrap(), &cc).unwrap();
-        let dec = ctx.decode(&ctx.decrypt(&out, &kp.secret).unwrap());
+        let ca = ctx.encrypt(&ctx.encode(&a)?, &kp)?;
+        let cb = ctx.encrypt(&ctx.encode(&b)?, &kp)?;
+        let cc = ctx.encrypt(&ctx.encode(&c)?, &kp)?;
+        let out = ctx.hadd(&ctx.hmult(&ca, &cb, &kp)?, &cc)?;
+        let dec = ctx.decode(&ctx.decrypt(&out, &kp.secret)?);
         let expect = mt.add(mt.mul(5, 9), mt.reduce(100));
         assert!(dec.iter().all(|&v| v == expect), "5·9+100 = {expect}");
+        Ok(())
     }
 
     #[test]
-    fn rejects_multi_special_prime_configs() {
+    fn rejects_multi_special_prime_configs() -> Result<(), CkksError> {
         let params = ParamSet::set_a()
             .with_degree(1 << 6)
             .with_special(2)
-            .build()
-            .unwrap();
-        let inner = CkksContext::with_seed(params, 1).unwrap();
+            .build()?;
+        let inner = CkksContext::with_seed(params, 1)?;
         assert!(BgvContext::new(inner, 16).is_err());
+        Ok(())
     }
 }

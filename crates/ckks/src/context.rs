@@ -107,12 +107,18 @@ impl CkksContext {
 
     /// Cached basis converter `from → to`.
     ///
+    /// The cache lock recovers from poisoning: a panic in an isolated worker
+    /// thread (see `wd_fault::run_isolated`) must not wedge the context.
+    ///
     /// # Panics
     ///
     /// Panics if the bases are invalid (duplicated primes).
     pub fn converter(&self, from: &[u64], to: &[u64]) -> Arc<BasisConverter> {
         let key = (from.to_vec(), to.to_vec());
-        let mut cache = self.converters.lock().expect("converter cache");
+        let mut cache = self
+            .converters
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
         Arc::clone(cache.entry(key).or_insert_with(|| {
             Arc::new(
                 BasisConverter::new(
@@ -124,9 +130,11 @@ impl CkksContext {
         }))
     }
 
-    /// Runs `f` with the context RNG.
+    /// Runs `f` with the context RNG. The lock recovers from poisoning (an
+    /// isolated worker panic leaves the RNG state valid — every draw is
+    /// completed atomically under the lock).
     pub(crate) fn with_rng<T>(&self, f: impl FnOnce(&mut StdRng) -> T) -> T {
-        f(&mut self.rng.lock().expect("rng"))
+        f(&mut self.rng.lock().unwrap_or_else(|p| p.into_inner()))
     }
 
     // ------------------------------------------------------------------
@@ -137,7 +145,7 @@ impl CkksContext {
     ///
     /// # Errors
     ///
-    /// Returns [`CkksError::TooManySlots`] for oversized messages.
+    /// Returns [`CkksError::DimensionMismatch`] for oversized messages.
     pub fn encode(&self, values: &[f64]) -> Result<Plaintext, CkksError> {
         let slots: Vec<C64> = values.iter().map(|&v| C64::new(v, 0.0)).collect();
         self.encode_complex_at(&slots, self.params.max_level(), self.params.scale())
@@ -147,7 +155,7 @@ impl CkksContext {
     ///
     /// # Errors
     ///
-    /// Returns [`CkksError::TooManySlots`] for oversized messages.
+    /// Returns [`CkksError::DimensionMismatch`] for oversized messages.
     pub fn encode_complex(&self, slots: &[C64]) -> Result<Plaintext, CkksError> {
         self.encode_complex_at(slots, self.params.max_level(), self.params.scale())
     }
@@ -156,7 +164,7 @@ impl CkksContext {
     ///
     /// # Errors
     ///
-    /// Returns [`CkksError::TooManySlots`] or [`CkksError::BadParams`] if the
+    /// Returns [`CkksError::DimensionMismatch`] or [`CkksError::InvalidParams`] if the
     /// level exceeds the chain.
     pub fn encode_complex_at(
         &self,
@@ -165,7 +173,9 @@ impl CkksContext {
         scale: f64,
     ) -> Result<Plaintext, CkksError> {
         if level > self.params.max_level() {
-            return Err(CkksError::BadParams(format!("level {level} beyond chain")));
+            return Err(CkksError::InvalidParams(format!(
+                "level {level} beyond chain"
+            )));
         }
         let coeffs = self.encoder.encode(slots, scale)?;
         let signed: Vec<i64> = coeffs.iter().map(|&c| c.round() as i64).collect();
@@ -204,7 +214,7 @@ impl CkksContext {
             let residues: Vec<u64> = (0..take).map(|i| poly.limb(i).coeffs()[j]).collect();
             *c = sub.crt_reconstruct_centered(&residues)? as f64 / pt.scale;
         }
-        Ok(self.encoder.decode(&coeffs))
+        self.encoder.decode(&coeffs)
     }
 
     // ------------------------------------------------------------------
@@ -363,7 +373,7 @@ impl CkksContext {
     ///
     /// # Errors
     ///
-    /// Returns [`CkksError::Mismatch`] if the plaintext level exceeds the key
+    /// Returns [`CkksError::LevelMismatch`] if the plaintext level exceeds the key
     /// chain (cannot happen for plaintexts produced by this context).
     pub fn encrypt(&self, pt: &Plaintext, pk: &PublicKey) -> Result<Ciphertext, CkksError> {
         let primes = self.params.q_at(pt.level).to_vec();
@@ -389,21 +399,26 @@ impl CkksContext {
 
     /// Decrypts to a plaintext (m ≈ c0 + c1·s).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the secret key belongs to different parameters.
-    pub fn decrypt(&self, ct: &Ciphertext, sk: &SecretKey) -> Plaintext {
+    /// Returns [`CkksError::LevelMismatch`] if the secret key belongs to
+    /// different parameters (too few limbs for the ciphertext level).
+    pub fn decrypt(&self, ct: &Ciphertext, sk: &SecretKey) -> Result<Plaintext, CkksError> {
+        if ct.level + 1 > sk.s.limb_count() {
+            return Err(CkksError::LevelMismatch(format!(
+                "secret key has {} limbs but ciphertext level {} needs {}",
+                sk.s.limb_count(),
+                ct.level,
+                ct.level + 1
+            )));
+        }
         let s = restrict(&sk.s, ct.level + 1);
-        let poly = ct
-            .c1
-            .pointwise(&s)
-            .and_then(|cs| cs.add(&ct.c0))
-            .expect("decrypt shapes agree");
-        Plaintext {
+        let poly = ct.c1.pointwise(&s).and_then(|cs| cs.add(&ct.c0))?;
+        Ok(Plaintext {
             poly,
             scale: ct.scale,
             level: ct.level,
-        }
+        })
     }
 
     /// Encrypts real values directly (encode + encrypt).
@@ -421,7 +436,7 @@ impl CkksContext {
     ///
     /// Propagates decoding errors.
     pub fn decrypt_values(&self, ct: &Ciphertext, sk: &SecretKey) -> Result<Vec<f64>, CkksError> {
-        self.decode(&self.decrypt(ct, sk))
+        self.decode(&self.decrypt(ct, sk)?)
     }
 }
 
@@ -504,7 +519,7 @@ mod tests {
     fn level_beyond_chain_rejected() {
         let ctx = ctx();
         let r = ctx.encode_complex_at(&[C64::new(1.0, 0.0)], 99, ctx.params().scale());
-        assert!(matches!(r, Err(CkksError::BadParams(_))));
+        assert!(matches!(r, Err(CkksError::InvalidParams(_))));
     }
 
     #[test]

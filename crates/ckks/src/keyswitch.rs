@@ -36,7 +36,7 @@ pub(crate) fn convert_poly(conv: &wd_modmath::rns::BasisConverter, src: &RnsPoly
 ///
 /// # Errors
 ///
-/// Returns [`CkksError::Mismatch`] if the key has too few digits for this
+/// Returns [`CkksError::LevelMismatch`] if the key has too few digits for this
 /// level.
 pub fn keyswitch(
     ctx: &CkksContext,
@@ -47,7 +47,7 @@ pub fn keyswitch(
     let alpha = ctx.params().alpha();
     let dnum = ctx.params().dnum_at(level);
     if ksk.dnum() < dnum {
-        return Err(CkksError::Mismatch(format!(
+        return Err(CkksError::LevelMismatch(format!(
             "key has {} digits, level {level} needs {dnum}",
             ksk.dnum()
         )));
@@ -223,7 +223,7 @@ impl HoistedDecomposition {
 ///
 /// # Errors
 ///
-/// Returns [`CkksError::Mismatch`] if the key has too few digits.
+/// Returns [`CkksError::LevelMismatch`] if the key has too few digits.
 pub fn keyswitch_hoisted(
     ctx: &CkksContext,
     hoisted: &HoistedDecomposition,
@@ -232,7 +232,7 @@ pub fn keyswitch_hoisted(
 ) -> Result<(RnsPoly, RnsPoly), CkksError> {
     let level = hoisted.level;
     if ksk.dnum() < hoisted.dnum() {
-        return Err(CkksError::Mismatch(format!(
+        return Err(CkksError::LevelMismatch(format!(
             "key has {} digits, hoisted decomposition has {}",
             ksk.dnum(),
             hoisted.dnum()
@@ -270,76 +270,75 @@ mod tests {
     use crate::params::ParamSet;
     use crate::CkksContext;
 
-    fn ctx(k: usize) -> CkksContext {
+    fn ctx(k: usize) -> Result<CkksContext, CkksError> {
         let params = ParamSet::set_a()
             .with_degree(1 << 6)
             .with_level(3)
             .with_special(k)
-            .build()
-            .unwrap();
-        CkksContext::with_seed(params, 7).unwrap()
+            .build()?;
+        CkksContext::with_seed(params, 7)
     }
 
     /// Core correctness: keyswitching c1·? with a key for s′ must satisfy
     /// out0 + out1·s ≈ d·s′ — verified through relinearization-style usage
     /// in ops tests; here we check it directly with small noise.
     #[test]
-    fn keyswitch_identity_on_s2() {
+    fn keyswitch_identity_on_s2() -> Result<(), CkksError> {
         for k in [1usize, 2] {
-            let ctx = ctx(k);
+            let ctx = ctx(k)?;
             let kp = ctx.keygen();
             let level = ctx.params().max_level();
             let primes = ctx.params().q_at(level).to_vec();
             // d = encode of a known small message (NTT domain).
-            let pt = ctx.encode(&[1.0, 2.0, 3.0]).unwrap();
+            let pt = ctx.encode(&[1.0, 2.0, 3.0])?;
             let d = pt.poly.clone();
-            let (o0, o1) = keyswitch(&ctx, &d, &kp.relin).unwrap();
+            let (o0, o1) = keyswitch(&ctx, &d, &kp.relin)?;
             // Verify o0 + o1·s ≈ d·s².
             let s = restrict(&kp.secret.s, primes.len());
-            let lhs = o0.add(&o1.pointwise(&s).unwrap()).unwrap();
-            let s2 = s.pointwise(&s).unwrap();
-            let rhs = d.pointwise(&s2).unwrap();
-            let mut err = lhs.sub(&rhs).unwrap();
+            let lhs = o0.add(&o1.pointwise(&s)?)?;
+            let s2 = s.pointwise(&s)?;
+            let rhs = d.pointwise(&s2)?;
+            let mut err = lhs.sub(&rhs)?;
             err.ntt_inverse(&ctx.tables_for(&primes));
             // Noise must be tiny relative to the scale (2^28).
             let max = err.limb(0).inf_norm();
             assert!(max < 1 << 22, "keyswitch noise too large: {max} (K = {k})");
         }
+        Ok(())
     }
 
     #[test]
-    fn keyswitch_at_reduced_level_works() {
-        let ctx = ctx(2);
+    fn keyswitch_at_reduced_level_works() -> Result<(), CkksError> {
+        let ctx = ctx(2)?;
         let kp = ctx.keygen();
         // Take d at level 1 (2 limbs): last digit is partial when α = 2.
-        let pt = ctx
-            .encode_complex_at(
-                &[crate::encoding::C64::new(4.0, 0.0)],
-                1,
-                ctx.params().scale(),
-            )
-            .unwrap();
-        let (o0, o1) = keyswitch(&ctx, &pt.poly, &kp.relin).unwrap();
+        let pt = ctx.encode_complex_at(
+            &[crate::encoding::C64::new(4.0, 0.0)],
+            1,
+            ctx.params().scale(),
+        )?;
+        let (o0, o1) = keyswitch(&ctx, &pt.poly, &kp.relin)?;
         assert_eq!(o0.limb_count(), 2);
         let primes = ctx.params().q_at(1).to_vec();
         let s = restrict(&kp.secret.s, 2);
-        let lhs = o0.add(&o1.pointwise(&s).unwrap()).unwrap();
-        let rhs = pt.poly.pointwise(&s.pointwise(&s).unwrap()).unwrap();
-        let mut err = lhs.sub(&rhs).unwrap();
+        let lhs = o0.add(&o1.pointwise(&s)?)?;
+        let rhs = pt.poly.pointwise(&s.pointwise(&s)?)?;
+        let mut err = lhs.sub(&rhs)?;
         err.ntt_inverse(&ctx.tables_for(&primes));
         assert!(err.limb(0).inf_norm() < 1 << 22);
+        Ok(())
     }
 
     #[test]
-    fn convert_poly_round_trips_small_values() {
-        let ctx = ctx(1);
+    fn convert_poly_round_trips_small_values() -> Result<(), CkksError> {
+        let ctx = ctx(1)?;
         let q = ctx.params().q_at(1).to_vec();
         let p = ctx.params().p_chain().to_vec();
         let conv = ctx.converter(&q, &p);
-        let src = RnsPoly::from_signed(&q, &(0..64).map(|i| i - 32).collect::<Vec<_>>()).unwrap();
+        let src = RnsPoly::from_signed(&q, &(0..64).map(|i| i - 32).collect::<Vec<_>>())?;
         let out = convert_poly(&conv, &src);
-        let expect =
-            RnsPoly::from_signed(&p, &(0..64).map(|i| i - 32).collect::<Vec<_>>()).unwrap();
+        let expect = RnsPoly::from_signed(&p, &(0..64).map(|i| i - 32).collect::<Vec<_>>())?;
         assert_eq!(out, expect);
+        Ok(())
     }
 }

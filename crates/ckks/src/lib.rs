@@ -32,7 +32,7 @@
 //! let kp = ctx.keygen();
 //! let pt = ctx.encode(&[1.5, -2.0])?;
 //! let ct = ctx.encrypt(&pt, &kp.public)?;
-//! let out = ctx.decode(&ctx.decrypt(&ct, &kp.secret))?;
+//! let out = ctx.decode(&ctx.decrypt(&ct, &kp.secret)?)?;
 //! assert!((out[0] - 1.5).abs() < 1e-2);
 //! # Ok(())
 //! # }
@@ -58,53 +58,10 @@ pub use context::CkksContext;
 pub use keys::{KeyPair, PublicKey, SecretKey};
 pub use params::{CkksParams, ParamSet};
 
-/// Errors from the CKKS layer.
-#[derive(Debug, Clone, PartialEq)]
-pub enum CkksError {
-    /// Parameter validation failed.
-    BadParams(String),
-    /// Message longer than the slot count N/2.
-    TooManySlots {
-        /// Requested slots.
-        got: usize,
-        /// Capacity.
-        capacity: usize,
-    },
-    /// Operand levels or scales are incompatible.
-    Mismatch(String),
-    /// The ciphertext has no levels left to consume.
-    OutOfLevels,
-    /// A required key (relinearization / rotation) is missing.
-    MissingKey(String),
-    /// Underlying polynomial/modular arithmetic error.
-    Math(String),
-}
+pub use wd_fault::{FaultKind, WdError};
 
-impl core::fmt::Display for CkksError {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        match self {
-            CkksError::BadParams(s) => write!(f, "invalid parameters: {s}"),
-            CkksError::TooManySlots { got, capacity } => {
-                write!(f, "message has {got} slots but capacity is {capacity}")
-            }
-            CkksError::Mismatch(s) => write!(f, "operand mismatch: {s}"),
-            CkksError::OutOfLevels => write!(f, "no multiplicative levels remaining"),
-            CkksError::MissingKey(s) => write!(f, "missing key: {s}"),
-            CkksError::Math(s) => write!(f, "arithmetic failure: {s}"),
-        }
-    }
-}
-
-impl std::error::Error for CkksError {}
-
-impl From<wd_polyring::PolyError> for CkksError {
-    fn from(e: wd_polyring::PolyError) -> Self {
-        CkksError::Math(e.to_string())
-    }
-}
-
-impl From<wd_modmath::MathError> for CkksError {
-    fn from(e: wd_modmath::MathError) -> Self {
-        CkksError::Math(e.to_string())
-    }
-}
+/// Errors from the CKKS layer — an alias of the workspace-wide [`WdError`]
+/// taxonomy (defined in `wd-fault`, re-exported by `warpdrive-core`), so
+/// CKKS results compose with the fault-tolerant execution layer without
+/// conversion.
+pub type CkksError = WdError;

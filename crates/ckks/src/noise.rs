@@ -50,7 +50,7 @@ pub fn measure_complex(
     sk: &SecretKey,
     expected: &[C64],
 ) -> Result<NoiseReport, CkksError> {
-    let got = ctx.decode_complex(&ctx.decrypt(ct, sk))?;
+    let got = ctx.decode_complex(&ctx.decrypt(ct, sk)?)?;
     let max_slot_error = expected
         .iter()
         .zip(&got)
@@ -69,6 +69,31 @@ pub fn measure_complex(
         budget_bits,
         levels_left: ct.level,
     })
+}
+
+/// Checks that `ct` still carries at least `min_bits` of noise budget
+/// against `expected`, returning [`CkksError::NoiseBudgetExhausted`] when it
+/// does not. The guard that keeps "out of budget" an error instead of a
+/// silently-wrong decrypt.
+///
+/// # Errors
+///
+/// Returns [`CkksError::NoiseBudgetExhausted`] when the measured budget is
+/// below `min_bits`; propagates decryption/decoding errors.
+pub fn ensure_budget(
+    ctx: &CkksContext,
+    ct: &Ciphertext,
+    sk: &SecretKey,
+    expected: &[f64],
+    min_bits: f64,
+) -> Result<NoiseReport, CkksError> {
+    let report = measure(ctx, ct, sk, expected)?;
+    if report.budget_bits < min_bits {
+        return Err(CkksError::NoiseBudgetExhausted {
+            budget_bits: report.budget_bits,
+        });
+    }
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -17,11 +17,11 @@ use wd_polyring::rns::RnsPoly;
 ///
 /// # Errors
 ///
-/// Returns [`CkksError::Mismatch`] unless levels and scales agree (use
+/// Returns [`CkksError::LevelMismatch`] unless levels and scales agree (use
 /// [`align_levels`] / RESCALE first).
 pub fn hadd(ct0: &Ciphertext, ct1: &Ciphertext) -> Result<Ciphertext, CkksError> {
     if !ct0.compatible(ct1) {
-        return Err(CkksError::Mismatch(format!(
+        return Err(CkksError::LevelMismatch(format!(
             "hadd: level {}/{} scale {:.3e}/{:.3e}",
             ct0.level, ct1.level, ct0.scale, ct1.scale
         )));
@@ -38,10 +38,10 @@ pub fn hadd(ct0: &Ciphertext, ct1: &Ciphertext) -> Result<Ciphertext, CkksError>
 ///
 /// # Errors
 ///
-/// Returns [`CkksError::Mismatch`] unless levels and scales agree.
+/// Returns [`CkksError::LevelMismatch`] unless levels and scales agree.
 pub fn hsub(ct0: &Ciphertext, ct1: &Ciphertext) -> Result<Ciphertext, CkksError> {
     if !ct0.compatible(ct1) {
-        return Err(CkksError::Mismatch("hsub operands".into()));
+        return Err(CkksError::LevelMismatch("hsub operands".into()));
     }
     Ok(Ciphertext {
         c0: ct0.c0.sub(&ct1.c0)?,
@@ -66,10 +66,10 @@ pub fn hneg(ct: &Ciphertext) -> Ciphertext {
 ///
 /// # Errors
 ///
-/// Returns [`CkksError::Mismatch`] if levels differ.
+/// Returns [`CkksError::LevelMismatch`] if levels differ.
 pub fn pmult(ct: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, CkksError> {
     if pt.level != ct.level {
-        return Err(CkksError::Mismatch(format!(
+        return Err(CkksError::LevelMismatch(format!(
             "pmult: plaintext level {} vs ciphertext {}",
             pt.level, ct.level
         )));
@@ -86,10 +86,10 @@ pub fn pmult(ct: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, CkksError> {
 ///
 /// # Errors
 ///
-/// Returns [`CkksError::Mismatch`] on level or scale disagreement.
+/// Returns [`CkksError::LevelMismatch`] on level or scale disagreement.
 pub fn add_plain(ct: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, CkksError> {
     if pt.level != ct.level || !relative_eq(pt.scale, ct.scale) {
-        return Err(CkksError::Mismatch("add_plain level/scale".into()));
+        return Err(CkksError::LevelMismatch("add_plain level/scale".into()));
     }
     Ok(Ciphertext {
         c0: ct.c0.add(&pt.poly)?,
@@ -104,7 +104,7 @@ pub fn add_plain(ct: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, CkksErro
 ///
 /// # Errors
 ///
-/// Returns [`CkksError::Mismatch`] on incompatible operands or key.
+/// Returns [`CkksError::LevelMismatch`] on incompatible operands or key.
 pub fn hmult(
     ctx: &CkksContext,
     ct0: &Ciphertext,
@@ -112,7 +112,7 @@ pub fn hmult(
     relin: &KeySwitchKey,
 ) -> Result<Ciphertext, CkksError> {
     if ct0.level != ct1.level {
-        return Err(CkksError::Mismatch(format!(
+        return Err(CkksError::LevelMismatch(format!(
             "hmult: levels {} vs {}",
             ct0.level, ct1.level
         )));
@@ -160,7 +160,7 @@ pub fn hsquare(
 ///
 /// # Errors
 ///
-/// Returns [`CkksError::OutOfLevels`] at level 0.
+/// Returns [`CkksError::ModulusChainExhausted`] at level 0.
 pub fn rescale(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, CkksError> {
     rescale_by(ctx, ct, 1)
 }
@@ -170,10 +170,10 @@ pub fn rescale(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, CkksErr
 ///
 /// # Errors
 ///
-/// Returns [`CkksError::OutOfLevels`] if fewer than `k` levels remain.
+/// Returns [`CkksError::ModulusChainExhausted`] if fewer than `k` levels remain.
 pub fn rescale_by(ctx: &CkksContext, ct: &Ciphertext, k: usize) -> Result<Ciphertext, CkksError> {
     if ct.level < k {
-        return Err(CkksError::OutOfLevels);
+        return Err(CkksError::ModulusChainExhausted);
     }
     let th = ctx.threads();
     let mut c0 = ct.c0.clone();
@@ -223,10 +223,10 @@ fn rescale_step(p: &mut RnsPoly, dropped: u64) {
 ///
 /// # Errors
 ///
-/// Returns [`CkksError::Mismatch`] if `to_level` is above the current level.
+/// Returns [`CkksError::LevelMismatch`] if `to_level` is above the current level.
 pub fn level_drop(ct: &Ciphertext, to_level: usize) -> Result<Ciphertext, CkksError> {
     if to_level > ct.level {
-        return Err(CkksError::Mismatch(format!(
+        return Err(CkksError::LevelMismatch(format!(
             "cannot raise level {} to {}",
             ct.level, to_level
         )));
@@ -447,11 +447,11 @@ mod tests {
     use crate::params::ParamSet;
     use crate::CkksContext;
 
-    fn setup() -> (CkksContext, crate::keys::KeyPair) {
-        let params = ParamSet::set_a().with_degree(1 << 6).build().unwrap();
-        let ctx = CkksContext::with_seed(params, 11).unwrap();
+    fn setup() -> Result<(CkksContext, crate::keys::KeyPair), CkksError> {
+        let params = ParamSet::set_a().with_degree(1 << 6).build()?;
+        let ctx = CkksContext::with_seed(params, 11)?;
         let kp = ctx.keygen();
-        (ctx, kp)
+        Ok((ctx, kp))
     }
 
     fn close(a: &[f64], b: &[f64], tol: f64) {
@@ -461,106 +461,114 @@ mod tests {
     }
 
     #[test]
-    fn hadd_adds_slots() {
-        let (ctx, kp) = setup();
-        let a = ctx.encrypt_values(&[1.0, 2.0, 3.0], &kp.public).unwrap();
-        let b = ctx.encrypt_values(&[0.5, -1.0, 4.0], &kp.public).unwrap();
-        let sum = hadd(&a, &b).unwrap();
-        let out = ctx.decrypt_values(&sum, &kp.secret).unwrap();
+    fn hadd_adds_slots() -> Result<(), CkksError> {
+        let (ctx, kp) = setup()?;
+        let a = ctx.encrypt_values(&[1.0, 2.0, 3.0], &kp.public)?;
+        let b = ctx.encrypt_values(&[0.5, -1.0, 4.0], &kp.public)?;
+        let sum = hadd(&a, &b)?;
+        let out = ctx.decrypt_values(&sum, &kp.secret)?;
         close(&out[..3], &[1.5, 1.0, 7.0], 1e-3);
+        Ok(())
     }
 
     #[test]
-    fn hsub_and_hneg() {
-        let (ctx, kp) = setup();
-        let a = ctx.encrypt_values(&[5.0, 1.0], &kp.public).unwrap();
-        let b = ctx.encrypt_values(&[2.0, 4.0], &kp.public).unwrap();
-        let out = ctx
-            .decrypt_values(&hsub(&a, &b).unwrap(), &kp.secret)
-            .unwrap();
+    fn hsub_and_hneg() -> Result<(), CkksError> {
+        let (ctx, kp) = setup()?;
+        let a = ctx.encrypt_values(&[5.0, 1.0], &kp.public)?;
+        let b = ctx.encrypt_values(&[2.0, 4.0], &kp.public)?;
+        let out = ctx.decrypt_values(&hsub(&a, &b)?, &kp.secret)?;
         close(&out[..2], &[3.0, -3.0], 1e-3);
-        let out = ctx.decrypt_values(&hneg(&a), &kp.secret).unwrap();
+        let out = ctx.decrypt_values(&hneg(&a), &kp.secret)?;
         close(&out[..2], &[-5.0, -1.0], 1e-3);
+        Ok(())
     }
 
     #[test]
-    fn pmult_then_rescale() {
-        let (ctx, kp) = setup();
-        let ct = ctx.encrypt_values(&[1.5, -2.0, 0.25], &kp.public).unwrap();
-        let pt = ctx.encode(&[2.0, 3.0, 4.0]).unwrap();
-        let prod = pmult(&ct, &pt).unwrap();
+    fn pmult_then_rescale() -> Result<(), CkksError> {
+        let (ctx, kp) = setup()?;
+        let ct = ctx.encrypt_values(&[1.5, -2.0, 0.25], &kp.public)?;
+        let pt = ctx.encode(&[2.0, 3.0, 4.0])?;
+        let prod = pmult(&ct, &pt)?;
         assert!(prod.scale > ct.scale * 1e7, "scale must grow to Δ²");
-        let rs = rescale(&ctx, &prod).unwrap();
+        let rs = rescale(&ctx, &prod)?;
         assert_eq!(rs.level, ct.level - 1);
-        let out = ctx.decrypt_values(&rs, &kp.secret).unwrap();
+        let out = ctx.decrypt_values(&rs, &kp.secret)?;
         close(&out[..3], &[3.0, -6.0, 1.0], 1e-2);
+        Ok(())
     }
 
     #[test]
-    fn hmult_multiplies_slots() {
-        let (ctx, kp) = setup();
-        let a = ctx.encrypt_values(&[2.0, -3.0, 0.5], &kp.public).unwrap();
-        let b = ctx.encrypt_values(&[4.0, 2.0, 8.0], &kp.public).unwrap();
-        let prod = hmult(&ctx, &a, &b, &kp.relin).unwrap();
-        let rs = rescale(&ctx, &prod).unwrap();
-        let out = ctx.decrypt_values(&rs, &kp.secret).unwrap();
+    fn hmult_multiplies_slots() -> Result<(), CkksError> {
+        let (ctx, kp) = setup()?;
+        let a = ctx.encrypt_values(&[2.0, -3.0, 0.5], &kp.public)?;
+        let b = ctx.encrypt_values(&[4.0, 2.0, 8.0], &kp.public)?;
+        let prod = hmult(&ctx, &a, &b, &kp.relin)?;
+        let rs = rescale(&ctx, &prod)?;
+        let out = ctx.decrypt_values(&rs, &kp.secret)?;
         close(&out[..3], &[8.0, -6.0, 4.0], 5e-2);
+        Ok(())
     }
 
     #[test]
-    fn hsquare_matches_hmult_self() {
-        let (ctx, kp) = setup();
-        let a = ctx.encrypt_values(&[3.0, -1.5], &kp.public).unwrap();
-        let sq = rescale(&ctx, &hsquare(&ctx, &a, &kp.relin).unwrap()).unwrap();
-        let out = ctx.decrypt_values(&sq, &kp.secret).unwrap();
+    fn hsquare_matches_hmult_self() -> Result<(), CkksError> {
+        let (ctx, kp) = setup()?;
+        let a = ctx.encrypt_values(&[3.0, -1.5], &kp.public)?;
+        let sq = rescale(&ctx, &hsquare(&ctx, &a, &kp.relin)?)?;
+        let out = ctx.decrypt_values(&sq, &kp.secret)?;
         close(&out[..2], &[9.0, 2.25], 5e-2);
+        Ok(())
     }
 
     #[test]
-    fn two_chained_multiplications() {
-        let (ctx, kp) = setup();
-        let a = ctx.encrypt_values(&[1.1, 2.0], &kp.public).unwrap();
-        let b = ctx.encrypt_values(&[3.0, 0.5], &kp.public).unwrap();
-        let ab = rescale(&ctx, &hmult(&ctx, &a, &b, &kp.relin).unwrap()).unwrap();
-        let (ab2, a2) = align_levels(&ab, &a).unwrap();
-        let prod = rescale(&ctx, &hmult(&ctx, &ab2, &a2, &kp.relin).unwrap()).unwrap();
-        let out = ctx.decrypt_values(&prod, &kp.secret).unwrap();
+    fn two_chained_multiplications() -> Result<(), CkksError> {
+        let (ctx, kp) = setup()?;
+        let a = ctx.encrypt_values(&[1.1, 2.0], &kp.public)?;
+        let b = ctx.encrypt_values(&[3.0, 0.5], &kp.public)?;
+        let ab = rescale(&ctx, &hmult(&ctx, &a, &b, &kp.relin)?)?;
+        let (ab2, a2) = align_levels(&ab, &a)?;
+        let prod = rescale(&ctx, &hmult(&ctx, &ab2, &a2, &kp.relin)?)?;
+        let out = ctx.decrypt_values(&prod, &kp.secret)?;
         close(&out[..2], &[1.1 * 3.0 * 1.1, 2.0 * 0.5 * 2.0], 0.1);
+        Ok(())
     }
 
     #[test]
-    fn rescale_out_of_levels_errors() {
-        let (ctx, kp) = setup();
-        let ct = ctx.encrypt_values(&[1.0], &kp.public).unwrap();
-        let l0 = level_drop(&ct, 0).unwrap();
-        assert!(matches!(rescale(&ctx, &l0), Err(CkksError::OutOfLevels)));
+    fn rescale_out_of_levels_errors() -> Result<(), CkksError> {
+        let (ctx, kp) = setup()?;
+        let ct = ctx.encrypt_values(&[1.0], &kp.public)?;
+        let l0 = level_drop(&ct, 0)?;
+        assert!(matches!(
+            rescale(&ctx, &l0),
+            Err(CkksError::ModulusChainExhausted)
+        ));
+        Ok(())
     }
 
     #[test]
-    fn double_prime_rescale_drops_two_levels() {
-        let (ctx, kp) = setup();
-        let ct = ctx.encrypt_values(&[1.0, -1.0], &kp.public).unwrap();
+    fn double_prime_rescale_drops_two_levels() -> Result<(), CkksError> {
+        let (ctx, kp) = setup()?;
+        let ct = ctx.encrypt_values(&[1.0, -1.0], &kp.public)?;
         // Lift scale to Δ³ via two plaintext multiplications, then drop two
         // primes at once (the [5] double-prime mode).
-        let pt = ctx.encode(&[2.0, 2.0]).unwrap();
-        let prod = pmult(&pmult(&ct, &pt).unwrap(), &pt).unwrap();
-        let rs = rescale_by(&ctx, &prod, 2).unwrap();
+        let pt = ctx.encode(&[2.0, 2.0])?;
+        let prod = pmult(&pmult(&ct, &pt)?, &pt)?;
+        let rs = rescale_by(&ctx, &prod, 2)?;
         assert_eq!(rs.level, ct.level - 2);
-        let out = ctx.decrypt_values(&rs, &kp.secret).unwrap();
+        let out = ctx.decrypt_values(&rs, &kp.secret)?;
         close(&out[..2], &[4.0, -4.0], 5e-2);
+        Ok(())
     }
 
     #[test]
-    fn double_prime_mode_gains_precision() {
+    fn double_prime_mode_gains_precision() -> Result<(), CkksError> {
         // The [5] high-precision mode: Δ spans two chain primes (2^48 over
         // two ~26-bit primes), rescaling drops both. Multiplication error
         // should be orders of magnitude below the single-prime mode's.
         let params = ParamSet::set_a()
             .with_degree(1 << 6)
             .with_level(5)
-            .build()
-            .unwrap();
-        let ctx = CkksContext::with_seed(params, 90210).unwrap();
+            .build()?;
+        let ctx = CkksContext::with_seed(params, 90210)?;
         let kp = ctx.keygen();
         let vals = [0.7391, -0.2468, 0.9999];
         let slots: Vec<crate::encoding::C64> = vals
@@ -568,119 +576,123 @@ mod tests {
             .map(|&v| crate::encoding::C64::new(v, 0.0))
             .collect();
         let big = (1u64 << 48) as f64;
-        let run = |scale: f64, drops: usize| -> f64 {
-            let pt = ctx
-                .encode_complex_at(&slots, ctx.params().max_level(), scale)
-                .unwrap();
-            let ct = ctx.encrypt(&pt, &kp.public).unwrap();
-            let prod = hmult(&ctx, &ct, &ct, &kp.relin).unwrap();
-            let rs = rescale_by(&ctx, &prod, drops).unwrap();
-            let dec = ctx.decrypt_values(&rs, &kp.secret).unwrap();
-            vals.iter()
+        let run = |scale: f64, drops: usize| -> Result<f64, CkksError> {
+            let pt = ctx.encode_complex_at(&slots, ctx.params().max_level(), scale)?;
+            let ct = ctx.encrypt(&pt, &kp.public)?;
+            let prod = hmult(&ctx, &ct, &ct, &kp.relin)?;
+            let rs = rescale_by(&ctx, &prod, drops)?;
+            let dec = ctx.decrypt_values(&rs, &kp.secret)?;
+            Ok(vals
+                .iter()
                 .zip(&dec)
                 .map(|(v, d)| (v * v - d).abs())
-                .fold(0.0f64, f64::max)
+                .fold(0.0f64, f64::max))
         };
-        let hp_err = run(big, 2);
-        let sp_err = run(ctx.params().scale(), 1);
+        let hp_err = run(big, 2)?;
+        let sp_err = run(ctx.params().scale(), 1)?;
         assert!(hp_err < 1e-4, "high-precision error {hp_err}");
         assert!(
             hp_err < sp_err / 8.0,
             "double-prime ({hp_err:.2e}) must beat single-prime ({sp_err:.2e})"
         );
+        Ok(())
     }
 
     #[test]
-    fn hrotate_rotates_slots() {
-        let (ctx, kp) = setup();
+    fn hrotate_rotates_slots() -> Result<(), CkksError> {
+        let (ctx, kp) = setup()?;
         let slots = ctx.params().slots();
         let vals: Vec<f64> = (0..slots).map(|i| i as f64).collect();
-        let ct = ctx.encrypt_values(&vals, &kp.public).unwrap();
+        let ct = ctx.encrypt_values(&vals, &kp.public)?;
         let rot_keys = ctx.gen_rotation_keys(&kp.secret, &[1, 5], false);
         for r in [1usize, 5] {
-            let rotated = hrotate(&ctx, &ct, r as isize, &rot_keys).unwrap();
-            let out = ctx.decrypt_values(&rotated, &kp.secret).unwrap();
+            let rotated = hrotate(&ctx, &ct, r as isize, &rot_keys)?;
+            let out = ctx.decrypt_values(&rotated, &kp.secret)?;
             let expect: Vec<f64> = (0..slots).map(|i| ((i + r) % slots) as f64).collect();
             close(&out, &expect, 5e-2);
         }
+        Ok(())
     }
 
     #[test]
-    fn rotate_missing_key_errors() {
-        let (ctx, kp) = setup();
-        let ct = ctx.encrypt_values(&[1.0], &kp.public).unwrap();
+    fn rotate_missing_key_errors() -> Result<(), CkksError> {
+        let (ctx, kp) = setup()?;
+        let ct = ctx.encrypt_values(&[1.0], &kp.public)?;
         let keys = RotationKeys::new();
         assert!(matches!(
             hrotate(&ctx, &ct, 3, &keys),
             Err(CkksError::MissingKey(_))
         ));
+        Ok(())
     }
 
     #[test]
-    fn hconjugate_conjugates() {
-        let (ctx, kp) = setup();
+    fn hconjugate_conjugates() -> Result<(), CkksError> {
+        let (ctx, kp) = setup()?;
         let slots: Vec<crate::encoding::C64> = (0..4)
             .map(|i| crate::encoding::C64::new(i as f64, 1.0 + i as f64))
             .collect();
-        let pt = ctx.encode_complex(&slots).unwrap();
-        let ct = ctx.encrypt(&pt, &kp.public).unwrap();
+        let pt = ctx.encode_complex(&slots)?;
+        let ct = ctx.encrypt(&pt, &kp.public)?;
         let keys = ctx.gen_rotation_keys(&kp.secret, &[], true);
-        let conj = hconjugate(&ctx, &ct, &keys).unwrap();
-        let out = ctx.decode_complex(&ctx.decrypt(&conj, &kp.secret)).unwrap();
+        let conj = hconjugate(&ctx, &ct, &keys)?;
+        let out = ctx.decode_complex(&ctx.decrypt(&conj, &kp.secret)?)?;
         for (i, s) in slots.iter().enumerate() {
             assert!((out[i].re - s.re).abs() < 5e-2);
             assert!((out[i].im + s.im).abs() < 5e-2);
         }
+        Ok(())
     }
 
     #[test]
-    fn mult_const_int_scales_slots() {
-        let (ctx, kp) = setup();
-        let ct = ctx.encrypt_values(&[1.0, -2.0], &kp.public).unwrap();
-        let out = ctx
-            .decrypt_values(&mult_const_int(&ct, -3), &kp.secret)
-            .unwrap();
+    fn mult_const_int_scales_slots() -> Result<(), CkksError> {
+        let (ctx, kp) = setup()?;
+        let ct = ctx.encrypt_values(&[1.0, -2.0], &kp.public)?;
+        let out = ctx.decrypt_values(&mult_const_int(&ct, -3), &kp.secret)?;
         close(&out[..2], &[-3.0, 6.0], 1e-2);
+        Ok(())
     }
 
     #[test]
-    fn mult_const_broadcasts() {
-        let (ctx, kp) = setup();
-        let ct = ctx.encrypt_values(&[1.0, 2.0], &kp.public).unwrap();
-        let half = rescale(&ctx, &mult_const(&ctx, &ct, 0.5).unwrap()).unwrap();
-        let out = ctx.decrypt_values(&half, &kp.secret).unwrap();
+    fn mult_const_broadcasts() -> Result<(), CkksError> {
+        let (ctx, kp) = setup()?;
+        let ct = ctx.encrypt_values(&[1.0, 2.0], &kp.public)?;
+        let half = rescale(&ctx, &mult_const(&ctx, &ct, 0.5)?)?;
+        let out = ctx.decrypt_values(&half, &kp.secret)?;
         close(&out[..2], &[0.5, 1.0], 1e-2);
+        Ok(())
     }
 
     #[test]
-    fn rotate_any_with_pow2_keys_only() {
-        let (ctx, kp) = setup();
+    fn rotate_any_with_pow2_keys_only() -> Result<(), CkksError> {
+        let (ctx, kp) = setup()?;
         let slots = ctx.params().slots();
         let keys = ctx.gen_rotation_keys(&kp.secret, &power_of_two_rotations(slots), false);
         let vals: Vec<f64> = (0..slots).map(|i| (i * i % 13) as f64).collect();
-        let ct = ctx.encrypt_values(&vals, &kp.public).unwrap();
+        let ct = ctx.encrypt_values(&vals, &kp.public)?;
         for r in [0isize, 3, 5, slots as isize - 1] {
-            let rotated = hrotate_any(&ctx, &ct, r, &keys).unwrap();
-            let dec = ctx.decrypt_values(&rotated, &kp.secret).unwrap();
+            let rotated = hrotate_any(&ctx, &ct, r, &keys)?;
+            let dec = ctx.decrypt_values(&rotated, &kp.secret)?;
             let expect: Vec<f64> = (0..slots).map(|i| vals[(i + r as usize) % slots]).collect();
             close(&dec, &expect, 0.1);
         }
+        Ok(())
     }
 
     #[test]
-    fn hoisted_rotations_match_individual_rotations() {
-        let (ctx, kp) = setup();
+    fn hoisted_rotations_match_individual_rotations() -> Result<(), CkksError> {
+        let (ctx, kp) = setup()?;
         let slots = ctx.params().slots();
         let vals: Vec<f64> = (0..slots).map(|i| (i as f64) * 0.5 - 3.0).collect();
-        let ct = ctx.encrypt_values(&vals, &kp.public).unwrap();
+        let ct = ctx.encrypt_values(&vals, &kp.public)?;
         let rotations = [0isize, 1, 3, 7];
         let keys = ctx.gen_rotation_keys(&kp.secret, &rotations, false);
-        let hoisted = hrotate_many(&ctx, &ct, &rotations, &keys).unwrap();
+        let hoisted = hrotate_many(&ctx, &ct, &rotations, &keys)?;
         assert_eq!(hoisted.len(), rotations.len());
         for (r, h) in rotations.iter().zip(&hoisted) {
-            let individual = hrotate(&ctx, &ct, *r, &keys).unwrap();
-            let a = ctx.decrypt_values(h, &kp.secret).unwrap();
-            let b = ctx.decrypt_values(&individual, &kp.secret).unwrap();
+            let individual = hrotate(&ctx, &ct, *r, &keys)?;
+            let a = ctx.decrypt_values(h, &kp.secret)?;
+            let b = ctx.decrypt_values(&individual, &kp.secret)?;
             close(&a, &b, 5e-2);
             // And both equal the plaintext rotation.
             let expect: Vec<f64> = (0..slots)
@@ -688,30 +700,33 @@ mod tests {
                 .collect();
             close(&a, &expect, 5e-2);
         }
+        Ok(())
     }
 
     #[test]
-    fn hoisted_rotation_missing_key_errors() {
-        let (ctx, kp) = setup();
-        let ct = ctx.encrypt_values(&[1.0], &kp.public).unwrap();
+    fn hoisted_rotation_missing_key_errors() -> Result<(), CkksError> {
+        let (ctx, kp) = setup()?;
+        let ct = ctx.encrypt_values(&[1.0], &kp.public)?;
         let keys = ctx.gen_rotation_keys(&kp.secret, &[1], false);
         assert!(matches!(
             hrotate_many(&ctx, &ct, &[1, 2], &keys),
             Err(CkksError::MissingKey(_))
         ));
+        Ok(())
     }
 
     #[test]
-    fn rotation_composition() {
-        let (ctx, kp) = setup();
+    fn rotation_composition() -> Result<(), CkksError> {
+        let (ctx, kp) = setup()?;
         let slots = ctx.params().slots();
         let vals: Vec<f64> = (0..slots).map(|i| (i * i % 7) as f64).collect();
-        let ct = ctx.encrypt_values(&vals, &kp.public).unwrap();
+        let ct = ctx.encrypt_values(&vals, &kp.public)?;
         let keys = ctx.gen_rotation_keys(&kp.secret, &[1, 2, 3], false);
-        let r12 = hrotate(&ctx, &hrotate(&ctx, &ct, 1, &keys).unwrap(), 2, &keys).unwrap();
-        let r3 = hrotate(&ctx, &ct, 3, &keys).unwrap();
-        let a = ctx.decrypt_values(&r12, &kp.secret).unwrap();
-        let b = ctx.decrypt_values(&r3, &kp.secret).unwrap();
+        let r12 = hrotate(&ctx, &hrotate(&ctx, &ct, 1, &keys)?, 2, &keys)?;
+        let r3 = hrotate(&ctx, &ct, 3, &keys)?;
+        let a = ctx.decrypt_values(&r12, &kp.secret)?;
+        let b = ctx.decrypt_values(&r3, &kp.secret)?;
         close(&a, &b, 1e-1);
+        Ok(())
     }
 }

@@ -160,7 +160,7 @@ impl ParamSet {
     ///
     /// # Errors
     ///
-    /// Returns [`CkksError::BadParams`] if the prime pool is exhausted or the
+    /// Returns [`CkksError::InvalidParams`] if the prime pool is exhausted or the
     /// shape is invalid.
     pub fn build(&self) -> Result<CkksParams, CkksError> {
         CkksParams::generate(self.clone())
@@ -183,10 +183,10 @@ pub struct CkksParams {
 impl CkksParams {
     fn generate(set: ParamSet) -> Result<Self, CkksError> {
         if !set.n.is_power_of_two() || set.n < 8 {
-            return Err(CkksError::BadParams(format!("N = {} invalid", set.n)));
+            return Err(CkksError::InvalidParams(format!("N = {} invalid", set.n)));
         }
         if set.special == 0 {
-            return Err(CkksError::BadParams("K must be >= 1".into()));
+            return Err(CkksError::InvalidParams("K must be >= 1".into()));
         }
         let two_n = 2 * set.n as u64;
         let mut primes = Vec::new();
@@ -195,12 +195,12 @@ impl CkksParams {
         for i in 0..=set.level {
             let p = if i % 2 == 0 {
                 let p = ntt_prime_above(hi + 1, two_n)
-                    .map_err(|e| CkksError::BadParams(e.to_string()))?;
+                    .map_err(|e| CkksError::InvalidParams(e.to_string()))?;
                 hi = p;
                 p
             } else {
                 let p = ntt_prime_below(lo - 1, two_n)
-                    .map_err(|e| CkksError::BadParams(e.to_string()))?;
+                    .map_err(|e| CkksError::InvalidParams(e.to_string()))?;
                 lo = p;
                 p
             };
@@ -211,7 +211,7 @@ impl CkksParams {
         let mut cursor = 1u64 << set.special_bits;
         for _ in 0..set.special {
             let p = ntt_prime_above(cursor + 1, two_n)
-                .map_err(|e| CkksError::BadParams(e.to_string()))?;
+                .map_err(|e| CkksError::InvalidParams(e.to_string()))?;
             cursor = p;
             p_chain.push(p);
         }

@@ -44,7 +44,7 @@ impl<'a> Reader<'a> {
             .pos
             .checked_add(n)
             .filter(|&e| e <= self.buf.len())
-            .ok_or_else(|| CkksError::Math("truncated wire data".into()))?;
+            .ok_or_else(|| CkksError::WireDecode("truncated wire data".into()))?;
         let s = &self.buf[self.pos..end];
         self.pos = end;
         Ok(s)
@@ -95,15 +95,15 @@ fn read_poly(
         for _ in 0..degree {
             let c = u64::from(r.u32()?);
             if c >= q {
-                return Err(CkksError::Math(format!(
+                return Err(CkksError::WireDecode(format!(
                     "wire coefficient {c} out of range for modulus {q}"
                 )));
             }
             coeffs.push(c);
         }
-        polys.push(Poly::from_coeffs(q, coeffs)?);
+        polys.push(Poly::from_coeffs(q, coeffs).map_err(|e| CkksError::WireDecode(e.to_string()))?);
     }
-    RnsPoly::from_limbs(polys, domain).map_err(Into::into)
+    RnsPoly::from_limbs(polys, domain).map_err(|e| CkksError::WireDecode(e.to_string()))
 }
 
 /// Serializes a ciphertext (NTT domain assumed, as produced by this crate).
@@ -126,31 +126,31 @@ pub fn ciphertext_to_bytes(ct: &Ciphertext) -> Vec<u8> {
 ///
 /// # Errors
 ///
-/// Returns [`CkksError::Math`] on truncation, bad magic, wrong kind, or
+/// Returns [`CkksError::WireDecode`] on truncation, bad magic, wrong kind, or
 /// out-of-range coefficients (every coefficient is validated against its
 /// limb modulus).
 pub fn ciphertext_from_bytes(buf: &[u8]) -> Result<Ciphertext, CkksError> {
     let mut r = Reader { buf, pos: 0 };
     if r.take(4)? != MAGIC {
-        return Err(CkksError::Math("bad wire magic".into()));
+        return Err(CkksError::WireDecode("bad wire magic".into()));
     }
     if r.u8()? != KIND_CIPHERTEXT {
-        return Err(CkksError::Math("not a ciphertext".into()));
+        return Err(CkksError::WireDecode("not a ciphertext".into()));
     }
     let level = r.u32()? as usize;
     let scale = r.f64()?;
     if !scale.is_finite() || scale <= 0.0 {
-        return Err(CkksError::Math("invalid scale on wire".into()));
+        return Err(CkksError::WireDecode("invalid scale on wire".into()));
     }
     let limbs = r.u32()? as usize;
     let degree = r.u32()? as usize;
     if limbs == 0 || limbs != level + 1 || !degree.is_power_of_two() || degree < 4 {
-        return Err(CkksError::Math("inconsistent wire header".into()));
+        return Err(CkksError::WireDecode("inconsistent wire header".into()));
     }
     let c0 = read_poly(&mut r, limbs, degree, Domain::Ntt)?;
     let c1 = read_poly(&mut r, limbs, degree, Domain::Ntt)?;
     if r.pos != buf.len() {
-        return Err(CkksError::Math("trailing wire bytes".into()));
+        return Err(CkksError::WireDecode("trailing wire bytes".into()));
     }
     Ok(Ciphertext {
         c0,
@@ -183,21 +183,21 @@ pub fn plaintext_to_bytes(pt: &Plaintext) -> Vec<u8> {
 pub fn plaintext_from_bytes(buf: &[u8]) -> Result<Plaintext, CkksError> {
     let mut r = Reader { buf, pos: 0 };
     if r.take(4)? != MAGIC {
-        return Err(CkksError::Math("bad wire magic".into()));
+        return Err(CkksError::WireDecode("bad wire magic".into()));
     }
     if r.u8()? != KIND_PLAINTEXT {
-        return Err(CkksError::Math("not a plaintext".into()));
+        return Err(CkksError::WireDecode("not a plaintext".into()));
     }
     let level = r.u32()? as usize;
     let scale = r.f64()?;
     let limbs = r.u32()? as usize;
     let degree = r.u32()? as usize;
     if limbs == 0 || !degree.is_power_of_two() || degree < 4 {
-        return Err(CkksError::Math("inconsistent wire header".into()));
+        return Err(CkksError::WireDecode("inconsistent wire header".into()));
     }
     let poly = read_poly(&mut r, limbs, degree, Domain::Ntt)?;
     if r.pos != buf.len() {
-        return Err(CkksError::Math("trailing wire bytes".into()));
+        return Err(CkksError::WireDecode("trailing wire bytes".into()));
     }
     Ok(Plaintext { poly, scale, level })
 }
@@ -225,18 +225,18 @@ pub fn secret_key_to_bytes(sk: &crate::keys::SecretKey) -> Vec<u8> {
 pub fn secret_key_from_bytes(buf: &[u8]) -> Result<crate::keys::SecretKey, CkksError> {
     let mut r = Reader { buf, pos: 0 };
     if r.take(4)? != MAGIC || r.u8()? != KIND_SECRET_KEY {
-        return Err(CkksError::Math("not a secret key".into()));
+        return Err(CkksError::WireDecode("not a secret key".into()));
     }
     let _ = r.u32()?;
     let _ = r.u64()?;
     let limbs = r.u32()? as usize;
     let degree = r.u32()? as usize;
     if limbs == 0 || !degree.is_power_of_two() || degree < 4 {
-        return Err(CkksError::Math("inconsistent wire header".into()));
+        return Err(CkksError::WireDecode("inconsistent wire header".into()));
     }
     let s = read_poly(&mut r, limbs, degree, Domain::Ntt)?;
     if r.pos != buf.len() {
-        return Err(CkksError::Math("trailing wire bytes".into()));
+        return Err(CkksError::WireDecode("trailing wire bytes".into()));
     }
     Ok(crate::keys::SecretKey { s })
 }
@@ -265,19 +265,19 @@ pub fn public_key_to_bytes(pk: &crate::keys::PublicKey) -> Vec<u8> {
 pub fn public_key_from_bytes(buf: &[u8]) -> Result<crate::keys::PublicKey, CkksError> {
     let mut r = Reader { buf, pos: 0 };
     if r.take(4)? != MAGIC || r.u8()? != KIND_PUBLIC_KEY {
-        return Err(CkksError::Math("not a public key".into()));
+        return Err(CkksError::WireDecode("not a public key".into()));
     }
     let _ = r.u32()?;
     let _ = r.u64()?;
     let limbs = r.u32()? as usize;
     let degree = r.u32()? as usize;
     if limbs == 0 || !degree.is_power_of_two() || degree < 4 {
-        return Err(CkksError::Math("inconsistent wire header".into()));
+        return Err(CkksError::WireDecode("inconsistent wire header".into()));
     }
     let b = read_poly(&mut r, limbs, degree, Domain::Ntt)?;
     let a = read_poly(&mut r, limbs, degree, Domain::Ntt)?;
     if r.pos != buf.len() {
-        return Err(CkksError::Math("trailing wire bytes".into()));
+        return Err(CkksError::WireDecode("trailing wire bytes".into()));
     }
     Ok(crate::keys::PublicKey { b, a })
 }
@@ -287,31 +287,32 @@ mod tests {
     use super::*;
     use crate::{CkksContext, ParamSet};
 
-    fn ctx() -> (CkksContext, crate::keys::KeyPair) {
-        let params = ParamSet::set_a().with_degree(1 << 6).build().unwrap();
-        let ctx = CkksContext::with_seed(params, 77).unwrap();
+    fn ctx() -> Result<(CkksContext, crate::keys::KeyPair), CkksError> {
+        let params = ParamSet::set_a().with_degree(1 << 6).build()?;
+        let ctx = CkksContext::with_seed(params, 77)?;
         let kp = ctx.keygen();
-        (ctx, kp)
+        Ok((ctx, kp))
     }
 
     #[test]
-    fn ciphertext_round_trip_preserves_decryption() {
-        let (ctx, kp) = ctx();
+    fn ciphertext_round_trip_preserves_decryption() -> Result<(), CkksError> {
+        let (ctx, kp) = ctx()?;
         let vals = vec![1.25, -3.5, 0.0, 42.0];
-        let ct = ctx.encrypt_values(&vals, &kp.public).unwrap();
+        let ct = ctx.encrypt_values(&vals, &kp.public)?;
         let bytes = ciphertext_to_bytes(&ct);
-        let back = ciphertext_from_bytes(&bytes).unwrap();
+        let back = ciphertext_from_bytes(&bytes)?;
         assert_eq!(back, ct);
-        let dec = ctx.decrypt_values(&back, &kp.secret).unwrap();
+        let dec = ctx.decrypt_values(&back, &kp.secret)?;
         for (a, b) in vals.iter().zip(&dec) {
             assert!((a - b).abs() < 1e-3);
         }
+        Ok(())
     }
 
     #[test]
-    fn wire_size_is_u32_per_coefficient() {
-        let (ctx, kp) = ctx();
-        let ct = ctx.encrypt_values(&[1.0], &kp.public).unwrap();
+    fn wire_size_is_u32_per_coefficient() -> Result<(), CkksError> {
+        let (ctx, kp) = ctx()?;
+        let ct = ctx.encrypt_values(&[1.0], &kp.public)?;
         let bytes = ciphertext_to_bytes(&ct);
         let limbs = ct.c0.limb_count();
         let n = ct.degree();
@@ -319,20 +320,22 @@ mod tests {
         assert_eq!(bytes.len(), expect);
         // Half of a 64-bit-word layout, as the 32-bit word size promises.
         assert!(bytes.len() < 2 * limbs * n * 8);
+        Ok(())
     }
 
     #[test]
-    fn plaintext_round_trip() {
-        let (ctx, _) = ctx();
-        let pt = ctx.encode(&[0.5, 0.25]).unwrap();
-        let back = plaintext_from_bytes(&plaintext_to_bytes(&pt)).unwrap();
+    fn plaintext_round_trip() -> Result<(), CkksError> {
+        let (ctx, _) = ctx()?;
+        let pt = ctx.encode(&[0.5, 0.25])?;
+        let back = plaintext_from_bytes(&plaintext_to_bytes(&pt))?;
         assert_eq!(back, pt);
+        Ok(())
     }
 
     #[test]
-    fn rejects_corruption() {
-        let (ctx, kp) = ctx();
-        let ct = ctx.encrypt_values(&[1.0], &kp.public).unwrap();
+    fn rejects_corruption() -> Result<(), CkksError> {
+        let (ctx, kp) = ctx()?;
+        let ct = ctx.encrypt_values(&[1.0], &kp.public)?;
         let good = ciphertext_to_bytes(&ct);
 
         // Truncated.
@@ -342,7 +345,7 @@ mod tests {
         bad[0] ^= 0xff;
         assert!(ciphertext_from_bytes(&bad).is_err());
         // Wrong kind.
-        let pt = ctx.encode(&[1.0]).unwrap();
+        let pt = ctx.encode(&[1.0])?;
         assert!(ciphertext_from_bytes(&plaintext_to_bytes(&pt)).is_err());
         // Trailing garbage.
         let mut long = good.clone();
@@ -354,39 +357,113 @@ mod tests {
         let coeff_off = 4 + 1 + 4 + 8 + 4 + 4 + 8; // first coefficient of limb 0
         oob[coeff_off..coeff_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(ciphertext_from_bytes(&oob).is_err());
+        Ok(())
     }
 
     #[test]
-    fn key_round_trips_stay_functional() {
-        let (ctx, kp) = ctx();
-        let sk2 = secret_key_from_bytes(&secret_key_to_bytes(&kp.secret)).unwrap();
-        let pk2 = public_key_from_bytes(&public_key_to_bytes(&kp.public)).unwrap();
+    fn key_round_trips_stay_functional() -> Result<(), CkksError> {
+        let (ctx, kp) = ctx()?;
+        let sk2 = secret_key_from_bytes(&secret_key_to_bytes(&kp.secret))?;
+        let pk2 = public_key_from_bytes(&public_key_to_bytes(&kp.public))?;
         assert_eq!(sk2, kp.secret);
         assert_eq!(pk2, kp.public);
         // Encrypt with the deserialized public key; decrypt with the
         // deserialized secret key.
-        let ct = ctx.encrypt(&ctx.encode(&[4.5]).unwrap(), &pk2).unwrap();
-        let dec = ctx.decrypt_values(&ct, &sk2).unwrap();
+        let ct = ctx.encrypt(&ctx.encode(&[4.5])?, &pk2)?;
+        let dec = ctx.decrypt_values(&ct, &sk2)?;
         assert!((dec[0] - 4.5).abs() < 1e-2);
+        Ok(())
     }
 
     #[test]
-    fn key_kinds_are_not_interchangeable() {
-        let (_, kp) = ctx();
+    fn key_kinds_are_not_interchangeable() -> Result<(), CkksError> {
+        let (_, kp) = ctx()?;
         let sk_bytes = secret_key_to_bytes(&kp.secret);
         assert!(public_key_from_bytes(&sk_bytes).is_err());
         assert!(ciphertext_from_bytes(&sk_bytes).is_err());
+        Ok(())
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+        use std::sync::OnceLock;
+
+        /// One valid (ciphertext, plaintext) byte pair, built once: the
+        /// corpus the mutation strategies start from.
+        fn sample_bytes() -> &'static (Vec<u8>, Vec<u8>) {
+            static BYTES: OnceLock<(Vec<u8>, Vec<u8>)> = OnceLock::new();
+            BYTES.get_or_init(|| {
+                let (ctx, kp) = ctx().expect("context");
+                let ct = ctx
+                    .encrypt_values(&[1.0, -2.0, 3.0], &kp.public)
+                    .expect("encrypt");
+                let pt = ctx.encode(&[0.5, 0.25]).expect("encode");
+                (ciphertext_to_bytes(&ct), plaintext_to_bytes(&pt))
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn prop_mutated_ciphertext_bytes_never_panic(
+                idx in 0usize..1 << 20,
+                xor in 1u8..=255,
+                cut in 0usize..1 << 20,
+            ) {
+                let (ct_bytes, _) = sample_bytes();
+                let mut buf = ct_bytes.clone();
+                let i = idx % buf.len();
+                buf[i] ^= xor;
+                // A flipped byte may still parse (e.g. a coefficient that
+                // stays below its modulus) — the contract is "Ok or Err,
+                // never a panic, never out-of-bounds".
+                let _ = ciphertext_from_bytes(&buf);
+                // Truncations are always invalid.
+                let cut = cut % ct_bytes.len();
+                prop_assert!(ciphertext_from_bytes(&ct_bytes[..cut]).is_err());
+            }
+
+            #[test]
+            fn prop_mutated_plaintext_bytes_never_panic(
+                idx in 0usize..1 << 20,
+                xor in 1u8..=255,
+                cut in 0usize..1 << 20,
+            ) {
+                let (_, pt_bytes) = sample_bytes();
+                let mut buf = pt_bytes.clone();
+                let i = idx % buf.len();
+                buf[i] ^= xor;
+                let _ = plaintext_from_bytes(&buf);
+                let cut = cut % pt_bytes.len();
+                prop_assert!(plaintext_from_bytes(&pt_bytes[..cut]).is_err());
+            }
+
+            #[test]
+            fn prop_arbitrary_bytes_never_panic(
+                data in proptest::collection::vec(any::<u8>(), 0..256),
+            ) {
+                // None of the decoders may panic on arbitrary input, and
+                // anything without the magic prefix must be rejected.
+                prop_assert!(data.starts_with(MAGIC) || ciphertext_from_bytes(&data).is_err());
+                let _ = plaintext_from_bytes(&data);
+                let _ = secret_key_from_bytes(&data);
+                let _ = public_key_from_bytes(&data);
+            }
+        }
     }
 
     #[test]
-    fn computation_on_deserialized_ciphertexts() {
-        let (ctx, kp) = ctx();
-        let a = ctx.encrypt_values(&[2.0, 3.0], &kp.public).unwrap();
-        let b = ctx.encrypt_values(&[5.0, -1.0], &kp.public).unwrap();
-        let a2 = ciphertext_from_bytes(&ciphertext_to_bytes(&a)).unwrap();
-        let b2 = ciphertext_from_bytes(&ciphertext_to_bytes(&b)).unwrap();
-        let sum = crate::ops::hadd(&a2, &b2).unwrap();
-        let dec = ctx.decrypt_values(&sum, &kp.secret).unwrap();
+    fn computation_on_deserialized_ciphertexts() -> Result<(), CkksError> {
+        let (ctx, kp) = ctx()?;
+        let a = ctx.encrypt_values(&[2.0, 3.0], &kp.public)?;
+        let b = ctx.encrypt_values(&[5.0, -1.0], &kp.public)?;
+        let a2 = ciphertext_from_bytes(&ciphertext_to_bytes(&a))?;
+        let b2 = ciphertext_from_bytes(&ciphertext_to_bytes(&b))?;
+        let sum = crate::ops::hadd(&a2, &b2)?;
+        let dec = ctx.decrypt_values(&sum, &kp.secret)?;
         assert!((dec[0] - 7.0).abs() < 1e-2 && (dec[1] - 2.0).abs() < 1e-2);
+        Ok(())
     }
 }

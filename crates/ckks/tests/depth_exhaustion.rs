@@ -1,0 +1,89 @@
+//! Depth exhaustion: drive a ciphertext down the modulus chain until the
+//! chain — and then the noise budget — runs out, and check that every
+//! failure is a typed error. A program that squares past its depth must see
+//! [`CkksError::ModulusChainExhausted`] / [`CkksError::NoiseBudgetExhausted`],
+//! never a panic and never a silently-wrong decrypt.
+
+use wd_ckks::ops::{hmult, rescale, rescale_by};
+use wd_ckks::{noise, CkksContext, CkksError, ParamSet};
+
+fn context() -> (CkksContext, wd_ckks::keys::KeyPair) {
+    let params = ParamSet::set_b()
+        .with_degree(1 << 8)
+        .with_level(4)
+        .build()
+        .expect("params");
+    let ctx = CkksContext::with_seed(params, 0xFADE).expect("context");
+    let kp = ctx.keygen();
+    (ctx, kp)
+}
+
+#[test]
+fn squaring_to_level_zero_errors_and_never_lies() {
+    let (ctx, kp) = context();
+    let slots = ctx.params().slots();
+    let xs: Vec<f64> = (0..slots).map(|i| 0.9 - 0.1 * (i % 7) as f64).collect();
+    let mut plain = xs.clone();
+    let mut ct = ctx.encrypt_values(&xs, &kp.public).expect("encrypt");
+
+    // Square + rescale until the chain is exhausted. Each surviving level
+    // must still decrypt to the true running product — exhaustion has to be
+    // an error, not an accuracy cliff we silently fell off earlier.
+    let mut squarings = 0usize;
+    loop {
+        let prod = match hmult(&ctx, &ct, &ct, &kp.relin) {
+            Ok(p) => p,
+            Err(CkksError::ModulusChainExhausted) => break,
+            Err(e) => panic!("unexpected hmult failure at level {}: {e}", ct.level),
+        };
+        ct = match rescale(&ctx, &prod) {
+            Ok(c) => c,
+            Err(CkksError::ModulusChainExhausted) => break,
+            Err(e) => panic!("unexpected rescale failure at level {}: {e}", prod.level),
+        };
+        squarings += 1;
+        plain.iter_mut().for_each(|v| *v *= *v);
+        let report = noise::measure(&ctx, &ct, &kp.secret, &plain).expect("measure");
+        assert!(
+            report.max_slot_error < 1e-2,
+            "level {} decrypt drifted to {} after {squarings} squarings",
+            ct.level,
+            report.max_slot_error
+        );
+    }
+    assert!(
+        squarings >= 2,
+        "chain should support at least two squarings, got {squarings}"
+    );
+    assert_eq!(ct.level, 0, "loop must end with the chain exhausted");
+
+    // At level 0 every further chain consumer is a typed error.
+    assert!(matches!(
+        rescale(&ctx, &ct),
+        Err(CkksError::ModulusChainExhausted)
+    ));
+    assert!(matches!(
+        rescale_by(&ctx, &ct, 1),
+        Err(CkksError::ModulusChainExhausted)
+    ));
+    // A multiply at level 0 either still works (the product just cannot be
+    // rescaled) or reports a typed error — in no case does it panic.
+    if let Ok(prod) = hmult(&ctx, &ct, &ct, &kp.relin) {
+        assert!(matches!(
+            rescale(&ctx, &prod),
+            Err(CkksError::ModulusChainExhausted)
+        ));
+    }
+
+    // The level-0 ciphertext itself still decrypts correctly...
+    let report = noise::measure(&ctx, &ct, &kp.secret, &plain).expect("measure");
+    assert!(report.max_slot_error < 1e-2, "{}", report.max_slot_error);
+    // ...but a caller demanding more headroom than one limb can hold gets
+    // the typed budget error instead of wrong numbers downstream.
+    match noise::ensure_budget(&ctx, &ct, &kp.secret, &plain, 1e6) {
+        Err(CkksError::NoiseBudgetExhausted { budget_bits }) => {
+            assert!(budget_bits.is_finite());
+        }
+        other => panic!("expected NoiseBudgetExhausted, got {other:?}"),
+    }
+}

@@ -21,11 +21,37 @@
 //! are **bit-identical** for every split of the budget, including the
 //! all-sequential `threads = 1` fallback, because no work item shares
 //! mutable state (see `wd_polyring::par`).
+//!
+//! # Thread-budget precedence
+//!
+//! Both budgets read `WD_THREADS`, but they never multiply implicitly:
+//!
+//! 1. [`BatchExecutor::new`] / [`CkksContext::set_threads`] — an explicit
+//!    argument always wins.
+//! 2. `WD_THREADS` — consulted by [`BatchExecutor::from_env`] (op level)
+//!    and by `CkksContext` construction (limb level). A **malformed** value
+//!    (non-numeric, zero) makes `from_env` log a warning and fall back to
+//!    [`BatchExecutor::sequential`]; an **unset** variable means "all
+//!    available cores" for the executor and "sequential" for the context.
+//! 3. Defaults: executor = available cores, context = 1.
+//!
+//! # Fault tolerance
+//!
+//! Every op in a batch runs inside the `wd-fault` recovery envelope:
+//! injected faults ([`FaultPlan`], `WD_FAULT_SEED`/`WD_FAULT_RATE`) and
+//! worker panics are caught per op, transient failures are retried with the
+//! executor's [`RetryPolicy`] (bounded deterministic backoff), and an op
+//! that keeps failing — or hits a non-transient `DeviceLost` — **degrades
+//! to a final fault-free sequential attempt**. Because every op is a pure
+//! function of its inputs, the recovered result is bit-identical to a
+//! fault-free run; injection changes latency, never values. Genuine errors
+//! (missing keys, exhausted chains) are never retried.
 
 use wd_ckks::cipher::Ciphertext;
 use wd_ckks::keys::{KeySwitchKey, RotationKeys};
 use wd_ckks::ops;
 use wd_ckks::{CkksContext, CkksError};
+use wd_fault::{run_isolated, FaultInjector, FaultPlan, RetryPolicy, WdError};
 use wd_polyring::par;
 use wd_polyring::rns::RnsPoly;
 
@@ -42,6 +68,19 @@ pub enum BatchOp<'a> {
     HRotate(&'a Ciphertext, isize),
     /// RESCALE by one chain prime.
     Rescale(&'a Ciphertext),
+}
+
+impl BatchOp<'_> {
+    /// Stable site label naming this op in [`WdError::SimFault`] reports.
+    pub fn site(&self) -> &'static str {
+        match self {
+            BatchOp::HAdd(..) => "batch.hadd",
+            BatchOp::HSub(..) => "batch.hsub",
+            BatchOp::HMult(..) => "batch.hmult",
+            BatchOp::HRotate(..) => "batch.hrotate",
+            BatchOp::Rescale(..) => "batch.rescale",
+        }
+    }
 }
 
 /// Evaluation keys a batch may need. Missing keys surface as per-op
@@ -71,28 +110,50 @@ impl<'a> EvalKeys<'a> {
     }
 }
 
-/// Fans whole-ciphertext operations out over a host thread pool.
+/// Fans whole-ciphertext operations out over a host thread pool, with
+/// per-op fault injection, panic isolation, retry, and sequential degrade
+/// (see the module docs).
 #[derive(Debug, Clone)]
 pub struct BatchExecutor {
     threads: usize,
+    injector: FaultInjector,
+    retry: RetryPolicy,
 }
 
 impl BatchExecutor {
-    /// Executor with an explicit op-level thread budget (min 1).
+    /// Executor with an explicit op-level thread budget (min 1). Fault
+    /// injection follows the environment ([`FaultPlan::from_env`], disabled
+    /// unless `WD_FAULT_RATE` is set); override with
+    /// [`BatchExecutor::with_fault_plan`].
     pub fn new(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
+            injector: FaultInjector::from_env(),
+            retry: RetryPolicy::default(),
         }
     }
 
     /// Executor sized from `WD_THREADS`, else all available cores.
+    ///
+    /// A malformed value (non-numeric, zero) is **rejected**: a warning is
+    /// logged to stderr and the executor falls back to
+    /// [`BatchExecutor::sequential`] rather than silently guessing a
+    /// parallel budget. See the module docs for the precedence vs
+    /// [`CkksContext::set_threads`].
     pub fn from_env() -> Self {
-        let n = std::env::var(par::THREADS_ENV)
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(par::available_threads);
-        Self::new(n)
+        match std::env::var(par::THREADS_ENV) {
+            Err(_) => Self::new(par::available_threads()),
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n > 0 => Self::new(n),
+                _ => {
+                    eprintln!(
+                        "warning: malformed {}={v:?}; falling back to sequential batch execution",
+                        par::THREADS_ENV
+                    );
+                    Self::sequential()
+                }
+            },
+        }
     }
 
     /// Strictly sequential executor (the bit-identical fallback).
@@ -100,22 +161,78 @@ impl BatchExecutor {
         Self::new(1)
     }
 
+    /// Replaces the fault plan (tests and fault drills; the environment
+    /// knobs `WD_FAULT_SEED`/`WD_FAULT_RATE` feed [`BatchExecutor::new`]).
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.injector = FaultInjector::new(plan);
+        self
+    }
+
+    /// Replaces the retry policy.
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
     /// The op-level thread budget.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The active fault plan.
+    pub fn fault_plan(&self) -> FaultPlan {
+        self.injector.plan()
+    }
+
+    /// The retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Runs one pure unit of work under the full recovery envelope:
+    /// injection → isolation → bounded retry → final fault-free attempt.
+    /// `op` must be a pure function of captured inputs (every CKKS op here
+    /// is), which is what makes the recovered result bit-identical.
+    fn recover<T>(&self, site: &str, op: impl Fn() -> Result<T, WdError>) -> Result<T, WdError> {
+        match self.retry.run(site, &self.injector, &op) {
+            Ok(v) => Ok(v),
+            // Retries exhausted or the device is gone: degrade to one final
+            // fault-free attempt (the "move the work off the failing path"
+            // step). A genuine error still surfaces from `op` itself.
+            Err(WdError::SimFault { .. }) | Err(WdError::WorkerPanicked(_)) => run_isolated(&op),
+            Err(e) => Err(e),
+        }
     }
 
     /// Executes a batch, returning one result per op **in input order**.
     ///
     /// Op-level errors (missing keys, level mismatches, exhausted levels)
     /// come back as `Err` entries; they never abort the rest of the batch.
+    /// Injected faults and worker panics are recovered per op (module
+    /// docs); with recovery exhausted they surface as
+    /// [`WdError::SimFault`] / [`WdError::WorkerPanicked`] entries.
     pub fn execute(
         &self,
         ctx: &CkksContext,
         keys: EvalKeys<'_>,
         batch: &[BatchOp<'_>],
     ) -> Vec<Result<Ciphertext, CkksError>> {
-        par::map_indexed(self.threads, batch.len(), |i| match batch[i] {
+        par::map_indexed(self.threads, batch.len(), |i| {
+            let op = &batch[i];
+            self.recover(op.site(), || Self::apply(ctx, keys, op))
+        })
+    }
+
+    /// One op, no recovery envelope — the pure function the envelope
+    /// retries.
+    fn apply(
+        ctx: &CkksContext,
+        keys: EvalKeys<'_>,
+        op: &BatchOp<'_>,
+    ) -> Result<Ciphertext, CkksError> {
+        match *op {
             BatchOp::HAdd(a, b) => ops::hadd(a, b),
             BatchOp::HSub(a, b) => ops::hsub(a, b),
             BatchOp::HMult(a, b) => {
@@ -131,14 +248,15 @@ impl BatchExecutor {
                 ops::hrotate(ctx, ct, r, rot)
             }
             BatchOp::Rescale(ct) => ops::rescale(ctx, ct),
-        })
+        }
     }
 
     /// Key-switches a batch of polynomials (NTT domain) with one key —
     /// the raw InnerProduct pipeline, exposed for callers that schedule
     /// relinearization themselves.
     ///
-    /// Returns per-poly `(out0, out1)` pairs in input order.
+    /// Returns per-poly `(out0, out1)` pairs in input order, each recovered
+    /// the same way [`BatchExecutor::execute`] recovers ops.
     pub fn keyswitch(
         &self,
         ctx: &CkksContext,
@@ -146,7 +264,9 @@ impl BatchExecutor {
         polys: &[&RnsPoly],
     ) -> Vec<Result<(RnsPoly, RnsPoly), CkksError>> {
         par::map_indexed(self.threads, polys.len(), |i| {
-            wd_ckks::keyswitch::keyswitch(ctx, polys[i], ksk)
+            self.recover("batch.keyswitch", || {
+                wd_ckks::keyswitch::keyswitch(ctx, polys[i], ksk)
+            })
         })
     }
 
@@ -155,26 +275,103 @@ impl BatchExecutor {
     ///
     /// # Panics
     ///
-    /// Same contract as [`wd_polyring::par::ntt_forward_batch`].
+    /// Panics on invalid input (wrong domain, missing table) — use
+    /// [`BatchExecutor::try_ntt_forward`] for the `Result`-typed contract.
     pub fn ntt_forward(
         &self,
         polys: &mut [RnsPoly],
         tables: &[std::sync::Arc<wd_polyring::ntt::NttTable>],
     ) {
-        par::ntt_forward_batch(polys, tables, self.threads);
+        self.try_ntt_forward(polys, tables).expect("batch NTT");
     }
 
     /// Batched inverse NTT (see [`BatchExecutor::ntt_forward`]).
     ///
     /// # Panics
     ///
-    /// Same contract as [`wd_polyring::par::ntt_inverse_batch`].
+    /// Panics on invalid input (wrong domain, missing table) — use
+    /// [`BatchExecutor::try_ntt_inverse`] for the `Result`-typed contract.
     pub fn ntt_inverse(
         &self,
         polys: &mut [RnsPoly],
         tables: &[std::sync::Arc<wd_polyring::ntt::NttTable>],
     ) {
-        par::ntt_inverse_batch(polys, tables, self.threads);
+        self.try_ntt_inverse(polys, tables).expect("batch NTT");
+    }
+
+    /// Fault-recovered batched forward NTT. On success the slice holds the
+    /// transformed polynomials; on `Err` it is **unchanged** (attempts run
+    /// on a scratch copy whenever they can fail), so a caller may retry or
+    /// degrade however it likes.
+    ///
+    /// # Errors
+    ///
+    /// [`WdError::LevelMismatch`] / [`WdError::InvalidParams`] on bad
+    /// input; [`WdError::SimFault`] / [`WdError::WorkerPanicked`] when
+    /// recovery is exhausted.
+    pub fn try_ntt_forward(
+        &self,
+        polys: &mut [RnsPoly],
+        tables: &[std::sync::Arc<wd_polyring::ntt::NttTable>],
+    ) -> Result<(), WdError> {
+        self.recover_inplace("batch.ntt_forward", polys, |ps, t| {
+            par::try_ntt_forward_batch(ps, tables, t)
+        })
+    }
+
+    /// Fault-recovered batched inverse NTT (see
+    /// [`BatchExecutor::try_ntt_forward`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BatchExecutor::try_ntt_forward`].
+    pub fn try_ntt_inverse(
+        &self,
+        polys: &mut [RnsPoly],
+        tables: &[std::sync::Arc<wd_polyring::ntt::NttTable>],
+    ) -> Result<(), WdError> {
+        self.recover_inplace("batch.ntt_inverse", polys, |ps, t| {
+            par::try_ntt_inverse_batch(ps, tables, t)
+        })
+    }
+
+    /// Recovery envelope for in-place batch transforms: attempts mutate a
+    /// scratch copy and commit on success, so the caller's slice is intact
+    /// under every failure. The final degraded attempt runs sequentially
+    /// and fault-free, directly in place (nothing left to protect against).
+    fn recover_inplace(
+        &self,
+        site: &str,
+        polys: &mut [RnsPoly],
+        f: impl Fn(&mut [RnsPoly], usize) -> Result<(), WdError>,
+    ) -> Result<(), WdError> {
+        if !self.injector.is_active() {
+            // Fast path: no scratch copy when injection is off. A worker
+            // panic still comes back as Err (isolated in `par`), with the
+            // slice contents unspecified — same contract as `par`.
+            return f(polys, self.threads);
+        }
+        for attempt in 0..self.retry.max_attempts.max(1) {
+            if attempt > 0 {
+                let pause = self.retry.backoff_for(attempt - 1);
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+            }
+            let result = self.injector.check(site).and_then(|()| {
+                let mut scratch = polys.to_vec();
+                f(&mut scratch, self.threads)?;
+                polys.clone_from_slice(&scratch);
+                Ok(())
+            });
+            match result {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_transient() => continue,
+                Err(WdError::SimFault { .. }) => break, // device lost: degrade
+                Err(e) => return Err(e),
+            }
+        }
+        f(polys, 1)
     }
 }
 
@@ -189,19 +386,19 @@ mod tests {
     use super::*;
     use wd_ckks::params::ParamSet;
 
-    fn setup() -> (CkksContext, wd_ckks::keys::KeyPair) {
-        let params = ParamSet::set_a().with_degree(1 << 6).build().unwrap();
-        let ctx = CkksContext::with_seed(params, 2024).unwrap();
+    fn setup() -> Result<(CkksContext, wd_ckks::keys::KeyPair), WdError> {
+        let params = ParamSet::set_a().with_degree(1 << 6).build()?;
+        let ctx = CkksContext::with_seed(params, 2024)?;
         let kp = ctx.keygen();
-        (ctx, kp)
+        Ok((ctx, kp))
     }
 
     #[test]
-    fn batch_matches_sequential_ops_bit_for_bit() {
-        let (ctx, kp) = setup();
+    fn batch_matches_sequential_ops_bit_for_bit() -> Result<(), WdError> {
+        let (ctx, kp) = setup()?;
         let rot = ctx.gen_rotation_keys(&kp.secret, &[1], false);
-        let a = ctx.encrypt_values(&[1.0, 2.0, 3.0], &kp.public).unwrap();
-        let b = ctx.encrypt_values(&[0.5, -1.5, 4.0], &kp.public).unwrap();
+        let a = ctx.encrypt_values(&[1.0, 2.0, 3.0], &kp.public)?;
+        let b = ctx.encrypt_values(&[0.5, -1.5, 4.0], &kp.public)?;
         let batch = [
             BatchOp::HAdd(&a, &b),
             BatchOp::HMult(&a, &b),
@@ -214,18 +411,19 @@ mod tests {
             let par_out = BatchExecutor::new(threads).execute(&ctx, keys, &batch);
             for (i, (s, p)) in seq.iter().zip(&par_out).enumerate() {
                 assert_eq!(
-                    s.as_ref().unwrap(),
-                    p.as_ref().unwrap(),
+                    s.as_ref().expect("sequential op"),
+                    p.as_ref().expect("parallel op"),
                     "op {i} diverged at {threads} threads"
                 );
             }
         }
+        Ok(())
     }
 
     #[test]
-    fn missing_keys_error_per_op_without_aborting_batch() {
-        let (ctx, kp) = setup();
-        let a = ctx.encrypt_values(&[1.0], &kp.public).unwrap();
+    fn missing_keys_error_per_op_without_aborting_batch() -> Result<(), WdError> {
+        let (ctx, kp) = setup()?;
+        let a = ctx.encrypt_values(&[1.0], &kp.public)?;
         let out = BatchExecutor::new(4).execute(
             &ctx,
             EvalKeys::default(),
@@ -233,24 +431,151 @@ mod tests {
         );
         assert!(matches!(out[0], Err(CkksError::MissingKey(_))));
         assert!(out[1].is_ok());
+        Ok(())
     }
 
     #[test]
-    fn batched_keyswitch_matches_direct_calls() {
-        let (ctx, kp) = setup();
-        let p0 = ctx.encode(&[1.0, 2.0]).unwrap().poly;
-        let p1 = ctx.encode(&[3.0, -1.0]).unwrap().poly;
+    fn batched_keyswitch_matches_direct_calls() -> Result<(), WdError> {
+        let (ctx, kp) = setup()?;
+        let p0 = ctx.encode(&[1.0, 2.0])?.poly;
+        let p1 = ctx.encode(&[3.0, -1.0])?.poly;
         let ex = BatchExecutor::new(4);
         let batched = ex.keyswitch(&ctx, &kp.relin, &[&p0, &p1]);
-        let d0 = wd_ckks::keyswitch::keyswitch(&ctx, &p0, &kp.relin).unwrap();
-        let d1 = wd_ckks::keyswitch::keyswitch(&ctx, &p1, &kp.relin).unwrap();
-        assert_eq!(batched[0].as_ref().unwrap(), &d0);
-        assert_eq!(batched[1].as_ref().unwrap(), &d1);
+        let d0 = wd_ckks::keyswitch::keyswitch(&ctx, &p0, &kp.relin)?;
+        let d1 = wd_ckks::keyswitch::keyswitch(&ctx, &p1, &kp.relin)?;
+        assert_eq!(batched[0].as_ref().expect("batched keyswitch"), &d0);
+        assert_eq!(batched[1].as_ref().expect("batched keyswitch"), &d1);
+        Ok(())
     }
 
     #[test]
-    fn executor_threads_are_bounded_below_by_one() {
+    fn executor_threads_are_bounded_below_by_one() -> Result<(), WdError> {
         assert_eq!(BatchExecutor::new(0).threads(), 1);
         assert!(BatchExecutor::from_env().threads() >= 1);
+        Ok(())
+    }
+
+    /// The reference answer: sequential, injection explicitly disabled.
+    fn clean_results(
+        ctx: &CkksContext,
+        keys: EvalKeys<'_>,
+        batch: &[BatchOp<'_>],
+    ) -> Vec<Ciphertext> {
+        BatchExecutor::sequential()
+            .with_fault_plan(FaultPlan::disabled())
+            .execute(ctx, keys, batch)
+            .into_iter()
+            .map(|r| r.expect("clean run succeeds"))
+            .collect()
+    }
+
+    #[test]
+    fn injected_faults_recover_bit_identically() -> Result<(), WdError> {
+        let (ctx, kp) = setup()?;
+        let rot = ctx.gen_rotation_keys(&kp.secret, &[1], false);
+        let a = ctx.encrypt_values(&[1.0, 2.0, 3.0], &kp.public)?;
+        let b = ctx.encrypt_values(&[0.5, -1.5, 4.0], &kp.public)?;
+        let batch = [
+            BatchOp::HMult(&a, &b),
+            BatchOp::HRotate(&a, 1),
+            BatchOp::HAdd(&a, &b),
+            BatchOp::Rescale(&a),
+        ];
+        let keys = EvalKeys::with_relin(&kp.relin).and_rotations(&rot);
+        let clean = clean_results(&ctx, keys, &batch);
+        for seed in [1u64, 7, 42] {
+            for threads in [1usize, 2, 4] {
+                let ex = BatchExecutor::new(threads).with_fault_plan(FaultPlan::new(seed, 0.3));
+                let out = ex.execute(&ctx, keys, &batch);
+                for (i, (c, o)) in clean.iter().zip(&out).enumerate() {
+                    assert_eq!(
+                        c,
+                        o.as_ref().expect("recovered"),
+                        "op {i} diverged under seed {seed}, {threads} threads"
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn full_rate_injection_still_degrades_to_correct_results() -> Result<(), WdError> {
+        // Every draw faults (including DeviceLost), so every op exhausts its
+        // retries and takes the final fault-free sequential attempt.
+        let (ctx, kp) = setup()?;
+        let a = ctx.encrypt_values(&[2.0, -1.0], &kp.public)?;
+        let b = ctx.encrypt_values(&[0.25, 8.0], &kp.public)?;
+        let batch = [BatchOp::HAdd(&a, &b), BatchOp::HMult(&a, &b)];
+        let keys = EvalKeys::with_relin(&kp.relin);
+        let clean = clean_results(&ctx, keys, &batch);
+        let ex = BatchExecutor::new(2)
+            .with_fault_plan(FaultPlan::new(5, 1.0))
+            .with_retry_policy(RetryPolicy {
+                max_attempts: 2,
+                base_backoff: std::time::Duration::ZERO,
+            });
+        let out = ex.execute(&ctx, keys, &batch);
+        for (c, o) in clean.iter().zip(&out) {
+            assert_eq!(c, o.as_ref().expect("degraded path succeeds"));
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn genuine_errors_are_not_masked_by_recovery() -> Result<(), WdError> {
+        let (ctx, kp) = setup()?;
+        let a = ctx.encrypt_values(&[1.0], &kp.public)?;
+        let ex = BatchExecutor::new(2).with_fault_plan(FaultPlan::new(3, 0.5));
+        let out = ex.execute(&ctx, EvalKeys::default(), &[BatchOp::HMult(&a, &a)]);
+        assert!(
+            matches!(out[0], Err(CkksError::MissingKey(_))),
+            "{:?}",
+            out[0]
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn try_ntt_recovers_in_place_batches() -> Result<(), WdError> {
+        let (ctx, _) = setup()?;
+        let polys: Vec<RnsPoly> = (0..3)
+            .map(|i| {
+                ctx.encode(&[i as f64 + 0.5, -1.0])
+                    .map(|pt| pt.poly)
+                    .expect("encode")
+            })
+            .collect();
+        let primes = polys[0].primes();
+        let tables = ctx.tables_for(&primes);
+        // Expected: the disabled-injection transform.
+        let mut expect = polys.clone();
+        BatchExecutor::sequential()
+            .with_fault_plan(FaultPlan::disabled())
+            .try_ntt_inverse(&mut expect, &tables)?;
+        for seed in [2u64, 11] {
+            let ex = BatchExecutor::new(4).with_fault_plan(FaultPlan::new(seed, 0.6));
+            let mut got = polys.clone();
+            ex.try_ntt_inverse(&mut got, &tables).expect("recovered");
+            assert_eq!(got, expect, "seed {seed}");
+            // Round-trip back under injection too.
+            ex.try_ntt_forward(&mut got, &tables).expect("recovered");
+            assert_eq!(got, polys, "seed {seed} round trip");
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn try_ntt_reports_bad_domain_without_panicking() -> Result<(), WdError> {
+        let (ctx, _) = setup()?;
+        let mut polys = vec![ctx.encode(&[1.0])?.poly]; // NTT domain
+        let primes = polys[0].primes();
+        let tables = ctx.tables_for(&primes);
+        let ex = BatchExecutor::new(2).with_fault_plan(FaultPlan::disabled());
+        assert!(matches!(
+            ex.try_ntt_forward(&mut polys, &tables),
+            Err(WdError::LevelMismatch(_))
+        ));
+        Ok(())
     }
 }

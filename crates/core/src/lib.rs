@@ -38,3 +38,11 @@ pub use batch::{BatchExecutor, BatchOp, EvalKeys};
 pub use config::FrameworkConfig;
 pub use engine::PerfEngine;
 pub use opplan::{HomOp, OpShape, PlannerKind};
+
+// The workspace-wide fault model (error taxonomy, deterministic fault
+// injection, retry policy) — defined in `wd-fault`, re-exported here so
+// every consumer of the framework speaks one error type.
+pub use wd_fault::{
+    run_isolated, FaultInjector, FaultKind, FaultPlan, RetryPolicy, WdError, FAULT_RATE_ENV,
+    FAULT_SEED_ENV,
+};

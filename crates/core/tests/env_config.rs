@@ -1,0 +1,29 @@
+//! Environment-driven configuration contract for `BatchExecutor::from_env`.
+//!
+//! Lives in its own integration-test binary (hence its own process) because
+//! it mutates `WD_THREADS`; everything runs inside ONE test function so no
+//! parallel test observes a half-set environment.
+
+use warpdrive_core::BatchExecutor;
+
+#[test]
+fn from_env_accepts_valid_rejects_malformed_wd_threads() {
+    // Valid value: used as-is.
+    std::env::set_var("WD_THREADS", "3");
+    assert_eq!(BatchExecutor::from_env().threads(), 3);
+
+    // Malformed values: logged fallback to the sequential executor, never a
+    // silent guess and never a panic.
+    for bad in ["zero", "", "-2", "0", "4.5", "1e3"] {
+        std::env::set_var("WD_THREADS", bad);
+        assert_eq!(
+            BatchExecutor::from_env().threads(),
+            1,
+            "malformed WD_THREADS={bad:?} must fall back to sequential"
+        );
+    }
+
+    // Unset: all available cores.
+    std::env::remove_var("WD_THREADS");
+    assert!(BatchExecutor::from_env().threads() >= 1);
+}

@@ -1,0 +1,650 @@
+//! Workspace-wide fault model: the typed error taxonomy, deterministic
+//! fault injection, and the bounded retry policy the execution layers share.
+//!
+//! WarpDrive's PE kernels batch a whole ciphertext — every polynomial ×
+//! every RNS limb — into one launch (paper §III-C), so a single transient
+//! failure poisons an entire homomorphic operation. Production GPU FHE
+//! stacks treat launch failure, ECC events and level exhaustion as
+//! *recoverable conditions*, not process aborts. This crate is the
+//! substrate for that stance:
+//!
+//! - [`WdError`]: the one error type every layer speaks. Re-exported by
+//!   `wd-modmath`, `wd-polyring`, `wd-gpu-sim`, `wd-ckks` (as its
+//!   `CkksError`) and `warpdrive-core`.
+//! - [`FaultPlan`] / [`FaultInjector`]: a seedable, deterministic source of
+//!   injected faults (transient launch failure, ECC-style corrupted limb,
+//!   device loss), configured via [`FAULT_SEED_ENV`] / [`FAULT_RATE_ENV`].
+//!   Faults surface as [`WdError::SimFault`] — never as wrong numbers.
+//! - [`RetryPolicy`]: bounded, deterministic backoff-and-retry around a
+//!   fallible unit of work, with panic isolation ([`run_isolated`]) so a
+//!   worker panic becomes [`WdError::WorkerPanicked`] instead of killing
+//!   the process.
+//!
+//! The crate is dependency-free and sits below everything else in the
+//! workspace so that error conversions (`From<PolyError>`,
+//! `From<MathError>`) can live next to the types they convert.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Environment variable naming the fault-injection seed (`u64`, default 0).
+pub const FAULT_SEED_ENV: &str = "WD_FAULT_SEED";
+
+/// Environment variable naming the fault-injection rate (a float in
+/// `[0, 1]`, e.g. `0.05`; default 0 = injection disabled).
+pub const FAULT_RATE_ENV: &str = "WD_FAULT_RATE";
+
+// ---------------------------------------------------------------------------
+// Error taxonomy
+// ---------------------------------------------------------------------------
+
+/// The kind of an injected (or modeled) device fault, mirroring the failure
+/// modes a real A100 deployment sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A kernel launch that failed transiently (driver hiccup, spurious
+    /// `CUDA_ERROR_LAUNCH_FAILED`); relaunching the same work succeeds.
+    TransientLaunch,
+    /// An ECC-detected corrupted limb: the hardware flagged bad data before
+    /// it was consumed, so the operation must be recomputed from its
+    /// (intact) inputs.
+    CorruptedLimb,
+    /// The device dropped off the bus (`CUDA_ERROR_DEVICE_LOST`); only a
+    /// different execution path (another device, the host) can finish the
+    /// work.
+    DeviceLost,
+}
+
+impl FaultKind {
+    /// Whether retrying the same work on the same path can succeed.
+    pub fn is_transient(self) -> bool {
+        !matches!(self, FaultKind::DeviceLost)
+    }
+}
+
+impl core::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FaultKind::TransientLaunch => write!(f, "transient launch failure"),
+            FaultKind::CorruptedLimb => write!(f, "ECC-detected corrupted limb"),
+            FaultKind::DeviceLost => write!(f, "device lost"),
+        }
+    }
+}
+
+/// The workspace-wide error type.
+///
+/// Every public fallible API in the workspace returns this type (directly,
+/// or through the `CkksError` alias in `wd-ckks`). Variants are grouped by
+/// origin: parameter/shape validation, scheme-level exhaustion, wire
+/// decoding, and execution faults.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WdError {
+    /// Parameter validation failed (bad degree, exhausted prime pool, …).
+    InvalidParams(String),
+    /// An operand had the wrong size or shape.
+    DimensionMismatch {
+        /// The size that was provided.
+        got: usize,
+        /// The size that was required (or the capacity that was exceeded).
+        want: usize,
+    },
+    /// Operand levels or scales are incompatible (align or rescale first).
+    LevelMismatch(String),
+    /// The modulus chain has no levels left to consume (RESCALE at level 0,
+    /// or fewer levels than a multi-prime drop needs).
+    ModulusChainExhausted,
+    /// The remaining noise budget is too small for the result to be
+    /// trustworthy; continuing would silently corrupt the message.
+    NoiseBudgetExhausted {
+        /// Measured remaining budget in bits (may be negative).
+        budget_bits: f64,
+    },
+    /// A required key (relinearization / rotation / conjugation) is missing.
+    MissingKey(String),
+    /// Wire-format decoding failed (truncation, bad magic, wrong kind,
+    /// out-of-range coefficient, trailing bytes).
+    WireDecode(String),
+    /// Underlying modular/polynomial arithmetic error.
+    Math(String),
+    /// An injected or modeled device fault. Deterministic under
+    /// [`FaultPlan`]; never silently alters results.
+    SimFault {
+        /// What failed.
+        kind: FaultKind,
+        /// Where it failed (a stable site label such as `"batch.hmult"`).
+        site: String,
+    },
+    /// A worker thread panicked; the panic was isolated and converted into
+    /// this error instead of aborting the process.
+    WorkerPanicked(String),
+}
+
+impl WdError {
+    /// Whether a bounded retry of the same work can clear this error.
+    ///
+    /// Injected transient faults and isolated worker panics are retryable
+    /// (the inputs are intact); validation errors, exhaustion and device
+    /// loss are not.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            WdError::SimFault { kind, .. } => kind.is_transient(),
+            WdError::WorkerPanicked(_) => true,
+            _ => false,
+        }
+    }
+}
+
+impl core::fmt::Display for WdError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WdError::InvalidParams(s) => write!(f, "invalid parameters: {s}"),
+            WdError::DimensionMismatch { got, want } => {
+                write!(f, "dimension mismatch: got {got}, want at most {want}")
+            }
+            WdError::LevelMismatch(s) => write!(f, "operand mismatch: {s}"),
+            WdError::ModulusChainExhausted => {
+                write!(
+                    f,
+                    "modulus chain exhausted: no multiplicative levels remaining"
+                )
+            }
+            WdError::NoiseBudgetExhausted { budget_bits } => {
+                write!(
+                    f,
+                    "noise budget exhausted ({budget_bits:.1} bits remaining)"
+                )
+            }
+            WdError::MissingKey(s) => write!(f, "missing key: {s}"),
+            WdError::WireDecode(s) => write!(f, "wire decode failure: {s}"),
+            WdError::Math(s) => write!(f, "arithmetic failure: {s}"),
+            WdError::SimFault { kind, site } => write!(f, "injected fault at {site}: {kind}"),
+            WdError::WorkerPanicked(s) => write!(f, "worker thread panicked: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for WdError {}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection
+// ---------------------------------------------------------------------------
+
+/// A deterministic, seedable fault schedule.
+///
+/// The plan is a pure function `(seed, draw index) → Option<FaultKind>`:
+/// the n-th consultation of a plan with a given seed always returns the
+/// same decision, so any failure an injected run produces can be replayed
+/// exactly by rerunning with the same seed and rate. Rates are quantized to
+/// parts-per-million.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    rate_ppm: u32,
+}
+
+impl FaultPlan {
+    /// A plan that never injects (the production default).
+    pub fn disabled() -> Self {
+        Self {
+            seed: 0,
+            rate_ppm: 0,
+        }
+    }
+
+    /// A plan injecting faults at `rate` (clamped to `[0, 1]`) under `seed`.
+    pub fn new(seed: u64, rate: f64) -> Self {
+        let rate = if rate.is_finite() { rate } else { 0.0 };
+        Self {
+            seed,
+            rate_ppm: (rate.clamp(0.0, 1.0) * 1e6).round() as u32,
+        }
+    }
+
+    /// Reads [`FAULT_SEED_ENV`] / [`FAULT_RATE_ENV`]. Unset or malformed
+    /// values fall back to seed 0 / rate 0 (disabled), with a warning on
+    /// stderr for malformed ones — never a panic.
+    pub fn from_env() -> Self {
+        let seed = match std::env::var(FAULT_SEED_ENV) {
+            Err(_) => 0,
+            Ok(v) => match v.trim().parse::<u64>() {
+                Ok(s) => s,
+                Err(_) => {
+                    eprintln!("warning: ignoring malformed {FAULT_SEED_ENV}={v:?}; using seed 0");
+                    0
+                }
+            },
+        };
+        let rate = match std::env::var(FAULT_RATE_ENV) {
+            Err(_) => 0.0,
+            Ok(v) => match v.trim().parse::<f64>() {
+                Ok(r) if (0.0..=1.0).contains(&r) => r,
+                _ => {
+                    eprintln!(
+                        "warning: ignoring malformed {FAULT_RATE_ENV}={v:?}; fault injection off"
+                    );
+                    0.0
+                }
+            },
+        };
+        Self::new(seed, rate)
+    }
+
+    /// Whether this plan can ever inject a fault.
+    pub fn is_active(&self) -> bool {
+        self.rate_ppm > 0
+    }
+
+    /// The seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The injection rate as a fraction in `[0, 1]`.
+    pub fn rate(&self) -> f64 {
+        f64::from(self.rate_ppm) / 1e6
+    }
+
+    /// The decision for the `draw`-th consultation: `None` (no fault) or
+    /// the kind to inject. Pure and deterministic.
+    pub fn decide(&self, draw: u64) -> Option<FaultKind> {
+        if self.rate_ppm == 0 {
+            return None;
+        }
+        let h = splitmix64(self.seed ^ draw.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        if (h >> 32) % 1_000_000 >= u64::from(self.rate_ppm) {
+            return None;
+        }
+        // Weight the kinds the way real telemetry skews: mostly transient
+        // launch failures, some ECC events, rare device loss.
+        Some(match h % 10 {
+            0..=5 => FaultKind::TransientLaunch,
+            6..=8 => FaultKind::CorruptedLimb,
+            _ => FaultKind::DeviceLost,
+        })
+    }
+}
+
+/// SplitMix64 — the standard 64-bit finalizing mixer (public domain).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A [`FaultPlan`] plus the draw counter that sequences its decisions.
+///
+/// Each call to [`FaultInjector::check`] consumes one draw, so a retried
+/// unit of work consults a *fresh* decision — exactly how a relaunched
+/// kernel faces an independent chance of failure. The counter is atomic;
+/// concurrent workers share one injector.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    draws: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Injector for a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            draws: AtomicU64::new(0),
+        }
+    }
+
+    /// Injector that never fires.
+    pub fn disabled() -> Self {
+        Self::new(FaultPlan::disabled())
+    }
+
+    /// Injector configured from the environment (see [`FaultPlan::from_env`]).
+    pub fn from_env() -> Self {
+        Self::new(FaultPlan::from_env())
+    }
+
+    /// The plan.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// Whether any fault can ever fire.
+    pub fn is_active(&self) -> bool {
+        self.plan.is_active()
+    }
+
+    /// Number of draws consumed so far.
+    pub fn draws(&self) -> u64 {
+        self.draws.load(Ordering::Relaxed)
+    }
+
+    /// Consults the plan once: `Ok(())` to proceed, or the injected fault
+    /// as [`WdError::SimFault`] tagged with `site`.
+    pub fn check(&self, site: &str) -> Result<(), WdError> {
+        if !self.plan.is_active() {
+            return Ok(());
+        }
+        let draw = self.draws.fetch_add(1, Ordering::Relaxed);
+        match self.plan.decide(draw) {
+            None => Ok(()),
+            Some(kind) => Err(WdError::SimFault {
+                kind,
+                site: site.to_string(),
+            }),
+        }
+    }
+}
+
+impl Clone for FaultInjector {
+    fn clone(&self) -> Self {
+        Self {
+            plan: self.plan,
+            draws: AtomicU64::new(self.draws.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Panic isolation and bounded retry
+// ---------------------------------------------------------------------------
+
+/// Runs `f` with panic isolation: a panic inside `f` is caught and returned
+/// as [`WdError::WorkerPanicked`] (with the panic message when it is a
+/// string) instead of unwinding into the caller.
+pub fn run_isolated<T>(f: impl FnOnce() -> Result<T, WdError>) -> Result<T, WdError> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "opaque panic payload".to_string()
+            };
+            Err(WdError::WorkerPanicked(msg))
+        }
+    }
+}
+
+/// Bounded, deterministic retry policy for transient faults.
+///
+/// Attempt `k` (zero-based) sleeps `base_backoff × 2^k` before retrying —
+/// a deterministic exponential schedule (no jitter: determinism is a
+/// design invariant of this reproduction, and the contention jitter guards
+/// against does not exist between independent retries of pure work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts of the primary path (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each further attempt.
+    pub base_backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// `max_attempts` attempts with a tiny (50 µs) base backoff.
+    pub fn with_max_attempts(max_attempts: u32) -> Self {
+        Self {
+            max_attempts: max_attempts.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// A policy that never retries (one attempt, no backoff).
+    pub fn no_retry() -> Self {
+        Self {
+            max_attempts: 1,
+            base_backoff: Duration::ZERO,
+        }
+    }
+
+    /// The backoff before retrying after failed attempt `attempt`
+    /// (zero-based): `base_backoff × 2^attempt`, capped at 100 ms.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let exp = self.base_backoff.saturating_mul(1u32 << attempt.min(10));
+        exp.min(Duration::from_millis(100))
+    }
+
+    /// Runs `op` with fault injection, panic isolation, and bounded retry.
+    ///
+    /// Each attempt first consults `injector` (a fired fault counts as a
+    /// failed attempt), then runs `op` inside [`run_isolated`]. Transient
+    /// errors ([`WdError::is_transient`]) are retried up to
+    /// `max_attempts` with deterministic backoff; non-transient errors
+    /// return immediately. `op` must be safely re-runnable — in this
+    /// workspace every retried unit is pure (`&input → owned output`), so
+    /// results are bit-identical however many attempts were needed.
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's error when every attempt failed.
+    pub fn run<T>(
+        &self,
+        site: &str,
+        injector: &FaultInjector,
+        op: impl Fn() -> Result<T, WdError>,
+    ) -> Result<T, WdError> {
+        let mut last = None;
+        for attempt in 0..self.max_attempts.max(1) {
+            if attempt > 0 {
+                let pause = self.backoff_for(attempt - 1);
+                if !pause.is_zero() {
+                    std::thread::sleep(pause);
+                }
+            }
+            let result = injector.check(site).and_then(|()| run_isolated(&op));
+            match result {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| WdError::WorkerPanicked("retry exhausted".into())))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_backoff: Duration::from_micros(50),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn disabled_plan_never_fires() {
+        let p = FaultPlan::disabled();
+        assert!(!p.is_active());
+        assert!((0..10_000).all(|i| p.decide(i).is_none()));
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_rate_accurate() {
+        let p = FaultPlan::new(42, 0.05);
+        let a: Vec<_> = (0..50_000).map(|i| p.decide(i)).collect();
+        let b: Vec<_> = (0..50_000).map(|i| p.decide(i)).collect();
+        assert_eq!(a, b, "same seed, same schedule");
+        let fired = a.iter().filter(|d| d.is_some()).count();
+        let rate = fired as f64 / 50_000.0;
+        assert!((0.04..0.06).contains(&rate), "observed rate {rate}");
+        // All three kinds occur at a 5% rate over 50k draws.
+        for kind in [
+            FaultKind::TransientLaunch,
+            FaultKind::CorruptedLimb,
+            FaultKind::DeviceLost,
+        ] {
+            assert!(a.iter().flatten().any(|&k| k == kind), "{kind} never fired");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::new(1, 0.05);
+        let b = FaultPlan::new(2, 0.05);
+        assert!((0..10_000).any(|i| a.decide(i) != b.decide(i)));
+    }
+
+    #[test]
+    fn full_rate_always_fires_zero_rate_never() {
+        let always = FaultPlan::new(7, 1.0);
+        assert!((0..100).all(|i| always.decide(i).is_some()));
+        let never = FaultPlan::new(7, 0.0);
+        assert!((0..100).all(|i| never.decide(i).is_none()));
+    }
+
+    #[test]
+    fn injector_counter_advances_so_retries_redraw() {
+        let inj = FaultInjector::new(FaultPlan::new(3, 1.0));
+        assert!(inj.check("t").is_err());
+        assert_eq!(inj.draws(), 1);
+        let inj0 = FaultInjector::disabled();
+        assert!(inj0.check("t").is_ok());
+        assert_eq!(inj0.draws(), 0, "inactive injector burns no draws");
+    }
+
+    #[test]
+    fn run_isolated_converts_panics() {
+        let ok: Result<i32, WdError> = run_isolated(|| Ok(5));
+        assert_eq!(ok, Ok(5));
+        let err = run_isolated::<()>(|| panic!("boom {}", 7));
+        assert_eq!(err, Err(WdError::WorkerPanicked("boom 7".into())));
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_faults() {
+        // Rate 0.35: some attempts fault, but 5 attempts all faulting is
+        // rare; scan seeds for one that recovers after ≥1 failure.
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::ZERO,
+        };
+        let mut recovered_after_failure = false;
+        for seed in 0..50 {
+            let inj = FaultInjector::new(FaultPlan::new(seed, 0.35));
+            let calls = AtomicU32::new(0);
+            let out = policy.run("unit", &inj, || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Ok(11u32)
+            });
+            if out == Ok(11) && inj.draws() > 1 {
+                recovered_after_failure = true;
+                break;
+            }
+        }
+        assert!(recovered_after_failure);
+    }
+
+    #[test]
+    fn retry_gives_up_after_max_attempts() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::ZERO,
+        };
+        let inj = FaultInjector::new(FaultPlan::new(0, 1.0));
+        let calls = AtomicU32::new(0);
+        let out = policy.run("unit", &inj, || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        });
+        assert!(matches!(out, Err(WdError::SimFault { .. })));
+        assert_eq!(calls.load(Ordering::Relaxed), 0, "faults fire pre-launch");
+        assert_eq!(inj.draws(), 3);
+    }
+
+    #[test]
+    fn retry_does_not_retry_permanent_errors() {
+        let policy = RetryPolicy::default();
+        let inj = FaultInjector::disabled();
+        let calls = AtomicU32::new(0);
+        let out: Result<(), _> = policy.run("unit", &inj, || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Err(WdError::ModulusChainExhausted)
+        });
+        assert_eq!(out, Err(WdError::ModulusChainExhausted));
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn retry_retries_worker_panics() {
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::ZERO,
+        };
+        let inj = FaultInjector::disabled();
+        let calls = AtomicU32::new(0);
+        let out = policy.run("unit", &inj, || {
+            if calls.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("first attempt dies");
+            }
+            Ok(3u8)
+        });
+        assert_eq!(out, Ok(3));
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(WdError::WorkerPanicked("x".into()).is_transient());
+        assert!(WdError::SimFault {
+            kind: FaultKind::TransientLaunch,
+            site: "s".into()
+        }
+        .is_transient());
+        assert!(!WdError::SimFault {
+            kind: FaultKind::DeviceLost,
+            site: "s".into()
+        }
+        .is_transient());
+        assert!(!WdError::ModulusChainExhausted.is_transient());
+        assert!(!WdError::InvalidParams("p".into()).is_transient());
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(1),
+        };
+        assert_eq!(p.backoff_for(0), Duration::from_millis(1));
+        assert_eq!(p.backoff_for(1), Duration::from_millis(2));
+        assert_eq!(p.backoff_for(2), Duration::from_millis(4));
+        assert_eq!(p.backoff_for(30), Duration::from_millis(100), "capped");
+    }
+
+    #[test]
+    fn env_names_are_stable() {
+        // Documented knobs; CI and DESIGN.md reference them by name.
+        assert_eq!(FAULT_SEED_ENV, "WD_FAULT_SEED");
+        assert_eq!(FAULT_RATE_ENV, "WD_FAULT_RATE");
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = WdError::SimFault {
+            kind: FaultKind::CorruptedLimb,
+            site: "batch.hmult".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("batch.hmult") && s.contains("corrupted limb"));
+        assert!(WdError::ModulusChainExhausted
+            .to_string()
+            .contains("modulus chain exhausted"));
+    }
+}

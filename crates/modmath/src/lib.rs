@@ -77,3 +77,16 @@ impl core::fmt::Display for MathError {
 }
 
 impl std::error::Error for MathError {}
+
+pub use wd_fault::WdError;
+
+impl From<MathError> for WdError {
+    fn from(e: MathError) -> Self {
+        match e {
+            MathError::InvalidModulus(_) | MathError::PrimeNotFound { .. } => {
+                WdError::InvalidParams(e.to_string())
+            }
+            MathError::NotInvertible { .. } => WdError::Math(e.to_string()),
+        }
+    }
+}

@@ -59,6 +59,8 @@ pub use variants::{NttEngine, NttVariant};
 pub enum PolyError {
     /// Ring degree must be a power of two ≥ 4.
     BadDegree(usize),
+    /// The modulus is outside the word-size bound [2, 2^31).
+    BadModulus(u64),
     /// The modulus does not support an NTT of this size (q ≢ 1 mod 2N).
     NoRootOfUnity {
         /// The modulus.
@@ -76,6 +78,7 @@ impl core::fmt::Display for PolyError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             PolyError::BadDegree(n) => write!(f, "degree {n} is not a power of two >= 4"),
+            PolyError::BadModulus(q) => write!(f, "modulus {q} is outside [2, 2^31)"),
             PolyError::NoRootOfUnity { modulus, degree } => {
                 write!(
                     f,
@@ -90,3 +93,17 @@ impl core::fmt::Display for PolyError {
 }
 
 impl std::error::Error for PolyError {}
+
+pub use wd_fault::WdError;
+
+impl From<PolyError> for WdError {
+    fn from(e: PolyError) -> Self {
+        match e {
+            PolyError::RingMismatch => WdError::LevelMismatch(e.to_string()),
+            PolyError::BadDegree(_)
+            | PolyError::BadModulus(_)
+            | PolyError::NoRootOfUnity { .. }
+            | PolyError::BadPlan(_) => WdError::InvalidParams(e.to_string()),
+        }
+    }
+}

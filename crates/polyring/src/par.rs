@@ -21,6 +21,7 @@
 use crate::ntt::NttTable;
 use crate::rns::{Domain, RnsPoly};
 use std::sync::Arc;
+use wd_fault::{run_isolated, WdError};
 
 /// Environment variable naming the host thread budget.
 pub const THREADS_ENV: &str = "WD_THREADS";
@@ -102,12 +103,106 @@ where
         .collect()
 }
 
-fn table_for(tables: &[Arc<NttTable>], q: u64) -> &NttTable {
+/// Fallible, panic-isolating variant of [`for_each_mut`]: each work item
+/// runs inside `wd_fault::run_isolated`, so a panicking item surfaces as
+/// [`WdError::WorkerPanicked`] instead of unwinding across the scope and
+/// aborting the caller. The first failure (in chunk order, so the choice is
+/// deterministic) is returned; items in other chunks may or may not have
+/// run — on `Err`, treat the slice contents as unspecified and rebuild from
+/// the original inputs.
+pub fn try_for_each_mut<T, F>(threads: usize, items: &mut [T], f: F) -> Result<(), WdError>
+where
+    T: Send,
+    F: Fn(&mut T) -> Result<(), WdError> + Sync,
+{
+    let t = threads.clamp(1, items.len().max(1));
+    if t <= 1 {
+        for item in items.iter_mut() {
+            run_isolated(|| f(item))?;
+        }
+        return Ok(());
+    }
+    let chunk = items.len().div_ceil(t);
+    let mut first_err = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .map(|ch| {
+                let f = &f;
+                scope.spawn(move || -> Result<(), WdError> {
+                    for item in ch {
+                        run_isolated(|| f(item))?;
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        for h in handles {
+            let r = h
+                .join()
+                .unwrap_or_else(|_| Err(WdError::WorkerPanicked("worker thread died".into())));
+            if let Err(e) = r {
+                first_err.get_or_insert(e);
+            }
+        }
+    });
+    first_err.map_or(Ok(()), Err)
+}
+
+/// Fallible, panic-isolating variant of [`map_indexed`]: results come back
+/// in index order, a panicking element becomes [`WdError::WorkerPanicked`],
+/// and the first failing chunk (in chunk order) decides the returned error.
+pub fn try_map_indexed<T, F>(threads: usize, n: usize, f: F) -> Result<Vec<T>, WdError>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, WdError> + Sync,
+{
+    let t = threads.clamp(1, n.max(1));
+    if t <= 1 {
+        return (0..n).map(|i| run_isolated(|| f(i))).collect();
+    }
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(t);
+    let mut first_err = None;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = out
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(c, ch)| {
+                let f = &f;
+                scope.spawn(move || -> Result<(), WdError> {
+                    let base = c * chunk;
+                    for (k, slot) in ch.iter_mut().enumerate() {
+                        *slot = Some(run_isolated(|| f(base + k))?);
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        for h in handles {
+            let r = h
+                .join()
+                .unwrap_or_else(|_| Err(WdError::WorkerPanicked("worker thread died".into())));
+            if let Err(e) = r {
+                first_err.get_or_insert(e);
+            }
+        }
+    });
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(out
+            .into_iter()
+            .map(|s| s.expect("every index filled"))
+            .collect()),
+    }
+}
+
+fn table_for(tables: &[Arc<NttTable>], q: u64) -> Result<&NttTable, WdError> {
     tables
         .iter()
         .map(Arc::as_ref)
         .find(|t| t.modulus().value() == q)
-        .expect("table for limb modulus")
+        .ok_or_else(|| WdError::InvalidParams(format!("no NTT table for limb modulus {q}")))
 }
 
 /// Forward NTT over a whole batch of RNS polynomials: all `polys × limbs`
@@ -122,7 +217,7 @@ fn table_for(tables: &[Arc<NttTable>], q: u64) -> &NttTable {
 /// Panics if any polynomial is already in the NTT domain or a limb modulus
 /// has no matching table.
 pub fn ntt_forward_batch(polys: &mut [RnsPoly], tables: &[Arc<NttTable>], threads: usize) {
-    transform_batch(polys, tables, threads, Domain::Coeff, Domain::Ntt, true);
+    try_ntt_forward_batch(polys, tables, threads).expect("batch forward NTT");
 }
 
 /// Inverse NTT over a whole batch (see [`ntt_forward_batch`]).
@@ -132,37 +227,66 @@ pub fn ntt_forward_batch(polys: &mut [RnsPoly], tables: &[Arc<NttTable>], thread
 /// Panics if any polynomial is already in the coefficient domain or a limb
 /// modulus has no matching table.
 pub fn ntt_inverse_batch(polys: &mut [RnsPoly], tables: &[Arc<NttTable>], threads: usize) {
-    transform_batch(polys, tables, threads, Domain::Ntt, Domain::Coeff, false);
+    try_ntt_inverse_batch(polys, tables, threads).expect("batch inverse NTT");
 }
 
-fn transform_batch(
+/// Fallible batch forward NTT: domain and table mismatches come back as
+/// [`WdError::LevelMismatch`] / [`WdError::InvalidParams`], and a panicking
+/// worker as [`WdError::WorkerPanicked`]. On `Err` the batch contents are
+/// unspecified (some limbs may be transformed) — discard them and retry
+/// from the original inputs.
+pub fn try_ntt_forward_batch(
+    polys: &mut [RnsPoly],
+    tables: &[Arc<NttTable>],
+    threads: usize,
+) -> Result<(), WdError> {
+    try_transform_batch(polys, tables, threads, Domain::Coeff, Domain::Ntt, true)
+}
+
+/// Fallible batch inverse NTT (see [`try_ntt_forward_batch`]).
+pub fn try_ntt_inverse_batch(
+    polys: &mut [RnsPoly],
+    tables: &[Arc<NttTable>],
+    threads: usize,
+) -> Result<(), WdError> {
+    try_transform_batch(polys, tables, threads, Domain::Ntt, Domain::Coeff, false)
+}
+
+fn try_transform_batch(
     polys: &mut [RnsPoly],
     tables: &[Arc<NttTable>],
     threads: usize,
     expect_domain: Domain,
     new_domain: Domain,
     forward: bool,
-) {
+) -> Result<(), WdError> {
     // Flatten to (limb, table) work items up front; the spawn below only
     // sees independent mutable borrows of distinct limbs.
     let mut work: Vec<(&mut crate::Poly, &NttTable)> = Vec::new();
     for p in polys.iter_mut() {
-        assert_eq!(p.domain(), expect_domain, "batch transform domain");
+        if p.domain() != expect_domain {
+            return Err(WdError::LevelMismatch(format!(
+                "batch transform expects {expect_domain:?}-domain input, found {:?}",
+                p.domain()
+            )));
+        }
         for limb in p.limbs_mut() {
-            let t = table_for(tables, limb.modulus().value());
+            let t = table_for(tables, limb.modulus().value())?;
             work.push((limb, t));
         }
     }
-    for_each_mut(threads, &mut work, |(limb, t)| {
+    try_for_each_mut(threads, &mut work, |(limb, t)| {
         if forward {
             t.forward(limb.coeffs_mut());
         } else {
             t.inverse(limb.coeffs_mut());
         }
-    });
+        Ok(())
+    })?;
     for p in polys.iter_mut() {
         p.set_domain(new_domain);
     }
+    Ok(())
 }
 
 /// Pointwise (Hadamard) products for a batch of operand pairs, limbs fanned
@@ -206,7 +330,23 @@ pub fn convert_poly(
     src: &RnsPoly,
     threads: usize,
 ) -> RnsPoly {
-    assert_eq!(src.domain(), Domain::Coeff, "convert in coefficient domain");
+    try_convert_poly(conv, src, threads).expect("parallel base conversion")
+}
+
+/// Fallible variant of [`convert_poly`]: an NTT-domain input comes back as
+/// [`WdError::LevelMismatch`] and a panicking worker as
+/// [`WdError::WorkerPanicked`]. The source is untouched on error, so a
+/// retry can reuse it directly.
+pub fn try_convert_poly(
+    conv: &wd_modmath::rns::BasisConverter,
+    src: &RnsPoly,
+    threads: usize,
+) -> Result<RnsPoly, WdError> {
+    if src.domain() != Domain::Coeff {
+        return Err(WdError::LevelMismatch(
+            "base conversion expects coefficient-domain input".into(),
+        ));
+    }
     let n = src.degree();
     let to = conv.to_basis().values();
     let to_len = to.len();
@@ -215,7 +355,7 @@ pub fn convert_poly(
     // are assembled afterwards (a cache-friendly transpose).
     let t = threads.clamp(1, n.max(1));
     let chunk = n.div_ceil(t);
-    let chunks = map_indexed(t, n.div_ceil(chunk), |c| {
+    let chunks = try_map_indexed(t, n.div_ceil(chunk), |c| {
         let lo = c * chunk;
         let hi = (lo + chunk).min(n);
         let mut flat = vec![0u64; (hi - lo) * to_len];
@@ -227,8 +367,8 @@ pub fn convert_poly(
             let out = &mut flat[(j - lo) * to_len..(j - lo + 1) * to_len];
             conv.convert_coeff(&residues, out);
         }
-        (lo, flat)
-    });
+        Ok((lo, flat))
+    })?;
     let mut out_limbs: Vec<Vec<u64>> = vec![vec![0u64; n]; to_len];
     for (lo, flat) in &chunks {
         for (k, col) in flat.chunks_exact(to_len).enumerate() {
@@ -237,12 +377,11 @@ pub fn convert_poly(
             }
         }
     }
-    let limbs: Vec<crate::Poly> = to
-        .iter()
-        .zip(out_limbs)
-        .map(|(&q, coeffs)| crate::Poly::from_coeffs(q, coeffs).expect("valid limb"))
-        .collect();
-    RnsPoly::from_limbs(limbs, Domain::Coeff).expect("valid poly")
+    let mut limbs = Vec::with_capacity(to_len);
+    for (&q, coeffs) in to.iter().zip(out_limbs) {
+        limbs.push(crate::Poly::from_coeffs(q, coeffs)?);
+    }
+    Ok(RnsPoly::from_limbs(limbs, Domain::Coeff)?)
 }
 
 #[cfg(test)]
@@ -356,6 +495,88 @@ mod tests {
         let ps = primes(8, 2);
         let a = RnsPoly::zero(&ps, 8).unwrap();
         assert!(pointwise_batch(&[(&a, &a)], 2).is_err());
+    }
+
+    #[test]
+    fn try_for_each_mut_isolates_panics_at_every_thread_count() {
+        for t in [1, 2, 4] {
+            let mut items: Vec<u64> = (0..16).collect();
+            let r = try_for_each_mut(t, &mut items, |x| {
+                if *x == 7 {
+                    panic!("poisoned item {x}");
+                }
+                *x += 1;
+                Ok(())
+            });
+            match r {
+                Err(WdError::WorkerPanicked(msg)) => {
+                    assert!(msg.contains("poisoned item 7"), "t = {t}: {msg}")
+                }
+                other => panic!("expected WorkerPanicked at t = {t}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_indexed_matches_map_indexed_on_success() {
+        for t in [1, 3, 8] {
+            let out = try_map_indexed(t, 21, |i| Ok(i * 3)).unwrap();
+            assert_eq!(out, map_indexed(t, 21, |i| i * 3), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn try_map_indexed_reports_error_not_abort() {
+        for t in [1, 4] {
+            let r = try_map_indexed::<usize, _>(t, 16, |i| {
+                if i == 3 {
+                    Err(WdError::ModulusChainExhausted)
+                } else {
+                    Ok(i)
+                }
+            });
+            assert_eq!(r, Err(WdError::ModulusChainExhausted), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn try_batch_ntt_rejects_bad_domain_and_missing_table() {
+        let n = 32;
+        let ps = primes(n, 2);
+        let ts = tables(&ps, n);
+        // Wrong domain: already-NTT input to the forward transform.
+        let mut batch = vec![poly_from_seed(&ps, n, 1)];
+        ntt_forward_batch(&mut batch, &ts, 2);
+        let r = try_ntt_forward_batch(&mut batch, &ts, 2);
+        assert!(matches!(r, Err(WdError::LevelMismatch(_))), "{r:?}");
+        // Missing table: strip the table list.
+        let mut batch = vec![poly_from_seed(&ps, n, 2)];
+        let r = try_ntt_forward_batch(&mut batch, &ts[..1], 2);
+        assert!(matches!(r, Err(WdError::InvalidParams(_))), "{r:?}");
+        // The error paths above must not have altered the coefficients: a
+        // fresh try on the valid configuration still works.
+        let mut good = vec![poly_from_seed(&ps, n, 2)];
+        assert!(try_ntt_forward_batch(&mut good, &ts, 2).is_ok());
+    }
+
+    #[test]
+    fn try_convert_poly_rejects_ntt_domain_input() {
+        let n = 32;
+        let from = primes(n, 3);
+        let to = generate_ntt_primes(27, 2 * n as u64, 4).unwrap();
+        let conv = BasisConverter::new(
+            RnsBasis::new(from.clone()).unwrap(),
+            RnsBasis::new(to).unwrap(),
+        )
+        .unwrap();
+        let mut src = poly_from_seed(&from, n, 5);
+        let ok = try_convert_poly(&conv, &src, 2).unwrap();
+        assert_eq!(ok, convert_poly(&conv, &src, 1));
+        src.ntt_forward(&tables(&from, n));
+        assert!(matches!(
+            try_convert_poly(&conv, &src, 2),
+            Err(WdError::LevelMismatch(_))
+        ));
     }
 
     #[test]

@@ -37,10 +37,12 @@ impl Poly {
     /// # Errors
     ///
     /// Returns [`PolyError::BadDegree`] unless `coeffs.len()` is a power of
-    /// two ≥ 4.
+    /// two ≥ 4, and [`PolyError::BadModulus`] unless `q` fits the word-size
+    /// bound — untrusted `(q, coeffs)` pairs (e.g. wire data) decode to a
+    /// typed error, never a panic.
     pub fn from_coeffs(q: u64, coeffs: Vec<u64>) -> Result<Self, PolyError> {
         check_degree(coeffs.len())?;
-        let modulus = Modulus::new(q);
+        let modulus = Modulus::try_new(q).map_err(|_| PolyError::BadModulus(q))?;
         let coeffs = coeffs.into_iter().map(|c| modulus.reduce(c)).collect();
         Ok(Self { modulus, coeffs })
     }

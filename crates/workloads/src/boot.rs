@@ -51,7 +51,11 @@ impl Bootstrapper {
         for j in 0..ns {
             let mut coeffs = vec![0.0f64; n];
             coeffs[j] = 1.0;
-            cols.push(ctx.encoder().decode(&coeffs));
+            cols.push(
+                ctx.encoder()
+                    .decode(&coeffs)
+                    .expect("coeffs has length N by construction"),
+            );
         }
         let mut entries = vec![C64::default(); ns * ns];
         for (j, col) in cols.iter().enumerate() {
@@ -197,7 +201,7 @@ impl Bootstrapper {
 /// Propagates ring errors.
 pub fn mod_raise(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, CkksError> {
     if ct.level != 0 {
-        return Err(CkksError::Mismatch(format!(
+        return Err(CkksError::LevelMismatch(format!(
             "mod_raise expects level 0, got {}",
             ct.level
         )));
@@ -282,13 +286,13 @@ mod tests {
         assert_eq!(raised.level, ctx.params().max_level());
         // Decrypting the raised ct and reducing coefficients mod q0 must
         // recover the original message.
-        let pt = ctx.decrypt(&raised, &kp.secret);
+        let pt = ctx.decrypt(&raised, &kp.secret).unwrap();
         let mut poly = pt.poly.clone();
         poly.ntt_inverse(&ctx.tables_for(&poly.primes()));
         let q0 = ctx.params().q_chain()[0];
         let m0 = wd_modmath::Modulus::new(q0);
         // Compare against decrypting at level 0 directly.
-        let pt_low = ctx.decrypt(&low, &kp.secret);
+        let pt_low = ctx.decrypt(&low, &kp.secret).unwrap();
         let mut poly_low = pt_low.poly.clone();
         poly_low.ntt_inverse(&ctx.tables_for(&poly_low.primes()));
         for j in 0..poly.degree() {
@@ -312,7 +316,7 @@ mod tests {
         let stc = b.slot_to_coeff(&ctx, &ct, &keys).unwrap();
         // Decrypt and inspect raw coefficients: coefficient j should be
         // ≈ scale·vals[j].
-        let pt = ctx.decrypt(&stc, &kp.secret);
+        let pt = ctx.decrypt(&stc, &kp.secret).unwrap();
         let mut poly = pt.poly.clone();
         poly.ntt_inverse(&ctx.tables_for(&poly.primes()));
         let take = poly.limb_count().min(4);

@@ -148,7 +148,7 @@ pub fn linear_transform(
     keys: &RotationKeys,
 ) -> Result<Ciphertext, CkksError> {
     if m.dim() != ctx.params().slots() {
-        return Err(CkksError::Mismatch(format!(
+        return Err(CkksError::LevelMismatch(format!(
             "matrix dim {} must equal slot count {}",
             m.dim(),
             ctx.params().slots()
@@ -172,7 +172,7 @@ pub fn linear_transform(
             Some(a) => hadd(&a, &term)?,
         });
     }
-    let acc = acc.ok_or_else(|| CkksError::Mismatch("matrix is zero".into()))?;
+    let acc = acc.ok_or_else(|| CkksError::LevelMismatch("matrix is zero".into()))?;
     rescale(ctx, &acc)
 }
 
@@ -197,7 +197,7 @@ pub fn linear_transform_bsgs(
 ) -> Result<Ciphertext, CkksError> {
     let dim = m.dim();
     if dim != ctx.params().slots() {
-        return Err(CkksError::Mismatch(format!(
+        return Err(CkksError::LevelMismatch(format!(
             "matrix dim {dim} must equal slot count {}",
             ctx.params().slots()
         )));
@@ -241,7 +241,7 @@ pub fn linear_transform_bsgs(
             Some(a) => hadd(&a, &rotated)?,
         });
     }
-    let acc = acc.ok_or_else(|| CkksError::Mismatch("matrix is zero".into()))?;
+    let acc = acc.ok_or_else(|| CkksError::LevelMismatch("matrix is zero".into()))?;
     rescale(ctx, &acc)
 }
 
@@ -263,7 +263,7 @@ pub fn bsgs_rotations(dim: usize) -> Vec<isize> {
 ///
 /// # Errors
 ///
-/// Propagates arithmetic errors ([`CkksError::OutOfLevels`] when the chain
+/// Propagates arithmetic errors ([`CkksError::ModulusChainExhausted`] when the chain
 /// is too short for the degree).
 ///
 /// # Panics
@@ -593,7 +593,9 @@ mod tests {
         let rots: Vec<isize> = (1..dim as isize).collect();
         let keys = ctx.gen_rotation_keys(&kp.secret, &rots, false);
         let out = linear_transform(&ctx, &ct, &m, &keys).unwrap();
-        let dec = ctx.decode_complex(&ctx.decrypt(&out, &kp.secret)).unwrap();
+        let dec = ctx
+            .decode_complex(&ctx.decrypt(&out, &kp.secret).unwrap())
+            .unwrap();
         let expect = m.apply_plain(&v);
         for (a, b) in dec.iter().zip(&expect) {
             assert!((*a - *b).abs() < 0.05, "{a:?} vs {b:?}");
@@ -619,9 +621,11 @@ mod tests {
         let naive = linear_transform(&ctx, &ct, &m, &keys).unwrap();
         let bsgs = linear_transform_bsgs(&ctx, &ct, &m, &keys).unwrap();
         let a = ctx
-            .decode_complex(&ctx.decrypt(&naive, &kp.secret))
+            .decode_complex(&ctx.decrypt(&naive, &kp.secret).unwrap())
             .unwrap();
-        let b = ctx.decode_complex(&ctx.decrypt(&bsgs, &kp.secret)).unwrap();
+        let b = ctx
+            .decode_complex(&ctx.decrypt(&bsgs, &kp.secret).unwrap())
+            .unwrap();
         let expect = m.apply_plain(&v);
         for i in 0..dim {
             assert!((a[i] - expect[i]).abs() < 0.05, "naive slot {i}");

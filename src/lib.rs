@@ -20,7 +20,7 @@
 //! let ctx = CkksContext::new(ParamSet::set_a().build().unwrap()).unwrap();
 //! let kp = ctx.keygen();
 //! let ct = ctx.encrypt(&ctx.encode(&[1.0, 2.0]).unwrap(), &kp.public).unwrap();
-//! let m = ctx.decode(&ctx.decrypt(&ct, &kp.secret)).unwrap();
+//! let m = ctx.decode(&ctx.decrypt(&ct, &kp.secret).unwrap()).unwrap();
 //! assert!((m[0] - 1.0).abs() < 1e-2 && (m[1] - 2.0).abs() < 1e-2);
 //! ```
 

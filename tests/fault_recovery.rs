@@ -1,0 +1,153 @@
+//! End-to-end fault drill: the batched CKKS pipeline
+//! (HMULT+relinearize → RESCALE → HROTATE) under deterministic fault
+//! injection must complete via retry/degrade and produce results
+//! **bit-identical** to a fault-free sequential run — across seeds and
+//! thread counts. This is the acceptance drill for the `wd-fault` layer.
+
+use warpdrive::ckks::{cipher::Ciphertext, CkksContext, KeyPair, ParamSet};
+use warpdrive::core::{BatchExecutor, BatchOp, EvalKeys, FaultPlan, RetryPolicy, WdError};
+
+fn setup() -> (CkksContext, KeyPair, warpdrive::ckks::keys::RotationKeys) {
+    let params = ParamSet::set_a()
+        .with_degree(1 << 6)
+        .build()
+        .expect("params");
+    let ctx = CkksContext::with_seed(params, 0xC0FFEE).expect("context");
+    let kp = ctx.keygen();
+    let rot = ctx.gen_rotation_keys(&kp.secret, &[1, 2], false);
+    (ctx, kp, rot)
+}
+
+/// Runs the full batched pipeline with the given executor: multiply pairs
+/// (with relinearization), rescale every product, then rotate each result.
+/// Any stage error aborts the drill — the contract under injection is that
+/// recovery makes every stage succeed.
+fn pipeline(
+    ex: &BatchExecutor,
+    ctx: &CkksContext,
+    keys: EvalKeys<'_>,
+    lhs: &[Ciphertext],
+    rhs: &[Ciphertext],
+) -> Vec<Ciphertext> {
+    let mult_batch: Vec<BatchOp<'_>> = lhs
+        .iter()
+        .zip(rhs)
+        .map(|(a, b)| BatchOp::HMult(a, b))
+        .collect();
+    let products: Vec<Ciphertext> = ex
+        .execute(ctx, keys, &mult_batch)
+        .into_iter()
+        .map(|r| r.expect("hmult stage recovers"))
+        .collect();
+
+    let rescale_batch: Vec<BatchOp<'_>> = products.iter().map(BatchOp::Rescale).collect();
+    let rescaled: Vec<Ciphertext> = ex
+        .execute(ctx, keys, &rescale_batch)
+        .into_iter()
+        .map(|r| r.expect("rescale stage recovers"))
+        .collect();
+
+    let rotate_batch: Vec<BatchOp<'_>> = rescaled
+        .iter()
+        .enumerate()
+        .map(|(i, ct)| BatchOp::HRotate(ct, 1 + (i % 2) as isize))
+        .collect();
+    ex.execute(ctx, keys, &rotate_batch)
+        .into_iter()
+        .map(|r| r.expect("rotate stage recovers"))
+        .collect()
+}
+
+#[test]
+fn injected_pipeline_is_bit_identical_to_fault_free_sequential() {
+    let (ctx, kp, rot) = setup();
+    let keys = EvalKeys::with_relin(&kp.relin).and_rotations(&rot);
+    let slots = ctx.params().slots();
+    let enc = |shift: f64| {
+        let xs: Vec<f64> = (0..slots)
+            .map(|i| 0.4 * ((i as f64) + shift) / slots as f64 - 0.2)
+            .collect();
+        ctx.encrypt_values(&xs, &kp.public).expect("encrypt")
+    };
+    let lhs: Vec<Ciphertext> = (0..6).map(|i| enc(i as f64)).collect();
+    let rhs: Vec<Ciphertext> = (0..6).map(|i| enc(10.0 + i as f64)).collect();
+
+    // Reference: sequential, fault injection explicitly disabled.
+    let clean_ex = BatchExecutor::sequential().with_fault_plan(FaultPlan::disabled());
+    let clean = pipeline(&clean_ex, &ctx, keys, &lhs, &rhs);
+
+    // Keep backoff at zero so 3 seeds × 3 thread counts stay fast; the
+    // schedule is deterministic either way.
+    let retry = RetryPolicy {
+        max_attempts: 3,
+        base_backoff: std::time::Duration::ZERO,
+    };
+    for seed in [1u64, 7, 42] {
+        for threads in [1usize, 2, 4] {
+            let ex = BatchExecutor::new(threads)
+                .with_fault_plan(FaultPlan::new(seed, 0.25))
+                .with_retry_policy(retry);
+            let got = pipeline(&ex, &ctx, keys, &lhs, &rhs);
+            assert_eq!(
+                clean, got,
+                "pipeline diverged under seed {seed}, {threads} threads"
+            );
+        }
+    }
+
+    // The drill must also decrypt to the truth — recovery may not trade
+    // correctness for completion.
+    let out = ctx
+        .decrypt_values(&clean[0], &kp.secret)
+        .expect("decrypt reference");
+    assert!(out.iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn worst_case_injection_still_completes_via_degrade() {
+    // Rate 1.0 makes every attempt fault (DeviceLost included): each op must
+    // fall through to the final fault-free sequential attempt and still
+    // match the clean pipeline bit for bit.
+    let (ctx, kp, rot) = setup();
+    let keys = EvalKeys::with_relin(&kp.relin).and_rotations(&rot);
+    let a = ctx.encrypt_values(&[0.5, -0.25], &kp.public).expect("enc");
+    let b = ctx.encrypt_values(&[0.1, 0.3], &kp.public).expect("enc");
+    let lhs = vec![a];
+    let rhs = vec![b];
+
+    let clean_ex = BatchExecutor::sequential().with_fault_plan(FaultPlan::disabled());
+    let clean = pipeline(&clean_ex, &ctx, keys, &lhs, &rhs);
+
+    let ex = BatchExecutor::new(4)
+        .with_fault_plan(FaultPlan::new(9, 1.0))
+        .with_retry_policy(RetryPolicy {
+            max_attempts: 2,
+            base_backoff: std::time::Duration::ZERO,
+        });
+    let got = pipeline(&ex, &ctx, keys, &lhs, &rhs);
+    assert_eq!(clean, got);
+}
+
+#[test]
+fn fault_schedule_is_deterministic_per_seed() {
+    // Two executors with the same plan consume the same draw sequence, so a
+    // standalone injector replays exactly which draws fault.
+    let plan = FaultPlan::new(42, 0.5);
+    let replay = |n: u64| -> Vec<Option<String>> {
+        let inj = warpdrive::core::FaultInjector::new(plan);
+        (0..n)
+            .map(|_| inj.check("drill").err().map(|e| e.to_string()))
+            .collect()
+    };
+    let a = replay(64);
+    let b = replay(64);
+    assert_eq!(a, b);
+    assert!(a.iter().any(|e| e.is_some()));
+    assert!(a.iter().any(|e| e.is_none()));
+    // And every injected failure is the typed SimFault, carrying its site.
+    let inj = warpdrive::core::FaultInjector::new(FaultPlan::new(3, 1.0));
+    match inj.check("drill.site") {
+        Err(WdError::SimFault { site, .. }) => assert_eq!(site, "drill.site"),
+        other => panic!("expected SimFault, got {other:?}"),
+    }
+}
