@@ -1,0 +1,138 @@
+//! Criterion bench: the `ParScheduler` auto split against every static
+//! split of the same thread budget, on the two workload shapes that pull
+//! the split in opposite directions:
+//!
+//! - **large batch / small rings** — many independent HMULTs; the winning
+//!   split spends the whole budget on op-level fan-out;
+//! - **single op / large ring** — one deep-limb keyswitch; the winning
+//!   split spends the budget inside the limb loops.
+//!
+//! Auto should land within a few percent of the best static split on both
+//! (ISSUE acceptance: ≤5%); the static rows exist so a regression shows up
+//! as auto drifting away from the frontier, not as an absolute number.
+//!
+//! Set `WD_BENCH_QUICK=1` to shrink the rings for smoke runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use warpdrive_core::{BatchExecutor, BatchOp, EvalKeys, ParScheduler, SchedPolicy};
+use wd_ckks::cipher::Ciphertext;
+use wd_ckks::params::ParamSet;
+use wd_ckks::CkksContext;
+
+/// Thread budget: the host's real parallelism. Benching a budget above
+/// the core count would itself be oversubscription — the thing the
+/// scheduler exists to prevent — and on a 1-core runner every contender
+/// honestly degenerates to the sequential split.
+fn budget() -> usize {
+    wd_polyring::par::available_threads()
+}
+
+fn quick() -> bool {
+    std::env::var("WD_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// One executor per point on the (op, limb) frontier plus the auto row.
+fn contenders() -> Vec<(String, BatchExecutor)> {
+    let budget = budget();
+    let mut rows = vec![("auto".to_string(), BatchExecutor::auto(budget))];
+    for (name, policy) in [
+        ("static-op", SchedPolicy::Op),
+        ("static-limb", SchedPolicy::Limb),
+    ] {
+        rows.push((
+            name.to_string(),
+            BatchExecutor::new(budget)
+                .with_scheduler(ParScheduler::new(budget).with_policy(policy)),
+        ));
+    }
+    rows
+}
+
+fn bench_large_batch_small_rings(c: &mut Criterion) {
+    let degree = if quick() { 1usize << 7 } else { 1usize << 10 };
+    let params = ParamSet::set_b()
+        .with_degree(degree)
+        .build()
+        .expect("SET-B params");
+    let ctx = CkksContext::with_seed(params, 4242).unwrap();
+    let kp = ctx.keygen();
+
+    let slots = ctx.params().slots().min(32);
+    let cts: Vec<Ciphertext> = (0..16)
+        .map(|j| {
+            let vals: Vec<f64> = (0..slots)
+                .map(|i| ((i * 3 + j) % 13) as f64 * 0.1)
+                .collect();
+            ctx.encrypt_values(&vals, &kp.public).unwrap()
+        })
+        .collect();
+    let batch: Vec<BatchOp> = cts
+        .iter()
+        .enumerate()
+        .map(|(j, ct)| BatchOp::HMult(ct, &cts[(j + 5) % cts.len()]))
+        .collect();
+    let keys = EvalKeys::with_relin(&kp.relin);
+
+    ctx.set_threads(1);
+    let reference = BatchExecutor::sequential().execute(&ctx, keys, &batch);
+
+    let mut g = c.benchmark_group(format!("par_sched/batch16_N=2^{}", degree.trailing_zeros()));
+    for (name, executor) in contenders() {
+        let out = executor.execute(&ctx, keys, &batch);
+        for (r, o) in reference.iter().zip(&out) {
+            assert_eq!(
+                r.as_ref().unwrap(),
+                o.as_ref().unwrap(),
+                "split {name} must be bit-identical"
+            );
+        }
+        g.bench_with_input(
+            BenchmarkId::new(name, batch.len()),
+            &executor,
+            |b, executor| b.iter(|| executor.execute(&ctx, keys, &batch)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_single_op_large_ring(c: &mut Criterion) {
+    let degree = if quick() { 1usize << 8 } else { 1usize << 14 };
+    let params = ParamSet::set_b()
+        .with_degree(degree)
+        .build()
+        .expect("SET-B params");
+    let ctx = CkksContext::with_seed(params, 2424).unwrap();
+    let kp = ctx.keygen();
+
+    let poly = ctx.encode(&[1.0, -2.0, 0.25, 3.5]).expect("encode").poly;
+    let polys = [&poly];
+
+    ctx.set_threads(1);
+    let reference = BatchExecutor::sequential().keyswitch(&ctx, &kp.relin, &polys);
+
+    let mut g = c.benchmark_group(format!(
+        "par_sched/keyswitch1_N=2^{}",
+        degree.trailing_zeros()
+    ));
+    for (name, executor) in contenders() {
+        let out = executor.keyswitch(&ctx, &kp.relin, &polys);
+        for (r, o) in reference.iter().zip(&out) {
+            assert_eq!(
+                r.as_ref().unwrap(),
+                o.as_ref().unwrap(),
+                "split {name} must be bit-identical"
+            );
+        }
+        g.bench_with_input(BenchmarkId::new(name, 1usize), &executor, |b, executor| {
+            b.iter(|| executor.keyswitch(&ctx, &kp.relin, &polys))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_large_batch_small_rings,
+    bench_single_op_large_ring
+);
+criterion_main!(benches);

@@ -50,7 +50,7 @@ fn main() {
         println!(
             "{:<7} {:>11} {:>11.2} {:>11.1} {:>11.1} {:>11.1} {:>11.1} {:>9.2}",
             name,
-            cpu_kops.map_or("-".into(), |k| format!("{k:.3}")),
+            cpu_kops.map_or("-".into(), |k| format!("~{k:.3}")),
             paper_cpu[i],
             tf_kops,
             paper_tf[i],
@@ -60,4 +60,5 @@ fn main() {
         );
     }
     println!("\npaper speedups WD/TF: 3.46x / 1.73x / 1.37x");
+    println!("~ = measured on this host; machine-dependent, masked by drift checks");
 }

@@ -59,7 +59,7 @@ fn main() {
         110.8 / gpu_min
     );
     println!(
-        "(this host's single-thread functional HMULT at N=2^10/l=2: {:.2} KOPS,\n\
+        "(this host's single-thread functional HMULT at N=2^10/l=2: ~{:.2} KOPS,\n\
          shown for scale only — see EXPERIMENTS.md)",
         meas_kops
     );

@@ -30,7 +30,7 @@ fn main() {
         println!(
             "{:<7} {:>12} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>10}",
             name,
-            cpu_kops.map_or("-".into(), |k| format!("{k:.1}")),
+            cpu_kops.map_or("-".into(), |k| format!("~{k:.1}")),
             tf_kops,
             paper_tf[i],
             wd_kops,
@@ -41,4 +41,5 @@ fn main() {
     }
     println!();
     println!("paper speedups WD/TF: 13.4x / 10.4x / 10.0x / 10.2x / 9.7x");
+    println!("~ = measured on this host; machine-dependent, masked by drift checks");
 }

@@ -162,9 +162,12 @@ impl BgvContext {
         let pk_b = a
             .pointwise(&s_q)
             .and_then(|as_| as_.neg().add(&te))
+            // invariant: a, s_q, te are freshly sampled over q_primes at
+            // degree n above — shapes agree by construction.
             .expect("key shapes agree");
 
         let secret = SecretKey { s };
+        // invariant: a polynomial always matches its own shape.
         let s2 = secret.s.pointwise(&secret.s).expect("s^2");
         let relin = self.gen_ksk_bgv(&s2, &secret);
         BgvKeyPair {
@@ -203,6 +206,8 @@ impl BgvContext {
                 .map(|as_| as_.neg())
                 .and_then(|nas| nas.add(&te))
                 .and_then(|be| be.add(&s_prime.scale_per_limb(&factors)))
+                // invariant: a and te are sampled over `full` at degree n;
+                // sk.s / s_prime span the full basis by construction.
                 .expect("ksk shapes agree");
             digits.push(KskDigit { b, a });
         }
@@ -355,15 +360,15 @@ impl BgvContext {
                 (lo..hi).map(|i| d_coeff.limb(i).clone()).collect(),
                 Domain::Coeff,
             )?;
-            let conv = ctx.converter(digit_primes, &full);
+            let conv = ctx.try_converter(digit_primes, &full)?;
             let mut ext = convert_poly(&conv, &digit);
             for i in lo..hi {
                 *ext.limb_mut(i) = d_coeff.limb(i).clone();
             }
             let mut ext_ntt = ext;
             ext_ntt.ntt_forward(&full_tabs);
-            let kb = select_basis(&ksk.digits[j].b, &full);
-            let ka = select_basis(&ksk.digits[j].a, &full);
+            let kb = select_basis(&ksk.digits[j].b, &full)?;
+            let ka = select_basis(&ksk.digits[j].a, &full)?;
             acc0 = acc0.add(&ext_ntt.pointwise(&kb)?)?;
             acc1 = acc1.add(&ext_ntt.pointwise(&ka)?)?;
         }
@@ -393,13 +398,13 @@ impl BgvContext {
         let u_q = RnsPoly::from_signed(q_now, &u_centered)?;
         let q_acc = restrict(&acc, lq);
         let diff = q_acc.sub(&u_q)?;
-        let p_inv: Vec<u64> = q_now
-            .iter()
-            .map(|&q| {
-                let m = Modulus::new(q);
-                m.inv(m.reduce(p0)).expect("P invertible mod q")
-            })
-            .collect();
+        let mut p_inv: Vec<u64> = Vec::with_capacity(q_now.len());
+        for &q in q_now {
+            let m = Modulus::new(q);
+            // Distinct chain primes are coprime; a degenerate chain
+            // surfaces as a typed error on the request path.
+            p_inv.push(m.inv(m.reduce(p0))?);
+        }
         let r = diff.scale_per_limb(&p_inv);
         // Correction w ≡ −u·P⁻¹ (mod t), centered, subtracted over Q.
         let mt = Modulus::new(self.t);

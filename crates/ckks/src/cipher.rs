@@ -64,9 +64,9 @@ mod tests {
     use wd_polyring::rns::Domain;
 
     #[test]
-    fn memory_bytes_formula() {
-        let ps = generate_ntt_primes(26, 64, 3).unwrap();
-        let mut c = RnsPoly::zero(&ps, 32).unwrap();
+    fn memory_bytes_formula() -> Result<(), crate::CkksError> {
+        let ps = generate_ntt_primes(26, 64, 3)?;
+        let mut c = RnsPoly::zero(&ps, 32)?;
         c.set_domain(Domain::Ntt);
         let ct = Ciphertext {
             c0: c.clone(),
@@ -75,12 +75,13 @@ mod tests {
             scale: 1.0,
         };
         assert_eq!(ct.memory_bytes(), 2 * 3 * 32 * 4);
+        Ok(())
     }
 
     #[test]
-    fn compatibility_tolerates_slight_scale_drift() {
-        let ps = generate_ntt_primes(26, 64, 2).unwrap();
-        let mut c = RnsPoly::zero(&ps, 32).unwrap();
+    fn compatibility_tolerates_slight_scale_drift() -> Result<(), crate::CkksError> {
+        let ps = generate_ntt_primes(26, 64, 2)?;
+        let mut c = RnsPoly::zero(&ps, 32)?;
         c.set_domain(Domain::Ntt);
         let a = Ciphertext {
             c0: c.clone(),
@@ -93,5 +94,6 @@ mod tests {
         assert!(a.compatible(&b));
         b.scale *= 1.2;
         assert!(!a.compatible(&b));
+        Ok(())
     }
 }

@@ -34,7 +34,10 @@ pub struct CkksContext {
     converters: Mutex<ConverterCache>,
     /// Host thread budget for limb-level parallel execution (see
     /// `wd_polyring::par`). `1` = strictly sequential; results are
-    /// bit-identical at every setting.
+    /// bit-identical at every setting. The context never reads the
+    /// environment for this: the budget is sequential until set explicitly
+    /// or claimed by a scheduled `warpdrive_core::BatchExecutor`, which is
+    /// the framework's single owner of the `WD_THREADS` read.
     threads: AtomicUsize,
 }
 
@@ -67,12 +70,12 @@ impl CkksContext {
             table_by_prime,
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             converters: Mutex::new(HashMap::new()),
-            threads: AtomicUsize::new(wd_polyring::par::threads_from_env()),
+            threads: AtomicUsize::new(1),
         })
     }
 
-    /// The host thread budget homomorphic operations run with (default: the
-    /// `WD_THREADS` environment variable, else 1 = sequential).
+    /// The host thread budget homomorphic operations run with (default 1 =
+    /// sequential; see [`CkksContext::set_threads`]).
     pub fn threads(&self) -> usize {
         self.threads.load(Ordering::Relaxed)
     }
@@ -105,29 +108,48 @@ impl CkksContext {
             .collect()
     }
 
-    /// Cached basis converter `from → to`.
+    /// Cached basis converter `from → to`, with invalid bases (duplicated
+    /// primes) surfaced as typed errors — the request-path entry point
+    /// (keyswitch, mod-down) for base extension.
     ///
     /// The cache lock recovers from poisoning: a panic in an isolated worker
     /// thread (see `wd_fault::run_isolated`) must not wedge the context.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the bases are invalid (duplicated primes).
-    pub fn converter(&self, from: &[u64], to: &[u64]) -> Arc<BasisConverter> {
+    /// Propagates `wd_modmath` basis/converter construction failures.
+    pub fn try_converter(
+        &self,
+        from: &[u64],
+        to: &[u64],
+    ) -> Result<Arc<BasisConverter>, CkksError> {
         let key = (from.to_vec(), to.to_vec());
         let mut cache = self
             .converters
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
-        Arc::clone(cache.entry(key).or_insert_with(|| {
-            Arc::new(
-                BasisConverter::new(
-                    RnsBasis::new(from.to_vec()).expect("valid basis"),
-                    RnsBasis::new(to.to_vec()).expect("valid basis"),
-                )
-                .expect("converter"),
-            )
-        }))
+        if let Some(conv) = cache.get(&key) {
+            return Ok(Arc::clone(conv));
+        }
+        let conv = Arc::new(BasisConverter::new(
+            RnsBasis::new(from.to_vec())?,
+            RnsBasis::new(to.to_vec())?,
+        )?);
+        cache.insert(key, Arc::clone(&conv));
+        Ok(conv)
+    }
+
+    /// Cached basis converter `from → to` (see
+    /// [`CkksContext::try_converter`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bases are invalid (duplicated primes).
+    pub fn converter(&self, from: &[u64], to: &[u64]) -> Arc<BasisConverter> {
+        // invariant: panicking facade by contract — request paths use
+        // `try_converter`; this wrapper serves callers whose bases come
+        // straight from validated `CkksParams` chains.
+        self.try_converter(from, to).expect("valid bases")
     }
 
     /// Runs `f` with the context RNG. The lock recovers from poisoning (an
@@ -240,9 +262,12 @@ impl CkksContext {
         let b = a
             .pointwise(&s_q)
             .and_then(|as_| as_.neg().add(&e))
+            // invariant: a, s_q, e are all freshly sampled over q_primes at
+            // degree n above — shapes agree by construction.
             .expect("key shapes agree");
 
         let secret = SecretKey { s };
+        // invariant: a polynomial always matches its own shape.
         let s2 = secret.s.pointwise(&secret.s).expect("s^2");
         let relin = self.gen_ksk(&s2, &secret);
         KeyPair {
@@ -311,6 +336,9 @@ impl CkksContext {
                 .map(|as_| as_.neg())
                 .and_then(|nas| nas.add(&e))
                 .and_then(|be| be.add(&s_prime.scale_per_limb(&factors)))
+                // invariant: a and e are sampled over `full` at degree n,
+                // and sk.s / s_prime span the full basis by the KeyPair
+                // construction — shapes agree by construction.
                 .expect("ksk shapes agree");
             digits.push(crate::keys::KskDigit { b, a });
         }
@@ -339,6 +367,8 @@ impl CkksContext {
                         hat = m.mul(hat, m.reduce(qk));
                     }
                 }
+                // invariant: hat is a product of chain primes distinct from
+                // qi; distinct NTT primes are coprime, so the inverse exists.
                 m.inv(hat).expect("distinct primes")
             })
             .collect();
@@ -448,6 +478,8 @@ impl CkksContext {
 pub(crate) fn restrict(p: &RnsPoly, count: usize) -> RnsPoly {
     assert!(count > 0 && count <= p.limb_count());
     let limbs: Vec<Poly> = (0..count).map(|i| p.limb(i).clone()).collect();
+    // invariant: a non-empty limb prefix of a valid RnsPoly (asserted
+    // above) is itself valid — same degree, same domain, distinct primes.
     RnsPoly::from_limbs(limbs, p.domain()).expect("subset of a valid poly")
 }
 
@@ -456,89 +488,121 @@ mod tests {
     use super::*;
     use crate::params::ParamSet;
 
-    fn ctx() -> CkksContext {
-        let params = ParamSet::set_a().with_degree(1 << 6).build().unwrap();
-        CkksContext::with_seed(params, 42).unwrap()
+    fn ctx() -> Result<CkksContext, CkksError> {
+        let params = ParamSet::set_a().with_degree(1 << 6).build()?;
+        CkksContext::with_seed(params, 42)
     }
 
     #[test]
-    fn encode_decode_round_trip() {
-        let ctx = ctx();
+    fn encode_decode_round_trip() -> Result<(), CkksError> {
+        let ctx = ctx()?;
         let vals = vec![1.0, -2.5, 3.25, 0.0, 100.0];
-        let pt = ctx.encode(&vals).unwrap();
-        let out = ctx.decode(&pt).unwrap();
+        let pt = ctx.encode(&vals)?;
+        let out = ctx.decode(&pt)?;
         for (a, b) in vals.iter().zip(&out) {
             assert!((a - b).abs() < 1e-4, "{a} vs {b}");
         }
+        Ok(())
     }
 
     #[test]
-    fn encrypt_decrypt_round_trip() {
-        let ctx = ctx();
+    fn encrypt_decrypt_round_trip() -> Result<(), CkksError> {
+        let ctx = ctx()?;
         let kp = ctx.keygen();
         let vals = vec![0.5, -1.5, 2.0, 7.0];
-        let ct = ctx.encrypt_values(&vals, &kp.public).unwrap();
-        let out = ctx.decrypt_values(&ct, &kp.secret).unwrap();
+        let ct = ctx.encrypt_values(&vals, &kp.public)?;
+        let out = ctx.decrypt_values(&ct, &kp.secret)?;
         for (a, b) in vals.iter().zip(&out) {
             assert!((a - b).abs() < 1e-3, "{a} vs {b}");
         }
+        Ok(())
     }
 
     #[test]
-    fn fresh_ciphertext_noise_is_small() {
-        let ctx = ctx();
+    fn fresh_ciphertext_noise_is_small() -> Result<(), CkksError> {
+        let ctx = ctx()?;
         let kp = ctx.keygen();
-        let ct = ctx.encrypt_values(&[0.0; 8], &kp.public).unwrap();
-        let out = ctx.decrypt_values(&ct, &kp.secret).unwrap();
+        let ct = ctx.encrypt_values(&[0.0; 8], &kp.public)?;
+        let out = ctx.decrypt_values(&ct, &kp.secret)?;
         let max = out.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
         assert!(max < 1e-3, "noise too large: {max}");
+        Ok(())
     }
 
     #[test]
-    fn different_seeds_give_different_ciphertexts() {
-        let params = ParamSet::set_a().with_degree(1 << 6).build().unwrap();
-        let c1 = CkksContext::with_seed(params.clone(), 1).unwrap();
-        let c2 = CkksContext::with_seed(params, 2).unwrap();
+    fn different_seeds_give_different_ciphertexts() -> Result<(), CkksError> {
+        let params = ParamSet::set_a().with_degree(1 << 6).build()?;
+        let c1 = CkksContext::with_seed(params.clone(), 1)?;
+        let c2 = CkksContext::with_seed(params, 2)?;
         let k1 = c1.keygen();
         let k2 = c2.keygen();
         assert_ne!(k1.public.a, k2.public.a);
+        Ok(())
     }
 
     #[test]
-    fn encode_at_lower_level_has_fewer_limbs() {
-        let ctx = ctx();
-        let pt = ctx
-            .encode_complex_at(&[C64::new(1.0, 0.0)], 0, ctx.params().scale())
-            .unwrap();
+    fn encode_at_lower_level_has_fewer_limbs() -> Result<(), CkksError> {
+        let ctx = ctx()?;
+        let pt = ctx.encode_complex_at(&[C64::new(1.0, 0.0)], 0, ctx.params().scale())?;
         assert_eq!(pt.poly.limb_count(), 1);
-        let out = ctx.decode(&pt).unwrap();
+        let out = ctx.decode(&pt)?;
         assert!((out[0] - 1.0).abs() < 1e-4);
+        Ok(())
     }
 
     #[test]
-    fn level_beyond_chain_rejected() {
-        let ctx = ctx();
+    fn level_beyond_chain_rejected() -> Result<(), CkksError> {
+        let ctx = ctx()?;
         let r = ctx.encode_complex_at(&[C64::new(1.0, 0.0)], 99, ctx.params().scale());
         assert!(matches!(r, Err(CkksError::InvalidParams(_))));
+        Ok(())
     }
 
     #[test]
-    fn restrict_keeps_prefix() {
-        let ctx = ctx();
+    fn restrict_keeps_prefix() -> Result<(), CkksError> {
+        let ctx = ctx()?;
         let kp = ctx.keygen();
         let r = restrict(&kp.secret.s, 2);
         assert_eq!(r.limb_count(), 2);
         assert_eq!(r.limb(0), kp.secret.s.limb(0));
+        Ok(())
     }
 
     #[test]
-    fn decrypt_with_wrong_key_is_garbage() {
-        let ctx = ctx();
+    fn threads_default_sequential_and_env_independent() -> Result<(), CkksError> {
+        // The context must not consult WD_THREADS: the scheduler in
+        // warpdrive-core is the single owner of that read.
+        let ctx = ctx()?;
+        assert_eq!(ctx.threads(), 1);
+        ctx.set_threads(4);
+        assert_eq!(ctx.threads(), 4);
+        ctx.set_threads(0);
+        assert_eq!(ctx.threads(), 1, "budget is clamped to >= 1");
+        Ok(())
+    }
+
+    #[test]
+    fn try_converter_caches_and_rejects_bad_bases() -> Result<(), CkksError> {
+        let ctx = ctx()?;
+        let full = ctx.params().full_basis_at(ctx.params().max_level());
+        let q = ctx.params().q_at(0).to_vec();
+        let a = ctx.try_converter(&q, &full)?;
+        let b = ctx.try_converter(&q, &full)?;
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit the cache");
+        // Duplicated primes are a typed error, not a panic.
+        assert!(ctx.try_converter(&[q[0], q[0]], &full).is_err());
+        Ok(())
+    }
+
+    #[test]
+    fn decrypt_with_wrong_key_is_garbage() -> Result<(), CkksError> {
+        let ctx = ctx()?;
         let kp1 = ctx.keygen();
         let kp2 = ctx.keygen();
-        let ct = ctx.encrypt_values(&[1.0, 2.0, 3.0], &kp1.public).unwrap();
-        let out = ctx.decrypt_values(&ct, &kp2.secret).unwrap();
+        let ct = ctx.encrypt_values(&[1.0, 2.0, 3.0], &kp1.public)?;
+        let out = ctx.decrypt_values(&ct, &kp2.secret)?;
         let err = (out[0] - 1.0).abs() + (out[1] - 2.0).abs();
         assert!(err > 1.0, "wrong key should not decrypt: err = {err}");
+        Ok(())
     }
 }

@@ -75,7 +75,7 @@ pub fn keyswitch(
         )?;
         // ModUp: extend to the full basis, then restore the digit's own
         // limbs exactly (conversion is identity there up to rounding).
-        let conv = ctx.converter(digit_primes, &full);
+        let conv = ctx.try_converter(digit_primes, &full)?;
         let mut ext = wd_polyring::par::convert_poly(&conv, &digit, th);
         for i in lo..hi {
             *ext.limb_mut(i) = d_coeff.limb(i).clone();
@@ -86,8 +86,8 @@ pub fn keyswitch(
         // InnerProduct accumulation. The key digit lives over the max-level
         // full basis: its limb order is q_0…q_L, p…; at level ℓ we need
         // q_0…q_ℓ, p… — select those limbs.
-        let kb = select_basis(&ksk.digits[j].b, &full);
-        let ka = select_basis(&ksk.digits[j].a, &full);
+        let kb = select_basis(&ksk.digits[j].b, &full)?;
+        let ka = select_basis(&ksk.digits[j].a, &full)?;
         acc0 = acc0.add(&ext_ntt.pointwise_with(&kb, th)?)?;
         acc1 = acc1.add(&ext_ntt.pointwise_with(&ka, th)?)?;
     }
@@ -100,19 +100,22 @@ pub fn keyswitch(
 
 /// Selects the limbs of `p` (over the max-level full basis) matching the
 /// prime list `basis`, preserving order.
-pub(crate) fn select_basis(p: &RnsPoly, basis: &[u64]) -> RnsPoly {
+///
+/// # Errors
+///
+/// Returns [`CkksError::LevelMismatch`] if a requested prime is absent from
+/// `p` — e.g. a key generated for different parameters.
+pub(crate) fn select_basis(p: &RnsPoly, basis: &[u64]) -> Result<RnsPoly, CkksError> {
     let primes = p.primes();
-    let limbs: Vec<Poly> = basis
-        .iter()
-        .map(|q| {
-            let idx = primes
-                .iter()
-                .position(|x| x == q)
-                .expect("prime in key basis");
-            p.limb(idx).clone()
-        })
-        .collect();
-    RnsPoly::from_limbs(limbs, p.domain()).expect("valid selection")
+    let mut limbs: Vec<Poly> = Vec::with_capacity(basis.len());
+    for q in basis {
+        let idx = primes
+            .iter()
+            .position(|x| x == q)
+            .ok_or_else(|| CkksError::LevelMismatch(format!("prime {q} not in the key's basis")))?;
+        limbs.push(p.limb(idx).clone());
+    }
+    Ok(RnsPoly::from_limbs(limbs, p.domain())?)
 }
 
 /// ModDown: divides an extended-basis polynomial by P = Π p_k, returning it
@@ -134,22 +137,22 @@ fn mod_down(
         (lq..lq + k).map(|i| acc.limb(i).clone()).collect(),
         Domain::Coeff,
     )?;
-    let conv = ctx.converter(&p_chain, q_now);
+    let conv = ctx.try_converter(&p_chain, q_now)?;
     let u = wd_polyring::par::convert_poly(&conv, &p_part, th);
     // (x − u) · P^{-1} per limb.
     let q_acc = restrict(&acc, lq);
     let diff = q_acc.sub(&u)?;
-    let p_inv: Vec<u64> = q_now
-        .iter()
-        .map(|&q| {
-            let m = Modulus::new(q);
-            let mut p = 1u64;
-            for &pk in &p_chain {
-                p = m.mul(p, m.reduce(pk));
-            }
-            m.inv(p).expect("P invertible mod q")
-        })
-        .collect();
+    let mut p_inv: Vec<u64> = Vec::with_capacity(q_now.len());
+    for &q in q_now {
+        let m = Modulus::new(q);
+        let mut p = 1u64;
+        for &pk in &p_chain {
+            p = m.mul(p, m.reduce(pk));
+        }
+        // P shares no factor with a distinct chain prime q, so the inverse
+        // exists for valid parameters; a degenerate chain surfaces as Err.
+        p_inv.push(m.inv(p)?);
+    }
     let mut out = diff.scale_per_limb(&p_inv);
     out.ntt_forward_with(&ctx.tables_for(q_now), th);
     Ok(out)
@@ -196,7 +199,7 @@ impl HoistedDecomposition {
                 (lo..hi).map(|i| d_coeff.limb(i).clone()).collect(),
                 Domain::Coeff,
             )?;
-            let conv = ctx.converter(digit_primes, &full);
+            let conv = ctx.try_converter(digit_primes, &full)?;
             let mut ext = wd_polyring::par::convert_poly(&conv, &digit, th);
             for i in lo..hi {
                 *ext.limb_mut(i) = d_coeff.limb(i).clone();
@@ -254,8 +257,8 @@ pub fn keyswitch_hoisted(
             ext.automorphism(g)
         };
         rotated.ntt_forward_with(&full_tabs, th);
-        let kb = select_basis(&ksk.digits[j].b, &full);
-        let ka = select_basis(&ksk.digits[j].a, &full);
+        let kb = select_basis(&ksk.digits[j].b, &full)?;
+        let ka = select_basis(&ksk.digits[j].a, &full)?;
         acc0 = acc0.add(&rotated.pointwise_with(&kb, th)?)?;
         acc1 = acc1.add(&rotated.pointwise_with(&ka, th)?)?;
     }
@@ -334,7 +337,7 @@ mod tests {
         let ctx = ctx(1)?;
         let q = ctx.params().q_at(1).to_vec();
         let p = ctx.params().p_chain().to_vec();
-        let conv = ctx.converter(&q, &p);
+        let conv = ctx.try_converter(&q, &p)?;
         let src = RnsPoly::from_signed(&q, &(0..64).map(|i| i - 32).collect::<Vec<_>>())?;
         let out = convert_poly(&conv, &src);
         let expect = RnsPoly::from_signed(&p, &(0..64).map(|i| i - 32).collect::<Vec<_>>())?;

@@ -103,22 +103,22 @@ mod tests {
     use crate::ParamSet;
 
     #[test]
-    fn noise_grows_monotonically_through_multiplications() {
-        let params = ParamSet::set_a().with_degree(1 << 6).build().unwrap();
-        let ctx = CkksContext::with_seed(params, 5).unwrap();
+    fn noise_grows_monotonically_through_multiplications() -> Result<(), CkksError> {
+        let params = ParamSet::set_a().with_degree(1 << 6).build()?;
+        let ctx = CkksContext::with_seed(params, 5)?;
         let kp = ctx.keygen();
         let vals = vec![1.0, -1.0, 0.5];
-        let ct = ctx.encrypt_values(&vals, &kp.public).unwrap();
-        let fresh = measure(&ctx, &ct, &kp.secret, &vals).unwrap();
+        let ct = ctx.encrypt_values(&vals, &kp.public)?;
+        let fresh = measure(&ctx, &ct, &kp.secret, &vals)?;
         assert!(
             fresh.budget_bits > 8.0,
             "fresh budget {}",
             fresh.budget_bits
         );
 
-        let sq = rescale(&ctx, &hmult(&ctx, &ct, &ct, &kp.relin).unwrap()).unwrap();
+        let sq = rescale(&ctx, &hmult(&ctx, &ct, &ct, &kp.relin)?)?;
         let expected: Vec<f64> = vals.iter().map(|v| v * v).collect();
-        let after = measure(&ctx, &sq, &kp.secret, &expected).unwrap();
+        let after = measure(&ctx, &sq, &kp.secret, &expected)?;
         assert!(after.levels_left < fresh.levels_left);
         assert!(
             after.max_slot_error >= fresh.max_slot_error,
@@ -126,18 +126,20 @@ mod tests {
             fresh.max_slot_error,
             after.max_slot_error
         );
+        Ok(())
     }
 
     #[test]
-    fn measuring_against_own_decryption_has_large_budget() {
-        let params = ParamSet::set_a().with_degree(1 << 6).build().unwrap();
-        let ctx = CkksContext::with_seed(params, 6).unwrap();
+    fn measuring_against_own_decryption_has_large_budget() -> Result<(), CkksError> {
+        let params = ParamSet::set_a().with_degree(1 << 6).build()?;
+        let ctx = CkksContext::with_seed(params, 6)?;
         let kp = ctx.keygen();
-        let ct = ctx.encrypt_values(&[0.0], &kp.public).unwrap();
+        let ct = ctx.encrypt_values(&[0.0], &kp.public)?;
         // Measure against the *decrypted* values: only the imaginary-part
         // noise remains, so the budget is large.
-        let got = ctx.decrypt_values(&ct, &kp.secret).unwrap();
-        let rep = measure(&ctx, &ct, &kp.secret, &got).unwrap();
+        let got = ctx.decrypt_values(&ct, &kp.secret)?;
+        let rep = measure(&ctx, &ct, &kp.secret, &got)?;
         assert!(rep.budget_bits > 12.0, "budget {}", rep.budget_bits);
+        Ok(())
     }
 }

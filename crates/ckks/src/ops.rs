@@ -184,8 +184,8 @@ pub fn rescale_by(ctx: &CkksContext, ct: &Ciphertext, k: usize) -> Result<Cipher
     let mut scale = ct.scale;
     for step in 0..k {
         let dropped = primes[ct.level - step];
-        rescale_step(&mut c0, dropped);
-        rescale_step(&mut c1, dropped);
+        rescale_step(&mut c0, dropped)?;
+        rescale_step(&mut c1, dropped)?;
         scale /= dropped as f64;
     }
     let new_primes = &primes[..=ct.level - k];
@@ -201,14 +201,21 @@ pub fn rescale_by(ctx: &CkksContext, ct: &Ciphertext, k: usize) -> Result<Cipher
 
 /// One rescaling step in the coefficient domain:
 /// c_i ← (c_i − \[v\]_{q_i}) · q_last^{-1}, where v is the centered last limb.
-fn rescale_step(p: &mut RnsPoly, dropped: u64) {
+///
+/// # Errors
+///
+/// Returns a typed error on degenerate chains (a non-invertible dropped
+/// prime or a modulus exceeding the signed word range) instead of
+/// panicking on the request path.
+fn rescale_step(p: &mut RnsPoly, dropped: u64) -> Result<(), CkksError> {
     let last = p.limb_count() - 1;
     assert_eq!(p.limb(last).modulus().value(), dropped);
     let v_centered = p.limb(last).centered();
     for i in 0..last {
         let m = *p.limb(i).modulus();
-        let q_inv = m.inv(m.reduce(dropped)).expect("distinct primes");
-        let qi = i64::try_from(m.value()).expect("word-size modulus");
+        let q_inv = m.inv(m.reduce(dropped))?;
+        let qi = i64::try_from(m.value())
+            .map_err(|_| CkksError::InvalidParams(format!("modulus {} exceeds i64", m.value())))?;
         let limb = p.limb_mut(i);
         for (c, &v) in limb.coeffs_mut().iter_mut().zip(&v_centered) {
             let v_mod = (v % qi + qi) % qi;
@@ -216,6 +223,7 @@ fn rescale_step(p: &mut RnsPoly, dropped: u64) {
         }
     }
     p.drop_limbs(1);
+    Ok(())
 }
 
 /// Drops ciphertext limbs without changing the scale (modulus switching used
@@ -437,6 +445,8 @@ pub fn mult_const(ctx: &CkksContext, ct: &Ciphertext, v: f64) -> Result<Cipherte
 /// Exact centered reduction helper exposed for workloads: `x mod q_i` of a
 /// signed value.
 pub fn signed_mod(v: i64, m: &Modulus) -> u64 {
+    // invariant: every modulus in the workspace is an NTT prime < 2^32,
+    // far inside i64 range — the conversion cannot fail.
     let q = i64::try_from(m.value()).expect("word-size modulus");
     ((v % q + q) % q) as u64
 }

@@ -330,8 +330,8 @@ mod tests {
     use wd_modmath::prime::is_prime;
 
     #[test]
-    fn set_a_shape_matches_table_vi() {
-        let p = ParamSet::set_a().build().unwrap();
+    fn set_a_shape_matches_table_vi() -> Result<(), CkksError> {
+        let p = ParamSet::set_a().build()?;
         assert_eq!(p.degree(), 1 << 12);
         assert_eq!(p.max_level(), 2);
         assert_eq!(p.q_chain().len(), 3);
@@ -342,18 +342,20 @@ mod tests {
             "log qp = {}",
             p.log_qp()
         );
+        Ok(())
     }
 
     #[test]
-    fn set_e_has_36_total_primes() {
+    fn set_e_has_36_total_primes() -> Result<(), CkksError> {
         // "The total number of primes is l + 2" (l + 1 chain + 1 special).
-        let p = ParamSet::set_e().with_degree(1 << 8).build().unwrap();
+        let p = ParamSet::set_e().with_degree(1 << 8).build()?;
         assert_eq!(p.q_chain().len() + p.p_chain().len(), 36);
+        Ok(())
     }
 
     #[test]
-    fn all_primes_distinct_and_ntt_friendly() {
-        let p = ParamSet::set_c().with_degree(1 << 10).build().unwrap();
+    fn all_primes_distinct_and_ntt_friendly() -> Result<(), CkksError> {
+        let p = ParamSet::set_c().with_degree(1 << 10).build()?;
         let mut all = p.full_basis_at(p.max_level());
         let two_n = 2 * p.degree() as u64;
         for &q in &all {
@@ -363,18 +365,20 @@ mod tests {
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), p.q_chain().len() + p.p_chain().len());
+        Ok(())
     }
 
     #[test]
-    fn dnum_formula() {
-        let p = ParamSet::boot().with_degree(1 << 8).build().unwrap();
+    fn dnum_formula() -> Result<(), CkksError> {
+        let p = ParamSet::boot().with_degree(1 << 8).build()?;
         // K = 12, level 34: dnum = ceil(35/12) = 3.
         assert_eq!(p.dnum_at(34), 3);
         assert_eq!(p.dnum_at(11), 1);
         assert_eq!(p.dnum_at(12), 2);
         // K = 1 degenerates to per-prime decomposition.
-        let q = ParamSet::set_b().with_degree(1 << 8).build().unwrap();
+        let q = ParamSet::set_b().with_degree(1 << 8).build()?;
         assert_eq!(q.dnum_at(6), 7);
+        Ok(())
     }
 
     #[test]
@@ -388,11 +392,11 @@ mod tests {
     }
 
     #[test]
-    fn table_vi_sets_satisfy_the_128_bit_standard() {
+    fn table_vi_sets_satisfy_the_128_bit_standard() -> Result<(), CkksError> {
         // The paper's log qp column (108/217/437/704/974) sits within the
         // standard's 128-bit limits — and so do our instantiated chains.
         for set in ParamSet::table_vi() {
-            let p = set.build().unwrap();
+            let p = set.build()?;
             assert!(
                 p.is_128_bit_secure(),
                 "{}: log qp = {:.0} exceeds the 128-bit bound",
@@ -400,12 +404,14 @@ mod tests {
                 p.log_qp()
             );
         }
+        Ok(())
     }
 
     #[test]
-    fn shrunken_test_rings_are_flagged_insecure() {
-        let p = ParamSet::set_a().with_degree(1 << 6).build().unwrap();
+    fn shrunken_test_rings_are_flagged_insecure() -> Result<(), CkksError> {
+        let p = ParamSet::set_a().with_degree(1 << 6).build()?;
         assert!(!p.is_128_bit_secure(), "toy rings must not claim security");
+        Ok(())
     }
 
     #[test]
@@ -416,14 +422,15 @@ mod tests {
     }
 
     #[test]
-    fn scale_matches_prime_size() {
-        let p = ParamSet::set_a().build().unwrap();
+    fn scale_matches_prime_size() -> Result<(), CkksError> {
+        let p = ParamSet::set_a().build()?;
         assert_eq!(p.scale(), (1u64 << 26) as f64);
         for &q in p.q_chain() {
             let ratio = q as f64 / p.scale();
             assert!((0.9..1.2).contains(&ratio), "q/Δ = {ratio}");
         }
-        let e = ParamSet::set_e().with_degree(1 << 8).build().unwrap();
+        let e = ParamSet::set_e().with_degree(1 << 8).build()?;
         assert_eq!(e.scale(), (1u64 << 28) as f64);
+        Ok(())
     }
 }

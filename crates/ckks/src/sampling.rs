@@ -14,6 +14,9 @@ pub const ERROR_STD_DEV: f64 = 3.2;
 ///
 /// Panics if `primes` is empty or `n` invalid (propagated from `RnsPoly`).
 pub fn uniform_poly<R: Rng>(rng: &mut R, primes: &[u64], n: usize) -> RnsPoly {
+    // invariant: callers pass prime lists and degrees validated by
+    // `CkksParams`; ring construction cannot fail for them (documented
+    // panic contract above for anyone else).
     let mut p = RnsPoly::zero(primes, n).expect("valid ring");
     for (i, &q) in primes.iter().enumerate() {
         for c in p.limb_mut(i).coeffs_mut() {
@@ -26,6 +29,7 @@ pub fn uniform_poly<R: Rng>(rng: &mut R, primes: &[u64], n: usize) -> RnsPoly {
 /// Samples a ternary secret with coefficients in {−1, 0, +1}.
 pub fn ternary_poly<R: Rng>(rng: &mut R, primes: &[u64], n: usize) -> RnsPoly {
     let coeffs: Vec<i64> = (0..n).map(|_| i64::from(rng.gen_range(-1i8..=1))).collect();
+    // invariant: see `uniform_poly` — params-validated ring.
     RnsPoly::from_signed(primes, &coeffs).expect("valid ring")
 }
 
@@ -33,6 +37,7 @@ pub fn ternary_poly<R: Rng>(rng: &mut R, primes: &[u64], n: usize) -> RnsPoly {
 /// Box–Muller then rounding — adequate for a research implementation).
 pub fn gaussian_poly<R: Rng>(rng: &mut R, primes: &[u64], n: usize) -> RnsPoly {
     let coeffs: Vec<i64> = (0..n).map(|_| sample_gaussian(rng)).collect();
+    // invariant: see `uniform_poly` — params-validated ring.
     RnsPoly::from_signed(primes, &coeffs).expect("valid ring")
 }
 
@@ -50,17 +55,18 @@ mod tests {
     use rand::SeedableRng;
     use wd_modmath::prime::generate_ntt_primes;
 
-    fn primes() -> Vec<u64> {
-        generate_ntt_primes(26, 64, 2).unwrap()
+    fn primes() -> Result<Vec<u64>, crate::CkksError> {
+        Ok(generate_ntt_primes(26, 64, 2)?)
     }
 
     #[test]
-    fn ternary_coefficients_in_range() {
+    fn ternary_coefficients_in_range() -> Result<(), crate::CkksError> {
         let mut rng = StdRng::seed_from_u64(1);
-        let p = ternary_poly(&mut rng, &primes(), 256);
+        let p = ternary_poly(&mut rng, &primes()?, 256);
         for c in p.limb(0).centered() {
             assert!((-1..=1).contains(&c));
         }
+        Ok(())
     }
 
     #[test]
@@ -82,21 +88,23 @@ mod tests {
     }
 
     #[test]
-    fn uniform_spans_the_range() {
+    fn uniform_spans_the_range() -> Result<(), crate::CkksError> {
         let mut rng = StdRng::seed_from_u64(3);
-        let ps = primes();
+        let ps = primes()?;
         let p = uniform_poly(&mut rng, &ps, 1024);
-        let max = p.limb(0).coeffs().iter().max().copied().unwrap();
+        let max = p.limb(0).coeffs().iter().max().copied().unwrap_or(0);
         assert!(max > ps[0] / 2, "uniform sample suspiciously small");
         // Limbs are sampled independently: they should differ.
         assert_ne!(p.limb(0).coeffs()[..32], p.limb(1).coeffs()[..32]);
+        Ok(())
     }
 
     #[test]
-    fn deterministic_under_seed() {
-        let ps = primes();
+    fn deterministic_under_seed() -> Result<(), crate::CkksError> {
+        let ps = primes()?;
         let a = uniform_poly(&mut StdRng::seed_from_u64(7), &ps, 64);
         let b = uniform_poly(&mut StdRng::seed_from_u64(7), &ps, 64);
         assert_eq!(a, b);
+        Ok(())
     }
 }

@@ -55,12 +55,15 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, CkksError> {
+        // invariant: take(4) returns exactly 4 bytes or Err above — the
+        // slice-to-array conversion is statically infallible here.
         Ok(u32::from_le_bytes(
             self.take(4)?.try_into().expect("4 bytes"),
         ))
     }
 
     fn u64(&mut self) -> Result<u64, CkksError> {
+        // invariant: take(8) returns exactly 8 bytes or Err above.
         Ok(u64::from_le_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
         ))
@@ -394,12 +397,19 @@ mod tests {
         fn sample_bytes() -> &'static (Vec<u8>, Vec<u8>) {
             static BYTES: OnceLock<(Vec<u8>, Vec<u8>)> = OnceLock::new();
             BYTES.get_or_init(|| {
-                let (ctx, kp) = ctx().expect("context");
-                let ct = ctx
-                    .encrypt_values(&[1.0, -2.0, 3.0], &kp.public)
-                    .expect("encrypt");
-                let pt = ctx.encode(&[0.5, 0.25]).expect("encode");
-                (ciphertext_to_bytes(&ct), plaintext_to_bytes(&pt))
+                // invariant: corpus construction from fixed, known-good
+                // parameters inside a OnceLock initializer — no Result
+                // plumbing possible, and a failure here is a test bug.
+                let build = || -> Result<(Vec<u8>, Vec<u8>), CkksError> {
+                    let (ctx, kp) = ctx()?;
+                    let ct = ctx.encrypt_values(&[1.0, -2.0, 3.0], &kp.public)?;
+                    let pt = ctx.encode(&[0.5, 0.25])?;
+                    Ok((ciphertext_to_bytes(&ct), plaintext_to_bytes(&pt)))
+                };
+                match build() {
+                    Ok(pair) => pair,
+                    Err(e) => panic!("corpus construction failed: {e}"),
+                }
             })
         }
 

@@ -16,24 +16,34 @@
 //! - **Limb level** (`wd_polyring::par` via the context): one operation's
 //!   limb × polynomial work items fanned out — latency for a single op.
 //!
-//! For a saturated batch, keep the context budget at 1 and give the whole
-//! budget to the executor; for single-op latency do the reverse. Results
-//! are **bit-identical** for every split of the budget, including the
+//! How a thread budget should split between the two axes depends on the
+//! workload shape: a saturated batch wants op-level fan-out, a single op on
+//! a big ring wants limb-level splitting. [`BatchExecutor::auto`] delegates
+//! that choice to a [`ParScheduler`] (see [`crate::sched`]), which picks a
+//! deterministic cost-model-driven split per batch and **owns the
+//! context's limb budget for the duration of the batch** — so
+//! `op_width × limb_width` can never exceed the global budget. Results are
+//! **bit-identical** for every split of the budget, including the
 //! all-sequential `threads = 1` fallback, because no work item shares
 //! mutable state (see `wd_polyring::par`).
 //!
 //! # Thread-budget precedence
 //!
-//! Both budgets read `WD_THREADS`, but they never multiply implicitly:
+//! The scheduler is the single owner of the parallelism environment reads
+//! (`WD_THREADS` budget, `WD_SCHED` policy); nothing else in the framework
+//! reads them, so the two axes never multiply implicitly:
 //!
 //! 1. [`BatchExecutor::new`] / [`CkksContext::set_threads`] — an explicit
-//!    argument always wins.
-//! 2. `WD_THREADS` — consulted by [`BatchExecutor::from_env`] (op level)
-//!    and by `CkksContext` construction (limb level). A **malformed** value
-//!    (non-numeric, zero) makes `from_env` log a warning and fall back to
-//!    [`BatchExecutor::sequential`]; an **unset** variable means "all
-//!    available cores" for the executor and "sequential" for the context.
-//! 3. Defaults: executor = available cores, context = 1.
+//!    argument always wins, and a plain `new` executor leaves the context's
+//!    limb budget alone.
+//! 2. [`BatchExecutor::from_env`] — delegates to
+//!    [`ParScheduler::from_env`], the one `WD_THREADS`/`WD_SCHED` read. A
+//!    **malformed** `WD_THREADS` (non-numeric, zero) logs a warning and
+//!    falls back to a sequential budget rather than guessing; an **unset**
+//!    variable means "all available cores". `WD_SCHED` selects the split
+//!    policy (`op` / `limb` / `auto`; default `auto`).
+//! 3. Defaults: budget = available cores; an unscheduled context is
+//!    sequential.
 //!
 //! # Fault tolerance
 //!
@@ -47,6 +57,7 @@
 //! fault-free run; injection changes latency, never values. Genuine errors
 //! (missing keys, exhausted chains) are never retried.
 
+use crate::sched::{BatchShape, ParScheduler};
 use wd_ckks::cipher::Ciphertext;
 use wd_ckks::keys::{KeySwitchKey, RotationKeys};
 use wd_ckks::ops;
@@ -116,49 +127,65 @@ impl<'a> EvalKeys<'a> {
 #[derive(Debug, Clone)]
 pub struct BatchExecutor {
     threads: usize,
+    sched: Option<ParScheduler>,
     injector: FaultInjector,
     retry: RetryPolicy,
 }
 
 impl BatchExecutor {
-    /// Executor with an explicit op-level thread budget (min 1). Fault
-    /// injection follows the environment ([`FaultPlan::from_env`], disabled
-    /// unless `WD_FAULT_RATE` is set); override with
+    /// Executor with an explicit op-level thread budget (min 1) and **no
+    /// scheduler**: every thread goes to op-level fan-out and the context's
+    /// limb budget is left untouched. Fault injection follows the
+    /// environment ([`FaultPlan::from_env`], disabled unless
+    /// `WD_FAULT_RATE` is set); override with
     /// [`BatchExecutor::with_fault_plan`].
     pub fn new(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
+            sched: None,
             injector: FaultInjector::from_env(),
             retry: RetryPolicy::default(),
         }
     }
 
-    /// Executor sized from `WD_THREADS`, else all available cores.
+    /// Executor that **schedules** a global thread budget: every batch is
+    /// split between op-level fan-out and limb-level splitting by a
+    /// cost-model-driven [`ParScheduler`] sized for the batch shape
+    /// (policy [`SchedPolicy::Auto`](crate::sched::SchedPolicy::Auto);
+    /// override with [`BatchExecutor::with_scheduler`]). During
+    /// [`BatchExecutor::execute`] / [`BatchExecutor::keyswitch`] the
+    /// executor owns the context's limb budget (set on entry, restored on
+    /// exit), so the split can never oversubscribe `budget`.
+    pub fn auto(budget: usize) -> Self {
+        Self::with_scheduler(Self::new(budget), ParScheduler::new(budget))
+    }
+
+    /// Executor sized and scheduled from the environment, via
+    /// [`ParScheduler::from_env`] — the framework's **only** reader of
+    /// `WD_THREADS` (budget) and `WD_SCHED` (policy).
     ///
-    /// A malformed value (non-numeric, zero) is **rejected**: a warning is
-    /// logged to stderr and the executor falls back to
-    /// [`BatchExecutor::sequential`] rather than silently guessing a
-    /// parallel budget. See the module docs for the precedence vs
-    /// [`CkksContext::set_threads`].
+    /// A malformed `WD_THREADS` (non-numeric, zero) is **rejected**: a
+    /// warning is logged to stderr and the budget falls back to sequential
+    /// rather than silently guessing. Unset means all available cores. See
+    /// the module docs for the precedence vs [`CkksContext::set_threads`].
     pub fn from_env() -> Self {
-        match std::env::var(par::THREADS_ENV) {
-            Err(_) => Self::new(par::available_threads()),
-            Ok(v) => match v.trim().parse::<usize>() {
-                Ok(n) if n > 0 => Self::new(n),
-                _ => {
-                    eprintln!(
-                        "warning: malformed {}={v:?}; falling back to sequential batch execution",
-                        par::THREADS_ENV
-                    );
-                    Self::sequential()
-                }
-            },
-        }
+        let sched = ParScheduler::from_env();
+        Self::with_scheduler(Self::new(sched.budget()), sched)
     }
 
     /// Strictly sequential executor (the bit-identical fallback).
     pub fn sequential() -> Self {
         Self::new(1)
+    }
+
+    /// Attaches (or replaces) a scheduler. The executor's op-level budget
+    /// becomes the scheduler's global budget; per-batch splits decide how
+    /// much of it the op axis actually uses.
+    #[must_use]
+    pub fn with_scheduler(mut self, sched: ParScheduler) -> Self {
+        self.threads = sched.budget();
+        self.sched = Some(sched);
+        self
     }
 
     /// Replaces the fault plan (tests and fault drills; the environment
@@ -176,9 +203,15 @@ impl BatchExecutor {
         self
     }
 
-    /// The op-level thread budget.
+    /// The thread budget: op-level width for an unscheduled executor, the
+    /// global (op × limb) budget for a scheduled one.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The attached scheduler, if any.
+    pub fn scheduler(&self) -> Option<&ParScheduler> {
+        self.sched.as_ref()
     }
 
     /// The active fault plan.
@@ -206,7 +239,32 @@ impl BatchExecutor {
         }
     }
 
+    /// Computes this batch's split and claims the context's limb budget
+    /// for its duration. Unscheduled executors run pure op-level fan-out
+    /// and leave the context alone (`None` guard).
+    fn plan<'c>(
+        &self,
+        ctx: &'c CkksContext,
+        shape: BatchShape,
+    ) -> (usize, Option<LimbBudgetGuard<'c>>) {
+        match &self.sched {
+            None => (self.threads, None),
+            Some(s) => {
+                let split = s.split(shape);
+                (
+                    split.op_width,
+                    Some(LimbBudgetGuard::claim(ctx, split.limb_width)),
+                )
+            }
+        }
+    }
+
     /// Executes a batch, returning one result per op **in input order**.
+    ///
+    /// A scheduled executor (see [`BatchExecutor::auto`]) first splits its
+    /// budget for this batch's shape and pins the context's limb budget to
+    /// the limb width until the batch completes; the split never changes
+    /// values, only latency.
     ///
     /// Op-level errors (missing keys, level mismatches, exhausted levels)
     /// come back as `Err` entries; they never abort the rest of the batch.
@@ -219,7 +277,8 @@ impl BatchExecutor {
         keys: EvalKeys<'_>,
         batch: &[BatchOp<'_>],
     ) -> Vec<Result<Ciphertext, CkksError>> {
-        par::map_indexed(self.threads, batch.len(), |i| {
+        let (op_width, _limb_guard) = self.plan(ctx, BatchShape::of_ops(batch));
+        par::map_indexed(op_width, batch.len(), |i| {
             let op = &batch[i];
             self.recover(op.site(), || Self::apply(ctx, keys, op))
         })
@@ -263,7 +322,11 @@ impl BatchExecutor {
         ksk: &KeySwitchKey,
         polys: &[&RnsPoly],
     ) -> Vec<Result<(RnsPoly, RnsPoly), CkksError>> {
-        par::map_indexed(self.threads, polys.len(), |i| {
+        let degree = polys.iter().map(|p| p.degree()).max().unwrap_or(0);
+        let limbs = polys.iter().map(|p| p.limb_count()).max().unwrap_or(0);
+        let shape = BatchShape::of_keyswitch(polys.len(), degree, limbs);
+        let (op_width, _limb_guard) = self.plan(ctx, shape);
+        par::map_indexed(op_width, polys.len(), |i| {
             self.recover("batch.keyswitch", || {
                 wd_ckks::keyswitch::keyswitch(ctx, polys[i], ksk)
             })
@@ -282,6 +345,9 @@ impl BatchExecutor {
         polys: &mut [RnsPoly],
         tables: &[std::sync::Arc<wd_polyring::ntt::NttTable>],
     ) {
+        // invariant: panicking facade by contract — the Result-typed
+        // sibling is `try_ntt_forward`; this wrapper exists for callers
+        // that statically guarantee valid input.
         self.try_ntt_forward(polys, tables).expect("batch NTT");
     }
 
@@ -296,6 +362,7 @@ impl BatchExecutor {
         polys: &mut [RnsPoly],
         tables: &[std::sync::Arc<wd_polyring::ntt::NttTable>],
     ) {
+        // invariant: panicking facade by contract — see `ntt_forward`.
         self.try_ntt_inverse(polys, tables).expect("batch NTT");
     }
 
@@ -381,9 +448,33 @@ impl Default for BatchExecutor {
     }
 }
 
+/// RAII claim on a context's limb-level thread budget: sets it to the
+/// scheduled limb width on construction and restores the previous value on
+/// drop (including unwind), so a scheduled batch can never leave an
+/// inflated limb budget behind for code that runs after it.
+struct LimbBudgetGuard<'a> {
+    ctx: &'a CkksContext,
+    prev: usize,
+}
+
+impl<'a> LimbBudgetGuard<'a> {
+    fn claim(ctx: &'a CkksContext, limb_width: usize) -> Self {
+        let prev = ctx.threads();
+        ctx.set_threads(limb_width);
+        Self { ctx, prev }
+    }
+}
+
+impl Drop for LimbBudgetGuard<'_> {
+    fn drop(&mut self) {
+        self.ctx.set_threads(self.prev);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sched::SchedPolicy;
     use wd_ckks::params::ParamSet;
 
     fn setup() -> Result<(CkksContext, wd_ckks::keys::KeyPair), WdError> {
@@ -407,16 +498,50 @@ mod tests {
         ];
         let keys = EvalKeys::with_relin(&kp.relin).and_rotations(&rot);
         let seq: Vec<_> = BatchExecutor::sequential().execute(&ctx, keys, &batch);
+        assert!(seq.iter().all(Result::is_ok));
         for threads in [2usize, 4, 8] {
             let par_out = BatchExecutor::new(threads).execute(&ctx, keys, &batch);
             for (i, (s, p)) in seq.iter().zip(&par_out).enumerate() {
-                assert_eq!(
-                    s.as_ref().expect("sequential op"),
-                    p.as_ref().expect("parallel op"),
-                    "op {i} diverged at {threads} threads"
-                );
+                assert_eq!(s, p, "op {i} diverged at {threads} threads");
             }
         }
+        Ok(())
+    }
+
+    #[test]
+    fn scheduled_executor_matches_sequential_and_restores_limb_budget() -> Result<(), WdError> {
+        let (ctx, kp) = setup()?;
+        let a = ctx.encrypt_values(&[1.0, 2.0], &kp.public)?;
+        let b = ctx.encrypt_values(&[3.0, -4.0], &kp.public)?;
+        let batch = [
+            BatchOp::HMult(&a, &b),
+            BatchOp::HAdd(&a, &b),
+            BatchOp::HMult(&b, &a),
+        ];
+        let keys = EvalKeys::with_relin(&kp.relin);
+        let seq: Vec<_> = BatchExecutor::sequential().execute(&ctx, keys, &batch);
+        assert!(seq.iter().all(Result::is_ok));
+        ctx.set_threads(1);
+        for budget in [1usize, 2, 4, 8] {
+            for policy in [SchedPolicy::Op, SchedPolicy::Limb, SchedPolicy::Auto] {
+                let ex = BatchExecutor::new(budget)
+                    .with_scheduler(ParScheduler::new(budget).with_policy(policy));
+                assert_eq!(seq, ex.execute(&ctx, keys, &batch), "{policy:?} x{budget}");
+                // The limb budget is restored after every scheduled batch.
+                assert_eq!(ctx.threads(), 1, "{policy:?} x{budget} leaked limb budget");
+            }
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn auto_executor_carries_its_budget_as_scheduler_budget() -> Result<(), WdError> {
+        let ex = BatchExecutor::auto(6);
+        assert_eq!(ex.threads(), 6);
+        let sched = ex.scheduler().ok_or(WdError::InvalidParams(
+            "auto executor must carry a scheduler".into(),
+        ))?;
+        assert_eq!(sched.budget(), 6);
         Ok(())
     }
 
@@ -443,8 +568,8 @@ mod tests {
         let batched = ex.keyswitch(&ctx, &kp.relin, &[&p0, &p1]);
         let d0 = wd_ckks::keyswitch::keyswitch(&ctx, &p0, &kp.relin)?;
         let d1 = wd_ckks::keyswitch::keyswitch(&ctx, &p1, &kp.relin)?;
-        assert_eq!(batched[0].as_ref().expect("batched keyswitch"), &d0);
-        assert_eq!(batched[1].as_ref().expect("batched keyswitch"), &d1);
+        assert_eq!(batched[0].as_ref(), Ok(&d0));
+        assert_eq!(batched[1].as_ref(), Ok(&d1));
         Ok(())
     }
 
@@ -460,12 +585,11 @@ mod tests {
         ctx: &CkksContext,
         keys: EvalKeys<'_>,
         batch: &[BatchOp<'_>],
-    ) -> Vec<Ciphertext> {
+    ) -> Result<Vec<Ciphertext>, WdError> {
         BatchExecutor::sequential()
             .with_fault_plan(FaultPlan::disabled())
             .execute(ctx, keys, batch)
             .into_iter()
-            .map(|r| r.expect("clean run succeeds"))
             .collect()
     }
 
@@ -482,15 +606,15 @@ mod tests {
             BatchOp::Rescale(&a),
         ];
         let keys = EvalKeys::with_relin(&kp.relin).and_rotations(&rot);
-        let clean = clean_results(&ctx, keys, &batch);
+        let clean = clean_results(&ctx, keys, &batch)?;
         for seed in [1u64, 7, 42] {
             for threads in [1usize, 2, 4] {
                 let ex = BatchExecutor::new(threads).with_fault_plan(FaultPlan::new(seed, 0.3));
                 let out = ex.execute(&ctx, keys, &batch);
                 for (i, (c, o)) in clean.iter().zip(&out).enumerate() {
                     assert_eq!(
-                        c,
-                        o.as_ref().expect("recovered"),
+                        o.as_ref(),
+                        Ok(c),
                         "op {i} diverged under seed {seed}, {threads} threads"
                     );
                 }
@@ -508,7 +632,7 @@ mod tests {
         let b = ctx.encrypt_values(&[0.25, 8.0], &kp.public)?;
         let batch = [BatchOp::HAdd(&a, &b), BatchOp::HMult(&a, &b)];
         let keys = EvalKeys::with_relin(&kp.relin);
-        let clean = clean_results(&ctx, keys, &batch);
+        let clean = clean_results(&ctx, keys, &batch)?;
         let ex = BatchExecutor::new(2)
             .with_fault_plan(FaultPlan::new(5, 1.0))
             .with_retry_policy(RetryPolicy {
@@ -517,7 +641,7 @@ mod tests {
             });
         let out = ex.execute(&ctx, keys, &batch);
         for (c, o) in clean.iter().zip(&out) {
-            assert_eq!(c, o.as_ref().expect("degraded path succeeds"));
+            assert_eq!(o.as_ref(), Ok(c));
         }
         Ok(())
     }
@@ -539,13 +663,10 @@ mod tests {
     #[test]
     fn try_ntt_recovers_in_place_batches() -> Result<(), WdError> {
         let (ctx, _) = setup()?;
-        let polys: Vec<RnsPoly> = (0..3)
-            .map(|i| {
-                ctx.encode(&[i as f64 + 0.5, -1.0])
-                    .map(|pt| pt.poly)
-                    .expect("encode")
-            })
-            .collect();
+        let mut polys = Vec::new();
+        for i in 0..3 {
+            polys.push(ctx.encode(&[i as f64 + 0.5, -1.0])?.poly);
+        }
         let primes = polys[0].primes();
         let tables = ctx.tables_for(&primes);
         // Expected: the disabled-injection transform.
@@ -556,10 +677,10 @@ mod tests {
         for seed in [2u64, 11] {
             let ex = BatchExecutor::new(4).with_fault_plan(FaultPlan::new(seed, 0.6));
             let mut got = polys.clone();
-            ex.try_ntt_inverse(&mut got, &tables).expect("recovered");
+            ex.try_ntt_inverse(&mut got, &tables)?;
             assert_eq!(got, expect, "seed {seed}");
             // Round-trip back under injection too.
-            ex.try_ntt_forward(&mut got, &tables).expect("recovered");
+            ex.try_ntt_forward(&mut got, &tables)?;
             assert_eq!(got, polys, "seed {seed} round trip");
         }
         Ok(())

@@ -66,6 +66,82 @@ pub const LANES: f64 = 32.0;
 /// Coalesced bytes per load/store warp instruction (32 lanes × 4 B).
 pub const BYTES_PER_LSU_INSTR: f64 = 128.0;
 
+// ---------------------------------------------------------------------------
+// Host-side cost model (the `ParScheduler` calibration surface, DESIGN.md
+// §5d). These estimates reuse the per-operation instruction budgets above —
+// the same closed forms the GPU planners feed to the analytic simulator —
+// to weigh host work when splitting one thread budget between op-level and
+// limb-level parallelism. Only *ratios* matter to the scheduler, so the
+// estimates deliberately stay first-order: leading term per pipeline stage,
+// no addressing or cache effects.
+// ---------------------------------------------------------------------------
+
+/// Instruction-equivalent cost of spawning one scoped worker thread
+/// (≈ 10 µs of clone/stack setup at a few GIPS). The term that makes
+/// fine-grained limb splitting lose to op-level fan-out on small rings.
+pub const HOST_SPAWN_INSTR: f64 = 25_000.0;
+
+/// Parallel sections a keyswitch-bearing op opens per execution (INTT,
+/// per-digit ModUp conversions + NTTs, InnerProduct, 2 × ModDown) — each
+/// section re-spawns its limb workers, so limb-level splitting pays
+/// [`HOST_SPAWN_INSTR`] this many times per heavy op.
+pub const HOST_PAR_SECTIONS_HEAVY: f64 = 10.0;
+
+/// INT32 instructions for one limb-sized forward or inverse NTT:
+/// (N/2)·log2(N) butterflies, one modmul + two modular adds each.
+pub fn host_ntt_limb_instrs(n: usize) -> f64 {
+    let nf = n as f64;
+    0.5 * nf * nf.log2().max(1.0) * (INT32_PER_MODMUL + 2.0 * INT32_PER_MODRED)
+}
+
+/// INT32 instructions for one limb-sized pointwise (Hadamard) multiply.
+pub fn host_pointwise_limb_instrs(n: usize) -> f64 {
+    n as f64 * INT32_PER_POINTWISE_MUL
+}
+
+/// INT32 instructions for one limb-sized element-wise add.
+pub fn host_add_limb_instrs(n: usize) -> f64 {
+    n as f64 * INT32_PER_POINTWISE_ADD
+}
+
+/// INT32 instructions for one fast basis conversion of an N-coefficient
+/// polynomial from `from` limbs to `to` limbs.
+pub fn host_conv_instrs(n: usize, from: usize, to: usize) -> f64 {
+    n as f64 * from as f64 * to as f64 * INT32_PER_CONV_TERM
+}
+
+/// INT32 instructions for one hybrid keyswitch at ring degree `n` with
+/// `limbs` chain limbs (α = 1 digits, K = 1 special prime — the Table VI
+/// configuration): INTT + dnum × (ModUp conversion + NTT) + InnerProduct +
+/// 2 × ModDown. The dominant request-path cost of HMULT and HROTATE.
+pub fn host_keyswitch_instrs(n: usize, limbs: usize) -> f64 {
+    let l = limbs.max(1);
+    let full = l + 1; // K = 1 special prime
+    let dnum = l; // α = 1
+    let intt_in = l as f64 * host_ntt_limb_instrs(n);
+    let modup =
+        dnum as f64 * (host_conv_instrs(n, 1, full - 1) + full as f64 * host_ntt_limb_instrs(n));
+    let inner =
+        2.0 * dnum as f64 * full as f64 * (host_pointwise_limb_instrs(n) + host_add_limb_instrs(n));
+    let moddown = 2.0
+        * (full as f64 * host_ntt_limb_instrs(n)
+            + host_conv_instrs(n, 1, l)
+            + l as f64 * (host_pointwise_limb_instrs(n) + host_ntt_limb_instrs(n)));
+    intt_in + modup + inner + moddown
+}
+
+/// INT32 instructions for one keyswitch-bearing ciphertext op (HMULT:
+/// tensor products + relinearization; HROTATE is the same order).
+pub fn host_heavy_op_instrs(n: usize, limbs: usize) -> f64 {
+    4.0 * limbs as f64 * host_pointwise_limb_instrs(n) + host_keyswitch_instrs(n, limbs)
+}
+
+/// INT32 instructions for one light ciphertext op (HADD/HSUB/RESCALE-class:
+/// element-wise work over both polynomials, no keyswitch).
+pub fn host_light_op_instrs(n: usize, limbs: usize) -> f64 {
+    2.0 * limbs as f64 * host_add_limb_instrs(n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,5 +154,18 @@ mod tests {
         assert!(MACS_PER_EWMUL == 16.0, "4 limbs x 4 limbs");
         assert!(MACS_PER_MMA_INSTR == 16.0 * 16.0 * 16.0);
         assert!(BYTES_PER_LSU_INSTR == LANES * WORD_BYTES);
+    }
+
+    #[test]
+    fn host_estimates_scale_with_shape() {
+        // More limbs or a bigger ring never gets cheaper.
+        assert!(host_keyswitch_instrs(1 << 12, 8) > host_keyswitch_instrs(1 << 12, 2));
+        assert!(host_keyswitch_instrs(1 << 14, 4) > host_keyswitch_instrs(1 << 10, 4));
+        // A keyswitch-bearing op dwarfs a light op at every shape.
+        for n in [1usize << 8, 1 << 12, 1 << 16] {
+            for l in [2usize, 7, 34] {
+                assert!(host_heavy_op_instrs(n, l) > 50.0 * host_light_op_instrs(n, l));
+            }
+        }
     }
 }

@@ -137,7 +137,10 @@ mod tests {
             .iter()
             .map(|&v| (v, eng.ntt_throughput_kops(1 << 15, 2048, v)))
             .collect();
-        let get = |v: NttVariant| kops.iter().find(|(k, _)| *k == v).unwrap().1;
+        let get = |v: NttVariant| match kops.iter().find(|(k, _)| *k == v) {
+            Some((_, k)) => *k,
+            None => panic!("variant {v:?} missing from FIG6 sweep"),
+        };
         assert!(
             get(NttVariant::WdFuse) > get(NttVariant::WdTensor),
             "fuse {} !> tensor {}",

@@ -21,6 +21,9 @@
 //!   drives.
 //! - [`batch`]: [`batch::BatchExecutor`], the host-thread analogue of the
 //!   PE kernels — whole ciphertext operations fanned out over a pool.
+//! - [`sched`]: [`sched::ParScheduler`], the cost-model-driven splitter of
+//!   one thread budget between op-level and limb-level parallelism
+//!   (`WD_THREADS` / `WD_SCHED`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,11 +36,13 @@ pub mod fuse;
 pub mod memory;
 pub mod nttplan;
 pub mod opplan;
+pub mod sched;
 
 pub use batch::{BatchExecutor, BatchOp, EvalKeys};
 pub use config::FrameworkConfig;
 pub use engine::PerfEngine;
 pub use opplan::{HomOp, OpShape, PlannerKind};
+pub use sched::{BatchShape, ParScheduler, SchedPolicy, Split, SCHED_ENV};
 
 // The workspace-wide fault model (error taxonomy, deterministic fault
 // injection, retry policy) — defined in `wd-fault`, re-exported here so

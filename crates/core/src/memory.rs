@@ -126,6 +126,15 @@ impl MemoryPool {
 mod tests {
     use super::*;
 
+    /// Unwraps an allocation the test constructed to fit; a `None` here is
+    /// a test bug, reported with a message instead of a bare unwrap.
+    fn must(b: Option<Allocation>) -> Allocation {
+        match b {
+            Some(b) => b,
+            None => panic!("allocation unexpectedly failed"),
+        }
+    }
+
     #[test]
     fn s_max_formula() {
         // SET-E-like: l=34, N=2^16, dnum=35, k=1, BS=1, w=4.
@@ -145,18 +154,18 @@ mod tests {
     #[test]
     fn alloc_free_cycle() {
         let mut p = MemoryPool::new(4096);
-        let a = p.alloc(1000).unwrap();
+        let a = must(p.alloc(1000));
         assert_eq!(a.size, 1024, "aligned to 256");
-        let b = p.alloc(1024).unwrap();
+        let b = must(p.alloc(1024));
         assert_eq!(p.in_use(), 2048);
         p.free(a);
-        let c = p.alloc(512).unwrap();
+        let c = must(p.alloc(512));
         assert_eq!(c.offset, 0, "first fit reuses the freed block");
         p.free(b);
         p.free(c);
         assert_eq!(p.in_use(), 0);
         // Full coalescing: one 4096 block again.
-        let d = p.alloc(4096).unwrap();
+        let d = must(p.alloc(4096));
         assert_eq!(d.offset, 0);
     }
 
@@ -164,16 +173,16 @@ mod tests {
     fn exhaustion_returns_none() {
         let mut p = MemoryPool::new(1024);
         assert!(p.alloc(2048).is_none());
-        let _a = p.alloc(1024).unwrap();
+        let _a = must(p.alloc(1024));
         assert!(p.alloc(256).is_none());
     }
 
     #[test]
     fn high_water_tracks_peak() {
         let mut p = MemoryPool::new(4096);
-        let a = p.alloc(2048).unwrap();
+        let a = must(p.alloc(2048));
         p.free(a);
-        let _b = p.alloc(256).unwrap();
+        let _b = must(p.alloc(256));
         assert_eq!(p.high_water(), 2048);
     }
 
@@ -181,7 +190,7 @@ mod tests {
     #[should_panic(expected = "double free")]
     fn double_free_panics() {
         let mut p = MemoryPool::new(4096);
-        let a = p.alloc(256).unwrap();
+        let a = must(p.alloc(256));
         p.free(a);
         p.free(a);
     }
@@ -189,7 +198,7 @@ mod tests {
     #[test]
     fn fragmentation_then_coalesce() {
         let mut p = MemoryPool::new(4096);
-        let blocks: Vec<_> = (0..4).map(|_| p.alloc(1024).unwrap()).collect();
+        let blocks: Vec<_> = (0..4).map(|_| must(p.alloc(1024))).collect();
         // Free alternating blocks: no single 2048 block exists.
         p.free(blocks[0]);
         p.free(blocks[2]);

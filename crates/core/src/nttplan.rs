@@ -31,6 +31,20 @@ pub struct NttJob {
     pub variant: NttVariant,
 }
 
+/// Decomposition plan for the WarpDrive fused kernel at size `n`.
+fn wd_plan(n: usize) -> DecompPlan {
+    // invariant: every caller passes a power-of-two transform size from a
+    // validated `FrameworkConfig`/param set, for which the four-step
+    // decomposition always exists.
+    DecompPlan::warpdrive(n).expect("valid n")
+}
+
+/// Kernel-level (TensorFHE-style) decomposition plan at size `n`.
+fn balanced_plan(n: usize) -> DecompPlan {
+    // invariant: same power-of-two contract as `wd_plan`.
+    DecompPlan::balanced(n, 1).expect("valid n")
+}
+
 /// Per-transform compute work (no GMEM I/O — the kernel assembler adds it).
 pub fn transform_work(n: usize, variant: NttVariant, tensor_share: f64) -> WorkProfile {
     match variant {
@@ -39,25 +53,21 @@ pub fn transform_work(n: usize, variant: NttVariant, tensor_share: f64) -> WorkP
             // is never selected).
             butterfly_work(n)
         }
-        NttVariant::WdTensor => tensor_work(&DecompPlan::warpdrive(n).expect("valid n")),
+        NttVariant::WdTensor => tensor_work(&wd_plan(n)),
         NttVariant::TensorFhe => {
-            let mut w = tensor_work(&DecompPlan::balanced(n, 1).expect("valid n"));
+            let mut w = tensor_work(&balanced_plan(n));
             // Kernel-level path stages tiles through SMEM only.
             w.smem_accesses = n as f64 * SMEM_PER_POINT_KERNEL_LEVEL;
             w
         }
-        NttVariant::WdCuda => cuda_gemm_work(&DecompPlan::warpdrive(n).expect("valid n")),
+        NttVariant::WdCuda => cuda_gemm_work(&wd_plan(n)),
         NttVariant::WdBo => butterfly_work(n),
         // WD-FTC is the naive Tacker-style fusion: a fixed 4:4 warp split
         // where CUDA warps run the same GEMMs — overloading the INT32 pipe
         // (§V-D: "inferior to the WD-Tensor variant").
-        NttVariant::WdFtc => blend(
-            tensor_work(&DecompPlan::warpdrive(n).expect("valid n")),
-            cuda_gemm_work(&DecompPlan::warpdrive(n).expect("valid n")),
-            0.5,
-        ),
+        NttVariant::WdFtc => blend(tensor_work(&wd_plan(n)), cuda_gemm_work(&wd_plan(n)), 0.5),
         NttVariant::WdFuse => blend(
-            tensor_work(&DecompPlan::warpdrive(n).expect("valid n")),
+            tensor_work(&wd_plan(n)),
             butterfly_work(n),
             tensor_share.max(0.5), // §IV-D-3 balance, supplied per N
         ),
@@ -138,7 +148,7 @@ fn with_gmem(mut w: WorkProfile, bytes_in: f64, bytes_out: f64) -> WorkProfile {
 /// support work and the offloaded butterflies), floored at the 4:4 warp
 /// allocation's practical minimum.
 pub fn fuse_share_for(n: usize, spec: &GpuSpec) -> f64 {
-    let plan = DecompPlan::warpdrive(n).expect("valid n");
+    let plan = wd_plan(n);
     let c = plan.op_counts();
     let nf = n as f64;
     let tensor_rate = spec.tensor_macs_per_sec() * spec.tensor_efficiency;
@@ -210,7 +220,7 @@ fn tensorfhe_kernels(job: NttJob, cfg: &FrameworkConfig) -> Vec<KernelProfile> {
     let n = job.n as f64;
     let io = t * n * WORD_BYTES;
     let coeffs = job.transforms * job.n as u64;
-    let plan = DecompPlan::balanced(job.n, 1).expect("valid n");
+    let plan = balanced_plan(job.n);
     let c = plan.op_counts();
     let blocks_ew = cfg.elementwise_blocks(coeffs);
     let mut ks = Vec::with_capacity(35);
@@ -316,7 +326,7 @@ fn launch(blocks: u64, cfg: &FrameworkConfig, smem: u32) -> LaunchConfig {
 /// per-warp data tiles (T threads × N_t coefficients × 4 B, double
 /// buffered).
 fn smem_for_wd_block(n: usize, cfg: &FrameworkConfig) -> u32 {
-    let plan = DecompPlan::warpdrive(n).expect("valid n");
+    let plan = wd_plan(n);
     let twiddles = plan.twiddle_matrix_bytes(4) as u32 * 2;
     let tiles = cfg.threads_per_block * cfg.ntt_coeffs_per_thread * 4 * 2;
     twiddles + tiles

@@ -1,15 +1,20 @@
-//! Environment-driven configuration contract for `BatchExecutor::from_env`.
+//! Environment-driven configuration contract for the scheduler entry
+//! points (`ParScheduler::from_env`, `BatchExecutor::from_env`).
 //!
 //! Lives in its own integration-test binary (hence its own process) because
-//! it mutates `WD_THREADS`; everything runs inside ONE test function so no
-//! parallel test observes a half-set environment.
+//! it mutates `WD_THREADS`/`WD_SCHED`; everything runs inside ONE test
+//! function so no parallel test observes a half-set environment.
 
-use warpdrive_core::BatchExecutor;
+use warpdrive_core::{BatchExecutor, ParScheduler, SchedPolicy};
 
 #[test]
-fn from_env_accepts_valid_rejects_malformed_wd_threads() {
-    // Valid value: used as-is.
+fn from_env_accepts_valid_rejects_malformed_wd_threads_and_wd_sched() {
+    // --- WD_THREADS (budget) ---
+
+    // Valid value: used as-is, by both the scheduler and the executor it
+    // configures (the executor delegates its env read to the scheduler).
     std::env::set_var("WD_THREADS", "3");
+    assert_eq!(ParScheduler::from_env().budget(), 3);
     assert_eq!(BatchExecutor::from_env().threads(), 3);
 
     // Malformed values: logged fallback to the sequential executor, never a
@@ -26,4 +31,49 @@ fn from_env_accepts_valid_rejects_malformed_wd_threads() {
     // Unset: all available cores.
     std::env::remove_var("WD_THREADS");
     assert!(BatchExecutor::from_env().threads() >= 1);
+
+    // --- WD_SCHED (policy) ---
+
+    // Valid spellings, case-insensitive.
+    for (spelling, want) in [
+        ("op", SchedPolicy::Op),
+        ("limb", SchedPolicy::Limb),
+        ("auto", SchedPolicy::Auto),
+        ("OP", SchedPolicy::Op),
+        ("Limb", SchedPolicy::Limb),
+    ] {
+        std::env::set_var("WD_SCHED", spelling);
+        assert_eq!(
+            ParScheduler::from_env().policy(),
+            want,
+            "WD_SCHED={spelling:?}"
+        );
+    }
+
+    // Malformed values: logged fallback to auto, never a panic.
+    for bad in ["", "ops", "threads", "42"] {
+        std::env::set_var("WD_SCHED", bad);
+        assert_eq!(
+            ParScheduler::from_env().policy(),
+            SchedPolicy::Auto,
+            "malformed WD_SCHED={bad:?} must fall back to auto"
+        );
+    }
+
+    // Unset: auto.
+    std::env::remove_var("WD_SCHED");
+    assert_eq!(ParScheduler::from_env().policy(), SchedPolicy::Auto);
+
+    // The executor built from the environment carries the scheduler, so
+    // WD_THREADS is read exactly once and op×limb never exceeds it.
+    std::env::set_var("WD_THREADS", "4");
+    let exec = BatchExecutor::from_env();
+    let sched = exec.scheduler().expect("from_env attaches a scheduler");
+    assert_eq!(sched.budget(), 4);
+    let split = sched.split(warpdrive_core::BatchShape::of_keyswitch(8, 1 << 12, 6));
+    assert!(
+        split.op_width * split.limb_width <= 4,
+        "oversubscribed: {split:?}"
+    );
+    std::env::remove_var("WD_THREADS");
 }

@@ -3,12 +3,15 @@
 //! of the paper's PE kernels (one launch = whole ciphertext × all limbs).
 //!
 //! ```text
-//! WD_THREADS=4 cargo run --release --example batched_pipeline
+//! WD_THREADS=4 WD_SCHED=auto cargo run --release --example batched_pipeline
 //! ```
 //!
-//! The thread count comes from `WD_THREADS` (default: all cores for the
-//! executor). Results are bit-identical at every thread count — the demo
-//! verifies that against a sequential run before printing timings.
+//! The thread budget comes from `WD_THREADS` (default: all cores) and the
+//! split policy from `WD_SCHED` (`op` / `limb` / `auto`, default auto):
+//! the [`warpdrive::core::ParScheduler`] divides the budget between
+//! op-level fan-out and limb-level parallelism per batch shape, never
+//! oversubscribing. Results are bit-identical under every split — the
+//! demo verifies that against a sequential run before printing timings.
 
 use std::time::Instant;
 
@@ -48,8 +51,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seq = BatchExecutor::sequential().execute(&ctx, eval, &batch);
     let seq_time = t0.elapsed();
 
-    // Parallel run, sized from WD_THREADS (default: all cores).
+    // Scheduled run: WD_THREADS sets the budget, WD_SCHED the policy
+    // (`BatchExecutor::auto(n)` is the programmatic equivalent). The
+    // scheduler splits the budget per batch shape — this large batch gets
+    // op-level fan-out; the single deep op below gets limb-level threads.
     let executor = BatchExecutor::from_env();
+    let sched = executor.scheduler().expect("from_env attaches a scheduler");
+    println!(
+        "scheduler: budget {} threads, policy {:?}",
+        sched.budget(),
+        sched.policy(),
+    );
     let t0 = Instant::now();
     let par = executor.execute(&ctx, eval, &batch);
     let par_time = t0.elapsed();

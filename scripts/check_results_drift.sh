@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Results drift check: regenerate EVERY checked-in artifact in results/
+# and diff it against the committed copy.
+#
+# The analytic model is deterministic, so any diff in modeled numbers is
+# real drift (a code change that silently moved a paper number). Values
+# prefixed with `~` are measured live on the running host — those are
+# machine-dependent by construction, so both sides are masked to `~HOST`
+# before diffing: the check still catches layout/row drift around them
+# without failing on someone's CPU being faster.
+#
+# Usage: scripts/check_results_drift.sh [table2 fig6 ...]
+#   With no arguments, checks every results/*.txt that has a matching
+#   wd-bench bin. Environment (WD_FAULT_RATE etc.) passes through, so CI
+#   can run the same check under fault injection.
+set -u
+
+cd "$(dirname "$0")/.."
+
+mask() {
+    # ~12.3, ~0.004, ~5 -> ~HOST (host-measured, machine-dependent)
+    sed -E 's/~[0-9]+(\.[0-9]+)?/~HOST/g'
+}
+
+if [ "$#" -gt 0 ]; then
+    names=("$@")
+else
+    names=()
+    for f in results/*.txt; do
+        names+=("$(basename "$f" .txt)")
+    done
+fi
+
+fail=0
+for name in "${names[@]}"; do
+    artifact="results/$name.txt"
+    if [ ! -f "$artifact" ]; then
+        echo "MISSING  $artifact (no checked-in artifact)"
+        fail=1
+        continue
+    fi
+    if [ ! -f "crates/bench/src/bin/$name.rs" ]; then
+        echo "NO-BIN   $name (artifact has no generator; remove or add a bin)"
+        fail=1
+        continue
+    fi
+    if cargo run --release -q -p wd-bench --bin "$name" | mask | diff -u <(mask <"$artifact") - >/tmp/drift_$name.diff 2>&1; then
+        echo "OK       $name"
+    else
+        echo "DRIFT    $name"
+        cat "/tmp/drift_$name.diff"
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "results drift detected: regenerate with" \
+         "'cargo run --release -p wd-bench --bin <name> > results/<name>.txt'" >&2
+fi
+exit "$fail"
