@@ -1,0 +1,81 @@
+//! Nsight-Compute-style profile of one SET-B HMULT — the observability
+//! demo behind DESIGN.md §5e and the README "Profiling" section.
+//!
+//! ```text
+//! WD_TRACE=full cargo run -p wd-bench --release --bin profile_hmult
+//! ```
+//!
+//! Two views of the same operation:
+//!
+//! 1. **Modeled GPU**: the WarpDrive PE-kernel plan for HMULT on SET-B
+//!    (N = 2^13, l = 6) through the analytic simulator, reported per kernel
+//!    with the Table II / Fig. 5 columns (instructions, issue cycles, stall
+//!    cycles and their attribution, throughput utilizations).
+//! 2. **Host execution**: a real CKKS HMULT + RESCALE on the host compute
+//!    path, captured as wd-trace spans.
+//!
+//! Runs at `WD_TRACE=full` by default (it is a profiling tool); set
+//! `WD_TRACE_OUT=/path/trace.json` to also write the Chrome-trace JSON.
+//! No `results/` artifact: the drift gate covers the table binaries, and
+//! this one's output is wall-clock-dependent by design.
+
+use warpdrive_core::opplan::{op_kernels, HomOp, PlannerKind};
+use warpdrive_core::FrameworkConfig;
+use wd_bench::{banner, shape};
+use wd_ckks::ops::{hmult, rescale};
+use wd_ckks::{CkksContext, ParamSet};
+use wd_gpu_sim::{GpuSpec, Simulator};
+use wd_polyring::NttVariant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A profiler that records nothing is useless: default to full tracing,
+    // but let an explicit WD_TRACE (e.g. `summary`) win.
+    if std::env::var(wd_trace::TRACE_ENV).is_err() {
+        wd_trace::set_level(wd_trace::TraceLevel::Full);
+    }
+
+    banner(
+        "profile_hmult — Nsight-style per-kernel profile of one SET-B HMULT",
+        "paper Table II / Fig. 5 columns (instructions, stalls, utilization)",
+    );
+
+    // --- 1. Modeled GPU: the WarpDrive PE-kernel plan on the simulator. ---
+    let spec = GpuSpec::a100_pcie_80g();
+    let cfg = FrameworkConfig::auto(&spec);
+    let sim = Simulator::new(spec.clone());
+    let (set, n, l) = ("SET-B", 1usize << 13, 6usize);
+    let kernels = op_kernels(
+        HomOp::HMult,
+        shape(n, l),
+        PlannerKind::PeKernel,
+        NttVariant::WdFuse,
+        &cfg,
+        &spec,
+    );
+    let report = sim.run_sequence(&kernels);
+    println!("\n{set} HMULT (N = 2^13, l = {l}), PE-kernel plan, WD-fuse NTT:");
+    println!("{}", report.nsight_report());
+    println!("{}", report.timeline().render(72));
+
+    // --- 2. Host execution: a real HMULT + RESCALE under span capture. ---
+    let params = ParamSet::set_b().with_degree(1 << 11).build()?;
+    let ctx = CkksContext::with_seed(params, 42)?;
+    let kp = ctx.keygen();
+    let slots = ctx.params().slots().min(64);
+    let vals: Vec<f64> = (0..slots).map(|i| i as f64 * 0.01).collect();
+    let ct = ctx.encrypt_values(&vals, &kp.public)?;
+    let product = {
+        let _span = wd_trace::span("profile", "hmult_rescale");
+        rescale(&ctx, &hmult(&ctx, &ct, &ct, &kp.relin)?)?
+    };
+    let got = ctx.decrypt_values(&product, &kp.secret)?;
+    println!("host HMULT+RESCALE decrypted slot 1: {:.4}", got[1]);
+
+    // --- Trace exports. ---
+    let data = wd_trace::snapshot();
+    println!("\n{}", data.summary_report());
+    if let Some(path) = wd_trace::write_chrome_trace_to_env_path(&data)? {
+        println!("chrome trace written to {path} (load in chrome://tracing)");
+    }
+    Ok(())
+}

@@ -43,6 +43,7 @@ pub fn keyswitch(
     d: &RnsPoly,
     ksk: &KeySwitchKey,
 ) -> Result<(RnsPoly, RnsPoly), CkksError> {
+    let _span = wd_trace::span("ckks", "keyswitch");
     let level = d.limb_count() - 1;
     let alpha = ctx.params().alpha();
     let dnum = ctx.params().dnum_at(level);

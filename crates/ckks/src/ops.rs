@@ -111,6 +111,7 @@ pub fn hmult(
     ct1: &Ciphertext,
     relin: &KeySwitchKey,
 ) -> Result<Ciphertext, CkksError> {
+    let _span = wd_trace::span("ckks", "hmult");
     if ct0.level != ct1.level {
         return Err(CkksError::LevelMismatch(format!(
             "hmult: levels {} vs {}",
@@ -172,6 +173,7 @@ pub fn rescale(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, CkksErr
 ///
 /// Returns [`CkksError::ModulusChainExhausted`] if fewer than `k` levels remain.
 pub fn rescale_by(ctx: &CkksContext, ct: &Ciphertext, k: usize) -> Result<Ciphertext, CkksError> {
+    let _span = wd_trace::span("ckks", "rescale");
     if ct.level < k {
         return Err(CkksError::ModulusChainExhausted);
     }
@@ -276,6 +278,7 @@ pub fn hrotate(
     r: isize,
     keys: &RotationKeys,
 ) -> Result<Ciphertext, CkksError> {
+    let _span = wd_trace::span("ckks", "hrotate");
     let g = ctx.encoder().rotation_galois_element(r);
     apply_galois(ctx, ct, g, keys)
 }

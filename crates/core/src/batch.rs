@@ -92,6 +92,17 @@ impl BatchOp<'_> {
             BatchOp::Rescale(..) => "batch.rescale",
         }
     }
+
+    /// Short op name (the trace span name: `hmult`, `rescale`, …).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            BatchOp::HAdd(..) => "hadd",
+            BatchOp::HSub(..) => "hsub",
+            BatchOp::HMult(..) => "hmult",
+            BatchOp::HRotate(..) => "hrotate",
+            BatchOp::Rescale(..) => "rescale",
+        }
+    }
 }
 
 /// Evaluation keys a batch may need. Missing keys surface as per-op
@@ -234,7 +245,15 @@ impl BatchExecutor {
             // Retries exhausted or the device is gone: degrade to one final
             // fault-free attempt (the "move the work off the failing path"
             // step). A genuine error still surfaces from `op` itself.
-            Err(WdError::SimFault { .. }) | Err(WdError::WorkerPanicked(_)) => run_isolated(&op),
+            Err(e @ (WdError::SimFault { .. } | WdError::WorkerPanicked(_))) => {
+                wd_trace::counter("fault.degraded", 1);
+                wd_trace::event(
+                    "fault",
+                    "degrade",
+                    &[("site", site.to_string()), ("error", e.to_string())],
+                );
+                run_isolated(&op)
+            }
             Err(e) => Err(e),
         }
     }
@@ -277,9 +296,11 @@ impl BatchExecutor {
         keys: EvalKeys<'_>,
         batch: &[BatchOp<'_>],
     ) -> Vec<Result<Ciphertext, CkksError>> {
+        let _span = wd_trace::span("batch", "execute");
         let (op_width, _limb_guard) = self.plan(ctx, BatchShape::of_ops(batch));
         par::map_indexed(op_width, batch.len(), |i| {
             let op = &batch[i];
+            let _op_span = wd_trace::span("batch", op.kind());
             self.recover(op.site(), || Self::apply(ctx, keys, op))
         })
     }
@@ -324,6 +345,7 @@ impl BatchExecutor {
     ) -> Vec<Result<(RnsPoly, RnsPoly), CkksError>> {
         let degree = polys.iter().map(|p| p.degree()).max().unwrap_or(0);
         let limbs = polys.iter().map(|p| p.limb_count()).max().unwrap_or(0);
+        let _span = wd_trace::span("batch", "keyswitch");
         let shape = BatchShape::of_keyswitch(polys.len(), degree, limbs);
         let (op_width, _limb_guard) = self.plan(ctx, shape);
         par::map_indexed(op_width, polys.len(), |i| {
@@ -433,11 +455,27 @@ impl BatchExecutor {
             });
             match result {
                 Ok(()) => return Ok(()),
-                Err(e) if e.is_transient() => continue,
+                Err(e) if e.is_transient() => {
+                    if attempt + 1 < self.retry.max_attempts.max(1) {
+                        wd_trace::counter("fault.retries", 1);
+                        wd_trace::event(
+                            "fault",
+                            "retry",
+                            &[
+                                ("site", site.to_string()),
+                                ("attempt", attempt.to_string()),
+                                ("error", e.to_string()),
+                            ],
+                        );
+                    }
+                    continue;
+                }
                 Err(WdError::SimFault { .. }) => break, // device lost: degrade
                 Err(e) => return Err(e),
             }
         }
+        wd_trace::counter("fault.degraded", 1);
+        wd_trace::event("fault", "degrade", &[("site", site.to_string())]);
         f(polys, 1)
     }
 }

@@ -72,7 +72,10 @@ impl SchedPolicy {
                 "limb" => SchedPolicy::Limb,
                 "auto" => SchedPolicy::Auto,
                 _ => {
-                    eprintln!("warning: malformed {SCHED_ENV}={v:?}; falling back to auto");
+                    wd_trace::warn(
+                        "sched.policy",
+                        &format!("malformed {SCHED_ENV}={v:?}; falling back to auto"),
+                    );
                     SchedPolicy::Auto
                 }
             },
@@ -209,9 +212,12 @@ impl ParScheduler {
             Ok(v) => match v.trim().parse::<usize>() {
                 Ok(n) if n > 0 => n,
                 _ => {
-                    eprintln!(
-                        "warning: malformed {}={v:?}; falling back to sequential execution",
-                        par::THREADS_ENV
+                    wd_trace::warn(
+                        "sched.budget",
+                        &format!(
+                            "malformed {}={v:?}; falling back to sequential execution",
+                            par::THREADS_ENV
+                        ),
                     );
                     1
                 }
@@ -237,15 +243,21 @@ impl ParScheduler {
     pub fn split(&self, shape: BatchShape) -> Split {
         let budget = self.budget.max(1);
         let max_op = budget.min(shape.batch.max(1));
-        match self.policy {
-            SchedPolicy::Op => Split {
-                op_width: max_op,
-                limb_width: 1,
-            },
-            SchedPolicy::Limb => Split {
-                op_width: 1,
-                limb_width: budget,
-            },
+        let (split, cost) = match self.policy {
+            SchedPolicy::Op => (
+                Split {
+                    op_width: max_op,
+                    limb_width: 1,
+                },
+                None,
+            ),
+            SchedPolicy::Limb => (
+                Split {
+                    op_width: 1,
+                    limb_width: budget,
+                },
+                None,
+            ),
             SchedPolicy::Auto => {
                 let mut best = Split {
                     op_width: 1,
@@ -270,9 +282,31 @@ impl ParScheduler {
                         }
                     }
                 }
-                best
+                (best, Some(best_cost))
             }
+        };
+        if wd_trace::enabled() {
+            wd_trace::counter("sched.splits", 1);
+            wd_trace::event(
+                "sched",
+                "split",
+                &[
+                    ("policy", format!("{:?}", self.policy).to_lowercase()),
+                    ("budget", budget.to_string()),
+                    ("batch", shape.batch.to_string()),
+                    ("degree", shape.degree.to_string()),
+                    ("limbs", shape.limbs.to_string()),
+                    ("heavy", shape.heavy.to_string()),
+                    ("op_width", split.op_width.to_string()),
+                    ("limb_width", split.limb_width.to_string()),
+                    (
+                        "model_instrs",
+                        cost.map_or_else(|| "n/a".to_string(), |c| format!("{c:.0}")),
+                    ),
+                ],
+            );
         }
+        split
     }
 
     /// Critical-path instruction estimate for one split: rounds of op work,

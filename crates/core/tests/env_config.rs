@@ -17,14 +17,24 @@ fn from_env_accepts_valid_rejects_malformed_wd_threads_and_wd_sched() {
     assert_eq!(ParScheduler::from_env().budget(), 3);
     assert_eq!(BatchExecutor::from_env().threads(), 3);
 
-    // Malformed values: logged fallback to the sequential executor, never a
-    // silent guess and never a panic.
+    // Malformed values: captured-warning fallback to the sequential
+    // executor, never a silent guess and never a panic. The warning goes
+    // through wd-trace (recorded at every level, WD_TRACE=off included), so
+    // this test can assert it instead of trusting unobservable stderr.
     for bad in ["zero", "", "-2", "0", "4.5", "1e3"] {
         std::env::set_var("WD_THREADS", bad);
+        wd_trace::take_warnings(); // clear
         assert_eq!(
             BatchExecutor::from_env().threads(),
             1,
             "malformed WD_THREADS={bad:?} must fall back to sequential"
+        );
+        let warnings = wd_trace::take_warnings();
+        assert!(
+            warnings.iter().any(|w| w.site == "sched.budget"
+                && w.message.contains("WD_THREADS")
+                && w.message.contains(bad)),
+            "malformed WD_THREADS={bad:?} must emit a sched.budget warning, got {warnings:?}"
         );
     }
 
@@ -50,15 +60,33 @@ fn from_env_accepts_valid_rejects_malformed_wd_threads_and_wd_sched() {
         );
     }
 
-    // Malformed values: logged fallback to auto, never a panic.
+    // Malformed values: captured-warning fallback to auto, never a panic.
     for bad in ["", "ops", "threads", "42"] {
         std::env::set_var("WD_SCHED", bad);
+        wd_trace::take_warnings(); // clear
         assert_eq!(
             ParScheduler::from_env().policy(),
             SchedPolicy::Auto,
             "malformed WD_SCHED={bad:?} must fall back to auto"
         );
+        let warnings = wd_trace::take_warnings();
+        assert!(
+            warnings.iter().any(|w| w.site == "sched.policy"
+                && w.message.contains("WD_SCHED")
+                && w.message.contains(bad)),
+            "malformed WD_SCHED={bad:?} must emit a sched.policy warning, got {warnings:?}"
+        );
     }
+
+    // Well-formed values emit no warning at all.
+    std::env::set_var("WD_SCHED", "op");
+    std::env::set_var("WD_THREADS", "2");
+    wd_trace::take_warnings();
+    let _ = BatchExecutor::from_env();
+    assert!(
+        wd_trace::take_warnings().is_empty(),
+        "valid env must not warn"
+    );
 
     // Unset: auto.
     std::env::remove_var("WD_SCHED");

@@ -214,7 +214,10 @@ impl FaultPlan {
             Ok(v) => match v.trim().parse::<u64>() {
                 Ok(s) => s,
                 Err(_) => {
-                    eprintln!("warning: ignoring malformed {FAULT_SEED_ENV}={v:?}; using seed 0");
+                    wd_trace::warn(
+                        "fault.seed",
+                        &format!("ignoring malformed {FAULT_SEED_ENV}={v:?}; using seed 0"),
+                    );
                     0
                 }
             },
@@ -224,8 +227,9 @@ impl FaultPlan {
             Ok(v) => match v.trim().parse::<f64>() {
                 Ok(r) if (0.0..=1.0).contains(&r) => r,
                 _ => {
-                    eprintln!(
-                        "warning: ignoring malformed {FAULT_RATE_ENV}={v:?}; fault injection off"
+                    wd_trace::warn(
+                        "fault.rate",
+                        &format!("ignoring malformed {FAULT_RATE_ENV}={v:?}; fault injection off"),
                     );
                     0.0
                 }
@@ -332,10 +336,13 @@ impl FaultInjector {
         let draw = self.draws.fetch_add(1, Ordering::Relaxed);
         match self.plan.decide(draw) {
             None => Ok(()),
-            Some(kind) => Err(WdError::SimFault {
-                kind,
-                site: site.to_string(),
-            }),
+            Some(kind) => {
+                wd_trace::counter("fault.injected", 1);
+                Err(WdError::SimFault {
+                    kind,
+                    site: site.to_string(),
+                })
+            }
         }
     }
 }
@@ -446,7 +453,21 @@ impl RetryPolicy {
             let result = injector.check(site).and_then(|()| run_isolated(&op));
             match result {
                 Ok(v) => return Ok(v),
-                Err(e) if e.is_transient() => last = Some(e),
+                Err(e) if e.is_transient() => {
+                    if attempt + 1 < self.max_attempts.max(1) {
+                        wd_trace::counter("fault.retries", 1);
+                        wd_trace::event(
+                            "fault",
+                            "retry",
+                            &[
+                                ("site", site.to_string()),
+                                ("attempt", attempt.to_string()),
+                                ("error", e.to_string()),
+                            ],
+                        );
+                    }
+                    last = Some(e);
+                }
                 Err(e) => return Err(e),
             }
         }

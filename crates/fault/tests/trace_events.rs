@@ -1,0 +1,73 @@
+//! Retry/injection events must reach the global tracer.
+//!
+//! One test function on purpose: this binary owns its process, so mutating
+//! the process-global tracer level cannot race other tests.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use wd_fault::{FaultInjector, FaultKind, FaultPlan, RetryPolicy, WdError};
+
+#[test]
+fn retry_and_injection_emit_trace_events_and_counters() {
+    wd_trace::set_level(wd_trace::TraceLevel::Full);
+    wd_trace::reset();
+
+    // An op that fails transiently twice, then succeeds.
+    let attempts = AtomicU32::new(0);
+    let policy = RetryPolicy {
+        max_attempts: 5,
+        base_backoff: std::time::Duration::ZERO,
+    };
+    let injector = FaultInjector::disabled();
+    let out = policy.run("test.site", &injector, || {
+        if attempts.fetch_add(1, Ordering::Relaxed) < 2 {
+            Err(WdError::SimFault {
+                kind: FaultKind::TransientLaunch,
+                site: "test.site".into(),
+            })
+        } else {
+            Ok(41_u64 + 1)
+        }
+    });
+    assert_eq!(out.unwrap(), 42);
+
+    let data = wd_trace::snapshot();
+    assert_eq!(
+        data.counter("fault.retries"),
+        2,
+        "two failed attempts retried"
+    );
+    let retries = data.events_named("fault", "retry");
+    assert_eq!(retries.len(), 2);
+    assert_eq!(retries[0].field("site"), Some("test.site"));
+    assert_eq!(retries[0].field("attempt"), Some("0"));
+    assert_eq!(retries[1].field("attempt"), Some("1"));
+    assert!(retries[0].field("error").unwrap().contains("transient"));
+
+    // A saturated injector fires on every check and bumps the counter.
+    wd_trace::reset();
+    let hot = FaultInjector::new(FaultPlan::new(7, 1.0));
+    for _ in 0..4 {
+        assert!(hot.check("sim.launch:ntt").is_err());
+    }
+    let data = wd_trace::snapshot();
+    assert_eq!(data.counter("fault.injected"), 4);
+
+    // The last transient failure (attempt exhausting the budget) is NOT
+    // recorded as a retry — nothing follows it.
+    wd_trace::reset();
+    let always = RetryPolicy {
+        max_attempts: 3,
+        base_backoff: std::time::Duration::ZERO,
+    };
+    let err = always.run("exhaust.site", &FaultInjector::disabled(), || {
+        Err::<(), _>(WdError::SimFault {
+            kind: FaultKind::TransientLaunch,
+            site: "exhaust.site".into(),
+        })
+    });
+    assert!(err.is_err());
+    assert_eq!(wd_trace::snapshot().counter("fault.retries"), 2);
+
+    wd_trace::set_level(wd_trace::TraceLevel::Off);
+}

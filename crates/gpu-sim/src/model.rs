@@ -157,6 +157,7 @@ impl Simulator {
 
     /// Models one kernel launch.
     pub fn run_kernel(&self, k: &KernelProfile) -> KernelStats {
+        wd_trace::counter("sim.kernel_launches", 1);
         let s = &self.spec;
         let eff = self.parallel_efficiency(k);
         let w = &k.work;
@@ -257,6 +258,7 @@ impl Simulator {
     /// Models a serial sequence of kernel launches (one CUDA stream),
     /// producing a full report with timeline.
     pub fn run_sequence(&self, kernels: &[KernelProfile]) -> RunReport {
+        let _span = wd_trace::span("sim", "run_sequence");
         let mut t = 0.0f64;
         let mut entries = Vec::with_capacity(kernels.len());
         let mut stats = Vec::with_capacity(kernels.len());
@@ -273,6 +275,7 @@ impl Simulator {
             t = end;
             stats.push((k.clone(), st));
         }
+        emit_virtual_timeline(&entries);
         RunReport::new(stats, Timeline::new(entries), t)
     }
 
@@ -280,6 +283,7 @@ impl Simulator {
     /// warps and CUDA-core warps of the same fused kernel, or independent
     /// streams). Each lane runs serially; the wall time is the slowest lane.
     pub fn run_lanes(&self, lanes: &[Vec<KernelProfile>]) -> RunReport {
+        let _span = wd_trace::span("sim", "run_lanes");
         let mut entries = Vec::new();
         let mut stats = Vec::new();
         let mut wall = 0.0f64;
@@ -300,6 +304,7 @@ impl Simulator {
             }
             wall = wall.max(t);
         }
+        emit_virtual_timeline(&entries);
         RunReport::new(stats, Timeline::new(entries), wall)
     }
 
@@ -332,7 +337,26 @@ impl Simulator {
             t = end;
             stats.push((k.clone(), st));
         }
+        emit_virtual_timeline(&entries);
         Ok(RunReport::new(stats, Timeline::new(entries), t))
+    }
+}
+
+/// Mirrors a modeled timeline onto the tracer's virtual (pid 2) tracks so
+/// the Chrome-trace export shows the simulated GPU lanes next to the host
+/// spans. Recorded only at `WD_TRACE=full`; the level check here skips the
+/// per-entry work entirely otherwise.
+fn emit_virtual_timeline(entries: &[TimelineEntry]) {
+    if wd_trace::level() != wd_trace::TraceLevel::Full {
+        return;
+    }
+    for e in entries {
+        wd_trace::virtual_span(
+            &format!("gpu.lane{}", e.lane),
+            &e.name,
+            e.start_us,
+            e.end_us,
+        );
     }
 }
 

@@ -96,6 +96,9 @@ impl RunReport {
     }
 
     /// Exports per-kernel rows as CSV (for external plotting).
+    ///
+    /// Kernel names are quoted per RFC 4180, so commas, double quotes and
+    /// newlines in a name survive a round-trip through any CSV reader.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
             "kernel,exec_us,time_us,compute_util,memory_util,stalls_per_instr,mem_stall_frac\n",
@@ -103,7 +106,7 @@ impl RunReport {
         for (k, s) in &self.kernels {
             out.push_str(&format!(
                 "{},{:.3},{:.3},{:.4},{:.4},{:.2},{:.4}\n",
-                k.name.replace(',', ";"),
+                csv_field(&k.name),
                 s.exec_us,
                 s.time_us,
                 s.compute_util,
@@ -112,6 +115,61 @@ impl RunReport {
                 s.stalls.memory_fraction(),
             ));
         }
+        out
+    }
+
+    /// Renders an Nsight-Compute-style per-kernel profile: instructions,
+    /// issue ("Selected") cycles, stall-cycle breakdown and throughput
+    /// utilizations — the columns Table II and Fig. 5 are built from.
+    pub fn nsight_report(&self) -> String {
+        use crate::stalls::StallKind;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<30} {:>12} {:>12} {:>12} {:>8} {:>6} {:>6} {:>8} {:>8}  {}\n",
+            "kernel",
+            "instructions",
+            "issue_cyc",
+            "stall_cyc",
+            "st/inst",
+            "mem%",
+            "lg%",
+            "compute%",
+            "memory%",
+            "bound"
+        ));
+        for (k, s) in &self.kernels {
+            let stall_total = s.stalls.total();
+            let pct = |c: f64| {
+                if stall_total > 0.0 {
+                    c / stall_total * 100.0
+                } else {
+                    0.0
+                }
+            };
+            out.push_str(&format!(
+                "{:<30} {:>12.3e} {:>12.3e} {:>12.3e} {:>8.1} {:>6.1} {:>6.1} {:>8.1} {:>8.1}  {:?}\n",
+                k.name,
+                k.work.instructions,
+                s.issue_cycles,
+                stall_total,
+                s.stalls_per_instruction(),
+                s.stalls.memory_fraction() * 100.0,
+                pct(s.stalls.get(StallKind::LgThrottle)),
+                s.compute_util * 100.0,
+                s.memory_util * 100.0,
+                s.bottleneck,
+            ));
+        }
+        let stalls = self.stalls();
+        out.push_str(&format!(
+            "total: {} kernels, {:.3e} instructions, {:.3e} issue cycles, {:.3e} stall cycles ({:.1}% memory-related), {:.2} us wall\n",
+            self.kernel_count(),
+            self.kernels.iter().map(|(k, _)| k.work.instructions).sum::<f64>(),
+            self.total_issue_cycles(),
+            stalls.total(),
+            stalls.memory_fraction() * 100.0,
+            self.total_time_us,
+        ));
         out
     }
 
@@ -138,6 +196,16 @@ impl RunReport {
             self.memory_utilization() * 100.0
         ));
         out
+    }
+}
+
+/// Quotes `field` per RFC 4180 when it contains a comma, double quote, or
+/// line break; embedded quotes are doubled. Plain fields pass through.
+fn csv_field(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
     }
 }
 
@@ -213,6 +281,106 @@ mod tests {
         assert_eq!(csv.lines().count(), 5);
         assert!(csv.starts_with("kernel,exec_us"));
         assert!(csv.lines().nth(1).unwrap().starts_with("k,"));
+    }
+
+    #[test]
+    fn csv_quotes_hostile_kernel_names_rfc4180() {
+        // Regression: only commas were handled (and lossily, via ';'); a
+        // quote or newline in the name corrupted the row structure.
+        let sim = Simulator::new(GpuSpec::a100_pcie_80g());
+        let k = KernelProfile::new(
+            "ntt \"8k\", radix-2\nfused",
+            LaunchConfig::new(512, 256),
+            WorkProfile {
+                int32_ops: 1e8,
+                instructions: 4e7,
+                ..Default::default()
+            },
+        );
+        let csv = sim.run_sequence(&[k]).to_csv();
+        let body = csv.split_once('\n').unwrap().1;
+        // The name must be quoted, with interior quotes doubled and the
+        // newline preserved inside the quotes.
+        assert!(body.starts_with("\"ntt \"\"8k\"\", radix-2\nfused\","));
+        // Unquoting the field restores the original name exactly.
+        assert_eq!(
+            csv_field("ntt \"8k\", radix-2\nfused")
+                .trim_matches('"')
+                .replace("\"\"", "\""),
+            "ntt \"8k\", radix-2\nfused"
+        );
+        // A plain name stays unquoted.
+        assert_eq!(csv_field("plain_ntt"), "plain_ntt");
+    }
+
+    fn fabricated(stats: Vec<KernelStats>, total_time_us: f64) -> RunReport {
+        let kernels = stats
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| {
+                (
+                    KernelProfile::new(
+                        format!("k{i}"),
+                        LaunchConfig::new(1, 32),
+                        WorkProfile::default(),
+                    ),
+                    s,
+                )
+            })
+            .collect();
+        RunReport::new(kernels, Timeline::default(), total_time_us)
+    }
+
+    fn stats(exec_us: f64, util: f64) -> KernelStats {
+        KernelStats {
+            time_us: exec_us,
+            exec_us,
+            cycles: 0.0,
+            issue_cycles: 0.0,
+            stalls: StallBreakdown::default(),
+            compute_util: util,
+            memory_util: util,
+            bottleneck: crate::model::Bottleneck::Int32,
+        }
+    }
+
+    #[test]
+    fn weighted_and_throughput_empty_report() {
+        let r = fabricated(vec![], 0.0);
+        assert_eq!(r.kernel_count(), 0);
+        assert_eq!(r.compute_utilization(), 0.0);
+        assert_eq!(r.memory_utilization(), 0.0);
+        assert_eq!(r.throughput_kops(100.0), 0.0);
+        assert_eq!(r.total_cycles(), 0.0);
+    }
+
+    #[test]
+    fn weighted_and_throughput_zero_wall_time() {
+        // Kernels present but zero wall time: division guard, not NaN/inf.
+        let r = fabricated(vec![stats(5.0, 0.8)], 0.0);
+        assert_eq!(r.compute_utilization(), 0.0);
+        assert_eq!(r.throughput_kops(10.0), 0.0);
+    }
+
+    #[test]
+    fn weighted_clamps_when_exec_exceeds_wall() {
+        // Σ(util × exec_us) = 2 × 0.9 × 10 = 18 > wall 10 — the overlap
+        // case (lanes). Utilization must clamp to 1.0, never exceed it.
+        let r = fabricated(vec![stats(10.0, 0.9), stats(10.0, 0.9)], 10.0);
+        assert_eq!(r.compute_utilization(), 1.0);
+        assert_eq!(r.memory_utilization(), 1.0);
+    }
+
+    #[test]
+    fn nsight_report_has_instruction_and_stall_columns() {
+        let r = report(2);
+        let rep = r.nsight_report();
+        assert!(rep.contains("instructions"));
+        assert!(rep.contains("issue_cyc"));
+        assert!(rep.contains("stall_cyc"));
+        assert!(rep.contains("st/inst"));
+        assert!(rep.contains("total: 2 kernels"));
+        assert!(rep.contains("memory-related"));
     }
 
     #[test]

@@ -49,17 +49,20 @@ impl Timeline {
         }
         let mut out = String::new();
         for lane in 0..self.lanes() {
-            let mut row = vec![b'.'; width];
+            // Work in chars, not bytes: kernel names are arbitrary UTF-8, and
+            // slicing a name's byte buffer at the span boundary used to split
+            // multi-byte characters and panic the `from_utf8` round-trip.
+            let mut row = vec!['.'; width];
             for e in self.entries.iter().filter(|e| e.lane == lane) {
                 let a = ((e.start_us / end) * width as f64) as usize;
                 let b = (((e.end_us / end) * width as f64).ceil() as usize).min(width);
-                let label = e.name.as_bytes();
-                for (k, slot) in row[a..b].iter_mut().enumerate() {
-                    *slot = if k < label.len() { label[k] } else { b'#' };
+                let mut label = e.name.chars();
+                for slot in row[a..b].iter_mut() {
+                    *slot = label.next().unwrap_or('#');
                 }
             }
             out.push_str(&format!("lane{lane} |"));
-            out.push_str(std::str::from_utf8(&row).expect("ascii"));
+            out.extend(row);
             out.push_str("|\n");
         }
         out.push_str(&format!("scale: {:.1} us total\n", end));
@@ -99,5 +102,24 @@ mod tests {
     #[test]
     fn empty_timeline_renders_placeholder() {
         assert!(Timeline::default().render(10).contains("empty"));
+    }
+
+    #[test]
+    fn render_survives_non_ascii_kernel_names() {
+        // Regression: the byte-wise renderer split 'μ' (2 bytes) across the
+        // span boundary and panicked in `from_utf8(...).expect("ascii")`.
+        // The narrow first span clips the name after one cell.
+        let t = Timeline::new(vec![
+            span("μs_ntt", 0, 0.0, 1.0),
+            span("ntt_8k_μfuse", 0, 1.0, 10.0),
+        ]);
+        let s = t.render(10);
+        assert!(s.contains("lane0"));
+        assert!(s.contains('μ'));
+        // Every rendered row keeps the fixed cell width in chars.
+        for line in s.lines().filter(|l| l.starts_with("lane")) {
+            let cells = line.chars().filter(|&c| c != '|').count() - "lane0 ".chars().count();
+            assert_eq!(cells, 10, "row {line:?} must be exactly 10 cells");
+        }
     }
 }

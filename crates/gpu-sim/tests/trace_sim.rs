@@ -1,0 +1,65 @@
+//! The simulator must mirror its modeled timeline into the tracer.
+//!
+//! One test function on purpose: this binary owns its process, so mutating
+//! the process-global tracer level cannot race other tests.
+
+use wd_gpu_sim::{GpuSpec, KernelProfile, LaunchConfig, Simulator, WorkProfile};
+
+fn kernel(name: &str) -> KernelProfile {
+    KernelProfile::new(
+        name,
+        LaunchConfig::new(512, 256),
+        WorkProfile {
+            int32_ops: 1e8,
+            gmem_read_bytes: 1e7,
+            gmem_write_bytes: 1e7,
+            instructions: 4e7,
+            lsu_instructions: 4e6,
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn simulator_emits_launch_counters_and_virtual_spans() {
+    let sim = Simulator::new(GpuSpec::a100_pcie_80g());
+
+    // Off: kernel runs record nothing.
+    wd_trace::set_level(wd_trace::TraceLevel::Off);
+    wd_trace::reset();
+    sim.run_sequence(&[kernel("ntt_off")]);
+    let data = wd_trace::snapshot();
+    assert_eq!(data.counter("sim.kernel_launches"), 0);
+    assert!(data.virtual_spans.is_empty());
+
+    // Full: counters, a host span, and one virtual span per launch.
+    wd_trace::set_level(wd_trace::TraceLevel::Full);
+    wd_trace::reset();
+    let report = sim.run_sequence(&[kernel("ntt_a"), kernel("ntt_b"), kernel("ntt_c")]);
+    let data = wd_trace::snapshot();
+    assert_eq!(data.counter("sim.kernel_launches"), 3);
+    assert_eq!(data.span_agg("sim", "run_sequence").unwrap().count, 1);
+    assert_eq!(data.virtual_spans.len(), 3);
+    assert_eq!(data.virtual_spans[0].track, "gpu.lane0");
+    assert_eq!(data.virtual_spans[1].name, "ntt_b");
+    // Virtual spans carry the modeled times, matching the report timeline.
+    let tl = report.timeline().entries();
+    assert_eq!(data.virtual_spans[2].start_us, tl[2].start_us);
+    assert_eq!(data.virtual_spans[2].end_us, tl[2].end_us);
+
+    // Lanes land on distinct tracks, and the export names them.
+    wd_trace::reset();
+    sim.run_lanes(&[vec![kernel("cuda_ntt")], vec![kernel("tensor_bconv")]]);
+    let data = wd_trace::snapshot();
+    let tracks: Vec<&str> = data
+        .virtual_spans
+        .iter()
+        .map(|v| v.track.as_str())
+        .collect();
+    assert!(tracks.contains(&"gpu.lane0") && tracks.contains(&"gpu.lane1"));
+    let json = data.chrome_trace_json();
+    assert!(json.contains(r#""name":"gpu.lane1""#));
+    assert!(json.contains(r#""name":"tensor_bconv""#));
+
+    wd_trace::set_level(wd_trace::TraceLevel::Off);
+}

@@ -1,0 +1,200 @@
+//! Chrome-trace (`chrome://tracing` / Perfetto) JSON export.
+//!
+//! The format is the "Trace Event Format": a top-level object with a
+//! `traceEvents` array of complete (`"ph": "X"`) events carrying
+//! microsecond `ts`/`dur`. Host spans land on pid 1 with their real thread
+//! ids; virtual (modeled-GPU) spans land on pid 2 with one tid per track.
+//! Structured events become instant (`"ph": "i"`) events with their fields
+//! in `args`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::TraceData;
+
+const HOST_PID: u32 = 1;
+const VIRTUAL_PID: u32 = 2;
+
+/// Escapes `s` as the body of a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a non-negative microsecond quantity with enough precision for
+/// trace viewers (they accept fractional µs).
+fn us(v: f64) -> String {
+    let v = if v.is_finite() { v.max(0.0) } else { 0.0 };
+    format!("{v:.3}")
+}
+
+impl TraceData {
+    /// Renders this snapshot as Chrome-trace JSON (see module docs).
+    ///
+    /// The output is a complete, self-contained document; write it to a
+    /// `.json` file and load it in `chrome://tracing` or
+    /// <https://ui.perfetto.dev>.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut events: Vec<String> = Vec::new();
+
+        // Process/track naming metadata.
+        events.push(format!(
+            r#"{{"name":"process_name","ph":"M","pid":{HOST_PID},"tid":0,"args":{{"name":"host"}}}}"#
+        ));
+        events.push(format!(
+            r#"{{"name":"process_name","ph":"M","pid":{VIRTUAL_PID},"tid":0,"args":{{"name":"gpu-sim (modeled)"}}}}"#
+        ));
+
+        // Virtual tracks get stable small tids in first-seen order.
+        let mut track_tids: BTreeMap<&str, u32> = BTreeMap::new();
+        for vs in &self.virtual_spans {
+            let next = track_tids.len() as u32 + 1;
+            track_tids.entry(vs.track.as_str()).or_insert(next);
+        }
+        for (track, tid) in &track_tids {
+            events.push(format!(
+                r#"{{"name":"thread_name","ph":"M","pid":{VIRTUAL_PID},"tid":{tid},"args":{{"name":"{}"}}}}"#,
+                json_escape(track)
+            ));
+        }
+
+        // Host spans: complete events on pid 1.
+        for s in &self.spans {
+            events.push(format!(
+                r#"{{"name":"{}","cat":"{}","ph":"X","ts":{},"dur":{},"pid":{HOST_PID},"tid":{}}}"#,
+                json_escape(&s.name),
+                json_escape(s.cat),
+                us(s.start_us),
+                us(s.dur_us),
+                s.tid
+            ));
+        }
+
+        // Structured events: instants on pid 1 with fields as args.
+        for e in &self.events {
+            let mut args = String::from("{");
+            for (i, (k, v)) in e.fields.iter().enumerate() {
+                if i > 0 {
+                    args.push(',');
+                }
+                let _ = write!(args, r#""{}":"{}""#, json_escape(k), json_escape(v));
+            }
+            args.push('}');
+            events.push(format!(
+                r#"{{"name":"{}","cat":"{}","ph":"i","s":"t","ts":{},"pid":{HOST_PID},"tid":{},"args":{}}}"#,
+                json_escape(&e.name),
+                json_escape(e.cat),
+                us(e.ts_us),
+                e.tid,
+                args
+            ));
+        }
+
+        // Virtual spans: complete events on pid 2, one tid per track.
+        for vs in &self.virtual_spans {
+            let tid = track_tids.get(vs.track.as_str()).copied().unwrap_or(0);
+            events.push(format!(
+                r#"{{"name":"{}","cat":"sim","ph":"X","ts":{},"dur":{},"pid":{VIRTUAL_PID},"tid":{}}}"#,
+                json_escape(&vs.name),
+                us(vs.start_us),
+                us(vs.end_us - vs.start_us),
+                tid
+            ));
+        }
+
+        let mut out = String::from("{\"traceEvents\":[\n");
+        out.push_str(&events.join(",\n"));
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{TraceLevel, Tracer};
+
+    /// Minimal structural JSON validator: balanced braces/brackets outside
+    /// string literals, correct escaping. Keeps the crate dependency-free
+    /// while still catching malformed output.
+    fn assert_balanced_json(s: &str) {
+        let mut depth: i64 = 0;
+        let mut in_str = false;
+        let mut esc = false;
+        for c in s.chars() {
+            if in_str {
+                if esc {
+                    esc = false;
+                } else if c == '\\' {
+                    esc = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    depth -= 1;
+                    assert!(depth >= 0, "unbalanced close in {s}");
+                }
+                _ => {}
+            }
+        }
+        assert!(!in_str, "unterminated string");
+        assert_eq!(depth, 0, "unbalanced JSON");
+    }
+
+    #[test]
+    fn chrome_trace_has_expected_shape() {
+        let t = Tracer::new();
+        t.set_level(TraceLevel::Full);
+        {
+            let _s = t.span("ckks", "hmult");
+        }
+        t.event("sched", "split", &[("op_width", "4".into())]);
+        t.virtual_span("gpu.lane0", "ntt_fuse", 0.5, 3.5);
+        let json = t.snapshot().chrome_trace_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains(r#""name":"hmult""#));
+        assert!(json.contains(r#""ph":"X""#));
+        assert!(json.contains(r#""name":"ntt_fuse""#));
+        assert!(json.contains(r#""ph":"i""#));
+        assert!(json.contains(r#""op_width":"4""#));
+        assert!(json.contains(r#""name":"gpu.lane0""#));
+        assert_balanced_json(&json);
+    }
+
+    #[test]
+    fn chrome_trace_escapes_hostile_names() {
+        let t = Tracer::new();
+        t.set_level(TraceLevel::Full);
+        t.virtual_span("gpu.lane0", "ntt \"8k\"\nμ-pass\\x", 0.0, 1.0);
+        t.event("cat", "e\"v", &[("k\"1", "v\nnewline".into())]);
+        let json = t.snapshot().chrome_trace_json();
+        assert_balanced_json(&json);
+        assert!(json.contains(r#"ntt \"8k\"\nμ-pass\\x"#));
+    }
+
+    #[test]
+    fn empty_snapshot_is_still_valid() {
+        let t = Tracer::new();
+        t.set_level(TraceLevel::Full);
+        let json = t.snapshot().chrome_trace_json();
+        assert_balanced_json(&json);
+        assert!(json.contains("traceEvents"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Text summary report: greppable counters, span aggregates, events and
+//! warnings. Machine-consumable lines use a stable `counter <name> = <v>`
+//! shape that `scripts/check_trace_smoke.sh` asserts on in CI.
+
+use std::fmt::Write as _;
+
+use crate::TraceData;
+
+impl TraceData {
+    /// Renders a human- and grep-friendly summary of this snapshot.
+    ///
+    /// Sections (each omitted when empty): counters, span aggregates,
+    /// event tallies, warnings. Counter lines are the stable machine
+    /// interface: `counter <name> = <value>`.
+    pub fn summary_report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== wd-trace summary (level={}) ==", self.level);
+
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "-- counters --");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "counter {name} = {value}");
+            }
+        }
+
+        if !self.span_aggs.is_empty() {
+            let _ = writeln!(out, "-- spans --");
+            let _ = writeln!(
+                out,
+                "{:<28} {:>8} {:>14} {:>12} {:>12}",
+                "span", "count", "total_us", "avg_us", "max_us"
+            );
+            for row in &self.span_aggs {
+                let avg = if row.agg.count > 0 {
+                    row.agg.total_us / row.agg.count as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(
+                    out,
+                    "{:<28} {:>8} {:>14.1} {:>12.1} {:>12.1}",
+                    format!("{}.{}", row.cat, row.name),
+                    row.agg.count,
+                    row.agg.total_us,
+                    avg,
+                    row.agg.max_us
+                );
+            }
+        }
+
+        if !self.events.is_empty() {
+            let _ = writeln!(out, "-- events --");
+            // Tally by (cat, name) preserving first-seen order.
+            let mut keys: Vec<(&str, &str)> = Vec::new();
+            let mut counts: Vec<u64> = Vec::new();
+            for e in &self.events {
+                match keys.iter().position(|&(c, n)| c == e.cat && n == e.name) {
+                    Some(i) => counts[i] += 1,
+                    None => {
+                        keys.push((e.cat, &e.name));
+                        counts.push(1);
+                    }
+                }
+            }
+            for (&(cat, name), &count) in keys.iter().zip(&counts) {
+                let _ = writeln!(out, "event {cat}.{name} x{count}");
+            }
+        }
+
+        if !self.warnings.is_empty() {
+            let _ = writeln!(out, "-- warnings --");
+            for w in &self.warnings {
+                let _ = writeln!(out, "warning [{}] {}", w.site, w.message);
+            }
+        }
+
+        if self.dropped > 0 {
+            let _ = writeln!(out, "dropped records: {}", self.dropped);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{TraceLevel, Tracer};
+
+    #[test]
+    fn summary_report_lists_counters_spans_events_warnings() {
+        let t = Tracer::new();
+        t.set_level(TraceLevel::Summary);
+        t.counter("sim.kernel_launches", 7);
+        {
+            let _s = t.span("ckks", "hmult");
+        }
+        t.event("fault", "retry", &[("site", "batch.hmult".into())]);
+        t.event("fault", "retry", &[("site", "batch.hadd".into())]);
+        t.warn("sched.budget", "malformed WD_THREADS");
+        let rep = t.snapshot().summary_report();
+        assert!(rep.contains("counter sim.kernel_launches = 7"));
+        assert!(rep.contains("ckks.hmult"));
+        assert!(rep.contains("event fault.retry x2"));
+        assert!(rep.contains("warning [sched.budget] malformed WD_THREADS"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_header_only_sections() {
+        let t = Tracer::new();
+        t.set_level(TraceLevel::Off);
+        let rep = t.snapshot().summary_report();
+        assert!(rep.contains("wd-trace summary (level=off)"));
+        assert!(!rep.contains("-- counters --"));
+        assert!(!rep.contains("-- spans --"));
+    }
+}

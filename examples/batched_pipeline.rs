@@ -12,6 +12,10 @@
 //! op-level fan-out and limb-level parallelism per batch shape, never
 //! oversubscribing. Results are bit-identical under every split — the
 //! demo verifies that against a sequential run before printing timings.
+//!
+//! With `WD_TRACE=summary|full` the run also prints the wd-trace summary
+//! (scheduler decisions, per-op spans); with `WD_TRACE_OUT=/path.json` it
+//! writes a `chrome://tracing`-compatible trace of the whole pipeline.
 
 use std::time::Instant;
 
@@ -99,5 +103,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let got = ctx.decrypt_values(&a, &kp.secret)?;
     println!("decrypted product slot 0: {:.4}", got[0]);
+
+    // Observability: print what the tracer saw and export the Chrome trace
+    // when asked (WD_TRACE levels off/summary/full; WD_TRACE_OUT path).
+    if warpdrive::trace::enabled() {
+        let data = warpdrive::trace::snapshot();
+        println!("\n{}", data.summary_report());
+        if let Some(path) = warpdrive::trace::write_chrome_trace_to_env_path(&data)? {
+            println!("chrome trace written to {path} (load in chrome://tracing)");
+        }
+    }
     Ok(())
 }

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Trace smoke check: the observability layer must (a) produce the
+# Nsight-style per-kernel report with its instruction and stall-cycle
+# columns, (b) emit the machine-readable counter lines the summary report
+# promises, and (c) write a structurally valid Chrome-trace JSON — all from
+# one SET-B HMULT profiling run.
+#
+# Usage: scripts/check_trace_smoke.sh [out.json]
+#   The trace JSON lands at $1 (default /tmp/wd_trace_smoke.json) so CI can
+#   archive it as an artifact. Exits nonzero on any missing signal.
+set -u
+
+cd "$(dirname "$0")/.."
+
+out="${1:-/tmp/wd_trace_smoke.json}"
+log=/tmp/wd_trace_smoke.log
+mkdir -p "$(dirname "$out")"
+
+if ! WD_TRACE=full WD_TRACE_OUT="$out" \
+    cargo run --release -q -p wd-bench --bin profile_hmult >"$log" 2>&1; then
+    echo "FAIL profile_hmult exited nonzero:" >&2
+    cat "$log" >&2
+    exit 1
+fi
+
+fail=0
+need() {
+    if grep -q "$1" "$log"; then
+        echo "OK       $2"
+    else
+        echo "MISSING  $2 (pattern: $1)" >&2
+        fail=1
+    fi
+}
+
+# (a) Nsight-style report columns (Table II / Fig. 5).
+need "instructions" "per-kernel instruction column"
+need "issue_cyc" "issue-cycle column"
+need "stall_cyc" "stall-cycle column"
+need "st/inst" "stalls-per-instruction column"
+need "memory-related" "stall attribution total line"
+
+# (b) Machine-readable counters from the wd-trace summary.
+need "^counter sim.kernel_launches = " "sim.kernel_launches counter"
+need "^== wd-trace summary" "summary report header"
+need "^ckks.hmult " "ckks.hmult span aggregate"
+need "^ckks.keyswitch " "ckks.keyswitch span aggregate"
+
+# The modeled kernel count must match the plan (13 kernels for the SET-B
+# HMULT PE plan: HMULT-tensor + 11 keyswitch stages + HMULT-add).
+launches="$(sed -n 's/^counter sim.kernel_launches = //p' "$log" | head -1)"
+if [ "$launches" = "13" ]; then
+    echo "OK       kernel launch counter = 13 (SET-B HMULT PE plan)"
+else
+    echo "FAIL     kernel launch counter = '$launches', expected 13" >&2
+    fail=1
+fi
+
+# (c) Chrome-trace JSON: present, parseable, and carrying both processes.
+if [ ! -s "$out" ]; then
+    echo "FAIL     no trace JSON at $out" >&2
+    fail=1
+elif command -v python3 >/dev/null 2>&1 && ! python3 -m json.tool "$out" >/dev/null; then
+    echo "FAIL     $out is not valid JSON" >&2
+    fail=1
+else
+    for pat in '"traceEvents"' '"ph":"X"' 'gpu.lane0' '"name":"hmult"'; do
+        if grep -q "$pat" "$out"; then
+            echo "OK       trace JSON has $pat"
+        else
+            echo "MISSING  $pat in $out" >&2
+            fail=1
+        fi
+    done
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "trace smoke failed; full run log at $log" >&2
+fi
+exit "$fail"

@@ -54,4 +54,5 @@ pub use wd_ckks as ckks;
 pub use wd_gpu_sim as gpusim;
 pub use wd_modmath as modmath;
 pub use wd_polyring as polyring;
+pub use wd_trace as trace;
 pub use wd_workloads as workloads;
