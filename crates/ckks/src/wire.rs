@@ -285,6 +285,37 @@ pub fn public_key_from_bytes(buf: &[u8]) -> Result<crate::keys::PublicKey, CkksE
     Ok(crate::keys::PublicKey { b, a })
 }
 
+// ---------------------------------------------------------------------------
+// Length-prefixed frames (multi-object messages)
+// ---------------------------------------------------------------------------
+
+/// Appends a length-prefixed ciphertext frame (`u32 len | ciphertext
+/// bytes`) to `out`. The base format is deliberately *not* self-delimiting
+/// (trailing bytes are a decode error), so composite messages — a serving
+/// request carrying two operand ciphertexts, a response carrying one —
+/// frame each object with an explicit length instead.
+pub fn write_ciphertext_frame(out: &mut Vec<u8>, ct: &Ciphertext) {
+    let bytes = ciphertext_to_bytes(ct);
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(&bytes);
+}
+
+/// Reads the length-prefixed ciphertext frame starting at `*pos`, advancing
+/// `*pos` past it on success (`*pos` is untouched on error).
+///
+/// # Errors
+///
+/// [`CkksError::WireDecode`] on truncation (of the prefix or the payload)
+/// or any payload validation failure from [`ciphertext_from_bytes`].
+pub fn read_ciphertext_frame(buf: &[u8], pos: &mut usize) -> Result<Ciphertext, CkksError> {
+    let mut r = Reader { buf, pos: *pos };
+    let len = r.u32()? as usize;
+    let payload = r.take(len)?;
+    let ct = ciphertext_from_bytes(payload)?;
+    *pos = r.pos;
+    Ok(ct)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +354,36 @@ mod tests {
         assert_eq!(bytes.len(), expect);
         // Half of a 64-bit-word layout, as the 32-bit word size promises.
         assert!(bytes.len() < 2 * limbs * n * 8);
+        Ok(())
+    }
+
+    #[test]
+    fn ciphertext_frames_concatenate_and_round_trip() -> Result<(), CkksError> {
+        let (ctx, kp) = ctx()?;
+        let a = ctx.encrypt_values(&[1.0, 2.0], &kp.public)?;
+        let b = ctx.encrypt_values(&[-0.5], &kp.public)?;
+        let mut buf = Vec::new();
+        write_ciphertext_frame(&mut buf, &a);
+        write_ciphertext_frame(&mut buf, &b);
+        let mut pos = 0;
+        assert_eq!(read_ciphertext_frame(&buf, &mut pos)?, a);
+        assert_eq!(read_ciphertext_frame(&buf, &mut pos)?, b);
+        assert_eq!(pos, buf.len(), "frames consume exactly their bytes");
+        Ok(())
+    }
+
+    #[test]
+    fn truncated_frame_errors_without_advancing() -> Result<(), CkksError> {
+        let (ctx, kp) = ctx()?;
+        let ct = ctx.encrypt_values(&[3.0], &kp.public)?;
+        let mut buf = Vec::new();
+        write_ciphertext_frame(&mut buf, &ct);
+        for cut in [0usize, 3, 10, buf.len() - 1] {
+            let mut pos = 0;
+            let out = read_ciphertext_frame(&buf[..cut], &mut pos);
+            assert!(matches!(out, Err(CkksError::WireDecode(_))), "cut {cut}");
+            assert_eq!(pos, 0, "cut {cut}: position must not advance on error");
+        }
         Ok(())
     }
 

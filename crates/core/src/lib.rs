@@ -24,11 +24,15 @@
 //! - [`sched`]: [`sched::ParScheduler`], the cost-model-driven splitter of
 //!   one thread budget between op-level and limb-level parallelism
 //!   (`WD_THREADS` / `WD_SCHED`).
+//! - [`batchform`]: [`batchform::FormPolicy`], the pure dynamic-batching
+//!   decision core (dual size/linger trigger, deadline shedding, priority
+//!   aging) that the `wd-serve` request server drives.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod batchform;
 pub mod config;
 pub mod cost;
 pub mod engine;
@@ -39,6 +43,7 @@ pub mod opplan;
 pub mod sched;
 
 pub use batch::{BatchExecutor, BatchOp, EvalKeys};
+pub use batchform::{Class, Decision, FlushTrigger, FormPolicy, Pending};
 pub use config::FrameworkConfig;
 pub use engine::PerfEngine;
 pub use opplan::{HomOp, OpShape, PlannerKind};

@@ -122,6 +122,22 @@ pub enum WdError {
     /// A worker thread panicked; the panic was isolated and converted into
     /// this error instead of aborting the process.
     WorkerPanicked(String),
+    /// A serving queue rejected an admission because it is at capacity —
+    /// the backpressure signal of the `wd-serve` layer. The *client* must
+    /// slow down or resubmit later; it is deliberately **not** transient,
+    /// so no recovery envelope blind-retries into a full queue.
+    QueueFull {
+        /// Queue depth at rejection time.
+        depth: usize,
+        /// The configured admission capacity.
+        capacity: usize,
+    },
+    /// A queued request's deadline expired before execution began; the
+    /// request was shed in-queue without consuming compute.
+    DeadlineExceeded {
+        /// How long the request waited in the queue, microseconds.
+        waited_us: u64,
+    },
 }
 
 impl WdError {
@@ -164,6 +180,15 @@ impl core::fmt::Display for WdError {
             WdError::Math(s) => write!(f, "arithmetic failure: {s}"),
             WdError::SimFault { kind, site } => write!(f, "injected fault at {site}: {kind}"),
             WdError::WorkerPanicked(s) => write!(f, "worker thread panicked: {s}"),
+            WdError::QueueFull { depth, capacity } => {
+                write!(
+                    f,
+                    "serving queue full: depth {depth} of capacity {capacity}"
+                )
+            }
+            WdError::DeadlineExceeded { waited_us } => {
+                write!(f, "deadline exceeded after {waited_us} us in queue")
+            }
         }
     }
 }
@@ -635,6 +660,15 @@ mod tests {
         .is_transient());
         assert!(!WdError::ModulusChainExhausted.is_transient());
         assert!(!WdError::InvalidParams("p".into()).is_transient());
+        // Serving-layer conditions are signals to the client, not to the
+        // recovery envelope: QueueFull is backpressure, DeadlineExceeded is
+        // already too late — neither may be blind-retried.
+        assert!(!WdError::QueueFull {
+            depth: 8,
+            capacity: 8
+        }
+        .is_transient());
+        assert!(!WdError::DeadlineExceeded { waited_us: 5000 }.is_transient());
     }
 
     #[test]
@@ -667,5 +701,19 @@ mod tests {
         assert!(WdError::ModulusChainExhausted
             .to_string()
             .contains("modulus chain exhausted"));
+    }
+
+    #[test]
+    fn serving_error_display_names_the_numbers() {
+        let full = WdError::QueueFull {
+            depth: 256,
+            capacity: 256,
+        };
+        assert_eq!(
+            full.to_string(),
+            "serving queue full: depth 256 of capacity 256"
+        );
+        let late = WdError::DeadlineExceeded { waited_us: 1234 };
+        assert_eq!(late.to_string(), "deadline exceeded after 1234 us in queue");
     }
 }

@@ -1,0 +1,712 @@
+//! The serving engine: bounded admission queue, batcher thread, worker
+//! pool, graceful drain.
+//!
+//! Thread layout (all plain `std::thread`, no external runtime):
+//!
+//! ```text
+//! clients ──submit──▶ [inbox: bounded Vec<Slot> + Condvar]
+//!                        │ batcher thread: shed expired, then
+//!                        │ FormPolicy::decide (size / linger / drain)
+//!                        ▼
+//!                     [work queue: VecDeque<Option<Formed>> + Condvar]
+//!                        │ worker threads × N: BatchExecutor::execute
+//!                        ▼
+//!                     per-request one-shot channels ──▶ Ticket::wait
+//! ```
+//!
+//! Shutdown pushes one `None` pill per worker **after** the drain flushes
+//! every batch; FIFO order on the work queue guarantees the pills arrive
+//! last, so no accepted request is ever dropped.
+//!
+//! Responses are **bit-identical to a sequential fault-free run** at every
+//! batch size, worker count, and fault seed: each operation is a pure
+//! function of its operands, the executor recovers injected faults without
+//! altering values, and batching only changes *when* an op runs, never
+//! *what* it computes.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use warpdrive_core::{BatchExecutor, BatchOp, Decision, EvalKeys, FormPolicy, Pending};
+use wd_ckks::keys::{KeySwitchKey, RotationKeys};
+use wd_ckks::CkksContext;
+use wd_fault::WdError;
+
+use crate::request::{Request, Response, ServeOp, Ticket};
+
+/// Admission queue capacity (`usize` ≥ 1). Malformed or zero warns and
+/// keeps the default.
+pub const QUEUE_ENV: &str = "WD_SERVE_QUEUE";
+/// Maximum batch size — the size trigger (`usize` ≥ 1).
+pub const BATCH_ENV: &str = "WD_SERVE_BATCH";
+/// Linger bound in microseconds — the latency trigger (0 = flush
+/// immediately).
+pub const LINGER_ENV: &str = "WD_SERVE_LINGER_US";
+/// Worker thread count (`usize` ≥ 1).
+pub const WORKERS_ENV: &str = "WD_SERVE_WORKERS";
+/// Bulk-aging bound in microseconds (unset = 8 × linger, min 1 ms).
+pub const AGE_ENV: &str = "WD_SERVE_AGE_US";
+
+/// Serving configuration. [`ServeConfig::default`] is deterministic
+/// (sequential executor); [`ServeConfig::from_env`] reads the
+/// `WD_SERVE_*` knobs and sizes the executor from the scheduler's
+/// `WD_THREADS`/`WD_SCHED` environment.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Admission queue capacity; submits beyond it are rejected with
+    /// [`WdError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Flush as soon as this many requests wait (the size trigger).
+    pub max_batch: usize,
+    /// Flush once the oldest pending request has waited this long (the
+    /// linger trigger).
+    pub linger: Duration,
+    /// Bulk requests waiting at least this long are served as interactive
+    /// (`None` = the [`FormPolicy::new`] default: 8 × linger, min 1 ms).
+    pub age_promote: Option<Duration>,
+    /// Worker threads executing formed batches.
+    pub workers: usize,
+    /// The executor each worker runs batches through. Workers share the
+    /// context's limb budget, so a scheduled executor should normally be
+    /// paired with `workers: 1`; more workers simply overlap independent
+    /// batches.
+    pub executor: BatchExecutor,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 64,
+            max_batch: 8,
+            linger: Duration::from_micros(200),
+            age_promote: None,
+            workers: 1,
+            executor: BatchExecutor::sequential(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reads the `WD_SERVE_*` environment (defaults above for unset
+    /// values; malformed values warn and keep the default) and sizes the
+    /// executor via [`BatchExecutor::from_env`] — the scheduler remains
+    /// the single owner of the `WD_THREADS`/`WD_SCHED` reads.
+    pub fn from_env() -> Self {
+        let d = Self::default();
+        Self {
+            queue_capacity: env_usize(QUEUE_ENV, d.queue_capacity, 1),
+            max_batch: env_usize(BATCH_ENV, d.max_batch, 1),
+            linger: Duration::from_micros(env_u64(
+                LINGER_ENV,
+                d.linger.as_micros().min(u128::from(u64::MAX)) as u64,
+                0,
+            )),
+            age_promote: match std::env::var(AGE_ENV) {
+                Err(_) => None,
+                Ok(_) => Some(Duration::from_micros(env_u64(AGE_ENV, 1_000, 0))),
+            },
+            workers: env_usize(WORKERS_ENV, d.workers, 1),
+            executor: BatchExecutor::from_env(),
+        }
+    }
+
+    /// The batch-formation policy this configuration drives.
+    pub fn policy(&self) -> FormPolicy {
+        let p = FormPolicy::new(self.max_batch, self.linger);
+        match self.age_promote {
+            Some(age) => p.with_age_promote(age),
+            None => p,
+        }
+    }
+}
+
+fn env_u64(name: &str, default: u64, min: u64) -> u64 {
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(v) => match v.trim().parse::<u64>() {
+            Ok(n) if n >= min => n,
+            _ => {
+                wd_trace::warn(
+                    "serve.config",
+                    &format!("malformed {name}={v:?}; keeping default {default}"),
+                );
+                default
+            }
+        },
+    }
+}
+
+fn env_usize(name: &str, default: usize, min: usize) -> usize {
+    env_u64(name, default as u64, min as u64) as usize
+}
+
+/// Owned evaluation keys the workers serve with (the owned sibling of
+/// [`EvalKeys`], which borrows).
+#[derive(Debug, Clone, Default)]
+pub struct ServeKeys {
+    /// Relinearization key (for [`ServeOp::HMult`]).
+    pub relin: Option<KeySwitchKey>,
+    /// Rotation key set (for [`ServeOp::HRotate`]).
+    pub rotations: Option<RotationKeys>,
+}
+
+impl ServeKeys {
+    /// No evaluation keys (add/sub/rescale-only serving).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Keys for multiply-capable serving.
+    pub fn with_relin(relin: KeySwitchKey) -> Self {
+        Self {
+            relin: Some(relin),
+            rotations: None,
+        }
+    }
+
+    /// Adds a rotation key set.
+    #[must_use]
+    pub fn and_rotations(mut self, rotations: RotationKeys) -> Self {
+        self.rotations = Some(rotations);
+        self
+    }
+
+    /// Borrows as the executor's key view.
+    pub fn as_eval(&self) -> EvalKeys<'_> {
+        EvalKeys {
+            relin: self.relin.as_ref(),
+            rotations: self.rotations.as_ref(),
+        }
+    }
+}
+
+/// Lifetime counters, returned by [`Server::shutdown`] and
+/// [`Server::stats`]. `submitted = rejected + shed + completed` once the
+/// server has drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Requests admitted into the queue.
+    pub submitted: u64,
+    /// Submits rejected by admission control ([`WdError::QueueFull`]).
+    pub rejected: u64,
+    /// Requests shed in-queue past their deadline.
+    pub shed: u64,
+    /// Requests answered with an execution result (ok or error).
+    pub completed: u64,
+    /// Batches executed.
+    pub batches: u64,
+}
+
+#[derive(Debug, Default)]
+struct Stats {
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    shed: AtomicU64,
+    completed: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl Stats {
+    fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One admitted request waiting in the inbox.
+#[derive(Debug)]
+struct Slot {
+    meta: Pending,
+    op: ServeOp,
+    tx: mpsc::Sender<Response>,
+}
+
+/// One formed batch travelling from the batcher to a worker. `None` on the
+/// work queue is the shutdown pill (one per worker, pushed after every
+/// batch, so FIFO order drains first).
+#[derive(Debug)]
+struct Formed {
+    slots: Vec<Slot>,
+    trigger: warpdrive_core::FlushTrigger,
+}
+
+#[derive(Debug, Default)]
+struct InboxState {
+    pending: Vec<Slot>,
+    next_seq: u64,
+    draining: bool,
+}
+
+#[derive(Debug, Default)]
+struct Inbox {
+    state: Mutex<InboxState>,
+    cond: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct WorkQueue {
+    state: Mutex<VecDeque<Option<Formed>>>,
+    cond: Condvar,
+}
+
+/// The serving engine (see the module docs for the thread layout).
+#[derive(Debug)]
+pub struct Server {
+    inbox: Arc<Inbox>,
+    epoch: Instant,
+    capacity: usize,
+    stats: Arc<Stats>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the batcher and worker threads and begins accepting
+    /// submissions.
+    pub fn start(ctx: Arc<CkksContext>, keys: ServeKeys, config: ServeConfig) -> Self {
+        let policy = config.policy();
+        let worker_count = config.workers.max(1);
+        let inbox = Arc::new(Inbox::default());
+        let work = Arc::new(WorkQueue::default());
+        let stats = Arc::new(Stats::default());
+        let epoch = Instant::now();
+        let keys = Arc::new(keys);
+
+        let batcher = {
+            let inbox = Arc::clone(&inbox);
+            let work = Arc::clone(&work);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("wd-serve-batcher".into())
+                .spawn(move || batcher_loop(&inbox, &work, policy, epoch, &stats, worker_count))
+                .expect("spawn wd-serve batcher")
+        };
+
+        let workers = (0..worker_count)
+            .map(|i| {
+                let work = Arc::clone(&work);
+                let ctx = Arc::clone(&ctx);
+                let keys = Arc::clone(&keys);
+                let stats = Arc::clone(&stats);
+                let executor = config.executor.clone();
+                std::thread::Builder::new()
+                    .name(format!("wd-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&work, &ctx, &keys, &executor, epoch, &stats))
+                    .expect("spawn wd-serve worker")
+            })
+            .collect();
+
+        Self {
+            inbox,
+            epoch,
+            capacity: config.queue_capacity.max(1),
+            stats,
+            batcher: Some(batcher),
+            workers,
+        }
+    }
+
+    /// Microseconds since this server's epoch — the clock every queue
+    /// timestamp lives on.
+    fn now_us(&self) -> u64 {
+        instant_us(self.epoch)
+    }
+
+    /// Submits one request. Returns a [`Ticket`] redeemable for exactly
+    /// one [`Response`].
+    ///
+    /// # Errors
+    ///
+    /// [`WdError::QueueFull`] when the bounded queue is at capacity (the
+    /// backpressure signal: resubmit later), [`WdError::InvalidParams`]
+    /// after shutdown has begun.
+    pub fn submit(&self, req: Request) -> Result<Ticket, WdError> {
+        let now_us = self.now_us();
+        let mut st = self.inbox.state.lock().expect("serve inbox poisoned");
+        if st.draining {
+            return Err(WdError::InvalidParams(
+                "serve: submit after shutdown began".into(),
+            ));
+        }
+        if st.pending.len() >= self.capacity {
+            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            wd_trace::counter("serve.rejected", 1);
+            return Err(WdError::QueueFull {
+                depth: st.pending.len(),
+                capacity: self.capacity,
+            });
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        let deadline_us = req.deadline.map(|d| now_us.saturating_add(duration_us(d)));
+        let (tx, rx) = mpsc::channel();
+        st.pending.push(Slot {
+            meta: Pending {
+                seq,
+                class: req.class,
+                enqueued_us: now_us,
+                deadline_us,
+            },
+            op: req.op,
+            tx,
+        });
+        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        wd_trace::counter("serve.enqueued", 1);
+        wd_trace::gauge("serve.queue_depth", st.pending.len() as u64);
+        drop(st);
+        self.inbox.cond.notify_all();
+        Ok(Ticket { id: seq, rx })
+    }
+
+    /// Current queue depth (pending, not yet batched).
+    pub fn queue_depth(&self) -> usize {
+        self.inbox
+            .state
+            .lock()
+            .expect("serve inbox poisoned")
+            .pending
+            .len()
+    }
+
+    /// A snapshot of the lifetime counters.
+    pub fn stats(&self) -> ServeStats {
+        self.stats.snapshot()
+    }
+
+    /// Drains and stops the server: rejects new submissions, flushes every
+    /// queued request (in `max_batch` chunks), waits for the workers to
+    /// answer them all, and returns the final counters. Zero requests are
+    /// lost: `submitted = shed + completed` on return.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.stop();
+        self.stats.snapshot()
+    }
+
+    fn stop(&mut self) {
+        {
+            let mut st = self.inbox.state.lock().expect("serve inbox poisoned");
+            st.draining = true;
+        }
+        self.inbox.cond.notify_all();
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    /// Best-effort drain: dropping without [`Server::shutdown`] still
+    /// answers every accepted request before the threads exit.
+    fn drop(&mut self) {
+        if self.batcher.is_some() {
+            self.stop();
+        }
+    }
+}
+
+fn instant_us(epoch: Instant) -> u64 {
+    epoch.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+fn duration_us(d: Duration) -> u64 {
+    d.as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+/// The batcher thread: shed → decide → flush or sleep, until drained.
+fn batcher_loop(
+    inbox: &Inbox,
+    work: &WorkQueue,
+    policy: FormPolicy,
+    epoch: Instant,
+    stats: &Stats,
+    worker_count: usize,
+) {
+    loop {
+        let mut st = inbox.state.lock().expect("serve inbox poisoned");
+        let now = instant_us(epoch);
+
+        // 1. Shed everything past its deadline before forming a batch —
+        //    expired work must not steal a batch slot from live work.
+        let metas: Vec<Pending> = st.pending.iter().map(|s| s.meta).collect();
+        let expired = policy.shed(now, &metas);
+        if !expired.is_empty() {
+            for &i in expired.iter().rev() {
+                let slot = st.pending.remove(i);
+                let waited = now.saturating_sub(slot.meta.enqueued_us);
+                stats.shed.fetch_add(1, Ordering::Relaxed);
+                wd_trace::counter("serve.shed", 1);
+                wd_trace::event(
+                    "serve",
+                    "shed",
+                    &[
+                        ("seq", slot.meta.seq.to_string()),
+                        ("waited_us", waited.to_string()),
+                    ],
+                );
+                let _ = slot.tx.send(Response {
+                    id: slot.meta.seq,
+                    result: Err(WdError::DeadlineExceeded { waited_us: waited }),
+                    waited_us: waited,
+                    batch_size: 0,
+                    trigger: None,
+                });
+            }
+            wd_trace::gauge("serve.queue_depth", st.pending.len() as u64);
+            continue; // re-decide on the reduced set
+        }
+
+        // 2. Decide.
+        match policy.decide(now, &metas, st.draining) {
+            Decision::Flush { take, trigger } => {
+                // Pull the taken slots out in serving order; everything
+                // else keeps its queue position.
+                let mut opts: Vec<Option<Slot>> = st.pending.drain(..).map(Some).collect();
+                let slots: Vec<Slot> = take
+                    .iter()
+                    .map(|&i| opts[i].take().expect("decide returned a duplicate index"))
+                    .collect();
+                st.pending.extend(opts.into_iter().flatten());
+                wd_trace::gauge("serve.queue_depth", st.pending.len() as u64);
+                drop(st);
+                let mut q = work.state.lock().expect("serve work queue poisoned");
+                q.push_back(Some(Formed { slots, trigger }));
+                drop(q);
+                work.cond.notify_all();
+            }
+            Decision::Wait { wake_us } => {
+                if st.draining && st.pending.is_empty() {
+                    break;
+                }
+                match wake_us {
+                    // Nothing pending: sleep until a submit or shutdown.
+                    None => {
+                        let _unused = inbox.cond.wait(st).expect("serve inbox poisoned");
+                    }
+                    Some(wake) => {
+                        let now2 = instant_us(epoch);
+                        let dur = Duration::from_micros(wake.saturating_sub(now2));
+                        if !dur.is_zero() {
+                            let _unused = inbox
+                                .cond
+                                .wait_timeout(st, dur)
+                                .expect("serve inbox poisoned");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Drained: one pill per worker, strictly after the final batch, so the
+    // FIFO work queue guarantees every batch executes before any exit.
+    let mut q = work.state.lock().expect("serve work queue poisoned");
+    for _ in 0..worker_count {
+        q.push_back(None);
+    }
+    drop(q);
+    work.cond.notify_all();
+}
+
+/// A worker thread: execute formed batches until the shutdown pill.
+fn worker_loop(
+    work: &WorkQueue,
+    ctx: &CkksContext,
+    keys: &ServeKeys,
+    executor: &BatchExecutor,
+    epoch: Instant,
+    stats: &Stats,
+) {
+    loop {
+        let item = {
+            let mut q = work.state.lock().expect("serve work queue poisoned");
+            loop {
+                if let Some(item) = q.pop_front() {
+                    break item;
+                }
+                q = work.cond.wait(q).expect("serve work queue poisoned");
+            }
+        };
+        let Some(Formed { slots, trigger }) = item else {
+            break;
+        };
+        let n = slots.len();
+        let _span = wd_trace::span("serve", "batch");
+        wd_trace::counter("serve.batches", 1);
+        wd_trace::observe("serve.batch_size", n as u64);
+        wd_trace::event(
+            "serve",
+            "batch",
+            &[
+                ("size", n.to_string()),
+                ("trigger", trigger.label().to_string()),
+            ],
+        );
+        let ops: Vec<BatchOp<'_>> = slots.iter().map(|s| s.op.as_batch_op()).collect();
+        let results = executor.execute(ctx, keys.as_eval(), &ops);
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+        let now = instant_us(epoch);
+        for (slot, result) in slots.into_iter().zip(results) {
+            let waited = now.saturating_sub(slot.meta.enqueued_us);
+            stats.completed.fetch_add(1, Ordering::Relaxed);
+            wd_trace::counter("serve.completed", 1);
+            wd_trace::observe("serve.latency_us", waited);
+            let _ = slot.tx.send(Response {
+                id: slot.meta.seq,
+                result,
+                waited_us: waited,
+                batch_size: n,
+                trigger: Some(trigger),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wd_ckks::ParamSet;
+
+    fn small_ctx(seed: u64) -> Arc<CkksContext> {
+        let params = ParamSet::set_a()
+            .with_degree(1 << 6)
+            .build()
+            .expect("params");
+        Arc::new(CkksContext::with_seed(params, seed).expect("ctx"))
+    }
+
+    #[test]
+    fn serves_a_round_trip() -> Result<(), WdError> {
+        let ctx = small_ctx(11);
+        let kp = ctx.keygen();
+        let server = Server::start(
+            Arc::clone(&ctx),
+            ServeKeys::with_relin(kp.relin.clone()),
+            ServeConfig::default(),
+        );
+        let a = ctx.encrypt_values(&[1.5, -2.0], &kp.public)?;
+        let b = ctx.encrypt_values(&[0.5, 1.0], &kp.public)?;
+        let expect = wd_ckks::ops::hadd(&a, &b)?;
+        let ticket = server.submit(Request::new(ServeOp::HAdd(a, b)))?;
+        let resp = ticket.wait();
+        assert_eq!(resp.result.as_ref(), Ok(&expect), "bit-identical response");
+        assert!(resp.batch_size >= 1);
+        assert!(resp.trigger.is_some());
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.shed, 0);
+        Ok(())
+    }
+
+    #[test]
+    fn full_queue_rejects_with_typed_backpressure() -> Result<(), WdError> {
+        let ctx = small_ctx(12);
+        let kp = ctx.keygen();
+        // Huge linger and batch so nothing flushes while we overfill.
+        let config = ServeConfig {
+            queue_capacity: 2,
+            max_batch: 64,
+            linger: Duration::from_secs(5),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(Arc::clone(&ctx), ServeKeys::none(), config);
+        let ct = ctx.encrypt_values(&[1.0], &kp.public)?;
+        let t1 = server.submit(Request::new(ServeOp::Rescale(ct.clone())))?;
+        let t2 = server.submit(Request::new(ServeOp::Rescale(ct.clone())))?;
+        let err = server
+            .submit(Request::new(ServeOp::Rescale(ct)))
+            .expect_err("third submit must be rejected");
+        assert_eq!(
+            err,
+            WdError::QueueFull {
+                depth: 2,
+                capacity: 2
+            }
+        );
+        let stats = server.shutdown();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.completed, 2);
+        // Drain still answered the two accepted requests.
+        assert!(t1.wait().result.is_ok());
+        assert!(t2.wait().result.is_ok());
+        Ok(())
+    }
+
+    #[test]
+    fn zero_deadline_requests_are_shed_not_executed() -> Result<(), WdError> {
+        let ctx = small_ctx(13);
+        let kp = ctx.keygen();
+        let server = Server::start(Arc::clone(&ctx), ServeKeys::none(), ServeConfig::default());
+        let ct = ctx.encrypt_values(&[1.0], &kp.public)?;
+        let ticket =
+            server.submit(Request::new(ServeOp::Rescale(ct)).with_deadline(Duration::ZERO))?;
+        let resp = ticket.wait();
+        assert!(
+            matches!(resp.result, Err(WdError::DeadlineExceeded { .. })),
+            "{:?}",
+            resp.result
+        );
+        assert_eq!(resp.batch_size, 0);
+        assert_eq!(resp.trigger, None);
+        let stats = server.shutdown();
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.completed, 0);
+        Ok(())
+    }
+
+    #[test]
+    fn submit_after_shutdown_began_is_rejected() -> Result<(), WdError> {
+        let ctx = small_ctx(14);
+        let kp = ctx.keygen();
+        let server = Server::start(Arc::clone(&ctx), ServeKeys::none(), ServeConfig::default());
+        let ct = ctx.encrypt_values(&[1.0], &kp.public)?;
+        {
+            let mut st = server.inbox.state.lock().expect("inbox");
+            st.draining = true;
+        }
+        assert!(matches!(
+            server.submit(Request::new(ServeOp::Rescale(ct))),
+            Err(WdError::InvalidParams(_))
+        ));
+        server.shutdown();
+        Ok(())
+    }
+
+    #[test]
+    fn missing_relin_key_surfaces_per_request_not_as_a_crash() -> Result<(), WdError> {
+        let ctx = small_ctx(15);
+        let kp = ctx.keygen();
+        let server = Server::start(Arc::clone(&ctx), ServeKeys::none(), ServeConfig::default());
+        let a = ctx.encrypt_values(&[2.0], &kp.public)?;
+        let t = server.submit(Request::new(ServeOp::HMult(a.clone(), a)))?;
+        let resp = t.wait();
+        assert!(matches!(resp.result, Err(WdError::MissingKey(_))));
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 1, "an error response still completes");
+        Ok(())
+    }
+
+    #[test]
+    fn config_env_parsing_rejects_malformed_values() {
+        // Pure-function checks only (no process-global env mutation):
+        assert_eq!(env_u64("WD_SERVE_SURELY_UNSET_", 7, 1), 7);
+        let d = ServeConfig::default();
+        assert_eq!(d.policy().max_batch, d.max_batch);
+        assert_eq!(d.policy().linger, d.linger);
+        let aged = ServeConfig {
+            age_promote: Some(Duration::from_micros(123)),
+            ..ServeConfig::default()
+        };
+        assert_eq!(aged.policy().age_promote, Duration::from_micros(123));
+    }
+}

@@ -1,0 +1,408 @@
+//! Wire framing for serving traffic: requests and responses as compact
+//! little-endian frames over the `wd-ckks` ciphertext format.
+//!
+//! FHE serving is inherently remote — the whole point is that an untrusted
+//! server computes on ciphertexts it cannot read — so the request/response
+//! shapes need a wire spelling, not just in-process structs. Frames reuse
+//! the ciphertext serialization of [`wd_ckks::wire`] (32-bit coefficient
+//! words, the paper's word size) and add a thin envelope:
+//!
+//! ```text
+//! request:  magic "WDSV" | ver u8=1 | kind u8=1 | id u64 | class u8
+//!           | deadline flag u8 (0/1) | [deadline_us u64]
+//!           | op tag u8 | operand ciphertext frame(s) | [rotate i64]
+//! response: magic "WDSV" | ver u8=1 | kind u8=2 | id u64 | status u8
+//!           | waited_us u64 | batch_size u32 | trigger u8
+//!           | ok: ciphertext frame / err: len-prefixed UTF-8 message
+//! ```
+//!
+//! Errors cross the wire as their display text ([`WireResponse`] carries
+//! `Result<Ciphertext, String>`): the variant taxonomy is a host-side
+//! concept, and a remote client needs the message, not the enum.
+
+use std::time::Duration;
+
+use warpdrive_core::{Class, FlushTrigger};
+use wd_ckks::cipher::Ciphertext;
+use wd_ckks::wire::{read_ciphertext_frame, write_ciphertext_frame};
+use wd_ckks::CkksError;
+
+use crate::request::{Request, Response, ServeOp};
+
+const MAGIC: &[u8; 4] = b"WDSV";
+const VERSION: u8 = 1;
+const KIND_REQUEST: u8 = 1;
+const KIND_RESPONSE: u8 = 2;
+
+const OP_HADD: u8 = 0;
+const OP_HSUB: u8 = 1;
+const OP_HMULT: u8 = 2;
+const OP_HROTATE: u8 = 3;
+const OP_RESCALE: u8 = 4;
+
+/// A [`Response`] as it crosses the wire: the error arm is the display
+/// text of the host-side [`wd_fault::WdError`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireResponse {
+    /// The request id being answered.
+    pub id: u64,
+    /// The computed ciphertext, or the failure message.
+    pub result: Result<Ciphertext, String>,
+    /// Queue-to-response latency in microseconds.
+    pub waited_us: u64,
+    /// Batch size the request was served in (0 = shed).
+    pub batch_size: usize,
+    /// The flush trigger (`None` = shed).
+    pub trigger: Option<FlushTrigger>,
+}
+
+impl WireResponse {
+    /// Projects a host-side [`Response`] onto its wire shape.
+    pub fn of(resp: &Response) -> Self {
+        Self {
+            id: resp.id,
+            result: match &resp.result {
+                Ok(ct) => Ok(ct.clone()),
+                Err(e) => Err(e.to_string()),
+            },
+            waited_us: resp.waited_us,
+            batch_size: resp.batch_size,
+            trigger: resp.trigger,
+        }
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], CkksError> {
+    let end = pos
+        .checked_add(n)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| CkksError::WireDecode("truncated serve frame".into()))?;
+    let s = &buf[*pos..end];
+    *pos = end;
+    Ok(s)
+}
+
+fn get_u8(buf: &[u8], pos: &mut usize) -> Result<u8, CkksError> {
+    Ok(take(buf, pos, 1)?[0])
+}
+
+fn get_u32(buf: &[u8], pos: &mut usize) -> Result<u32, CkksError> {
+    // invariant: take(4) returns exactly 4 bytes or errors above.
+    Ok(u32::from_le_bytes(
+        take(buf, pos, 4)?.try_into().expect("4 bytes"),
+    ))
+}
+
+fn get_u64(buf: &[u8], pos: &mut usize) -> Result<u64, CkksError> {
+    // invariant: take(8) returns exactly 8 bytes or errors above.
+    Ok(u64::from_le_bytes(
+        take(buf, pos, 8)?.try_into().expect("8 bytes"),
+    ))
+}
+
+fn write_envelope(out: &mut Vec<u8>, kind: u8, id: u64) {
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.push(kind);
+    put_u64(out, id);
+}
+
+fn read_envelope(buf: &[u8], pos: &mut usize, want_kind: u8) -> Result<u64, CkksError> {
+    let magic = take(buf, pos, 4)?;
+    if magic != MAGIC {
+        return Err(CkksError::WireDecode("bad serve magic".into()));
+    }
+    let ver = get_u8(buf, pos)?;
+    if ver != VERSION {
+        return Err(CkksError::WireDecode(format!(
+            "unsupported serve frame version {ver}"
+        )));
+    }
+    let kind = get_u8(buf, pos)?;
+    if kind != want_kind {
+        return Err(CkksError::WireDecode(format!(
+            "serve frame kind {kind}, want {want_kind}"
+        )));
+    }
+    get_u64(buf, pos)
+}
+
+/// Serializes one request under the given wire id.
+pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_envelope(&mut out, KIND_REQUEST, id);
+    out.push(match req.class {
+        Class::Interactive => 0,
+        Class::Bulk => 1,
+    });
+    match req.deadline {
+        None => out.push(0),
+        Some(d) => {
+            out.push(1);
+            put_u64(&mut out, d.as_micros().min(u128::from(u64::MAX)) as u64);
+        }
+    }
+    match &req.op {
+        ServeOp::HAdd(a, b) => {
+            out.push(OP_HADD);
+            write_ciphertext_frame(&mut out, a);
+            write_ciphertext_frame(&mut out, b);
+        }
+        ServeOp::HSub(a, b) => {
+            out.push(OP_HSUB);
+            write_ciphertext_frame(&mut out, a);
+            write_ciphertext_frame(&mut out, b);
+        }
+        ServeOp::HMult(a, b) => {
+            out.push(OP_HMULT);
+            write_ciphertext_frame(&mut out, a);
+            write_ciphertext_frame(&mut out, b);
+        }
+        ServeOp::HRotate(ct, r) => {
+            out.push(OP_HROTATE);
+            write_ciphertext_frame(&mut out, ct);
+            put_u64(&mut out, *r as u64); // i64 bit pattern
+        }
+        ServeOp::Rescale(ct) => {
+            out.push(OP_RESCALE);
+            write_ciphertext_frame(&mut out, ct);
+        }
+    }
+    out
+}
+
+/// Deserializes one request frame, returning its wire id and the request.
+///
+/// # Errors
+///
+/// [`CkksError::WireDecode`] on truncation, bad magic/version/kind, an
+/// unknown op tag, or trailing bytes.
+pub fn decode_request(buf: &[u8]) -> Result<(u64, Request), CkksError> {
+    let mut pos = 0usize;
+    let id = read_envelope(buf, &mut pos, KIND_REQUEST)?;
+    let class = match get_u8(buf, &mut pos)? {
+        0 => Class::Interactive,
+        1 => Class::Bulk,
+        c => return Err(CkksError::WireDecode(format!("unknown class tag {c}"))),
+    };
+    let deadline = match get_u8(buf, &mut pos)? {
+        0 => None,
+        1 => Some(Duration::from_micros(get_u64(buf, &mut pos)?)),
+        f => return Err(CkksError::WireDecode(format!("bad deadline flag {f}"))),
+    };
+    let tag = get_u8(buf, &mut pos)?;
+    let op = match tag {
+        OP_HADD | OP_HSUB | OP_HMULT => {
+            let a = read_ciphertext_frame(buf, &mut pos)?;
+            let b = read_ciphertext_frame(buf, &mut pos)?;
+            match tag {
+                OP_HADD => ServeOp::HAdd(a, b),
+                OP_HSUB => ServeOp::HSub(a, b),
+                _ => ServeOp::HMult(a, b),
+            }
+        }
+        OP_HROTATE => {
+            let ct = read_ciphertext_frame(buf, &mut pos)?;
+            let r = get_u64(buf, &mut pos)? as i64 as isize;
+            ServeOp::HRotate(ct, r)
+        }
+        OP_RESCALE => ServeOp::Rescale(read_ciphertext_frame(buf, &mut pos)?),
+        t => return Err(CkksError::WireDecode(format!("unknown serve op tag {t}"))),
+    };
+    if pos != buf.len() {
+        return Err(CkksError::WireDecode("trailing bytes after request".into()));
+    }
+    Ok((
+        id,
+        Request {
+            op,
+            class,
+            deadline,
+        },
+    ))
+}
+
+/// Serializes one response.
+pub fn encode_response(resp: &WireResponse) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_envelope(&mut out, KIND_RESPONSE, resp.id);
+    out.push(u8::from(resp.result.is_err()));
+    put_u64(&mut out, resp.waited_us);
+    put_u32(&mut out, resp.batch_size.min(u32::MAX as usize) as u32);
+    out.push(match resp.trigger {
+        None => 0,
+        Some(FlushTrigger::Size) => 1,
+        Some(FlushTrigger::Linger) => 2,
+        Some(FlushTrigger::Drain) => 3,
+    });
+    match &resp.result {
+        Ok(ct) => write_ciphertext_frame(&mut out, ct),
+        Err(msg) => {
+            let bytes = msg.as_bytes();
+            put_u32(&mut out, bytes.len().min(u32::MAX as usize) as u32);
+            out.extend_from_slice(&bytes[..bytes.len().min(u32::MAX as usize)]);
+        }
+    }
+    out
+}
+
+/// Deserializes one response frame.
+///
+/// # Errors
+///
+/// [`CkksError::WireDecode`] on truncation, bad magic/version/kind, a bad
+/// trigger tag, a non-UTF-8 error message, or trailing bytes.
+pub fn decode_response(buf: &[u8]) -> Result<WireResponse, CkksError> {
+    let mut pos = 0usize;
+    let id = read_envelope(buf, &mut pos, KIND_RESPONSE)?;
+    let is_err = match get_u8(buf, &mut pos)? {
+        0 => false,
+        1 => true,
+        s => return Err(CkksError::WireDecode(format!("bad status byte {s}"))),
+    };
+    let waited_us = get_u64(buf, &mut pos)?;
+    let batch_size = get_u32(buf, &mut pos)? as usize;
+    let trigger = match get_u8(buf, &mut pos)? {
+        0 => None,
+        1 => Some(FlushTrigger::Size),
+        2 => Some(FlushTrigger::Linger),
+        3 => Some(FlushTrigger::Drain),
+        t => return Err(CkksError::WireDecode(format!("bad trigger tag {t}"))),
+    };
+    let result = if is_err {
+        let len = get_u32(buf, &mut pos)? as usize;
+        let bytes = take(buf, &mut pos, len)?;
+        let msg = std::str::from_utf8(bytes)
+            .map_err(|_| CkksError::WireDecode("error message is not UTF-8".into()))?;
+        Err(msg.to_string())
+    } else {
+        Ok(read_ciphertext_frame(buf, &mut pos)?)
+    };
+    if pos != buf.len() {
+        return Err(CkksError::WireDecode(
+            "trailing bytes after response".into(),
+        ));
+    }
+    Ok(WireResponse {
+        id,
+        result,
+        waited_us,
+        batch_size,
+        trigger,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wd_ckks::{CkksContext, ParamSet};
+
+    fn ct_pair() -> (Ciphertext, Ciphertext) {
+        let params = ParamSet::set_a()
+            .with_degree(1 << 6)
+            .build()
+            .expect("params");
+        let ctx = CkksContext::with_seed(params, 3).expect("ctx");
+        let kp = ctx.keygen();
+        (
+            ctx.encrypt_values(&[1.0, 2.0], &kp.public).expect("a"),
+            ctx.encrypt_values(&[-3.0, 0.5], &kp.public).expect("b"),
+        )
+    }
+
+    #[test]
+    fn every_op_kind_round_trips() {
+        let (a, b) = ct_pair();
+        let ops = vec![
+            ServeOp::HAdd(a.clone(), b.clone()),
+            ServeOp::HSub(a.clone(), b.clone()),
+            ServeOp::HMult(a.clone(), b.clone()),
+            ServeOp::HRotate(a.clone(), -5),
+            ServeOp::Rescale(a.clone()),
+        ];
+        for (i, op) in ops.into_iter().enumerate() {
+            let req = Request::bulk(op).with_deadline(Duration::from_micros(777));
+            let bytes = encode_request(i as u64, &req);
+            let (id, back) = decode_request(&bytes).expect("decode");
+            assert_eq!(id, i as u64);
+            assert_eq!(back.class, Class::Bulk);
+            assert_eq!(back.deadline, Some(Duration::from_micros(777)));
+            assert_eq!(back.op.kind(), req.op.kind());
+            // Operand payloads survive: re-encoding is byte-identical.
+            assert_eq!(encode_request(i as u64, &back), bytes);
+        }
+    }
+
+    #[test]
+    fn negative_rotation_amounts_survive() {
+        let (a, _) = ct_pair();
+        let req = Request::new(ServeOp::HRotate(a, -7));
+        let (_, back) = decode_request(&encode_request(0, &req)).expect("decode");
+        match back.op {
+            ServeOp::HRotate(_, r) => assert_eq!(r, -7),
+            op => panic!("wrong op {:?}", op.kind()),
+        }
+    }
+
+    #[test]
+    fn ok_and_err_responses_round_trip() {
+        let (a, _) = ct_pair();
+        let ok = WireResponse {
+            id: 42,
+            result: Ok(a),
+            waited_us: 1234,
+            batch_size: 8,
+            trigger: Some(FlushTrigger::Size),
+        };
+        assert_eq!(decode_response(&encode_response(&ok)).expect("ok"), ok);
+        let err = WireResponse {
+            id: 43,
+            result: Err("deadline exceeded after 99 us in queue".into()),
+            waited_us: 99,
+            batch_size: 0,
+            trigger: None,
+        };
+        assert_eq!(decode_response(&encode_response(&err)).expect("err"), err);
+    }
+
+    #[test]
+    fn bad_magic_version_kind_and_truncation_are_typed_errors() {
+        let (a, _) = ct_pair();
+        let good = encode_request(1, &Request::new(ServeOp::Rescale(a)));
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            decode_request(&bad),
+            Err(CkksError::WireDecode(_))
+        ));
+        let mut ver = good.clone();
+        ver[4] = 9;
+        assert!(matches!(
+            decode_request(&ver),
+            Err(CkksError::WireDecode(_))
+        ));
+        // A response frame fed to the request decoder is a kind error.
+        assert!(decode_response(&good).is_err());
+        for cut in [0usize, 3, 7, good.len() - 1] {
+            assert!(
+                matches!(decode_request(&good[..cut]), Err(CkksError::WireDecode(_))),
+                "cut at {cut}"
+            );
+        }
+        // Trailing garbage is rejected too.
+        let mut long = good;
+        long.push(0);
+        assert!(matches!(
+            decode_request(&long),
+            Err(CkksError::WireDecode(_))
+        ));
+    }
+}

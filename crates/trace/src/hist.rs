@@ -1,0 +1,269 @@
+//! Log-bucketed latency histograms with percentile export.
+//!
+//! The serving layer (`wd-serve`) needs tail latencies — p50/p95/p99 is the
+//! lingua franca of inference-server evaluation, and the paper's "serve
+//! heavy traffic from millions of users" framing is a tail-latency claim as
+//! much as a throughput one. A full sample buffer would be unbounded, so
+//! [`Histogram`] uses HDR-style log buckets: values below
+//! [`Histogram::LINEAR_MAX`] are counted exactly, larger values land in one
+//! of 16 sub-buckets per power of two, bounding the relative quantile error
+//! at `1/16` (~6%) while keeping the whole structure a fixed ~8 KiB.
+//!
+//! Recording is O(1) with no allocation after construction; merging two
+//! histograms is bucket-wise addition, so per-thread histograms can be
+//! combined without locks.
+
+/// Sub-buckets per power-of-two range (4 mantissa bits).
+const SUB: u64 = 16;
+/// Values below this are counted in exact unit buckets.
+const LINEAR: u64 = 16;
+/// log2(LINEAR): the first exponent that uses sub-bucketed ranges.
+const LINEAR_EXP: u32 = 4;
+/// Total bucket count: LINEAR exact buckets + SUB per exponent 4..=63.
+const BUCKETS: usize = (LINEAR + (64 - LINEAR_EXP as u64) * SUB) as usize;
+
+/// A fixed-size log-bucketed histogram of `u64` samples (microseconds, batch
+/// sizes, queue depths — any non-negative magnitude).
+///
+/// # Examples
+///
+/// ```
+/// use wd_trace::Histogram;
+/// let mut h = Histogram::new();
+/// for v in 1..=100u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 100);
+/// let s = h.summary();
+/// assert!(s.p50 >= 50 && s.p50 <= 54, "p50 = {}", s.p50);
+/// assert_eq!(s.max, 100);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    max: u64,
+    sum: u64,
+}
+
+/// The percentile digest of one [`Histogram`] (all values are upper-bound
+/// estimates with ≤ ~6% relative error; exact below 16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistSummary {
+    /// Recorded samples.
+    pub count: u64,
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest recorded sample (exact).
+    pub max: u64,
+}
+
+impl Histogram {
+    /// Largest value counted exactly (one bucket per unit below this).
+    pub const LINEAR_MAX: u64 = LINEAR - 1;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    fn index(v: u64) -> usize {
+        if v < LINEAR {
+            return v as usize;
+        }
+        let exp = 63 - v.leading_zeros(); // >= LINEAR_EXP
+        let sub = (v >> (exp - LINEAR_EXP)) & (SUB - 1);
+        (LINEAR + u64::from(exp - LINEAR_EXP) * SUB + sub) as usize
+    }
+
+    /// The largest value a bucket can hold — what quantiles report, so the
+    /// estimate errs toward *over*stating a latency, never understating it.
+    fn upper_bound(idx: usize) -> u64 {
+        let idx = idx as u64;
+        if idx < LINEAR {
+            return idx;
+        }
+        let exp = (idx - LINEAR) / SUB + u64::from(LINEAR_EXP);
+        let sub = (idx - LINEAR) % SUB;
+        // Range [ (16+sub) << (exp-4), (16+sub+1) << (exp-4) ); the very
+        // top bucket's exclusive bound is 2^64, so compute wide and saturate.
+        let bound = (u128::from(LINEAR + sub + 1) << (exp - u64::from(LINEAR_EXP))) - 1;
+        u64::try_from(bound).unwrap_or(u64::MAX)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::index(v)] += 1;
+        self.count += 1;
+        self.max = self.max.max(v);
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Adds every sample of `other` into `self` (bucket-wise; exact).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Largest recorded sample (exact, not bucketed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`) as an upper-bound
+    /// estimate; 0 when the histogram is empty. The reported value is
+    /// capped at [`Histogram::max`], which keeps the top quantiles exact
+    /// when a single sample dominates.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The `(count, p50, p95, p99, max)` digest.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count,
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max,
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..LINEAR {
+            h.record(v);
+        }
+        assert_eq!(h.count(), LINEAR);
+        assert_eq!(h.quantile(0.0), 0);
+        // Rank-1 semantics: the q-quantile is the smallest value with
+        // cumulative count >= ceil(q * n).
+        assert_eq!(h.quantile(0.5), 7);
+        assert_eq!(h.quantile(1.0), 15);
+        assert_eq!(h.max(), 15);
+    }
+
+    #[test]
+    fn quantile_relative_error_is_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.50, 50_000u64), (0.95, 95_000), (0.99, 99_000)] {
+            let got = h.quantile(q);
+            let rel = (got as f64 - exact as f64).abs() / exact as f64;
+            assert!(rel <= 1.0 / 16.0, "q={q}: got {got}, exact {exact}");
+            assert!(got >= exact, "upper-bound estimate must not understate");
+        }
+    }
+
+    #[test]
+    fn max_is_exact_and_caps_quantiles() {
+        let mut h = Histogram::new();
+        h.record(1_000_003);
+        assert_eq!(h.max(), 1_000_003);
+        assert_eq!(h.quantile(0.99), 1_000_003, "single sample: p99 == max");
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [3u64, 17, 900, 4096, 70_000] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [1u64, 255, 1 << 20] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!((s.count, s.p50, s.p95, s.p99, s.max), (0, 0, 0, 0, 0));
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert!((h.mean() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn index_and_bound_are_consistent_across_the_domain() {
+        // Every value lands in a bucket whose range contains it.
+        for shift in 0..63u32 {
+            for off in [0u64, 1, 3] {
+                let v = (1u64 << shift) + off;
+                let i = Histogram::index(v);
+                assert!(i < BUCKETS, "v={v} index {i}");
+                assert!(Histogram::upper_bound(i) >= v, "v={v}");
+                if i > 0 {
+                    assert!(Histogram::upper_bound(i - 1) < v, "v={v}");
+                }
+            }
+        }
+        assert!(Histogram::index(u64::MAX) < BUCKETS);
+    }
+}

@@ -40,7 +40,10 @@
 #![warn(missing_docs)]
 
 mod chrome;
+mod hist;
 mod report;
+
+pub use hist::{HistSummary, Histogram};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
@@ -194,12 +197,23 @@ const MAX_VIRTUAL: usize = 1 << 16;
 const MAX_WARNINGS: usize = 256;
 const LEVEL_UNINIT: u8 = 255;
 
+/// Last/peak pair for a sampled quantity (queue depth, in-flight batches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GaugeStat {
+    /// Most recent sample.
+    pub last: u64,
+    /// Largest sample seen.
+    pub max: u64,
+}
+
 #[derive(Default)]
 struct Buffers {
     spans: Vec<SpanRecord>,
     aggs: BTreeMap<(&'static str, String), SpanAgg>,
     events: Vec<EventRecord>,
     counters: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Histogram>,
+    gauges: BTreeMap<String, GaugeStat>,
     virtual_spans: Vec<VirtualSpan>,
     warnings: Vec<Warning>,
     dropped: u64,
@@ -226,6 +240,8 @@ impl Tracer {
                 aggs: BTreeMap::new(),
                 events: Vec::new(),
                 counters: BTreeMap::new(),
+                hists: BTreeMap::new(),
+                gauges: BTreeMap::new(),
                 virtual_spans: Vec::new(),
                 warnings: Vec::new(),
                 dropped: 0,
@@ -359,6 +375,28 @@ impl Tracer {
         *b.counters.entry(name.to_string()).or_insert(0) += delta;
     }
 
+    /// Records `value` into the named [`Histogram`] (at `summary` and
+    /// `full`) — the percentile channel for latencies and batch sizes.
+    pub fn observe(&self, name: &str, value: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut b = self.lock();
+        b.hists.entry(name.to_string()).or_default().record(value);
+    }
+
+    /// Samples the named gauge (at `summary` and `full`), keeping the last
+    /// and peak values — depth-style quantities that go up *and* down.
+    pub fn gauge(&self, name: &str, value: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut b = self.lock();
+        let g = b.gauges.entry(name.to_string()).or_default();
+        g.last = value;
+        g.max = g.max.max(value);
+    }
+
     /// Records a span on a virtual (modeled) timeline (at `full` only).
     pub fn virtual_span(&self, track: &str, name: &str, start_us: f64, end_us: f64) {
         if self.level() != TraceLevel::Full {
@@ -409,6 +447,12 @@ impl Tracer {
                 .collect(),
             events: b.events.clone(),
             counters: b.counters.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            hists: b
+                .hists
+                .iter()
+                .map(|(k, h)| (k.clone(), h.clone()))
+                .collect(),
+            gauges: b.gauges.iter().map(|(k, g)| (k.clone(), *g)).collect(),
             virtual_spans: b.virtual_spans.clone(),
             warnings: b.warnings.clone(),
             dropped: b.dropped,
@@ -501,6 +545,10 @@ pub struct TraceData {
     pub events: Vec<EventRecord>,
     /// Counters, sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// Histograms ([`Tracer::observe`]), sorted by name.
+    pub hists: Vec<(String, Histogram)>,
+    /// Gauges ([`Tracer::gauge`]), sorted by name.
+    pub gauges: Vec<(String, GaugeStat)>,
     /// Virtual (modeled-GPU) spans (level `full`).
     pub virtual_spans: Vec<VirtualSpan>,
     /// Captured warnings (always recorded).
@@ -524,6 +572,16 @@ impl TraceData {
             .iter()
             .find(|r| r.cat == cat && r.name == name)
             .map(|r| r.agg)
+    }
+
+    /// The histogram recorded under `name`, if any samples were observed.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.iter().find(|(k, _)| k == name).map(|(_, h)| h)
+    }
+
+    /// The gauge recorded under `name`, if it was ever sampled.
+    pub fn gauge(&self, name: &str) -> Option<GaugeStat> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, g)| *g)
     }
 
     /// Events under `(cat, name)`, in record order.
@@ -574,6 +632,16 @@ pub fn event(cat: &'static str, name: &str, fields: &[(&str, String)]) {
 /// Bumps a counter on the global tracer (see [`Tracer::counter`]).
 pub fn counter(name: &str, delta: u64) {
     GLOBAL.counter(name, delta);
+}
+
+/// Records a histogram sample on the global tracer (see [`Tracer::observe`]).
+pub fn observe(name: &str, value: u64) {
+    GLOBAL.observe(name, value);
+}
+
+/// Samples a gauge on the global tracer (see [`Tracer::gauge`]).
+pub fn gauge(name: &str, value: u64) {
+    GLOBAL.gauge(name, value);
 }
 
 /// Records a virtual span on the global tracer (see [`Tracer::virtual_span`]).
@@ -674,6 +742,30 @@ mod tests {
         assert_eq!(d.virtual_spans.len(), 1);
         assert_eq!(d.virtual_spans[0].end_us, 4.0);
         assert_eq!(d.span_agg("batch", "execute").unwrap().count, 1);
+    }
+
+    #[test]
+    fn histograms_and_gauges_record_at_summary_and_not_off() {
+        let t = tracer(TraceLevel::Summary);
+        for v in [100u64, 200, 300, 10_000] {
+            t.observe("serve.latency_us", v);
+        }
+        t.gauge("serve.queue_depth", 5);
+        t.gauge("serve.queue_depth", 12);
+        t.gauge("serve.queue_depth", 3);
+        let d = t.snapshot();
+        let h = d.hist("serve.latency_us").expect("histogram recorded");
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), 10_000);
+        let g = d.gauge("serve.queue_depth").expect("gauge sampled");
+        assert_eq!((g.last, g.max), (3, 12));
+        assert!(d.hist("missing").is_none() && d.gauge("missing").is_none());
+
+        let off = tracer(TraceLevel::Off);
+        off.observe("h", 1);
+        off.gauge("g", 1);
+        let d = off.snapshot();
+        assert!(d.hists.is_empty() && d.gauges.is_empty());
     }
 
     #[test]

@@ -23,6 +23,25 @@ impl TraceData {
             }
         }
 
+        if !self.hists.is_empty() {
+            let _ = writeln!(out, "-- histograms --");
+            for (name, h) in &self.hists {
+                let s = h.summary();
+                let _ = writeln!(
+                    out,
+                    "hist {name} count={} p50={} p95={} p99={} max={}",
+                    s.count, s.p50, s.p95, s.p99, s.max
+                );
+            }
+        }
+
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "-- gauges --");
+            for (name, g) in &self.gauges {
+                let _ = writeln!(out, "gauge {name} last={} max={}", g.last, g.max);
+            }
+        }
+
         if !self.span_aggs.is_empty() {
             let _ = writeln!(out, "-- spans --");
             let _ = writeln!(
@@ -101,6 +120,26 @@ mod tests {
         assert!(rep.contains("ckks.hmult"));
         assert!(rep.contains("event fault.retry x2"));
         assert!(rep.contains("warning [sched.budget] malformed WD_THREADS"));
+    }
+
+    #[test]
+    fn summary_report_exports_hist_and_gauge_lines() {
+        let t = Tracer::new();
+        t.set_level(TraceLevel::Summary);
+        for v in [100u64, 200, 400] {
+            t.observe("serve.latency_us", v);
+        }
+        t.gauge("serve.queue_depth", 9);
+        let rep = t.snapshot().summary_report();
+        assert!(rep.contains("-- histograms --"), "{rep}");
+        assert!(
+            rep.contains("hist serve.latency_us count=3 p50=") && rep.contains("max=400"),
+            "{rep}"
+        );
+        assert!(
+            rep.contains("gauge serve.queue_depth last=9 max=9"),
+            "{rep}"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 # Usage: scripts/check_trace_smoke.sh [out.json]
 #   The trace JSON lands at $1 (default /tmp/wd_trace_smoke.json) so CI can
 #   archive it as an artifact. Exits nonzero on any missing signal.
-set -u
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
@@ -47,8 +47,10 @@ need "^ckks.hmult " "ckks.hmult span aggregate"
 need "^ckks.keyswitch " "ckks.keyswitch span aggregate"
 
 # The modeled kernel count must match the plan (13 kernels for the SET-B
-# HMULT PE plan: HMULT-tensor + 11 keyswitch stages + HMULT-add).
-launches="$(sed -n 's/^counter sim.kernel_launches = //p' "$log" | head -1)"
+# HMULT PE plan: HMULT-tensor + 11 keyswitch stages + HMULT-add). awk
+# takes the first match and exits on its own — no `head` in a pipeline to
+# trip pipefail on SIGPIPE.
+launches="$(awk -F' = ' '/^counter sim\.kernel_launches = /{print $2; exit}' "$log")"
 if [ "$launches" = "13" ]; then
     echo "OK       kernel launch counter = 13 (SET-B HMULT PE plan)"
 else

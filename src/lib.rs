@@ -10,6 +10,8 @@
 //!   real CUDA hardware; see DESIGN.md §2).
 //! - [`ckks`]: the RNS-CKKS scheme with hybrid keyswitching.
 //! - [`core`]: the WarpDrive framework — PE kernels, planners, auto-configuration.
+//! - [`serve`]: the dynamic-batching FHE request server (admission control,
+//!   deadlines, backpressure).
 //! - [`baselines`]: TensorFHE / 100x / Liberate / Cheddar / CPU baselines.
 //! - [`workloads`]: bootstrapping, HELR, ResNet-20 and AES transciphering.
 //!
@@ -46,6 +48,7 @@ pub mod prelude {
     pub use wd_ckks::{Ciphertext, CkksContext, KeyPair, ParamSet, Plaintext};
     pub use wd_gpu_sim::GpuSpec;
     pub use wd_polyring::{NttEngine, NttVariant};
+    pub use wd_serve::{Request, ServeConfig, ServeKeys, ServeOp, Server};
 }
 
 pub use warpdrive_core as core;
@@ -54,5 +57,6 @@ pub use wd_ckks as ckks;
 pub use wd_gpu_sim as gpusim;
 pub use wd_modmath as modmath;
 pub use wd_polyring as polyring;
+pub use wd_serve as serve;
 pub use wd_trace as trace;
 pub use wd_workloads as workloads;
