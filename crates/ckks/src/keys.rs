@@ -41,6 +41,17 @@ impl KeySwitchKey {
     pub fn dnum(&self) -> usize {
         self.digits.len()
     }
+
+    /// Compact footprint of this key in bytes, at the paper's 32-bit wire
+    /// word size: `dnum × 2 polys × limbs × N × 4`. Keyswitch keys dominate
+    /// the working set of GPU FHE serving (Cheddar's key-memory analysis),
+    /// so this is the number the per-tenant key-cache budget is charged in.
+    pub fn approx_bytes(&self) -> usize {
+        self.digits
+            .iter()
+            .map(|d| (d.b.limb_count() + d.a.limb_count()) * d.b.degree() * 4)
+            .sum()
+    }
 }
 
 /// Rotation (and conjugation) keys, indexed by Galois element.
@@ -80,6 +91,12 @@ impl RotationKeys {
     /// Whether no keys are held.
     pub fn is_empty(&self) -> bool {
         self.keys.is_empty()
+    }
+
+    /// Compact footprint of the whole rotation-key set in bytes (the sum of
+    /// [`KeySwitchKey::approx_bytes`] over every Galois element).
+    pub fn approx_bytes(&self) -> usize {
+        self.keys.values().map(KeySwitchKey::approx_bytes).sum()
     }
 }
 

@@ -316,6 +316,53 @@ pub fn read_ciphertext_frame(buf: &[u8], pos: &mut usize) -> Result<Ciphertext, 
     Ok(ct)
 }
 
+/// Longest label [`write_label_frame`] accepts, in bytes.
+pub const MAX_LABEL_BYTES: usize = 64;
+
+/// Writes a short length-prefixed UTF-8 label (one `u8` length, then the
+/// bytes). Labels name routing metadata — tenant ids in serve frames — so
+/// they are capped at [`MAX_LABEL_BYTES`] bytes.
+///
+/// # Errors
+///
+/// [`CkksError::WireDecode`] when the label is longer than the cap (the
+/// frame would misdeclare its length).
+pub fn write_label_frame(out: &mut Vec<u8>, label: &str) -> Result<(), CkksError> {
+    let bytes = label.as_bytes();
+    if bytes.len() > MAX_LABEL_BYTES {
+        return Err(CkksError::WireDecode(format!(
+            "label of {} bytes exceeds the {MAX_LABEL_BYTES}-byte cap",
+            bytes.len()
+        )));
+    }
+    out.push(bytes.len() as u8);
+    out.extend_from_slice(bytes);
+    Ok(())
+}
+
+/// Reads a label written by [`write_label_frame`], advancing `*pos` past it
+/// on success (`*pos` is untouched on error).
+///
+/// # Errors
+///
+/// [`CkksError::WireDecode`] on truncation, an over-cap declared length, or
+/// non-UTF-8 bytes.
+pub fn read_label_frame(buf: &[u8], pos: &mut usize) -> Result<String, CkksError> {
+    let mut r = Reader { buf, pos: *pos };
+    let len = r.u8()? as usize;
+    if len > MAX_LABEL_BYTES {
+        return Err(CkksError::WireDecode(format!(
+            "label length {len} exceeds the {MAX_LABEL_BYTES}-byte cap"
+        )));
+    }
+    let bytes = r.take(len)?;
+    let label = std::str::from_utf8(bytes)
+        .map_err(|_| CkksError::WireDecode("label is not UTF-8".into()))?
+        .to_string();
+    *pos = r.pos;
+    Ok(label)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -535,6 +582,35 @@ mod tests {
         let sum = crate::ops::hadd(&a2, &b2)?;
         let dec = ctx.decrypt_values(&sum, &kp.secret)?;
         assert!((dec[0] - 7.0).abs() < 1e-2 && (dec[1] - 2.0).abs() < 1e-2);
+        Ok(())
+    }
+
+    #[test]
+    fn label_frames_round_trip_and_reject_abuse() -> Result<(), CkksError> {
+        for label in ["", "alice", "tenant-0_9", "ünïcode"] {
+            let mut buf = vec![0xAA]; // a leading byte the cursor must skip
+            write_label_frame(&mut buf, label)?;
+            buf.push(0xBB); // and a trailing byte it must not consume
+            let mut pos = 1;
+            assert_eq!(read_label_frame(&buf, &mut pos)?, label);
+            assert_eq!(pos, buf.len() - 1, "cursor stops at the frame end");
+        }
+        // Over-cap labels are refused on both sides.
+        let long = "x".repeat(MAX_LABEL_BYTES + 1);
+        assert!(matches!(
+            write_label_frame(&mut Vec::new(), &long),
+            Err(CkksError::WireDecode(_))
+        ));
+        let mut bad = vec![(MAX_LABEL_BYTES + 1) as u8];
+        bad.extend_from_slice(long.as_bytes());
+        let mut pos = 0;
+        assert!(read_label_frame(&bad, &mut pos).is_err());
+        assert_eq!(pos, 0, "cursor untouched on error");
+        // Truncation and non-UTF-8 are typed errors.
+        let mut pos = 0;
+        assert!(read_label_frame(&[5, b'a'], &mut pos).is_err());
+        let mut pos = 0;
+        assert!(read_label_frame(&[2, 0xFF, 0xFE], &mut pos).is_err());
         Ok(())
     }
 }

@@ -138,6 +138,21 @@ pub enum WdError {
         /// How long the request waited in the queue, microseconds.
         waited_us: u64,
     },
+    /// A tenant's per-tenant admission quota is exhausted: the tenant
+    /// already has `in_flight` requests admitted and not yet answered.
+    /// Like [`WdError::QueueFull`] this is a *client-side* backpressure
+    /// signal — deliberately not transient, so no recovery envelope
+    /// blind-retries into an exhausted quota.
+    TenantQuotaExceeded {
+        /// The tenant whose quota is exhausted.
+        tenant: String,
+        /// Admitted-but-unanswered requests for this tenant.
+        in_flight: usize,
+        /// The configured per-tenant quota.
+        quota: usize,
+    },
+    /// A request named a tenant the serving registry does not know.
+    UnknownTenant(String),
 }
 
 impl WdError {
@@ -189,6 +204,17 @@ impl core::fmt::Display for WdError {
             WdError::DeadlineExceeded { waited_us } => {
                 write!(f, "deadline exceeded after {waited_us} us in queue")
             }
+            WdError::TenantQuotaExceeded {
+                tenant,
+                in_flight,
+                quota,
+            } => {
+                write!(
+                    f,
+                    "tenant {tenant:?} quota exceeded: {in_flight} in flight of quota {quota}"
+                )
+            }
+            WdError::UnknownTenant(t) => write!(f, "unknown tenant {t:?}"),
         }
     }
 }
@@ -669,6 +695,13 @@ mod tests {
         }
         .is_transient());
         assert!(!WdError::DeadlineExceeded { waited_us: 5000 }.is_transient());
+        assert!(!WdError::TenantQuotaExceeded {
+            tenant: "alice".into(),
+            in_flight: 4,
+            quota: 4
+        }
+        .is_transient());
+        assert!(!WdError::UnknownTenant("mallory".into()).is_transient());
     }
 
     #[test]
@@ -715,5 +748,18 @@ mod tests {
         );
         let late = WdError::DeadlineExceeded { waited_us: 1234 };
         assert_eq!(late.to_string(), "deadline exceeded after 1234 us in queue");
+        let quota = WdError::TenantQuotaExceeded {
+            tenant: "alice".into(),
+            in_flight: 9,
+            quota: 8,
+        };
+        assert_eq!(
+            quota.to_string(),
+            "tenant \"alice\" quota exceeded: 9 in flight of quota 8"
+        );
+        assert_eq!(
+            WdError::UnknownTenant("mallory".into()).to_string(),
+            "unknown tenant \"mallory\""
+        );
     }
 }

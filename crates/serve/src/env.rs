@@ -1,0 +1,67 @@
+//! One warn-and-default parser for every `WD_SERVE_*` knob.
+//!
+//! The serving layer's configuration contract is uniform: an unset variable
+//! means the documented default, a well-formed value is used as-is, and a
+//! malformed value **warns through `wd-trace` and keeps the default** —
+//! never a panic, never a silent guess. Before this module the pattern was
+//! re-implemented per knob in `ServeConfig::from_env`; the net and tenant
+//! knobs would have copied it a fifth time. All of them now route through
+//! [`parse_or`].
+
+use std::fmt::Display;
+use std::str::FromStr;
+
+/// Warning site every malformed serve knob reports under.
+pub(crate) const WARN_SITE: &str = "serve.config";
+
+/// Reads `name` from the environment. Unset → `default`. A value that
+/// parses and satisfies `accept` → that value. Anything else → a
+/// [`wd_trace::warn`] at [`WARN_SITE`] naming the variable, the rejected
+/// value and the kept default.
+pub(crate) fn parse_or<T>(name: &str, default: T, accept: impl Fn(&T) -> bool) -> T
+where
+    T: FromStr + Display,
+{
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(raw) => match raw.trim().parse::<T>() {
+            Ok(v) if accept(&v) => v,
+            _ => {
+                wd_trace::warn(
+                    WARN_SITE,
+                    &format!("malformed {name}={raw:?}; keeping default {default}"),
+                );
+                default
+            }
+        },
+    }
+}
+
+/// [`parse_or`] with a lower bound — the common "integer knob ≥ min" case.
+pub(crate) fn parse_min<T>(name: &str, default: T, min: T) -> T
+where
+    T: FromStr + Display + PartialOrd + Copy,
+{
+    parse_or(name, default, |v| *v >= min)
+}
+
+/// Whether `name` is set at all (for knobs whose *presence* changes
+/// behavior, like `WD_SERVE_AGE_US`).
+pub(crate) fn is_set(name: &str) -> bool {
+    std::env::var(name).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Pure-function checks only; the env-mutating contract test lives in
+    // tests/env_config.rs (its own process, one test fn).
+    #[test]
+    fn unset_returns_default_without_warning() {
+        wd_trace::take_warnings();
+        assert_eq!(parse_min("WD_SERVE_SURELY_UNSET_", 7u64, 1), 7);
+        assert!(!is_set("WD_SERVE_SURELY_UNSET_"));
+        assert!(wd_trace::take_warnings().is_empty());
+    }
+}

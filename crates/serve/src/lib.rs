@@ -32,6 +32,16 @@
 //! - **Graceful drain**: [`server::Server::shutdown`] flushes everything
 //!   still queued (in `max_batch` chunks) before the threads exit; every
 //!   accepted request gets exactly one response, always.
+//! - **Multi-tenancy**: a [`TenantRegistry`] maps tenant ids to their own
+//!   `CkksContext` and key material behind a byte-budgeted LRU resident-key
+//!   cache (keyswitch keys dominate the accelerator's working set, so key
+//!   residency is the real contended resource); per-tenant admission quotas
+//!   layer on top of priority classes, and every counter/histogram gains a
+//!   `serve.tenant.<id>.*` twin.
+//! - **A TCP front-end**: [`NetServer`] is a dependency-free `std::net`
+//!   listener (thread-per-connection, connection cap, io timeouts) that
+//!   speaks length-prefixed [`wire`] frames into [`Server::submit_as`],
+//!   with a lossless socket-then-queue drain for SIGTERM-style shutdown.
 //!
 //! [`ParScheduler`]: warpdrive_core::ParScheduler
 //!
@@ -65,14 +75,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod env;
+pub mod net;
 pub mod request;
 pub mod server;
+pub mod tenant;
 pub mod wire;
 
+pub use net::{NetClient, NetConfig, NetServer, NetStats, ADDR_ENV, CONNS_ENV, NET_TIMEOUT_ENV};
 pub use request::{Request, Response, ServeOp, Ticket};
 pub use server::{
     ServeConfig, ServeKeys, ServeStats, Server, AGE_ENV, BATCH_ENV, LINGER_ENV, QUEUE_ENV,
     WORKERS_ENV,
+};
+pub use tenant::{
+    KeyCacheStats, TenantConfig, TenantRegistry, TenantStats, DEFAULT_TENANT, KEY_CACHE_ENV,
+    QUOTA_ENV,
 };
 // The priority classes and flush triggers are defined by the pure decision
 // core in `warpdrive-core`; re-exported so serving code needs one import.

@@ -1,0 +1,525 @@
+//! The TCP front-end: a dependency-free `std::net` listener speaking
+//! length-prefixed [`crate::wire`] frames into [`Server::submit_as`].
+//!
+//! FHE serving is inherently remote — the whole point is that an untrusted
+//! server computes on ciphertexts it cannot read — and this module is the
+//! socket the wire codec was built for. Deliberately boring engineering:
+//!
+//! - **Transport framing**: each wire frame crosses the socket as
+//!   `u32 LE length | frame bytes`. A declared length above
+//!   [`NetConfig::max_frame_bytes`] is refused with an error response and
+//!   the connection is closed (the stream can no longer be trusted to be
+//!   aligned). Short reads and split frames are handled by plain
+//!   read-until-complete loops; a peer that stalls **mid-frame** past the
+//!   io timeout is dropped (slow-loris defense), while a peer idle
+//!   **between** frames is kept — idle ticks double as the shutdown poll.
+//! - **Thread-per-connection** with a hard cap ([`NetConfig::max_conns`]):
+//!   a connection over the cap receives one error frame and is closed —
+//!   admission control at the socket layer, mirroring `QueueFull` at the
+//!   queue layer.
+//! - **Strict request→response order per connection**: the handler answers
+//!   each frame before reading the next, so a client can never deadlock on
+//!   an unread response. Concurrency (and batch formation) comes from many
+//!   connections, which is how real multi-tenant traffic arrives anyway.
+//! - **Clean drain**: [`NetServer::shutdown`] stops the accept loop, lets
+//!   every in-flight request finish (handlers exit at their next idle
+//!   tick), and joins every thread. Composed with [`Server::drain`] this
+//!   gives the SIGTERM contract: zero accepted requests lost.
+//!
+//! Responses carry the **client's** wire id (not the server's internal
+//! sequence number), so clients can correlate however they number frames.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use wd_fault::WdError;
+
+use crate::env;
+use crate::request::Request;
+use crate::server::Server;
+use crate::tenant::DEFAULT_TENANT;
+use crate::wire::{self, WireResponse};
+
+/// Listen address (`host:port`; default `127.0.0.1:0` = loopback, OS-picked
+/// port — read it back from [`NetServer::local_addr`]).
+pub const ADDR_ENV: &str = "WD_SERVE_ADDR";
+/// Maximum concurrent connections (`usize` ≥ 1).
+pub const CONNS_ENV: &str = "WD_SERVE_CONNS";
+/// Per-direction socket io timeout in milliseconds (`u64` ≥ 10). Also the
+/// granularity at which idle handlers notice shutdown.
+pub const NET_TIMEOUT_ENV: &str = "WD_SERVE_NET_TIMEOUT_MS";
+
+/// Default cap on one transport frame (16 MiB — a SET-E ciphertext frame
+/// is ~2 MiB, so this clears every legitimate request with margin).
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Network front-end configuration. [`NetConfig::from_env`] reads the
+/// `WD_SERVE_*` socket knobs with the same warn-and-default contract as
+/// [`crate::ServeConfig::from_env`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Address to bind (`host:port`).
+    pub addr: String,
+    /// Hard cap on concurrent connections.
+    pub max_conns: usize,
+    /// Socket read/write timeout; also the shutdown-poll granularity.
+    pub io_timeout: Duration,
+    /// Hard cap on one transport frame's declared length.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            max_conns: 32,
+            io_timeout: Duration::from_millis(500),
+            max_frame_bytes: MAX_FRAME_BYTES,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Reads [`ADDR_ENV`], [`CONNS_ENV`] and [`NET_TIMEOUT_ENV`]; malformed
+    /// values warn and keep the defaults. (A syntactically present but
+    /// unbindable address surfaces as [`NetServer::start`]'s io error, not
+    /// here.)
+    pub fn from_env() -> Self {
+        let d = Self::default();
+        Self {
+            addr: std::env::var(ADDR_ENV).unwrap_or(d.addr),
+            max_conns: env::parse_min(CONNS_ENV, d.max_conns, 1),
+            io_timeout: Duration::from_millis(env::parse_min(
+                NET_TIMEOUT_ENV,
+                d.io_timeout.as_millis() as u64,
+                10,
+            )),
+            max_frame_bytes: d.max_frame_bytes,
+        }
+    }
+}
+
+/// Lifetime socket counters, snapshot by [`NetServer::stats`] and returned
+/// by [`NetServer::shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NetStats {
+    /// Connections accepted and handled.
+    pub accepted: u64,
+    /// Connections refused at the cap.
+    pub refused: u64,
+    /// Transport frames successfully read.
+    pub frames: u64,
+    /// Frames that failed to decode (or declared an over-cap length).
+    pub decode_errors: u64,
+}
+
+#[derive(Debug, Default)]
+struct NetCounters {
+    accepted: AtomicU64,
+    refused: AtomicU64,
+    frames: AtomicU64,
+    decode_errors: AtomicU64,
+}
+
+impl NetCounters {
+    fn snapshot(&self) -> NetStats {
+        NetStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
+            frames: self.frames.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The TCP front-end: an accept loop plus one handler thread per live
+/// connection, all speaking into a shared [`Server`].
+#[derive(Debug)]
+pub struct NetServer {
+    local: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    counters: Arc<NetCounters>,
+}
+
+impl NetServer {
+    /// Binds `config.addr` and starts accepting connections into `server`.
+    ///
+    /// # Errors
+    ///
+    /// The bind error, verbatim, when the address is malformed or taken.
+    pub fn start(server: Arc<Server>, config: NetConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let counters = Arc::new(NetCounters::default());
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            let counters = Arc::clone(&counters);
+            std::thread::Builder::new()
+                .name("wd-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &server, &config, &stop, &conns, &counters))
+                .expect("spawn wd-serve accept loop")
+        };
+        wd_trace::event("serve", "net.listen", &[("addr", local.to_string())]);
+        Ok(Self {
+            local,
+            stop,
+            accept: Some(accept),
+            conns,
+            counters,
+        })
+    }
+
+    /// The bound address (resolves the OS-picked port of `:0` binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+
+    /// A snapshot of the socket counters.
+    pub fn stats(&self) -> NetStats {
+        self.counters.snapshot()
+    }
+
+    /// Stops accepting, lets in-flight requests finish, joins every
+    /// handler, and returns the final socket counters. The underlying
+    /// [`Server`] is **not** drained — compose with [`Server::drain`] for
+    /// the full SIGTERM-style sequence (socket first, then queue).
+    pub fn shutdown(mut self) -> NetStats {
+        self.stop_threads();
+        self.counters.snapshot()
+    }
+
+    fn stop_threads(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.conns.lock().expect("net conns poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop_threads();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    server: &Arc<Server>,
+    config: &NetConfig,
+    stop: &Arc<AtomicBool>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    counters: &Arc<NetCounters>,
+) {
+    let active = Arc::new(AtomicUsize::new(0));
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            Ok((stream, peer)) => {
+                // The accepted socket must block (the listener does not).
+                let _ = stream.set_nonblocking(false);
+                if active.load(Ordering::SeqCst) >= config.max_conns {
+                    counters.refused.fetch_add(1, Ordering::Relaxed);
+                    wd_trace::counter("serve.net.refused", 1);
+                    refuse_connection(stream, config);
+                    continue;
+                }
+                active.fetch_add(1, Ordering::SeqCst);
+                counters.accepted.fetch_add(1, Ordering::Relaxed);
+                wd_trace::counter("serve.net.accepted", 1);
+                let server = Arc::clone(server);
+                let config = config.clone();
+                let stop = Arc::clone(stop);
+                let counters = Arc::clone(counters);
+                let active = Arc::clone(&active);
+                let handle = std::thread::Builder::new()
+                    .name(format!("wd-serve-conn-{peer}"))
+                    .spawn(move || {
+                        handle_connection(stream, &server, &config, &stop, &counters);
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    })
+                    .expect("spawn wd-serve connection handler");
+                let mut held = conns.lock().expect("net conns poisoned");
+                // Reap finished handlers so a long-lived listener does not
+                // accumulate joined-but-unfreed threads.
+                held.retain(|h| !h.is_finished());
+                held.push(handle);
+            }
+        }
+    }
+}
+
+/// Over-cap connection: answer with one error frame, then close.
+fn refuse_connection(mut stream: TcpStream, config: &NetConfig) {
+    let _ = stream.set_write_timeout(Some(config.io_timeout));
+    let resp = error_response(
+        0,
+        &format!("connection limit ({}) reached", config.max_conns),
+    );
+    let _ = write_frame(&mut stream, &wire::encode_response(&resp));
+}
+
+fn error_response(id: u64, msg: &str) -> WireResponse {
+    WireResponse {
+        id,
+        result: Err(msg.to_string()),
+        waited_us: 0,
+        batch_size: 0,
+        trigger: None,
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    server: &Arc<Server>,
+    config: &NetConfig,
+    stop: &AtomicBool,
+    counters: &NetCounters,
+) {
+    let _ = stream.set_read_timeout(Some(config.io_timeout));
+    let _ = stream.set_write_timeout(Some(config.io_timeout));
+    let _ = stream.set_nodelay(true);
+    loop {
+        match read_frame_idle_aware(&mut stream, config.max_frame_bytes, stop) {
+            // Clean EOF, or shutdown observed while idle.
+            Ok(None) => break,
+            Ok(Some(frame)) => {
+                counters.frames.fetch_add(1, Ordering::Relaxed);
+                wd_trace::counter("serve.net.frames", 1);
+                match wire::decode_request_as(&frame) {
+                    Err(e) => {
+                        // The stream may be misaligned after a bad frame:
+                        // answer (the length prefix was still sound) and
+                        // close rather than guess at realignment.
+                        counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+                        wd_trace::counter("serve.net.decode_errors", 1);
+                        let resp = error_response(0, &e.to_string());
+                        let _ = write_frame(&mut stream, &wire::encode_response(&resp));
+                        break;
+                    }
+                    Ok((wire_id, tenant, req)) => {
+                        let tenant = tenant.unwrap_or_else(|| DEFAULT_TENANT.to_string());
+                        let resp = match server.submit_as(&tenant, req) {
+                            Ok(ticket) => {
+                                let mut w = WireResponse::of(&ticket.wait());
+                                // Clients correlate by their own numbering.
+                                w.id = wire_id;
+                                w
+                            }
+                            // Admission errors (quota, QueueFull, unknown
+                            // tenant) answer per-request; the connection
+                            // stays usable.
+                            Err(e) => error_response(wire_id, &e.to_string()),
+                        };
+                        if write_frame(&mut stream, &wire::encode_response(&resp)).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Oversized declared length: refuse loudly, then close.
+                counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+                wd_trace::counter("serve.net.decode_errors", 1);
+                let resp = error_response(0, &e.to_string());
+                let _ = write_frame(&mut stream, &wire::encode_response(&resp));
+                break;
+            }
+            // Slow-loris mid-frame stall, reset, or any other io failure.
+            Err(_) => break,
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Writes one `u32 LE length | bytes` transport frame.
+///
+/// # Errors
+///
+/// Any io error from the underlying writer, verbatim.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    w.write_all(&(frame.len() as u32).to_le_bytes())?;
+    w.write_all(frame)?;
+    w.flush()
+}
+
+/// Reads one transport frame, blocking until it is complete. Returns
+/// `Ok(None)` on clean EOF before any byte. This is the **client-side**
+/// read (no idle/stop semantics); the server uses the idle-aware variant.
+///
+/// # Errors
+///
+/// `InvalidData` when the declared length exceeds `max`; `UnexpectedEof`
+/// on truncation; any other io error verbatim.
+pub fn read_frame(r: &mut impl Read, max: usize) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read(&mut len_buf[..1])? {
+        0 => return Ok(None),
+        _ => r.read_exact(&mut len_buf[1..])?,
+    }
+    read_frame_body(r, len_buf, max).map(Some)
+}
+
+fn read_frame_body(r: &mut impl Read, len_buf: [u8; 4], max: usize) -> io::Result<Vec<u8>> {
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > max {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {max}-byte cap"),
+        ));
+    }
+    let mut frame = vec![0u8; len];
+    r.read_exact(&mut frame)?;
+    Ok(frame)
+}
+
+/// Whether an io error is the read-timeout signal (spelled `WouldBlock` or
+/// `TimedOut` depending on platform).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// The server-side frame read: a timeout with **zero bytes read** is an
+/// idle tick (keep waiting, unless `stop` was set — then `Ok(None)`); a
+/// timeout **mid-header or mid-body** is a slow-loris stall and errors out.
+fn read_frame_idle_aware(
+    stream: &mut TcpStream,
+    max: usize,
+    stop: &AtomicBool,
+) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut got = 0usize;
+    while got < 4 {
+        match stream.read(&mut len_buf[got..]) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(None) // clean EOF between frames
+                } else {
+                    Err(io::ErrorKind::UnexpectedEof.into())
+                };
+            }
+            Ok(n) => got += n,
+            Err(e) if is_timeout(&e) && got == 0 => {
+                if stop.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+                // Idle between frames: keep waiting.
+            }
+            Err(e) => return Err(e), // mid-header stall or hard failure
+        }
+    }
+    // The body must keep arriving: each io timeout window with no progress
+    // drops the peer. (read_exact gives up at the first timeout, which is
+    // exactly the per-window progress requirement.)
+    read_frame_body(stream, len_buf, max).map(Some)
+}
+
+/// A minimal blocking client for the transport: one request frame out, one
+/// response frame back, in order. Used by the drills, benches and tests;
+/// production clients only need to reproduce the framing.
+#[derive(Debug)]
+pub struct NetClient {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl NetClient {
+    /// Connects to a [`NetServer`].
+    ///
+    /// # Errors
+    ///
+    /// The connect error, verbatim.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream, next_id: 0 })
+    }
+
+    /// Submits `req` as `tenant` (`None` = a v1 frame for the default
+    /// tenant) and blocks for the response.
+    ///
+    /// # Errors
+    ///
+    /// [`WdError::WireDecode`] on framing/transport failure or a response
+    /// that fails to decode. A *served* error (shed deadline, quota, …)
+    /// is not an `Err` here — it arrives inside [`WireResponse::result`].
+    pub fn call(&mut self, tenant: Option<&str>, req: &Request) -> Result<WireResponse, WdError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = wire::encode_request_as(id, tenant, req)?;
+        write_frame(&mut self.stream, &frame)
+            .map_err(|e| WdError::WireDecode(format!("net send: {e}")))?;
+        let resp = read_frame(&mut self.stream, MAX_FRAME_BYTES)
+            .map_err(|e| WdError::WireDecode(format!("net recv: {e}")))?
+            .ok_or_else(|| WdError::WireDecode("connection closed before response".into()))?;
+        let resp = wire::decode_response(&resp)?;
+        if resp.id != id {
+            return Err(WdError::WireDecode(format!(
+                "response id {} for request id {id}",
+                resp.id
+            )));
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_transport_round_trips_and_caps() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").expect("write");
+        assert_eq!(&buf[..4], &5u32.to_le_bytes());
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r, 64).expect("read"),
+            Some(b"hello".to_vec())
+        );
+        // EOF before any byte is a clean None.
+        assert_eq!(read_frame(&mut r, 64).expect("eof"), None);
+        // An over-cap declared length is InvalidData, not an allocation.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let err = read_frame(&mut io::Cursor::new(huge), 64).expect_err("cap");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Truncated body is UnexpectedEof.
+        let mut short = Vec::new();
+        write_frame(&mut short, b"hello").expect("write");
+        short.truncate(6);
+        let err = read_frame(&mut io::Cursor::new(short), 64).expect_err("truncated");
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn net_config_defaults_are_loopback_and_bounded() {
+        let d = NetConfig::default();
+        assert!(d.addr.starts_with("127.0.0.1"));
+        assert!(d.max_conns >= 1);
+        assert!(d.io_timeout >= Duration::from_millis(10));
+        assert_eq!(d.max_frame_bytes, MAX_FRAME_BYTES);
+    }
+}

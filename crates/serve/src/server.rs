@@ -35,7 +35,9 @@ use wd_ckks::keys::{KeySwitchKey, RotationKeys};
 use wd_ckks::CkksContext;
 use wd_fault::WdError;
 
+use crate::env;
 use crate::request::{Request, Response, ServeOp, Ticket};
+use crate::tenant::{Tenant, TenantRegistry, TenantStats, DEFAULT_TENANT};
 
 /// Admission queue capacity (`usize` ≥ 1). Malformed or zero warns and
 /// keeps the default.
@@ -97,18 +99,16 @@ impl ServeConfig {
     pub fn from_env() -> Self {
         let d = Self::default();
         Self {
-            queue_capacity: env_usize(QUEUE_ENV, d.queue_capacity, 1),
-            max_batch: env_usize(BATCH_ENV, d.max_batch, 1),
-            linger: Duration::from_micros(env_u64(
+            queue_capacity: env::parse_min(QUEUE_ENV, d.queue_capacity, 1),
+            max_batch: env::parse_min(BATCH_ENV, d.max_batch, 1),
+            linger: Duration::from_micros(env::parse_min(
                 LINGER_ENV,
                 d.linger.as_micros().min(u128::from(u64::MAX)) as u64,
                 0,
             )),
-            age_promote: match std::env::var(AGE_ENV) {
-                Err(_) => None,
-                Ok(_) => Some(Duration::from_micros(env_u64(AGE_ENV, 1_000, 0))),
-            },
-            workers: env_usize(WORKERS_ENV, d.workers, 1),
+            age_promote: env::is_set(AGE_ENV)
+                .then(|| Duration::from_micros(env::parse_min(AGE_ENV, 1_000, 0))),
+            workers: env::parse_min(WORKERS_ENV, d.workers, 1),
             executor: BatchExecutor::from_env(),
         }
     }
@@ -121,26 +121,6 @@ impl ServeConfig {
             None => p,
         }
     }
-}
-
-fn env_u64(name: &str, default: u64, min: u64) -> u64 {
-    match std::env::var(name) {
-        Err(_) => default,
-        Ok(v) => match v.trim().parse::<u64>() {
-            Ok(n) if n >= min => n,
-            _ => {
-                wd_trace::warn(
-                    "serve.config",
-                    &format!("malformed {name}={v:?}; keeping default {default}"),
-                );
-                default
-            }
-        },
-    }
-}
-
-fn env_usize(name: &str, default: usize, min: usize) -> usize {
-    env_u64(name, default as u64, min as u64) as usize
 }
 
 /// Owned evaluation keys the workers serve with (the owned sibling of
@@ -180,6 +160,16 @@ impl ServeKeys {
             relin: self.relin.as_ref(),
             rotations: self.rotations.as_ref(),
         }
+    }
+
+    /// Compact footprint of this key set in bytes (32-bit wire words) — the
+    /// amount the tenant key cache charges against its budget.
+    pub fn approx_bytes(&self) -> usize {
+        self.relin.as_ref().map_or(0, KeySwitchKey::approx_bytes)
+            + self
+                .rotations
+                .as_ref()
+                .map_or(0, RotationKeys::approx_bytes)
     }
 }
 
@@ -225,6 +215,7 @@ impl Stats {
 #[derive(Debug)]
 struct Slot {
     meta: Pending,
+    tenant: Arc<Tenant>,
     op: ServeOp,
     tx: mpsc::Sender<Response>,
 }
@@ -257,28 +248,42 @@ struct WorkQueue {
     cond: Condvar,
 }
 
-/// The serving engine (see the module docs for the thread layout).
-#[derive(Debug)]
-pub struct Server {
-    inbox: Arc<Inbox>,
-    epoch: Instant,
-    capacity: usize,
-    stats: Arc<Stats>,
+/// The serving threads, joined exactly once at drain time.
+#[derive(Debug, Default)]
+struct Threads {
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
+/// The serving engine (see the module docs for the thread layout).
+#[derive(Debug)]
+pub struct Server {
+    inbox: Arc<Inbox>,
+    tenants: Arc<TenantRegistry>,
+    epoch: Instant,
+    capacity: usize,
+    stats: Arc<Stats>,
+    threads: Mutex<Threads>,
+}
+
 impl Server {
-    /// Starts the batcher and worker threads and begins accepting
-    /// submissions.
+    /// Starts a **single-tenant** server: `keys` are registered under
+    /// [`DEFAULT_TENANT`] and [`Server::submit`] routes to it. The
+    /// multi-tenant entry point is [`Server::start_tenants`].
     pub fn start(ctx: Arc<CkksContext>, keys: ServeKeys, config: ServeConfig) -> Self {
+        Self::start_tenants(TenantRegistry::single(ctx, keys), config)
+    }
+
+    /// Starts the batcher and worker threads over a tenant registry and
+    /// begins accepting submissions ([`Server::submit_as`]).
+    pub fn start_tenants(tenants: TenantRegistry, config: ServeConfig) -> Self {
         let policy = config.policy();
         let worker_count = config.workers.max(1);
         let inbox = Arc::new(Inbox::default());
         let work = Arc::new(WorkQueue::default());
         let stats = Arc::new(Stats::default());
         let epoch = Instant::now();
-        let keys = Arc::new(keys);
+        let tenants = Arc::new(tenants);
 
         let batcher = {
             let inbox = Arc::clone(&inbox);
@@ -293,24 +298,26 @@ impl Server {
         let workers = (0..worker_count)
             .map(|i| {
                 let work = Arc::clone(&work);
-                let ctx = Arc::clone(&ctx);
-                let keys = Arc::clone(&keys);
+                let tenants = Arc::clone(&tenants);
                 let stats = Arc::clone(&stats);
                 let executor = config.executor.clone();
                 std::thread::Builder::new()
                     .name(format!("wd-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&work, &ctx, &keys, &executor, epoch, &stats))
+                    .spawn(move || worker_loop(&work, &tenants, &executor, epoch, &stats))
                     .expect("spawn wd-serve worker")
             })
             .collect();
 
         Self {
             inbox,
+            tenants,
             epoch,
             capacity: config.queue_capacity.max(1),
             stats,
-            batcher: Some(batcher),
-            workers,
+            threads: Mutex::new(Threads {
+                batcher: Some(batcher),
+                workers,
+            }),
         }
     }
 
@@ -320,24 +327,57 @@ impl Server {
         instant_us(self.epoch)
     }
 
-    /// Submits one request. Returns a [`Ticket`] redeemable for exactly
-    /// one [`Response`].
+    /// Submits one request as [`DEFAULT_TENANT`]. Returns a [`Ticket`]
+    /// redeemable for exactly one [`Response`].
     ///
     /// # Errors
     ///
     /// [`WdError::QueueFull`] when the bounded queue is at capacity (the
     /// backpressure signal: resubmit later), [`WdError::InvalidParams`]
-    /// after shutdown has begun.
+    /// after shutdown has begun, [`WdError::UnknownTenant`] on a server
+    /// started via [`Server::start_tenants`] without a `"default"` tenant.
     pub fn submit(&self, req: Request) -> Result<Ticket, WdError> {
+        self.submit_as(DEFAULT_TENANT, req)
+    }
+
+    /// Submits one request on behalf of `tenant`.
+    ///
+    /// # Errors
+    ///
+    /// All of [`Server::submit`]'s errors, plus
+    /// [`WdError::UnknownTenant`] for an unregistered tenant and
+    /// [`WdError::TenantQuotaExceeded`] when the tenant's in-flight quota
+    /// is exhausted (checked before global capacity: the more specific
+    /// backpressure signal wins).
+    pub fn submit_as(&self, tenant: &str, req: Request) -> Result<Ticket, WdError> {
+        let tenant = self
+            .tenants
+            .lookup(tenant)
+            .ok_or_else(|| WdError::UnknownTenant(tenant.to_string()))?;
         let now_us = self.now_us();
+        let quota = self.tenants.config().quota;
         let mut st = self.inbox.state.lock().expect("serve inbox poisoned");
         if st.draining {
             return Err(WdError::InvalidParams(
                 "serve: submit after shutdown began".into(),
             ));
         }
+        // Tenant quota first, then global capacity — all accounting happens
+        // under the inbox lock, so the checks are race-free.
+        let in_flight = tenant.in_flight();
+        if in_flight >= quota {
+            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            tenant.note_rejected();
+            wd_trace::counter("serve.rejected", 1);
+            return Err(WdError::TenantQuotaExceeded {
+                tenant: tenant.id().to_string(),
+                in_flight,
+                quota,
+            });
+        }
         if st.pending.len() >= self.capacity {
             self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            tenant.note_rejected();
             wd_trace::counter("serve.rejected", 1);
             return Err(WdError::QueueFull {
                 depth: st.pending.len(),
@@ -348,6 +388,7 @@ impl Server {
         st.next_seq += 1;
         let deadline_us = req.deadline.map(|d| now_us.saturating_add(duration_us(d)));
         let (tx, rx) = mpsc::channel();
+        tenant.note_enqueued();
         st.pending.push(Slot {
             meta: Pending {
                 seq,
@@ -355,6 +396,7 @@ impl Server {
                 enqueued_us: now_us,
                 deadline_us,
             },
+            tenant: Arc::clone(tenant),
             op: req.op,
             tx,
         });
@@ -381,27 +423,45 @@ impl Server {
         self.stats.snapshot()
     }
 
+    /// A snapshot of one tenant's lifetime counters (`None` for an
+    /// unregistered tenant). After a drain, every tenant satisfies
+    /// `enqueued = completed + shed` and `in_flight = 0`.
+    pub fn tenant_stats(&self, tenant: &str) -> Option<TenantStats> {
+        self.tenants.lookup(tenant).map(|t| t.stats())
+    }
+
+    /// The tenant registry this server routes through (for cache
+    /// statistics and tenant enumeration).
+    pub fn tenants(&self) -> &TenantRegistry {
+        &self.tenants
+    }
+
     /// Drains and stops the server: rejects new submissions, flushes every
     /// queued request (in `max_batch` chunks), waits for the workers to
     /// answer them all, and returns the final counters. Zero requests are
     /// lost: `submitted = shed + completed` on return.
-    pub fn shutdown(mut self) -> ServeStats {
-        self.stop();
-        self.stats.snapshot()
+    pub fn shutdown(self) -> ServeStats {
+        self.drain()
     }
 
-    fn stop(&mut self) {
+    /// [`Server::shutdown`] through a shared reference — the spelling the
+    /// network front-end uses, where the server lives in an [`Arc`] shared
+    /// with connection handlers. Idempotent: later calls (and the eventual
+    /// drop) just return the final counters.
+    pub fn drain(&self) -> ServeStats {
         {
             let mut st = self.inbox.state.lock().expect("serve inbox poisoned");
             st.draining = true;
         }
         self.inbox.cond.notify_all();
-        if let Some(h) = self.batcher.take() {
+        let mut threads = self.threads.lock().expect("serve threads poisoned");
+        if let Some(h) = threads.batcher.take() {
             let _ = h.join();
         }
-        for h in self.workers.drain(..) {
+        for h in threads.workers.drain(..) {
             let _ = h.join();
         }
+        self.stats.snapshot()
     }
 }
 
@@ -409,9 +469,7 @@ impl Drop for Server {
     /// Best-effort drain: dropping without [`Server::shutdown`] still
     /// answers every accepted request before the threads exit.
     fn drop(&mut self) {
-        if self.batcher.is_some() {
-            self.stop();
-        }
+        self.drain();
     }
 }
 
@@ -445,12 +503,14 @@ fn batcher_loop(
                 let slot = st.pending.remove(i);
                 let waited = now.saturating_sub(slot.meta.enqueued_us);
                 stats.shed.fetch_add(1, Ordering::Relaxed);
+                slot.tenant.note_shed();
                 wd_trace::counter("serve.shed", 1);
                 wd_trace::event(
                     "serve",
                     "shed",
                     &[
                         ("seq", slot.meta.seq.to_string()),
+                        ("tenant", slot.tenant.id().to_string()),
                         ("waited_us", waited.to_string()),
                     ],
                 );
@@ -519,10 +579,16 @@ fn batcher_loop(
 }
 
 /// A worker thread: execute formed batches until the shutdown pill.
+///
+/// A formed batch may mix tenants; the worker partitions it into per-tenant
+/// groups (stable first-seen order), leases each tenant's keys through the
+/// registry's resident cache, and executes each group under that tenant's
+/// context. Partitioning only changes *which launch* an op shares, never
+/// its operands — responses stay bit-identical to a sequential per-tenant
+/// run.
 fn worker_loop(
     work: &WorkQueue,
-    ctx: &CkksContext,
-    keys: &ServeKeys,
+    tenants: &TenantRegistry,
     executor: &BatchExecutor,
     epoch: Instant,
     stats: &Stats,
@@ -552,22 +618,38 @@ fn worker_loop(
                 ("trigger", trigger.label().to_string()),
             ],
         );
-        let ops: Vec<BatchOp<'_>> = slots.iter().map(|s| s.op.as_batch_op()).collect();
-        let results = executor.execute(ctx, keys.as_eval(), &ops);
+        // Partition by tenant, preserving first-seen order within and
+        // across groups (serving order inside a group is queue order).
+        let mut groups: Vec<(Arc<Tenant>, Vec<Slot>)> = Vec::new();
+        for slot in slots {
+            match groups
+                .iter_mut()
+                .find(|(t, _)| Arc::ptr_eq(t, &slot.tenant))
+            {
+                Some((_, group)) => group.push(slot),
+                None => groups.push((Arc::clone(&slot.tenant), vec![slot])),
+            }
+        }
         stats.batches.fetch_add(1, Ordering::Relaxed);
-        let now = instant_us(epoch);
-        for (slot, result) in slots.into_iter().zip(results) {
-            let waited = now.saturating_sub(slot.meta.enqueued_us);
-            stats.completed.fetch_add(1, Ordering::Relaxed);
-            wd_trace::counter("serve.completed", 1);
-            wd_trace::observe("serve.latency_us", waited);
-            let _ = slot.tx.send(Response {
-                id: slot.meta.seq,
-                result,
-                waited_us: waited,
-                batch_size: n,
-                trigger: Some(trigger),
-            });
+        for (tenant, group) in groups {
+            let keys = tenants.lease_keys(&tenant);
+            let ops: Vec<BatchOp<'_>> = group.iter().map(|s| s.op.as_batch_op()).collect();
+            let results = executor.execute(tenant.ctx(), keys.as_eval(), &ops);
+            let now = instant_us(epoch);
+            for (slot, result) in group.into_iter().zip(results) {
+                let waited = now.saturating_sub(slot.meta.enqueued_us);
+                stats.completed.fetch_add(1, Ordering::Relaxed);
+                tenant.note_completed(waited);
+                wd_trace::counter("serve.completed", 1);
+                wd_trace::observe("serve.latency_us", waited);
+                let _ = slot.tx.send(Response {
+                    id: slot.meta.seq,
+                    result,
+                    waited_us: waited,
+                    batch_size: n,
+                    trigger: Some(trigger),
+                });
+            }
         }
     }
 }
@@ -698,8 +780,9 @@ mod tests {
 
     #[test]
     fn config_env_parsing_rejects_malformed_values() {
-        // Pure-function checks only (no process-global env mutation):
-        assert_eq!(env_u64("WD_SERVE_SURELY_UNSET_", 7, 1), 7);
+        // Pure-function checks only (no process-global env mutation; the
+        // env-mutating contract test is tests/env_config.rs):
+        assert_eq!(env::parse_min("WD_SERVE_SURELY_UNSET_", 7u64, 1), 7);
         let d = ServeConfig::default();
         assert_eq!(d.policy().max_batch, d.max_batch);
         assert_eq!(d.policy().linger, d.linger);

@@ -1,0 +1,541 @@
+//! Multi-tenant serving: the tenant registry, per-tenant admission quotas,
+//! and the byte-budgeted LRU keyswitch-key cache.
+//!
+//! Keyswitch keys dominate the working set of GPU FHE serving — Cheddar's
+//! key-memory analysis and Theodosian's memory-hierarchy study both find
+//! evaluation/rotation keys, not ciphertexts, are the capacity bottleneck —
+//! so a server for many tenants cannot keep every tenant's key material
+//! resident. This module models that constraint explicitly:
+//!
+//! - A [`TenantRegistry`] maps validated tenant ids to their
+//!   [`CkksContext`] and **cold** (host-side, authoritative) key material.
+//! - Workers lease keys through a **resident cache**: an LRU over per-tenant
+//!   [`ServeKeys`] charged by [`ServeKeys::approx_bytes`] against a byte
+//!   budget ([`KEY_CACHE_ENV`], in MiB). A miss "uploads" the cold copy
+//!   (modeling the host→device transfer); eviction drops the resident copy
+//!   only — the cold copy is authoritative, so eviction/reload churn can
+//!   never change a result, only cost.
+//! - Admission charges a per-tenant in-flight quota ([`QUOTA_ENV`]) on top
+//!   of the server's global bounded queue; exhaustion is the typed
+//!   [`WdError::TenantQuotaExceeded`] signal, layered on (not replacing)
+//!   the existing priority classes.
+//!
+//! Per-tenant observability flows through `wd-trace` as
+//! `serve.tenant.<id>.{enqueued,completed,shed,rejected}` counters and a
+//! `serve.tenant.<id>.latency_us` histogram; the cache reports
+//! `serve.keycache.{hits,misses,evictions}` counters and a
+//! `serve.keycache.resident_bytes` gauge.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use wd_ckks::wire::MAX_LABEL_BYTES;
+use wd_ckks::CkksContext;
+use wd_fault::WdError;
+
+use crate::env;
+use crate::server::ServeKeys;
+
+/// The tenant id single-tenant servers run under (and the id a tenant-less
+/// v1 wire frame is routed to).
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Resident keyswitch-key cache budget in MiB (`usize` ≥ 1; default 512).
+pub const KEY_CACHE_ENV: &str = "WD_SERVE_KEY_CACHE_MB";
+
+/// Per-tenant in-flight admission quota (`usize` ≥ 1; default unlimited).
+pub const QUOTA_ENV: &str = "WD_SERVE_TENANT_QUOTA";
+
+/// Tenant-layer configuration. [`TenantConfig::from_env`] reads
+/// [`KEY_CACHE_ENV`] / [`QUOTA_ENV`] with the same warn-and-default
+/// contract as every other `WD_SERVE_*` knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantConfig {
+    /// Byte budget for resident (leased) key material. A single tenant's
+    /// keys larger than the whole budget still serve — they are made
+    /// resident with a warning and evicted as soon as another tenant needs
+    /// the space.
+    pub key_cache_bytes: usize,
+    /// Maximum admitted-but-unanswered requests per tenant
+    /// (`usize::MAX` = unlimited).
+    pub quota: usize,
+}
+
+impl Default for TenantConfig {
+    fn default() -> Self {
+        Self {
+            key_cache_bytes: 512 << 20,
+            quota: usize::MAX,
+        }
+    }
+}
+
+impl TenantConfig {
+    /// Reads [`KEY_CACHE_ENV`] (MiB) and [`QUOTA_ENV`]; malformed values
+    /// warn and keep the defaults.
+    pub fn from_env() -> Self {
+        let d = Self::default();
+        Self {
+            key_cache_bytes: env::parse_min(KEY_CACHE_ENV, d.key_cache_bytes >> 20, 1) << 20,
+            quota: env::parse_min(QUOTA_ENV, d.quota, 1),
+        }
+    }
+}
+
+/// Lifetime accounting for one tenant, snapshot by
+/// [`crate::server::Server::tenant_stats`]. After a drain,
+/// `enqueued = completed + shed` and `in_flight = 0` — the per-tenant
+/// lossless-drain invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TenantStats {
+    /// Requests admitted for this tenant.
+    pub enqueued: u64,
+    /// Requests answered with an execution result (ok or error).
+    pub completed: u64,
+    /// Requests shed in-queue past their deadline.
+    pub shed: u64,
+    /// Submits rejected (quota or global queue capacity).
+    pub rejected: u64,
+    /// Admitted and not yet answered.
+    pub in_flight: usize,
+}
+
+/// One registered tenant: its context, cold key material, quota accounting
+/// and pre-built trace signal names.
+#[derive(Debug)]
+pub(crate) struct Tenant {
+    id: String,
+    ctx: Arc<CkksContext>,
+    /// Authoritative host-side key copy; the resident cache leases clones
+    /// of it, so eviction can never lose key material.
+    cold: ServeKeys,
+    key_bytes: usize,
+    pending: AtomicUsize,
+    enqueued: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    rejected: AtomicU64,
+    // Trace names are hot-path strings; build them once at registration.
+    sig_enqueued: String,
+    sig_completed: String,
+    sig_shed: String,
+    sig_rejected: String,
+    sig_latency: String,
+}
+
+impl Tenant {
+    fn new(id: &str, ctx: Arc<CkksContext>, cold: ServeKeys) -> Self {
+        Self {
+            id: id.to_string(),
+            ctx,
+            key_bytes: cold.approx_bytes(),
+            cold,
+            pending: AtomicUsize::new(0),
+            enqueued: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            sig_enqueued: format!("serve.tenant.{id}.enqueued"),
+            sig_completed: format!("serve.tenant.{id}.completed"),
+            sig_shed: format!("serve.tenant.{id}.shed"),
+            sig_rejected: format!("serve.tenant.{id}.rejected"),
+            sig_latency: format!("serve.tenant.{id}.latency_us"),
+        }
+    }
+
+    pub(crate) fn id(&self) -> &str {
+        &self.id
+    }
+
+    pub(crate) fn ctx(&self) -> &Arc<CkksContext> {
+        &self.ctx
+    }
+
+    pub(crate) fn in_flight(&self) -> usize {
+        self.pending.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_enqueued(&self) {
+        self.pending.fetch_add(1, Ordering::Relaxed);
+        self.enqueued.fetch_add(1, Ordering::Relaxed);
+        wd_trace::counter(&self.sig_enqueued, 1);
+    }
+
+    pub(crate) fn note_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        wd_trace::counter(&self.sig_rejected, 1);
+    }
+
+    pub(crate) fn note_shed(&self) {
+        self.pending.fetch_sub(1, Ordering::Relaxed);
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        wd_trace::counter(&self.sig_shed, 1);
+    }
+
+    pub(crate) fn note_completed(&self, waited_us: u64) {
+        self.pending.fetch_sub(1, Ordering::Relaxed);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        wd_trace::counter(&self.sig_completed, 1);
+        wd_trace::observe(&self.sig_latency, waited_us);
+    }
+
+    pub(crate) fn stats(&self) -> TenantStats {
+        TenantStats {
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            in_flight: self.pending.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Counters for the resident key cache, snapshot by
+/// [`TenantRegistry::cache_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KeyCacheStats {
+    /// Leases answered from the resident set.
+    pub hits: u64,
+    /// Leases that had to promote the cold copy (the modeled host→device
+    /// key upload).
+    pub misses: u64,
+    /// Resident entries dropped to make room.
+    pub evictions: u64,
+    /// Bytes currently resident.
+    pub resident_bytes: usize,
+    /// The configured budget in bytes.
+    pub budget_bytes: usize,
+}
+
+/// LRU state: `order` front = least recently used. Tenant counts are small
+/// (the map is the working set, not the tenant universe), so a `Vec` scan
+/// beats pointer-chasing here.
+#[derive(Debug, Default)]
+struct CacheState {
+    resident: HashMap<String, Arc<ServeKeys>>,
+    order: Vec<String>,
+    bytes: usize,
+}
+
+/// The tenant registry: id → tenant, plus the shared resident key cache.
+///
+/// Registration happens before the server starts; afterwards the registry
+/// is immutable (interior mutability is confined to the key cache and the
+/// per-tenant atomics), so lookups are lock-free.
+#[derive(Debug)]
+pub struct TenantRegistry {
+    config: TenantConfig,
+    tenants: HashMap<String, Arc<Tenant>>,
+    cache: Mutex<CacheState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl TenantRegistry {
+    /// An empty registry under the given tenant-layer configuration.
+    pub fn new(config: TenantConfig) -> Self {
+        Self {
+            config,
+            tenants: HashMap::new(),
+            cache: Mutex::new(CacheState::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A single-tenant registry holding `keys` under [`DEFAULT_TENANT`] —
+    /// the adapter the tenant-unaware [`crate::Server::start`] path uses.
+    pub fn single(ctx: Arc<CkksContext>, keys: ServeKeys) -> Self {
+        let mut reg = Self::new(TenantConfig::default());
+        reg.register(DEFAULT_TENANT, ctx, keys)
+            .expect("DEFAULT_TENANT is a valid tenant id");
+        reg
+    }
+
+    /// Registers a tenant: its id (validated — 1..=64 bytes of
+    /// `[A-Za-z0-9._-]`), evaluation context, and cold key material.
+    ///
+    /// # Errors
+    ///
+    /// [`WdError::InvalidParams`] on a malformed or duplicate id.
+    pub fn register(
+        &mut self,
+        id: &str,
+        ctx: Arc<CkksContext>,
+        keys: ServeKeys,
+    ) -> Result<(), WdError> {
+        validate_tenant_id(id)?;
+        if self.tenants.contains_key(id) {
+            return Err(WdError::InvalidParams(format!(
+                "tenant {id:?} is already registered"
+            )));
+        }
+        self.tenants
+            .insert(id.to_string(), Arc::new(Tenant::new(id, ctx, keys)));
+        Ok(())
+    }
+
+    /// The tenant-layer configuration this registry enforces.
+    pub fn config(&self) -> TenantConfig {
+        self.config
+    }
+
+    /// Registered tenant ids, sorted.
+    pub fn tenant_ids(&self) -> Vec<String> {
+        let mut ids: Vec<String> = self.tenants.keys().cloned().collect();
+        ids.sort();
+        ids
+    }
+
+    pub(crate) fn lookup(&self, id: &str) -> Option<&Arc<Tenant>> {
+        self.tenants.get(id)
+    }
+
+    /// Leases `tenant`'s key material for one batch execution, through the
+    /// resident LRU cache. A hit returns the resident copy; a miss promotes
+    /// the cold copy (evicting least-recently-used tenants until the budget
+    /// holds) — either way the bytes served are the cold copy's bytes, so
+    /// churn never changes results.
+    pub(crate) fn lease_keys(&self, tenant: &Tenant) -> Arc<ServeKeys> {
+        let mut st = self.cache.lock().expect("key cache poisoned");
+        // Reconcile over-budget residue first. An oversized tenant is
+        // allowed residency for the lease that promoted it, but must not
+        // be re-counted as a hit forever after — its own next lease (or
+        // anyone else's) evicts it here and goes through the miss path.
+        self.evict_to_fit(&mut st, 0);
+        if let Some(keys) = st.resident.get(&tenant.id).cloned() {
+            // Refresh recency: move to the back (most recently used).
+            if let Some(i) = st.order.iter().position(|t| *t == tenant.id) {
+                let id = st.order.remove(i);
+                st.order.push(id);
+            }
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            wd_trace::counter("serve.keycache.hits", 1);
+            return keys;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        wd_trace::counter("serve.keycache.misses", 1);
+        // Evict from the LRU front until the new entry fits.
+        self.evict_to_fit(&mut st, tenant.key_bytes);
+        if tenant.key_bytes > self.config.key_cache_bytes {
+            wd_trace::warn(
+                "serve.keycache",
+                &format!(
+                    "tenant {:?} keys ({} bytes) exceed the whole cache budget ({} bytes); \
+                     serving anyway, evicted on next miss",
+                    tenant.id, tenant.key_bytes, self.config.key_cache_bytes
+                ),
+            );
+        }
+        // The modeled host→device upload: clone the cold copy resident.
+        let keys = Arc::new(tenant.cold.clone());
+        st.bytes += tenant.key_bytes;
+        st.resident.insert(tenant.id.clone(), Arc::clone(&keys));
+        st.order.push(tenant.id.clone());
+        wd_trace::gauge("serve.keycache.resident_bytes", st.bytes as u64);
+        keys
+    }
+
+    /// Evicts from the LRU front until `incoming` more bytes would fit in
+    /// the budget (`incoming == 0` = reconcile existing residue only).
+    fn evict_to_fit(&self, st: &mut CacheState, incoming: usize) {
+        while st.bytes + incoming > self.config.key_cache_bytes && !st.order.is_empty() {
+            let victim = st.order.remove(0);
+            if let Some(gone) = st.resident.remove(&victim) {
+                st.bytes -= gone.approx_bytes();
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                wd_trace::counter("serve.keycache.evictions", 1);
+                wd_trace::event(
+                    "serve",
+                    "keycache.evict",
+                    &[
+                        ("tenant", victim),
+                        ("bytes", gone.approx_bytes().to_string()),
+                    ],
+                );
+            }
+        }
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn cache_stats(&self) -> KeyCacheStats {
+        let st = self.cache.lock().expect("key cache poisoned");
+        KeyCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes: st.bytes,
+            budget_bytes: self.config.key_cache_bytes,
+        }
+    }
+}
+
+/// Validates a tenant id: 1..=[`MAX_LABEL_BYTES`] bytes of `[A-Za-z0-9._-]`
+/// (the id appears verbatim in wire frames and trace signal names).
+pub fn validate_tenant_id(id: &str) -> Result<(), WdError> {
+    if id.is_empty() || id.len() > MAX_LABEL_BYTES {
+        return Err(WdError::InvalidParams(format!(
+            "tenant id must be 1..={MAX_LABEL_BYTES} bytes, got {} bytes",
+            id.len()
+        )));
+    }
+    if let Some(c) = id
+        .chars()
+        .find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')))
+    {
+        return Err(WdError::InvalidParams(format!(
+            "tenant id {id:?} contains {c:?}; allowed: [A-Za-z0-9._-]"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wd_ckks::ParamSet;
+
+    fn ctx(seed: u64) -> Arc<CkksContext> {
+        let params = ParamSet::set_a()
+            .with_degree(1 << 6)
+            .build()
+            .expect("params");
+        Arc::new(CkksContext::with_seed(params, seed).expect("ctx"))
+    }
+
+    fn keys_for(ctx: &CkksContext) -> ServeKeys {
+        ServeKeys::with_relin(ctx.keygen().relin)
+    }
+
+    #[test]
+    fn tenant_id_validation() {
+        for ok in ["a", "alice", "t-0_9.bulk", &"x".repeat(MAX_LABEL_BYTES)] {
+            assert!(validate_tenant_id(ok).is_ok(), "{ok:?}");
+        }
+        for bad in [
+            "",
+            " ",
+            "a b",
+            "a/b",
+            "ünïcode",
+            &"x".repeat(MAX_LABEL_BYTES + 1),
+        ] {
+            assert!(validate_tenant_id(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn register_rejects_duplicates_and_bad_ids() {
+        let c = ctx(1);
+        let mut reg = TenantRegistry::new(TenantConfig::default());
+        reg.register("alice", Arc::clone(&c), ServeKeys::none())
+            .expect("first registration");
+        assert!(matches!(
+            reg.register("alice", Arc::clone(&c), ServeKeys::none()),
+            Err(WdError::InvalidParams(_))
+        ));
+        assert!(reg.register("", c, ServeKeys::none()).is_err());
+    }
+
+    #[test]
+    fn lru_cache_hits_misses_and_evicts_by_byte_budget() {
+        let c = ctx(2);
+        let per_tenant = keys_for(&c).approx_bytes();
+        assert!(per_tenant > 0, "relin key must have a footprint");
+        // Budget for exactly two resident tenants.
+        let mut reg = TenantRegistry::new(TenantConfig {
+            key_cache_bytes: 2 * per_tenant,
+            quota: usize::MAX,
+        });
+        for id in ["a", "b", "c"] {
+            reg.register(id, Arc::clone(&c), keys_for(&c)).expect(id);
+        }
+        let lease = |reg: &TenantRegistry, id: &str| {
+            let t = reg.lookup(id).expect("registered").clone();
+            reg.lease_keys(&t)
+        };
+        lease(&reg, "a"); // miss
+        lease(&reg, "b"); // miss
+        lease(&reg, "a"); // hit, refreshes a's recency
+        lease(&reg, "c"); // miss, evicts b (LRU)
+        lease(&reg, "b"); // miss again: b was evicted
+        let s = reg.cache_stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 4, 2));
+        assert!(s.resident_bytes <= s.budget_bytes);
+    }
+
+    #[test]
+    fn oversized_tenant_still_serves_with_a_warning() {
+        let c = ctx(3);
+        let keys = keys_for(&c);
+        let mut reg = TenantRegistry::new(TenantConfig {
+            key_cache_bytes: 1, // nothing fits
+            quota: usize::MAX,
+        });
+        reg.register("big", Arc::clone(&c), keys).expect("register");
+        wd_trace::take_warnings();
+        let t = reg.lookup("big").expect("registered").clone();
+        let leased = reg.lease_keys(&t);
+        assert!(leased.relin.is_some(), "lease must serve the cold copy");
+        assert!(
+            wd_trace::take_warnings()
+                .iter()
+                .any(|w| w.site == "serve.keycache" && w.message.contains("big")),
+            "oversized residency must warn"
+        );
+        // A second tenant's miss evicts the oversized one.
+        let mut reg2 = TenantRegistry::new(TenantConfig {
+            key_cache_bytes: 1,
+            quota: usize::MAX,
+        });
+        reg2.register("big", Arc::clone(&c), keys_for(&c)).unwrap();
+        reg2.register("next", Arc::clone(&c), keys_for(&c)).unwrap();
+        let big = reg2.lookup("big").unwrap().clone();
+        let next = reg2.lookup("next").unwrap().clone();
+        reg2.lease_keys(&big);
+        reg2.lease_keys(&next);
+        assert_eq!(reg2.cache_stats().evictions, 1);
+    }
+
+    #[test]
+    fn leased_keys_are_bit_identical_to_the_cold_copy_across_churn() {
+        let c = ctx(4);
+        let cold = keys_for(&c);
+        let cold_relin = cold.relin.clone().expect("relin");
+        let mut reg = TenantRegistry::new(TenantConfig {
+            key_cache_bytes: 1,
+            quota: usize::MAX,
+        });
+        reg.register("t", Arc::clone(&c), cold).expect("register");
+        let t = reg.lookup("t").expect("registered").clone();
+        for _ in 0..3 {
+            // Force churn: every lease under a 1-byte budget re-promotes.
+            let leased = reg.lease_keys(&t);
+            assert_eq!(leased.relin.as_ref(), Some(&cold_relin));
+        }
+        assert_eq!(reg.cache_stats().hits, 0, "1-byte budget never hits");
+    }
+
+    #[test]
+    fn stats_account_the_request_lifecycle() {
+        let t = Tenant::new("t", ctx(5), ServeKeys::none());
+        t.note_enqueued();
+        t.note_enqueued();
+        t.note_rejected();
+        t.note_shed();
+        t.note_completed(42);
+        assert_eq!(
+            t.stats(),
+            TenantStats {
+                enqueued: 2,
+                completed: 1,
+                shed: 1,
+                rejected: 1,
+                in_flight: 0,
+            }
+        );
+    }
+}

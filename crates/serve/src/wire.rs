@@ -8,13 +8,21 @@
 //! words, the paper's word size) and add a thin envelope:
 //!
 //! ```text
-//! request:  magic "WDSV" | ver u8=1 | kind u8=1 | id u64 | class u8
-//!           | deadline flag u8 (0/1) | [deadline_us u64]
-//!           | op tag u8 | operand ciphertext frame(s) | [rotate i64]
-//! response: magic "WDSV" | ver u8=1 | kind u8=2 | id u64 | status u8
-//!           | waited_us u64 | batch_size u32 | trigger u8
-//!           | ok: ciphertext frame / err: len-prefixed UTF-8 message
+//! request v1: magic "WDSV" | ver u8=1 | kind u8=1 | id u64 | class u8
+//!             | deadline flag u8 (0/1) | [deadline_us u64]
+//!             | op tag u8 | operand ciphertext frame(s) | [rotate i64]
+//! request v2: magic "WDSV" | ver u8=2 | kind u8=1 | id u64
+//!             | tenant label (u8 len + UTF-8 bytes) | class u8 | … as v1
+//! response:   magic "WDSV" | ver u8=1 | kind u8=2 | id u64 | status u8
+//!             | waited_us u64 | batch_size u32 | trigger u8
+//!             | ok: ciphertext frame / err: len-prefixed UTF-8 message
 //! ```
+//!
+//! **Versioning:** v2 inserts one tenant header after the id and changes
+//! nothing else. Decoders accept both versions — a v1 frame is a v2 frame
+//! with no tenant (the server routes it to the default tenant) — so every
+//! pre-tenancy client keeps working. Responses carry no tenant (it is
+//! implied by the request) and stay v1.
 //!
 //! Errors cross the wire as their display text ([`WireResponse`] carries
 //! `Result<Ciphertext, String>`): the variant taxonomy is a host-side
@@ -24,13 +32,17 @@ use std::time::Duration;
 
 use warpdrive_core::{Class, FlushTrigger};
 use wd_ckks::cipher::Ciphertext;
-use wd_ckks::wire::{read_ciphertext_frame, write_ciphertext_frame};
+use wd_ckks::wire::{
+    read_ciphertext_frame, read_label_frame, write_ciphertext_frame, write_label_frame,
+};
 use wd_ckks::CkksError;
 
 use crate::request::{Request, Response, ServeOp};
 
 const MAGIC: &[u8; 4] = b"WDSV";
 const VERSION: u8 = 1;
+/// The tenant-aware frame version (v1 plus one tenant header).
+const VERSION_TENANT: u8 = 2;
 const KIND_REQUEST: u8 = 1;
 const KIND_RESPONSE: u8 = 2;
 
@@ -108,20 +120,22 @@ fn get_u64(buf: &[u8], pos: &mut usize) -> Result<u64, CkksError> {
     ))
 }
 
-fn write_envelope(out: &mut Vec<u8>, kind: u8, id: u64) {
+fn write_envelope(out: &mut Vec<u8>, ver: u8, kind: u8, id: u64) {
     out.extend_from_slice(MAGIC);
-    out.push(VERSION);
+    out.push(ver);
     out.push(kind);
     put_u64(out, id);
 }
 
-fn read_envelope(buf: &[u8], pos: &mut usize, want_kind: u8) -> Result<u64, CkksError> {
+/// Reads the envelope, returning `(version, id)`. Both frame versions are
+/// accepted here; kind-specific version constraints are the caller's.
+fn read_envelope(buf: &[u8], pos: &mut usize, want_kind: u8) -> Result<(u8, u64), CkksError> {
     let magic = take(buf, pos, 4)?;
     if magic != MAGIC {
         return Err(CkksError::WireDecode("bad serve magic".into()));
     }
     let ver = get_u8(buf, pos)?;
-    if ver != VERSION {
+    if ver != VERSION && ver != VERSION_TENANT {
         return Err(CkksError::WireDecode(format!(
             "unsupported serve frame version {ver}"
         )));
@@ -132,13 +146,42 @@ fn read_envelope(buf: &[u8], pos: &mut usize, want_kind: u8) -> Result<u64, Ckks
             "serve frame kind {kind}, want {want_kind}"
         )));
     }
-    get_u64(buf, pos)
+    Ok((ver, get_u64(buf, pos)?))
 }
 
-/// Serializes one request under the given wire id.
+/// Serializes one request under the given wire id (v1 — no tenant; the
+/// pre-tenancy spelling, kept byte-identical). The tenant-aware encoder is
+/// [`encode_request_as`].
 pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
+    encode_request_as(id, None, req).expect("v1 frames cannot fail to encode")
+}
+
+/// Serializes one request: `tenant: None` emits a v1 frame (byte-identical
+/// to [`encode_request`]), `Some(id)` emits a v2 frame with the tenant
+/// header.
+///
+/// # Errors
+///
+/// [`CkksError::WireDecode`] when the tenant label is empty or longer than
+/// [`wd_ckks::wire::MAX_LABEL_BYTES`].
+pub fn encode_request_as(
+    id: u64,
+    tenant: Option<&str>,
+    req: &Request,
+) -> Result<Vec<u8>, CkksError> {
     let mut out = Vec::new();
-    write_envelope(&mut out, KIND_REQUEST, id);
+    match tenant {
+        None => write_envelope(&mut out, VERSION, KIND_REQUEST, id),
+        Some(t) => {
+            if t.is_empty() {
+                return Err(CkksError::WireDecode(
+                    "tenant label must not be empty".into(),
+                ));
+            }
+            write_envelope(&mut out, VERSION_TENANT, KIND_REQUEST, id);
+            write_label_frame(&mut out, t)?;
+        }
+    }
     out.push(match req.class {
         Class::Interactive => 0,
         Class::Bulk => 1,
@@ -176,18 +219,43 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
             write_ciphertext_frame(&mut out, ct);
         }
     }
-    out
+    Ok(out)
 }
 
-/// Deserializes one request frame, returning its wire id and the request.
+/// Deserializes one request frame (either version), returning its wire id
+/// and the request; the tenant header, if any, is dropped. The
+/// tenant-aware decoder is [`decode_request_as`].
 ///
 /// # Errors
 ///
 /// [`CkksError::WireDecode`] on truncation, bad magic/version/kind, an
 /// unknown op tag, or trailing bytes.
 pub fn decode_request(buf: &[u8]) -> Result<(u64, Request), CkksError> {
+    decode_request_as(buf).map(|(id, _tenant, req)| (id, req))
+}
+
+/// Deserializes one request frame of either version, returning the wire
+/// id, the tenant header (`None` for a v1 frame — route to the default
+/// tenant), and the request.
+///
+/// # Errors
+///
+/// [`CkksError::WireDecode`] on truncation, bad magic/version/kind, a bad
+/// or empty tenant label, an unknown op tag, or trailing bytes.
+pub fn decode_request_as(buf: &[u8]) -> Result<(u64, Option<String>, Request), CkksError> {
     let mut pos = 0usize;
-    let id = read_envelope(buf, &mut pos, KIND_REQUEST)?;
+    let (ver, id) = read_envelope(buf, &mut pos, KIND_REQUEST)?;
+    let tenant = if ver == VERSION_TENANT {
+        let label = read_label_frame(buf, &mut pos)?;
+        if label.is_empty() {
+            return Err(CkksError::WireDecode(
+                "tenant label must not be empty".into(),
+            ));
+        }
+        Some(label)
+    } else {
+        None
+    };
     let class = match get_u8(buf, &mut pos)? {
         0 => Class::Interactive,
         1 => Class::Bulk,
@@ -222,6 +290,7 @@ pub fn decode_request(buf: &[u8]) -> Result<(u64, Request), CkksError> {
     }
     Ok((
         id,
+        tenant,
         Request {
             op,
             class,
@@ -233,7 +302,7 @@ pub fn decode_request(buf: &[u8]) -> Result<(u64, Request), CkksError> {
 /// Serializes one response.
 pub fn encode_response(resp: &WireResponse) -> Vec<u8> {
     let mut out = Vec::new();
-    write_envelope(&mut out, KIND_RESPONSE, resp.id);
+    write_envelope(&mut out, VERSION, KIND_RESPONSE, resp.id);
     out.push(u8::from(resp.result.is_err()));
     put_u64(&mut out, resp.waited_us);
     put_u32(&mut out, resp.batch_size.min(u32::MAX as usize) as u32);
@@ -262,7 +331,12 @@ pub fn encode_response(resp: &WireResponse) -> Vec<u8> {
 /// trigger tag, a non-UTF-8 error message, or trailing bytes.
 pub fn decode_response(buf: &[u8]) -> Result<WireResponse, CkksError> {
     let mut pos = 0usize;
-    let id = read_envelope(buf, &mut pos, KIND_RESPONSE)?;
+    let (ver, id) = read_envelope(buf, &mut pos, KIND_RESPONSE)?;
+    if ver != VERSION {
+        return Err(CkksError::WireDecode(format!(
+            "response frames are version {VERSION}, got {ver}"
+        )));
+    }
     let is_err = match get_u8(buf, &mut pos)? {
         0 => false,
         1 => true,
@@ -339,6 +413,74 @@ mod tests {
             // Operand payloads survive: re-encoding is byte-identical.
             assert_eq!(encode_request(i as u64, &back), bytes);
         }
+    }
+
+    #[test]
+    fn tenant_frames_round_trip_and_v1_still_decodes() {
+        let (a, b) = ct_pair();
+        let req =
+            Request::bulk(ServeOp::HMult(a.clone(), b)).with_deadline(Duration::from_micros(9));
+        // v2: the tenant header survives the round trip.
+        let v2 = encode_request_as(5, Some("alice"), &req).expect("encode v2");
+        let (id, tenant, back) = decode_request_as(&v2).expect("decode v2");
+        assert_eq!((id, tenant.as_deref()), (5, Some("alice")));
+        assert_eq!(back.class, Class::Bulk);
+        assert_eq!(back.op.kind(), req.op.kind());
+        // The tenant-agnostic view of a v2 frame still decodes.
+        let (id, back) = decode_request(&v2).expect("v2 via legacy decoder");
+        assert_eq!(id, 5);
+        assert_eq!(back.op.kind(), req.op.kind());
+        // v1 frames (pre-tenancy clients) decode with tenant = None, and
+        // encode_request_as(None) is byte-identical to encode_request.
+        let v1 = encode_request(6, &req);
+        assert_eq!(
+            encode_request_as(6, None, &req).expect("encode v1"),
+            v1,
+            "v1 spelling unchanged"
+        );
+        let (id, tenant, _) = decode_request_as(&v1).expect("decode v1");
+        assert_eq!((id, tenant), (6, None));
+        // A v2 frame is exactly a v1 frame with the header spliced in.
+        assert_eq!(v2.len(), v1.len() + 1 + "alice".len());
+    }
+
+    #[test]
+    fn bad_tenant_labels_are_rejected_both_ways() {
+        let (a, _) = ct_pair();
+        let req = Request::new(ServeOp::Rescale(a));
+        assert!(matches!(
+            encode_request_as(0, Some(""), &req),
+            Err(CkksError::WireDecode(_))
+        ));
+        let long = "x".repeat(wd_ckks::wire::MAX_LABEL_BYTES + 1);
+        assert!(encode_request_as(0, Some(&long), &req).is_err());
+        // A v2 frame whose label declares an empty tenant is refused.
+        let good = encode_request_as(0, Some("a"), &req).expect("encode");
+        let mut empty = good.clone();
+        empty[14] = 0; // label length byte (after 4 magic + 1 ver + 1 kind + 8 id)
+        let _ = empty.remove(15); // drop the now-orphaned label byte
+        assert!(decode_request_as(&empty).is_err());
+        // Declared label length running past the buffer is truncation.
+        let mut runaway = good;
+        runaway[14] = 200;
+        assert!(matches!(
+            decode_request_as(&runaway),
+            Err(CkksError::WireDecode(_))
+        ));
+        // Responses remain v1-only.
+        let resp = WireResponse {
+            id: 1,
+            result: Err("e".into()),
+            waited_us: 0,
+            batch_size: 0,
+            trigger: None,
+        };
+        let mut bytes = encode_response(&resp);
+        bytes[4] = VERSION_TENANT;
+        assert!(matches!(
+            decode_response(&bytes),
+            Err(CkksError::WireDecode(_))
+        ));
     }
 
     #[test]

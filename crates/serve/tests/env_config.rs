@@ -1,0 +1,182 @@
+//! Environment-driven configuration contract for every `WD_SERVE_*` knob:
+//! unset → documented default, well-formed → used as-is, malformed →
+//! a `wd-trace` warning at site `serve.config` and the default kept.
+//!
+//! Lives in its own integration-test binary (hence its own process) because
+//! it mutates the environment; everything runs inside ONE test function so
+//! no parallel test observes a half-set environment. (Same idiom as
+//! `warpdrive-core`'s `env_config.rs` for `WD_THREADS`/`WD_SCHED`.)
+
+use std::time::Duration;
+
+use wd_serve::{
+    NetConfig, ServeConfig, TenantConfig, ADDR_ENV, AGE_ENV, BATCH_ENV, CONNS_ENV, KEY_CACHE_ENV,
+    LINGER_ENV, NET_TIMEOUT_ENV, QUEUE_ENV, QUOTA_ENV, WORKERS_ENV,
+};
+
+const ALL: &[&str] = &[
+    QUEUE_ENV,
+    BATCH_ENV,
+    LINGER_ENV,
+    WORKERS_ENV,
+    AGE_ENV,
+    KEY_CACHE_ENV,
+    QUOTA_ENV,
+    ADDR_ENV,
+    CONNS_ENV,
+    NET_TIMEOUT_ENV,
+];
+
+fn clear_env() {
+    for name in ALL {
+        std::env::remove_var(name);
+    }
+}
+
+/// Asserts a `serve.config` warning naming both the variable and the
+/// rejected value was captured since the last drain.
+fn expect_warning(name: &str, bad: &str) {
+    let warnings = wd_trace::take_warnings();
+    assert!(
+        warnings.iter().any(|w| w.site == "serve.config"
+            && w.message.contains(name)
+            && w.message.contains(bad)),
+        "malformed {name}={bad:?} must warn at serve.config, got {warnings:?}"
+    );
+}
+
+#[test]
+fn every_serve_knob_warns_and_defaults_on_malformed_values() {
+    clear_env();
+    wd_trace::take_warnings();
+
+    // --- Unset: the documented defaults, no warnings. ---
+    let d = ServeConfig::default();
+    let c = ServeConfig::from_env();
+    assert_eq!(
+        (
+            c.queue_capacity,
+            c.max_batch,
+            c.linger,
+            c.workers,
+            c.age_promote
+        ),
+        (d.queue_capacity, d.max_batch, d.linger, d.workers, None),
+    );
+    assert_eq!(TenantConfig::from_env(), TenantConfig::default());
+    assert_eq!(NetConfig::from_env(), NetConfig::default());
+    assert!(
+        wd_trace::take_warnings().is_empty(),
+        "unset knobs must not warn"
+    );
+
+    // --- Well-formed: used as-is. ---
+    std::env::set_var(QUEUE_ENV, "3");
+    std::env::set_var(BATCH_ENV, "2");
+    std::env::set_var(LINGER_ENV, "750");
+    std::env::set_var(WORKERS_ENV, "4");
+    std::env::set_var(AGE_ENV, "9000");
+    let c = ServeConfig::from_env();
+    assert_eq!(
+        (
+            c.queue_capacity,
+            c.max_batch,
+            c.linger,
+            c.workers,
+            c.age_promote
+        ),
+        (
+            3,
+            2,
+            Duration::from_micros(750),
+            4,
+            Some(Duration::from_micros(9000))
+        ),
+    );
+    std::env::set_var(KEY_CACHE_ENV, "64");
+    std::env::set_var(QUOTA_ENV, "5");
+    let t = TenantConfig::from_env();
+    assert_eq!((t.key_cache_bytes, t.quota), (64 << 20, 5));
+    std::env::set_var(ADDR_ENV, "127.0.0.1:39099");
+    std::env::set_var(CONNS_ENV, "2");
+    std::env::set_var(NET_TIMEOUT_ENV, "120");
+    let n = NetConfig::from_env();
+    assert_eq!(
+        (n.addr.as_str(), n.max_conns, n.io_timeout),
+        ("127.0.0.1:39099", 2, Duration::from_millis(120)),
+    );
+    assert!(
+        wd_trace::take_warnings().is_empty(),
+        "well-formed knobs must not warn"
+    );
+    clear_env();
+
+    // --- Malformed: warn at serve.config, keep the default. ---
+    // Integer knobs with a ≥1 floor reject garbage, negatives, and zero.
+    for (name, bad) in [
+        (QUEUE_ENV, "many"),
+        (QUEUE_ENV, "0"),
+        (BATCH_ENV, "-1"),
+        (WORKERS_ENV, "2.5"),
+        (KEY_CACHE_ENV, "0"),
+        (QUOTA_ENV, "unlimited"),
+        (CONNS_ENV, "0"),
+    ] {
+        std::env::set_var(name, bad);
+        wd_trace::take_warnings();
+        let c = ServeConfig::from_env();
+        let d = ServeConfig::default();
+        assert_eq!(
+            (c.queue_capacity, c.max_batch, c.workers),
+            (d.queue_capacity, d.max_batch, d.workers),
+            "{name}={bad:?} must keep the ServeConfig default"
+        );
+        assert_eq!(
+            TenantConfig::from_env(),
+            TenantConfig::default(),
+            "{name}={bad:?} must keep the TenantConfig default"
+        );
+        assert_eq!(
+            NetConfig::from_env(),
+            NetConfig::default(),
+            "{name}={bad:?} must keep the NetConfig default"
+        );
+        expect_warning(name, bad);
+        std::env::remove_var(name);
+    }
+
+    // The linger knob accepts 0 (flush immediately) but not garbage.
+    std::env::set_var(LINGER_ENV, "0");
+    wd_trace::take_warnings();
+    assert_eq!(ServeConfig::from_env().linger, Duration::ZERO);
+    assert!(wd_trace::take_warnings().is_empty(), "LINGER_US=0 is valid");
+    std::env::set_var(LINGER_ENV, "soon");
+    assert_eq!(
+        ServeConfig::from_env().linger,
+        ServeConfig::default().linger
+    );
+    expect_warning(LINGER_ENV, "soon");
+    std::env::remove_var(LINGER_ENV);
+
+    // AGE_US: *presence* turns promotion on; a malformed value still turns
+    // it on but with the documented 1 ms fallback.
+    std::env::set_var(AGE_ENV, "later");
+    assert_eq!(
+        ServeConfig::from_env().age_promote,
+        Some(Duration::from_micros(1_000)),
+        "malformed AGE_US falls back to 1 ms, still enabled by presence"
+    );
+    expect_warning(AGE_ENV, "later");
+    std::env::remove_var(AGE_ENV);
+
+    // The net timeout floors at 10 ms so a typo cannot spin the accept
+    // loop or make every read a stall.
+    std::env::set_var(NET_TIMEOUT_ENV, "1");
+    assert_eq!(
+        NetConfig::from_env().io_timeout,
+        NetConfig::default().io_timeout,
+        "sub-floor timeout must keep the default"
+    );
+    expect_warning(NET_TIMEOUT_ENV, "1");
+    clear_env();
+}

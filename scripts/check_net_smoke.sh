@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Net smoke check: the multi-tenant TCP front-end, end to end, under light
+# fault injection. Runs the net_bench drill — a live loopback `NetServer`,
+# two tenants each with an interactive and a bulk client connection, plus
+# the deterministic quota and key-cache-churn drills — and asserts the
+# per-tenant `serve.tenant.*` counters show a clean lossless drain: every
+# request a tenant enqueued was completed before shutdown, with the quota
+# refusal and the forced evictions accounted exactly.
+#
+# Usage: scripts/check_net_smoke.sh
+#   Runs under WD_TRACE=full and (unless overridden) WD_FAULT_RATE=0.02;
+#   fault recovery must be invisible in every count. Exits nonzero on any
+#   missing signal or wrong count.
+set -euo pipefail
+
+# shellcheck source=scripts/lib.sh
+. "$(dirname "$0")/lib.sh"
+
+log=/tmp/wd_net_smoke.log      # stdout: the artifact-shaped report
+trace=/tmp/wd_net_smoke.trace  # stderr: the wd-trace summary
+
+if ! WD_TRACE=full WD_FAULT_RATE="${WD_FAULT_RATE:-0.02}" \
+    cargo run --release -q -p wd-bench --bin net_bench -- --quick \
+    >"$log" 2>"$trace"; then
+    echo "FAIL net_bench exited nonzero:" >&2
+    cat "$log" "$trace" >&2
+    exit 1
+fi
+
+# The drill's own end-state assertions all passed.
+wd_need "^PASS:" "net_bench PASS line" "$log"
+wd_need "lossless: 4 connections accepted" "socket accounting line" "$log"
+wd_need "bit-identical to the sequential fault-free reference" \
+    "cache-churn bit-identity line" "$log"
+
+# Socket counters: 4 client connections (2 tenants x interactive/bulk),
+# 8 frames each in --quick mode, nothing refused or undecodable.
+wd_expect_eq "$(wd_counter serve.net.accepted "$trace")" 4 "serve.net.accepted"
+wd_expect_eq "$(wd_counter serve.net.frames "$trace")" 32 "serve.net.frames"
+
+# Per-tenant lossless drain. In --quick mode the totals are deterministic:
+# alice = 16 TCP (2 conns x 8) + 1 quota-drill hold + 4 churn = 21;
+# bob   = 16 TCP + 4 churn = 20. Completed must equal enqueued — the
+# SIGTERM-style shutdown (socket drain, then queue drain) loses nothing,
+# faults included.
+wd_expect_eq "$(wd_counter serve.tenant.alice.enqueued "$trace")" 21 \
+    "serve.tenant.alice.enqueued"
+wd_expect_eq "$(wd_counter serve.tenant.alice.completed "$trace")" 21 \
+    "serve.tenant.alice.completed (lossless drain)"
+wd_expect_eq "$(wd_counter serve.tenant.bob.enqueued "$trace")" 20 \
+    "serve.tenant.bob.enqueued"
+wd_expect_eq "$(wd_counter serve.tenant.bob.completed "$trace")" 20 \
+    "serve.tenant.bob.completed (lossless drain)"
+
+# The quota drill's refusal is accounted to the tenant, exactly once.
+wd_expect_eq "$(wd_counter serve.tenant.alice.rejected "$trace")" 1 \
+    "serve.tenant.alice.rejected (quota drill)"
+
+# The churn drill's 1-byte budget forces an eviction on each of the 8
+# alternating leases after the first.
+wd_expect_eq "$(wd_counter serve.keycache.evictions "$trace")" 7 \
+    "serve.keycache.evictions (churn drill)"
+wd_need "^counter serve.keycache.misses = " "key-cache miss counter" "$trace"
+
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "net smoke failed; report at $log, trace summary at $trace" >&2
+fi
+exit "$fail"

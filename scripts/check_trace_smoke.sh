@@ -10,7 +10,8 @@
 #   archive it as an artifact. Exits nonzero on any missing signal.
 set -euo pipefail
 
-cd "$(dirname "$0")/.."
+# shellcheck source=scripts/lib.sh
+. "$(dirname "$0")/lib.sh"
 
 out="${1:-/tmp/wd_trace_smoke.json}"
 log=/tmp/wd_trace_smoke.log
@@ -23,40 +24,23 @@ if ! WD_TRACE=full WD_TRACE_OUT="$out" \
     exit 1
 fi
 
-fail=0
-need() {
-    if grep -q "$1" "$log"; then
-        echo "OK       $2"
-    else
-        echo "MISSING  $2 (pattern: $1)" >&2
-        fail=1
-    fi
-}
-
 # (a) Nsight-style report columns (Table II / Fig. 5).
-need "instructions" "per-kernel instruction column"
-need "issue_cyc" "issue-cycle column"
-need "stall_cyc" "stall-cycle column"
-need "st/inst" "stalls-per-instruction column"
-need "memory-related" "stall attribution total line"
+wd_need "instructions" "per-kernel instruction column" "$log"
+wd_need "issue_cyc" "issue-cycle column" "$log"
+wd_need "stall_cyc" "stall-cycle column" "$log"
+wd_need "st/inst" "stalls-per-instruction column" "$log"
+wd_need "memory-related" "stall attribution total line" "$log"
 
 # (b) Machine-readable counters from the wd-trace summary.
-need "^counter sim.kernel_launches = " "sim.kernel_launches counter"
-need "^== wd-trace summary" "summary report header"
-need "^ckks.hmult " "ckks.hmult span aggregate"
-need "^ckks.keyswitch " "ckks.keyswitch span aggregate"
+wd_need "^counter sim.kernel_launches = " "sim.kernel_launches counter" "$log"
+wd_need "^== wd-trace summary" "summary report header" "$log"
+wd_need "^ckks.hmult " "ckks.hmult span aggregate" "$log"
+wd_need "^ckks.keyswitch " "ckks.keyswitch span aggregate" "$log"
 
 # The modeled kernel count must match the plan (13 kernels for the SET-B
-# HMULT PE plan: HMULT-tensor + 11 keyswitch stages + HMULT-add). awk
-# takes the first match and exits on its own — no `head` in a pipeline to
-# trip pipefail on SIGPIPE.
-launches="$(awk -F' = ' '/^counter sim\.kernel_launches = /{print $2; exit}' "$log")"
-if [ "$launches" = "13" ]; then
-    echo "OK       kernel launch counter = 13 (SET-B HMULT PE plan)"
-else
-    echo "FAIL     kernel launch counter = '$launches', expected 13" >&2
-    fail=1
-fi
+# HMULT PE plan: HMULT-tensor + 11 keyswitch stages + HMULT-add).
+wd_expect_eq "$(wd_counter sim.kernel_launches "$log")" 13 \
+    "kernel launch counter (SET-B HMULT PE plan)"
 
 # (c) Chrome-trace JSON: present, parseable, and carrying both processes.
 if [ ! -s "$out" ]; then
@@ -67,12 +51,7 @@ elif command -v python3 >/dev/null 2>&1 && ! python3 -m json.tool "$out" >/dev/n
     fail=1
 else
     for pat in '"traceEvents"' '"ph":"X"' 'gpu.lane0' '"name":"hmult"'; do
-        if grep -q "$pat" "$out"; then
-            echo "OK       trace JSON has $pat"
-        else
-            echo "MISSING  $pat in $out" >&2
-            fail=1
-        fi
+        wd_need "$pat" "trace JSON has $pat" "$out"
     done
 fi
 
