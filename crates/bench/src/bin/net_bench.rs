@@ -246,7 +246,7 @@ fn cache_churn_drill() -> Result<(), Box<dyn std::error::Error>> {
     const ROUNDS: usize = 4; // per tenant, alternating
     let mut reg = TenantRegistry::new(TenantConfig {
         key_cache_bytes: 1,
-        quota: usize::MAX,
+        ..TenantConfig::default()
     });
     let mut tenants = Vec::new();
     for (id, seed) in [("alice", 51u64), ("bob", 52u64)] {

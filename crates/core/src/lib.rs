@@ -53,6 +53,6 @@ pub use sched::{BatchShape, ParScheduler, SchedPolicy, Split, SCHED_ENV};
 // injection, retry policy) — defined in `wd-fault`, re-exported here so
 // every consumer of the framework speaks one error type.
 pub use wd_fault::{
-    run_isolated, FaultInjector, FaultKind, FaultPlan, RetryPolicy, WdError, FAULT_RATE_ENV,
-    FAULT_SEED_ENV,
+    integrity, run_isolated, FaultInjector, FaultKind, FaultPlan, RetryPolicy, WdError,
+    FAULT_RATE_ENV, FAULT_SEED_ENV,
 };

@@ -19,6 +19,10 @@
 //!   fallible unit of work, with panic isolation ([`run_isolated`]) so a
 //!   worker panic becomes [`WdError::WorkerPanicked`] instead of killing
 //!   the process.
+//! - [`integrity`]: a dependency-free 64-bit FNV-1a checksum over limb
+//!   slabs and wire frames, with the typed [`WdError::IntegrityViolation`]
+//!   for a mismatch — the detection substrate of the serving layer's
+//!   quarantine-and-reload path.
 //!
 //! The crate is dependency-free and sits below everything else in the
 //! workspace so that error conversions (`From<PolyError>`,
@@ -57,10 +61,16 @@ pub enum FaultKind {
     /// different execution path (another device, the host) can finish the
     /// work.
     DeviceLost,
+    /// A cached evaluation key failed its integrity checksum (a bit flip
+    /// while resident in device memory). The authoritative cold copy is
+    /// intact, so quarantining the resident copy and reloading repairs it.
+    CorruptedKey,
 }
 
 impl FaultKind {
     /// Whether retrying the same work on the same path can succeed.
+    /// `CorruptedKey` counts as transient because the repair — reload from
+    /// the authoritative cold copy — runs on the same path.
     pub fn is_transient(self) -> bool {
         !matches!(self, FaultKind::DeviceLost)
     }
@@ -72,6 +82,7 @@ impl core::fmt::Display for FaultKind {
             FaultKind::TransientLaunch => write!(f, "transient launch failure"),
             FaultKind::CorruptedLimb => write!(f, "ECC-detected corrupted limb"),
             FaultKind::DeviceLost => write!(f, "device lost"),
+            FaultKind::CorruptedKey => write!(f, "checksum-detected corrupted key"),
         }
     }
 }
@@ -153,6 +164,31 @@ pub enum WdError {
     },
     /// A request named a tenant the serving registry does not know.
     UnknownTenant(String),
+    /// An integrity checksum did not match: the named object (a cached key,
+    /// a wire frame) was corrupted between computation and verification.
+    /// Deliberately not transient — the *caller* decides the repair
+    /// (quarantine-and-reload for keys, poison-and-reconnect for streams);
+    /// blind re-execution would just re-consume the corrupt bytes.
+    IntegrityViolation {
+        /// What failed verification (a stable label such as
+        /// `"keycache resident alice"` or `"wire frame"`).
+        what: String,
+        /// The checksum recorded when the object was known-good.
+        expected: u64,
+        /// The checksum computed at verification time.
+        got: u64,
+    },
+    /// The tenant's circuit breaker is open: recent requests failed or shed
+    /// at a rate past the configured threshold, so admission is refused
+    /// *before* queueing to protect other tenants. A client-side
+    /// backpressure signal like [`WdError::QueueFull`] — deliberately not
+    /// transient; retry after `retry_after_us`.
+    TenantCircuitOpen {
+        /// The tenant whose breaker is open.
+        tenant: String,
+        /// Microseconds until the breaker next admits a half-open probe.
+        retry_after_us: u64,
+    },
 }
 
 impl WdError {
@@ -215,6 +251,25 @@ impl core::fmt::Display for WdError {
                 )
             }
             WdError::UnknownTenant(t) => write!(f, "unknown tenant {t:?}"),
+            WdError::IntegrityViolation {
+                what,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "integrity violation: {what}: checksum expected {expected:#018x}, got {got:#018x}"
+                )
+            }
+            WdError::TenantCircuitOpen {
+                tenant,
+                retry_after_us,
+            } => {
+                write!(
+                    f,
+                    "tenant {tenant:?} circuit open: retry after {retry_after_us} us"
+                )
+            }
         }
     }
 }
@@ -342,6 +397,9 @@ fn splitmix64(mut z: u64) -> u64 {
 pub struct FaultInjector {
     plan: FaultPlan,
     draws: AtomicU64,
+    /// Drill queue: kinds armed via [`FaultInjector::force_next`] fire on
+    /// the next checks, ahead of (and without consuming) plan draws.
+    forced: std::sync::Mutex<std::collections::VecDeque<FaultKind>>,
 }
 
 impl FaultInjector {
@@ -350,6 +408,7 @@ impl FaultInjector {
         Self {
             plan,
             draws: AtomicU64::new(0),
+            forced: std::sync::Mutex::new(std::collections::VecDeque::new()),
         }
     }
 
@@ -378,9 +437,44 @@ impl FaultInjector {
         self.draws.load(Ordering::Relaxed)
     }
 
+    /// Arms the next `n` calls to [`FaultInjector::check`] to fire `kind`
+    /// deterministically, ahead of the ambient plan and **without**
+    /// consuming plan draws — so a drill does not perturb the seeded
+    /// schedule around it. The drill entry point for fault kinds the plan
+    /// never emits on its own (e.g. [`FaultKind::CorruptedKey`], whose
+    /// ambient weighting is pinned by existing deterministic schedules).
+    pub fn force_next(&self, kind: FaultKind, n: usize) {
+        let mut q = self.forced.lock().expect("forced-fault queue poisoned");
+        for _ in 0..n {
+            q.push_back(kind);
+        }
+    }
+
+    /// Number of armed-but-unfired forced faults.
+    pub fn forced_pending(&self) -> usize {
+        self.forced
+            .lock()
+            .expect("forced-fault queue poisoned")
+            .len()
+    }
+
     /// Consults the plan once: `Ok(())` to proceed, or the injected fault
-    /// as [`WdError::SimFault`] tagged with `site`.
+    /// as [`WdError::SimFault`] tagged with `site`. Forced faults (armed
+    /// via [`FaultInjector::force_next`]) fire first, even when the plan
+    /// itself is disabled.
     pub fn check(&self, site: &str) -> Result<(), WdError> {
+        if let Some(kind) = self
+            .forced
+            .lock()
+            .expect("forced-fault queue poisoned")
+            .pop_front()
+        {
+            wd_trace::counter("fault.injected", 1);
+            return Err(WdError::SimFault {
+                kind,
+                site: site.to_string(),
+            });
+        }
         if !self.plan.is_active() {
             return Ok(());
         }
@@ -403,6 +497,12 @@ impl Clone for FaultInjector {
         Self {
             plan: self.plan,
             draws: AtomicU64::new(self.draws.load(Ordering::Relaxed)),
+            forced: std::sync::Mutex::new(
+                self.forced
+                    .lock()
+                    .expect("forced-fault queue poisoned")
+                    .clone(),
+            ),
         }
     }
 }
@@ -535,6 +635,102 @@ impl Default for RetryPolicy {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Integrity checksums
+// ---------------------------------------------------------------------------
+
+/// Dependency-free 64-bit FNV-1a checksums over limb slabs and wire frames.
+///
+/// The serving layer holds hundreds of MiB of keyswitch-key limbs resident
+/// (SET-E relin keys model at 630 MiB) — exactly the regime where a silent
+/// bit flip would otherwise be *served*. This module provides the
+/// detection half of the quarantine-and-reload story: a checksum recorded
+/// when the object was known-good (key registration, frame encode) and
+/// recomputed at every trust boundary (keycache hit, frame decode).
+///
+/// FNV-1a is an error-*detection* code, not a MAC: it catches corruption,
+/// not adversaries. The word-chunked variant here folds eight bytes per
+/// multiply, which keeps verification far below 1% of an HMULT batch
+/// (measured in `guard_bench`). Note the word-fed and byte-fed digests of
+/// the same data are *different* streams by construction — callers must
+/// checksum the same representation they verify.
+pub mod integrity {
+    /// FNV-1a 64-bit offset basis.
+    pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    /// FNV-1a 64-bit prime.
+    pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Incremental word-chunked FNV-1a 64 hasher.
+    ///
+    /// Feed `u64` words directly ([`Fnv64::write_u64`]) for limb slabs, or
+    /// arbitrary bytes ([`Fnv64::write_bytes`]) for wire frames; bytes are
+    /// packed into little-endian words with a zero-padded tail plus a
+    /// total-length word so distinct byte streams cannot collide by
+    /// padding. Finish with [`Fnv64::finish`].
+    #[derive(Debug, Clone)]
+    pub struct Fnv64 {
+        state: u64,
+    }
+
+    impl Fnv64 {
+        /// A fresh hasher at the offset basis.
+        pub fn new() -> Self {
+            Self { state: FNV_OFFSET }
+        }
+
+        /// Folds one 64-bit word into the digest.
+        pub fn write_u64(&mut self, word: u64) {
+            self.state = (self.state ^ word).wrapping_mul(FNV_PRIME);
+        }
+
+        /// Folds a byte slice: little-endian 8-byte words, the remainder
+        /// zero-padded into a final word, then the total byte length as a
+        /// word (so `[1]` and `[1, 0]` digest differently).
+        pub fn write_bytes(&mut self, bytes: &[u8]) {
+            let mut chunks = bytes.chunks_exact(8);
+            for chunk in &mut chunks {
+                let mut w = [0u8; 8];
+                w.copy_from_slice(chunk);
+                self.write_u64(u64::from_le_bytes(w));
+            }
+            let rest = chunks.remainder();
+            if !rest.is_empty() {
+                let mut w = [0u8; 8];
+                w[..rest.len()].copy_from_slice(rest);
+                self.write_u64(u64::from_le_bytes(w));
+            }
+            self.write_u64(bytes.len() as u64);
+        }
+
+        /// The digest so far.
+        pub fn finish(&self) -> u64 {
+            self.state
+        }
+    }
+
+    impl Default for Fnv64 {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    /// One-shot checksum of a byte slice (see [`Fnv64::write_bytes`]).
+    pub fn checksum_bytes(bytes: &[u8]) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_bytes(bytes);
+        h.finish()
+    }
+
+    /// One-shot checksum of a word stream (see [`Fnv64::write_u64`]).
+    pub fn checksum_words(words: impl IntoIterator<Item = u64>) -> u64 {
+        let mut h = Fnv64::new();
+        for w in words {
+            h.write_u64(w);
+        }
+        h.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -564,6 +760,40 @@ mod tests {
         ] {
             assert!(a.iter().flatten().any(|&k| k == kind), "{kind} never fired");
         }
+        // CorruptedKey is drill-only: the ambient kind weighting is pinned
+        // by existing deterministic schedules, so it fires exclusively via
+        // FaultInjector::force_next.
+        assert!(
+            !a.iter().flatten().any(|&k| k == FaultKind::CorruptedKey),
+            "CorruptedKey must never fire from the ambient plan"
+        );
+    }
+
+    #[test]
+    fn forced_faults_fire_first_and_burn_no_draws() {
+        let inj = FaultInjector::disabled();
+        inj.force_next(FaultKind::CorruptedKey, 2);
+        assert_eq!(inj.forced_pending(), 2);
+        for _ in 0..2 {
+            match inj.check("keycache.lease") {
+                Err(WdError::SimFault { kind, site }) => {
+                    assert_eq!(kind, FaultKind::CorruptedKey);
+                    assert_eq!(site, "keycache.lease");
+                }
+                other => panic!("expected forced CorruptedKey, got {other:?}"),
+            }
+        }
+        assert_eq!(inj.forced_pending(), 0);
+        assert!(inj.check("keycache.lease").is_ok(), "queue drained");
+        assert_eq!(inj.draws(), 0, "forced faults consume no plan draws");
+        // An active plan resumes its unperturbed schedule after a drill.
+        let plan = FaultPlan::new(9, 0.5);
+        let ambient = FaultInjector::new(plan);
+        ambient.force_next(FaultKind::DeviceLost, 1);
+        assert!(ambient.check("t").is_err());
+        let ambient_decisions: Vec<_> = (0..20).map(|_| ambient.check("t").is_err()).collect();
+        let expected: Vec<_> = (0..20).map(|i| plan.decide(i).is_some()).collect();
+        assert_eq!(ambient_decisions, expected, "drill must not shift draws");
     }
 
     #[test]
@@ -702,6 +932,25 @@ mod tests {
         }
         .is_transient());
         assert!(!WdError::UnknownTenant("mallory".into()).is_transient());
+        // CorruptedKey is transient at the *fault* level (reload from the
+        // cold copy repairs it); a surfaced IntegrityViolation is not — the
+        // caller owns the repair, blind re-execution re-reads corrupt bytes.
+        assert!(WdError::SimFault {
+            kind: FaultKind::CorruptedKey,
+            site: "s".into()
+        }
+        .is_transient());
+        assert!(!WdError::IntegrityViolation {
+            what: "keycache resident alice".into(),
+            expected: 1,
+            got: 2
+        }
+        .is_transient());
+        assert!(!WdError::TenantCircuitOpen {
+            tenant: "alice".into(),
+            retry_after_us: 1000
+        }
+        .is_transient());
     }
 
     #[test]
@@ -760,6 +1009,55 @@ mod tests {
         assert_eq!(
             WdError::UnknownTenant("mallory".into()).to_string(),
             "unknown tenant \"mallory\""
+        );
+        let bad = WdError::IntegrityViolation {
+            what: "keycache resident alice".into(),
+            expected: 0xdead_beef,
+            got: 0x0bad_f00d,
+        };
+        assert_eq!(
+            bad.to_string(),
+            "integrity violation: keycache resident alice: \
+             checksum expected 0x00000000deadbeef, got 0x000000000badf00d"
+        );
+        let open = WdError::TenantCircuitOpen {
+            tenant: "bob".into(),
+            retry_after_us: 250_000,
+        };
+        assert_eq!(
+            open.to_string(),
+            "tenant \"bob\" circuit open: retry after 250000 us"
+        );
+    }
+
+    #[test]
+    fn fnv_checksums_are_stable_and_sensitive() {
+        use super::integrity::{checksum_bytes, checksum_words, Fnv64};
+        // The canonical FNV-1a 64 test vector, via the word path: hashing
+        // the empty input is the offset basis folded with the length word.
+        assert_eq!(checksum_words([]), super::integrity::FNV_OFFSET);
+        let mut h = Fnv64::new();
+        h.write_u64(0);
+        assert_eq!(
+            h.finish(),
+            super::integrity::FNV_OFFSET.wrapping_mul(super::integrity::FNV_PRIME)
+        );
+        // Deterministic across calls; a single flipped bit changes the sum.
+        let words: Vec<u64> = (0..1000).map(|i| i * 0x9e37_79b9).collect();
+        let a = checksum_words(words.iter().copied());
+        assert_eq!(a, checksum_words(words.iter().copied()));
+        let mut flipped = words.clone();
+        flipped[500] ^= 1;
+        assert_ne!(a, checksum_words(flipped));
+        // Byte path: length injection means zero-padding cannot collide.
+        assert_ne!(checksum_bytes(&[1]), checksum_bytes(&[1, 0]));
+        assert_ne!(checksum_bytes(&[]), checksum_bytes(&[0]));
+        assert_eq!(checksum_bytes(b"warpdrive"), checksum_bytes(b"warpdrive"));
+        // Byte and word feeds of the same data are distinct streams (the
+        // byte path appends a length word): callers verify what they hashed.
+        assert_ne!(
+            checksum_bytes(&42u64.to_le_bytes()),
+            checksum_words([42u64])
         );
     }
 }

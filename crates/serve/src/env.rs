@@ -45,6 +45,16 @@ where
     parse_or(name, default, |v| *v >= min)
 }
 
+/// [`parse_or`] with both bounds: rejects zero/underflow *and* the absurd
+/// overflow values (`WD_SERVE_WORKERS=999999999` is a typo, not a fleet) —
+/// either way warn-and-default, never a silent clamp.
+pub(crate) fn parse_range<T>(name: &str, default: T, min: T, max: T) -> T
+where
+    T: FromStr + Display + PartialOrd + Copy,
+{
+    parse_or(name, default, |v| *v >= min && *v <= max)
+}
+
 /// Whether `name` is set at all (for knobs whose *presence* changes
 /// behavior, like `WD_SERVE_AGE_US`).
 pub(crate) fn is_set(name: &str) -> bool {

@@ -42,6 +42,13 @@
 //!   listener (thread-per-connection, connection cap, io timeouts) that
 //!   speaks length-prefixed [`wire`] frames into [`Server::submit_as`],
 //!   with a lossless socket-then-queue drain for SIGTERM-style shutdown.
+//! - **Self-healing**: checksum-verified key leases (quarantine-and-reload
+//!   on a resident bit flip), a watchdog that re-queues a wedged worker's
+//!   batch and replaces the thread (degrading to sequential execution
+//!   under a restart storm), per-tenant [circuit breakers](breaker) that
+//!   refuse doomed traffic fast, checksummed v3 wire frames, and a HEALTH
+//!   frame ([`wire::HealthReport`]) reporting all of it — every rung
+//!   observable as `serve.guard.*` / `fault.*` trace signals.
 //!
 //! [`ParScheduler`]: warpdrive_core::ParScheduler
 //!
@@ -75,6 +82,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
 mod env;
 pub mod net;
 pub mod request;
@@ -82,16 +90,21 @@ pub mod server;
 pub mod tenant;
 pub mod wire;
 
+pub use breaker::{
+    BreakerConfig, BreakerState, CircuitBreaker, BREAKER_COOLDOWN_ENV, BREAKER_PCT_ENV,
+    BREAKER_PROBES_ENV, BREAKER_WINDOW_ENV,
+};
 pub use net::{NetClient, NetConfig, NetServer, NetStats, ADDR_ENV, CONNS_ENV, NET_TIMEOUT_ENV};
 pub use request::{Request, Response, ServeOp, Ticket};
 pub use server::{
     ServeConfig, ServeKeys, ServeStats, Server, AGE_ENV, BATCH_ENV, LINGER_ENV, QUEUE_ENV,
-    WORKERS_ENV,
+    WATCHDOG_ENV, WORKERS_ENV,
 };
 pub use tenant::{
     KeyCacheStats, TenantConfig, TenantRegistry, TenantStats, DEFAULT_TENANT, KEY_CACHE_ENV,
     QUOTA_ENV,
 };
+pub use wire::{HealthReport, TenantHealth};
 // The priority classes and flush triggers are defined by the pure decision
 // core in `warpdrive-core`; re-exported so serving code needs one import.
 pub use warpdrive_core::{Class, FlushTrigger};

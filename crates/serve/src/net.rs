@@ -25,6 +25,13 @@
 //!   every in-flight request finish (handlers exit at their next idle
 //!   tick), and joins every thread. Composed with [`Server::drain`] this
 //!   gives the SIGTERM contract: zero accepted requests lost.
+//! - **Version echo + HEALTH**: a request is answered in the wire version
+//!   it arrived in (a checksummed v3 request gets a checksummed v3
+//!   response), and a v3 HEALTH probe is served straight from
+//!   [`Server::health`] without entering the request queue.
+//! - **Poisoned-connection client**: [`NetClient`] tracks partial writes;
+//!   any transport or protocol failure poisons the connection and the next
+//!   call reconnects instead of reusing a misaligned stream.
 //!
 //! Responses carry the **client's** wire id (not the server's internal
 //! sequence number), so clients can correlate however they number frames.
@@ -47,7 +54,7 @@ use crate::wire::{self, WireResponse};
 /// Listen address (`host:port`; default `127.0.0.1:0` = loopback, OS-picked
 /// port — read it back from [`NetServer::local_addr`]).
 pub const ADDR_ENV: &str = "WD_SERVE_ADDR";
-/// Maximum concurrent connections (`usize` ≥ 1).
+/// Maximum concurrent connections (`usize`, 1..=4096).
 pub const CONNS_ENV: &str = "WD_SERVE_CONNS";
 /// Per-direction socket io timeout in milliseconds (`u64` ≥ 10). Also the
 /// granularity at which idle handlers notice shutdown.
@@ -92,7 +99,7 @@ impl NetConfig {
         let d = Self::default();
         Self {
             addr: std::env::var(ADDR_ENV).unwrap_or(d.addr),
-            max_conns: env::parse_min(CONNS_ENV, d.max_conns, 1),
+            max_conns: env::parse_range(CONNS_ENV, d.max_conns, 1, 4096),
             io_timeout: Duration::from_millis(env::parse_min(
                 NET_TIMEOUT_ENV,
                 d.io_timeout.as_millis() as u64,
@@ -305,35 +312,8 @@ fn handle_connection(
             Ok(Some(frame)) => {
                 counters.frames.fetch_add(1, Ordering::Relaxed);
                 wd_trace::counter("serve.net.frames", 1);
-                match wire::decode_request_as(&frame) {
-                    Err(e) => {
-                        // The stream may be misaligned after a bad frame:
-                        // answer (the length prefix was still sound) and
-                        // close rather than guess at realignment.
-                        counters.decode_errors.fetch_add(1, Ordering::Relaxed);
-                        wd_trace::counter("serve.net.decode_errors", 1);
-                        let resp = error_response(0, &e.to_string());
-                        let _ = write_frame(&mut stream, &wire::encode_response(&resp));
-                        break;
-                    }
-                    Ok((wire_id, tenant, req)) => {
-                        let tenant = tenant.unwrap_or_else(|| DEFAULT_TENANT.to_string());
-                        let resp = match server.submit_as(&tenant, req) {
-                            Ok(ticket) => {
-                                let mut w = WireResponse::of(&ticket.wait());
-                                // Clients correlate by their own numbering.
-                                w.id = wire_id;
-                                w
-                            }
-                            // Admission errors (quota, QueueFull, unknown
-                            // tenant) answer per-request; the connection
-                            // stays usable.
-                            Err(e) => error_response(wire_id, &e.to_string()),
-                        };
-                        if write_frame(&mut stream, &wire::encode_response(&resp)).is_err() {
-                            break;
-                        }
-                    }
+                if !answer_frame(&mut stream, server, counters, &frame) {
+                    break;
                 }
             }
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
@@ -349,6 +329,71 @@ fn handle_connection(
         }
     }
     let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Answers one decoded-length frame: a HEALTH probe is served from
+/// [`Server::health`] without touching the request queue; anything else is
+/// a request, decoded version-aware and answered **in the version it
+/// arrived in** (v1/v2 → plain v1 response, v3 → checksummed v3 response).
+/// Returns whether the connection is still usable.
+fn answer_frame(
+    stream: &mut TcpStream,
+    server: &Arc<Server>,
+    counters: &NetCounters,
+    frame: &[u8],
+) -> bool {
+    if wire::peek_kind(frame) == Some(wire::KIND_HEALTH_REQUEST) {
+        return match wire::decode_health_request(frame) {
+            Err(e) => {
+                counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+                wd_trace::counter("serve.net.decode_errors", 1);
+                let resp = error_response(0, &e.to_string());
+                let _ = write_frame(stream, &wire::encode_response(&resp));
+                false
+            }
+            Ok(id) => {
+                wd_trace::counter("serve.net.health", 1);
+                match wire::encode_health_report(id, &server.health()) {
+                    Ok(bytes) => write_frame(stream, &bytes).is_ok(),
+                    Err(_) => false,
+                }
+            }
+        };
+    }
+    match wire::decode_request_versioned(frame) {
+        Err(e) => {
+            // The stream may be misaligned after a bad frame (and a failed
+            // v3 checksum means *nothing* in it can be trusted): answer
+            // (the length prefix was still sound) and close rather than
+            // guess at realignment.
+            counters.decode_errors.fetch_add(1, Ordering::Relaxed);
+            wd_trace::counter("serve.net.decode_errors", 1);
+            let resp = error_response(0, &e.to_string());
+            let _ = write_frame(stream, &wire::encode_response(&resp));
+            false
+        }
+        Ok((ver, wire_id, tenant, req)) => {
+            let tenant = tenant.unwrap_or_else(|| DEFAULT_TENANT.to_string());
+            let resp = match server.submit_as(&tenant, req) {
+                Ok(ticket) => {
+                    let mut w = WireResponse::of(&ticket.wait());
+                    // Clients correlate by their own numbering.
+                    w.id = wire_id;
+                    w
+                }
+                // Admission errors (quota, QueueFull, unknown tenant, an
+                // open circuit breaker) answer per-request; the connection
+                // stays usable.
+                Err(e) => error_response(wire_id, &e.to_string()),
+            };
+            let encoded = if ver == wire::VERSION_GUARD {
+                wire::encode_response_v3(&resp)
+            } else {
+                wire::encode_response(&resp)
+            };
+            write_frame(stream, &encoded).is_ok()
+        }
+    }
 }
 
 /// Writes one `u32 LE length | bytes` transport frame.
@@ -436,25 +481,149 @@ fn read_frame_idle_aware(
     read_frame_body(stream, len_buf, max).map(Some)
 }
 
+/// Writes all of `buf`, reporting **how many bytes actually left** on
+/// failure. `Write::write_all` discards that count, which is exactly the
+/// information a framed client needs: a failure at 0 bytes leaves the
+/// stream aligned, a failure mid-frame leaves the peer holding half a
+/// length-prefixed frame and the connection unusable.
+fn write_all_tracked(w: &mut impl Write, buf: &[u8]) -> Result<(), (usize, io::Error)> {
+    let mut sent = 0usize;
+    while sent < buf.len() {
+        match w.write(&buf[sent..]) {
+            Ok(0) => return Err((sent, io::ErrorKind::WriteZero.into())),
+            Ok(n) => sent += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err((sent, e)),
+        }
+    }
+    w.flush().map_err(|e| (sent, e))
+}
+
 /// A minimal blocking client for the transport: one request frame out, one
 /// response frame back, in order. Used by the drills, benches and tests;
 /// production clients only need to reproduce the framing.
+///
+/// **Failure discipline**: any transport or protocol failure — a partial
+/// write that left half a frame on the wire, a recv timeout, a response
+/// that fails to decode or answers the wrong id — **poisons** the
+/// connection. The failing call returns a typed [`WdError::WireDecode`]
+/// naming the poison, and the *next* call transparently reconnects instead
+/// of resuming a stream whose framing can no longer be trusted. (The old
+/// behavior — keep writing into a misaligned stream — made every
+/// subsequent call fail with confusing decode errors on the server side.)
 #[derive(Debug)]
 pub struct NetClient {
-    stream: TcpStream,
+    addr: SocketAddr,
+    io_timeout: Option<Duration>,
+    /// `None` = poisoned (or never connected); the next call reconnects.
+    stream: Option<TcpStream>,
     next_id: u64,
+    reconnects: u64,
 }
 
 impl NetClient {
-    /// Connects to a [`NetServer`].
+    /// Connects to a [`NetServer`] with no socket timeouts (blocking until
+    /// the server answers).
     ///
     /// # Errors
     ///
     /// The connect error, verbatim.
     pub fn connect(addr: SocketAddr) -> io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, None)
+    }
+
+    /// Connects with a per-direction socket io timeout, after which a stuck
+    /// send or recv fails (and poisons the connection) instead of blocking
+    /// forever.
+    ///
+    /// # Errors
+    ///
+    /// The connect or socket-option error, verbatim.
+    pub fn connect_with(addr: SocketAddr, io_timeout: Option<Duration>) -> io::Result<Self> {
+        let mut client = Self {
+            addr,
+            io_timeout,
+            stream: None,
+            next_id: 0,
+            reconnects: 0,
+        };
+        client.reconnect()?;
+        Ok(client)
+    }
+
+    fn reconnect(&mut self) -> io::Result<()> {
+        let stream = TcpStream::connect(self.addr)?;
         stream.set_nodelay(true)?;
-        Ok(Self { stream, next_id: 0 })
+        stream.set_read_timeout(self.io_timeout)?;
+        stream.set_write_timeout(self.io_timeout)?;
+        self.stream = Some(stream);
+        Ok(())
+    }
+
+    /// Whether the last call poisoned the connection (the next call will
+    /// reconnect).
+    pub fn is_poisoned(&self) -> bool {
+        self.stream.is_none()
+    }
+
+    /// How many times a call found the connection poisoned and reconnected.
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    fn poison<T>(&mut self, what: String) -> Result<T, WdError> {
+        self.stream = None;
+        Err(WdError::WireDecode(format!(
+            "{what}; connection poisoned, the next call reconnects"
+        )))
+    }
+
+    /// One framed round trip: reconnect if poisoned, send `frame`, read the
+    /// response frame. Any transport failure poisons the connection.
+    fn exchange(&mut self, frame: &[u8]) -> Result<Vec<u8>, WdError> {
+        if self.stream.is_none() {
+            self.reconnects += 1;
+            self.reconnect()
+                .map_err(|e| WdError::WireDecode(format!("net reconnect: {e}")))?;
+        }
+        let mut buf = Vec::with_capacity(4 + frame.len());
+        buf.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        buf.extend_from_slice(frame);
+        let total = buf.len();
+        let sent = {
+            let stream = self.stream.as_mut().expect("connected above");
+            write_all_tracked(stream, &buf)
+        };
+        if let Err((sent, e)) = sent {
+            return if sent > 0 && sent < total {
+                self.poison(format!(
+                    "net send: partial write of {sent}/{total} bytes ({e})"
+                ))
+            } else {
+                self.poison(format!("net send: {e}"))
+            };
+        }
+        let got = {
+            let stream = self.stream.as_mut().expect("connected above");
+            read_frame(stream, MAX_FRAME_BYTES)
+        };
+        match got {
+            Ok(Some(resp)) => Ok(resp),
+            Ok(None) => self.poison("connection closed before response".into()),
+            Err(e) => self.poison(format!("net recv: {e}")),
+        }
+    }
+
+    fn finish_call(&mut self, id: u64, frame: &[u8]) -> Result<WireResponse, WdError> {
+        let resp = self.exchange(frame)?;
+        let resp = match wire::decode_response(&resp) {
+            Ok(r) => r,
+            Err(e) => return self.poison(format!("net response: {e}")),
+        };
+        if resp.id != id {
+            return self.poison(format!("response id {} for request id {id}", resp.id));
+        }
+        Ok(resp)
     }
 
     /// Submits `req` as `tenant` (`None` = a v1 frame for the default
@@ -463,25 +632,60 @@ impl NetClient {
     /// # Errors
     ///
     /// [`WdError::WireDecode`] on framing/transport failure or a response
-    /// that fails to decode. A *served* error (shed deadline, quota, …)
-    /// is not an `Err` here — it arrives inside [`WireResponse::result`].
+    /// that fails to decode — both poison the connection (see the type
+    /// docs). A *served* error (shed deadline, quota, …) is not an `Err`
+    /// here — it arrives inside [`WireResponse::result`].
     pub fn call(&mut self, tenant: Option<&str>, req: &Request) -> Result<WireResponse, WdError> {
         let id = self.next_id;
         self.next_id += 1;
         let frame = wire::encode_request_as(id, tenant, req)?;
-        write_frame(&mut self.stream, &frame)
-            .map_err(|e| WdError::WireDecode(format!("net send: {e}")))?;
-        let resp = read_frame(&mut self.stream, MAX_FRAME_BYTES)
-            .map_err(|e| WdError::WireDecode(format!("net recv: {e}")))?
-            .ok_or_else(|| WdError::WireDecode("connection closed before response".into()))?;
-        let resp = wire::decode_response(&resp)?;
-        if resp.id != id {
-            return Err(WdError::WireDecode(format!(
-                "response id {} for request id {id}",
-                resp.id
-            )));
+        self.finish_call(id, &frame)
+    }
+
+    /// Like [`NetClient::call`] but over a checksummed v3 frame; the server
+    /// echoes the version, so the response comes back checksummed too and
+    /// [`wire::decode_response`] verifies it end to end.
+    ///
+    /// # Errors
+    ///
+    /// As [`NetClient::call`], plus
+    /// [`WdError::IntegrityViolation`](wd_fault::WdError::IntegrityViolation)
+    /// when the response frame fails its checksum (which also poisons the
+    /// connection).
+    pub fn call_checked(
+        &mut self,
+        tenant: Option<&str>,
+        req: &Request,
+    ) -> Result<WireResponse, WdError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = wire::encode_request_v3(id, tenant, req)?;
+        self.finish_call(id, &frame)
+    }
+
+    /// Asks the server for a [`wire::HealthReport`] (queue depth, worker
+    /// liveness, breaker states, keycache residency) over a v3 HEALTH
+    /// frame. Served without touching the request queue, so it works even
+    /// when admission is shedding.
+    ///
+    /// # Errors
+    ///
+    /// [`WdError::WireDecode`] on transport failure or a malformed report,
+    /// [`WdError::IntegrityViolation`](wd_fault::WdError::IntegrityViolation)
+    /// on a checksum mismatch; both poison the connection.
+    pub fn health(&mut self) -> Result<wire::HealthReport, WdError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let frame = wire::encode_health_request(id);
+        let resp = self.exchange(&frame)?;
+        let (rid, report) = match wire::decode_health_report(&resp) {
+            Ok(v) => v,
+            Err(e) => return self.poison(format!("net health: {e}")),
+        };
+        if rid != id {
+            return self.poison(format!("health response id {rid} for request id {id}"));
         }
-        Ok(resp)
+        Ok(report)
     }
 }
 
@@ -512,6 +716,54 @@ mod tests {
         short.truncate(6);
         let err = read_frame(&mut io::Cursor::new(short), 64).expect_err("truncated");
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    /// Accepts `limit` bytes, then fails every write with `TimedOut` — the
+    /// shape of a kernel send buffer filling against a stalled peer.
+    struct StallingWriter {
+        limit: usize,
+        written: usize,
+    }
+
+    impl Write for StallingWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.written >= self.limit {
+                return Err(io::ErrorKind::TimedOut.into());
+            }
+            let n = buf.len().min(self.limit - self.written);
+            self.written += n;
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn tracked_write_reports_exactly_how_much_left() {
+        // Full success passes every byte through.
+        let mut ok = StallingWriter {
+            limit: 1024,
+            written: 0,
+        };
+        write_all_tracked(&mut ok, &[7u8; 100]).expect("fits");
+        assert_eq!(ok.written, 100);
+        // A stall mid-buffer reports the exact byte count that escaped,
+        // even across multiple short writes.
+        let mut stall = StallingWriter {
+            limit: 10,
+            written: 0,
+        };
+        let (sent, err) = write_all_tracked(&mut stall, &[7u8; 100]).expect_err("stalls");
+        assert_eq!(sent, 10);
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        // A stall before any byte reports 0 — the stream is still aligned.
+        let mut dead = StallingWriter {
+            limit: 0,
+            written: 0,
+        };
+        let (sent, _) = write_all_tracked(&mut dead, &[7u8; 8]).expect_err("dead");
+        assert_eq!(sent, 0);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //! *what* it computes.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -33,24 +33,32 @@ use std::time::{Duration, Instant};
 use warpdrive_core::{BatchExecutor, BatchOp, Decision, EvalKeys, FormPolicy, Pending};
 use wd_ckks::keys::{KeySwitchKey, RotationKeys};
 use wd_ckks::CkksContext;
+use wd_fault::integrity::Fnv64;
 use wd_fault::WdError;
+use wd_polyring::rns::RnsPoly;
 
 use crate::env;
 use crate::request::{Request, Response, ServeOp, Ticket};
 use crate::tenant::{Tenant, TenantRegistry, TenantStats, DEFAULT_TENANT};
+use crate::wire::{HealthReport, TenantHealth};
 
 /// Admission queue capacity (`usize` ≥ 1). Malformed or zero warns and
 /// keeps the default.
 pub const QUEUE_ENV: &str = "WD_SERVE_QUEUE";
-/// Maximum batch size — the size trigger (`usize` ≥ 1).
+/// Maximum batch size — the size trigger (`usize`, 1..=4096).
 pub const BATCH_ENV: &str = "WD_SERVE_BATCH";
 /// Linger bound in microseconds — the latency trigger (0 = flush
 /// immediately).
 pub const LINGER_ENV: &str = "WD_SERVE_LINGER_US";
-/// Worker thread count (`usize` ≥ 1).
+/// Worker thread count (`usize`, 1..=256).
 pub const WORKERS_ENV: &str = "WD_SERVE_WORKERS";
 /// Bulk-aging bound in microseconds (unset = 8 × linger, min 1 ms).
 pub const AGE_ENV: &str = "WD_SERVE_AGE_US";
+/// Watchdog wedge bound in milliseconds (`u64`, 0..=3_600_000; 0 disables
+/// worker supervision; default 5000). A worker that holds one batch longer
+/// than this is declared wedged: its batch is re-queued and the thread is
+/// replaced.
+pub const WATCHDOG_ENV: &str = "WD_SERVE_WATCHDOG_MS";
 
 /// Serving configuration. [`ServeConfig::default`] is deterministic
 /// (sequential executor); [`ServeConfig::from_env`] reads the
@@ -76,6 +84,15 @@ pub struct ServeConfig {
     /// paired with `workers: 1`; more workers simply overlap independent
     /// batches.
     pub executor: BatchExecutor,
+    /// Worker supervision bound: a worker holding one batch longer than
+    /// this is declared wedged — its batch is re-queued (answered at most
+    /// once; see `Formed::replay_clone`) and the thread replaced.
+    /// `Duration::ZERO` disables the watchdog.
+    pub watchdog: Duration,
+    /// Worker restarts after which replacements degrade to the sequential
+    /// executor — a restart storm means the parallel path itself is
+    /// suspect. Code-only (no env knob).
+    pub restart_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +104,8 @@ impl Default for ServeConfig {
             age_promote: None,
             workers: 1,
             executor: BatchExecutor::sequential(),
+            watchdog: Duration::from_millis(5_000),
+            restart_cap: 8,
         }
     }
 }
@@ -100,7 +119,7 @@ impl ServeConfig {
         let d = Self::default();
         Self {
             queue_capacity: env::parse_min(QUEUE_ENV, d.queue_capacity, 1),
-            max_batch: env::parse_min(BATCH_ENV, d.max_batch, 1),
+            max_batch: env::parse_range(BATCH_ENV, d.max_batch, 1, 4096),
             linger: Duration::from_micros(env::parse_min(
                 LINGER_ENV,
                 d.linger.as_micros().min(u128::from(u64::MAX)) as u64,
@@ -108,8 +127,15 @@ impl ServeConfig {
             )),
             age_promote: env::is_set(AGE_ENV)
                 .then(|| Duration::from_micros(env::parse_min(AGE_ENV, 1_000, 0))),
-            workers: env::parse_min(WORKERS_ENV, d.workers, 1),
+            workers: env::parse_range(WORKERS_ENV, d.workers, 1, 256),
             executor: BatchExecutor::from_env(),
+            watchdog: Duration::from_millis(env::parse_range(
+                WATCHDOG_ENV,
+                d.watchdog.as_millis() as u64,
+                0,
+                3_600_000,
+            )),
+            restart_cap: d.restart_cap,
         }
     }
 
@@ -171,6 +197,62 @@ impl ServeKeys {
                 .as_ref()
                 .map_or(0, RotationKeys::approx_bytes)
     }
+
+    /// 64-bit FNV-1a checksum over every limb word of this key set, in a
+    /// fixed traversal order. Presence markers, digit counts, limb counts
+    /// and per-limb lengths are folded in, so structurally different key
+    /// sets (`None` vs empty, truncated limbs) cannot collide by
+    /// concatenation. This is the integrity reference the tenant key
+    /// cache records at registration and verifies on every lease
+    /// ([`crate::tenant::TenantRegistry`]).
+    pub fn checksum(&self) -> u64 {
+        let mut h = Fnv64::new();
+        match &self.relin {
+            None => h.write_u64(0),
+            Some(k) => {
+                h.write_u64(1);
+                fold_ksk(&mut h, k);
+            }
+        }
+        match &self.rotations {
+            None => h.write_u64(0),
+            Some(r) => {
+                h.write_u64(1);
+                let elements = r.elements();
+                h.write_u64(elements.len() as u64);
+                for g in elements {
+                    h.write_u64(g as u64);
+                    if let Some(k) = r.get(g) {
+                        fold_ksk(&mut h, k);
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+/// Folds one keyswitch key into an FNV stream: digit count, then each
+/// digit's `b` and `a` components in order.
+fn fold_ksk(h: &mut Fnv64, key: &KeySwitchKey) {
+    h.write_u64(key.digits.len() as u64);
+    for d in &key.digits {
+        fold_rns(h, &d.b);
+        fold_rns(h, &d.a);
+    }
+}
+
+/// Folds one RNS polynomial: limb count, then per limb its coefficient
+/// length and raw `u64` words.
+fn fold_rns(h: &mut Fnv64, p: &RnsPoly) {
+    h.write_u64(p.limb_count() as u64);
+    for limb in p.limbs() {
+        let coeffs = limb.coeffs();
+        h.write_u64(coeffs.len() as u64);
+        for &w in coeffs {
+            h.write_u64(w);
+        }
+    }
 }
 
 /// Lifetime counters, returned by [`Server::shutdown`] and
@@ -218,6 +300,21 @@ struct Slot {
     tenant: Arc<Tenant>,
     op: ServeOp,
     tx: mpsc::Sender<Response>,
+    /// One-shot answer flag, shared with any replay clone of this slot.
+    /// Whoever wins the flip owns the response *and* the completed/shed
+    /// accounting, so a batch re-queued after a worker wedge answers each
+    /// request exactly once even if both executions finish.
+    answered: Arc<AtomicBool>,
+}
+
+impl Slot {
+    /// Claims the right to answer this request. `false` means another
+    /// copy (the original or a replay) already did.
+    fn claim(&self) -> bool {
+        self.answered
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
 }
 
 /// One formed batch travelling from the batcher to a worker. `None` on the
@@ -227,6 +324,29 @@ struct Slot {
 struct Formed {
     slots: Vec<Slot>,
     trigger: warpdrive_core::FlushTrigger,
+}
+
+impl Formed {
+    /// A replayable copy for the watchdog: same operands, same one-shot
+    /// senders, same `answered` flags. Re-executing a replay is safe
+    /// because every op is a pure function of its operands (bit-identical
+    /// results) and the shared flags make each answer exactly-once.
+    fn replay_clone(&self) -> Formed {
+        Formed {
+            slots: self
+                .slots
+                .iter()
+                .map(|s| Slot {
+                    meta: s.meta,
+                    tenant: Arc::clone(&s.tenant),
+                    op: s.op.clone(),
+                    tx: s.tx.clone(),
+                    answered: Arc::clone(&s.answered),
+                })
+                .collect(),
+            trigger: self.trigger,
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -248,11 +368,66 @@ struct WorkQueue {
     cond: Condvar,
 }
 
-/// The serving threads, joined exactly once at drain time.
+/// The serving threads, joined exactly once at drain time. The `workers`
+/// vector always holds the *current* generation's handle per worker slot;
+/// a replaced (wedged) thread's handle is dropped — detached — because a
+/// genuinely stuck thread cannot be joined.
 #[derive(Debug, Default)]
 struct Threads {
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
+}
+
+/// Supervision state for one worker slot, all under one mutex so the
+/// watchdog's wedge declaration (bump generation + take in-flight batch)
+/// is atomic against the worker's begin/end-of-batch bookkeeping.
+#[derive(Debug, Default)]
+struct SlotState {
+    busy: bool,
+    heartbeat_us: u64,
+    /// Bumped by the watchdog when it declares this slot wedged. A worker
+    /// whose spawn generation no longer matches is *stale*: it must not
+    /// consume queue items and exits at its next bookkeeping point.
+    generation: u64,
+    /// Replay copy of the batch the current worker is executing.
+    inflight: Option<Formed>,
+}
+
+#[derive(Debug, Default)]
+struct WorkerSlot {
+    state: Mutex<SlotState>,
+}
+
+/// Shared worker-supervision state (the watchdog's view of the pool).
+#[derive(Debug)]
+struct Supervision {
+    slots: Vec<WorkerSlot>,
+    /// Workers declared wedged and replaced (`fault.worker_restarts`).
+    restarts: AtomicU64,
+    /// Restart storm hit `restart_cap`: replacements run sequentially.
+    degraded: AtomicBool,
+    /// Forced-wedge drill arm: the next N batch takes park their worker
+    /// (no heartbeat) until released or declared wedged.
+    wedge_arm: AtomicU64,
+    /// Releases drill-parked workers (set at drain so forced wedges can
+    /// never lose requests even with the watchdog disabled).
+    release: AtomicBool,
+    /// Stops the watchdog loop.
+    stop: AtomicBool,
+}
+
+impl Supervision {
+    fn new(worker_count: usize) -> Self {
+        Self {
+            slots: (0..worker_count).map(|_| WorkerSlot::default()).collect(),
+            restarts: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
+            wedge_arm: AtomicU64::new(0),
+            release: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+        }
+    }
 }
 
 /// The serving engine (see the module docs for the thread layout).
@@ -262,8 +437,10 @@ pub struct Server {
     tenants: Arc<TenantRegistry>,
     epoch: Instant,
     capacity: usize,
+    worker_count: usize,
     stats: Arc<Stats>,
-    threads: Mutex<Threads>,
+    supervision: Arc<Supervision>,
+    threads: Arc<Mutex<Threads>>,
 }
 
 impl Server {
@@ -282,6 +459,7 @@ impl Server {
         let inbox = Arc::new(Inbox::default());
         let work = Arc::new(WorkQueue::default());
         let stats = Arc::new(Stats::default());
+        let supervision = Arc::new(Supervision::new(worker_count));
         let epoch = Instant::now();
         let tenants = Arc::new(tenants);
 
@@ -297,27 +475,62 @@ impl Server {
 
         let workers = (0..worker_count)
             .map(|i| {
-                let work = Arc::clone(&work);
-                let tenants = Arc::clone(&tenants);
-                let stats = Arc::clone(&stats);
-                let executor = config.executor.clone();
-                std::thread::Builder::new()
-                    .name(format!("wd-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&work, &tenants, &executor, epoch, &stats))
-                    .expect("spawn wd-serve worker")
+                spawn_worker(
+                    &work,
+                    &tenants,
+                    config.executor.clone(),
+                    epoch,
+                    &stats,
+                    &supervision,
+                    i,
+                    0,
+                )
             })
             .collect();
+
+        let threads = Arc::new(Mutex::new(Threads {
+            batcher: Some(batcher),
+            workers,
+            watchdog: None,
+        }));
+
+        if !config.watchdog.is_zero() {
+            let sup = Arc::clone(&supervision);
+            let work = Arc::clone(&work);
+            let tn = Arc::clone(&tenants);
+            let st = Arc::clone(&stats);
+            let th = Arc::clone(&threads);
+            let executor = config.executor.clone();
+            let timeout = config.watchdog;
+            let restart_cap = config.restart_cap.max(1);
+            let handle = std::thread::Builder::new()
+                .name("wd-serve-watchdog".into())
+                .spawn(move || {
+                    watchdog_loop(
+                        &sup,
+                        &work,
+                        &tn,
+                        &st,
+                        &th,
+                        &executor,
+                        epoch,
+                        timeout,
+                        restart_cap,
+                    );
+                })
+                .expect("spawn wd-serve watchdog");
+            threads.lock().expect("serve threads poisoned").watchdog = Some(handle);
+        }
 
         Self {
             inbox,
             tenants,
             epoch,
             capacity: config.queue_capacity.max(1),
+            worker_count,
             stats,
-            threads: Mutex::new(Threads {
-                batcher: Some(batcher),
-                workers,
-            }),
+            supervision,
+            threads,
         }
     }
 
@@ -345,7 +558,10 @@ impl Server {
     /// # Errors
     ///
     /// All of [`Server::submit`]'s errors, plus
-    /// [`WdError::UnknownTenant`] for an unregistered tenant and
+    /// [`WdError::UnknownTenant`] for an unregistered tenant,
+    /// [`WdError::TenantCircuitOpen`] when the tenant's circuit breaker is
+    /// refusing (checked first: the breaker exists precisely to fail
+    /// faster than any queue accounting), and
     /// [`WdError::TenantQuotaExceeded`] when the tenant's in-flight quota
     /// is exhausted (checked before global capacity: the more specific
     /// backpressure signal wins).
@@ -355,6 +571,14 @@ impl Server {
             .lookup(tenant)
             .ok_or_else(|| WdError::UnknownTenant(tenant.to_string()))?;
         let now_us = self.now_us();
+        if let Err(retry_after_us) = tenant.breaker_admit(now_us) {
+            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            wd_trace::counter("serve.rejected", 1);
+            return Err(WdError::TenantCircuitOpen {
+                tenant: tenant.id().to_string(),
+                retry_after_us,
+            });
+        }
         let quota = self.tenants.config().quota;
         let mut st = self.inbox.state.lock().expect("serve inbox poisoned");
         if st.draining {
@@ -399,6 +623,7 @@ impl Server {
             tenant: Arc::clone(tenant),
             op: req.op,
             tx,
+            answered: Arc::new(AtomicBool::new(false)),
         });
         self.stats.submitted.fetch_add(1, Ordering::Relaxed);
         wd_trace::counter("serve.enqueued", 1);
@@ -436,6 +661,55 @@ impl Server {
         &self.tenants
     }
 
+    /// Arms the next `n` batch takes to wedge their worker (the supervision
+    /// drill): the worker parks without heartbeating until the watchdog
+    /// declares it wedged (re-queue + respawn) or the drain releases it.
+    /// Either way every request is still answered exactly once.
+    pub fn arm_wedge(&self, n: u64) {
+        self.supervision.wedge_arm.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Workers declared wedged and replaced so far.
+    pub fn worker_restarts(&self) -> u64 {
+        self.supervision.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Whether a restart storm degraded replacement workers to sequential
+    /// execution.
+    pub fn degraded(&self) -> bool {
+        self.supervision.degraded.load(Ordering::Relaxed)
+    }
+
+    /// A live health snapshot: queue depth, worker liveness, key-cache
+    /// residency, per-tenant breaker states — the payload the v3 HEALTH
+    /// wire frame carries.
+    pub fn health(&self) -> HealthReport {
+        let cache = self.tenants.cache_stats();
+        let tenants = self
+            .tenants
+            .tenant_ids()
+            .into_iter()
+            .map(|id| {
+                let t = self.tenants.lookup(&id).expect("enumerated tenant");
+                TenantHealth {
+                    breaker: t.breaker_state().map(|s| s.label().to_string()),
+                    in_flight: t.in_flight() as u64,
+                    id,
+                }
+            })
+            .collect();
+        HealthReport {
+            queue_depth: self.queue_depth() as u64,
+            workers: self.worker_count as u32,
+            worker_restarts: self.worker_restarts(),
+            degraded: self.degraded(),
+            keycache_resident_bytes: cache.resident_bytes as u64,
+            keycache_budget_bytes: cache.budget_bytes as u64,
+            keycache_quarantined: cache.quarantined,
+            tenants,
+        }
+    }
+
     /// Drains and stops the server: rejects new submissions, flushes every
     /// queued request (in `max_batch` chunks), waits for the workers to
     /// answer them all, and returns the final counters. Zero requests are
@@ -454,11 +728,39 @@ impl Server {
             st.draining = true;
         }
         self.inbox.cond.notify_all();
-        let mut threads = self.threads.lock().expect("serve threads poisoned");
-        if let Some(h) = threads.batcher.take() {
+        // Stop supervision first: release any drill-parked workers (so
+        // forced wedges execute and answer even with the watchdog off) and
+        // join the watchdog before the pills land, so no re-queued batch
+        // can ever arrive behind a pill. The lock is dropped across each
+        // join so an in-flight respawn can still swap its handle in.
+        self.supervision.release.store(true, Ordering::Relaxed);
+        self.supervision.stop.store(true, Ordering::Relaxed);
+        let watchdog = self
+            .threads
+            .lock()
+            .expect("serve threads poisoned")
+            .watchdog
+            .take();
+        if let Some(h) = watchdog {
             let _ = h.join();
         }
-        for h in threads.workers.drain(..) {
+        let batcher = self
+            .threads
+            .lock()
+            .expect("serve threads poisoned")
+            .batcher
+            .take();
+        if let Some(h) = batcher {
+            let _ = h.join();
+        }
+        let workers: Vec<_> = self
+            .threads
+            .lock()
+            .expect("serve threads poisoned")
+            .workers
+            .drain(..)
+            .collect();
+        for h in workers {
             let _ = h.join();
         }
         self.stats.snapshot()
@@ -502,8 +804,11 @@ fn batcher_loop(
             for &i in expired.iter().rev() {
                 let slot = st.pending.remove(i);
                 let waited = now.saturating_sub(slot.meta.enqueued_us);
+                if !slot.claim() {
+                    continue; // a replay already answered this request
+                }
                 stats.shed.fetch_add(1, Ordering::Relaxed);
-                slot.tenant.note_shed();
+                slot.tenant.note_shed(now);
                 wd_trace::counter("serve.shed", 1);
                 wd_trace::event(
                     "serve",
@@ -578,6 +883,33 @@ fn batcher_loop(
     work.cond.notify_all();
 }
 
+/// Spawns one worker thread for `slot` at `generation` (0 at startup;
+/// bumped values come from watchdog respawns).
+#[allow(clippy::too_many_arguments)]
+fn spawn_worker(
+    work: &Arc<WorkQueue>,
+    tenants: &Arc<TenantRegistry>,
+    executor: BatchExecutor,
+    epoch: Instant,
+    stats: &Arc<Stats>,
+    sup: &Arc<Supervision>,
+    slot: usize,
+    generation: u64,
+) -> JoinHandle<()> {
+    let work = Arc::clone(work);
+    let tenants = Arc::clone(tenants);
+    let stats = Arc::clone(stats);
+    let sup = Arc::clone(sup);
+    std::thread::Builder::new()
+        .name(format!("wd-serve-worker-{slot}-g{generation}"))
+        .spawn(move || {
+            worker_loop(
+                &work, &tenants, &executor, epoch, &stats, &sup, slot, generation,
+            )
+        })
+        .expect("spawn wd-serve worker")
+}
+
 /// A worker thread: execute formed batches until the shutdown pill.
 ///
 /// A formed batch may mix tenants; the worker partitions it into per-tenant
@@ -586,12 +918,25 @@ fn batcher_loop(
 /// context. Partitioning only changes *which launch* an op shares, never
 /// its operands — responses stay bit-identical to a sequential per-tenant
 /// run.
+///
+/// Supervision protocol: the worker registers every queue take in its
+/// [`WorkerSlot`] (busy + heartbeat + a replay copy of the batch) and
+/// checks its spawn `generation` at each bookkeeping point. A mismatch
+/// means the watchdog declared this thread wedged and replaced it — a
+/// stale worker must not consume queue items (it pushes any item it holds
+/// back to the front) and exits immediately, so pill accounting stays
+/// exact: exactly `worker_count` current-generation workers consume
+/// exactly `worker_count` pills.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     work: &WorkQueue,
     tenants: &TenantRegistry,
     executor: &BatchExecutor,
     epoch: Instant,
     stats: &Stats,
+    sup: &Supervision,
+    idx: usize,
+    my_gen: u64,
 ) {
     loop {
         let item = {
@@ -603,53 +948,238 @@ fn worker_loop(
                 q = work.cond.wait(q).expect("serve work queue poisoned");
             }
         };
-        let Some(Formed { slots, trigger }) = item else {
-            break;
-        };
-        let n = slots.len();
-        let _span = wd_trace::span("serve", "batch");
-        wd_trace::counter("serve.batches", 1);
-        wd_trace::observe("serve.batch_size", n as u64);
-        wd_trace::event(
-            "serve",
-            "batch",
-            &[
-                ("size", n.to_string()),
-                ("trigger", trigger.label().to_string()),
-            ],
-        );
-        // Partition by tenant, preserving first-seen order within and
-        // across groups (serving order inside a group is queue order).
-        let mut groups: Vec<(Arc<Tenant>, Vec<Slot>)> = Vec::new();
-        for slot in slots {
-            match groups
-                .iter_mut()
-                .find(|(t, _)| Arc::ptr_eq(t, &slot.tenant))
-            {
-                Some((_, group)) => group.push(slot),
-                None => groups.push((Arc::clone(&slot.tenant), vec![slot])),
+        // Register the take — or discover this thread was declared wedged
+        // and replaced, in which case the item belongs to the replacement.
+        {
+            let mut st = sup.slots[idx].state.lock().expect("worker slot poisoned");
+            if st.generation != my_gen {
+                drop(st);
+                let mut q = work.state.lock().expect("serve work queue poisoned");
+                q.push_front(item);
+                drop(q);
+                work.cond.notify_all();
+                return;
+            }
+            if let Some(formed) = &item {
+                st.busy = true;
+                st.heartbeat_us = instant_us(epoch);
+                st.inflight = Some(formed.replay_clone());
             }
         }
-        stats.batches.fetch_add(1, Ordering::Relaxed);
-        for (tenant, group) in groups {
-            let keys = tenants.lease_keys(&tenant);
-            let ops: Vec<BatchOp<'_>> = group.iter().map(|s| s.op.as_batch_op()).collect();
-            let results = executor.execute(tenant.ctx(), keys.as_eval(), &ops);
-            let now = instant_us(epoch);
-            for (slot, result) in group.into_iter().zip(results) {
-                let waited = now.saturating_sub(slot.meta.enqueued_us);
-                stats.completed.fetch_add(1, Ordering::Relaxed);
-                tenant.note_completed(waited);
-                wd_trace::counter("serve.completed", 1);
-                wd_trace::observe("serve.latency_us", waited);
-                let _ = slot.tx.send(Response {
-                    id: slot.meta.seq,
-                    result,
-                    waited_us: waited,
-                    batch_size: n,
-                    trigger: Some(trigger),
-                });
+        let Some(formed) = item else {
+            break; // shutdown pill
+        };
+        // Forced-wedge drill: park without heartbeating until the watchdog
+        // declares us wedged (generation bump) or the drain releases us.
+        if sup
+            .wedge_arm
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| v.checked_sub(1))
+            .is_ok()
+        {
+            wd_trace::counter("serve.guard.wedge_injected", 1);
+            wd_trace::event("serve.guard", "wedge", &[("worker", idx.to_string())]);
+            loop {
+                if sup.release.load(Ordering::Relaxed) {
+                    break;
+                }
+                let gen = sup.slots[idx]
+                    .state
+                    .lock()
+                    .expect("worker slot poisoned")
+                    .generation;
+                if gen != my_gen {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(2));
             }
+        }
+        let abandoned = sup.slots[idx]
+            .state
+            .lock()
+            .expect("worker slot poisoned")
+            .generation
+            != my_gen;
+        if !abandoned {
+            execute_batch(formed, tenants, executor, epoch, stats);
+        }
+        // End-of-batch bookkeeping; a stale worker exits here.
+        {
+            let mut st = sup.slots[idx].state.lock().expect("worker slot poisoned");
+            if st.generation != my_gen {
+                return;
+            }
+            st.inflight = None;
+            st.busy = false;
+        }
+    }
+}
+
+/// Executes one formed batch and answers every slot that has not already
+/// been answered by a replay.
+fn execute_batch(
+    formed: Formed,
+    tenants: &TenantRegistry,
+    executor: &BatchExecutor,
+    epoch: Instant,
+    stats: &Stats,
+) {
+    let Formed { slots, trigger } = formed;
+    let n = slots.len();
+    let _span = wd_trace::span("serve", "batch");
+    wd_trace::counter("serve.batches", 1);
+    wd_trace::observe("serve.batch_size", n as u64);
+    wd_trace::event(
+        "serve",
+        "batch",
+        &[
+            ("size", n.to_string()),
+            ("trigger", trigger.label().to_string()),
+        ],
+    );
+    // Partition by tenant, preserving first-seen order within and
+    // across groups (serving order inside a group is queue order).
+    let mut groups: Vec<(Arc<Tenant>, Vec<Slot>)> = Vec::new();
+    for slot in slots {
+        match groups
+            .iter_mut()
+            .find(|(t, _)| Arc::ptr_eq(t, &slot.tenant))
+        {
+            Some((_, group)) => group.push(slot),
+            None => groups.push((Arc::clone(&slot.tenant), vec![slot])),
+        }
+    }
+    stats.batches.fetch_add(1, Ordering::Relaxed);
+    for (tenant, group) in groups {
+        let keys = match tenants.lease_keys(&tenant) {
+            Ok(keys) => keys,
+            Err(e) => {
+                // An unrecoverable key-integrity failure answers every
+                // request in the group with the typed error — admitted
+                // requests still complete, corrupt bytes are never served.
+                let now = instant_us(epoch);
+                for slot in group {
+                    let waited = now.saturating_sub(slot.meta.enqueued_us);
+                    if !slot.claim() {
+                        continue;
+                    }
+                    stats.completed.fetch_add(1, Ordering::Relaxed);
+                    tenant.note_completed(waited, now, false);
+                    wd_trace::counter("serve.completed", 1);
+                    wd_trace::observe("serve.latency_us", waited);
+                    let _ = slot.tx.send(Response {
+                        id: slot.meta.seq,
+                        result: Err(e.clone()),
+                        waited_us: waited,
+                        batch_size: n,
+                        trigger: Some(trigger),
+                    });
+                }
+                continue;
+            }
+        };
+        let ops: Vec<BatchOp<'_>> = group.iter().map(|s| s.op.as_batch_op()).collect();
+        let results = executor.execute(tenant.ctx(), keys.as_eval(), &ops);
+        let now = instant_us(epoch);
+        for (slot, result) in group.into_iter().zip(results) {
+            let waited = now.saturating_sub(slot.meta.enqueued_us);
+            if !slot.claim() {
+                continue; // the original or a replay already answered
+            }
+            stats.completed.fetch_add(1, Ordering::Relaxed);
+            tenant.note_completed(waited, now, result.is_ok());
+            wd_trace::counter("serve.completed", 1);
+            wd_trace::observe("serve.latency_us", waited);
+            let _ = slot.tx.send(Response {
+                id: slot.meta.seq,
+                result,
+                waited_us: waited,
+                batch_size: n,
+                trigger: Some(trigger),
+            });
+        }
+    }
+}
+
+/// The watchdog thread: periodically scans every worker slot; a worker
+/// that has held one batch past `timeout` is declared wedged — its batch
+/// is re-queued at the *front* (it has waited longest), its generation is
+/// bumped (the stale thread exits at its next bookkeeping point; a
+/// genuinely stuck thread is detached, which is the only honest option),
+/// and a replacement is spawned into the same slot. Past `restart_cap`
+/// restarts the pool degrades: replacements run the sequential executor,
+/// trading throughput for survival.
+#[allow(clippy::too_many_arguments)]
+fn watchdog_loop(
+    sup: &Arc<Supervision>,
+    work: &Arc<WorkQueue>,
+    tenants: &Arc<TenantRegistry>,
+    stats: &Arc<Stats>,
+    threads: &Arc<Mutex<Threads>>,
+    executor: &BatchExecutor,
+    epoch: Instant,
+    timeout: Duration,
+    restart_cap: usize,
+) {
+    let timeout_us = duration_us(timeout).max(1);
+    let tick = Duration::from_micros((timeout_us / 4).clamp(5_000, 50_000));
+    while !sup.stop.load(Ordering::Relaxed) {
+        std::thread::sleep(tick);
+        for idx in 0..sup.slots.len() {
+            if sup.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let now = instant_us(epoch);
+            let (batch, new_gen) = {
+                let mut st = sup.slots[idx].state.lock().expect("worker slot poisoned");
+                if !st.busy || now.saturating_sub(st.heartbeat_us) <= timeout_us {
+                    continue;
+                }
+                st.generation += 1;
+                st.busy = false;
+                (st.inflight.take(), st.generation)
+            };
+            let restarts = sup.restarts.fetch_add(1, Ordering::Relaxed) + 1;
+            wd_trace::counter("fault.worker_restarts", 1);
+            wd_trace::counter("serve.guard.wedged", 1);
+            wd_trace::warn(
+                "serve.guard",
+                &format!(
+                    "worker {idx} wedged past {} ms; re-queuing its batch and respawning",
+                    timeout.as_millis()
+                ),
+            );
+            wd_trace::event(
+                "serve.guard",
+                "worker.wedged",
+                &[
+                    ("worker", idx.to_string()),
+                    ("restarts", restarts.to_string()),
+                ],
+            );
+            if let Some(batch) = batch {
+                wd_trace::counter("serve.guard.requeued", batch.slots.len() as u64);
+                let mut q = work.state.lock().expect("serve work queue poisoned");
+                q.push_front(Some(batch));
+                drop(q);
+                work.cond.notify_all();
+            }
+            if restarts as usize >= restart_cap && !sup.degraded.swap(true, Ordering::Relaxed) {
+                wd_trace::counter("serve.guard.degraded", 1);
+                wd_trace::warn(
+                    "serve.guard",
+                    &format!(
+                        "restart storm: {restarts} worker restarts reached the cap \
+                         ({restart_cap}); degrading replacements to sequential execution"
+                    ),
+                );
+            }
+            let replacement = if sup.degraded.load(Ordering::Relaxed) {
+                BatchExecutor::sequential()
+            } else {
+                executor.clone()
+            };
+            let handle = spawn_worker(work, tenants, replacement, epoch, stats, sup, idx, new_gen);
+            threads.lock().expect("serve threads poisoned").workers[idx] = handle;
         }
     }
 }

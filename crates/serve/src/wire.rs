@@ -13,16 +13,29 @@
 //!             | op tag u8 | operand ciphertext frame(s) | [rotate i64]
 //! request v2: magic "WDSV" | ver u8=2 | kind u8=1 | id u64
 //!             | tenant label (u8 len + UTF-8 bytes) | class u8 | … as v1
+//! request v3: magic "WDSV" | ver u8=3 | kind u8=1 | id u64
+//!             | tenant label (len 0 = default tenant) | … as v1
+//!             | FNV-1a u64 over every preceding byte
 //! response:   magic "WDSV" | ver u8=1 | kind u8=2 | id u64 | status u8
 //!             | waited_us u64 | batch_size u32 | trigger u8
 //!             | ok: ciphertext frame / err: len-prefixed UTF-8 message
+//!             (v3 responses append the same trailing FNV-1a u64)
+//! health:     magic "WDSV" | ver u8=3 | kind u8=3 (probe) or 4 (report)
+//!             | id u64 | [report payload] | trailing FNV-1a u64
 //! ```
 //!
 //! **Versioning:** v2 inserts one tenant header after the id and changes
-//! nothing else. Decoders accept both versions — a v1 frame is a v2 frame
-//! with no tenant (the server routes it to the default tenant) — so every
-//! pre-tenancy client keeps working. Responses carry no tenant (it is
-//! implied by the request) and stay v1.
+//! nothing else. v3 (the *guard* version) makes the tenant header
+//! mandatory-but-may-be-empty and appends a checksum trailer: a 64-bit
+//! FNV-1a over every preceding frame byte, **verified before any payload
+//! parsing** — a corrupted frame surfaces as the typed
+//! [`wd_fault::WdError::IntegrityViolation`], never as a garbled operand.
+//! Decoders accept every older version — a v1 frame is a v2 frame with no
+//! tenant — so every pre-tenancy and pre-guard client keeps working, and
+//! the v1/v2 encoders stay byte-identical. Responses echo the request's
+//! generation: v1/v2 requests get v1 responses, v3 requests get v3.
+//! HEALTH frames ([`HealthReport`]) are v3-only — they were born after
+//! the checksum trailer.
 //!
 //! Errors cross the wire as their display text ([`WireResponse`] carries
 //! `Result<Ciphertext, String>`): the variant taxonomy is a host-side
@@ -43,8 +56,15 @@ const MAGIC: &[u8; 4] = b"WDSV";
 const VERSION: u8 = 1;
 /// The tenant-aware frame version (v1 plus one tenant header).
 const VERSION_TENANT: u8 = 2;
+/// The guard frame version (v2 plus a trailing FNV-1a checksum; the
+/// tenant label may be empty = default tenant).
+pub const VERSION_GUARD: u8 = 3;
 const KIND_REQUEST: u8 = 1;
 const KIND_RESPONSE: u8 = 2;
+/// A health probe (v3-only; no payload beyond the envelope).
+pub const KIND_HEALTH_REQUEST: u8 = 3;
+/// A health report answering a probe (v3-only).
+pub const KIND_HEALTH_RESPONSE: u8 = 4;
 
 const OP_HADD: u8 = 0;
 const OP_HSUB: u8 = 1;
@@ -135,7 +155,7 @@ fn read_envelope(buf: &[u8], pos: &mut usize, want_kind: u8) -> Result<(u8, u64)
         return Err(CkksError::WireDecode("bad serve magic".into()));
     }
     let ver = get_u8(buf, pos)?;
-    if ver != VERSION && ver != VERSION_TENANT {
+    if ver != VERSION && ver != VERSION_TENANT && ver != VERSION_GUARD {
         return Err(CkksError::WireDecode(format!(
             "unsupported serve frame version {ver}"
         )));
@@ -182,6 +202,34 @@ pub fn encode_request_as(
             write_label_frame(&mut out, t)?;
         }
     }
+    write_request_body(&mut out, req);
+    Ok(out)
+}
+
+/// Serializes one request as a v3 guard frame: mandatory (possibly empty)
+/// tenant header plus the trailing FNV-1a checksum. `tenant: None` encodes
+/// an empty label, which the decoder routes to the default tenant.
+///
+/// # Errors
+///
+/// [`CkksError::WireDecode`] when the tenant label is longer than
+/// [`wd_ckks::wire::MAX_LABEL_BYTES`].
+pub fn encode_request_v3(
+    id: u64,
+    tenant: Option<&str>,
+    req: &Request,
+) -> Result<Vec<u8>, CkksError> {
+    let mut out = Vec::new();
+    write_envelope(&mut out, VERSION_GUARD, KIND_REQUEST, id);
+    write_label_frame(&mut out, tenant.unwrap_or(""))?;
+    write_request_body(&mut out, req);
+    let sum = wd_fault::integrity::checksum_bytes(&out);
+    put_u64(&mut out, sum);
+    Ok(out)
+}
+
+/// The version-independent request payload: class, deadline, op, operands.
+fn write_request_body(out: &mut Vec<u8>, req: &Request) {
     out.push(match req.class {
         Class::Interactive => 0,
         Class::Bulk => 1,
@@ -190,36 +238,63 @@ pub fn encode_request_as(
         None => out.push(0),
         Some(d) => {
             out.push(1);
-            put_u64(&mut out, d.as_micros().min(u128::from(u64::MAX)) as u64);
+            put_u64(out, d.as_micros().min(u128::from(u64::MAX)) as u64);
         }
     }
     match &req.op {
         ServeOp::HAdd(a, b) => {
             out.push(OP_HADD);
-            write_ciphertext_frame(&mut out, a);
-            write_ciphertext_frame(&mut out, b);
+            write_ciphertext_frame(out, a);
+            write_ciphertext_frame(out, b);
         }
         ServeOp::HSub(a, b) => {
             out.push(OP_HSUB);
-            write_ciphertext_frame(&mut out, a);
-            write_ciphertext_frame(&mut out, b);
+            write_ciphertext_frame(out, a);
+            write_ciphertext_frame(out, b);
         }
         ServeOp::HMult(a, b) => {
             out.push(OP_HMULT);
-            write_ciphertext_frame(&mut out, a);
-            write_ciphertext_frame(&mut out, b);
+            write_ciphertext_frame(out, a);
+            write_ciphertext_frame(out, b);
         }
         ServeOp::HRotate(ct, r) => {
             out.push(OP_HROTATE);
-            write_ciphertext_frame(&mut out, ct);
-            put_u64(&mut out, *r as u64); // i64 bit pattern
+            write_ciphertext_frame(out, ct);
+            put_u64(out, *r as u64); // i64 bit pattern
         }
         ServeOp::Rescale(ct) => {
             out.push(OP_RESCALE);
-            write_ciphertext_frame(&mut out, ct);
+            write_ciphertext_frame(out, ct);
         }
     }
-    Ok(out)
+}
+
+/// Splits a v3 frame into its payload and verifies the trailing checksum
+/// **before anything else is parsed** — corruption anywhere in the frame
+/// (including the envelope already read) is caught here, not by whatever
+/// payload parser happens to trip over it.
+///
+/// # Errors
+///
+/// [`CkksError::WireDecode`] on a frame too short to carry the trailer;
+/// [`wd_fault::WdError::IntegrityViolation`] on a checksum mismatch.
+fn verify_guard_trailer<'a>(buf: &'a [u8], what: &str) -> Result<&'a [u8], CkksError> {
+    let Some(split) = buf.len().checked_sub(8) else {
+        return Err(CkksError::WireDecode(format!(
+            "{what}: v3 frame too short for its checksum trailer"
+        )));
+    };
+    // invariant: the slice is exactly 8 bytes by construction.
+    let claimed = u64::from_le_bytes(buf[split..].try_into().expect("8 bytes"));
+    let got = wd_fault::integrity::checksum_bytes(&buf[..split]);
+    if claimed != got {
+        return Err(wd_fault::WdError::IntegrityViolation {
+            what: what.to_string(),
+            expected: claimed,
+            got,
+        });
+    }
+    Ok(&buf[..split])
 }
 
 /// Deserializes one request frame (either version), returning its wire id
@@ -243,18 +318,45 @@ pub fn decode_request(buf: &[u8]) -> Result<(u64, Request), CkksError> {
 /// [`CkksError::WireDecode`] on truncation, bad magic/version/kind, a bad
 /// or empty tenant label, an unknown op tag, or trailing bytes.
 pub fn decode_request_as(buf: &[u8]) -> Result<(u64, Option<String>, Request), CkksError> {
+    decode_request_versioned(buf).map(|(_ver, id, tenant, req)| (id, tenant, req))
+}
+
+/// [`decode_request_as`] plus the frame version, so a server can answer in
+/// the client's own generation (v1/v2 → v1 response, v3 → v3). A v3 frame
+/// has its checksum trailer verified before any payload parsing.
+///
+/// # Errors
+///
+/// Everything [`decode_request_as`] reports, plus
+/// [`wd_fault::WdError::IntegrityViolation`] for a v3 frame whose trailing
+/// checksum does not match its bytes.
+pub fn decode_request_versioned(
+    buf: &[u8],
+) -> Result<(u8, u64, Option<String>, Request), CkksError> {
     let mut pos = 0usize;
     let (ver, id) = read_envelope(buf, &mut pos, KIND_REQUEST)?;
-    let tenant = if ver == VERSION_TENANT {
-        let label = read_label_frame(buf, &mut pos)?;
-        if label.is_empty() {
-            return Err(CkksError::WireDecode(
-                "tenant label must not be empty".into(),
-            ));
-        }
-        Some(label)
+    let buf = if ver == VERSION_GUARD {
+        verify_guard_trailer(buf, &format!("serve request frame id {id}"))?
     } else {
-        None
+        buf
+    };
+    let tenant = match ver {
+        VERSION => None,
+        VERSION_TENANT => {
+            let label = read_label_frame(buf, &mut pos)?;
+            if label.is_empty() {
+                return Err(CkksError::WireDecode(
+                    "tenant label must not be empty".into(),
+                ));
+            }
+            Some(label)
+        }
+        _ => {
+            // v3: the header is mandatory, an empty label means the
+            // default tenant.
+            let label = read_label_frame(buf, &mut pos)?;
+            (!label.is_empty()).then_some(label)
+        }
     };
     let class = match get_u8(buf, &mut pos)? {
         0 => Class::Interactive,
@@ -289,6 +391,7 @@ pub fn decode_request_as(buf: &[u8]) -> Result<(u64, Option<String>, Request), C
         return Err(CkksError::WireDecode("trailing bytes after request".into()));
     }
     Ok((
+        ver,
         id,
         tenant,
         Request {
@@ -299,13 +402,32 @@ pub fn decode_request_as(buf: &[u8]) -> Result<(u64, Option<String>, Request), C
     ))
 }
 
-/// Serializes one response.
+/// Serializes one response (v1 — the pre-guard spelling, byte-identical
+/// to every earlier release). The checksummed sibling is
+/// [`encode_response_v3`].
 pub fn encode_response(resp: &WireResponse) -> Vec<u8> {
     let mut out = Vec::new();
     write_envelope(&mut out, VERSION, KIND_RESPONSE, resp.id);
+    write_response_body(&mut out, resp);
+    out
+}
+
+/// Serializes one response as a v3 guard frame (trailing FNV-1a checksum),
+/// the generation a server answers a v3 request in.
+pub fn encode_response_v3(resp: &WireResponse) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_envelope(&mut out, VERSION_GUARD, KIND_RESPONSE, resp.id);
+    write_response_body(&mut out, resp);
+    let sum = wd_fault::integrity::checksum_bytes(&out);
+    put_u64(&mut out, sum);
+    out
+}
+
+/// The version-independent response payload.
+fn write_response_body(out: &mut Vec<u8>, resp: &WireResponse) {
     out.push(u8::from(resp.result.is_err()));
-    put_u64(&mut out, resp.waited_us);
-    put_u32(&mut out, resp.batch_size.min(u32::MAX as usize) as u32);
+    put_u64(out, resp.waited_us);
+    put_u32(out, resp.batch_size.min(u32::MAX as usize) as u32);
     out.push(match resp.trigger {
         None => 0,
         Some(FlushTrigger::Size) => 1,
@@ -313,30 +435,37 @@ pub fn encode_response(resp: &WireResponse) -> Vec<u8> {
         Some(FlushTrigger::Drain) => 3,
     });
     match &resp.result {
-        Ok(ct) => write_ciphertext_frame(&mut out, ct),
+        Ok(ct) => write_ciphertext_frame(out, ct),
         Err(msg) => {
             let bytes = msg.as_bytes();
-            put_u32(&mut out, bytes.len().min(u32::MAX as usize) as u32);
+            put_u32(out, bytes.len().min(u32::MAX as usize) as u32);
             out.extend_from_slice(&bytes[..bytes.len().min(u32::MAX as usize)]);
         }
     }
-    out
 }
 
-/// Deserializes one response frame.
+/// Deserializes one response frame (v1 or v3; v2 responses never existed
+/// and are still rejected). A v3 frame has its checksum trailer verified
+/// before any payload parsing.
 ///
 /// # Errors
 ///
 /// [`CkksError::WireDecode`] on truncation, bad magic/version/kind, a bad
-/// trigger tag, a non-UTF-8 error message, or trailing bytes.
+/// trigger tag, a non-UTF-8 error message, or trailing bytes;
+/// [`wd_fault::WdError::IntegrityViolation`] on a v3 checksum mismatch.
 pub fn decode_response(buf: &[u8]) -> Result<WireResponse, CkksError> {
     let mut pos = 0usize;
     let (ver, id) = read_envelope(buf, &mut pos, KIND_RESPONSE)?;
-    if ver != VERSION {
+    if ver != VERSION && ver != VERSION_GUARD {
         return Err(CkksError::WireDecode(format!(
-            "response frames are version {VERSION}, got {ver}"
+            "response frames are version {VERSION} or {VERSION_GUARD}, got {ver}"
         )));
     }
+    let buf = if ver == VERSION_GUARD {
+        verify_guard_trailer(buf, &format!("serve response frame id {id}"))?
+    } else {
+        buf
+    };
     let is_err = match get_u8(buf, &mut pos)? {
         0 => false,
         1 => true,
@@ -372,6 +501,186 @@ pub fn decode_response(buf: &[u8]) -> Result<WireResponse, CkksError> {
         batch_size,
         trigger,
     })
+}
+
+/// The frame kind of a raw serve frame, without decoding it — how the
+/// network front-end routes HEALTH probes away from the request path.
+/// `None` for anything too short or not carrying the serve magic.
+pub fn peek_kind(buf: &[u8]) -> Option<u8> {
+    (buf.len() >= 6 && &buf[..4] == MAGIC).then(|| buf[5])
+}
+
+/// One tenant's line in a [`HealthReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantHealth {
+    /// The tenant id.
+    pub id: String,
+    /// Circuit-breaker state label (`closed` / `open` / `half_open`), or
+    /// `None` when breakers are disabled.
+    pub breaker: Option<String>,
+    /// Admitted-but-unanswered requests.
+    pub in_flight: u64,
+}
+
+/// The payload of a HEALTH report frame: what a supervisor (or the CI
+/// guard drill) can see of a running server without touching its request
+/// path. Built by `Server::health`, carried as a v3 frame.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HealthReport {
+    /// Requests pending in the admission queue.
+    pub queue_depth: u64,
+    /// Configured worker count (current-generation threads).
+    pub workers: u32,
+    /// Workers declared wedged and replaced since start.
+    pub worker_restarts: u64,
+    /// Whether a restart storm degraded replacements to sequential
+    /// execution.
+    pub degraded: bool,
+    /// Bytes of key material resident in the lease cache.
+    pub keycache_resident_bytes: u64,
+    /// The cache's configured byte budget.
+    pub keycache_budget_bytes: u64,
+    /// Resident entries quarantined for checksum mismatches since start.
+    pub keycache_quarantined: u64,
+    /// Per-tenant health lines, sorted by tenant id.
+    pub tenants: Vec<TenantHealth>,
+}
+
+/// Serializes a HEALTH probe (v3, envelope + checksum only).
+pub fn encode_health_request(id: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_envelope(&mut out, VERSION_GUARD, KIND_HEALTH_REQUEST, id);
+    let sum = wd_fault::integrity::checksum_bytes(&out);
+    put_u64(&mut out, sum);
+    out
+}
+
+/// Deserializes a HEALTH probe, returning its wire id.
+///
+/// # Errors
+///
+/// [`CkksError::WireDecode`] on truncation, bad magic/version/kind or
+/// trailing bytes; [`wd_fault::WdError::IntegrityViolation`] on a
+/// checksum mismatch.
+pub fn decode_health_request(buf: &[u8]) -> Result<u64, CkksError> {
+    let mut pos = 0usize;
+    let (ver, id) = read_envelope(buf, &mut pos, KIND_HEALTH_REQUEST)?;
+    if ver != VERSION_GUARD {
+        return Err(CkksError::WireDecode(format!(
+            "health frames are version {VERSION_GUARD}, got {ver}"
+        )));
+    }
+    let buf = verify_guard_trailer(buf, &format!("serve health probe id {id}"))?;
+    if pos != buf.len() {
+        return Err(CkksError::WireDecode(
+            "trailing bytes after health probe".into(),
+        ));
+    }
+    Ok(id)
+}
+
+/// Serializes a HEALTH report answering probe `id`.
+///
+/// # Errors
+///
+/// [`CkksError::WireDecode`] when a tenant id or breaker label exceeds the
+/// label cap (cannot happen for ids that passed registration validation).
+pub fn encode_health_report(id: u64, report: &HealthReport) -> Result<Vec<u8>, CkksError> {
+    let mut out = Vec::new();
+    write_envelope(&mut out, VERSION_GUARD, KIND_HEALTH_RESPONSE, id);
+    put_u64(&mut out, report.queue_depth);
+    put_u32(&mut out, report.workers);
+    put_u64(&mut out, report.worker_restarts);
+    out.push(u8::from(report.degraded));
+    put_u64(&mut out, report.keycache_resident_bytes);
+    put_u64(&mut out, report.keycache_budget_bytes);
+    put_u64(&mut out, report.keycache_quarantined);
+    put_u32(&mut out, report.tenants.len().min(u32::MAX as usize) as u32);
+    for t in &report.tenants {
+        write_label_frame(&mut out, &t.id)?;
+        match &t.breaker {
+            None => out.push(0),
+            Some(label) => {
+                out.push(1);
+                write_label_frame(&mut out, label)?;
+            }
+        }
+        put_u64(&mut out, t.in_flight);
+    }
+    let sum = wd_fault::integrity::checksum_bytes(&out);
+    put_u64(&mut out, sum);
+    Ok(out)
+}
+
+/// Deserializes a HEALTH report, returning `(probe id, report)`.
+///
+/// # Errors
+///
+/// [`CkksError::WireDecode`] on truncation, bad magic/version/kind, an
+/// unknown breaker label, or trailing bytes;
+/// [`wd_fault::WdError::IntegrityViolation`] on a checksum mismatch.
+pub fn decode_health_report(buf: &[u8]) -> Result<(u64, HealthReport), CkksError> {
+    let mut pos = 0usize;
+    let (ver, id) = read_envelope(buf, &mut pos, KIND_HEALTH_RESPONSE)?;
+    if ver != VERSION_GUARD {
+        return Err(CkksError::WireDecode(format!(
+            "health frames are version {VERSION_GUARD}, got {ver}"
+        )));
+    }
+    let buf = verify_guard_trailer(buf, &format!("serve health report id {id}"))?;
+    let queue_depth = get_u64(buf, &mut pos)?;
+    let workers = get_u32(buf, &mut pos)?;
+    let worker_restarts = get_u64(buf, &mut pos)?;
+    let degraded = match get_u8(buf, &mut pos)? {
+        0 => false,
+        1 => true,
+        d => return Err(CkksError::WireDecode(format!("bad degraded flag {d}"))),
+    };
+    let keycache_resident_bytes = get_u64(buf, &mut pos)?;
+    let keycache_budget_bytes = get_u64(buf, &mut pos)?;
+    let keycache_quarantined = get_u64(buf, &mut pos)?;
+    let count = get_u32(buf, &mut pos)? as usize;
+    let mut tenants = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let tenant_id = read_label_frame(buf, &mut pos)?;
+        let breaker = match get_u8(buf, &mut pos)? {
+            0 => None,
+            1 => {
+                let label = read_label_frame(buf, &mut pos)?;
+                if !matches!(label.as_str(), "closed" | "open" | "half_open") {
+                    return Err(CkksError::WireDecode(format!(
+                        "unknown breaker label {label:?}"
+                    )));
+                }
+                Some(label)
+            }
+            f => return Err(CkksError::WireDecode(format!("bad breaker flag {f}"))),
+        };
+        let in_flight = get_u64(buf, &mut pos)?;
+        tenants.push(TenantHealth {
+            id: tenant_id,
+            breaker,
+            in_flight,
+        });
+    }
+    if pos != buf.len() {
+        return Err(CkksError::WireDecode(
+            "trailing bytes after health report".into(),
+        ));
+    }
+    Ok((
+        id,
+        HealthReport {
+            queue_depth,
+            workers,
+            worker_restarts,
+            degraded,
+            keycache_resident_bytes,
+            keycache_budget_bytes,
+            keycache_quarantined,
+            tenants,
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -467,7 +776,8 @@ mod tests {
             decode_request_as(&runaway),
             Err(CkksError::WireDecode(_))
         ));
-        // Responses remain v1-only.
+        // Responses are v1 or v3 — the tenant version never shipped for
+        // them and stays rejected.
         let resp = WireResponse {
             id: 1,
             result: Err("e".into()),
@@ -481,6 +791,133 @@ mod tests {
             decode_response(&bytes),
             Err(CkksError::WireDecode(_))
         ));
+    }
+
+    #[test]
+    fn v3_frames_round_trip_and_flag_corruption_before_parsing() {
+        use wd_fault::WdError;
+        let (a, b) = ct_pair();
+        let req =
+            Request::bulk(ServeOp::HMult(a.clone(), b)).with_deadline(Duration::from_micros(9));
+        // Tenant-carrying and default-tenant v3 frames round trip.
+        let v3 = encode_request_v3(7, Some("alice"), &req).expect("encode v3");
+        let (ver, id, tenant, back) = decode_request_versioned(&v3).expect("decode v3");
+        assert_eq!((ver, id, tenant.as_deref()), (3, 7, Some("alice")));
+        assert_eq!(back.op.kind(), req.op.kind());
+        let bare = encode_request_v3(8, None, &req).expect("encode bare v3");
+        let (ver, id, tenant, _) = decode_request_versioned(&bare).expect("decode bare v3");
+        assert_eq!((ver, id, tenant), (3, 8, None), "empty label = default");
+        // Older versions still report their generation.
+        let v1 = encode_request(9, &req);
+        assert_eq!(decode_request_versioned(&v1).expect("v1").0, 1);
+        let v2 = encode_request_as(9, Some("alice"), &req).expect("v2");
+        assert_eq!(decode_request_versioned(&v2).expect("v2").0, 2);
+        // A flipped payload byte is caught by the checksum, with the typed
+        // integrity error — before any operand parsing.
+        let mut corrupt = v3.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x40;
+        assert!(
+            matches!(
+                decode_request_versioned(&corrupt),
+                Err(WdError::IntegrityViolation { .. })
+            ),
+            "payload flip must be an integrity violation"
+        );
+        // So is a flipped trailer byte.
+        let mut bad_trailer = v3;
+        *bad_trailer.last_mut().expect("nonempty") ^= 1;
+        assert!(matches!(
+            decode_request_versioned(&bad_trailer),
+            Err(WdError::IntegrityViolation { .. })
+        ));
+        // v3 responses: round trip, corruption detection, version echo.
+        let ok = WireResponse {
+            id: 42,
+            result: Ok(a),
+            waited_us: 5,
+            batch_size: 2,
+            trigger: Some(FlushTrigger::Drain),
+        };
+        let bytes = encode_response_v3(&ok);
+        assert_eq!(decode_response(&bytes).expect("v3 response"), ok);
+        let mut corrupt = bytes;
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x20;
+        assert!(matches!(
+            decode_response(&corrupt),
+            Err(WdError::IntegrityViolation { .. })
+        ));
+        // peek_kind routes without decoding.
+        assert_eq!(peek_kind(&v1), Some(KIND_REQUEST));
+        assert_eq!(
+            peek_kind(&encode_response(&WireResponse {
+                id: 0,
+                result: Err("e".into()),
+                waited_us: 0,
+                batch_size: 0,
+                trigger: None,
+            })),
+            Some(KIND_RESPONSE)
+        );
+        assert_eq!(peek_kind(b"WDSV"), None);
+        assert_eq!(peek_kind(b"XXXXXX"), None);
+    }
+
+    #[test]
+    fn health_frames_round_trip_and_verify() {
+        use wd_fault::WdError;
+        let probe = encode_health_request(17);
+        assert_eq!(peek_kind(&probe), Some(KIND_HEALTH_REQUEST));
+        assert_eq!(decode_health_request(&probe).expect("probe"), 17);
+        let mut corrupt = probe;
+        corrupt[6] ^= 1; // id byte
+        assert!(matches!(
+            decode_health_request(&corrupt),
+            Err(WdError::IntegrityViolation { .. })
+        ));
+        let report = HealthReport {
+            queue_depth: 3,
+            workers: 2,
+            worker_restarts: 1,
+            degraded: false,
+            keycache_resident_bytes: 4096,
+            keycache_budget_bytes: 1 << 20,
+            keycache_quarantined: 2,
+            tenants: vec![
+                TenantHealth {
+                    id: "alice".into(),
+                    breaker: Some("open".into()),
+                    in_flight: 5,
+                },
+                TenantHealth {
+                    id: "bob".into(),
+                    breaker: None,
+                    in_flight: 0,
+                },
+            ],
+        };
+        let bytes = encode_health_report(17, &report).expect("encode report");
+        assert_eq!(peek_kind(&bytes), Some(KIND_HEALTH_RESPONSE));
+        let (id, back) = decode_health_report(&bytes).expect("decode report");
+        assert_eq!((id, &back), (17, &report));
+        // An unknown breaker label is rejected even with a valid checksum.
+        let weird = HealthReport {
+            tenants: vec![TenantHealth {
+                id: "t".into(),
+                breaker: Some("zzz".into()),
+                in_flight: 0,
+            }],
+            ..HealthReport::default()
+        };
+        let bytes = encode_health_report(0, &weird).expect("encode");
+        assert!(matches!(
+            decode_health_report(&bytes),
+            Err(CkksError::WireDecode(_))
+        ));
+        // Kind confusion between the two health kinds is typed.
+        let probe = encode_health_request(1);
+        assert!(decode_health_report(&probe).is_err());
     }
 
     #[test]

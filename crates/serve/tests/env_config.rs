@@ -10,8 +10,9 @@
 use std::time::Duration;
 
 use wd_serve::{
-    NetConfig, ServeConfig, TenantConfig, ADDR_ENV, AGE_ENV, BATCH_ENV, CONNS_ENV, KEY_CACHE_ENV,
-    LINGER_ENV, NET_TIMEOUT_ENV, QUEUE_ENV, QUOTA_ENV, WORKERS_ENV,
+    BreakerConfig, NetConfig, ServeConfig, TenantConfig, ADDR_ENV, AGE_ENV, BATCH_ENV,
+    BREAKER_COOLDOWN_ENV, BREAKER_PCT_ENV, BREAKER_PROBES_ENV, BREAKER_WINDOW_ENV, CONNS_ENV,
+    KEY_CACHE_ENV, LINGER_ENV, NET_TIMEOUT_ENV, QUEUE_ENV, QUOTA_ENV, WATCHDOG_ENV, WORKERS_ENV,
 };
 
 const ALL: &[&str] = &[
@@ -20,11 +21,16 @@ const ALL: &[&str] = &[
     LINGER_ENV,
     WORKERS_ENV,
     AGE_ENV,
+    WATCHDOG_ENV,
     KEY_CACHE_ENV,
     QUOTA_ENV,
     ADDR_ENV,
     CONNS_ENV,
     NET_TIMEOUT_ENV,
+    BREAKER_WINDOW_ENV,
+    BREAKER_PCT_ENV,
+    BREAKER_COOLDOWN_ENV,
+    BREAKER_PROBES_ENV,
 ];
 
 fn clear_env() {
@@ -93,10 +99,13 @@ fn every_serve_knob_warns_and_defaults_on_malformed_values() {
             Some(Duration::from_micros(9000))
         ),
     );
+    std::env::set_var(WATCHDOG_ENV, "250");
+    assert_eq!(ServeConfig::from_env().watchdog, Duration::from_millis(250));
     std::env::set_var(KEY_CACHE_ENV, "64");
     std::env::set_var(QUOTA_ENV, "5");
     let t = TenantConfig::from_env();
     assert_eq!((t.key_cache_bytes, t.quota), (64 << 20, 5));
+    assert_eq!(t.breaker, None, "no breaker knob set: breakers stay off");
     std::env::set_var(ADDR_ENV, "127.0.0.1:39099");
     std::env::set_var(CONNS_ENV, "2");
     std::env::set_var(NET_TIMEOUT_ENV, "120");
@@ -178,5 +187,99 @@ fn every_serve_knob_warns_and_defaults_on_malformed_values() {
         "sub-floor timeout must keep the default"
     );
     expect_warning(NET_TIMEOUT_ENV, "1");
+    clear_env();
+
+    // --- Range-bounded knobs: both edges accepted, both neighbors
+    // rejected (zero/overflow can neither disable a pool nor explode it).
+    wd_trace::take_warnings();
+    for (name, min, max) in [
+        (BATCH_ENV, 1u64, 4096u64),
+        (WORKERS_ENV, 1, 256),
+        (CONNS_ENV, 1, 4096),
+    ] {
+        for good in [min, max] {
+            std::env::set_var(name, good.to_string());
+            let (c, n) = (ServeConfig::from_env(), NetConfig::from_env());
+            let got = match name {
+                BATCH_ENV => c.max_batch as u64,
+                WORKERS_ENV => c.workers as u64,
+                _ => n.max_conns as u64,
+            };
+            assert_eq!(got, good, "{name}={good} is in range and must be used");
+            assert!(
+                wd_trace::take_warnings().is_empty(),
+                "{name}={good} must not warn"
+            );
+        }
+        for bad in [
+            (min - 1).to_string(),
+            (max + 1).to_string(),
+            // u64 overflow is malformed, not u64::MAX.
+            "99999999999999999999999".into(),
+        ] {
+            std::env::set_var(name, &bad);
+            let (c, n) = (ServeConfig::from_env(), NetConfig::from_env());
+            let (cd, nd) = (ServeConfig::default(), NetConfig::default());
+            assert_eq!(
+                (c.max_batch, c.workers, n.max_conns),
+                (cd.max_batch, cd.workers, nd.max_conns),
+                "{name}={bad:?} must keep the defaults"
+            );
+            expect_warning(name, &bad);
+        }
+        std::env::remove_var(name);
+    }
+
+    // --- The watchdog knob: 0 is the documented "disabled" value, in-range
+    // values are used, out-of-range and garbage keep the 5 s default.
+    std::env::set_var(WATCHDOG_ENV, "0");
+    assert_eq!(ServeConfig::from_env().watchdog, Duration::ZERO);
+    assert!(
+        wd_trace::take_warnings().is_empty(),
+        "WATCHDOG_MS=0 (disabled) is valid"
+    );
+    for bad in ["3600001", "forever"] {
+        std::env::set_var(WATCHDOG_ENV, bad);
+        assert_eq!(
+            ServeConfig::from_env().watchdog,
+            ServeConfig::default().watchdog,
+            "WATCHDOG_MS={bad:?} must keep the default"
+        );
+        expect_warning(WATCHDOG_ENV, bad);
+    }
+    std::env::remove_var(WATCHDOG_ENV);
+
+    // --- Breaker knobs: *presence* of any one opts breakers in; each knob
+    // then follows the same range contract.
+    std::env::set_var(BREAKER_PCT_ENV, "100");
+    let t = TenantConfig::from_env();
+    let b = t.breaker.expect("one breaker knob set turns breakers on");
+    assert_eq!(b.threshold_pct, 100);
+    assert_eq!(
+        (b.window, b.cooldown, b.probes),
+        {
+            let d = BreakerConfig::default();
+            (d.window, d.cooldown, d.probes)
+        },
+        "unset breaker knobs keep their defaults"
+    );
+    assert!(wd_trace::take_warnings().is_empty());
+    // A malformed value still opts in (presence), but warns and defaults.
+    for (name, bad) in [
+        (BREAKER_PCT_ENV, "101"),
+        (BREAKER_WINDOW_ENV, "0"),
+        (BREAKER_COOLDOWN_ENV, "eventually"),
+        (BREAKER_PROBES_ENV, "1025"),
+    ] {
+        std::env::set_var(name, bad);
+        let t = TenantConfig::from_env();
+        assert_eq!(
+            t.breaker,
+            Some(BreakerConfig::default()),
+            "{name}={bad:?} must opt in but keep every default"
+        );
+        expect_warning(name, bad);
+        std::env::remove_var(name);
+    }
     clear_env();
 }

@@ -277,6 +277,160 @@ fn quota_and_unknown_tenant_errors_cross_the_wire() {
     );
 }
 
+/// The partial-write/poisoning regression: a response the client cannot
+/// trust (here: a garbage frame from a hand-rolled listener) must poison
+/// the connection, and the **next** call must reconnect instead of reusing
+/// the stream. Before the fix, `NetClient` kept the original socket
+/// forever: the second call wrote into a connection the server had already
+/// abandoned and died on the read — this test's second round trip fails.
+#[test]
+fn poisoned_client_reconnects_instead_of_reusing_the_stream() {
+    use std::net::TcpListener;
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        let mut accepts = 0u32;
+        // Connection 1: consume the request, answer garbage, hang up.
+        let (mut s, _) = listener.accept().unwrap();
+        accepts += 1;
+        read_frame(&mut s, MAX_FRAME_BYTES).unwrap();
+        write_frame(&mut s, b"not a WDSV frame").unwrap();
+        drop(s);
+        // Connection 2: answer properly, echoing the client's wire id.
+        let (mut s, _) = listener.accept().unwrap();
+        accepts += 1;
+        let frame = read_frame(&mut s, MAX_FRAME_BYTES).unwrap().unwrap();
+        let (id, _tenant, _req) = wire::decode_request_as(&frame).unwrap();
+        let resp = wire::WireResponse {
+            id,
+            result: Err("served by the fake".into()),
+            waited_us: 0,
+            batch_size: 1,
+            trigger: None,
+        };
+        write_frame(&mut s, &wire::encode_response(&resp)).unwrap();
+        accepts
+    });
+
+    let mut client =
+        NetClient::connect_with(addr, Some(Duration::from_millis(500))).expect("connect");
+    assert_eq!(client.reconnects(), 0);
+    let err = client
+        .call(None, &sample_request())
+        .expect_err("a garbage response must surface as a typed error");
+    assert!(
+        err.to_string().contains("poisoned"),
+        "the error names the poison: {err}"
+    );
+    assert!(client.is_poisoned());
+    // The next call transparently reconnects (accept count 1 → 2) and
+    // completes a clean round trip on the fresh stream.
+    let resp = client
+        .call(None, &sample_request())
+        .expect("reconnected round trip");
+    assert_eq!(
+        resp.result.expect_err("fake answers an error"),
+        "served by the fake"
+    );
+    assert!(!client.is_poisoned());
+    assert_eq!(client.reconnects(), 1);
+    assert_eq!(fake.join().unwrap(), 2, "the fix is the second accept");
+}
+
+/// Shutdown racing a connection storm: six clients hammer a capped
+/// listener while it is torn down mid-storm. The drain contract holds —
+/// every *admitted* request is answered or shed (never lost), every
+/// client thread and handler joins (no hang), and no request is left in
+/// flight.
+#[test]
+fn shutdown_racing_a_connection_storm_drains_losslessly() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let (ctx, kp) = shared();
+    let server = Arc::new(Server::start(
+        Arc::clone(ctx),
+        ServeKeys::with_relin(kp.relin.clone()),
+        ServeConfig {
+            max_batch: 4,
+            linger: Duration::from_micros(200),
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    ));
+    let net = NetServer::start(
+        Arc::clone(&server),
+        NetConfig {
+            max_conns: 4, // below the storm width: some connects are refused
+            ..net_config()
+        },
+    )
+    .expect("bind loopback");
+    let addr = net.local_addr();
+
+    let down = Arc::new(AtomicBool::new(false));
+    let clients: Vec<_> = (0..6)
+        .map(|_| {
+            let down = Arc::clone(&down);
+            std::thread::spawn(move || {
+                let mut served = 0u64;
+                let mut refused = 0u64;
+                let Ok(mut client) = NetClient::connect_with(addr, Some(Duration::from_secs(5)))
+                else {
+                    return (0, 0);
+                };
+                for _ in 0..24 {
+                    match client.call(None, &sample_request()) {
+                        Ok(resp) if resp.result.is_ok() => served += 1,
+                        // A cap refusal or an admission error frame.
+                        Ok(_) => refused += 1,
+                        // Transport failure: during the storm that is the
+                        // cap slamming the door (poisons, next call
+                        // reconnects); once shutdown has begun, stop.
+                        Err(_) => {
+                            refused += 1;
+                            if down.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                    }
+                }
+                (served, refused)
+            })
+        })
+        .collect();
+
+    // Let the storm develop, then tear the listener down mid-flight.
+    std::thread::sleep(Duration::from_millis(100));
+    let stats = net.shutdown();
+    down.store(true, Ordering::SeqCst);
+    server.drain();
+
+    // Every client thread joins — a hang here IS the failure mode.
+    let mut served_total = 0u64;
+    for c in clients {
+        let (served, _) = c.join().expect("client thread joins");
+        served_total += served;
+    }
+    // Socket accounting: the storm was real (accepts and, with 6 clients
+    // against a 4-conn cap, refusals), and the handlers saw every frame
+    // the clients got answers for.
+    assert!(stats.accepted >= 1, "{stats:?}");
+    assert!(stats.frames >= served_total, "{stats:?}");
+    // Queue accounting: lossless — everything admitted was answered or
+    // shed, nothing is still in flight after the drain.
+    let s = server.stats();
+    assert_eq!(
+        s.submitted,
+        s.shed + s.completed,
+        "drain must answer every admitted request: {s:?}"
+    );
+    assert!(s.completed >= served_total, "{s:?}");
+    let t = server.tenant_stats(wd_serve::DEFAULT_TENANT).unwrap();
+    assert_eq!(t.in_flight, 0, "no request left in flight: {t:?}");
+}
+
 /// The acceptance drill: two tenants with their own contexts and keys,
 /// served concurrently over real sockets, with faults injecting at the
 /// acceptance rate and a 1-byte key-cache budget forcing eviction/reload
@@ -293,7 +447,7 @@ fn concurrent_tenants_are_bit_identical_under_faults_and_cache_churn() {
 
     let mut reg = TenantRegistry::new(TenantConfig {
         key_cache_bytes: 1, // nothing fits: every lease is an eviction/reload
-        quota: usize::MAX,
+        ..TenantConfig::default()
     });
     let mut fixtures = Vec::new();
     for (id, seed) in [("alice", 11u64), ("bob", 22u64)] {

@@ -37,6 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // is a modeled host->device reload, the worst case for coherence.
         key_cache_bytes: 1,
         quota: 4,
+        ..TenantConfig::default()
     });
     let mut tenants = Vec::new();
     for (id, seed) in [("alice", 1u64), ("bob", 2u64)] {

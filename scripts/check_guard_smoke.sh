@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Guard smoke check: the self-healing ladder, end to end, under light
+# fault injection. Runs the guard_bench drills — an armed key-corruption
+# quarantine, a forced worker wedge under the watchdog, and a tenant
+# driven to breaker-open — and asserts every `serve.guard.*` / `fault.*`
+# transition counter landed exactly once, with ambient fault recovery
+# invisible in every count.
+#
+# Usage: scripts/check_guard_smoke.sh
+#   Runs under WD_TRACE=full and (unless overridden) WD_FAULT_RATE=0.05;
+#   exits nonzero on any missing signal or wrong count.
+set -euo pipefail
+
+# shellcheck source=scripts/lib.sh
+. "$(dirname "$0")/lib.sh"
+
+log=/tmp/wd_guard_smoke.log      # stdout: the artifact-shaped report
+trace=/tmp/wd_guard_smoke.trace  # stderr: the wd-trace summary
+
+if ! WD_TRACE=full WD_FAULT_RATE="${WD_FAULT_RATE:-0.05}" \
+    cargo run --release -q -p wd-bench --bin guard_bench -- --quick \
+    >"$log" 2>"$trace"; then
+    echo "FAIL guard_bench exited nonzero:" >&2
+    cat "$log" "$trace" >&2
+    exit 1
+fi
+
+# The run's own end-state assertions (including the <3% modeled-overhead
+# gate) all passed.
+wd_need "^PASS:" "guard_bench PASS line" "$log"
+wd_need "bit-identical to the sequential fault-free reference" \
+    "quarantine bit-identity line" "$log"
+wd_need "answered exactly once, bit-identical" "wedge replay line" "$log"
+
+# The quarantine drill: exactly one armed mismatch, quarantined and
+# reloaded from the cold copy exactly once.
+wd_expect_eq "$(wd_counter serve.keycache.quarantined "$trace")" 1 \
+    "serve.keycache.quarantined (corruption drill)"
+
+# The wedge drill: one injected wedge, one watchdog declaration, one
+# respawn, the parked batch re-queued — and no restart-storm degrade.
+wd_expect_eq "$(wd_counter serve.guard.wedge_injected "$trace")" 1 \
+    "serve.guard.wedge_injected"
+wd_expect_eq "$(wd_counter serve.guard.wedged "$trace")" 1 \
+    "serve.guard.wedged (watchdog declaration)"
+wd_expect_eq "$(wd_counter fault.worker_restarts "$trace")" 1 \
+    "fault.worker_restarts (respawn)"
+wd_need "^counter serve.guard.requeued = " "wedged batch re-queue counter" "$trace"
+wd_expect_eq "$(wd_counter serve.guard.degraded "$trace")" "" \
+    "serve.guard.degraded (absent: no restart storm)"
+
+# The breaker drill: one open transition, one typed fast-shed refusal,
+# accounted to the tenant.
+wd_expect_eq "$(wd_counter serve.guard.breaker_open "$trace")" 1 \
+    "serve.guard.breaker_open"
+wd_expect_eq "$(wd_counter serve.guard.breaker_shed "$trace")" 1 \
+    "serve.guard.breaker_shed"
+wd_expect_eq "$(wd_counter serve.tenant.bob.rejected "$trace")" 1 \
+    "serve.tenant.bob.rejected (breaker refusal)"
+
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "guard smoke failed; report at $log, trace summary at $trace" >&2
+fi
+exit "$fail"
