@@ -1,0 +1,347 @@
+//! Scratch-arena benchmark: what fresh per-op heap allocation costs on the
+//! host hot path, and what the [`wd_polyring::scratch::ScratchArena`] lease
+//! discipline buys back. Generates `results/arena_speedup.txt` (regenerate
+//! with `cargo run --release -p wd-bench --bin alloc_bench >
+//! results/arena_speedup.txt`; the drift checker maps the artifact to this
+//! binary).
+//!
+//! Four sections:
+//!
+//! 1. **Modeled allocation overhead** (deterministic): the fresh-allocation
+//!    keyswitch re-mallocs its whole scratch working set — `3l + (dnum+2)·
+//!    (l+k)` limb slabs — every op, paying malloc bookkeeping plus a soft
+//!    page fault per fresh 4 KiB page. The arena path pays that bill once
+//!    (warm-up) and additionally runs the fused slab kernels (mul-add
+//!    accumulate, Shoup ModDown scaling) the planar layout enables. Priced
+//!    per Table VI set in the same host INT32 units as `cost::host_*`, then
+//!    swept over serving batch sizes at SET-C; the run *asserts* the ≥1.2×
+//!    speedup gate at the saturating serving batch.
+//! 2. **Measured A/B** (host, `~`-masked): `keyswitch` (pooled, warm arena)
+//!    vs `keyswitch_unpooled` on identical inputs, and a 16-op HMULT batch
+//!    under a worker arena vs a disabled one — outputs asserted
+//!    bit-identical in both drills.
+//! 3. **Steady-state lease drill** (deterministic): after one warm-up
+//!    keyswitch on a parameter-sized arena, every further op leases
+//!    everything from the shelves — exact lease/reuse counts, **zero**
+//!    fresh heap allocations per op, counter-asserted.
+//! 4. **Exhaustion drill** (deterministic): a 256-byte arena overflows on
+//!    every slab lease, falls back to the heap, stays under its retention
+//!    cap — and the output is still bit-identical to the unpooled path.
+//!
+//! `--quick` (or `WD_BENCH_QUICK=1`) shrinks the measured phase only; the
+//! printed structure — and every unmasked number — is identical, so the
+//! same checked-in artifact drift-checks both modes.
+//!
+//! Trace output (when `WD_TRACE` is on) goes to **stderr**: stdout is the
+//! drift-checked artifact.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use warpdrive_core::cost;
+use wd_bench::banner;
+use wd_ckks::keyswitch::{keyswitch, keyswitch_unpooled};
+use wd_ckks::{ops, CkksContext, ParamSet};
+use wd_polyring::scratch::{self, ScratchArena};
+
+/// Host INT32 instructions for one malloc/free pair of a limb-sized slab.
+/// Slabs at paper rings are ≥128 KiB, so glibc serves them straight from
+/// `mmap`/`munmap` — two syscalls plus allocator bookkeeping.
+const INSTR_PER_HEAP_ALLOC: f64 = 800.0;
+
+/// Host INT32 instructions per fresh 4 KiB page on first touch: one soft
+/// page fault (≈2 µs at a few GIPS), TLB fill, and kernel zeroing. Recycled
+/// arena slabs pay none of this — their pages are already mapped and warm.
+const INSTR_PER_FRESH_PAGE: f64 = 8000.0;
+
+const PAGE_BYTES: f64 = 4096.0;
+
+/// Host INT32 instructions per Shoup modular multiply (precomputed
+/// quotient: mul-hi, mul-lo, one conditional subtract), vs
+/// [`cost::INT32_PER_POINTWISE_MUL`] for the Barrett pointwise path. The
+/// planar ModDown scaling kernel runs Shoup over contiguous slabs.
+const INT32_PER_SHOUP_MUL: f64 = 8.0;
+
+const BATCHES: [u64; 6] = [1, 2, 4, 8, 16, 32];
+/// The saturating serving batch `serve_bench` gates its amortization at.
+const SERVING_BATCH: u64 = 16;
+const GATE_SPEEDUP: f64 = 1.2;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick") || std::env::var("WD_BENCH_QUICK").is_ok();
+
+    banner(
+        "alloc_bench — scratch-arena allocation reuse on the host hot path",
+        "memory-discipline datapoint (BENCH_arena.json; no paper table)",
+    );
+
+    let speedup = modeled_alloc_overhead();
+    measured_ab(quick)?;
+    steady_state_drill()?;
+    exhaustion_drill()?;
+
+    // The claim the arena is built on, asserted every run.
+    assert!(
+        speedup >= GATE_SPEEDUP,
+        "modeled arena speedup {speedup:.2}x breaches the {GATE_SPEEDUP:.2}x gate"
+    );
+    println!();
+    println!(
+        "PASS: modeled arena speedup {speedup:.2}x >= {GATE_SPEEDUP:.2}x at batch \
+         {SERVING_BATCH}; steady-state heap allocs per op 0; exhaustion falls back bit-identically"
+    );
+
+    // Observability goes to stderr: stdout is the drift-checked artifact.
+    if wd_trace::enabled() {
+        eprintln!("{}", wd_trace::snapshot().summary_report());
+    }
+    Ok(())
+}
+
+/// Limb slabs the fresh-allocation keyswitch mallocs per op, under the same
+/// α = 1, K = 1 shape as [`cost::host_keyswitch_instrs`]: the INTT'd input
+/// (l), one full-basis ModUp extension per digit (dnum·(l+1)), both
+/// InnerProduct accumulators (2·(l+1)), and ModDown's two base-conversion
+/// temporaries (2·l). The pooled path leases all of them.
+fn scratch_slabs(l: usize) -> usize {
+    let full = l + 1;
+    let dnum = l;
+    3 * l + (dnum + 2) * full
+}
+
+/// Modeled fresh-allocation overhead for one keyswitch working set: every
+/// slab pays malloc bookkeeping plus a soft fault per fresh page.
+fn alloc_instrs(n: usize, l: usize) -> f64 {
+    let slab_pages = ((n * 8) as f64 / PAGE_BYTES).ceil();
+    scratch_slabs(l) as f64 * (INSTR_PER_HEAP_ALLOC + slab_pages * INSTR_PER_FRESH_PAGE)
+}
+
+/// Instructions the planar slab kernels save per keyswitch: the fused
+/// mul-add accumulate eliminates the InnerProduct's separate add pass
+/// (2·dnum·(l+1) limb adds), and Shoup scaling replaces Barrett pointwise
+/// multiplies in both ModDown rescales (2·l limbs).
+fn fused_save_instrs(n: usize, l: usize) -> f64 {
+    let full = l + 1;
+    let dnum = l;
+    let inner_adds = (2 * dnum * full) as f64 * cost::host_add_limb_instrs(n);
+    let shoup = (2 * l * n) as f64 * (cost::INT32_PER_POINTWISE_MUL - INT32_PER_SHOUP_MUL);
+    inner_adds + shoup
+}
+
+/// Modeled per-op cost of the fresh-allocation path (compute + the full
+/// allocation bill, every op) and the arena path (fused compute, zero
+/// steady-state allocations).
+fn modeled_per_op(n: usize, l: usize) -> (f64, f64) {
+    let compute = cost::host_heavy_op_instrs(n, l);
+    (
+        compute + alloc_instrs(n, l),
+        compute - fused_save_instrs(n, l),
+    )
+}
+
+/// Modeled allocation-overhead table per Table VI set, then the SET-C batch
+/// sweep (the arena pays its warm-up allocation bill once per batch).
+/// Returns the SET-C speedup at the saturating serving batch.
+fn modeled_alloc_overhead() -> f64 {
+    println!();
+    println!("-- modeled fresh-alloc overhead vs arena reuse (host INT32 instrs) --");
+    println!(
+        "{:>7} {:>8} {:>4} {:>6} {:>9} {:>13} {:>13} {:>8}",
+        "set", "N", "L", "slabs", "MiB/op", "alloc Minstr", "HMULT Minstr", "steady"
+    );
+    for set in ParamSet::table_vi() {
+        let (fresh, arena) = modeled_per_op(set.n, set.level);
+        let slabs = scratch_slabs(set.level);
+        println!(
+            "{:>7} {:>8} {:>4} {:>6} {:>9.1} {:>13.1} {:>13.1} {:>7.2}x",
+            set.name,
+            set.n,
+            set.level,
+            slabs,
+            (slabs * set.n * 8) as f64 / (1 << 20) as f64,
+            alloc_instrs(set.n, set.level) / 1e6,
+            cost::host_heavy_op_instrs(set.n, set.level) / 1e6,
+            fresh / arena
+        );
+    }
+
+    // The arena's warm-up (filling the shelves) costs one allocation bill
+    // per batch; every further op in the batch leases for free.
+    let (n, l) = (1usize << 14, 14usize); // SET-C
+    let (fresh, arena) = modeled_per_op(n, l);
+    let warmup = alloc_instrs(n, l);
+    println!();
+    println!("-- SET-C HMULT+keyswitch serving batch sweep (one arena warm-up per batch) --");
+    println!(
+        "{:>6} {:>14} {:>14} {:>9}",
+        "batch", "fresh Minstr", "arena Minstr", "speedup"
+    );
+    let mut at_serving = 0.0;
+    for &b in &BATCHES {
+        let fresh_total = b as f64 * fresh;
+        let arena_total = b as f64 * arena + warmup;
+        let s = fresh_total / arena_total;
+        println!(
+            "{b:>6} {:>14.1} {:>14.1} {:>8.2}x",
+            fresh_total / 1e6,
+            arena_total / 1e6,
+            s
+        );
+        if b == SERVING_BATCH {
+            at_serving = s;
+        }
+    }
+    println!(
+        "modeled arena speedup at serving batch {SERVING_BATCH}: {at_serving:.2}x  \
+         (gate: >= {GATE_SPEEDUP:.2}x)"
+    );
+    at_serving
+}
+
+/// Measured A/B on identical inputs: pooled `keyswitch` under a warm,
+/// parameter-sized arena vs `keyswitch_unpooled`, then a 16-op HMULT batch
+/// under a worker arena vs a disabled one. Host-dependent, so every timing
+/// is `~`-prefixed for the mask; bit-identity is asserted bare.
+fn measured_ab(quick: bool) -> Result<(), Box<dyn std::error::Error>> {
+    println!();
+    println!("-- measured A/B (host, ~-masked) --");
+
+    // Keyswitch: the op the arena exists for.
+    let params = ParamSet::set_a().with_degree(1 << 10).build()?;
+    let ctx = CkksContext::with_seed(params, 91)?;
+    ctx.set_threads(1);
+    let kp = ctx.keygen();
+    let d = ctx.encode(&[1.5, -2.25, 3.0])?.poly;
+    let arena = warpdrive_core::arena::worker_arena(ctx.params(), u64::MAX)?;
+    ctx.set_scratch_arena(Arc::clone(&arena));
+    let pooled = keyswitch(&ctx, &d, &kp.relin)?; // warm-up fills the shelves
+    let unpooled = keyswitch_unpooled(&ctx, &d, &kp.relin)?;
+    assert_eq!(pooled, unpooled, "pooled keyswitch must be bit-identical");
+
+    let iters = if quick { 8 } else { 64 };
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(keyswitch(&ctx, &d, &kp.relin)?);
+    }
+    let warm_us = start.elapsed().as_secs_f64() * 1e6 / iters as f64;
+    let start = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box(keyswitch_unpooled(&ctx, &d, &kp.relin)?);
+    }
+    let fresh_us = start.elapsed().as_secs_f64() * 1e6 / iters as f64;
+    println!(
+        "  keyswitch (N=2^10): arena ~{warm_us:.1} us/op, fresh ~{fresh_us:.1} us/op; \
+         outputs bit-identical"
+    );
+
+    // A serving-shaped batch of HMULTs, arena on vs off.
+    let params = ParamSet::set_a().with_degree(1 << 8).build()?;
+    let ctx = CkksContext::with_seed(params, 92)?;
+    ctx.set_threads(1);
+    let kp = ctx.keygen();
+    let a = ctx.encrypt_values(&[1.0, -2.0], &kp.public)?;
+    let b = ctx.encrypt_values(&[0.5, 3.0], &kp.public)?;
+    let run_batch = || -> Result<Vec<_>, wd_ckks::CkksError> {
+        (0..SERVING_BATCH)
+            .map(|_| ops::hmult(&ctx, &a, &b, &kp.relin))
+            .collect()
+    };
+    let reps = if quick { 2 } else { 8 };
+    let mut per_op = [0.0f64; 2];
+    let mut outs: [Option<Vec<_>>; 2] = [None, None];
+    let worker = warpdrive_core::arena::worker_arena(ctx.params(), u64::MAX)?;
+    for (i, arena) in [worker, ScratchArena::disabled()].into_iter().enumerate() {
+        let (elapsed, got) = scratch::with_worker_arena(&arena, || {
+            let _ = run_batch(); // warm-up (fills the shelves in pass 0)
+            let start = Instant::now();
+            let mut got = Vec::new();
+            for _ in 0..reps {
+                got = run_batch()?;
+            }
+            Ok::<_, wd_ckks::CkksError>((start.elapsed(), got))
+        })?;
+        per_op[i] = elapsed.as_secs_f64() * 1e6 / (reps * SERVING_BATCH as usize) as f64;
+        outs[i] = Some(got);
+    }
+    assert_eq!(
+        outs[0], outs[1],
+        "arena batch must be bit-identical to the fresh batch"
+    );
+    println!(
+        "  {SERVING_BATCH}-op HMULT batch (N=2^8): arena ~{:.1} us/op, fresh ~{:.1} us/op; \
+         outputs bit-identical",
+        per_op[0], per_op[1]
+    );
+    Ok(())
+}
+
+/// After one warm-up keyswitch on a parameter-sized arena, every further op
+/// is pure shelf reuse: exact lease accounting, zero heap allocations.
+fn steady_state_drill() -> Result<(), Box<dyn std::error::Error>> {
+    let params = ParamSet::set_a().with_degree(1 << 6).build()?;
+    let ctx = CkksContext::with_seed(params, 93)?;
+    ctx.set_threads(1);
+    let kp = ctx.keygen();
+    let d = ctx.encode(&[0.5, 1.0, -1.5])?.poly;
+    let arena = warpdrive_core::arena::worker_arena(ctx.params(), u64::MAX)?;
+    ctx.set_scratch_arena(Arc::clone(&arena));
+
+    keyswitch(&ctx, &d, &kp.relin)?; // warm-up: every shape parked once
+    let warm = arena.stats();
+    const OPS: u64 = 4;
+    for _ in 0..OPS {
+        keyswitch(&ctx, &d, &kp.relin)?;
+    }
+    let after = arena.stats();
+    let leases = after.leases - warm.leases;
+    let reuses = after.reuses - warm.reuses;
+    let heap = after.heap_allocs() - warm.heap_allocs();
+    println!();
+    println!("-- steady-state lease drill (deterministic, N=2^6 sized arena) --");
+    println!(
+        "  warm-up keyswitch: {} leases, {} fresh heap allocations parked",
+        warm.leases, warm.fresh
+    );
+    println!(
+        "  {OPS} warm keyswitches: {leases} leases = {} per op, {reuses} reuses, \
+         {heap} heap allocations",
+        leases / OPS
+    );
+    println!("  steady-state heap allocations per op: 0");
+    assert_eq!(heap, 0, "steady-state ops must lease everything: {after:?}");
+    assert_eq!(reuses, leases, "every steady-state lease is a shelf reuse");
+    assert_eq!(leases % OPS, 0, "lease count per op must be exact");
+    Ok(())
+}
+
+/// A 256-byte arena on the worker thread: slab leases overflow the cap and
+/// fall back to plain heap, retention stays bounded, and the output is
+/// bit-identical to the unpooled path.
+fn exhaustion_drill() -> Result<(), Box<dyn std::error::Error>> {
+    let params = ParamSet::set_a().with_degree(1 << 6).build()?;
+    let ctx = CkksContext::with_seed(params, 94)?;
+    ctx.set_threads(1);
+    let kp = ctx.keygen();
+    let d = ctx.encode(&[2.0, -0.5])?.poly;
+    let expect = keyswitch_unpooled(&ctx, &d, &kp.relin)?;
+
+    let tiny = ScratchArena::with_capacity(256);
+    let got = scratch::with_worker_arena(&tiny, || keyswitch(&ctx, &d, &kp.relin))?;
+    assert_eq!(got, expect, "exhausted arena must stay bit-identical");
+    let st = tiny.stats();
+    println!();
+    println!("-- exhaustion drill (deterministic, 256-byte arena) --");
+    println!(
+        "  1 keyswitch: {} leases, {} heap fallbacks, {} bytes parked (cap 256)",
+        st.leases,
+        st.fallbacks,
+        tiny.parked_bytes()
+    );
+    println!("  output bit-identical to keyswitch_unpooled");
+    assert!(
+        st.fallbacks > 0,
+        "slab leases must overflow 256 bytes: {st:?}"
+    );
+    assert!(tiny.parked_bytes() <= 256, "retention stays under the cap");
+    Ok(())
+}

@@ -13,10 +13,27 @@ use std::sync::{Arc, Mutex};
 use wd_modmath::rns::{BasisConverter, RnsBasis};
 use wd_polyring::ntt::NttTable;
 use wd_polyring::rns::{Domain, RnsPoly};
+use wd_polyring::scratch::ScratchArena;
 use wd_polyring::Poly;
 
 /// Cache of base-extension converters, keyed by (from, to) prime lists.
 type ConverterCache = HashMap<(Vec<u64>, Vec<u64>), Arc<BasisConverter>>;
+
+/// Immutable per-level derived state, computed once at context build so the
+/// hot path borrows instead of re-deriving (`q_at(level).to_vec()`,
+/// `full_basis_at(level)`, fresh table `Vec`s and P-inverse recomputation
+/// used to run on every keyswitch/rescale call).
+#[derive(Debug)]
+struct LevelCache {
+    /// Full basis q_0…q_ℓ ∪ P at this level.
+    full: Vec<u64>,
+    /// Tables for q_0…q_ℓ, in limb order.
+    q_tables: Vec<Arc<NttTable>>,
+    /// Tables for the full basis, in limb order.
+    full_tables: Vec<Arc<NttTable>>,
+    /// P^{-1} mod q_i for each q-limb at this level (ModDown constant).
+    p_inv: Vec<u64>,
+}
 
 /// Parameter-bound CKKS state: NTT tables per prime, the encoder, a cached
 /// basis-converter pool, and a seedable RNG.
@@ -39,6 +56,14 @@ pub struct CkksContext {
     /// or claimed by a scheduled `warpdrive_core::BatchExecutor`, which is
     /// the framework's single owner of the `WD_THREADS` read.
     threads: AtomicUsize,
+    /// Per-level derived state (prime bases, table lists, ModDown
+    /// constants), indexed by level.
+    levels: Vec<LevelCache>,
+    /// Default scratch arena for callers outside any scheduler scope. A
+    /// per-worker arena installed via
+    /// `wd_polyring::scratch::with_worker_arena` always takes precedence
+    /// (see [`CkksContext::scratch`]).
+    scratch: Mutex<Arc<ScratchArena>>,
 }
 
 impl CkksContext {
@@ -64,6 +89,38 @@ impl CkksContext {
         for &q in &full {
             table_by_prime.insert(q, Arc::new(NttTable::new(q, n)?));
         }
+        let p_chain = params.p_chain().to_vec();
+        let mut levels = Vec::with_capacity(params.max_level() + 1);
+        for level in 0..=params.max_level() {
+            let full = params.full_basis_at(level);
+            let q_now = params.q_at(level);
+            let q_tables = q_now
+                .iter()
+                .map(|q| Arc::clone(&table_by_prime[q]))
+                .collect();
+            let full_tables = full
+                .iter()
+                .map(|q| Arc::clone(&table_by_prime[q]))
+                .collect();
+            let mut p_inv = Vec::with_capacity(q_now.len());
+            for &q in q_now {
+                let m = wd_modmath::Modulus::new(q);
+                let mut p = 1u64;
+                for &pk in &p_chain {
+                    p = m.mul(p, m.reduce(pk));
+                }
+                // P shares no factor with a distinct chain prime q, so the
+                // inverse exists for valid parameters; a degenerate chain
+                // surfaces as Err at build time instead of per keyswitch.
+                p_inv.push(m.inv(p)?);
+            }
+            levels.push(LevelCache {
+                full,
+                q_tables,
+                full_tables,
+                p_inv,
+            });
+        }
         Ok(Self {
             params,
             encoder,
@@ -71,6 +128,8 @@ impl CkksContext {
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             converters: Mutex::new(HashMap::new()),
             threads: AtomicUsize::new(1),
+            levels,
+            scratch: Mutex::new(ScratchArena::for_worker()),
         })
     }
 
@@ -106,6 +165,65 @@ impl CkksContext {
             .iter()
             .map(|q| Arc::clone(&self.table_by_prime[q]))
             .collect()
+    }
+
+    /// The full basis q_0…q_ℓ ∪ P at `level`, borrowed from the per-level
+    /// cache (the hot-path replacement for `params().full_basis_at(level)`,
+    /// which allocates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` exceeds the chain.
+    pub fn full_basis(&self, level: usize) -> &[u64] {
+        &self.levels[level].full
+    }
+
+    /// NTT tables for q_0…q_ℓ in limb order, borrowed (the hot-path
+    /// replacement for `tables_for(q_at(level))`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` exceeds the chain.
+    pub fn q_tables(&self, level: usize) -> &[Arc<NttTable>] {
+        &self.levels[level].q_tables
+    }
+
+    /// NTT tables for the full basis at `level` in limb order, borrowed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` exceeds the chain.
+    pub fn full_tables(&self, level: usize) -> &[Arc<NttTable>] {
+        &self.levels[level].full_tables
+    }
+
+    /// ModDown constants P^{-1} mod q_i for each q-limb at `level`,
+    /// precomputed at build (keyswitch used to re-derive these per call).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` exceeds the chain.
+    pub fn p_inv(&self, level: usize) -> &[u64] {
+        &self.levels[level].p_inv
+    }
+
+    /// The scratch arena hot-path ops lease temporaries from: the calling
+    /// thread's worker arena when a scheduler installed one (see
+    /// `wd_polyring::scratch::with_worker_arena` — per-worker ownership),
+    /// otherwise this context's default arena.
+    pub fn scratch(&self) -> Arc<ScratchArena> {
+        if let Some(arena) = wd_polyring::scratch::worker_arena() {
+            return arena;
+        }
+        Arc::clone(&self.scratch.lock().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// Replaces the context's default scratch arena (e.g. with a
+    /// parameter-sized one from `warpdrive_core::arena`, or
+    /// `ScratchArena::disabled()` to force the fresh-allocation reference
+    /// path for A/B measurement).
+    pub fn set_scratch_arena(&self, arena: Arc<ScratchArena>) {
+        *self.scratch.lock().unwrap_or_else(|p| p.into_inner()) = arena;
     }
 
     /// Cached basis converter `from → to`, with invalid bases (duplicated

@@ -14,12 +14,29 @@
 //! conversion's rounding, which is standard); the *kernel grouping* of these
 //! same steps — 11 PE kernels vs 59–109 KF kernels — lives in
 //! `warpdrive-core::planner`.
+//!
+//! # Memory discipline
+//!
+//! [`keyswitch`] is the pooled hot path: every temporary — the INTT'd input,
+//! the per-digit extension buffer (reused across all `dnum` digits), both
+//! inner-product accumulators, and ModDown's base-conversion output — is
+//! leased from the calling worker's [`wd_polyring::scratch::ScratchArena`]
+//! and returned on completion. Limb arithmetic runs over contiguous slabs
+//! ([`wd_modmath::slab`]), fusing the multiply-accumulate and the
+//! subtract-and-scale of ModDown in place. The only heap allocations in
+//! steady state are the two output polynomials. [`keyswitch_unpooled`] keeps
+//! the original allocate-per-step implementation as the A/B reference: the
+//! two are bit-identical at every level and thread count (pinned by
+//! `pooled_matches_unpooled_at_every_level`), which is what lets
+//! `alloc_bench` attribute its delta to allocation traffic alone.
 
 use crate::context::{restrict, CkksContext};
 use crate::keys::KeySwitchKey;
 use crate::CkksError;
+use std::sync::Arc;
 use wd_modmath::Modulus;
 use wd_polyring::rns::{Domain, RnsPoly};
+use wd_polyring::scratch::{self, ScratchArena};
 use wd_polyring::Poly;
 
 /// Applies `conv` to every coefficient of `src` (coefficient domain),
@@ -30,9 +47,91 @@ pub(crate) fn convert_poly(conv: &wd_modmath::rns::BasisConverter, src: &RnsPoly
     wd_polyring::par::convert_poly(conv, src, 1)
 }
 
+/// Leases zero-filled limb storage for an RNS polynomial over `primes` from
+/// `arena`. The returned polynomial is indistinguishable from
+/// `RnsPoly::zero` (leases are zeroed), but its storage came from the arena
+/// and should go back via [`give_rns`] when the value dies in this frame.
+fn take_rns(
+    arena: &Arc<ScratchArena>,
+    primes: &[u64],
+    n: usize,
+    domain: Domain,
+) -> Result<RnsPoly, CkksError> {
+    let limbs = primes
+        .iter()
+        .map(|&q| Poly::from_reduced_coeffs(q, arena.take_vec(n)))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut p = RnsPoly::from_limbs(limbs, Domain::Coeff)?;
+    p.set_domain(domain);
+    Ok(p)
+}
+
+/// Returns a leased polynomial's limb storage to `arena`. Values lost to an
+/// early `?` return skip this and fall back to a plain heap free — the arena
+/// only ever caps *parked* bytes, so nothing leaks.
+fn give_rns(arena: &Arc<ScratchArena>, p: RnsPoly) {
+    for limb in p.into_limbs() {
+        arena.give_vec(limb.into_coeffs());
+    }
+}
+
+/// Maps each prime of `basis` to its limb position inside a key digit
+/// (which lives over the max-level full basis). Computed once per call and
+/// indexed in the inner-product loop — replacing the per-digit
+/// [`select_basis`] clones of every key limb.
+///
+/// # Errors
+///
+/// Returns [`CkksError::LevelMismatch`] if a prime is absent from the key —
+/// e.g. a key generated for different parameters.
+fn key_limb_index(key: &RnsPoly, basis: &[u64]) -> Result<Vec<usize>, CkksError> {
+    let primes = key.primes();
+    basis
+        .iter()
+        .map(|q| {
+            primes.iter().position(|x| x == q).ok_or_else(|| {
+                CkksError::LevelMismatch(format!("prime {q} not in the key's basis"))
+            })
+        })
+        .collect()
+}
+
+/// Fused InnerProduct step: `acc0 += ext ⊙ kb` and `acc1 += ext ⊙ ka` over
+/// contiguous limb slabs, with both accumulators' limbs interleaved in one
+/// work list so a thread pool sees `2·(ℓ+1+k)` independent items instead of
+/// two barrier-separated passes. `kidx` maps each full-basis limb position
+/// to the matching limb of the (max-level) key digit.
+fn accumulate_digit(
+    acc0: &mut RnsPoly,
+    acc1: &mut RnsPoly,
+    ext: &RnsPoly,
+    kb: &RnsPoly,
+    ka: &RnsPoly,
+    kidx: &[usize],
+    threads: usize,
+) {
+    let mut work: Vec<(&mut Poly, &Poly, &Poly)> = acc0
+        .limbs_mut()
+        .enumerate()
+        .map(|(t, l)| (l, ext.limb(t), kb.limb(kidx[t])))
+        .chain(
+            acc1.limbs_mut()
+                .enumerate()
+                .map(|(t, l)| (l, ext.limb(t), ka.limb(kidx[t]))),
+        )
+        .collect();
+    wd_polyring::par::for_each_mut(threads, &mut work, |(acc, x, y)| {
+        let m = *acc.modulus();
+        m.mul_add_slab_assign(acc.coeffs_mut(), x.coeffs(), y.coeffs());
+    });
+}
+
 /// Key-switches polynomial `d` (NTT domain, level ℓ) with `ksk`, returning
 /// the pair (out0, out1) over Q_ℓ in NTT form such that
 /// out0 + out1·s ≈ d·s′.
+///
+/// This is the pooled hot path (see the module docs); it is bit-identical to
+/// [`keyswitch_unpooled`] at every level and thread count.
 ///
 /// # Errors
 ///
@@ -44,6 +143,129 @@ pub fn keyswitch(
     ksk: &KeySwitchKey,
 ) -> Result<(RnsPoly, RnsPoly), CkksError> {
     let _span = wd_trace::span("ckks", "keyswitch");
+    scratch::with_worker_arena(&ctx.scratch(), || keyswitch_pooled(ctx, d, ksk))
+}
+
+fn keyswitch_pooled(
+    ctx: &CkksContext,
+    d: &RnsPoly,
+    ksk: &KeySwitchKey,
+) -> Result<(RnsPoly, RnsPoly), CkksError> {
+    let level = d.limb_count() - 1;
+    let alpha = ctx.params().alpha();
+    let dnum = ctx.params().dnum_at(level);
+    if ksk.dnum() < dnum {
+        return Err(CkksError::LevelMismatch(format!(
+            "key has {} digits, level {level} needs {dnum}",
+            ksk.dnum()
+        )));
+    }
+    let th = ctx.threads();
+    let n = d.degree();
+    let arena = ctx.scratch();
+    let q_now = ctx.params().q_at(level);
+    let full = ctx.full_basis(level);
+    let full_tabs = ctx.full_tables(level);
+    // All key digits share one basis; resolve limb positions once.
+    let kidx = key_limb_index(&ksk.digits[0].b, full)?;
+
+    // Step 1: INTT the input, into leased storage.
+    let mut d_coeff = take_rns(&arena, q_now, n, Domain::Ntt)?;
+    for (dst, src) in d_coeff.limbs_mut().zip(d.limbs()) {
+        dst.coeffs_mut().copy_from_slice(src.coeffs());
+    }
+    d_coeff.ntt_inverse_with(ctx.q_tables(level), th);
+
+    // Steps 2–4 per digit: ModUp, NTT, fused multiply-accumulate with the
+    // key. One extension buffer is reused across all digits; the base
+    // conversion overwrites every limb, then the digit's own limbs are
+    // restored exactly (conversion is identity there up to rounding).
+    let mut acc0 = take_rns(&arena, full, n, Domain::Ntt)?;
+    let mut acc1 = take_rns(&arena, full, n, Domain::Ntt)?;
+    let mut ext = take_rns(&arena, full, n, Domain::Coeff)?;
+    for j in 0..dnum {
+        let lo = j * alpha;
+        let hi = ((j + 1) * alpha).min(level + 1);
+        let conv = ctx.try_converter(&q_now[lo..hi], full)?;
+        let digit_limbs: Vec<&Poly> = (lo..hi).map(|i| d_coeff.limb(i)).collect();
+        ext.set_domain(Domain::Coeff);
+        wd_polyring::par::try_convert_limbs_into(&conv, &digit_limbs, &mut ext, th)?;
+        for i in lo..hi {
+            ext.limb_mut(i)
+                .coeffs_mut()
+                .copy_from_slice(d_coeff.limb(i).coeffs());
+        }
+        ext.ntt_forward_with(full_tabs, th);
+        accumulate_digit(
+            &mut acc0,
+            &mut acc1,
+            &ext,
+            &ksk.digits[j].b,
+            &ksk.digits[j].a,
+            &kidx,
+            th,
+        );
+    }
+    give_rns(&arena, ext);
+    give_rns(&arena, d_coeff);
+
+    // Step 5: ModDown both accumulators (consumes their leases).
+    let out0 = mod_down_pooled(ctx, &arena, acc0, level)?;
+    let out1 = mod_down_pooled(ctx, &arena, acc1, level)?;
+    Ok((out0, out1))
+}
+
+/// Pooled ModDown: divides the extended-basis accumulator by P = Π p_k in
+/// place, returning out ≈ round(x / P) over Q_ℓ. The only heap allocations
+/// are the output's own limbs; `acc` and the base-conversion temporary go
+/// back to the arena.
+fn mod_down_pooled(
+    ctx: &CkksContext,
+    arena: &Arc<ScratchArena>,
+    mut acc: RnsPoly,
+    level: usize,
+) -> Result<RnsPoly, CkksError> {
+    let th = ctx.threads();
+    let q_now = ctx.params().q_at(level);
+    let p_chain = ctx.params().p_chain();
+    let lq = q_now.len();
+    let n = acc.degree();
+    // INTT over the full basis, in place on the leased accumulator.
+    acc.ntt_inverse_with(ctx.full_tables(level), th);
+    // Convert the P-part residues down to Q, into leased storage.
+    let p_limbs: Vec<&Poly> = (lq..lq + p_chain.len()).map(|i| acc.limb(i)).collect();
+    let conv = ctx.try_converter(p_chain, q_now)?;
+    let mut u = take_rns(arena, q_now, n, Domain::Coeff)?;
+    wd_polyring::par::try_convert_limbs_into(&conv, &p_limbs, &mut u, th)?;
+    // (x − u) · P^{-1} per limb, fused in place on the output's storage.
+    // These limb clones are the result — the only allocations that escape.
+    let mut out = RnsPoly::from_limbs(
+        (0..lq).map(|i| acc.limb(i).clone()).collect(),
+        Domain::Coeff,
+    )?;
+    give_rns(arena, acc);
+    out.sub_assign(&u)?;
+    give_rns(arena, u);
+    out.scale_per_limb_assign(ctx.p_inv(level));
+    out.ntt_forward_with(ctx.q_tables(level), th);
+    Ok(out)
+}
+
+/// The original allocate-per-step keyswitch, kept verbatim as the A/B
+/// reference for [`keyswitch`]: `alloc_bench` runs both over identical
+/// inputs and attributes the timing delta to allocation and layout alone,
+/// and the equivalence suite pins bit-identical outputs at every level.
+///
+/// # Errors
+///
+/// Returns [`CkksError::LevelMismatch`] if the key has too few digits for this
+/// level.
+pub fn keyswitch_unpooled(
+    ctx: &CkksContext,
+    d: &RnsPoly,
+    ksk: &KeySwitchKey,
+) -> Result<(RnsPoly, RnsPoly), CkksError> {
+    let _span = wd_trace::span("ckks", "keyswitch_unpooled");
     let level = d.limb_count() - 1;
     let alpha = ctx.params().alpha();
     let dnum = ctx.params().dnum_at(level);
@@ -120,7 +342,8 @@ pub(crate) fn select_basis(p: &RnsPoly, basis: &[u64]) -> Result<RnsPoly, CkksEr
 }
 
 /// ModDown: divides an extended-basis polynomial by P = Π p_k, returning it
-/// over the Q basis: out ≈ round(x / P).
+/// over the Q basis: out ≈ round(x / P). The allocate-per-step reference
+/// used by [`keyswitch_unpooled`] and the BGV layer.
 fn mod_down(
     ctx: &CkksContext,
     mut acc: RnsPoly,
@@ -177,7 +400,9 @@ pub struct HoistedDecomposition {
 
 impl HoistedDecomposition {
     /// Decomposes `d` (NTT domain, level ℓ) once for later use by
-    /// [`keyswitch_hoisted`].
+    /// [`keyswitch_hoisted`]. The digits escape this frame (that is the
+    /// point of hoisting), so they are heap-allocated; only the INTT'd
+    /// input is arena-leased.
     ///
     /// # Errors
     ///
@@ -187,26 +412,31 @@ impl HoistedDecomposition {
         let level = d.limb_count() - 1;
         let alpha = ctx.params().alpha();
         let dnum = ctx.params().dnum_at(level);
-        let q_now = ctx.params().q_at(level).to_vec();
-        let full = ctx.params().full_basis_at(level);
-        let mut d_coeff = d.clone();
-        d_coeff.ntt_inverse_with(&ctx.tables_for(&q_now), th);
+        let n = d.degree();
+        let arena = ctx.scratch();
+        let q_now = ctx.params().q_at(level);
+        let full = ctx.full_basis(level);
+        let mut d_coeff = take_rns(&arena, q_now, n, Domain::Ntt)?;
+        for (dst, src) in d_coeff.limbs_mut().zip(d.limbs()) {
+            dst.coeffs_mut().copy_from_slice(src.coeffs());
+        }
+        d_coeff.ntt_inverse_with(ctx.q_tables(level), th);
         let mut digits = Vec::with_capacity(dnum);
         for j in 0..dnum {
             let lo = j * alpha;
             let hi = ((j + 1) * alpha).min(level + 1);
-            let digit_primes = &q_now[lo..hi];
-            let digit = RnsPoly::from_limbs(
-                (lo..hi).map(|i| d_coeff.limb(i).clone()).collect(),
-                Domain::Coeff,
-            )?;
-            let conv = ctx.try_converter(digit_primes, &full)?;
-            let mut ext = wd_polyring::par::convert_poly(&conv, &digit, th);
+            let conv = ctx.try_converter(&q_now[lo..hi], full)?;
+            let mut ext = RnsPoly::zero(full, n)?;
+            let digit_limbs: Vec<&Poly> = (lo..hi).map(|i| d_coeff.limb(i)).collect();
+            wd_polyring::par::try_convert_limbs_into(&conv, &digit_limbs, &mut ext, th)?;
             for i in lo..hi {
-                *ext.limb_mut(i) = d_coeff.limb(i).clone();
+                ext.limb_mut(i)
+                    .coeffs_mut()
+                    .copy_from_slice(d_coeff.limb(i).coeffs());
             }
             digits.push(ext);
         }
+        give_rns(&arena, d_coeff);
         Ok(Self { digits, level })
     }
 
@@ -224,11 +454,24 @@ impl HoistedDecomposition {
 /// Keyswitch using a precomputed [`HoistedDecomposition`], applying the
 /// Galois automorphism `g` to the *extended digits* instead of re-running
 /// ModUp per rotation. With `g = 1` this equals [`keyswitch`] exactly.
+/// Accumulators, the rotated-digit buffer, and ModDown temporaries are
+/// arena-leased like the main path.
 ///
 /// # Errors
 ///
 /// Returns [`CkksError::LevelMismatch`] if the key has too few digits.
 pub fn keyswitch_hoisted(
+    ctx: &CkksContext,
+    hoisted: &HoistedDecomposition,
+    g: usize,
+    ksk: &KeySwitchKey,
+) -> Result<(RnsPoly, RnsPoly), CkksError> {
+    scratch::with_worker_arena(&ctx.scratch(), || {
+        keyswitch_hoisted_pooled(ctx, hoisted, g, ksk)
+    })
+}
+
+fn keyswitch_hoisted_pooled(
     ctx: &CkksContext,
     hoisted: &HoistedDecomposition,
     g: usize,
@@ -243,28 +486,41 @@ pub fn keyswitch_hoisted(
         )));
     }
     let th = ctx.threads();
-    let q_now = ctx.params().q_at(level).to_vec();
-    let full = ctx.params().full_basis_at(level);
-    let full_tabs = ctx.tables_for(&full);
-    let mut acc0 = RnsPoly::zero(&full, hoisted.digits[0].degree())?;
-    acc0.set_domain(Domain::Ntt);
-    let mut acc1 = acc0.clone();
+    let n = hoisted.digits[0].degree();
+    let arena = ctx.scratch();
+    let full = ctx.full_basis(level);
+    let full_tabs = ctx.full_tables(level);
+    let kidx = key_limb_index(&ksk.digits[0].b, full)?;
+    let mut acc0 = take_rns(&arena, full, n, Domain::Ntt)?;
+    let mut acc1 = take_rns(&arena, full, n, Domain::Ntt)?;
+    let mut rotated = take_rns(&arena, full, n, Domain::Coeff)?;
     for (j, ext) in hoisted.digits.iter().enumerate() {
         // φ_g commutes with base extension (it permutes coefficients limb-
         // wise), so applying it to the hoisted digit is exact.
-        let mut rotated = if g == 1 {
-            ext.clone()
+        rotated.set_domain(Domain::Coeff);
+        if g == 1 {
+            for (dst, src) in rotated.limbs_mut().zip(ext.limbs()) {
+                dst.coeffs_mut().copy_from_slice(src.coeffs());
+            }
         } else {
-            ext.automorphism(g)
-        };
-        rotated.ntt_forward_with(&full_tabs, th);
-        let kb = select_basis(&ksk.digits[j].b, &full)?;
-        let ka = select_basis(&ksk.digits[j].a, &full)?;
-        acc0 = acc0.add(&rotated.pointwise_with(&kb, th)?)?;
-        acc1 = acc1.add(&rotated.pointwise_with(&ka, th)?)?;
+            for (dst, src) in rotated.limbs_mut().zip(ext.limbs()) {
+                *dst = src.automorphism(g);
+            }
+        }
+        rotated.ntt_forward_with(full_tabs, th);
+        accumulate_digit(
+            &mut acc0,
+            &mut acc1,
+            &rotated,
+            &ksk.digits[j].b,
+            &ksk.digits[j].a,
+            &kidx,
+            th,
+        );
     }
-    let out0 = mod_down(ctx, acc0, &q_now, &full_tabs)?;
-    let out1 = mod_down(ctx, acc1, &q_now, &full_tabs)?;
+    give_rns(&arena, rotated);
+    let out0 = mod_down_pooled(ctx, &arena, acc0, level)?;
+    let out1 = mod_down_pooled(ctx, &arena, acc1, level)?;
     Ok((out0, out1))
 }
 
@@ -330,6 +586,56 @@ mod tests {
         let mut err = lhs.sub(&rhs)?;
         err.ntt_inverse(&ctx.tables_for(&primes));
         assert!(err.limb(0).inf_norm() < 1 << 22);
+        Ok(())
+    }
+
+    /// Satellite regression: the pooled hot path must be **bit-identical**
+    /// to the original allocate-per-step implementation at every level of
+    /// the chain (and for the hoisted variant at the top level). This is
+    /// the contract that lets `alloc_bench` attribute its A/B delta purely
+    /// to allocation behavior, and it pins the cached prime-slice /
+    /// precomputed-P⁻¹ refactor to "no behavior change".
+    #[test]
+    fn pooled_matches_unpooled_at_every_level() -> Result<(), CkksError> {
+        for k in [1usize, 2] {
+            let ctx = ctx(k)?;
+            let kp = ctx.keygen();
+            for level in 0..=ctx.params().max_level() {
+                let pt = ctx.encode_complex_at(
+                    &[
+                        crate::encoding::C64::new(1.5, -0.5),
+                        crate::encoding::C64::new(-3.0, 2.0),
+                    ],
+                    level,
+                    ctx.params().scale(),
+                )?;
+                let (p0, p1) = keyswitch(&ctx, &pt.poly, &kp.relin)?;
+                let (u0, u1) = keyswitch_unpooled(&ctx, &pt.poly, &kp.relin)?;
+                assert_eq!(p0, u0, "out0 diverged at level {level} (K = {k})");
+                assert_eq!(p1, u1, "out1 diverged at level {level} (K = {k})");
+                // Hoisted with g = 1 must also equal the plain keyswitch.
+                let hd = HoistedDecomposition::new(&ctx, &pt.poly)?;
+                let (h0, h1) = keyswitch_hoisted(&ctx, &hd, 1, &kp.relin)?;
+                assert_eq!(h0, u0, "hoisted out0 diverged at level {level}");
+                assert_eq!(h1, u1, "hoisted out1 diverged at level {level}");
+            }
+        }
+        Ok(())
+    }
+
+    /// The pooled path must work identically with the arena disabled (every
+    /// lease falls through to a fresh heap allocation) — this is the A/B
+    /// configuration `alloc_bench` uses for its reference timing.
+    #[test]
+    fn pooled_path_with_disabled_arena_matches() -> Result<(), CkksError> {
+        let ctx = ctx(2)?;
+        let kp = ctx.keygen();
+        let pt = ctx.encode(&[1.0, 2.0, 3.0])?;
+        let (a0, a1) = keyswitch(&ctx, &pt.poly, &kp.relin)?;
+        ctx.set_scratch_arena(ScratchArena::disabled());
+        let (b0, b1) = keyswitch(&ctx, &pt.poly, &kp.relin)?;
+        assert_eq!(a0, b0);
+        assert_eq!(a1, b1);
         Ok(())
     }
 

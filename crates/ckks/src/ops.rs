@@ -180,9 +180,9 @@ pub fn rescale_by(ctx: &CkksContext, ct: &Ciphertext, k: usize) -> Result<Cipher
     let th = ctx.threads();
     let mut c0 = ct.c0.clone();
     let mut c1 = ct.c1.clone();
-    let primes = ctx.params().q_at(ct.level).to_vec();
-    c0.ntt_inverse_with(&ctx.tables_for(&primes), th);
-    c1.ntt_inverse_with(&ctx.tables_for(&primes), th);
+    let primes = ctx.params().q_at(ct.level);
+    c0.ntt_inverse_with(ctx.q_tables(ct.level), th);
+    c1.ntt_inverse_with(ctx.q_tables(ct.level), th);
     let mut scale = ct.scale;
     for step in 0..k {
         let dropped = primes[ct.level - step];
@@ -190,9 +190,8 @@ pub fn rescale_by(ctx: &CkksContext, ct: &Ciphertext, k: usize) -> Result<Cipher
         rescale_step(&mut c1, dropped)?;
         scale /= dropped as f64;
     }
-    let new_primes = &primes[..=ct.level - k];
-    c0.ntt_forward_with(&ctx.tables_for(new_primes), th);
-    c1.ntt_forward_with(&ctx.tables_for(new_primes), th);
+    c0.ntt_forward_with(ctx.q_tables(ct.level - k), th);
+    c1.ntt_forward_with(ctx.q_tables(ct.level - k), th);
     Ok(Ciphertext {
         c0,
         c1,
@@ -310,17 +309,16 @@ fn apply_galois(
         .get(g)
         .ok_or_else(|| CkksError::MissingKey(format!("rotation key for g = {g}")))?;
     let th = ctx.threads();
-    let primes = ctx.params().q_at(ct.level).to_vec();
-    let tabs = ctx.tables_for(&primes);
+    let tabs = ctx.q_tables(ct.level);
     // Automorphism acts on coefficients.
     let mut c0 = ct.c0.clone();
     let mut c1 = ct.c1.clone();
-    c0.ntt_inverse_with(&tabs, th);
-    c1.ntt_inverse_with(&tabs, th);
+    c0.ntt_inverse_with(tabs, th);
+    c1.ntt_inverse_with(tabs, th);
     let mut c0g = c0.automorphism(g);
     let mut c1g = c1.automorphism(g);
-    c0g.ntt_forward_with(&tabs, th);
-    c1g.ntt_forward_with(&tabs, th);
+    c0g.ntt_forward_with(tabs, th);
+    c1g.ntt_forward_with(tabs, th);
     // Keyswitch φ(c1) from φ(s) to s.
     let (ks0, ks1) = keyswitch(ctx, &c1g, ksk)?;
     Ok(Ciphertext {
@@ -347,11 +345,10 @@ pub fn hrotate_many(
 ) -> Result<Vec<Ciphertext>, CkksError> {
     use crate::keyswitch::{keyswitch_hoisted, HoistedDecomposition};
     let th = ctx.threads();
-    let primes = ctx.params().q_at(ct.level).to_vec();
-    let tabs = ctx.tables_for(&primes);
+    let tabs = ctx.q_tables(ct.level);
     // c0 in coefficient form for per-rotation automorphisms.
     let mut c0_coeff = ct.c0.clone();
-    c0_coeff.ntt_inverse_with(&tabs, th);
+    c0_coeff.ntt_inverse_with(tabs, th);
     // One decomposition of c1 shared by every rotation.
     let hoisted = HoistedDecomposition::new(ctx, &ct.c1)?;
     let mut out = Vec::with_capacity(rotations.len());
@@ -366,7 +363,7 @@ pub fn hrotate_many(
             .ok_or_else(|| CkksError::MissingKey(format!("rotation key for g = {g}")))?;
         let (ks0, ks1) = keyswitch_hoisted(ctx, &hoisted, g, ksk)?;
         let mut c0g = c0_coeff.automorphism(g);
-        c0g.ntt_forward_with(&tabs, th);
+        c0g.ntt_forward_with(tabs, th);
         out.push(Ciphertext {
             c0: c0g.add(&ks0)?,
             c1: ks1,

@@ -58,6 +58,7 @@
 //! (missing keys, exhausted chains) are never retried.
 
 use crate::sched::{BatchShape, ParScheduler};
+use std::sync::{Arc, Mutex};
 use wd_ckks::cipher::Ciphertext;
 use wd_ckks::keys::{KeySwitchKey, RotationKeys};
 use wd_ckks::ops;
@@ -65,6 +66,7 @@ use wd_ckks::{CkksContext, CkksError};
 use wd_fault::{run_isolated, FaultInjector, FaultPlan, RetryPolicy, WdError};
 use wd_polyring::par;
 use wd_polyring::rns::RnsPoly;
+use wd_polyring::scratch::{self, ScratchArena};
 
 /// One whole-ciphertext operation in a batch.
 #[derive(Debug, Clone)]
@@ -141,6 +143,13 @@ pub struct BatchExecutor {
     sched: Option<ParScheduler>,
     injector: FaultInjector,
     retry: RetryPolicy,
+    /// Per-slot scratch arenas for op-level fan-out, grown on demand and
+    /// kept across batches so workers reach steady state (zero hot-path
+    /// heap allocations) after the first batch. Slot `i`'s arena is only
+    /// ever installed on the thread running slot `i` of a batch — the
+    /// per-worker ownership rule. Clones share the pool (a clone serving
+    /// the same traffic wants the same warmed shelves).
+    arenas: Arc<Mutex<Vec<Arc<ScratchArena>>>>,
 }
 
 impl BatchExecutor {
@@ -156,6 +165,7 @@ impl BatchExecutor {
             sched: None,
             injector: FaultInjector::from_env(),
             retry: RetryPolicy::default(),
+            arenas: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -278,6 +288,25 @@ impl BatchExecutor {
         }
     }
 
+    /// Per-slot arenas for a fan-out of width `op_width`, sized from the
+    /// context's parameters ([`crate::arena::worker_arena`]) and reused
+    /// across batches. Returns `None` for sequential execution
+    /// (`op_width <= 1`): the op then runs on the calling thread and keeps
+    /// whatever arena the **caller** installed (or the context default) —
+    /// wrapping it here would shadow the caller's warmed shelves.
+    fn slot_arenas(&self, ctx: &CkksContext, op_width: usize) -> Option<Vec<Arc<ScratchArena>>> {
+        if op_width <= 1 {
+            return None;
+        }
+        let mut pool = self.arenas.lock().unwrap_or_else(|p| p.into_inner());
+        while pool.len() < op_width {
+            let arena = crate::arena::worker_arena(ctx.params(), u64::MAX)
+                .unwrap_or_else(|_| ScratchArena::for_worker());
+            pool.push(arena);
+        }
+        Some(pool[..op_width].to_vec())
+    }
+
     /// Executes a batch, returning one result per op **in input order**.
     ///
     /// A scheduled executor (see [`BatchExecutor::auto`]) first splits its
@@ -298,10 +327,21 @@ impl BatchExecutor {
     ) -> Vec<Result<Ciphertext, CkksError>> {
         let _span = wd_trace::span("batch", "execute");
         let (op_width, _limb_guard) = self.plan(ctx, BatchShape::of_ops(batch));
+        let arenas = self.slot_arenas(ctx, op_width);
+        // `map_indexed` hands items [c·chunk, (c+1)·chunk) to worker c, so
+        // slot `i / chunk` pins each item's arena to the one thread that
+        // runs it (per-worker ownership).
+        let chunk = batch.len().div_ceil(op_width.max(1)).max(1);
         par::map_indexed(op_width, batch.len(), |i| {
-            let op = &batch[i];
-            let _op_span = wd_trace::span("batch", op.kind());
-            self.recover(op.site(), || Self::apply(ctx, keys, op))
+            let work = || {
+                let op = &batch[i];
+                let _op_span = wd_trace::span("batch", op.kind());
+                self.recover(op.site(), || Self::apply(ctx, keys, op))
+            };
+            match &arenas {
+                Some(slots) => scratch::with_worker_arena(&slots[i / chunk], work),
+                None => work(),
+            }
         })
     }
 
@@ -348,10 +388,18 @@ impl BatchExecutor {
         let _span = wd_trace::span("batch", "keyswitch");
         let shape = BatchShape::of_keyswitch(polys.len(), degree, limbs);
         let (op_width, _limb_guard) = self.plan(ctx, shape);
+        let arenas = self.slot_arenas(ctx, op_width);
+        let chunk = polys.len().div_ceil(op_width.max(1)).max(1);
         par::map_indexed(op_width, polys.len(), |i| {
-            self.recover("batch.keyswitch", || {
-                wd_ckks::keyswitch::keyswitch(ctx, polys[i], ksk)
-            })
+            let work = || {
+                self.recover("batch.keyswitch", || {
+                    wd_ckks::keyswitch::keyswitch(ctx, polys[i], ksk)
+                })
+            };
+            match &arenas {
+                Some(slots) => scratch::with_worker_arena(&slots[i / chunk], work),
+                None => work(),
+            }
         })
     }
 

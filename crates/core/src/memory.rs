@@ -7,11 +7,48 @@
 //! free-list allocator (functional and tested), because the framework code
 //! actually routes its scratch buffers through it.
 
+use wd_fault::WdError;
+
 /// Pool sizing per §IV-D-1.
 ///
 /// `S_max = l × N × dnum × (l + k) × BS × w` bytes.
-pub fn s_max_bytes(l: usize, n: usize, dnum: usize, k: usize, batch: usize, word: usize) -> u128 {
-    l as u128 * n as u128 * dnum as u128 * (l + k) as u128 * batch as u128 * word as u128
+///
+/// # Errors
+///
+/// Returns [`WdError::InvalidParams`] on degenerate parameters — any factor
+/// of zero (`l`, `n`, `dnum`, `batch`, `word`, or an empty `l + k` basis)
+/// would silently size the pool to 0 bytes, turning every later allocation
+/// into an exhaustion failure far from the actual mistake — and on u128
+/// overflow of the product (parameters that large are corrupt, not real).
+pub fn s_max_bytes(
+    l: usize,
+    n: usize,
+    dnum: usize,
+    k: usize,
+    batch: usize,
+    word: usize,
+) -> Result<u128, WdError> {
+    let full = l
+        .checked_add(k)
+        .ok_or_else(|| WdError::InvalidParams("s_max: l + k overflows".into()))?;
+    for (name, v) in [
+        ("l", l),
+        ("N", n),
+        ("dnum", dnum),
+        ("l + k", full),
+        ("batch", batch),
+        ("word", word),
+    ] {
+        if v == 0 {
+            return Err(WdError::InvalidParams(format!(
+                "s_max: degenerate parameter {name} = 0"
+            )));
+        }
+    }
+    [n, dnum, full, batch, word]
+        .into_iter()
+        .try_fold(l as u128, |acc, f| acc.checked_mul(f as u128))
+        .ok_or_else(|| WdError::InvalidParams("s_max: product overflows u128".into()))
 }
 
 /// A first-fit pool allocator with block coalescing.
@@ -46,6 +83,10 @@ impl MemoryPool {
     }
 
     /// Creates the pool §IV-D-1 would allocate: min(S_max, available).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`s_max_bytes`] validation errors.
     pub fn for_params(
         l: usize,
         n: usize,
@@ -53,9 +94,11 @@ impl MemoryPool {
         k: usize,
         batch: usize,
         available: u64,
-    ) -> Self {
-        let s_max = s_max_bytes(l, n, dnum, k, batch, 4);
-        Self::new(u64::try_from(s_max.min(u128::from(available))).unwrap_or(available))
+    ) -> Result<Self, WdError> {
+        let s_max = s_max_bytes(l, n, dnum, k, batch, 4)?;
+        Ok(Self::new(
+            u64::try_from(s_max.min(u128::from(available))).unwrap_or(available),
+        ))
     }
 
     /// Pool capacity in bytes.
@@ -75,8 +118,16 @@ impl MemoryPool {
 
     /// Allocates `size` bytes (256-byte aligned, like cudaMalloc).
     /// Returns `None` when no block fits.
+    ///
+    /// A zero-byte request succeeds without consuming pool space (cudaMalloc
+    /// semantics): the returned handle has `size == 0` and freeing it is a
+    /// no-op. Rounding zero up to a 256-byte block — what this allocator
+    /// used to do — silently burned a block per empty-batch edge case.
     pub fn alloc(&mut self, size: u64) -> Option<Allocation> {
-        let size = size.max(1).div_ceil(256) * 256;
+        if size == 0 {
+            return Some(Allocation { offset: 0, size: 0 });
+        }
+        let size = size.div_ceil(256) * 256;
         let idx = self.free.iter().position(|&(_, s)| s >= size)?;
         let (off, s) = self.free[idx];
         if s == size {
@@ -95,6 +146,14 @@ impl MemoryPool {
     ///
     /// Panics on double free (overlapping with an existing free block).
     pub fn free(&mut self, a: Allocation) {
+        // Zero-size handles come from `alloc(0)` and own no pool space.
+        // Inserting one would create a zero-length free fragment: it can
+        // never satisfy an allocation, it defeats coalescing (neighbours
+        // are no longer offset-adjacent through it), and a second
+        // zero-size free at the same offset slips past the overlap guard.
+        if a.size == 0 {
+            return;
+        }
         let pos = self.free.partition_point(|&(off, _)| off < a.offset);
         // Guard against double free / corruption.
         if let Some(&(off, size)) = self.free.get(pos) {
@@ -138,17 +197,67 @@ mod tests {
     #[test]
     fn s_max_formula() {
         // SET-E-like: l=34, N=2^16, dnum=35, k=1, BS=1, w=4.
-        let s = s_max_bytes(34, 1 << 16, 35, 1, 1, 4);
+        let s = s_max_bytes(34, 1 << 16, 35, 1, 1, 4).expect("valid params");
         assert_eq!(s, 34 * 65536 * 35 * 35 * 4);
         // ~10.9 GB: a single ciphertext mid-keyswitch really is GB-scale,
         // as §III-C says ("nearly 1GB" per expanded component).
         assert!(s > 10 * (1 << 30) && s < 12 * (1 << 30));
     }
 
+    /// Regression (satellite fix): degenerate parameters used to return
+    /// `Ok(0)`-shaped garbage — a 0-byte S_max sized the pool to nothing
+    /// and every later alloc failed far from the mistake. Now typed.
+    #[test]
+    fn s_max_rejects_degenerate_params() {
+        for (l, n, dnum, k, batch, word) in [
+            (0, 1 << 16, 35, 1, 1, 4),  // l = 0
+            (34, 0, 35, 1, 1, 4),       // N = 0
+            (34, 1 << 16, 0, 1, 1, 4),  // dnum = 0
+            (34, 1 << 16, 35, 1, 0, 4), // batch = 0
+            (34, 1 << 16, 35, 1, 1, 0), // word = 0
+            (0, 1 << 16, 35, 0, 1, 4),  // l + k = 0
+        ] {
+            assert!(
+                matches!(
+                    s_max_bytes(l, n, dnum, k, batch, word),
+                    Err(wd_fault::WdError::InvalidParams(_))
+                ),
+                "({l}, {n}, {dnum}, {k}, {batch}, {word}) must be rejected"
+            );
+        }
+        // k = 0 alone is fine (a chain with no special primes).
+        assert!(s_max_bytes(34, 1 << 16, 35, 0, 1, 4).is_ok());
+    }
+
+    /// The u128 overflow boundary: products that wrap must surface as
+    /// `InvalidParams`, not as a silently tiny pool.
+    #[test]
+    fn s_max_overflow_boundary() {
+        let huge = usize::MAX;
+        assert!(matches!(
+            s_max_bytes(huge, huge, huge, 0, 1, 1),
+            Err(wd_fault::WdError::InvalidParams(_))
+        ));
+        // l + k itself overflowing usize is also caught.
+        assert!(matches!(
+            s_max_bytes(huge, 1, 1, 1, 1, 1),
+            Err(wd_fault::WdError::InvalidParams(_))
+        ));
+        // Just inside the boundary: l·N·dnum·(l+k)·BS·w = 2^124 stays Ok.
+        let big = 1usize << 31;
+        let s = s_max_bytes(big, big, big, 0, 1, 1).expect("2^124 fits in u128");
+        assert_eq!(s, 1u128 << 124);
+    }
+
     #[test]
     fn pool_clamps_to_available() {
-        let pool = MemoryPool::for_params(34, 1 << 16, 35, 1, 128, 80 << 30);
+        let pool = MemoryPool::for_params(34, 1 << 16, 35, 1, 128, 80 << 30).expect("valid params");
         assert_eq!(pool.capacity(), 80 << 30, "clamped to device memory");
+    }
+
+    #[test]
+    fn pool_for_degenerate_params_errors() {
+        assert!(MemoryPool::for_params(0, 1 << 16, 35, 1, 128, 80 << 30).is_err());
     }
 
     #[test]
@@ -193,6 +302,59 @@ mod tests {
         let a = must(p.alloc(256));
         p.free(a);
         p.free(a);
+    }
+
+    /// Regression (satellite fix): `alloc(0)` used to round up to a full
+    /// 256-byte block, so an empty-batch edge case silently burned pool
+    /// space — with a full pool, `alloc(0)` even failed outright.
+    #[test]
+    fn alloc_zero_consumes_nothing() {
+        let mut p = MemoryPool::new(1024);
+        let z = must(p.alloc(0));
+        assert_eq!(z.size, 0);
+        assert_eq!(p.in_use(), 0);
+        // The whole pool is still allocatable.
+        let a = must(p.alloc(1024));
+        // And zero-size allocation still succeeds at full occupancy.
+        let z2 = must(p.alloc(0));
+        p.free(z);
+        p.free(z2);
+        p.free(a);
+        assert_eq!(p.in_use(), 0);
+        assert!(p.alloc(1024).is_some());
+    }
+
+    /// Regression (satellite fix): freeing a zero-size handle used to
+    /// insert a zero-length fragment into the free list. The fragment can
+    /// never satisfy an allocation, it sits between otherwise-adjacent
+    /// blocks and defeats coalescing, and a real free at the same offset
+    /// then corrupts the list ordering.
+    #[test]
+    fn free_zero_size_creates_no_fragment() {
+        let mut p = MemoryPool::new(4096);
+        let z = must(p.alloc(0));
+        let a = must(p.alloc(2048));
+        let b = must(p.alloc(2048));
+        p.free(z); // must be a no-op, not a (0, 0) fragment
+        p.free(a);
+        p.free(b);
+        // Full coalescing must survive the zero-size free.
+        assert_eq!(must(p.alloc(4096)).offset, 0);
+    }
+
+    /// Three-way coalesce: freeing the middle block when both neighbours
+    /// are already free must merge all three into one block.
+    #[test]
+    fn three_way_coalesce_restores_single_block() {
+        let mut p = MemoryPool::new(3072);
+        let a = must(p.alloc(1024));
+        let b = must(p.alloc(1024));
+        let c = must(p.alloc(1024));
+        p.free(a);
+        p.free(c);
+        assert!(p.alloc(2048).is_none(), "no contiguous 2048 yet");
+        p.free(b);
+        assert_eq!(must(p.alloc(3072)).offset, 0, "left+middle+right merged");
     }
 
     #[test]

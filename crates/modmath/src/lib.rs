@@ -15,6 +15,9 @@
 //!   fast approximate basis conversion used by hybrid keyswitching.
 //! - [`karatsuba`]: the 4-term Karatsuba limb multiplication evaluated (and
 //!   rejected) by the paper's ablation in §IV-A-4.
+//! - [`slab`]: cache-blocked in-place kernels over contiguous limb slabs
+//!   (fused multiply-accumulate, subtract, Shoup scaling) — the host-side
+//!   analogue of the paper's planar limb layout.
 //!
 //! # Examples
 //!
@@ -33,6 +36,7 @@ pub mod karatsuba;
 pub mod montgomery;
 pub mod prime;
 pub mod rns;
+pub mod slab;
 
 pub use barrett::Modulus;
 pub use montgomery::Montgomery;

@@ -11,6 +11,7 @@
 
 use crate::decomp::{DecompPlan, PlanNode};
 use crate::ntt::NttTable;
+use crate::scratch::ScratchArena;
 use crate::tensoremu::{CudaMatrix, TensorMatrix};
 use crate::PolyError;
 use std::collections::HashMap;
@@ -96,6 +97,13 @@ pub struct FourStepNtt {
     kernel: InnerKernel,
     fwd_leaves: HashMap<usize, LeafTables>,
     inv_leaves: HashMap<usize, LeafTables>,
+    /// Recursion scratch (column gathers, transposes, GEMV outputs) is
+    /// leased instead of allocated per call: after the first transform the
+    /// engine runs allocation-free. Live scratch per transform is under 3N
+    /// words (one column + one transpose buffer per recursion level, sizes
+    /// shrinking geometrically), so 4N words covers any plan; deeper
+    /// concurrency falls back to the heap harmlessly.
+    scratch: Arc<ScratchArena>,
 }
 
 impl FourStepNtt {
@@ -129,12 +137,14 @@ impl FourStepNtt {
                 .entry(sz)
                 .or_insert_with(|| Self::build_leaf(&table, n, sz, true));
         }
+        let scratch = ScratchArena::with_capacity(4 * (n as u64) * 8);
         Ok(Self {
             table,
             plan,
             kernel,
             fwd_leaves,
             inv_leaves,
+            scratch,
         })
     }
 
@@ -217,7 +227,7 @@ impl FourStepNtt {
                 let big_n = self.table.degree();
                 let stride = big_n / n;
                 // Step 1: column NTTs of size n1 (stride n2 gather/scatter).
-                let mut col = vec![0u64; n1];
+                let mut col = self.scratch.lease(n1);
                 for j2 in 0..n2 {
                     for j1 in 0..n1 {
                         col[j1] = data[j1 * n2 + j2];
@@ -245,7 +255,7 @@ impl FourStepNtt {
                     self.rec(&mut data[k1 * n2..(k1 + 1) * n2], b, inverse, group + k1);
                 }
                 // Step 4: transpose read-out — X[k1 + k2·n1] = C[k1][k2].
-                let mut scratch = vec![0u64; n];
+                let mut scratch = self.scratch.lease(n);
                 for k1 in 0..n1 {
                     for k2 in 0..n2 {
                         scratch[k1 + k2 * n1] = data[k1 * n2 + k2];
@@ -264,12 +274,12 @@ impl FourStepNtt {
         };
         match self.kernel.route(group) {
             ConcreteKernel::Tensor => {
-                let mut out = vec![0u64; sz];
+                let mut out = self.scratch.lease(sz);
                 tables.tensor.gemv(data, &mut out);
                 data.copy_from_slice(&out);
             }
             ConcreteKernel::Cuda => {
-                let mut out = vec![0u64; sz];
+                let mut out = self.scratch.lease(sz);
                 tables.cuda.gemv(data, &mut out);
                 data.copy_from_slice(&out);
             }

@@ -17,6 +17,9 @@
 //!   kernel-level 5-stage baseline.
 //! - [`rns::RnsPoly`]: polynomials in RNS form (one limb per prime), the
 //!   datatype the CKKS layer operates on.
+//! - [`scratch::ScratchArena`]: the per-worker scratch arena (RAII slab
+//!   leases, heap fallback) that keeps steady-state hot-path execution at
+//!   zero heap allocations per op.
 //!
 //! The *performance* of these algorithms on a GPU is modeled separately in
 //! `wd-gpu-sim`; this crate is the mathematics.
@@ -47,11 +50,13 @@ pub mod ntt;
 pub mod par;
 pub mod poly;
 pub mod rns;
+pub mod scratch;
 pub mod tensoremu;
 pub mod variants;
 
 pub use poly::Poly;
 pub use rns::RnsPoly;
+pub use scratch::{ScratchArena, ScratchVec};
 pub use variants::{NttEngine, NttVariant};
 
 /// Errors from the polynomial layer.

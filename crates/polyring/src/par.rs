@@ -347,41 +347,103 @@ pub fn try_convert_poly(
             "base conversion expects coefficient-domain input".into(),
         ));
     }
-    let n = src.degree();
+    let mut out = RnsPoly::zero(&conv.to_basis().values(), src.degree()).map_err(WdError::from)?;
+    let src_limbs: Vec<&crate::Poly> = src.limbs().collect();
+    try_convert_limbs_into(conv, &src_limbs, &mut out, threads)?;
+    Ok(out)
+}
+
+/// Basis conversion written **into** an existing coefficient-domain output
+/// polynomial — the allocation-free form of [`try_convert_poly`] the
+/// keyswitch hot path uses to reuse one extension buffer across digits.
+///
+/// `src_limbs` are the source residue limbs (one per prime of the
+/// converter's from-basis, coefficient domain by construction — there is no
+/// domain marker on raw limbs, so the caller owns that invariant). Every
+/// coefficient of every `out` limb is overwritten. Per-chunk scratch is
+/// leased from this thread's [`crate::scratch`] arena *on the calling
+/// thread* (the arena owner), then handed to the workers — worker threads
+/// never touch the arena, which is the per-worker ownership rule.
+///
+/// # Errors
+///
+/// [`WdError::InvalidParams`] when `src_limbs` is empty or does not match
+/// the converter's from-basis, [`WdError::LevelMismatch`] when `out` does
+/// not match the to-basis shape, [`WdError::WorkerPanicked`] from an
+/// isolated worker panic (on any `Err`, `out` is untouched).
+pub fn try_convert_limbs_into(
+    conv: &wd_modmath::rns::BasisConverter,
+    src_limbs: &[&crate::Poly],
+    out: &mut RnsPoly,
+    threads: usize,
+) -> Result<(), WdError> {
+    let from = conv.from_basis().values();
     let to = conv.to_basis().values();
     let to_len = to.len();
-    let from_len = src.limb_count();
+    let n = src_limbs
+        .first()
+        .map(|p| p.degree())
+        .ok_or_else(|| WdError::InvalidParams("base conversion from empty limb set".into()))?;
+    if src_limbs.len() != from.len()
+        || src_limbs
+            .iter()
+            .zip(&from)
+            .any(|(p, &q)| p.degree() != n || p.modulus().value() != q)
+    {
+        return Err(WdError::InvalidParams(
+            "source limbs do not match the converter's from-basis".into(),
+        ));
+    }
+    if out.domain() != Domain::Coeff
+        || out.limb_count() != to_len
+        || out.degree() != n
+        || out.limbs().zip(&to).any(|(p, &q)| p.modulus().value() != q)
+    {
+        return Err(WdError::LevelMismatch(
+            "conversion output does not match the converter's to-basis".into(),
+        ));
+    }
+    let from_len = from.len();
     // Coefficient-major scratch per chunk keeps writes disjoint; the limbs
-    // are assembled afterwards (a cache-friendly transpose).
+    // are assembled afterwards (a cache-friendly transpose). All scratch is
+    // leased here, on the arena-owning thread, before the fan-out.
     let t = threads.clamp(1, n.max(1));
     let chunk = n.div_ceil(t);
-    let chunks = try_map_indexed(t, n.div_ceil(chunk), |c| {
-        let lo = c * chunk;
-        let hi = (lo + chunk).min(n);
-        let mut flat = vec![0u64; (hi - lo) * to_len];
-        let mut residues = vec![0u64; from_len];
-        for j in lo..hi {
+    let mut work: Vec<(
+        usize,
+        crate::scratch::ScratchVec,
+        crate::scratch::ScratchVec,
+    )> = (0..n.div_ceil(chunk))
+        .map(|c| {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(n);
+            (
+                lo,
+                crate::scratch::lease((hi - lo) * to_len),
+                crate::scratch::lease(from_len),
+            )
+        })
+        .collect();
+    try_for_each_mut(t, &mut work, |(lo, flat, residues)| {
+        let hi = (*lo + chunk).min(n);
+        for j in *lo..hi {
             for (r, i) in residues.iter_mut().zip(0..from_len) {
-                *r = src.limb(i).coeffs()[j];
+                *r = src_limbs[i].coeffs()[j];
             }
-            let out = &mut flat[(j - lo) * to_len..(j - lo + 1) * to_len];
-            conv.convert_coeff(&residues, out);
+            let col = &mut flat[(j - *lo) * to_len..(j - *lo + 1) * to_len];
+            conv.convert_coeff(residues, col);
         }
-        Ok((lo, flat))
+        Ok(())
     })?;
-    let mut out_limbs: Vec<Vec<u64>> = vec![vec![0u64; n]; to_len];
-    for (lo, flat) in &chunks {
+    let mut out_limbs: Vec<&mut [u64]> = out.limbs_mut().map(|l| l.coeffs_mut()).collect();
+    for (lo, flat, _) in &work {
         for (k, col) in flat.chunks_exact(to_len).enumerate() {
-            for (limb, &v) in out_limbs.iter_mut().zip(col) {
+            for (limb, &v) in out_limbs.iter_mut().zip(col.iter()) {
                 limb[lo + k] = v;
             }
         }
     }
-    let mut limbs = Vec::with_capacity(to_len);
-    for (&q, coeffs) in to.iter().zip(out_limbs) {
-        limbs.push(crate::Poly::from_coeffs(q, coeffs)?);
-    }
-    Ok(RnsPoly::from_limbs(limbs, Domain::Coeff)?)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -47,6 +47,29 @@ impl Poly {
         Ok(Self { modulus, coeffs })
     }
 
+    /// Creates a polynomial from coefficients already reduced mod q, skipping
+    /// the reduction pass of [`Poly::from_coeffs`] — the hot-path constructor
+    /// for arena-leased storage (leases hand out zero-filled slabs, and all
+    /// kernel writes stay reduced).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Poly::from_coeffs`]. Reduction is asserted in
+    /// debug builds only.
+    pub fn from_reduced_coeffs(q: u64, coeffs: Vec<u64>) -> Result<Self, PolyError> {
+        check_degree(coeffs.len())?;
+        let modulus = Modulus::try_new(q).map_err(|_| PolyError::BadModulus(q))?;
+        debug_assert!(coeffs.iter().all(|&c| c < q), "coefficients not reduced");
+        Ok(Self { modulus, coeffs })
+    }
+
+    /// Consumes the polynomial, returning its coefficient storage — the
+    /// counterpart of [`Poly::from_coeffs`] that lets arena-backed storage
+    /// be given back (see `crate::scratch::ScratchArena::give_vec`).
+    pub fn into_coeffs(self) -> Vec<u64> {
+        self.coeffs
+    }
+
     /// Creates the zero polynomial of degree < n.
     ///
     /// # Errors

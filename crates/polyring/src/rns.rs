@@ -341,6 +341,85 @@ impl RnsPoly {
         })
     }
 
+    fn zip_check_moduli(&self, rhs: &Self) -> Result<(), PolyError> {
+        self.zip_check(rhs)?;
+        if self
+            .limbs
+            .iter()
+            .zip(&rhs.limbs)
+            .any(|(a, b)| a.modulus().value() != b.modulus().value())
+        {
+            return Err(PolyError::RingMismatch);
+        }
+        Ok(())
+    }
+
+    /// Fused pointwise multiply-accumulate: `self += a ⊙ b`, in place over
+    /// contiguous limb slabs (see [`wd_modmath::slab`]). One memory pass and
+    /// zero allocations where `a.pointwise_with(b)?` + `self.add(..)?` made
+    /// three passes and two full-basis temporaries — the keyswitch
+    /// inner-product shape.
+    ///
+    /// Bit-identical to the compose-and-allocate form at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::RingMismatch`] on shape/domain/modulus mismatch
+    /// or when any operand is still in the coefficient domain.
+    pub fn pointwise_acc_with(
+        &mut self,
+        a: &Self,
+        b: &Self,
+        threads: usize,
+    ) -> Result<(), PolyError> {
+        if self.domain != Domain::Ntt || a.domain != Domain::Ntt || b.domain != Domain::Ntt {
+            return Err(PolyError::RingMismatch);
+        }
+        self.zip_check_moduli(a)?;
+        self.zip_check_moduli(b)?;
+        let mut work: Vec<(&mut Poly, &Poly, &Poly)> = self
+            .limbs
+            .iter_mut()
+            .zip(a.limbs.iter().zip(&b.limbs))
+            .map(|(acc, (x, y))| (acc, x, y))
+            .collect();
+        crate::par::for_each_mut(threads, &mut work, |(acc, x, y)| {
+            let m = *acc.modulus();
+            m.mul_add_slab_assign(acc.coeffs_mut(), x.coeffs(), y.coeffs());
+        });
+        Ok(())
+    }
+
+    /// In-place limb-wise subtraction: `self -= rhs` with no allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolyError::RingMismatch`] on shape/domain/modulus mismatch.
+    pub fn sub_assign(&mut self, rhs: &Self) -> Result<(), PolyError> {
+        self.zip_check_moduli(rhs)?;
+        for (a, b) in self.limbs.iter_mut().zip(&rhs.limbs) {
+            let m = *a.modulus();
+            m.sub_slab_assign(a.coeffs_mut(), b.coeffs());
+        }
+        Ok(())
+    }
+
+    /// In-place per-limb scaling (the ModDown / rescale constant shape):
+    /// limb `i` is multiplied by `scalars[i]` via Shoup multiplication,
+    /// bit-identical to [`RnsPoly::scale_per_limb`] without the new
+    /// polynomial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scalars.len() != limb_count`.
+    pub fn scale_per_limb_assign(&mut self, scalars: &[u64]) {
+        assert_eq!(scalars.len(), self.limb_count());
+        for (l, &s) in self.limbs.iter_mut().zip(scalars) {
+            let m = *l.modulus();
+            m.scale_slab_assign(l.coeffs_mut(), m.reduce(s));
+        }
+    }
+
     /// Galois automorphism X ↦ X^g applied limb-wise (coefficient domain).
     ///
     /// # Panics
@@ -405,6 +484,13 @@ impl RnsPoly {
         assert!(count > 0 && count <= self.limb_count());
         let tail = self.limbs.split_off(count);
         (self, tail)
+    }
+
+    /// Consumes the polynomial, returning its limbs — the counterpart of
+    /// [`RnsPoly::from_limbs`] that lets arena-backed limb storage be given
+    /// back (see `crate::scratch::ScratchArena::give_vec`).
+    pub fn into_limbs(self) -> Vec<Poly> {
+        self.limbs
     }
 }
 
@@ -528,6 +614,57 @@ mod tests {
                 "limb {i} must equal per-limb automorphism"
             );
         }
+    }
+
+    #[test]
+    fn pointwise_acc_matches_compose_and_allocate() {
+        let n = 32;
+        let ps = primes(n, 4);
+        let ts = tables(&ps, n);
+        let mk = |seed: i64| {
+            let coeffs: Vec<i64> = (0..n as i64).map(|i| i * seed - 11).collect();
+            let mut p = RnsPoly::from_signed(&ps, &coeffs).unwrap();
+            p.ntt_forward(&ts);
+            p
+        };
+        let (a, b) = (mk(3), mk(5));
+        let acc0 = mk(7);
+        for threads in [1, 2, 4] {
+            let reference = acc0.add(&a.pointwise_with(&b, threads).unwrap()).unwrap();
+            let mut fused = acc0.clone();
+            fused.pointwise_acc_with(&a, &b, threads).unwrap();
+            assert_eq!(fused, reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn pointwise_acc_rejects_coeff_domain() {
+        let ps = primes(8, 2);
+        let a = RnsPoly::zero(&ps, 8).unwrap();
+        let mut acc = RnsPoly::zero(&ps, 8).unwrap();
+        assert!(acc.pointwise_acc_with(&a.clone(), &a, 1).is_err());
+    }
+
+    #[test]
+    fn sub_assign_matches_sub() {
+        let ps = primes(8, 3);
+        let a = RnsPoly::from_signed(&ps, &[9, -2, 4, 0, 1, -7, 3, 5]).unwrap();
+        let b = RnsPoly::from_signed(&ps, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        let reference = a.sub(&b).unwrap();
+        let mut in_place = a.clone();
+        in_place.sub_assign(&b).unwrap();
+        assert_eq!(in_place, reference);
+    }
+
+    #[test]
+    fn scale_per_limb_assign_matches_allocating_form() {
+        let ps = primes(8, 3);
+        let p = RnsPoly::from_signed(&ps, &[9, -2, 4, 0, 1, -7, 3, 5]).unwrap();
+        let scalars: Vec<u64> = ps.iter().map(|&q| q - 3).collect();
+        let reference = p.scale_per_limb(&scalars);
+        let mut in_place = p.clone();
+        in_place.scale_per_limb_assign(&scalars);
+        assert_eq!(in_place, reference);
     }
 
     #[test]

@@ -938,6 +938,13 @@ fn worker_loop(
     idx: usize,
     my_gen: u64,
 ) {
+    // This worker's scratch arena, owned for the thread's whole lifetime so
+    // shelves warmed by one batch serve every later batch (steady-state
+    // zero hot-path heap allocations). Never shared: a watchdog replacement
+    // thread builds its own. Per batch the worker publishes how many leases
+    // overflowed the arena (`serve.arena.fallback`) — a rising value means
+    // the arena is undersized for the traffic's parameter sets.
+    let arena = wd_polyring::scratch::ScratchArena::for_worker();
     loop {
         let item = {
             let mut q = work.state.lock().expect("serve work queue poisoned");
@@ -1000,7 +1007,14 @@ fn worker_loop(
             .generation
             != my_gen;
         if !abandoned {
-            execute_batch(formed, tenants, executor, epoch, stats);
+            let fallbacks_before = arena.stats().fallbacks;
+            wd_polyring::scratch::with_worker_arena(&arena, || {
+                execute_batch(formed, tenants, executor, epoch, stats);
+            });
+            wd_trace::counter(
+                "serve.arena.fallback",
+                arena.stats().fallbacks - fallbacks_before,
+            );
         }
         // End-of-batch bookkeeping; a stale worker exits here.
         {
