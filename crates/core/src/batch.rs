@@ -57,6 +57,7 @@
 //! fault-free run; injection changes latency, never values. Genuine errors
 //! (missing keys, exhausted chains) are never retried.
 
+use crate::place::Placer;
 use crate::sched::{BatchShape, ParScheduler};
 use std::sync::{Arc, Mutex};
 use wd_ckks::cipher::Ciphertext;
@@ -67,6 +68,9 @@ use wd_fault::{run_isolated, FaultInjector, FaultPlan, RetryPolicy, WdError};
 use wd_polyring::par;
 use wd_polyring::rns::RnsPoly;
 use wd_polyring::scratch::{self, ScratchArena};
+
+/// A shared pool of per-slot scratch arenas (one entry per op-level slot).
+type ArenaPool = Arc<Mutex<Vec<Arc<ScratchArena>>>>;
 
 /// One whole-ciphertext operation in a batch.
 #[derive(Debug, Clone)]
@@ -149,7 +153,16 @@ pub struct BatchExecutor {
     /// ever installed on the thread running slot `i` of a batch — the
     /// per-worker ownership rule. Clones share the pool (a clone serving
     /// the same traffic wants the same warmed shelves).
-    arenas: Arc<Mutex<Vec<Arc<ScratchArena>>>>,
+    arenas: ArenaPool,
+    /// Per-device arena pools for sharded execution
+    /// ([`BatchExecutor::execute_sharded`]): device `d`'s lane always leases
+    /// from pool `d`, so a device slot keeps its own warmed shelves across
+    /// batches and never shares scratch with another device's lane.
+    device_arenas: Arc<Mutex<Vec<ArenaPool>>>,
+    /// Per-device liveness from the most recent sharded batch's device-loss
+    /// drill (`true` = the device's drill passed). Empty until the first
+    /// sharded batch.
+    device_alive: Arc<Mutex<Vec<bool>>>,
 }
 
 impl BatchExecutor {
@@ -166,6 +179,8 @@ impl BatchExecutor {
             injector: FaultInjector::from_env(),
             retry: RetryPolicy::default(),
             arenas: Arc::new(Mutex::new(Vec::new())),
+            device_arenas: Arc::new(Mutex::new(Vec::new())),
+            device_alive: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
@@ -343,6 +358,115 @@ impl BatchExecutor {
                 None => work(),
             }
         })
+    }
+
+    /// Executes a batch sharded across the placer's modeled devices,
+    /// returning one result per op **in input order** — bit-identical to
+    /// [`BatchExecutor::execute`] for every device count, policy and thread
+    /// budget, because placement only regroups independent ops.
+    ///
+    /// Each active device lane runs as its own slot: its share of the
+    /// thread budget ([`Placement::thread_budgets`](crate::place::Placement::thread_budgets)
+    /// — never oversubscribed in aggregate), its own scratch-arena pool,
+    /// and its own `place.device<i>` loss drill. A device whose drill
+    /// faults is **lost for this batch**: its share re-places across the
+    /// survivors (degrade rung 1); with no survivors the whole batch falls
+    /// back to the plain un-sharded path (rung 2). Lane slots execute one
+    /// after another on the host — modeled-device concurrency lives in
+    /// `wd_gpu_sim::ShardedSimulator`, not here — so a lane's budget is
+    /// never live at the same time as another's.
+    pub fn execute_sharded(
+        &self,
+        ctx: &CkksContext,
+        keys: EvalKeys<'_>,
+        batch: &[BatchOp<'_>],
+        placer: &Placer,
+    ) -> Vec<Result<Ciphertext, CkksError>> {
+        if placer.devices() <= 1 {
+            return self.execute(ctx, keys, batch);
+        }
+        let _span = wd_trace::span("batch", "execute_sharded");
+        // Device-loss drill: one draw per device per batch. Losses are
+        // transient by construction (the next batch re-probes), which is
+        // what the serving layer's liveness report reflects.
+        let mut alive = Vec::with_capacity(placer.devices());
+        let mut alive_map = vec![false; placer.devices()];
+        for (d, alive_slot) in alive_map.iter_mut().enumerate() {
+            match self.injector.check(&format!("place.device{d}")) {
+                Ok(()) => {
+                    alive.push(d);
+                    *alive_slot = true;
+                }
+                Err(e) => {
+                    wd_trace::counter("place.device_lost", 1);
+                    wd_trace::event(
+                        "place",
+                        "device_lost",
+                        &[("device", d.to_string()), ("error", e.to_string())],
+                    );
+                }
+            }
+        }
+        *self.device_alive.lock().unwrap_or_else(|p| p.into_inner()) = alive_map;
+        if alive.is_empty() {
+            wd_trace::counter("place.degraded", 1);
+            wd_trace::event("place", "degrade", &[("batch", batch.len().to_string())]);
+            return self.execute(ctx, keys, batch);
+        }
+        let placement = placer.place_surviving(batch, &alive);
+        let budgets = placement.thread_budgets(self.threads);
+        let mut out: Vec<Option<Result<Ciphertext, CkksError>>> =
+            batch.iter().map(|_| None).collect();
+        for (dev, lane) in placement.lanes().iter().enumerate() {
+            if lane.ops.is_empty() {
+                continue;
+            }
+            let lane_batch: Vec<BatchOp<'_>> = lane.ops.iter().map(|&i| batch[i].clone()).collect();
+            let slot = self.device_slot(dev, budgets[dev].max(1));
+            let results = slot.execute(ctx, keys, &lane_batch);
+            for (&i, r) in lane.ops.iter().zip(results) {
+                out[i] = Some(r);
+            }
+        }
+        out.into_iter()
+            .map(|r| r.expect("placement covers every op"))
+            .collect()
+    }
+
+    /// Per-device liveness from the most recent sharded batch's loss
+    /// drill. Empty before the first [`BatchExecutor::execute_sharded`]
+    /// call (or when running single-device).
+    pub fn device_liveness(&self) -> Vec<bool> {
+        self.device_alive
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+    }
+
+    /// The executor for one device lane: the parent's fault plan and retry
+    /// policy, the device's thread budget (re-scheduled at that budget when
+    /// the parent is scheduled), and the device's own persistent arena
+    /// pool.
+    fn device_slot(&self, dev: usize, budget: usize) -> BatchExecutor {
+        let pool = {
+            let mut pools = self.device_arenas.lock().unwrap_or_else(|p| p.into_inner());
+            while pools.len() <= dev {
+                pools.push(Arc::new(Mutex::new(Vec::new())));
+            }
+            Arc::clone(&pools[dev])
+        };
+        BatchExecutor {
+            threads: budget.max(1),
+            sched: self
+                .sched
+                .as_ref()
+                .map(|s| ParScheduler::new(budget.max(1)).with_policy(s.policy())),
+            injector: self.injector.clone(),
+            retry: self.retry,
+            arenas: pool,
+            device_arenas: Arc::new(Mutex::new(Vec::new())),
+            device_alive: Arc::new(Mutex::new(Vec::new())),
+        }
     }
 
     /// One op, no recovery envelope — the pure function the envelope
@@ -728,6 +852,89 @@ mod tests {
         let out = ex.execute(&ctx, keys, &batch);
         for (c, o) in clean.iter().zip(&out) {
             assert_eq!(o.as_ref(), Ok(c));
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn sharded_execution_is_bit_identical_to_sequential() -> Result<(), WdError> {
+        use crate::place::{PlacePolicy, Placer};
+        let (ctx, kp) = setup()?;
+        let rot = ctx.gen_rotation_keys(&kp.secret, &[1], false);
+        let a = ctx.encrypt_values(&[1.0, 2.0, 3.0], &kp.public)?;
+        let b = ctx.encrypt_values(&[0.5, -1.5, 4.0], &kp.public)?;
+        let batch = [
+            BatchOp::HMult(&a, &b),
+            BatchOp::HAdd(&a, &b),
+            BatchOp::HRotate(&a, 1),
+            BatchOp::HMult(&b, &a),
+            BatchOp::Rescale(&a),
+            BatchOp::HSub(&a, &b),
+        ];
+        let keys = EvalKeys::with_relin(&kp.relin).and_rotations(&rot);
+        let clean = clean_results(&ctx, keys, &batch)?;
+        for devices in [1usize, 2, 4, 8] {
+            for policy in [
+                PlacePolicy::RoundRobin,
+                PlacePolicy::Bytes,
+                PlacePolicy::Auto,
+            ] {
+                for threads in [1usize, 3, 8] {
+                    let placer = Placer::new(devices).with_policy(policy);
+                    let ex = BatchExecutor::new(threads).with_fault_plan(FaultPlan::disabled());
+                    let out = ex.execute_sharded(&ctx, keys, &batch, &placer);
+                    for (i, (c, o)) in clean.iter().zip(&out).enumerate() {
+                        assert_eq!(
+                            o.as_ref(),
+                            Ok(c),
+                            "op {i} diverged: {devices} devices, {policy:?}, {threads} threads"
+                        );
+                    }
+                    if devices > 1 {
+                        assert_eq!(ex.device_liveness(), vec![true; devices]);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn device_loss_degrades_shard_execution_bit_identically() -> Result<(), WdError> {
+        use crate::place::Placer;
+        let (ctx, kp) = setup()?;
+        let a = ctx.encrypt_values(&[2.0, -1.0], &kp.public)?;
+        let b = ctx.encrypt_values(&[0.25, 8.0], &kp.public)?;
+        let batch = [
+            BatchOp::HMult(&a, &b),
+            BatchOp::HAdd(&a, &b),
+            BatchOp::HMult(&b, &a),
+        ];
+        let keys = EvalKeys::with_relin(&kp.relin);
+        let clean = clean_results(&ctx, keys, &batch)?;
+        // Rate 1.0: every device drill faults (all lost), every op faults
+        // and recovers. Rung 2 of the degrade ladder — the un-sharded
+        // fallback — must still produce bit-identical results.
+        let ex = BatchExecutor::new(4)
+            .with_fault_plan(FaultPlan::new(5, 1.0))
+            .with_retry_policy(RetryPolicy {
+                max_attempts: 2,
+                base_backoff: std::time::Duration::ZERO,
+            });
+        let out = ex.execute_sharded(&ctx, keys, &batch, &Placer::new(4));
+        for (c, o) in clean.iter().zip(&out) {
+            assert_eq!(o.as_ref(), Ok(c));
+        }
+        assert_eq!(ex.device_liveness(), vec![false; 4]);
+        // Partial loss (moderate rate): whichever devices survive, results
+        // stay bit-identical and liveness reflects the drill.
+        for seed in [1u64, 7, 42] {
+            let ex = BatchExecutor::new(4).with_fault_plan(FaultPlan::new(seed, 0.4));
+            let out = ex.execute_sharded(&ctx, keys, &batch, &Placer::new(4));
+            for (c, o) in clean.iter().zip(&out) {
+                assert_eq!(o.as_ref(), Ok(c), "seed {seed}");
+            }
+            assert_eq!(ex.device_liveness().len(), 4, "seed {seed}");
         }
         Ok(())
     }

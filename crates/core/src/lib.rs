@@ -27,6 +27,9 @@
 //! - [`batchform`]: [`batchform::FormPolicy`], the pure dynamic-batching
 //!   decision core (dual size/linger trigger, deadline shedding, priority
 //!   aging) that the `wd-serve` request server drives.
+//! - [`place`]: [`place::Placer`], the device-placement layer above the
+//!   scheduler — shards a batch across `WD_DEVICES` modeled devices
+//!   (`WD_PLACE` policy) with the key working set priced on migration.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +44,7 @@ pub mod fuse;
 pub mod memory;
 pub mod nttplan;
 pub mod opplan;
+pub mod place;
 pub mod sched;
 
 pub use batch::{BatchExecutor, BatchOp, EvalKeys};
@@ -48,6 +52,7 @@ pub use batchform::{Class, Decision, FlushTrigger, FormPolicy, Pending};
 pub use config::FrameworkConfig;
 pub use engine::PerfEngine;
 pub use opplan::{HomOp, OpShape, PlannerKind};
+pub use place::{DeviceLane, PlacePolicy, Placement, Placer, DEVICES_ENV, PLACE_ENV};
 pub use sched::{BatchShape, ParScheduler, SchedPolicy, Split, SCHED_ENV};
 
 // The workspace-wide fault model (error taxonomy, deterministic fault

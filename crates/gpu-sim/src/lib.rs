@@ -14,6 +14,9 @@
 //!   Nsight-style stall breakdown, compute/memory throughput utilization)
 //!   and kernel sequences into [`RunReport`]s with an execution
 //!   [`timeline::Timeline`].
+//! - [`MultiGpuSpec`] / [`ShardedSimulator`]: N-device sharding with an
+//!   NVLink/PCIe-class interconnect model (bandwidth + latency + setup),
+//!   charging ciphertext/key movement between device lanes.
 //!
 //! The model is deterministic and calibrated; absolute microseconds are
 //! *modeled*, while orderings and rough factors follow from structure. Every
@@ -25,6 +28,7 @@
 
 pub mod kernel;
 pub mod model;
+pub mod multi;
 pub mod report;
 pub mod spec;
 pub mod stalls;
@@ -32,6 +36,7 @@ pub mod timeline;
 
 pub use kernel::{KernelProfile, LaunchConfig, WorkProfile};
 pub use model::{Bottleneck, KernelStats, Simulator};
+pub use multi::{DeviceWork, InterconnectSpec, MultiGpuSpec, ShardedSimulator};
 pub use report::RunReport;
 pub use spec::GpuSpec;
 pub use stalls::{StallBreakdown, StallKind};

@@ -104,7 +104,7 @@ pub use tenant::{
     KeyCacheStats, TenantConfig, TenantRegistry, TenantStats, DEFAULT_TENANT, KEY_CACHE_ENV,
     QUOTA_ENV,
 };
-pub use wire::{HealthReport, TenantHealth};
+pub use wire::{DeviceHealth, HealthReport, TenantHealth};
 // The priority classes and flush triggers are defined by the pure decision
 // core in `warpdrive-core`; re-exported so serving code needs one import.
 pub use warpdrive_core::{Class, FlushTrigger};

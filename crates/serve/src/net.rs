@@ -278,11 +278,11 @@ fn accept_loop(
 /// Over-cap connection: answer with one error frame, then close.
 fn refuse_connection(mut stream: TcpStream, config: &NetConfig) {
     let _ = stream.set_write_timeout(Some(config.io_timeout));
-    let resp = error_response(
+    let _ = write_error_frame(
+        &mut stream,
         0,
         &format!("connection limit ({}) reached", config.max_conns),
     );
-    let _ = write_frame(&mut stream, &wire::encode_response(&resp));
 }
 
 fn error_response(id: u64, msg: &str) -> WireResponse {
@@ -292,6 +292,17 @@ fn error_response(id: u64, msg: &str) -> WireResponse {
         waited_us: 0,
         batch_size: 0,
         trigger: None,
+    }
+}
+
+/// Encodes and writes a v1 error response, reporting whether the
+/// connection is still usable. Encoding a locally-built error response can
+/// only fail on a message over the u32 field — treat that as unusable
+/// rather than panic in the serving loop.
+fn write_error_frame(stream: &mut TcpStream, id: u64, msg: &str) -> bool {
+    match wire::encode_response(&error_response(id, msg)) {
+        Ok(bytes) => write_frame(stream, &bytes).is_ok(),
+        Err(_) => false,
     }
 }
 
@@ -320,8 +331,7 @@ fn handle_connection(
                 // Oversized declared length: refuse loudly, then close.
                 counters.decode_errors.fetch_add(1, Ordering::Relaxed);
                 wd_trace::counter("serve.net.decode_errors", 1);
-                let resp = error_response(0, &e.to_string());
-                let _ = write_frame(&mut stream, &wire::encode_response(&resp));
+                let _ = write_error_frame(&mut stream, 0, &e.to_string());
                 break;
             }
             // Slow-loris mid-frame stall, reset, or any other io failure.
@@ -347,8 +357,7 @@ fn answer_frame(
             Err(e) => {
                 counters.decode_errors.fetch_add(1, Ordering::Relaxed);
                 wd_trace::counter("serve.net.decode_errors", 1);
-                let resp = error_response(0, &e.to_string());
-                let _ = write_frame(stream, &wire::encode_response(&resp));
+                let _ = write_error_frame(stream, 0, &e.to_string());
                 false
             }
             Ok(id) => {
@@ -368,8 +377,7 @@ fn answer_frame(
             // guess at realignment.
             counters.decode_errors.fetch_add(1, Ordering::Relaxed);
             wd_trace::counter("serve.net.decode_errors", 1);
-            let resp = error_response(0, &e.to_string());
-            let _ = write_frame(stream, &wire::encode_response(&resp));
+            let _ = write_error_frame(stream, 0, &e.to_string());
             false
         }
         Ok((ver, wire_id, tenant, req)) => {
@@ -391,17 +399,38 @@ fn answer_frame(
             } else {
                 wire::encode_response(&resp)
             };
-            write_frame(stream, &encoded).is_ok()
+            match encoded {
+                Ok(bytes) => write_frame(stream, &bytes).is_ok(),
+                // The response itself does not fit the wire's u32 fields:
+                // answer with the typed error text instead of a silently
+                // clamped (and therefore wrong) frame.
+                Err(e) => write_error_frame(stream, wire_id, &e.to_string()),
+            }
         }
     }
 }
 
-/// Writes one `u32 LE length | bytes` transport frame.
+/// Writes one `u32 LE length | bytes` transport frame. The send side
+/// enforces the same [`MAX_FRAME_BYTES`] cap as the read side **before
+/// writing anything**: the old unchecked `len() as u32` cast silently
+/// truncated the length prefix of a frame over `u32::MAX` bytes, desyncing
+/// the stream for every frame after it.
 ///
 /// # Errors
 ///
-/// Any io error from the underlying writer, verbatim.
+/// `InvalidData` when `frame` exceeds [`MAX_FRAME_BYTES`] (nothing is
+/// written — the stream stays aligned); any io error from the underlying
+/// writer, verbatim.
 pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    if frame.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "outbound frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+                frame.len()
+            ),
+        ));
+    }
     w.write_all(&(frame.len() as u32).to_le_bytes())?;
     w.write_all(frame)?;
     w.flush()
@@ -581,6 +610,15 @@ impl NetClient {
     /// One framed round trip: reconnect if poisoned, send `frame`, read the
     /// response frame. Any transport failure poisons the connection.
     fn exchange(&mut self, frame: &[u8]) -> Result<Vec<u8>, WdError> {
+        // Send-side frame cap, checked before any byte leaves: an over-cap
+        // frame would truncate its u32 length prefix and desync the stream.
+        // Nothing was written, so the connection is NOT poisoned.
+        if frame.len() > MAX_FRAME_BYTES {
+            return Err(WdError::WireDecode(format!(
+                "net send: frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte cap",
+                frame.len()
+            )));
+        }
         if self.stream.is_none() {
             self.reconnects += 1;
             self.reconnect()
@@ -716,6 +754,23 @@ mod tests {
         short.truncate(6);
         let err = read_frame(&mut io::Cursor::new(short), 64).expect_err("truncated");
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn write_frame_refuses_over_cap_frames_without_writing() {
+        // Regression: `frame.len() as u32` was cast unchecked, so an
+        // oversize frame silently truncated its length prefix and desynced
+        // the stream. The cap must be enforced BEFORE any byte is written.
+        let huge = vec![0u8; MAX_FRAME_BYTES + 1];
+        let mut buf = Vec::new();
+        let err = write_frame(&mut buf, &huge).expect_err("over-cap frame");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("exceeds"), "{err}");
+        assert!(buf.is_empty(), "nothing may be written for a refused frame");
+        // The largest legal frame still round-trips.
+        let max = vec![7u8; 32];
+        write_frame(&mut buf, &max).expect("legal frame");
+        assert_eq!(&buf[..4], &32u32.to_le_bytes());
     }
 
     /// Accepts `limit` bytes, then fails every write with `TimedOut` — the

@@ -30,7 +30,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use warpdrive_core::{BatchExecutor, BatchOp, Decision, EvalKeys, FormPolicy, Pending};
+use warpdrive_core::{BatchExecutor, BatchOp, Decision, EvalKeys, FormPolicy, Pending, Placer};
 use wd_ckks::keys::{KeySwitchKey, RotationKeys};
 use wd_ckks::CkksContext;
 use wd_fault::integrity::Fnv64;
@@ -40,7 +40,7 @@ use wd_polyring::rns::RnsPoly;
 use crate::env;
 use crate::request::{Request, Response, ServeOp, Ticket};
 use crate::tenant::{Tenant, TenantRegistry, TenantStats, DEFAULT_TENANT};
-use crate::wire::{HealthReport, TenantHealth};
+use crate::wire::{DeviceHealth, HealthReport, TenantHealth};
 
 /// Admission queue capacity (`usize` ≥ 1). Malformed or zero warns and
 /// keeps the default.
@@ -93,6 +93,12 @@ pub struct ServeConfig {
     /// executor — a restart storm means the parallel path itself is
     /// suspect. Code-only (no env knob).
     pub restart_cap: usize,
+    /// Device-placement policy: batches are sharded across this placer's
+    /// modeled devices via [`BatchExecutor::execute_sharded`], with
+    /// `serve.device.<i>.*` counters per device. The default is a single
+    /// device (placement is a no-op); [`ServeConfig::from_env`] reads
+    /// `WD_DEVICES` / `WD_PLACE`.
+    pub placer: Placer,
 }
 
 impl Default for ServeConfig {
@@ -106,6 +112,7 @@ impl Default for ServeConfig {
             executor: BatchExecutor::sequential(),
             watchdog: Duration::from_millis(5_000),
             restart_cap: 8,
+            placer: Placer::new(1),
         }
     }
 }
@@ -136,6 +143,7 @@ impl ServeConfig {
                 3_600_000,
             )),
             restart_cap: d.restart_cap,
+            placer: Placer::from_env(),
         }
     }
 
@@ -430,6 +438,49 @@ impl Supervision {
     }
 }
 
+/// Per-device serving counters. Signal names are hot-path strings, built
+/// once at startup like the tenant signals.
+#[derive(Debug)]
+struct DeviceStat {
+    batches: AtomicU64,
+    ops: AtomicU64,
+    /// Ops currently assigned to this device by in-flight batches — the
+    /// per-device depth the HEALTH report carries.
+    depth: AtomicU64,
+    sig_batches: String,
+    sig_ops: String,
+}
+
+impl DeviceStat {
+    fn new(device: usize) -> Self {
+        Self {
+            batches: AtomicU64::new(0),
+            ops: AtomicU64::new(0),
+            depth: AtomicU64::new(0),
+            sig_batches: format!("serve.device.{device}.batches"),
+            sig_ops: format!("serve.device.{device}.ops"),
+        }
+    }
+}
+
+/// The server's device layer: the placement policy plus one counter block
+/// per configured device. Shared by every worker (and the watchdog's
+/// replacement workers), so the counters survive worker churn.
+#[derive(Debug)]
+struct DeviceLayer {
+    placer: Placer,
+    stats: Vec<DeviceStat>,
+}
+
+impl DeviceLayer {
+    fn new(placer: Placer) -> Self {
+        Self {
+            stats: (0..placer.devices()).map(DeviceStat::new).collect(),
+            placer,
+        }
+    }
+}
+
 /// The serving engine (see the module docs for the thread layout).
 #[derive(Debug)]
 pub struct Server {
@@ -441,6 +492,11 @@ pub struct Server {
     stats: Arc<Stats>,
     supervision: Arc<Supervision>,
     threads: Arc<Mutex<Threads>>,
+    devices: Arc<DeviceLayer>,
+    /// A clone of the workers' executor: clones share the device-liveness
+    /// map, so [`Server::health`] reads the latest device-loss drill
+    /// results without touching the worker threads.
+    executor: BatchExecutor,
 }
 
 impl Server {
@@ -462,6 +518,7 @@ impl Server {
         let supervision = Arc::new(Supervision::new(worker_count));
         let epoch = Instant::now();
         let tenants = Arc::new(tenants);
+        let devices = Arc::new(DeviceLayer::new(config.placer));
 
         let batcher = {
             let inbox = Arc::clone(&inbox);
@@ -482,6 +539,7 @@ impl Server {
                     epoch,
                     &stats,
                     &supervision,
+                    &devices,
                     i,
                     0,
                 )
@@ -500,6 +558,7 @@ impl Server {
             let tn = Arc::clone(&tenants);
             let st = Arc::clone(&stats);
             let th = Arc::clone(&threads);
+            let dv = Arc::clone(&devices);
             let executor = config.executor.clone();
             let timeout = config.watchdog;
             let restart_cap = config.restart_cap.max(1);
@@ -512,6 +571,7 @@ impl Server {
                         &tn,
                         &st,
                         &th,
+                        &dv,
                         &executor,
                         epoch,
                         timeout,
@@ -531,6 +591,8 @@ impl Server {
             stats,
             supervision,
             threads,
+            devices,
+            executor: config.executor,
         }
     }
 
@@ -698,6 +760,23 @@ impl Server {
                 }
             })
             .collect();
+        // Per-device depth and liveness. Liveness comes from the executor's
+        // shared device-loss drill map: empty until the first sharded batch
+        // runs, in which case every configured device reports alive.
+        let liveness = self.executor.device_liveness();
+        let devices = self
+            .devices
+            .stats
+            .iter()
+            .enumerate()
+            .map(|(d, s)| DeviceHealth {
+                device: d as u32,
+                depth: s.depth.load(Ordering::Relaxed),
+                batches: s.batches.load(Ordering::Relaxed),
+                ops: s.ops.load(Ordering::Relaxed),
+                alive: liveness.get(d).copied().unwrap_or(true),
+            })
+            .collect();
         HealthReport {
             queue_depth: self.queue_depth() as u64,
             workers: self.worker_count as u32,
@@ -707,6 +786,7 @@ impl Server {
             keycache_budget_bytes: cache.budget_bytes as u64,
             keycache_quarantined: cache.quarantined,
             tenants,
+            devices,
         }
     }
 
@@ -893,6 +973,7 @@ fn spawn_worker(
     epoch: Instant,
     stats: &Arc<Stats>,
     sup: &Arc<Supervision>,
+    devices: &Arc<DeviceLayer>,
     slot: usize,
     generation: u64,
 ) -> JoinHandle<()> {
@@ -900,11 +981,12 @@ fn spawn_worker(
     let tenants = Arc::clone(tenants);
     let stats = Arc::clone(stats);
     let sup = Arc::clone(sup);
+    let devices = Arc::clone(devices);
     std::thread::Builder::new()
         .name(format!("wd-serve-worker-{slot}-g{generation}"))
         .spawn(move || {
             worker_loop(
-                &work, &tenants, &executor, epoch, &stats, &sup, slot, generation,
+                &work, &tenants, &executor, epoch, &stats, &sup, &devices, slot, generation,
             )
         })
         .expect("spawn wd-serve worker")
@@ -935,6 +1017,7 @@ fn worker_loop(
     epoch: Instant,
     stats: &Stats,
     sup: &Supervision,
+    devices: &DeviceLayer,
     idx: usize,
     my_gen: u64,
 ) {
@@ -1009,7 +1092,7 @@ fn worker_loop(
         if !abandoned {
             let fallbacks_before = arena.stats().fallbacks;
             wd_polyring::scratch::with_worker_arena(&arena, || {
-                execute_batch(formed, tenants, executor, epoch, stats);
+                execute_batch(formed, tenants, executor, epoch, stats, devices);
             });
             wd_trace::counter(
                 "serve.arena.fallback",
@@ -1030,12 +1113,20 @@ fn worker_loop(
 
 /// Executes one formed batch and answers every slot that has not already
 /// been answered by a replay.
+///
+/// Each tenant group is placed across the device layer first
+/// ([`Placer::place`]) so the `serve.device.<i>.{batches,ops}` counters
+/// record the assignment deterministically, then executed through
+/// [`BatchExecutor::execute_sharded`] (which re-places across surviving
+/// devices if the device-loss drill fires — results stay bit-identical
+/// either way).
 fn execute_batch(
     formed: Formed,
     tenants: &TenantRegistry,
     executor: &BatchExecutor,
     epoch: Instant,
     stats: &Stats,
+    devices: &DeviceLayer,
 ) {
     let Formed { slots, trigger } = formed;
     let n = slots.len();
@@ -1092,7 +1183,29 @@ fn execute_batch(
             }
         };
         let ops: Vec<BatchOp<'_>> = group.iter().map(|s| s.op.as_batch_op()).collect();
-        let results = executor.execute(tenant.ctx(), keys.as_eval(), &ops);
+        // Place the group across devices and publish the assignment before
+        // executing, so the per-device counters reflect the placement even
+        // if a device-loss drill re-places mid-execution.
+        let placement = devices.placer.place(&ops);
+        let mut assigned = vec![0u64; devices.stats.len()];
+        for (d, lane) in placement.lanes().iter().enumerate() {
+            if lane.ops.is_empty() {
+                continue;
+            }
+            let stat = &devices.stats[d];
+            assigned[d] = lane.ops.len() as u64;
+            stat.batches.fetch_add(1, Ordering::Relaxed);
+            stat.ops.fetch_add(assigned[d], Ordering::Relaxed);
+            stat.depth.fetch_add(assigned[d], Ordering::Relaxed);
+            wd_trace::counter(&stat.sig_batches, 1);
+            wd_trace::counter(&stat.sig_ops, assigned[d]);
+        }
+        let results = executor.execute_sharded(tenant.ctx(), keys.as_eval(), &ops, &devices.placer);
+        for (d, &n_ops) in assigned.iter().enumerate() {
+            if n_ops > 0 {
+                devices.stats[d].depth.fetch_sub(n_ops, Ordering::Relaxed);
+            }
+        }
         let now = instant_us(epoch);
         for (slot, result) in group.into_iter().zip(results) {
             let waited = now.saturating_sub(slot.meta.enqueued_us);
@@ -1129,6 +1242,7 @@ fn watchdog_loop(
     tenants: &Arc<TenantRegistry>,
     stats: &Arc<Stats>,
     threads: &Arc<Mutex<Threads>>,
+    devices: &Arc<DeviceLayer>,
     executor: &BatchExecutor,
     epoch: Instant,
     timeout: Duration,
@@ -1192,7 +1306,17 @@ fn watchdog_loop(
             } else {
                 executor.clone()
             };
-            let handle = spawn_worker(work, tenants, replacement, epoch, stats, sup, idx, new_gen);
+            let handle = spawn_worker(
+                work,
+                tenants,
+                replacement,
+                epoch,
+                stats,
+                sup,
+                devices,
+                idx,
+                new_gen,
+            );
             threads.lock().expect("serve threads poisoned").workers[idx] = handle;
         }
     }
@@ -1319,6 +1443,53 @@ mod tests {
         assert!(matches!(resp.result, Err(WdError::MissingKey(_))));
         let stats = server.shutdown();
         assert_eq!(stats.completed, 1, "an error response still completes");
+        Ok(())
+    }
+
+    #[test]
+    fn sharded_serving_is_bit_identical_and_reports_device_health() -> Result<(), WdError> {
+        use warpdrive_core::PlacePolicy;
+        use wd_fault::FaultPlan;
+        let ctx = small_ctx(16);
+        let kp = ctx.keygen();
+        // Round-robin over two devices, one 4-op batch: ops 0/2 land on
+        // device 0 and ops 1/3 on device 1, deterministically. The huge
+        // linger means only the size trigger can flush, so all four
+        // requests share one batch.
+        let config = ServeConfig {
+            max_batch: 4,
+            linger: Duration::from_secs(5),
+            executor: BatchExecutor::sequential().with_fault_plan(FaultPlan::disabled()),
+            placer: Placer::new(2).with_policy(PlacePolicy::RoundRobin),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(
+            Arc::clone(&ctx),
+            ServeKeys::with_relin(kp.relin.clone()),
+            config,
+        );
+        let a = ctx.encrypt_values(&[1.5, -2.0], &kp.public)?;
+        let b = ctx.encrypt_values(&[0.5, 1.0], &kp.public)?;
+        let expect = wd_ckks::ops::hadd(&a, &b)?;
+        let tickets: Vec<_> = (0..4)
+            .map(|_| server.submit(Request::new(ServeOp::HAdd(a.clone(), b.clone()))))
+            .collect::<Result<_, _>>()?;
+        for t in tickets {
+            let resp = t.wait();
+            assert_eq!(resp.result.as_ref(), Ok(&expect), "bit-identical response");
+            assert_eq!(resp.batch_size, 4);
+        }
+        let health = server.health();
+        assert_eq!(health.devices.len(), 2);
+        for (d, dev) in health.devices.iter().enumerate() {
+            assert_eq!(dev.device, d as u32);
+            assert_eq!(dev.batches, 1, "device {d} served the one batch");
+            assert_eq!(dev.ops, 2, "round-robin placed two ops on device {d}");
+            assert_eq!(dev.depth, 0, "answered batches leave no depth behind");
+            assert!(dev.alive, "no faults: the device-loss drill passes");
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 4);
         Ok(())
     }
 

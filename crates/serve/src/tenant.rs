@@ -324,14 +324,40 @@ pub struct KeyCacheStats {
     pub budget_bytes: usize,
 }
 
+/// One resident entry: the leased key copy plus the exact byte amount
+/// charged against the budget when it was promoted. Refunds (quarantine,
+/// eviction) release this recorded charge — never a fresh
+/// `approx_bytes()` of the resident copy — so a charge/refund pair always
+/// nets to zero and the budget accounting cannot drift even if the two
+/// measurements ever disagree.
+#[derive(Debug)]
+struct Resident {
+    keys: Arc<ServeKeys>,
+    charged: usize,
+}
+
 /// LRU state: `order` front = least recently used. Tenant counts are small
 /// (the map is the working set, not the tenant universe), so a `Vec` scan
 /// beats pointer-chasing here.
 #[derive(Debug, Default)]
 struct CacheState {
-    resident: HashMap<String, Arc<ServeKeys>>,
+    resident: HashMap<String, Resident>,
     order: Vec<String>,
     bytes: usize,
+}
+
+impl CacheState {
+    /// Releases one entry's recorded charge. The books can only go
+    /// negative through an accounting bug, so debug builds assert while
+    /// release builds saturate rather than wrap the gauge to 16 EiB.
+    fn refund(&mut self, charged: usize) {
+        debug_assert!(
+            self.bytes >= charged,
+            "key cache refund of {charged} bytes exceeds the {} bytes on the books",
+            self.bytes
+        );
+        self.bytes = self.bytes.saturating_sub(charged);
+    }
 }
 
 /// The tenant registry: id → tenant, plus the shared resident key cache.
@@ -449,7 +475,7 @@ impl TenantRegistry {
         // be re-counted as a hit forever after — its own next lease (or
         // anyone else's) evicts it here and goes through the miss path.
         self.evict_to_fit(&mut st, 0);
-        if let Some(keys) = st.resident.get(&tenant.id).cloned() {
+        if let Some(keys) = st.resident.get(&tenant.id).map(|r| Arc::clone(&r.keys)) {
             match self.verify_resident(tenant, &keys) {
                 Ok(()) => {
                     // Refresh recency: move to the back (most recently used).
@@ -469,7 +495,7 @@ impl TenantRegistry {
                         st.order.remove(i);
                     }
                     if let Some(gone) = st.resident.remove(&tenant.id) {
-                        st.bytes -= gone.approx_bytes();
+                        st.refund(gone.charged);
                     }
                     self.quarantined.fetch_add(1, Ordering::Relaxed);
                     wd_trace::counter("serve.keycache.quarantined", 1);
@@ -521,10 +547,17 @@ impl TenantRegistry {
                 ),
             );
         }
-        // The modeled host→device upload: clone the cold copy resident.
+        // The modeled host→device upload: clone the cold copy resident,
+        // recording the exact charge so the later refund matches it.
         let keys = Arc::new(tenant.cold.clone());
         st.bytes += tenant.key_bytes;
-        st.resident.insert(tenant.id.clone(), Arc::clone(&keys));
+        st.resident.insert(
+            tenant.id.clone(),
+            Resident {
+                keys: Arc::clone(&keys),
+                charged: tenant.key_bytes,
+            },
+        );
         st.order.push(tenant.id.clone());
         wd_trace::gauge("serve.keycache.resident_bytes", st.bytes as u64);
         Ok(keys)
@@ -560,16 +593,13 @@ impl TenantRegistry {
         while st.bytes + incoming > self.config.key_cache_bytes && !st.order.is_empty() {
             let victim = st.order.remove(0);
             if let Some(gone) = st.resident.remove(&victim) {
-                st.bytes -= gone.approx_bytes();
+                st.refund(gone.charged);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
                 wd_trace::counter("serve.keycache.evictions", 1);
                 wd_trace::event(
                     "serve",
                     "keycache.evict",
-                    &[
-                        ("tenant", victim),
-                        ("bytes", gone.approx_bytes().to_string()),
-                    ],
+                    &[("tenant", victim), ("bytes", gone.charged.to_string())],
                 );
             }
         }
@@ -681,6 +711,73 @@ mod tests {
         let s = reg.cache_stats();
         assert_eq!((s.hits, s.misses, s.evictions), (1, 4, 2));
         assert!(s.resident_bytes <= s.budget_bytes);
+    }
+
+    #[test]
+    fn refunds_release_the_charged_bytes_even_when_the_footprint_drifts() {
+        // Promote charges `tenant.key_bytes` (the registration snapshot);
+        // the old quarantine/evict paths refunded `gone.approx_bytes()`
+        // (the resident copy's current footprint). Grow a tenant's cold
+        // keys after registration so the two disagree, then drive both
+        // refund sites: with the recorded-charge refund the books net to
+        // zero; the old spelling underflowed `bytes` here.
+        let c = ctx(11);
+        let small = keys_for(&c);
+        let charge = small.approx_bytes();
+        assert!(charge > 0);
+        let mut reg = TenantRegistry::new(TenantConfig {
+            key_cache_bytes: charge, // exactly one registration-sized tenant
+            ..TenantConfig::default()
+        });
+        reg.register("t", Arc::clone(&c), small)
+            .expect("register t");
+        reg.register("u", Arc::clone(&c), keys_for(&c))
+            .expect("register u");
+        {
+            // Test-only surgery: swell t's cold keys post-registration,
+            // keeping its integrity reference honest.
+            let kp = c.keygen();
+            let rot = c.gen_rotation_keys(&kp.secret, &[1], false);
+            let t = reg.tenants.get_mut("t").expect("registered");
+            let t = Arc::get_mut(t).expect("no other refs yet");
+            t.cold = t.cold.clone().and_rotations(rot);
+            t.cold_checksum = t.cold.checksum();
+            assert!(
+                t.cold.approx_bytes() > charge,
+                "surgery must grow the footprint past the recorded charge"
+            );
+        }
+        let t = reg.lookup("t").expect("registered").clone();
+        let u = reg.lookup("u").expect("registered").clone();
+        let leased = reg.lease_keys(&t).expect("promote t");
+        assert!(
+            leased.approx_bytes() > charge,
+            "resident copy is the grown one"
+        );
+        assert_eq!(
+            reg.cache_stats().resident_bytes,
+            charge,
+            "the charge is the registration snapshot, not the grown footprint"
+        );
+        // Eviction refund: u's miss evicts t; the books come back to
+        // exactly u's charge instead of underflowing by the grown bytes.
+        reg.lease_keys(&u).expect("promote u");
+        let s = reg.cache_stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.resident_bytes, u.key_bytes);
+        // Quarantine refund: re-promote t (evicting u), then arm a
+        // checksum mismatch on the next hit. The quarantine releases the
+        // recorded charge and the reload re-charges it — net zero.
+        reg.lease_keys(&t).expect("re-promote t");
+        reg.arm_key_corruption(1);
+        wd_trace::take_warnings();
+        reg.lease_keys(&t).expect("quarantine repairs the lease");
+        let s = reg.cache_stats();
+        assert_eq!(s.quarantined, 1);
+        assert_eq!(
+            s.resident_bytes, charge,
+            "quarantine + reload must leave the books exactly one charge"
+        );
     }
 
     #[test]

@@ -402,32 +402,54 @@ pub fn decode_request_versioned(
     ))
 }
 
+/// Refuses a count that does not fit the wire's u32 field. The old
+/// spelling (`.min(u32::MAX as usize) as u32`) silently clamped, so an
+/// oversize value decoded as a *different, plausible* value on the far
+/// side; a typed error at the encoder is the only honest answer.
+fn checked_wire_u32(v: usize, what: &str) -> Result<u32, CkksError> {
+    u32::try_from(v)
+        .map_err(|_| CkksError::WireDecode(format!("{what} {v} exceeds the u32 wire field")))
+}
+
 /// Serializes one response (v1 — the pre-guard spelling, byte-identical
 /// to every earlier release). The checksummed sibling is
 /// [`encode_response_v3`].
-pub fn encode_response(resp: &WireResponse) -> Vec<u8> {
+///
+/// # Errors
+///
+/// [`CkksError::WireDecode`] when the batch size or error-message length
+/// does not fit the wire's u32 fields.
+pub fn encode_response(resp: &WireResponse) -> Result<Vec<u8>, CkksError> {
     let mut out = Vec::new();
     write_envelope(&mut out, VERSION, KIND_RESPONSE, resp.id);
-    write_response_body(&mut out, resp);
-    out
+    write_response_body(&mut out, resp)?;
+    Ok(out)
 }
 
 /// Serializes one response as a v3 guard frame (trailing FNV-1a checksum),
 /// the generation a server answers a v3 request in.
-pub fn encode_response_v3(resp: &WireResponse) -> Vec<u8> {
+///
+/// # Errors
+///
+/// [`CkksError::WireDecode`] when the batch size or error-message length
+/// does not fit the wire's u32 fields.
+pub fn encode_response_v3(resp: &WireResponse) -> Result<Vec<u8>, CkksError> {
     let mut out = Vec::new();
     write_envelope(&mut out, VERSION_GUARD, KIND_RESPONSE, resp.id);
-    write_response_body(&mut out, resp);
+    write_response_body(&mut out, resp)?;
     let sum = wd_fault::integrity::checksum_bytes(&out);
     put_u64(&mut out, sum);
-    out
+    Ok(out)
 }
 
 /// The version-independent response payload.
-fn write_response_body(out: &mut Vec<u8>, resp: &WireResponse) {
+fn write_response_body(out: &mut Vec<u8>, resp: &WireResponse) -> Result<(), CkksError> {
     out.push(u8::from(resp.result.is_err()));
     put_u64(out, resp.waited_us);
-    put_u32(out, resp.batch_size.min(u32::MAX as usize) as u32);
+    put_u32(
+        out,
+        checked_wire_u32(resp.batch_size, "response batch size")?,
+    );
     out.push(match resp.trigger {
         None => 0,
         Some(FlushTrigger::Size) => 1,
@@ -438,10 +460,11 @@ fn write_response_body(out: &mut Vec<u8>, resp: &WireResponse) {
         Ok(ct) => write_ciphertext_frame(out, ct),
         Err(msg) => {
             let bytes = msg.as_bytes();
-            put_u32(out, bytes.len().min(u32::MAX as usize) as u32);
-            out.extend_from_slice(&bytes[..bytes.len().min(u32::MAX as usize)]);
+            put_u32(out, checked_wire_u32(bytes.len(), "error message length")?);
+            out.extend_from_slice(bytes);
         }
     }
+    Ok(())
 }
 
 /// Deserializes one response frame (v1 or v3; v2 responses never existed
@@ -522,6 +545,23 @@ pub struct TenantHealth {
     pub in_flight: u64,
 }
 
+/// One device's line in a [`HealthReport`] — the serve-path view of the
+/// multi-device placement layer (`WD_DEVICES` / `WD_PLACE`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceHealth {
+    /// The device index.
+    pub device: u32,
+    /// Ops currently assigned to this device by in-flight batches.
+    pub depth: u64,
+    /// Batches that placed at least one op on this device.
+    pub batches: u64,
+    /// Ops placed on this device since start.
+    pub ops: u64,
+    /// Whether the most recent device-loss drill passed for this device
+    /// (`true` until a sharded batch has run).
+    pub alive: bool,
+}
+
 /// The payload of a HEALTH report frame: what a supervisor (or the CI
 /// guard drill) can see of a running server without touching its request
 /// path. Built by `Server::health`, carried as a v3 frame.
@@ -544,6 +584,8 @@ pub struct HealthReport {
     pub keycache_quarantined: u64,
     /// Per-tenant health lines, sorted by tenant id.
     pub tenants: Vec<TenantHealth>,
+    /// Per-device health lines, indexed by device.
+    pub devices: Vec<DeviceHealth>,
 }
 
 /// Serializes a HEALTH probe (v3, envelope + checksum only).
@@ -584,7 +626,8 @@ pub fn decode_health_request(buf: &[u8]) -> Result<u64, CkksError> {
 /// # Errors
 ///
 /// [`CkksError::WireDecode`] when a tenant id or breaker label exceeds the
-/// label cap (cannot happen for ids that passed registration validation).
+/// label cap (cannot happen for ids that passed registration validation),
+/// or when the tenant count does not fit the wire's u32 field.
 pub fn encode_health_report(id: u64, report: &HealthReport) -> Result<Vec<u8>, CkksError> {
     let mut out = Vec::new();
     write_envelope(&mut out, VERSION_GUARD, KIND_HEALTH_RESPONSE, id);
@@ -595,7 +638,10 @@ pub fn encode_health_report(id: u64, report: &HealthReport) -> Result<Vec<u8>, C
     put_u64(&mut out, report.keycache_resident_bytes);
     put_u64(&mut out, report.keycache_budget_bytes);
     put_u64(&mut out, report.keycache_quarantined);
-    put_u32(&mut out, report.tenants.len().min(u32::MAX as usize) as u32);
+    put_u32(
+        &mut out,
+        checked_wire_u32(report.tenants.len(), "tenant count")?,
+    );
     for t in &report.tenants {
         write_label_frame(&mut out, &t.id)?;
         match &t.breaker {
@@ -606,6 +652,17 @@ pub fn encode_health_report(id: u64, report: &HealthReport) -> Result<Vec<u8>, C
             }
         }
         put_u64(&mut out, t.in_flight);
+    }
+    put_u32(
+        &mut out,
+        checked_wire_u32(report.devices.len(), "device count")?,
+    );
+    for d in &report.devices {
+        put_u32(&mut out, d.device);
+        put_u64(&mut out, d.depth);
+        put_u64(&mut out, d.batches);
+        put_u64(&mut out, d.ops);
+        out.push(u8::from(d.alive));
     }
     let sum = wd_fault::integrity::checksum_bytes(&out);
     put_u64(&mut out, sum);
@@ -663,6 +720,26 @@ pub fn decode_health_report(buf: &[u8]) -> Result<(u64, HealthReport), CkksError
             in_flight,
         });
     }
+    let device_count = get_u32(buf, &mut pos)? as usize;
+    let mut devices = Vec::with_capacity(device_count.min(1024));
+    for _ in 0..device_count {
+        let device = get_u32(buf, &mut pos)?;
+        let depth = get_u64(buf, &mut pos)?;
+        let batches = get_u64(buf, &mut pos)?;
+        let ops = get_u64(buf, &mut pos)?;
+        let alive = match get_u8(buf, &mut pos)? {
+            0 => false,
+            1 => true,
+            a => return Err(CkksError::WireDecode(format!("bad alive flag {a}"))),
+        };
+        devices.push(DeviceHealth {
+            device,
+            depth,
+            batches,
+            ops,
+            alive,
+        });
+    }
     if pos != buf.len() {
         return Err(CkksError::WireDecode(
             "trailing bytes after health report".into(),
@@ -679,6 +756,7 @@ pub fn decode_health_report(buf: &[u8]) -> Result<(u64, HealthReport), CkksError
             keycache_budget_bytes,
             keycache_quarantined,
             tenants,
+            devices,
         },
     ))
 }
@@ -785,7 +863,7 @@ mod tests {
             batch_size: 0,
             trigger: None,
         };
-        let mut bytes = encode_response(&resp);
+        let mut bytes = encode_response(&resp).expect("encode");
         bytes[4] = VERSION_TENANT;
         assert!(matches!(
             decode_response(&bytes),
@@ -839,7 +917,7 @@ mod tests {
             batch_size: 2,
             trigger: Some(FlushTrigger::Drain),
         };
-        let bytes = encode_response_v3(&ok);
+        let bytes = encode_response_v3(&ok).expect("encode v3 response");
         assert_eq!(decode_response(&bytes).expect("v3 response"), ok);
         let mut corrupt = bytes;
         let mid = corrupt.len() / 2;
@@ -851,13 +929,16 @@ mod tests {
         // peek_kind routes without decoding.
         assert_eq!(peek_kind(&v1), Some(KIND_REQUEST));
         assert_eq!(
-            peek_kind(&encode_response(&WireResponse {
-                id: 0,
-                result: Err("e".into()),
-                waited_us: 0,
-                batch_size: 0,
-                trigger: None,
-            })),
+            peek_kind(
+                &encode_response(&WireResponse {
+                    id: 0,
+                    result: Err("e".into()),
+                    waited_us: 0,
+                    batch_size: 0,
+                    trigger: None,
+                })
+                .expect("encode")
+            ),
             Some(KIND_RESPONSE)
         );
         assert_eq!(peek_kind(b"WDSV"), None);
@@ -894,6 +975,22 @@ mod tests {
                     id: "bob".into(),
                     breaker: None,
                     in_flight: 0,
+                },
+            ],
+            devices: vec![
+                DeviceHealth {
+                    device: 0,
+                    depth: 4,
+                    batches: 7,
+                    ops: 19,
+                    alive: true,
+                },
+                DeviceHealth {
+                    device: 1,
+                    depth: 0,
+                    batches: 6,
+                    ops: 17,
+                    alive: false,
                 },
             ],
         };
@@ -941,7 +1038,10 @@ mod tests {
             batch_size: 8,
             trigger: Some(FlushTrigger::Size),
         };
-        assert_eq!(decode_response(&encode_response(&ok)).expect("ok"), ok);
+        assert_eq!(
+            decode_response(&encode_response(&ok).expect("encode ok")).expect("ok"),
+            ok
+        );
         let err = WireResponse {
             id: 43,
             result: Err("deadline exceeded after 99 us in queue".into()),
@@ -949,7 +1049,47 @@ mod tests {
             batch_size: 0,
             trigger: None,
         };
-        assert_eq!(decode_response(&encode_response(&err)).expect("err"), err);
+        assert_eq!(
+            decode_response(&encode_response(&err).expect("encode err")).expect("err"),
+            err
+        );
+    }
+
+    #[test]
+    fn oversize_wire_counts_are_typed_errors_not_clamps() {
+        // A batch size one past the u32 field used to clamp to u32::MAX and
+        // decode as a different, plausible value on the far side. Now both
+        // encoders refuse it with the typed wire error.
+        let over = WireResponse {
+            id: 1,
+            result: Err("e".into()),
+            waited_us: 0,
+            batch_size: u32::MAX as usize + 1,
+            trigger: None,
+        };
+        for encoded in [encode_response(&over), encode_response_v3(&over)] {
+            match encoded {
+                Err(CkksError::WireDecode(msg)) => {
+                    assert!(msg.contains("batch size"), "msg: {msg}")
+                }
+                other => panic!("expected a typed encode error, got {other:?}"),
+            }
+        }
+        // The exact boundary value still encodes and round trips.
+        let max = WireResponse {
+            id: 2,
+            result: Err("e".into()),
+            waited_us: 0,
+            batch_size: u32::MAX as usize,
+            trigger: None,
+        };
+        let bytes = encode_response(&max).expect("boundary encodes");
+        assert_eq!(
+            decode_response(&bytes)
+                .expect("boundary decodes")
+                .batch_size,
+            u32::MAX as usize
+        );
     }
 
     #[test]

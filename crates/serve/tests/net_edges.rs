@@ -309,7 +309,7 @@ fn poisoned_client_reconnects_instead_of_reusing_the_stream() {
             batch_size: 1,
             trigger: None,
         };
-        write_frame(&mut s, &wire::encode_response(&resp)).unwrap();
+        write_frame(&mut s, &wire::encode_response(&resp).unwrap()).unwrap();
         accepts
     });
 
