@@ -52,9 +52,17 @@ impl Ciphertext {
     }
 }
 
-/// Scales within 0.5% count as equal (prime chains are only approximately Δ).
-pub(crate) fn relative_eq(a: f64, b: f64) -> bool {
-    (a - b).abs() <= 5e-3 * a.abs().max(b.abs())
+/// The workspace-wide relative tolerance for scale comparisons: scales
+/// within 0.5% of each other count as equal. Chain primes are only
+/// approximately Δ, so every rescale leaves the scale slightly off the
+/// nominal value; this single named bound is what `compatible`, `add_plain`
+/// and the wd-graph level compiler all share, so a compiler-inserted
+/// rescale can never oscillate against a hand-written one over float drift.
+pub const SCALE_REL_TOL: f64 = 5e-3;
+
+/// Scales within [`SCALE_REL_TOL`] (relative) count as equal.
+pub fn relative_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= SCALE_REL_TOL * a.abs().max(b.abs())
 }
 
 #[cfg(test)]
@@ -76,6 +84,22 @@ mod tests {
         };
         assert_eq!(ct.memory_bytes(), 2 * 3 * 32 * 4);
         Ok(())
+    }
+
+    #[test]
+    fn scale_tolerance_boundary() {
+        let base = (1u64 << 40) as f64;
+        // Exactly at the bound counts as equal; one ulp-scale nudge past
+        // it does not — the property that keeps compiler-inserted rescales
+        // from oscillating on float drift.
+        assert!(relative_eq(base, base));
+        assert!(relative_eq(base, base * (1.0 + SCALE_REL_TOL)));
+        assert!(relative_eq(base * (1.0 + SCALE_REL_TOL), base));
+        assert!(!relative_eq(base, base * (1.0 + SCALE_REL_TOL * 1.01)));
+        assert!(!relative_eq(base * (1.0 + SCALE_REL_TOL * 1.01), base));
+        // Symmetric around zero and sign-aware.
+        assert!(relative_eq(-base, -base * (1.0 + SCALE_REL_TOL)));
+        assert!(!relative_eq(base, -base));
     }
 
     #[test]

@@ -553,12 +553,15 @@ impl CkksContext {
     /// different parameters (too few limbs for the ciphertext level).
     pub fn decrypt(&self, ct: &Ciphertext, sk: &SecretKey) -> Result<Plaintext, CkksError> {
         if ct.level + 1 > sk.s.limb_count() {
-            return Err(CkksError::LevelMismatch(format!(
-                "secret key has {} limbs but ciphertext level {} needs {}",
-                sk.s.limb_count(),
-                ct.level,
-                ct.level + 1
-            )));
+            return Err(CkksError::LevelMismatch(
+                format!(
+                    "secret key has {} limbs but ciphertext level {} needs {}",
+                    sk.s.limb_count(),
+                    ct.level,
+                    ct.level + 1
+                )
+                .into(),
+            ));
         }
         let s = restrict(&sk.s, ct.level + 1);
         let poly = ct.c1.pointwise(&s).and_then(|cs| cs.add(&ct.c0))?;

@@ -90,7 +90,7 @@ fn key_limb_index(key: &RnsPoly, basis: &[u64]) -> Result<Vec<usize>, CkksError>
         .iter()
         .map(|q| {
             primes.iter().position(|x| x == q).ok_or_else(|| {
-                CkksError::LevelMismatch(format!("prime {q} not in the key's basis"))
+                CkksError::LevelMismatch(format!("prime {q} not in the key's basis").into())
             })
         })
         .collect()
@@ -155,10 +155,9 @@ fn keyswitch_pooled(
     let alpha = ctx.params().alpha();
     let dnum = ctx.params().dnum_at(level);
     if ksk.dnum() < dnum {
-        return Err(CkksError::LevelMismatch(format!(
-            "key has {} digits, level {level} needs {dnum}",
-            ksk.dnum()
-        )));
+        return Err(CkksError::LevelMismatch(
+            format!("key has {} digits, level {level} needs {dnum}", ksk.dnum()).into(),
+        ));
     }
     let th = ctx.threads();
     let n = d.degree();
@@ -270,10 +269,9 @@ pub fn keyswitch_unpooled(
     let alpha = ctx.params().alpha();
     let dnum = ctx.params().dnum_at(level);
     if ksk.dnum() < dnum {
-        return Err(CkksError::LevelMismatch(format!(
-            "key has {} digits, level {level} needs {dnum}",
-            ksk.dnum()
-        )));
+        return Err(CkksError::LevelMismatch(
+            format!("key has {} digits, level {level} needs {dnum}", ksk.dnum()).into(),
+        ));
     }
     let th = ctx.threads();
     let q_now = ctx.params().q_at(level).to_vec();
@@ -332,10 +330,9 @@ pub(crate) fn select_basis(p: &RnsPoly, basis: &[u64]) -> Result<RnsPoly, CkksEr
     let primes = p.primes();
     let mut limbs: Vec<Poly> = Vec::with_capacity(basis.len());
     for q in basis {
-        let idx = primes
-            .iter()
-            .position(|x| x == q)
-            .ok_or_else(|| CkksError::LevelMismatch(format!("prime {q} not in the key's basis")))?;
+        let idx = primes.iter().position(|x| x == q).ok_or_else(|| {
+            CkksError::LevelMismatch(format!("prime {q} not in the key's basis").into())
+        })?;
         limbs.push(p.limb(idx).clone());
     }
     Ok(RnsPoly::from_limbs(limbs, p.domain())?)
@@ -479,11 +476,14 @@ fn keyswitch_hoisted_pooled(
 ) -> Result<(RnsPoly, RnsPoly), CkksError> {
     let level = hoisted.level;
     if ksk.dnum() < hoisted.dnum() {
-        return Err(CkksError::LevelMismatch(format!(
-            "key has {} digits, hoisted decomposition has {}",
-            ksk.dnum(),
-            hoisted.dnum()
-        )));
+        return Err(CkksError::LevelMismatch(
+            format!(
+                "key has {} digits, hoisted decomposition has {}",
+                ksk.dnum(),
+                hoisted.dnum()
+            )
+            .into(),
+        ));
     }
     let th = ctx.threads();
     let n = hoisted.digits[0].degree();

@@ -58,7 +58,7 @@ pub use context::CkksContext;
 pub use keys::{KeyPair, PublicKey, SecretKey};
 pub use params::{CkksParams, ParamSet};
 
-pub use wd_fault::{FaultKind, WdError};
+pub use wd_fault::{FaultKind, OperandMismatch, WdError};
 
 /// Errors from the CKKS layer — an alias of the workspace-wide [`WdError`]
 /// taxonomy (defined in `wd-fault`, re-exported by `warpdrive-core`), so

@@ -10,6 +10,7 @@ use crate::encoding::C64;
 use crate::keys::{KeySwitchKey, RotationKeys};
 use crate::keyswitch::keyswitch;
 use crate::CkksError;
+use wd_fault::OperandMismatch;
 use wd_modmath::Modulus;
 use wd_polyring::rns::RnsPoly;
 
@@ -21,10 +22,11 @@ use wd_polyring::rns::RnsPoly;
 /// [`align_levels`] / RESCALE first).
 pub fn hadd(ct0: &Ciphertext, ct1: &Ciphertext) -> Result<Ciphertext, CkksError> {
     if !ct0.compatible(ct1) {
-        return Err(CkksError::LevelMismatch(format!(
-            "hadd: level {}/{} scale {:.3e}/{:.3e}",
-            ct0.level, ct1.level, ct0.scale, ct1.scale
-        )));
+        return Err(CkksError::operand_mismatch(
+            "hadd",
+            (ct0.level, ct0.scale),
+            (ct1.level, ct1.scale),
+        ));
     }
     Ok(Ciphertext {
         c0: ct0.c0.add(&ct1.c0)?,
@@ -41,7 +43,11 @@ pub fn hadd(ct0: &Ciphertext, ct1: &Ciphertext) -> Result<Ciphertext, CkksError>
 /// Returns [`CkksError::LevelMismatch`] unless levels and scales agree.
 pub fn hsub(ct0: &Ciphertext, ct1: &Ciphertext) -> Result<Ciphertext, CkksError> {
     if !ct0.compatible(ct1) {
-        return Err(CkksError::LevelMismatch("hsub operands".into()));
+        return Err(CkksError::operand_mismatch(
+            "hsub",
+            (ct0.level, ct0.scale),
+            (ct1.level, ct1.scale),
+        ));
     }
     Ok(Ciphertext {
         c0: ct0.c0.sub(&ct1.c0)?,
@@ -69,10 +75,14 @@ pub fn hneg(ct: &Ciphertext) -> Ciphertext {
 /// Returns [`CkksError::LevelMismatch`] if levels differ.
 pub fn pmult(ct: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, CkksError> {
     if pt.level != ct.level {
-        return Err(CkksError::LevelMismatch(format!(
-            "pmult: plaintext level {} vs ciphertext {}",
-            pt.level, ct.level
-        )));
+        return Err(CkksError::LevelMismatch(
+            OperandMismatch::new("pmult", (ct.level, ct.scale), (pt.level, pt.scale)).with_detail(
+                format!(
+                    "pmult: plaintext level {} vs ciphertext {}",
+                    pt.level, ct.level
+                ),
+            ),
+        ));
     }
     Ok(Ciphertext {
         c0: ct.c0.pointwise(&pt.poly)?,
@@ -89,7 +99,11 @@ pub fn pmult(ct: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, CkksError> {
 /// Returns [`CkksError::LevelMismatch`] on level or scale disagreement.
 pub fn add_plain(ct: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, CkksError> {
     if pt.level != ct.level || !relative_eq(pt.scale, ct.scale) {
-        return Err(CkksError::LevelMismatch("add_plain level/scale".into()));
+        return Err(CkksError::operand_mismatch(
+            "add_plain",
+            (ct.level, ct.scale),
+            (pt.level, pt.scale),
+        ));
     }
     Ok(Ciphertext {
         c0: ct.c0.add(&pt.poly)?,
@@ -113,10 +127,10 @@ pub fn hmult(
 ) -> Result<Ciphertext, CkksError> {
     let _span = wd_trace::span("ckks", "hmult");
     if ct0.level != ct1.level {
-        return Err(CkksError::LevelMismatch(format!(
-            "hmult: levels {} vs {}",
-            ct0.level, ct1.level
-        )));
+        return Err(CkksError::LevelMismatch(
+            OperandMismatch::new("hmult", (ct0.level, ct0.scale), (ct1.level, ct1.scale))
+                .with_detail(format!("hmult: levels {} vs {}", ct0.level, ct1.level)),
+        ));
     }
     let th = ctx.threads();
     let d0 = ct0.c0.pointwise_with(&ct1.c0, th)?;
@@ -235,10 +249,10 @@ fn rescale_step(p: &mut RnsPoly, dropped: u64) -> Result<(), CkksError> {
 /// Returns [`CkksError::LevelMismatch`] if `to_level` is above the current level.
 pub fn level_drop(ct: &Ciphertext, to_level: usize) -> Result<Ciphertext, CkksError> {
     if to_level > ct.level {
-        return Err(CkksError::LevelMismatch(format!(
-            "cannot raise level {} to {}",
-            ct.level, to_level
-        )));
+        return Err(CkksError::LevelMismatch(
+            OperandMismatch::levels("level_drop", ct.level, to_level)
+                .with_detail(format!("cannot raise level {} to {}", ct.level, to_level)),
+        ));
     }
     let mut c0 = ct.c0.clone();
     let mut c1 = ct.c1.clone();

@@ -60,7 +60,7 @@
 use crate::place::Placer;
 use crate::sched::{BatchShape, ParScheduler};
 use std::sync::{Arc, Mutex};
-use wd_ckks::cipher::Ciphertext;
+use wd_ckks::cipher::{Ciphertext, Plaintext};
 use wd_ckks::keys::{KeySwitchKey, RotationKeys};
 use wd_ckks::ops;
 use wd_ckks::{CkksContext, CkksError};
@@ -85,6 +85,15 @@ pub enum BatchOp<'a> {
     HRotate(&'a Ciphertext, isize),
     /// RESCALE by one chain prime.
     Rescale(&'a Ciphertext),
+    /// Slot-wise negation (infallible on the op layer).
+    HNeg(&'a Ciphertext),
+    /// Plaintext–ciphertext multiplication (no relinearization needed).
+    PMult(&'a Ciphertext, &'a Plaintext),
+    /// Plaintext addition (scales must already match).
+    AddPlain(&'a Ciphertext, &'a Plaintext),
+    /// Modulus switch down to the given level without changing the scale
+    /// (the level-alignment op the wd-graph compiler inserts).
+    LevelDrop(&'a Ciphertext, usize),
 }
 
 impl BatchOp<'_> {
@@ -96,6 +105,10 @@ impl BatchOp<'_> {
             BatchOp::HMult(..) => "batch.hmult",
             BatchOp::HRotate(..) => "batch.hrotate",
             BatchOp::Rescale(..) => "batch.rescale",
+            BatchOp::HNeg(..) => "batch.hneg",
+            BatchOp::PMult(..) => "batch.pmult",
+            BatchOp::AddPlain(..) => "batch.add_plain",
+            BatchOp::LevelDrop(..) => "batch.level_drop",
         }
     }
 
@@ -107,6 +120,10 @@ impl BatchOp<'_> {
             BatchOp::HMult(..) => "hmult",
             BatchOp::HRotate(..) => "hrotate",
             BatchOp::Rescale(..) => "rescale",
+            BatchOp::HNeg(..) => "hneg",
+            BatchOp::PMult(..) => "pmult",
+            BatchOp::AddPlain(..) => "add_plain",
+            BatchOp::LevelDrop(..) => "level_drop",
         }
     }
 }
@@ -492,6 +509,10 @@ impl BatchExecutor {
                 ops::hrotate(ctx, ct, r, rot)
             }
             BatchOp::Rescale(ct) => ops::rescale(ctx, ct),
+            BatchOp::HNeg(ct) => Ok(ops::hneg(ct)),
+            BatchOp::PMult(ct, pt) => ops::pmult(ct, pt),
+            BatchOp::AddPlain(ct, pt) => ops::add_plain(ct, pt),
+            BatchOp::LevelDrop(ct, to) => ops::level_drop(ct, to),
         }
     }
 

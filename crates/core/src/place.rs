@@ -169,7 +169,13 @@ struct OpLoad {
 
 fn op_load(op: &BatchOp<'_>) -> OpLoad {
     let (ct, heavy) = match op {
-        BatchOp::HAdd(a, _) | BatchOp::HSub(a, _) | BatchOp::Rescale(a) => (a, false),
+        BatchOp::HAdd(a, _)
+        | BatchOp::HSub(a, _)
+        | BatchOp::Rescale(a)
+        | BatchOp::HNeg(a)
+        | BatchOp::PMult(a, _)
+        | BatchOp::AddPlain(a, _)
+        | BatchOp::LevelDrop(a, _) => (a, false),
         BatchOp::HMult(a, _) | BatchOp::HRotate(a, _) => (a, true),
     };
     let degree = ct.c0.degree();

@@ -107,7 +107,13 @@ impl BatchShape {
         let mut heavy = 0usize;
         for op in batch {
             let ct = match op {
-                BatchOp::HAdd(a, _) | BatchOp::HSub(a, _) | BatchOp::Rescale(a) => a,
+                BatchOp::HAdd(a, _)
+                | BatchOp::HSub(a, _)
+                | BatchOp::Rescale(a)
+                | BatchOp::HNeg(a)
+                | BatchOp::PMult(a, _)
+                | BatchOp::AddPlain(a, _)
+                | BatchOp::LevelDrop(a, _) => a,
                 BatchOp::HMult(a, _) => {
                     heavy += 1;
                     a

@@ -87,6 +87,97 @@ impl core::fmt::Display for FaultKind {
     }
 }
 
+/// The structured payload of [`WdError::LevelMismatch`]: which operation
+/// rejected its operands, plus the levels and scales it saw on each side —
+/// so a compiler (wd-graph) can introspect the mismatch programmatically
+/// instead of parsing display text.
+///
+/// Legacy call sites still build the variant from a bare message via
+/// `From<String>` / `From<&str>`; those carry only `detail` and no
+/// structured fields. When `detail` is set it is the `Display` output
+/// verbatim, keeping every pre-existing error string stable.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OperandMismatch {
+    /// The operation that rejected its operands (`"hadd"`, `"hmult"`, …).
+    pub op: String,
+    /// Left operand's level, when the site knows it.
+    pub lhs_level: Option<usize>,
+    /// Right operand's level, when the site knows it.
+    pub rhs_level: Option<usize>,
+    /// Left operand's scale, when the site knows it.
+    pub lhs_scale: Option<f64>,
+    /// Right operand's scale, when the site knows it.
+    pub rhs_scale: Option<f64>,
+    /// Preformatted message. Non-empty ⇒ printed verbatim by `Display`
+    /// (the legacy string payload); empty ⇒ `Display` renders the
+    /// structured fields.
+    pub detail: String,
+}
+
+impl OperandMismatch {
+    /// A fully structured mismatch: `op` saw `lhs` = (level, scale) against
+    /// `rhs` = (level, scale). `Display` renders the canonical
+    /// `"{op}: level {l}/{r} scale {ls:.3e}/{rs:.3e}"` text.
+    pub fn new(op: &str, lhs: (usize, f64), rhs: (usize, f64)) -> Self {
+        Self {
+            op: op.to_string(),
+            lhs_level: Some(lhs.0),
+            rhs_level: Some(rhs.0),
+            lhs_scale: Some(lhs.1),
+            rhs_scale: Some(rhs.1),
+            detail: String::new(),
+        }
+    }
+
+    /// A levels-only mismatch (scales unknown or irrelevant at the site).
+    pub fn levels(op: &str, lhs: usize, rhs: usize) -> Self {
+        Self {
+            op: op.to_string(),
+            lhs_level: Some(lhs),
+            rhs_level: Some(rhs),
+            ..Self::default()
+        }
+    }
+
+    /// Overrides the rendered text while keeping the structured fields
+    /// (used where a legacy message spelled the mismatch differently).
+    pub fn with_detail(mut self, detail: String) -> Self {
+        self.detail = detail;
+        self
+    }
+}
+
+impl From<String> for OperandMismatch {
+    fn from(detail: String) -> Self {
+        Self {
+            detail,
+            ..Self::default()
+        }
+    }
+}
+
+impl From<&str> for OperandMismatch {
+    fn from(detail: &str) -> Self {
+        String::from(detail).into()
+    }
+}
+
+impl core::fmt::Display for OperandMismatch {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if !self.detail.is_empty() {
+            return write!(f, "{}", self.detail);
+        }
+        write!(f, "{}", self.op)?;
+        if let (Some(l), Some(r)) = (self.lhs_level, self.rhs_level) {
+            write!(f, ": level {l}/{r}")?;
+        }
+        if let (Some(ls), Some(rs)) = (self.lhs_scale, self.rhs_scale) {
+            write!(f, " scale {ls:.3e}/{rs:.3e}")?;
+        }
+        Ok(())
+    }
+}
+
 /// The workspace-wide error type.
 ///
 /// Every public fallible API in the workspace returns this type (directly,
@@ -105,7 +196,8 @@ pub enum WdError {
         want: usize,
     },
     /// Operand levels or scales are incompatible (align or rescale first).
-    LevelMismatch(String),
+    /// Carries the structured [`OperandMismatch`] a compiler can inspect.
+    LevelMismatch(OperandMismatch),
     /// The modulus chain has no levels left to consume (RESCALE at level 0,
     /// or fewer levels than a multi-prime drop needs).
     ModulusChainExhausted,
@@ -192,6 +284,12 @@ pub enum WdError {
 }
 
 impl WdError {
+    /// Builds a fully structured [`WdError::LevelMismatch`]: `op` saw
+    /// `lhs` = (level, scale) against `rhs` = (level, scale).
+    pub fn operand_mismatch(op: &str, lhs: (usize, f64), rhs: (usize, f64)) -> Self {
+        WdError::LevelMismatch(OperandMismatch::new(op, lhs, rhs))
+    }
+
     /// Whether a bounded retry of the same work can clear this error.
     ///
     /// Injected transient faults and isolated worker panics are retryable
@@ -735,6 +833,42 @@ pub mod integrity {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn operand_mismatch_display_is_stable() {
+        // Legacy string payloads render verbatim behind the unchanged
+        // "operand mismatch: " prefix…
+        let legacy = WdError::LevelMismatch("hsub operands".into());
+        assert_eq!(legacy.to_string(), "operand mismatch: hsub operands");
+        // …and the structured constructor renders the same text the
+        // hand-formatted hadd site used to produce.
+        let structured = WdError::operand_mismatch("hadd", (2, 1e10), (3, 1e10));
+        assert_eq!(
+            structured.to_string(),
+            "operand mismatch: hadd: level 2/3 scale 1.000e10/1.000e10"
+        );
+        // A detail override wins over the structured rendering while the
+        // fields stay machine-readable.
+        let m = OperandMismatch::levels("level_drop", 1, 4).with_detail("cannot raise".into());
+        assert_eq!(m.lhs_level, Some(1));
+        assert_eq!(m.rhs_level, Some(4));
+        assert_eq!(
+            WdError::LevelMismatch(m).to_string(),
+            "operand mismatch: cannot raise"
+        );
+    }
+
+    #[test]
+    fn operand_mismatch_fields_are_introspectable() {
+        match WdError::operand_mismatch("hmult", (5, 2.0), (4, 8.0)) {
+            WdError::LevelMismatch(m) => {
+                assert_eq!(m.op, "hmult");
+                assert_eq!((m.lhs_level, m.rhs_level), (Some(5), Some(4)));
+                assert_eq!((m.lhs_scale, m.rhs_scale), (Some(2.0), Some(8.0)));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
 
     #[test]
     fn disabled_plan_never_fires() {

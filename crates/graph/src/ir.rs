@@ -1,0 +1,261 @@
+//! The symbolic IR: a value-numbered DAG of ciphertext operations.
+//!
+//! Handles are plain indices ([`NodeId`]); the builder deduplicates
+//! structurally identical nodes at insertion time (build-time CSE), so two
+//! calls to `g.mul(x, y)` — or one `g.mul(x, y)` and one `g.mul(y, x)`,
+//! multiplication being commutative — return the *same* handle and the
+//! shared subtree is evaluated once.
+
+use std::collections::HashMap;
+
+/// A handle to a node in a [`Graph`]. Cheap to copy; only meaningful for
+/// the graph that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The node's index in build order (diagnostics; stable per graph).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One symbolic operation in the DAG.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeOp {
+    /// The `index`-th program input (a ciphertext supplied at execution).
+    Input(usize),
+    /// A broadcast real constant (every slot holds `value`). Constants
+    /// stay symbolic until a consumer forces an encoding; const⊕const
+    /// folds at compile time.
+    Const(f64),
+    /// Slot-wise addition.
+    HAdd(NodeId, NodeId),
+    /// Slot-wise subtraction.
+    HSub(NodeId, NodeId),
+    /// Slot-wise multiplication. Ciphertext×ciphertext lowers to
+    /// HMULT (+ compiler-inserted relin/rescale); ciphertext×const lowers
+    /// to PMULT by an encoded broadcast plaintext.
+    HMult(NodeId, NodeId),
+    /// Slot rotation left by a signed amount.
+    HRotate(NodeId, isize),
+    /// Explicit RESCALE by one chain prime (the compiler also inserts
+    /// these automatically after multiplications).
+    Rescale(NodeId),
+    /// Explicit relinearization. Ciphertexts in this workspace are always
+    /// kept at degree 2, so relin fuses into the preceding HMULT at
+    /// lowering; the node exists so compiler insertions are visible in the
+    /// IR and the stats.
+    Relin(NodeId),
+    /// Modulus switch down to the given level (compiler-inserted for
+    /// level alignment before binary ops).
+    LevelDrop(NodeId, usize),
+}
+
+/// The value-number key: like [`NodeOp`] but with commutative operand
+/// pairs canonicalized and the constant's bits made hashable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum VnKey {
+    Input(usize),
+    Const(u64),
+    HAdd(NodeId, NodeId),
+    HSub(NodeId, NodeId),
+    HMult(NodeId, NodeId),
+    HRotate(NodeId, isize),
+    Rescale(NodeId),
+    Relin(NodeId),
+    LevelDrop(NodeId, usize),
+}
+
+impl VnKey {
+    fn of(op: &NodeOp) -> Self {
+        // HADD and HMULT are commutative: sort the pair so `mul(x, y)` and
+        // `mul(y, x)` value-number identically.
+        match *op {
+            NodeOp::Input(i) => VnKey::Input(i),
+            NodeOp::Const(v) => VnKey::Const(v.to_bits()),
+            NodeOp::HAdd(a, b) => VnKey::HAdd(a.min(b), a.max(b)),
+            NodeOp::HSub(a, b) => VnKey::HSub(a, b),
+            NodeOp::HMult(a, b) => VnKey::HMult(a.min(b), a.max(b)),
+            NodeOp::HRotate(a, r) => VnKey::HRotate(a, r),
+            NodeOp::Rescale(a) => VnKey::Rescale(a),
+            NodeOp::Relin(a) => VnKey::Relin(a),
+            NodeOp::LevelDrop(a, l) => VnKey::LevelDrop(a, l),
+        }
+    }
+}
+
+/// A ciphertext computation DAG under construction.
+///
+/// Nodes are appended in topological order by construction (an operand
+/// handle must exist before it is used), which is what lets the compiler
+/// run a single forward pass.
+#[derive(Debug, Default, Clone)]
+pub struct Graph {
+    nodes: Vec<NodeOp>,
+    vn: HashMap<VnKey, NodeId>,
+    inputs: usize,
+    outputs: Vec<NodeId>,
+    cse_hits: u64,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares the next program input; inputs are numbered in call order
+    /// and must be supplied in that order at execution.
+    pub fn input(&mut self) -> NodeId {
+        let idx = self.inputs;
+        self.inputs += 1;
+        self.push(NodeOp::Input(idx))
+    }
+
+    /// A broadcast constant (the same real value in every slot).
+    pub fn constant(&mut self, value: f64) -> NodeId {
+        self.push(NodeOp::Const(value))
+    }
+
+    /// Slot-wise `a + b`.
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(NodeOp::HAdd(a, b))
+    }
+
+    /// Slot-wise `a − b`.
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(NodeOp::HSub(a, b))
+    }
+
+    /// Slot-wise `a · b` (ciphertext or constant operands).
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.push(NodeOp::HMult(a, b))
+    }
+
+    /// Slot-wise `a + c` for a broadcast constant.
+    pub fn add_const(&mut self, a: NodeId, c: f64) -> NodeId {
+        let k = self.constant(c);
+        self.add(a, k)
+    }
+
+    /// Slot-wise `a · c` for a broadcast constant (PMULT).
+    pub fn mul_const(&mut self, a: NodeId, c: f64) -> NodeId {
+        let k = self.constant(c);
+        self.mul(a, k)
+    }
+
+    /// Rotates slots left by `r`.
+    pub fn rotate(&mut self, a: NodeId, r: isize) -> NodeId {
+        self.push(NodeOp::HRotate(a, r))
+    }
+
+    /// Explicit RESCALE (usually unnecessary — the compiler inserts one
+    /// after every multiplication).
+    pub fn rescale(&mut self, a: NodeId) -> NodeId {
+        self.push(NodeOp::Rescale(a))
+    }
+
+    /// Explicit relinearization (usually unnecessary — fused into HMULT).
+    pub fn relin(&mut self, a: NodeId) -> NodeId {
+        self.push(NodeOp::Relin(a))
+    }
+
+    /// Marks a node as a program output (in call order).
+    pub fn output(&mut self, a: NodeId) {
+        self.outputs.push(a);
+    }
+
+    /// Number of declared inputs.
+    pub fn input_count(&self) -> usize {
+        self.inputs
+    }
+
+    /// Declared outputs, in order.
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// All nodes in build (= topological) order.
+    pub fn nodes(&self) -> &[NodeOp] {
+        &self.nodes
+    }
+
+    /// The op behind a handle.
+    pub fn node(&self, id: NodeId) -> NodeOp {
+        self.nodes[id.index()]
+    }
+
+    /// Structurally identical insertions coalesced by build-time value
+    /// numbering so far.
+    pub fn cse_hits(&self) -> u64 {
+        self.cse_hits
+    }
+
+    fn push(&mut self, op: NodeOp) -> NodeId {
+        debug_assert!(
+            operands(&op).iter().all(|o| o.index() < self.nodes.len()),
+            "operand handle from a different graph"
+        );
+        let key = VnKey::of(&op);
+        if let Some(&id) = self.vn.get(&key) {
+            self.cse_hits += 1;
+            return id;
+        }
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("graph exceeds u32 nodes"));
+        self.nodes.push(op);
+        self.vn.insert(key, id);
+        id
+    }
+}
+
+/// The operand handles of a node (0, 1 or 2 of them).
+pub(crate) fn operands(op: &NodeOp) -> Vec<NodeId> {
+    match *op {
+        NodeOp::Input(_) | NodeOp::Const(_) => vec![],
+        NodeOp::HAdd(a, b) | NodeOp::HSub(a, b) | NodeOp::HMult(a, b) => vec![a, b],
+        NodeOp::HRotate(a, _) | NodeOp::Rescale(a) | NodeOp::Relin(a) | NodeOp::LevelDrop(a, _) => {
+            vec![a]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_insertions_share_a_handle() {
+        let mut g = Graph::new();
+        let x = g.input();
+        let y = g.input();
+        let a = g.mul(x, y);
+        let b = g.mul(x, y);
+        let c = g.mul(y, x); // commutative: same value number
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(g.cse_hits(), 2);
+        let r1 = g.rotate(a, 1);
+        let r2 = g.rotate(a, 2);
+        assert_ne!(r1, r2);
+    }
+
+    #[test]
+    fn subtraction_is_not_commutative() {
+        let mut g = Graph::new();
+        let x = g.input();
+        let y = g.input();
+        assert_ne!(g.sub(x, y), g.sub(y, x));
+        assert_eq!(g.cse_hits(), 0);
+    }
+
+    #[test]
+    fn constants_value_number_by_bits() {
+        let mut g = Graph::new();
+        let a = g.constant(0.5);
+        let b = g.constant(0.5);
+        let c = g.constant(-0.5);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

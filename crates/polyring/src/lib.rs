@@ -104,7 +104,7 @@ pub use wd_fault::WdError;
 impl From<PolyError> for WdError {
     fn from(e: PolyError) -> Self {
         match e {
-            PolyError::RingMismatch => WdError::LevelMismatch(e.to_string()),
+            PolyError::RingMismatch => WdError::LevelMismatch(e.to_string().into()),
             PolyError::BadDegree(_)
             | PolyError::BadModulus(_)
             | PolyError::NoRootOfUnity { .. }

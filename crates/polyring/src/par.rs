@@ -265,10 +265,13 @@ fn try_transform_batch(
     let mut work: Vec<(&mut crate::Poly, &NttTable)> = Vec::new();
     for p in polys.iter_mut() {
         if p.domain() != expect_domain {
-            return Err(WdError::LevelMismatch(format!(
-                "batch transform expects {expect_domain:?}-domain input, found {:?}",
-                p.domain()
-            )));
+            return Err(WdError::LevelMismatch(
+                format!(
+                    "batch transform expects {expect_domain:?}-domain input, found {:?}",
+                    p.domain()
+                )
+                .into(),
+            ));
         }
         for limb in p.limbs_mut() {
             let t = table_for(tables, limb.modulus().value())?;

@@ -8,13 +8,16 @@
 //! error — even across shutdown.
 
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::Duration;
 
 use warpdrive_core::{BatchOp, Class, FlushTrigger};
 use wd_ckks::cipher::Ciphertext;
 use wd_fault::WdError;
+use wd_graph::CompiledProgram;
 
-/// One owned whole-ciphertext operation, mirroring [`BatchOp`].
+/// One owned whole-ciphertext operation, mirroring [`BatchOp`] — plus the
+/// compiled-program request kind, which carries a whole DAG.
 #[derive(Debug, Clone)]
 pub enum ServeOp {
     /// Homomorphic addition.
@@ -27,10 +30,21 @@ pub enum ServeOp {
     HRotate(Ciphertext, isize),
     /// RESCALE by one chain prime.
     Rescale(Ciphertext),
+    /// A compiled graph program with its input ciphertexts. The program
+    /// must declare exactly one output (enforced at submit); workers run
+    /// same-wave steps of every program in a batch as merged executor
+    /// batches ([`wd_graph::execute_many`]). In-process only: the wire
+    /// protocol does not carry compiled programs.
+    Program(Arc<CompiledProgram>, Vec<Ciphertext>),
 }
 
 impl ServeOp {
     /// Borrows this op as a [`BatchOp`] for the executor.
+    ///
+    /// # Panics
+    ///
+    /// On [`ServeOp::Program`]: a program is a schedule of many batch ops,
+    /// not one. The server partitions programs out before this is called.
     pub fn as_batch_op(&self) -> BatchOp<'_> {
         match self {
             ServeOp::HAdd(a, b) => BatchOp::HAdd(a, b),
@@ -38,12 +52,18 @@ impl ServeOp {
             ServeOp::HMult(a, b) => BatchOp::HMult(a, b),
             ServeOp::HRotate(ct, r) => BatchOp::HRotate(ct, *r),
             ServeOp::Rescale(ct) => BatchOp::Rescale(ct),
+            ServeOp::Program(..) => {
+                unreachable!("programs execute wave-by-wave, not as one BatchOp")
+            }
         }
     }
 
-    /// Short op name (`hmult`, `rescale`, …).
+    /// Short op name (`hmult`, `rescale`, `program`, …).
     pub fn kind(&self) -> &'static str {
-        self.as_batch_op().kind()
+        match self {
+            ServeOp::Program(..) => "program",
+            _ => self.as_batch_op().kind(),
+        }
     }
 }
 
@@ -73,6 +93,13 @@ impl Request {
     /// A bulk (throughput-class) request with no deadline.
     pub fn bulk(op: ServeOp) -> Self {
         Self::new(op).with_class(Class::Bulk)
+    }
+
+    /// An interactive request running a compiled graph program on the given
+    /// inputs. The program is `Arc`-shared so many requests (and tenants)
+    /// can submit the same compiled artifact without copying it.
+    pub fn program(program: Arc<CompiledProgram>, inputs: Vec<Ciphertext>) -> Self {
+        Self::new(ServeOp::Program(program, inputs))
     }
 
     /// Overrides the priority class.
@@ -168,6 +195,28 @@ mod tests {
             assert_eq!(op.kind(), *kind);
             assert_eq!(op.as_batch_op().kind(), *kind);
         }
+    }
+
+    #[test]
+    fn program_requests_have_their_own_kind() {
+        let ct = dummy_ct();
+        let mut g = wd_graph::Graph::new();
+        let x = g.input();
+        let r = g.rescale(x);
+        g.output(r);
+        let params = wd_ckks::ParamSet::set_a()
+            .with_degree(1 << 6)
+            .build()
+            .expect("params");
+        let prog = Arc::new(
+            g.compile(&params, &wd_graph::CompileOptions::new())
+                .expect("compiles"),
+        );
+        let op = ServeOp::Program(Arc::clone(&prog), vec![ct]);
+        assert_eq!(op.kind(), "program");
+        let req = Request::program(prog, Vec::new());
+        assert_eq!(req.class, Class::Interactive);
+        assert_eq!(req.op.kind(), "program");
     }
 
     #[test]

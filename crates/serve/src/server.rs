@@ -30,11 +30,15 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use warpdrive_core::{BatchExecutor, BatchOp, Decision, EvalKeys, FormPolicy, Pending, Placer};
+use warpdrive_core::{
+    BatchExecutor, BatchOp, Decision, EvalKeys, FlushTrigger, FormPolicy, Pending, Placer,
+};
+use wd_ckks::cipher::Ciphertext;
 use wd_ckks::keys::{KeySwitchKey, RotationKeys};
 use wd_ckks::CkksContext;
 use wd_fault::integrity::Fnv64;
 use wd_fault::WdError;
+use wd_graph::CompiledProgram;
 use wd_polyring::rns::RnsPoly;
 
 use crate::env;
@@ -632,6 +636,18 @@ impl Server {
             .tenants
             .lookup(tenant)
             .ok_or_else(|| WdError::UnknownTenant(tenant.to_string()))?;
+        // Program requests are validated at the door: arity/level/scale
+        // mismatches and multi-output programs are caller errors, rejected
+        // typed before they cost a queue slot.
+        if let ServeOp::Program(prog, inputs) = &req.op {
+            if prog.output_count() != 1 {
+                return Err(WdError::InvalidParams(format!(
+                    "serve: program declares {} outputs; serving requires exactly 1",
+                    prog.output_count()
+                )));
+            }
+            prog.check_inputs(inputs)?;
+        }
         let now_us = self.now_us();
         if let Err(retry_after_us) = tenant.breaker_admit(now_us) {
             self.stats.rejected.fetch_add(1, Ordering::Relaxed);
@@ -1161,69 +1177,101 @@ fn execute_batch(
                 // An unrecoverable key-integrity failure answers every
                 // request in the group with the typed error — admitted
                 // requests still complete, corrupt bytes are never served.
-                let now = instant_us(epoch);
-                for slot in group {
-                    let waited = now.saturating_sub(slot.meta.enqueued_us);
-                    if !slot.claim() {
-                        continue;
-                    }
-                    stats.completed.fetch_add(1, Ordering::Relaxed);
-                    tenant.note_completed(waited, now, false);
-                    wd_trace::counter("serve.completed", 1);
-                    wd_trace::observe("serve.latency_us", waited);
-                    let _ = slot.tx.send(Response {
-                        id: slot.meta.seq,
-                        result: Err(e.clone()),
-                        waited_us: waited,
-                        batch_size: n,
-                        trigger: Some(trigger),
-                    });
-                }
+                let results = group.iter().map(|_| Err(e.clone())).collect();
+                answer_group(group, results, &tenant, stats, epoch, n, trigger);
                 continue;
             }
         };
-        let ops: Vec<BatchOp<'_>> = group.iter().map(|s| s.op.as_batch_op()).collect();
-        // Place the group across devices and publish the assignment before
-        // executing, so the per-device counters reflect the placement even
-        // if a device-loss drill re-places mid-execution.
-        let placement = devices.placer.place(&ops);
-        let mut assigned = vec![0u64; devices.stats.len()];
-        for (d, lane) in placement.lanes().iter().enumerate() {
-            if lane.ops.is_empty() {
-                continue;
+        // Partition the tenant's group: plain ops batch directly; program
+        // requests merge wave-by-wave across every program in the group.
+        let (programs, plain): (Vec<Slot>, Vec<Slot>) = group
+            .into_iter()
+            .partition(|s| matches!(s.op, ServeOp::Program(..)));
+
+        if !plain.is_empty() {
+            let ops: Vec<BatchOp<'_>> = plain.iter().map(|s| s.op.as_batch_op()).collect();
+            // Place the group across devices and publish the assignment
+            // before executing, so the per-device counters reflect the
+            // placement even if a device-loss drill re-places mid-execution.
+            let placement = devices.placer.place(&ops);
+            let mut assigned = vec![0u64; devices.stats.len()];
+            for (d, lane) in placement.lanes().iter().enumerate() {
+                if lane.ops.is_empty() {
+                    continue;
+                }
+                let stat = &devices.stats[d];
+                assigned[d] = lane.ops.len() as u64;
+                stat.batches.fetch_add(1, Ordering::Relaxed);
+                stat.ops.fetch_add(assigned[d], Ordering::Relaxed);
+                stat.depth.fetch_add(assigned[d], Ordering::Relaxed);
+                wd_trace::counter(&stat.sig_batches, 1);
+                wd_trace::counter(&stat.sig_ops, assigned[d]);
             }
-            let stat = &devices.stats[d];
-            assigned[d] = lane.ops.len() as u64;
-            stat.batches.fetch_add(1, Ordering::Relaxed);
-            stat.ops.fetch_add(assigned[d], Ordering::Relaxed);
-            stat.depth.fetch_add(assigned[d], Ordering::Relaxed);
-            wd_trace::counter(&stat.sig_batches, 1);
-            wd_trace::counter(&stat.sig_ops, assigned[d]);
-        }
-        let results = executor.execute_sharded(tenant.ctx(), keys.as_eval(), &ops, &devices.placer);
-        for (d, &n_ops) in assigned.iter().enumerate() {
-            if n_ops > 0 {
-                devices.stats[d].depth.fetch_sub(n_ops, Ordering::Relaxed);
+            let results =
+                executor.execute_sharded(tenant.ctx(), keys.as_eval(), &ops, &devices.placer);
+            for (d, &n_ops) in assigned.iter().enumerate() {
+                if n_ops > 0 {
+                    devices.stats[d].depth.fetch_sub(n_ops, Ordering::Relaxed);
+                }
             }
+            drop(ops);
+            answer_group(plain, results, &tenant, stats, epoch, n, trigger);
         }
-        let now = instant_us(epoch);
-        for (slot, result) in group.into_iter().zip(results) {
-            let waited = now.saturating_sub(slot.meta.enqueued_us);
-            if !slot.claim() {
-                continue; // the original or a replay already answered
-            }
-            stats.completed.fetch_add(1, Ordering::Relaxed);
-            tenant.note_completed(waited, now, result.is_ok());
-            wd_trace::counter("serve.completed", 1);
-            wd_trace::observe("serve.latency_us", waited);
-            let _ = slot.tx.send(Response {
-                id: slot.meta.seq,
-                result,
-                waited_us: waited,
-                batch_size: n,
-                trigger: Some(trigger),
-            });
+
+        if !programs.is_empty() {
+            // Heterogeneous wave merging: round `w` runs wave `w` of every
+            // program in the group as one executor batch. Device sharding
+            // happens per merged wave inside `execute_many`, so the
+            // per-device serve counters only track plain-op batches.
+            let jobs: Vec<(&CompiledProgram, &[Ciphertext])> = programs
+                .iter()
+                .map(|s| match &s.op {
+                    ServeOp::Program(p, inputs) => (p.as_ref(), inputs.as_slice()),
+                    _ => unreachable!("partitioned above"),
+                })
+                .collect();
+            wd_trace::counter("serve.programs", jobs.len() as u64);
+            let placer = (devices.placer.devices() > 1).then_some(&devices.placer);
+            let results =
+                wd_graph::execute_many(tenant.ctx(), keys.as_eval(), &jobs, executor, placer);
+            drop(jobs);
+            let results = results
+                .into_iter()
+                .map(|r| r.map(|mut outs| outs.pop().expect("single output enforced at submit")))
+                .collect();
+            answer_group(programs, results, &tenant, stats, epoch, n, trigger);
         }
+    }
+}
+
+/// Answers every slot in a served group that has not already been answered
+/// by a replay, with the group's per-request results in queue order.
+fn answer_group(
+    slots: Vec<Slot>,
+    results: Vec<Result<Ciphertext, WdError>>,
+    tenant: &Tenant,
+    stats: &Stats,
+    epoch: Instant,
+    batch_size: usize,
+    trigger: FlushTrigger,
+) {
+    let now = instant_us(epoch);
+    for (slot, result) in slots.into_iter().zip(results) {
+        let waited = now.saturating_sub(slot.meta.enqueued_us);
+        if !slot.claim() {
+            continue; // the original or a replay already answered
+        }
+        stats.completed.fetch_add(1, Ordering::Relaxed);
+        tenant.note_completed(waited, now, result.is_ok());
+        wd_trace::counter("serve.completed", 1);
+        wd_trace::observe("serve.latency_us", waited);
+        let _ = slot.tx.send(Response {
+            id: slot.meta.seq,
+            result,
+            waited_us: waited,
+            batch_size,
+            trigger: Some(trigger),
+        });
     }
 }
 
@@ -1490,6 +1538,87 @@ mod tests {
         }
         let stats = server.shutdown();
         assert_eq!(stats.completed, 4);
+        Ok(())
+    }
+
+    #[test]
+    fn serves_compiled_programs_wave_merged_with_plain_ops() -> Result<(), WdError> {
+        use wd_graph::{CompileOptions, Graph};
+        let ctx = small_ctx(17);
+        let kp = ctx.keygen();
+        let rot = ctx.gen_rotation_keys(&kp.secret, &[1], false);
+
+        // out = (x·y) + rot(x·y, 1): exercises auto relin/rescale, a
+        // rotation key, and wave merging against a plain op in the same
+        // formed batch.
+        let mut g = Graph::new();
+        let x = g.input();
+        let y = g.input();
+        let t = g.mul(x, y);
+        let r = g.rotate(t, 1);
+        let s = g.add(t, r);
+        g.output(s);
+        let prog = Arc::new(
+            g.compile(
+                ctx.params(),
+                &CompileOptions::new().with_rotation_steps(&[1]),
+            )
+            .expect("demo program compiles"),
+        );
+
+        // Huge linger: only the size trigger flushes, so both programs and
+        // the plain op share one formed batch.
+        let config = ServeConfig {
+            max_batch: 3,
+            linger: Duration::from_secs(5),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(
+            Arc::clone(&ctx),
+            ServeKeys::with_relin(kp.relin.clone()).and_rotations(rot.clone()),
+            config,
+        );
+        let a = ctx.encrypt_values(&[1.5, -2.0, 0.25], &kp.public)?;
+        let b = ctx.encrypt_values(&[0.5, 1.0, -1.0], &kp.public)?;
+
+        // Hand-sequenced expectations (same key material as the server).
+        let t = wd_ckks::ops::rescale(&ctx, &wd_ckks::ops::hmult(&ctx, &a, &b, &kp.relin)?)?;
+        let rr = wd_ckks::ops::hrotate(&ctx, &t, 1, &rot)?;
+        let expect_prog = wd_ckks::ops::hadd(&t, &rr)?;
+        let expect_add = wd_ckks::ops::hadd(&a, &b)?;
+
+        // Bad programs are rejected typed at the door, before queueing.
+        let err = server
+            .submit(Request::program(Arc::clone(&prog), vec![a.clone()]))
+            .expect_err("wrong arity must be rejected at submit");
+        assert!(matches!(
+            err,
+            WdError::DimensionMismatch { got: 1, want: 2 }
+        ));
+
+        let t1 = server.submit(Request::program(
+            Arc::clone(&prog),
+            vec![a.clone(), b.clone()],
+        ))?;
+        let t2 = server.submit(Request::program(
+            Arc::clone(&prog),
+            vec![a.clone(), b.clone()],
+        ))?;
+        let t3 = server.submit(Request::new(ServeOp::HAdd(a, b)))?;
+        for (ticket, expect) in [(t1, &expect_prog), (t2, &expect_prog), (t3, &expect_add)] {
+            let resp = ticket.wait();
+            assert_eq!(resp.result.as_ref(), Ok(expect), "bit-identical response");
+            assert_eq!(
+                resp.batch_size, 3,
+                "programs and the plain op share a batch"
+            );
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 3);
+        assert_eq!(
+            stats.rejected, 0,
+            "door rejection is a caller error, not shed"
+        );
         Ok(())
     }
 

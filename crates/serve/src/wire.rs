@@ -172,8 +172,13 @@ fn read_envelope(buf: &[u8], pos: &mut usize, want_kind: u8) -> Result<(u8, u64)
 /// Serializes one request under the given wire id (v1 — no tenant; the
 /// pre-tenancy spelling, kept byte-identical). The tenant-aware encoder is
 /// [`encode_request_as`].
+///
+/// # Panics
+///
+/// On [`ServeOp::Program`] — compiled programs are in-process only (use
+/// the fallible [`encode_request_as`] to get the typed error instead).
 pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
-    encode_request_as(id, None, req).expect("v1 frames cannot fail to encode")
+    encode_request_as(id, None, req).expect("v1 frames carry no programs and cannot fail")
 }
 
 /// Serializes one request: `tenant: None` emits a v1 frame (byte-identical
@@ -202,7 +207,7 @@ pub fn encode_request_as(
             write_label_frame(&mut out, t)?;
         }
     }
-    write_request_body(&mut out, req);
+    write_request_body(&mut out, req)?;
     Ok(out)
 }
 
@@ -222,14 +227,20 @@ pub fn encode_request_v3(
     let mut out = Vec::new();
     write_envelope(&mut out, VERSION_GUARD, KIND_REQUEST, id);
     write_label_frame(&mut out, tenant.unwrap_or(""))?;
-    write_request_body(&mut out, req);
+    write_request_body(&mut out, req)?;
     let sum = wd_fault::integrity::checksum_bytes(&out);
     put_u64(&mut out, sum);
     Ok(out)
 }
 
 /// The version-independent request payload: class, deadline, op, operands.
-fn write_request_body(out: &mut Vec<u8>, req: &Request) {
+///
+/// # Errors
+///
+/// [`CkksError::WireDecode`] for [`ServeOp::Program`]: compiled programs
+/// are in-process submissions only — the wire protocol does not carry
+/// them.
+fn write_request_body(out: &mut Vec<u8>, req: &Request) -> Result<(), CkksError> {
     out.push(match req.class {
         Class::Interactive => 0,
         Class::Bulk => 1,
@@ -266,7 +277,15 @@ fn write_request_body(out: &mut Vec<u8>, req: &Request) {
             out.push(OP_RESCALE);
             write_ciphertext_frame(out, ct);
         }
+        ServeOp::Program(..) => {
+            return Err(CkksError::WireDecode(
+                "request: compiled programs are in-process only; \
+                 the wire protocol does not carry them"
+                    .into(),
+            ));
+        }
     }
+    Ok(())
 }
 
 /// Splits a v3 frame into its payload and verifies the trailing checksum
@@ -765,6 +784,26 @@ pub fn decode_health_report(buf: &[u8]) -> Result<(u64, HealthReport), CkksError
 mod tests {
     use super::*;
     use wd_ckks::{CkksContext, ParamSet};
+
+    #[test]
+    fn program_requests_do_not_cross_the_wire() {
+        let (a, _) = ct_pair();
+        let mut g = wd_graph::Graph::new();
+        let x = g.input();
+        let r = g.rescale(x);
+        g.output(r);
+        let params = ParamSet::set_a()
+            .with_degree(1 << 6)
+            .build()
+            .expect("params");
+        let prog = std::sync::Arc::new(
+            g.compile(&params, &wd_graph::CompileOptions::new())
+                .expect("compiles"),
+        );
+        let req = Request::program(prog, vec![a]);
+        let err = encode_request_as(9, None, &req).expect_err("programs are in-process only");
+        assert!(matches!(err, CkksError::WireDecode(_)), "{err:?}");
+    }
 
     fn ct_pair() -> (Ciphertext, Ciphertext) {
         let params = ParamSet::set_a()

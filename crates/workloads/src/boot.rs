@@ -201,10 +201,9 @@ impl Bootstrapper {
 /// Propagates ring errors.
 pub fn mod_raise(ctx: &CkksContext, ct: &Ciphertext) -> Result<Ciphertext, CkksError> {
     if ct.level != 0 {
-        return Err(CkksError::LevelMismatch(format!(
-            "mod_raise expects level 0, got {}",
-            ct.level
-        )));
+        return Err(CkksError::LevelMismatch(
+            format!("mod_raise expects level 0, got {}", ct.level).into(),
+        ));
     }
     let target = ctx.params().max_level();
     let primes = ctx.params().q_at(target).to_vec();

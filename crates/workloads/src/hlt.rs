@@ -148,11 +148,14 @@ pub fn linear_transform(
     keys: &RotationKeys,
 ) -> Result<Ciphertext, CkksError> {
     if m.dim() != ctx.params().slots() {
-        return Err(CkksError::LevelMismatch(format!(
-            "matrix dim {} must equal slot count {}",
-            m.dim(),
-            ctx.params().slots()
-        )));
+        return Err(CkksError::LevelMismatch(
+            format!(
+                "matrix dim {} must equal slot count {}",
+                m.dim(),
+                ctx.params().slots()
+            )
+            .into(),
+        ));
     }
     let mut acc: Option<Ciphertext> = None;
     for d in 0..m.dim() {
@@ -197,10 +200,13 @@ pub fn linear_transform_bsgs(
 ) -> Result<Ciphertext, CkksError> {
     let dim = m.dim();
     if dim != ctx.params().slots() {
-        return Err(CkksError::LevelMismatch(format!(
-            "matrix dim {dim} must equal slot count {}",
-            ctx.params().slots()
-        )));
+        return Err(CkksError::LevelMismatch(
+            format!(
+                "matrix dim {dim} must equal slot count {}",
+                ctx.params().slots()
+            )
+            .into(),
+        ));
     }
     let b = (dim as f64).sqrt().ceil() as usize;
     let g = dim.div_ceil(b);

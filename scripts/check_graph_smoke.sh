@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Graph smoke check: the program-compiler path, end to end. Runs the
+# graph_bench drills — the SET-C inner-product + poly-eval compile with
+# its per-wave modeled schedule and >=1.15x wave-parallel gate, and the
+# real-execution drill (bit-identity to the hand-sequenced reference at
+# 1/2/4 threads, fault injection on at 2 and 4) — under full tracing,
+# and asserts the exact `graph.*` compiler and executor counters.
+# Compilation and wave scheduling are deterministic, so every count
+# below is exact in --quick mode; any change to lowering (an extra
+# rescale, a lost CSE, a wave that splits or merges) moves one of them
+# and fails here. Finishes with a results-drift diff of the committed
+# results/graph_compile.txt.
+#
+# Usage: scripts/check_graph_smoke.sh
+#   Runs under WD_TRACE=full; exits nonzero on any missing signal, wrong
+#   count, or artifact drift.
+set -euo pipefail
+
+# shellcheck source=scripts/lib.sh
+. "$(dirname "$0")/lib.sh"
+
+log=/tmp/wd_graph_smoke.log      # stdout: the artifact-shaped report
+trace=/tmp/wd_graph_smoke.trace  # stderr: the wd-trace summary
+
+if ! WD_TRACE=full \
+    cargo run --release -q -p wd-bench --bin graph_bench -- --quick \
+    >"$log" 2>"$trace"; then
+    echo "FAIL graph_bench exited nonzero:" >&2
+    cat "$log" "$trace" >&2
+    exit 1
+fi
+
+# The run's own end-state assertions (the >=1.15x wave gate and the
+# three bit-identity drills) all passed.
+wd_need "^PASS:" "graph_bench PASS line" "$log"
+wd_need "gate: >= 1.15x" "wave-parallel gate line" "$log"
+wd_need "1 thread(s), fault injection off: bit-identical" \
+    "serial drill bit-identity line" "$log"
+wd_need "4 thread(s), fault injection 0.05: bit-identical" \
+    "faulted parallel drill bit-identity line" "$log"
+wd_need "compiled once, executed 3x: 54 steps, 19 waves, output level 10" \
+    "compile summary line" "$log"
+
+# Exact compiler accounting for the whole quick run. The bench compiles
+# the demo program twice (once for the modeled schedule on SET-C, once
+# for the real drill on the small ring), so every compile-side counter
+# is double the single-program value: 49 nodes -> 98, 19 waves -> 38,
+# 7 auto-rescales -> 14, 6 auto-relins -> 12. The demo has no redundant
+# subtrees and no dead nodes, so CSE and pruning must stay at zero.
+wd_expect_eq "$(wd_counter graph.nodes "$trace")" 98 \
+    "graph.nodes (49-node demo compiled twice)"
+wd_expect_eq "$(wd_counter graph.waves "$trace")" 38 \
+    "graph.waves (19-wave schedule, two compiles)"
+wd_expect_eq "$(wd_counter graph.inserted_rescales "$trace")" 14 \
+    "graph.inserted_rescales (7 per compile)"
+wd_expect_eq "$(wd_counter graph.inserted_relins "$trace")" 12 \
+    "graph.inserted_relins (6 per compile)"
+wd_expect_eq "$(wd_counter graph.cse_hits "$trace")" 0 \
+    "graph.cse_hits (demo has no redundant subtrees)"
+wd_expect_eq "$(wd_counter graph.pruned "$trace")" 0 \
+    "graph.pruned (demo has no dead nodes)"
+
+# Exact executor accounting: the drill runs the compiled program three
+# times (1/2/4 threads), each walking all 19 waves over the 46 non-input
+# steps (54 steps minus 8 inputs).
+wd_expect_eq "$(wd_counter graph.exec.programs "$trace")" 3 \
+    "graph.exec.programs (three drill configurations)"
+wd_expect_eq "$(wd_counter graph.exec.waves "$trace")" 57 \
+    "graph.exec.waves (19 waves x 3 runs)"
+wd_expect_eq "$(wd_counter graph.exec.ops "$trace")" 138 \
+    "graph.exec.ops (46 non-input steps x 3 runs)"
+
+# Compilation must not move a single committed number: regenerate the
+# artifact and diff it against the checked-in copy (the schedule and the
+# latency model are deterministic, so the diff is exact).
+if scripts/check_results_drift.sh graph_compile; then
+    echo "OK       results/graph_compile.txt drift-free"
+else
+    echo "FAIL     results/graph_compile.txt drifted" >&2
+    fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "graph smoke failed; report at $log, trace summary at $trace" >&2
+fi
+exit "$fail"

@@ -10,6 +10,8 @@
 //!   real CUDA hardware; see DESIGN.md §2).
 //! - [`ckks`]: the RNS-CKKS scheme with hybrid keyswitching.
 //! - [`core`]: the WarpDrive framework — PE kernels, planners, auto-configuration.
+//! - [`graph`]: the FHE program compiler — ciphertext DAGs with automatic
+//!   level management, CSE, and wave scheduling (DESIGN.md §5k).
 //! - [`serve`]: the dynamic-batching FHE request server (admission control,
 //!   deadlines, backpressure).
 //! - [`baselines`]: TensorFHE / 100x / Liberate / Cheddar / CPU baselines.
@@ -47,6 +49,7 @@ pub mod prelude {
     pub use wd_ckks::ops::{hadd, hmult, hrotate, hrotate_many, hsub, pmult, rescale, rescale_by};
     pub use wd_ckks::{Ciphertext, CkksContext, KeyPair, ParamSet, Plaintext};
     pub use wd_gpu_sim::GpuSpec;
+    pub use wd_graph::{CompileOptions, CompiledProgram, Graph, GraphError};
     pub use wd_polyring::{NttEngine, NttVariant};
     pub use wd_serve::{Request, ServeConfig, ServeKeys, ServeOp, Server};
 }
@@ -55,6 +58,7 @@ pub use warpdrive_core as core;
 pub use wd_baselines as baselines;
 pub use wd_ckks as ckks;
 pub use wd_gpu_sim as gpusim;
+pub use wd_graph as graph;
 pub use wd_modmath as modmath;
 pub use wd_polyring as polyring;
 pub use wd_serve as serve;
